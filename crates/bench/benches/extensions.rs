@@ -1,0 +1,94 @@
+//! Benchmarks for the extension studies: chiplet packaging, power,
+//! binning, serving, and sensitivity analysis.
+
+use acs_bench::{a100_sim, workload};
+use acs_hw::binning::{Bin, BinningModel};
+use acs_hw::chiplet::{ChipletPackage, PackagingModel};
+use acs_hw::{AreaModel, CostModel, DeviceConfig, PowerModel};
+use acs_llm::{LengthDistribution, ModelConfig, RequestTrace};
+use acs_sim::{energy_per_token_j, simulate_serving, ServingConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn chiplet_costing(c: &mut Criterion) {
+    let logical = DeviceConfig::a100_like();
+    let am = AreaModel::n7();
+    let cm = CostModel::n7();
+    c.bench_function("ext_chiplet_package_costing", |b| {
+        b.iter(|| {
+            [1u32, 2, 4]
+                .iter()
+                .map(|&n| {
+                    ChipletPackage::new(black_box(logical.clone()), n, PackagingModel::advanced())
+                        .unwrap()
+                        .package_cost_usd(&am, &cm)
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+fn power_accounting(c: &mut Criterion) {
+    let sim = a100_sim();
+    let model = ModelConfig::gpt3_175b();
+    let w = workload();
+    let p = PowerModel::n7();
+    c.bench_function("ext_power_energy_per_token", |b| {
+        b.iter(|| energy_per_token_j(black_box(&sim), &model, &w, &p))
+    });
+}
+
+fn binning_split(c: &mut Criterion) {
+    let device = DeviceConfig::builder().core_count(128).l2_mib(48).build().unwrap();
+    let area = AreaModel::n7().die_area(&device);
+    let model = BinningModel::for_device(&device, &area);
+    let cm = CostModel::n7();
+    let bins = [Bin::new("full", 128), Bin::new("flag", 124), Bin::new("a100", 108)];
+    c.bench_function("ext_binning_split", |b| {
+        b.iter(|| model.bin_split(black_box(&cm), &bins))
+    });
+}
+
+fn serving_trace(c: &mut Criterion) {
+    let sim = a100_sim();
+    let model = ModelConfig::llama3_8b();
+    let trace = RequestTrace::synthetic(
+        4.0,
+        20.0,
+        LengthDistribution::chat_prompts(),
+        LengthDistribution::chat_outputs(),
+        9,
+    );
+    let mut g = c.benchmark_group("ext_serving");
+    g.sample_size(10);
+    g.bench_function("continuous_batching_trace", |b| {
+        b.iter(|| simulate_serving(black_box(&sim), &model, &trace, ServingConfig::default()))
+    });
+    g.finish();
+}
+
+fn sensitivity(c: &mut Criterion) {
+    let reference = DeviceConfig::a100_like();
+    let model = ModelConfig::gpt3_175b();
+    let w = workload();
+    c.bench_function("ext_sensitivity_elasticities", |b| {
+        b.iter(|| {
+            acs_dse::elasticities(
+                black_box(&reference),
+                &model,
+                &w,
+                acs_dse::sensitivity::Target::Tbt,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    chiplet_costing,
+    power_accounting,
+    binning_split,
+    serving_trace,
+    sensitivity
+);
+criterion_main!(benches);

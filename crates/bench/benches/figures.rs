@@ -1,0 +1,114 @@
+//! One benchmark group per paper figure: each times the regeneration of
+//! that figure's data series (the same computations `acs-repro` runs).
+
+use acs_bench::workload;
+use acs_core::{
+    architectural_consistency, indicator_report, marketing_consistency, optimize_oct2022,
+    ArchClassifier, FixedParam, LatencyMetric,
+};
+use acs_devices::{fig1_devices, GpuDatabase};
+use acs_dse::{DseRunner, SweepSpec};
+use acs_hw::{DeviceConfig, SystemConfig};
+use acs_llm::ModelConfig;
+use acs_policy::thresholds::min_area_unregulated_dc;
+use acs_policy::{Acr2022, Acr2023};
+use acs_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig1_and_fig2(c: &mut Criterion) {
+    let named = fig1_devices();
+    let r22 = Acr2022::published();
+    let r23 = Acr2023::published();
+    let mut g = c.benchmark_group("fig1_fig2");
+    g.bench_function("fig1a_classification", |b| {
+        b.iter(|| named.iter().map(|r| r22.classify(black_box(&r.to_metrics()))).filter(|c| c.is_restricted()).count())
+    });
+    g.bench_function("fig1b_classification", |b| {
+        b.iter(|| named.iter().map(|r| r23.classify(black_box(&r.to_metrics()))).filter(|c| c.is_restricted()).count())
+    });
+    g.bench_function("fig2_area_floor_curve", |b| {
+        b.iter(|| {
+            (2..48)
+                .map(|i| min_area_unregulated_dc(&r23, f64::from(i) * 100.0))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let model = ModelConfig::gpt3_175b();
+    let w = workload();
+    c.bench_function("fig5_tpp_bw_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cores in [86u32, 108, 129, 151, 173] {
+                let cfg = DeviceConfig::builder()
+                    .core_count(cores)
+                    .device_bandwidth_gb_s(500.0)
+                    .build()
+                    .unwrap();
+                let sim = Simulator::new(SystemConfig::quad(cfg).unwrap());
+                acc += sim.ttft_s(black_box(&model), &w) + sim.tbt_s(&model, &w);
+            }
+            acc
+        })
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let model = ModelConfig::gpt3_175b();
+    let w = workload();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("oct2022_dse_512_designs", |b| {
+        b.iter(|| optimize_oct2022(black_box(&model), &w))
+    });
+    g.finish();
+}
+
+fn fig7_fig8(c: &mut Criterion) {
+    let runner = DseRunner::new(ModelConfig::gpt3_175b(), workload());
+    let spec = SweepSpec::table3_fig7();
+    let mut g = c.benchmark_group("fig7_fig8");
+    g.sample_size(10);
+    g.bench_function("oct2023_dse_1536_designs_2400tpp", |b| {
+        b.iter(|| runner.run(black_box(&spec), 2400.0))
+    });
+    g.finish();
+}
+
+fn fig9_fig10(c: &mut Criterion) {
+    let db = GpuDatabase::curated_65();
+    let rule = Acr2023::published();
+    let classifier = ArchClassifier::paper();
+    let mut g = c.benchmark_group("fig9_fig10");
+    g.bench_function("fig9_marketing_consistency", |b| {
+        b.iter(|| marketing_consistency(black_box(&db), &rule))
+    });
+    g.bench_function("fig10_architectural_consistency", |b| {
+        b.iter(|| architectural_consistency(black_box(&db), &classifier))
+    });
+    g.finish();
+}
+
+fn fig11_fig12(c: &mut Criterion) {
+    let designs = DseRunner::new(ModelConfig::gpt3_175b(), workload())
+        .run(&SweepSpec::table3_fig6(), 4800.0);
+    let within: Vec<_> = designs.into_iter().filter(|d| d.within_reticle).collect();
+    let mut g = c.benchmark_group("fig11_fig12");
+    g.bench_function("indicator_columns", |b| {
+        b.iter(|| {
+            indicator_report(
+                black_box(&within),
+                LatencyMetric::Tbt,
+                &FixedParam::fig11_columns(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1_and_fig2, fig5, fig6, fig7_fig8, fig9_fig10, fig11_fig12);
+criterion_main!(benches);

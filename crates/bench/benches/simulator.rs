@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the analytical model's kernels.
+
+use acs_bench::{a100_sim, models, workload};
+use acs_devices::GpuDatabase;
+use acs_hw::{AreaModel, CostModel, DeviceConfig};
+use acs_llm::{InferencePhase, MatmulKind, MatmulOp};
+use acs_policy::{Acr2022, Acr2023};
+use acs_sim::{matmul::matmul_cost, SimParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul_model(c: &mut Criterion) {
+    let device = DeviceConfig::a100_like();
+    let params = SimParams::calibrated();
+    let prefill_op = MatmulOp {
+        name: "ffn_up",
+        m: 65536,
+        n: 12288,
+        k: 12288,
+        count: 1,
+        b_shared_by: 1,
+        kind: MatmulKind::Weight,
+    };
+    let decode_op = MatmulOp { m: 32, ..prefill_op.clone() };
+    let mut g = c.benchmark_group("matmul_model");
+    g.bench_function("prefill_ffn", |b| {
+        b.iter(|| matmul_cost(black_box(&prefill_op), &device, &params, 0.0, 0.0))
+    });
+    g.bench_function("decode_ffn", |b| {
+        b.iter(|| matmul_cost(black_box(&decode_op), &device, &params, 1.0, 1.0))
+    });
+    g.finish();
+}
+
+fn bench_layer_latency(c: &mut Criterion) {
+    let sim = a100_sim();
+    let w = workload();
+    let mut g = c.benchmark_group("layer_latency");
+    for model in models() {
+        let tag = if model.name().contains("GPT") { "gpt3" } else { "llama3" };
+        g.bench_function(format!("{tag}_prefill"), |b| {
+            b.iter(|| sim.simulate_layer(black_box(&model), &w, InferencePhase::Prefill))
+        });
+        g.bench_function(format!("{tag}_decode"), |b| {
+            b.iter(|| sim.simulate_layer(black_box(&model), &w, w.decode_phase()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let db = GpuDatabase::curated_65();
+    let r22 = Acr2022::published();
+    let r23 = Acr2023::published();
+    c.bench_function("classify_65_devices_both_rules", |b| {
+        b.iter(|| {
+            db.iter()
+                .map(|r| {
+                    let m = r.to_metrics();
+                    (r22.classify(black_box(&m)), r23.classify(&m))
+                })
+                .count()
+        })
+    });
+}
+
+fn bench_area_cost_models(c: &mut Criterion) {
+    let device = DeviceConfig::a100_like();
+    let area_model = AreaModel::n7();
+    let cost_model = CostModel::n7();
+    c.bench_function("area_and_cost_model", |b| {
+        b.iter(|| {
+            let area = area_model.die_area(black_box(&device)).total_mm2();
+            cost_model.good_die_cost_usd(area)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_model,
+    bench_layer_latency,
+    bench_classification,
+    bench_area_cost_models
+);
+criterion_main!(benches);

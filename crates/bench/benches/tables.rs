@@ -1,0 +1,104 @@
+//! One benchmark group per paper table.
+
+use acs_bench::workload;
+use acs_core::{optimize_oct2023, ComplianceOverhead};
+use acs_hw::{AreaModel, CostModel, DeviceConfig, SystolicDims};
+use acs_llm::ModelConfig;
+use acs_policy::{Acr2022, Acr2023, DeviceMetrics, MarketSegment};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let r22 = Acr2022::published();
+    let r23 = Acr2023::published();
+    let probes: Vec<DeviceMetrics> = (0..64)
+        .map(|i| {
+            DeviceMetrics::new(
+                format!("p{i}"),
+                f64::from(i) * 120.0,
+                f64::from(i % 16) * 60.0,
+                400.0 + f64::from(i) * 10.0,
+                true,
+                if i % 2 == 0 { MarketSegment::DataCenter } else { MarketSegment::NonDataCenter },
+            )
+        })
+        .collect();
+    c.bench_function("table1_rule_evaluation", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|p| {
+                    r22.classify(black_box(p)).is_restricted()
+                        || r23.classify(p).is_restricted()
+                })
+                .count()
+        })
+    });
+}
+
+fn table2(c: &mut Criterion) {
+    c.bench_function("table2_model_construction", |b| {
+        b.iter(|| {
+            let g = ModelConfig::gpt3_175b();
+            let l = ModelConfig::llama3_8b();
+            black_box(g.total_params() + l.total_params())
+        })
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    // Table 3 is a sweep specification; bench its materialisation.
+    use acs_dse::SweepSpec;
+    c.bench_function("table3_sweep_materialisation", |b| {
+        b.iter(|| SweepSpec::table3_fig7().configs(black_box(2400.0)).len())
+    });
+}
+
+fn table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("pd_compliance_cost_study", |b| {
+        b.iter(|| {
+            let report =
+                optimize_oct2023(&ModelConfig::gpt3_175b(), &workload(), black_box(2400.0));
+            let compliant = report.best_ttft().cloned();
+            let non = report
+                .designs
+                .iter()
+                .filter(|d| d.within_reticle && !d.pd_unregulated_2023)
+                .min_by(|a, b| a.ttft_s.total_cmp(&b.ttft_s))
+                .cloned();
+            match (compliant, non) {
+                (Some(cd), Some(nd)) => Some(ComplianceOverhead::between(&cd, &nd)),
+                _ => None,
+            }
+        })
+    });
+    g.finish();
+}
+
+fn table5_area_cost(c: &mut Criterion) {
+    // The Table-5 restriction study leans on the area/cost models; bench
+    // an evaluation of a representative restricted configuration.
+    let cfg = DeviceConfig::builder()
+        .core_count(831)
+        .lanes_per_core(8)
+        .systolic(SystolicDims::square(4))
+        .l1_kib_per_core(32)
+        .l2_mib(8)
+        .hbm_bandwidth_tb_s(0.8)
+        .device_bandwidth_gb_s(400.0)
+        .build()
+        .unwrap();
+    let area_model = AreaModel::n7();
+    let cost_model = CostModel::n7();
+    c.bench_function("table5_restricted_design_costing", |b| {
+        b.iter(|| {
+            let area = area_model.die_area(black_box(&cfg)).total_mm2();
+            cost_model.cost_for_good_dies_usd(area, 1_000_000)
+        })
+    });
+}
+
+criterion_group!(benches, table1, table2, table3, table4, table5_area_cost);
+criterion_main!(benches);

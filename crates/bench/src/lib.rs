@@ -1,0 +1,45 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `simulator` — micro-benchmarks of the analytical model's kernels
+//!   (matmul cost, layer simulation, classification, area/cost models).
+//! * `figures` — one group per paper figure, timing the full
+//!   regeneration of each figure's data series.
+//! * `tables` — one group per paper table.
+
+use acs_hw::{DeviceConfig, SystemConfig};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_sim::Simulator;
+
+/// The calibrated A100 quad-node simulator used across benches.
+#[must_use]
+pub fn a100_sim() -> Simulator {
+    Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).expect("quad node"))
+}
+
+/// The two evaluation models.
+#[must_use]
+pub fn models() -> [ModelConfig; 2] {
+    [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b()]
+}
+
+/// The paper's workload.
+#[must_use]
+pub fn workload() -> WorkloadConfig {
+    WorkloadConfig::paper_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let sim = a100_sim();
+        let w = workload();
+        for m in models() {
+            assert!(sim.ttft_s(&m, &w) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The modeled NVIDIA A100 baseline.
+//!
+//! Latencies are simulated with the same analytical model as the DSE
+//! designs; the die area is the published GA100 figure (§4: "we use the
+//! GA100 die area for the modeled A100").
+
+use acs_hw::{CostModel, DeviceConfig, SystemConfig};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_sim::{SimParams, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Published GA100 die area in mm².
+pub const GA100_DIE_AREA_MM2: f64 = 826.0;
+
+/// The restricted-baseline reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct A100Baseline {
+    /// Per-layer prefill latency (s).
+    pub ttft_s: f64,
+    /// Per-layer decode latency (s).
+    pub tbt_s: f64,
+    /// Die area (GA100 published figure, mm²).
+    pub die_area_mm2: f64,
+    /// Raw silicon die cost at that area (USD).
+    pub die_cost_usd: f64,
+    /// TPP of the modeled device.
+    pub tpp: f64,
+}
+
+impl A100Baseline {
+    /// Simulate the baseline for a model/workload on the paper's 4-device
+    /// node with calibrated parameters.
+    #[must_use]
+    pub fn simulate(model: &ModelConfig, workload: &WorkloadConfig) -> Self {
+        Self::simulate_with(model, workload, SimParams::calibrated(), 4)
+    }
+
+    /// Simulate the baseline with explicit calibration and node size.
+    #[must_use]
+    pub fn simulate_with(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        params: SimParams,
+        device_count: u32,
+    ) -> Self {
+        let device = DeviceConfig::a100_like();
+        let tpp = device.tpp().0;
+        let system =
+            SystemConfig::new(device, device_count).expect("device_count nonzero");
+        let sim = Simulator::with_params(system, params);
+        A100Baseline {
+            ttft_s: sim.ttft_s(model, workload),
+            tbt_s: sim.tbt_s(model, workload),
+            die_area_mm2: GA100_DIE_AREA_MM2,
+            die_cost_usd: CostModel::n7().die_cost_usd(GA100_DIE_AREA_MM2),
+            tpp,
+        }
+    }
+
+    /// TTFT × die cost (ms·$), for Figure 8 reference points.
+    #[must_use]
+    pub fn ttft_cost_product(&self) -> f64 {
+        self.ttft_s * 1e3 * self.die_cost_usd
+    }
+
+    /// TBT × die cost (ms·$).
+    #[must_use]
+    pub fn tbt_cost_product(&self) -> f64 {
+        self.tbt_s * 1e3 * self.die_cost_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt3_baseline_is_in_the_paper_band() {
+        let b = A100Baseline::simulate(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+        );
+        assert!(b.ttft_s * 1e3 > 200.0 && b.ttft_s * 1e3 < 360.0);
+        assert!(b.tbt_s * 1e3 > 1.0 && b.tbt_s * 1e3 < 1.9);
+        assert_eq!(b.die_area_mm2, 826.0);
+        assert!((b.tpp - 4992.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn cost_products_are_consistent() {
+        let b = A100Baseline::simulate(
+            &ModelConfig::llama3_8b(),
+            &WorkloadConfig::paper_default(),
+        );
+        assert!((b.ttft_cost_product() - b.ttft_s * 1e3 * b.die_cost_usd).abs() < 1e-9);
+        assert!(b.die_cost_usd > 100.0, "GA100-sized dies are expensive");
+    }
+}

@@ -1,0 +1,188 @@
+//! Marketing-based vs architecture-based device classification
+//! (§5.2, Figures 9 and 10).
+
+use acs_devices::{DeviceRecord, GpuDatabase};
+use acs_policy::{Acr2023, MarketSegment};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a consistency study over a device database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ConsistencyReport {
+    /// Consistently classified data-center devices.
+    pub consistent_dc: Vec<String>,
+    /// "False data center" devices: DC-marketed, restricted today, but
+    /// unrestricted if rebranded consumer (Fig. 9) / classified non-DC by
+    /// the architectural rule (Fig. 10).
+    pub false_dc: Vec<String>,
+    /// Consistently classified non-data-center devices.
+    pub consistent_ndc: Vec<String>,
+    /// "False non-data center" devices: consumer-marketed and free today,
+    /// but restricted if treated as data-center devices.
+    pub false_ndc: Vec<String>,
+}
+
+impl ConsistencyReport {
+    /// Total devices covered.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.consistent_dc.len()
+            + self.false_dc.len()
+            + self.consistent_ndc.len()
+            + self.false_ndc.len()
+    }
+}
+
+/// Figure 9: classify every device under its marketed segment and under
+/// the opposite segment; devices whose restriction status flips are
+/// "false" devices.
+#[must_use]
+pub fn marketing_consistency(db: &GpuDatabase, rule: &Acr2023) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    for r in db {
+        let m = r.to_metrics();
+        let as_marketed = rule.classify(&m).is_restricted();
+        let rebranded = rule.classify_as(&m, r.market.opposite()).is_restricted();
+        let name = r.name.to_owned();
+        match (r.market, as_marketed, rebranded) {
+            (MarketSegment::DataCenter, true, false) => report.false_dc.push(name),
+            (MarketSegment::DataCenter, _, _) => report.consistent_dc.push(name),
+            (MarketSegment::NonDataCenter, false, true) => report.false_ndc.push(name),
+            (MarketSegment::NonDataCenter, _, _) => report.consistent_ndc.push(name),
+        }
+    }
+    report
+}
+
+/// The architecture-based data-center test of Figure 10: a device is a
+/// data-center part when its memory capacity or memory bandwidth exceeds
+/// thresholds that separate current product lines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchClassifier {
+    /// Capacity above which a device is data-center class (GiB).
+    pub min_capacity_gib: f64,
+    /// Bandwidth above which a device is data-center class (GB/s).
+    pub min_bandwidth_gb_s: f64,
+}
+
+impl ArchClassifier {
+    /// The paper's thresholds: "more than 32 GB memory or more than
+    /// 1600 GB/s memory bandwidth".
+    #[must_use]
+    pub fn paper() -> Self {
+        ArchClassifier { min_capacity_gib: 32.0, min_bandwidth_gb_s: 1600.0 }
+    }
+
+    /// Classify a device by its memory architecture.
+    #[must_use]
+    pub fn classify(&self, record: &DeviceRecord) -> MarketSegment {
+        if record.mem_gib > self.min_capacity_gib
+            || record.mem_bw_gb_s > self.min_bandwidth_gb_s
+        {
+            MarketSegment::DataCenter
+        } else {
+            MarketSegment::NonDataCenter
+        }
+    }
+}
+
+impl Default for ArchClassifier {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Figure 10: compare the architectural classification against marketing.
+/// A "false data center" device is DC-marketed but architecturally
+/// non-DC; a "false non-data center" device is consumer-marketed but
+/// architecturally DC.
+#[must_use]
+pub fn architectural_consistency(
+    db: &GpuDatabase,
+    classifier: &ArchClassifier,
+) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    for r in db {
+        let arch = classifier.classify(r);
+        let name = r.name.to_owned();
+        match (r.market, arch) {
+            (MarketSegment::DataCenter, MarketSegment::DataCenter) => {
+                report.consistent_dc.push(name);
+            }
+            (MarketSegment::DataCenter, MarketSegment::NonDataCenter) => {
+                report.false_dc.push(name);
+            }
+            (MarketSegment::NonDataCenter, MarketSegment::NonDataCenter) => {
+                report.consistent_ndc.push(name);
+            }
+            (MarketSegment::NonDataCenter, MarketSegment::DataCenter) => {
+                report.false_ndc.push(name);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marketing_study_matches_paper_counts() {
+        // §5.2: "Existing specifications result in 4 false data center
+        // devices and 7 false non-data center devices."
+        let report = marketing_consistency(&GpuDatabase::curated_65(), &Acr2023::default());
+        assert_eq!(report.total(), 65);
+        assert_eq!(report.false_dc.len(), 4, "false DC: {:?}", report.false_dc);
+        assert_eq!(report.false_ndc.len(), 7, "false NDC: {:?}", report.false_ndc);
+    }
+
+    #[test]
+    fn paper_named_false_devices_appear() {
+        let report = marketing_consistency(&GpuDatabase::curated_65(), &Acr2023::default());
+        // "Flagship gaming GPUs such as the NVIDIA RTX 4080 and AMD RX
+        // 7900 XTX would be regulated if they were marketed as data
+        // center devices."
+        assert!(report.false_ndc.iter().any(|n| n == "RTX 4080"));
+        assert!(report.false_ndc.iter().any(|n| n == "RX 7900 XTX"));
+        // "Low TPP data center devices such as the NVIDIA L40 and A40
+        // would not be restricted if they were instead marketed as
+        // workstation devices."
+        assert!(report.false_dc.iter().any(|n| n == "L40"));
+        assert!(report.false_dc.iter().any(|n| n == "A40"));
+    }
+
+    #[test]
+    fn architectural_study_matches_paper_counts() {
+        // §5.2: "This classification results in no false non-data center
+        // and only two false data center devices", the L2 and L4.
+        let report =
+            architectural_consistency(&GpuDatabase::curated_65(), &ArchClassifier::paper());
+        assert_eq!(report.total(), 65);
+        assert!(report.false_ndc.is_empty(), "false NDC: {:?}", report.false_ndc);
+        let mut false_dc = report.false_dc.clone();
+        false_dc.sort();
+        assert_eq!(false_dc, vec!["L2".to_owned(), "L4".to_owned()]);
+    }
+
+    #[test]
+    fn arch_classifier_uses_either_threshold() {
+        let c = ArchClassifier::paper();
+        let mut r = GpuDatabase::curated_65().find("RTX 4090").unwrap().clone();
+        assert_eq!(c.classify(&r), MarketSegment::NonDataCenter);
+        r.mem_gib = 33.0;
+        assert_eq!(c.classify(&r), MarketSegment::DataCenter);
+        r.mem_gib = 24.0;
+        r.mem_bw_gb_s = 1601.0;
+        assert_eq!(c.classify(&r), MarketSegment::DataCenter);
+    }
+
+    #[test]
+    fn thresholds_are_exclusive_at_the_boundary() {
+        // "more than 32 GB": exactly 32 GiB (Quadro GV100) stays non-DC.
+        let c = ArchClassifier::paper();
+        let db = GpuDatabase::curated_65();
+        let gv100 = db.find("Quadro GV100").unwrap();
+        assert_eq!(gv100.mem_gib, 32.0);
+        assert_eq!(c.classify(gv100), MarketSegment::NonDataCenter);
+    }
+}

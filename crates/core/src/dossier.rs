@@ -1,0 +1,177 @@
+//! Compliance dossiers: a human-readable report of one device's standing
+//! under every modelled rule generation.
+//!
+//! This is the downstream-user feature the substrates add up to: given a
+//! device's datasheet metrics, produce the markdown brief a compliance
+//! or product team would circulate — current classification, how it got
+//! there across the rule timeline, the density arithmetic, and the
+//! redesign headroom (how much die area or TPP movement changes the
+//! outcome).
+
+use acs_policy::thresholds::{min_area_nac_dc, min_area_unregulated_dc};
+use acs_policy::{
+    classify_as_of, Acr2022, Acr2023, Classification, DeviceMetrics, MarketSegment,
+};
+use std::fmt::Write as _;
+
+/// Render a markdown compliance dossier for `device`.
+///
+/// # Example
+///
+/// ```
+/// use acs_core::compliance_dossier;
+/// use acs_policy::{DeviceMetrics, MarketSegment};
+///
+/// let a800 = DeviceMetrics::new("A800", 4992.0, 400.0, 826.0, true,
+///     MarketSegment::DataCenter);
+/// let dossier = compliance_dossier(&a800);
+/// assert!(dossier.contains("October 2023 rule (current): **License Required**"));
+/// ```
+#[must_use]
+pub fn compliance_dossier(device: &DeviceMetrics) -> String {
+    let r22 = Acr2022::published();
+    let r23 = Acr2023::published();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Export-control dossier: {}", device.name());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Device metrics");
+    let _ = writeln!(out, "- market segment: {}", device.market());
+    let _ = writeln!(out, "- TPP: {:.0}", device.tpp().0);
+    let _ = writeln!(
+        out,
+        "- aggregate bidirectional device bandwidth: {:.0} GB/s",
+        device.device_bw_gb_s()
+    );
+    let _ = writeln!(out, "- total die area: {:.0} mm2", device.die_area_mm2());
+    match device.performance_density() {
+        Some(pd) => {
+            let _ = writeln!(out, "- performance density: {:.2} TPP/mm2", pd.0);
+        }
+        None => {
+            let _ = writeln!(out, "- performance density: n/a (planar die)");
+        }
+    }
+    if device.mem_capacity_gib() > 0.0 {
+        let _ = writeln!(
+            out,
+            "- memory: {:.0} GiB @ {:.0} GB/s",
+            device.mem_capacity_gib(),
+            device.mem_bw_gb_s()
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Classification timeline");
+    for (year, month, label) in [
+        (2022u16, 9u8, "September 2022 (pre-ACR)"),
+        (2022, 10, "October 2022 rule"),
+        (2023, 10, "October 2023 rule (current)"),
+    ] {
+        let _ = writeln!(out, "- {label}: **{}**", classify_as_of(device, year, month));
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Why");
+    let c22 = r22.classify(device);
+    if c22 == Classification::LicenseRequired {
+        let _ = writeln!(
+            out,
+            "- October 2022: TPP {:.0} >= {:.0} and device bandwidth {:.0} >= {:.0} GB/s.",
+            device.tpp().0,
+            r22.tpp_threshold,
+            device.device_bw_gb_s(),
+            r22.device_bw_threshold_gb_s
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "- October 2022: escapes (TPP {:.0} vs {:.0}, bandwidth {:.0} vs {:.0} GB/s — one limit suffices).",
+            device.tpp().0,
+            r22.tpp_threshold,
+            device.device_bw_gb_s(),
+            r22.device_bw_threshold_gb_s
+        );
+    }
+    let c23 = r23.classify(device);
+    let _ = writeln!(out, "- October 2023 as marketed: {c23}.");
+    let rebranded = r23.classify_as(device, device.market().opposite());
+    if rebranded.is_restricted() != c23.is_restricted() {
+        let _ = writeln!(
+            out,
+            "- marketing sensitivity: rebranded as {} it would be **{rebranded}** — a false-{} device (§5.2).",
+            device.market().opposite(),
+            match device.market() {
+                MarketSegment::DataCenter => "data-center",
+                MarketSegment::NonDataCenter => "non-data-center",
+            }
+        );
+    }
+
+    if device.market() == MarketSegment::DataCenter && c23.is_restricted() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Redesign headroom (October 2023, data center)");
+        let tpp = device.tpp().0;
+        let escape = min_area_unregulated_dc(&r23, tpp);
+        let nac = min_area_nac_dc(&r23, tpp);
+        if escape.is_finite() {
+            let _ = writeln!(
+                out,
+                "- full escape at this TPP needs > {escape:.0} mm2 of applicable die area{}",
+                if escape > 860.0 { " (multi-chip module territory)" } else { "" }
+            );
+        } else {
+            let _ = writeln!(out, "- no die area escapes at TPP >= 4800; reduce TPP first.");
+        }
+        if nac.is_finite() && nac < escape {
+            let _ = writeln!(out, "- NAC eligibility needs > {nac:.0} mm2.");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a800() -> DeviceMetrics {
+        DeviceMetrics::new("A800 80GB", 4992.0, 400.0, 826.0, true, MarketSegment::DataCenter)
+            .with_memory(80.0, 2039.0)
+    }
+
+    #[test]
+    fn a800_dossier_tells_the_paper_story() {
+        let d = compliance_dossier(&a800());
+        assert!(d.contains("# Export-control dossier: A800 80GB"));
+        assert!(d.contains("pre-ACR"), "timeline present");
+        assert!(d.contains("October 2022 rule: **Not Applicable**"));
+        assert!(d.contains("October 2023 rule (current): **License Required**"));
+        assert!(d.contains("no die area escapes at TPP >= 4800"));
+    }
+
+    #[test]
+    fn false_dc_device_gets_a_marketing_note() {
+        let l40 = DeviceMetrics::new("L40", 2896.0, 32.0, 608.5, true, MarketSegment::DataCenter);
+        let d = compliance_dossier(&l40);
+        assert!(d.contains("marketing sensitivity"), "L40 is a false-DC device:\n{d}");
+        assert!(d.contains("Redesign headroom"));
+        // 2896 TPP escape floor: 2896 / 1.6 = 1810 mm² — MCM territory.
+        assert!(d.contains("1810"));
+        assert!(d.contains("multi-chip module"));
+    }
+
+    #[test]
+    fn planar_device_reports_na_density() {
+        let old = DeviceMetrics::new("planar", 100.0, 8.0, 200.0, false, MarketSegment::NonDataCenter);
+        let d = compliance_dossier(&old);
+        assert!(d.contains("n/a (planar die)"));
+        assert!(!d.contains("Redesign headroom"));
+    }
+
+    #[test]
+    fn unrestricted_consumer_device_is_clean() {
+        let gtx = DeviceMetrics::new("GTX 1660", 160.0, 16.0, 284.0, true, MarketSegment::NonDataCenter);
+        let d = compliance_dossier(&gtx);
+        assert!(d.contains("**Not Applicable**"));
+        assert!(!d.contains("marketing sensitivity"));
+    }
+}

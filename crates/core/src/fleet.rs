@@ -1,0 +1,169 @@
+//! Fleet planning under TPP-denominated quotas.
+//!
+//! The January 2025 diffusion framework caps the *cumulative TPP* a
+//! destination may import. But serving capacity is not TPP: decoding
+//! rides memory bandwidth. This module answers the planner's question —
+//! given a device menu and a TPP allocation, which fleet maximises decode
+//! throughput? — and thereby measures how loosely a TPP quota actually
+//! caps AI serving capacity.
+
+use acs_hw::SystemConfig;
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_sim::{decode_throughput_tokens_per_s, Simulator};
+use serde::Serialize;
+
+/// A purchasable node type.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetOption {
+    /// Display name.
+    pub name: String,
+    /// TPP charged against the quota per node (devices × device TPP).
+    pub tpp_per_node: f64,
+    /// Decode throughput per node, tokens/s.
+    pub tokens_per_s_per_node: f64,
+}
+
+impl FleetOption {
+    /// Evaluate a node type for `model` under the paper workload.
+    #[must_use]
+    pub fn evaluate(name: impl Into<String>, system: &SystemConfig, model: &ModelConfig) -> Self {
+        let work = WorkloadConfig::paper_default();
+        let sim = Simulator::new(system.clone());
+        FleetOption {
+            name: name.into(),
+            tpp_per_node: system.device().tpp().0 * f64::from(system.device_count()),
+            tokens_per_s_per_node: decode_throughput_tokens_per_s(&sim, model, &work),
+        }
+    }
+
+    /// Serving capacity bought per unit of quota (tokens/s per TPP).
+    #[must_use]
+    pub fn throughput_per_tpp(&self) -> f64 {
+        if self.tpp_per_node <= 0.0 {
+            return 0.0;
+        }
+        self.tokens_per_s_per_node / self.tpp_per_node
+    }
+}
+
+/// A planned fleet: node counts per option plus totals.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetPlan {
+    /// `(option name, nodes)` in purchase order.
+    pub purchases: Vec<(String, u64)>,
+    /// Total decode throughput, tokens/s.
+    pub total_tokens_per_s: f64,
+    /// Quota consumed, TPP.
+    pub tpp_spent: f64,
+}
+
+/// Spend `tpp_allocation` greedily on the highest
+/// throughput-per-TPP option (optimal here, since options are divisible
+/// down to single nodes and independent).
+#[must_use]
+pub fn plan_fleet(options: &[FleetOption], tpp_allocation: f64) -> FleetPlan {
+    let mut best: Vec<&FleetOption> = options.iter().collect();
+    best.sort_by(|a, b| b.throughput_per_tpp().total_cmp(&a.throughput_per_tpp()));
+    let mut remaining = tpp_allocation;
+    let mut purchases = Vec::new();
+    let mut total = 0.0;
+    for opt in best {
+        if opt.tpp_per_node <= 0.0 {
+            continue;
+        }
+        let nodes = (remaining / opt.tpp_per_node).floor() as u64;
+        if nodes == 0 {
+            continue;
+        }
+        remaining -= nodes as f64 * opt.tpp_per_node;
+        total += nodes as f64 * opt.tokens_per_s_per_node;
+        purchases.push((opt.name.clone(), nodes));
+    }
+    FleetPlan { purchases, total_tokens_per_s: total, tpp_spent: tpp_allocation - remaining }
+}
+
+/// Capacity of an all-one-option fleet under the same allocation, for
+/// comparison against [`plan_fleet`]'s mix.
+#[must_use]
+pub fn monoculture_capacity(option: &FleetOption, tpp_allocation: f64) -> f64 {
+    if option.tpp_per_node <= 0.0 {
+        return 0.0;
+    }
+    (tpp_allocation / option.tpp_per_node).floor() * option.tokens_per_s_per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::{DeviceConfig, SystolicDims};
+
+    fn options() -> Vec<FleetOption> {
+        let model = ModelConfig::gpt3_175b();
+        let a100 = SystemConfig::quad(DeviceConfig::a100_like()).unwrap();
+        let h20ish = SystemConfig::quad(
+            DeviceConfig::builder()
+                .name("h20ish")
+                .core_count(51)
+                .lanes_per_core(4)
+                .systolic(SystolicDims::square(16))
+                .l2_mib(60)
+                .hbm_bandwidth_tb_s(4.0)
+                .device_bandwidth_gb_s(900.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        vec![
+            FleetOption::evaluate("A100 node", &a100, &model),
+            FleetOption::evaluate("H20-class node", &h20ish, &model),
+        ]
+    }
+
+    #[test]
+    fn low_tpp_bandwidth_heavy_nodes_win_per_quota_unit() {
+        let opts = options();
+        let a100 = &opts[0];
+        let h20 = &opts[1];
+        // The compute-capped node delivers several times more serving
+        // capacity per unit of TPP-denominated quota.
+        assert!(
+            h20.throughput_per_tpp() > 3.0 * a100.throughput_per_tpp(),
+            "{} vs {}",
+            h20.throughput_per_tpp(),
+            a100.throughput_per_tpp()
+        );
+    }
+
+    #[test]
+    fn planner_prefers_the_efficient_option() {
+        let opts = options();
+        let plan = plan_fleet(&opts, 10.0e6);
+        assert_eq!(plan.purchases[0].0, "H20-class node");
+        // The mix beats an all-A100 monoculture by a wide margin.
+        let mono = monoculture_capacity(&opts[0], 10.0e6);
+        assert!(plan.total_tokens_per_s > 2.0 * mono);
+        assert!(plan.tpp_spent <= 10.0e6 + 1e-6);
+    }
+
+    #[test]
+    fn leftover_quota_is_bounded_by_one_node() {
+        let opts = options();
+        let alloc = 1.0e6;
+        let plan = plan_fleet(&opts, alloc);
+        let min_node = opts.iter().map(|o| o.tpp_per_node).fold(f64::INFINITY, f64::min);
+        assert!(alloc - plan.tpp_spent < min_node);
+    }
+
+    #[test]
+    fn degenerate_options_are_skipped() {
+        let broken = FleetOption {
+            name: "zero".into(),
+            tpp_per_node: 0.0,
+            tokens_per_s_per_node: 100.0,
+        };
+        let plan = plan_fleet(std::slice::from_ref(&broken), 1e6);
+        assert!(plan.purchases.is_empty());
+        assert_eq!(monoculture_capacity(&broken, 1e6), 0.0);
+        assert_eq!(broken.throughput_per_tpp(), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Sanction-compliant design optimisation (§4.2, §4.3).
+
+use crate::baseline::A100Baseline;
+use acs_dse::{DseRunner, EvaluatedDesign, SweepSpec};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Result of optimising a design space against the A100 baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// Baseline the improvements are measured against.
+    pub baseline: A100Baseline,
+    /// All evaluated designs (including invalid ones, flagged).
+    pub designs: Vec<EvaluatedDesign>,
+    /// Index (into `designs`) of the fastest-TTFT valid design.
+    pub best_ttft_idx: Option<usize>,
+    /// Index of the fastest-TBT valid design.
+    pub best_tbt_idx: Option<usize>,
+    /// Number of designs rejected by the reticle limit.
+    pub reticle_violations: usize,
+    /// Number of designs rejected by the October 2023 PD rule
+    /// (0 for October 2022 studies, where PD is not filtered).
+    pub pd_violations: usize,
+}
+
+impl OptimizationReport {
+    /// The fastest-TTFT valid design, if any survived the filters.
+    #[must_use]
+    pub fn best_ttft(&self) -> Option<&EvaluatedDesign> {
+        self.best_ttft_idx.map(|i| &self.designs[i])
+    }
+
+    /// The fastest-TBT valid design.
+    #[must_use]
+    pub fn best_tbt(&self) -> Option<&EvaluatedDesign> {
+        self.best_tbt_idx.map(|i| &self.designs[i])
+    }
+
+    /// Fractional TTFT improvement of the best valid design over the
+    /// baseline (positive = faster than the A100). 0 when nothing valid.
+    #[must_use]
+    pub fn best_ttft_improvement(&self) -> f64 {
+        self.best_ttft().map_or(0.0, |d| 1.0 - d.ttft_s / self.baseline.ttft_s)
+    }
+
+    /// Fractional TBT improvement of the best valid design.
+    #[must_use]
+    pub fn best_tbt_improvement(&self) -> f64 {
+        self.best_tbt().map_or(0.0, |d| 1.0 - d.tbt_s / self.baseline.tbt_s)
+    }
+}
+
+fn build_report(
+    baseline: A100Baseline,
+    designs: Vec<EvaluatedDesign>,
+    valid: impl Fn(&EvaluatedDesign) -> bool,
+    count_pd: bool,
+) -> OptimizationReport {
+    let reticle_violations = designs.iter().filter(|d| !d.within_reticle).count();
+    let pd_violations = if count_pd {
+        designs.iter().filter(|d| !d.pd_unregulated_2023).count()
+    } else {
+        0
+    };
+    let argmin = |key: fn(&EvaluatedDesign) -> f64| -> Option<usize> {
+        designs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| valid(d))
+            .min_by(|(_, a), (_, b)| key(a).total_cmp(&key(b)))
+            .map(|(i, _)| i)
+    };
+    let best_ttft_idx = argmin(|d| d.ttft_s);
+    let best_tbt_idx = argmin(|d| d.tbt_s);
+    OptimizationReport {
+        baseline,
+        designs,
+        best_ttft_idx,
+        best_tbt_idx,
+        reticle_violations,
+        pd_violations,
+    }
+}
+
+/// §4.2: explore the Table-3 design space under the October 2022 rule
+/// (TPP ≈ 4800, device bandwidth 600 GB/s) and pick the fastest
+/// manufacturable (single-die, reticle-fitting) designs.
+#[must_use]
+pub fn optimize_oct2022(model: &ModelConfig, workload: &WorkloadConfig) -> OptimizationReport {
+    let baseline = A100Baseline::simulate(model, workload);
+    let runner = DseRunner::new(model.clone(), *workload);
+    let designs = runner.run(&SweepSpec::table3_fig6(), 4800.0);
+    build_report(baseline, designs, |d| d.within_reticle, false)
+}
+
+/// §4.3: explore the Table-3 design space at one of the October 2023
+/// rule's TPP tiers (1600, 2400, or 4800) and pick the fastest designs
+/// that fit the reticle *and* escape the rule entirely (NAC eligibility
+/// is not relied upon, §4.3).
+#[must_use]
+pub fn optimize_oct2023(
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    tpp_tier: f64,
+) -> OptimizationReport {
+    let baseline = A100Baseline::simulate(model, workload);
+    let runner = DseRunner::new(model.clone(), *workload);
+    let designs = runner.run(&SweepSpec::table3_fig7(), tpp_tier);
+    build_report(baseline, designs, EvaluatedDesign::valid_2023, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt3() -> ModelConfig {
+        ModelConfig::gpt3_175b()
+    }
+
+    fn work() -> WorkloadConfig {
+        WorkloadConfig::paper_default()
+    }
+
+    #[test]
+    fn oct2022_finds_decode_improvements_like_the_paper() {
+        // §4.2: "GPT-3's optimized design decreases TTFT by 1.2% and TBT
+        // by 27% compared to an A100 baseline."
+        let report = optimize_oct2022(&gpt3(), &work());
+        assert_eq!(report.designs.len(), 512);
+        let tbt_gain = report.best_tbt_improvement();
+        assert!(tbt_gain > 0.15 && tbt_gain < 0.40, "TBT gain = {tbt_gain}");
+        // TTFT gains are small but the best design should not be much
+        // slower than the baseline.
+        let ttft_gain = report.best_ttft_improvement();
+        assert!(ttft_gain > -0.05 && ttft_gain < 0.15, "TTFT gain = {ttft_gain}");
+    }
+
+    #[test]
+    fn oct2022_best_designs_use_max_memory_bandwidth() {
+        let report = optimize_oct2022(&gpt3(), &work());
+        let best = report.best_tbt().unwrap();
+        assert_eq!(best.params.hbm_tb_s, 3.2, "decode optimum maxes memory bandwidth");
+        assert!(best.within_reticle);
+    }
+
+    #[test]
+    fn oct2023_4800_tier_has_no_valid_designs() {
+        // §4.3: "The low performance density requirement make all 4800
+        // TPP designs invalid."
+        let report = optimize_oct2023(&gpt3(), &work(), 4800.0);
+        assert_eq!(report.best_ttft_idx, None);
+        assert_eq!(report.best_tbt_idx, None);
+        assert_eq!(report.pd_violations, report.designs.len());
+    }
+
+    #[test]
+    fn oct2023_2400_tier_ttft_is_much_slower_than_a100() {
+        // §4.3: fastest compliant 2400-TPP TTFT is ~79% slower (GPT-3).
+        let report = optimize_oct2023(&gpt3(), &work(), 2400.0);
+        let best = report.best_ttft().expect("some 2400 designs are valid");
+        let slowdown = best.ttft_s / report.baseline.ttft_s - 1.0;
+        assert!(slowdown > 0.4, "slowdown = {slowdown}");
+        assert!(best.valid_2023());
+        // But decode still improves (§4.3: 26.1% faster for 2400 TPP).
+        let tbt_gain = report.best_tbt_improvement();
+        assert!(tbt_gain > 0.1, "TBT gain = {tbt_gain}");
+    }
+
+    #[test]
+    fn oct2023_2400_tier_filters_most_designs() {
+        // §4.4: of 1536 points, only ~56 valid; ~1429 violate PD and ~51
+        // violate the reticle. Our area model shifts the split somewhat,
+        // but PD must dominate and valid designs must be scarce.
+        let report = optimize_oct2023(&gpt3(), &work(), 2400.0);
+        let valid = report.designs.iter().filter(|d| d.valid_2023()).count();
+        assert!(valid > 0 && valid < 300, "valid = {valid}");
+        assert!(report.pd_violations > 1000, "pd = {}", report.pd_violations);
+    }
+}

@@ -1,0 +1,384 @@
+//! The curated device datasets.
+//!
+//! Specifications are approximate public datasheet/database numbers. The
+//! 65-device set is curated so the paper's Figure 9/10 headline counts
+//! reproduce; the exact roster the authors scraped is not published, so
+//! minor SKU membership differs (documented in EXPERIMENTS.md).
+
+use crate::record::{DeviceRecord, Vendor};
+use acs_policy::MarketSegment;
+use serde::Serialize;
+
+use MarketSegment::{DataCenter as DC, NonDataCenter as NDC};
+use Vendor::{Amd, Nvidia};
+
+/// Terse record constructor for the tables below.
+#[allow(clippy::too_many_arguments)]
+const fn rec(
+    name: &'static str,
+    vendor: Vendor,
+    year: u16,
+    market: MarketSegment,
+    tpp: f64,
+    device_bw_gb_s: f64,
+    die_area_mm2: f64,
+    mem_gib: f64,
+    mem_bw_gb_s: f64,
+) -> DeviceRecord {
+    DeviceRecord {
+        name,
+        vendor,
+        year,
+        market,
+        tpp,
+        device_bw_gb_s,
+        die_area_mm2,
+        non_planar: true,
+        mem_gib,
+        mem_bw_gb_s,
+    }
+}
+
+/// The named flagship devices of Figures 1 and 2 (vendor datasheets).
+#[must_use]
+pub fn fig1_devices() -> Vec<DeviceRecord> {
+    vec![
+        rec("A100 80GB", Nvidia, 2020, DC, 4992.0, 600.0, 826.0, 80.0, 2039.0),
+        rec("A800 80GB", Nvidia, 2022, DC, 4992.0, 400.0, 826.0, 80.0, 2039.0),
+        rec("A30", Nvidia, 2021, DC, 2640.0, 400.0, 826.0, 24.0, 933.0),
+        rec("H100 SXM", Nvidia, 2023, DC, 15824.0, 900.0, 814.0, 80.0, 3350.0),
+        rec("H800", Nvidia, 2023, DC, 15824.0, 400.0, 814.0, 80.0, 3350.0),
+        rec("H20", Nvidia, 2023, DC, 2368.0, 900.0, 814.0, 96.0, 4000.0),
+        rec("L40", Nvidia, 2022, DC, 2896.0, 32.0, 608.5, 48.0, 864.0),
+        rec("L20", Nvidia, 2023, DC, 1912.0, 32.0, 608.5, 48.0, 864.0),
+        rec("L4", Nvidia, 2023, DC, 1936.0, 32.0, 294.5, 24.0, 300.0),
+        rec("L2", Nvidia, 2023, DC, 1624.0, 32.0, 294.5, 24.0, 300.0),
+        rec("MI210", Amd, 2021, DC, 2896.0, 300.0, 724.0, 64.0, 1638.0),
+        rec("MI250X", Amd, 2021, DC, 6128.0, 800.0, 1448.0, 128.0, 3277.0),
+        rec("MI300X", Amd, 2023, DC, 20918.0, 1024.0, 3100.0, 192.0, 5300.0),
+    ]
+}
+
+/// Post-paper frontier devices (2024–2025), for forward-looking studies:
+/// how the October 2023 thresholds treat the Blackwell/RDNA4 generation.
+/// Specs are approximate public numbers; several were announced after the
+/// paper's data cut.
+#[must_use]
+pub fn frontier_2025() -> Vec<DeviceRecord> {
+    vec![
+        // H200: H100 silicon with 141 GiB HBM3e — classification identical
+        // to the H100.
+        rec("H200", Nvidia, 2024, DC, 15824.0, 900.0, 814.0, 141.0, 4800.0),
+        // B200: dual ~800 mm² dies, ~2250 dense FP16 TFLOPS aggregate.
+        rec("B200", Nvidia, 2024, DC, 36000.0, 1800.0, 1600.0, 192.0, 8000.0),
+        // GB300-class single-package accelerator (projected figures).
+        rec("B300", Nvidia, 2025, DC, 45000.0, 1800.0, 1660.0, 288.0, 8000.0),
+        // RTX 5090: GB202, ~419 dense FP16 tensor TFLOPS.
+        rec("RTX 5090", Nvidia, 2025, NDC, 6704.0, 64.0, 750.0, 32.0, 1792.0),
+        // RTX 5090D: the China-market variant sized under the NAC floor.
+        rec("RTX 5090D", Nvidia, 2025, NDC, 4699.0, 64.0, 750.0, 32.0, 1792.0),
+        // RTX 5080.
+        rec("RTX 5080", Nvidia, 2025, NDC, 3596.0, 64.0, 378.0, 16.0, 960.0),
+        // AMD MI355X-class CDNA4 part (projected figures).
+        rec("MI355X", Amd, 2025, DC, 40000.0, 1024.0, 3200.0, 288.0, 8000.0),
+        // RX 9070 XT: RDNA4 flagship.
+        rec("RX 9070 XT", Amd, 2025, NDC, 3133.0, 64.0, 357.0, 16.0, 640.0),
+    ]
+}
+
+/// A queryable set of device records.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuDatabase {
+    records: Vec<DeviceRecord>,
+}
+
+impl GpuDatabase {
+    /// Build a database from arbitrary records.
+    #[must_use]
+    pub fn new(records: Vec<DeviceRecord>) -> Self {
+        GpuDatabase { records }
+    }
+
+    /// The 65-device 2018–2024 set of the paper's §5.2 study:
+    /// 14 data-center-marketed and 51 consumer/workstation devices.
+    #[must_use]
+    pub fn curated_65() -> Self {
+        let records = vec![
+            // --- data center (14) ---
+            rec("A100 40GB", Nvidia, 2020, DC, 4992.0, 600.0, 826.0, 40.0, 1555.0),
+            rec("A100 80GB", Nvidia, 2020, DC, 4992.0, 600.0, 826.0, 80.0, 2039.0),
+            rec("A800 80GB", Nvidia, 2022, DC, 4992.0, 400.0, 826.0, 80.0, 2039.0),
+            rec("A40", Nvidia, 2020, DC, 2395.0, 112.5, 628.0, 48.0, 696.0),
+            rec("H100 SXM", Nvidia, 2023, DC, 15824.0, 900.0, 814.0, 80.0, 3350.0),
+            rec("H800", Nvidia, 2023, DC, 15824.0, 400.0, 814.0, 80.0, 3350.0),
+            rec("H20", Nvidia, 2023, DC, 2368.0, 900.0, 814.0, 96.0, 4000.0),
+            rec("L40", Nvidia, 2022, DC, 2896.0, 32.0, 608.5, 48.0, 864.0),
+            rec("L20", Nvidia, 2023, DC, 1912.0, 32.0, 608.5, 48.0, 864.0),
+            rec("L4", Nvidia, 2023, DC, 1936.0, 32.0, 294.5, 24.0, 300.0),
+            rec("L2", Nvidia, 2023, DC, 1624.0, 32.0, 294.5, 24.0, 300.0),
+            rec("MI250X", Amd, 2021, DC, 6128.0, 800.0, 1448.0, 128.0, 3277.0),
+            rec("MI300X", Amd, 2023, DC, 20918.0, 1024.0, 3100.0, 192.0, 5300.0),
+            rec("MI325X", Amd, 2024, DC, 20918.0, 1024.0, 3100.0, 256.0, 6000.0),
+            // --- GeForce Turing (8) ---
+            rec("RTX 2060", Nvidia, 2019, NDC, 826.0, 16.0, 445.0, 6.0, 336.0),
+            rec("RTX 2060 Super", Nvidia, 2019, NDC, 918.0, 16.0, 445.0, 8.0, 448.0),
+            rec("RTX 2070", Nvidia, 2018, NDC, 955.0, 16.0, 445.0, 8.0, 448.0),
+            rec("RTX 2070 Super", Nvidia, 2019, NDC, 1161.0, 16.0, 545.0, 8.0, 448.0),
+            rec("RTX 2080", Nvidia, 2018, NDC, 1288.0, 16.0, 545.0, 8.0, 448.0),
+            rec("RTX 2080 Super", Nvidia, 2019, NDC, 1427.0, 16.0, 545.0, 8.0, 496.0),
+            rec("RTX 2080 Ti", Nvidia, 2018, NDC, 1722.0, 16.0, 754.0, 11.0, 616.0),
+            rec("Titan RTX", Nvidia, 2018, NDC, 2088.0, 16.0, 754.0, 24.0, 672.0),
+            // --- GTX 16 series, no tensor cores (5) ---
+            rec("GTX 1660", Nvidia, 2019, NDC, 160.0, 16.0, 284.0, 6.0, 192.0),
+            rec("GTX 1660 Super", Nvidia, 2019, NDC, 161.0, 16.0, 284.0, 6.0, 336.0),
+            rec("GTX 1660 Ti", Nvidia, 2019, NDC, 176.0, 16.0, 284.0, 6.0, 288.0),
+            rec("GTX 1650", Nvidia, 2019, NDC, 95.0, 16.0, 200.0, 4.0, 128.0),
+            rec("GTX 1650 Super", Nvidia, 2019, NDC, 142.0, 16.0, 284.0, 4.0, 192.0),
+            // --- GeForce Ampere (10) ---
+            rec("RTX 3050", Nvidia, 2022, NDC, 291.0, 32.0, 276.0, 8.0, 224.0),
+            rec("RTX 3060", Nvidia, 2021, NDC, 406.0, 32.0, 276.0, 12.0, 360.0),
+            rec("RTX 3060 Ti", Nvidia, 2020, NDC, 518.0, 32.0, 392.0, 8.0, 448.0),
+            rec("RTX 3070", Nvidia, 2020, NDC, 650.0, 32.0, 392.0, 8.0, 448.0),
+            rec("RTX 3070 Ti", Nvidia, 2021, NDC, 696.0, 32.0, 392.0, 8.0, 608.0),
+            rec("RTX 3080", Nvidia, 2020, NDC, 952.0, 32.0, 628.0, 10.0, 760.0),
+            rec("RTX 3080 12GB", Nvidia, 2022, NDC, 979.0, 32.0, 628.0, 12.0, 912.0),
+            rec("RTX 3080 Ti", Nvidia, 2021, NDC, 1091.0, 32.0, 628.0, 12.0, 912.0),
+            rec("RTX 3090", Nvidia, 2020, NDC, 1136.0, 32.0, 628.0, 24.0, 936.0),
+            rec("RTX 3090 Ti", Nvidia, 2022, NDC, 1280.0, 32.0, 628.0, 24.0, 1008.0),
+            // --- GeForce Ada (8) ---
+            rec("RTX 4060", Nvidia, 2023, NDC, 968.0, 32.0, 159.0, 8.0, 272.0),
+            rec("RTX 4060 Ti", Nvidia, 2023, NDC, 1413.0, 32.0, 188.0, 8.0, 288.0),
+            rec("RTX 4070", Nvidia, 2023, NDC, 1866.0, 32.0, 294.5, 12.0, 504.0),
+            rec("RTX 4070 Ti", Nvidia, 2023, NDC, 2566.0, 32.0, 294.5, 12.0, 504.0),
+            rec("RTX 4080", Nvidia, 2022, NDC, 3118.0, 32.0, 379.0, 16.0, 717.0),
+            rec("RTX 4080 Super", Nvidia, 2024, NDC, 3342.0, 32.0, 379.0, 16.0, 736.0),
+            rec("RTX 4090", Nvidia, 2022, NDC, 5285.0, 32.0, 608.5, 24.0, 1008.0),
+            rec("RTX 4090D", Nvidia, 2023, NDC, 4708.0, 32.0, 608.5, 24.0, 1008.0),
+            // --- workstation (10) ---
+            rec("Quadro GV100", Nvidia, 2018, NDC, 1894.0, 16.0, 815.0, 32.0, 870.0),
+            rec("Quadro RTX 4000", Nvidia, 2018, NDC, 912.0, 16.0, 545.0, 8.0, 416.0),
+            rec("Quadro RTX 5000", Nvidia, 2018, NDC, 1427.0, 16.0, 545.0, 16.0, 448.0),
+            rec("Quadro RTX 6000", Nvidia, 2018, NDC, 2088.0, 16.0, 754.0, 24.0, 672.0),
+            rec("RTX A2000", Nvidia, 2021, NDC, 256.0, 32.0, 276.0, 6.0, 288.0),
+            rec("RTX A4000", Nvidia, 2021, NDC, 614.0, 32.0, 392.0, 16.0, 448.0),
+            rec("RTX A4500", Nvidia, 2021, NDC, 758.0, 32.0, 628.0, 20.0, 640.0),
+            rec("RTX A5000", Nvidia, 2021, NDC, 890.0, 32.0, 628.0, 24.0, 768.0),
+            rec("RTX 4000 SFF Ada", Nvidia, 2023, NDC, 1229.0, 32.0, 294.5, 20.0, 280.0),
+            rec("RTX 2000 Ada", Nvidia, 2024, NDC, 768.0, 32.0, 159.0, 16.0, 224.0),
+            // --- AMD consumer (9) ---
+            rec("Radeon VII", Amd, 2019, NDC, 430.0, 16.0, 331.0, 16.0, 1024.0),
+            rec("RX 5700 XT", Amd, 2019, NDC, 312.0, 32.0, 251.0, 8.0, 448.0),
+            rec("RX 6600 XT", Amd, 2021, NDC, 339.0, 32.0, 237.0, 8.0, 256.0),
+            rec("RX 6700 XT", Amd, 2021, NDC, 422.0, 32.0, 336.0, 12.0, 384.0),
+            rec("RX 6800 XT", Amd, 2020, NDC, 664.0, 32.0, 520.0, 16.0, 512.0),
+            rec("RX 6900 XT", Amd, 2020, NDC, 738.0, 32.0, 520.0, 16.0, 512.0),
+            rec("RX 6950 XT", Amd, 2022, NDC, 757.0, 32.0, 520.0, 16.0, 576.0),
+            rec("RX 7600", Amd, 2023, NDC, 344.0, 32.0, 204.0, 8.0, 288.0),
+            rec("RX 7900 XT", Amd, 2022, NDC, 1654.0, 32.0, 487.5, 20.0, 800.0),
+            rec("RX 7900 XTX", Amd, 2022, NDC, 1965.0, 32.0, 525.0, 24.0, 960.0),
+        ];
+        GpuDatabase { records }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceRecord> {
+        self.records.iter()
+    }
+
+    /// Find a device by case-insensitive substring.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&DeviceRecord> {
+        let needle = name.to_ascii_lowercase();
+        self.records.iter().find(|r| r.name.to_ascii_lowercase().contains(&needle))
+    }
+
+    /// Devices in a market segment.
+    #[must_use]
+    pub fn by_market(&self, market: MarketSegment) -> Vec<&DeviceRecord> {
+        self.records.iter().filter(|r| r.market == market).collect()
+    }
+
+    /// Devices from a vendor.
+    #[must_use]
+    pub fn by_vendor(&self, vendor: Vendor) -> Vec<&DeviceRecord> {
+        self.records.iter().filter(|r| r.vendor == vendor).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a GpuDatabase {
+    type Item = &'a DeviceRecord;
+    type IntoIter = std::slice::Iter<'a, DeviceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_policy::{Acr2022, Acr2023, Classification};
+
+    #[test]
+    fn curated_set_has_paper_composition() {
+        // §5.2: "65 GPUs released by AMD and NVIDIA between 2018 and 2024;
+        // 14 devices are marketed as data center devices, and 51 are
+        // marketed as consumer or workstation devices."
+        let db = GpuDatabase::curated_65();
+        assert_eq!(db.len(), 65);
+        assert_eq!(db.by_market(DC).len(), 14);
+        assert_eq!(db.by_market(NDC).len(), 51);
+        for r in &db {
+            assert!((2018..=2024).contains(&r.year), "{}: {}", r.name, r.year);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let db = GpuDatabase::curated_65();
+        let mut names: Vec<_> = db.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 65);
+    }
+
+    #[test]
+    fn find_is_case_insensitive_substring() {
+        let db = GpuDatabase::curated_65();
+        assert_eq!(db.find("rtx 4090").unwrap().name, "RTX 4090");
+        assert!(db.find("no such device").is_none());
+    }
+
+    #[test]
+    fn fig1_roster_matches_figure() {
+        let named = fig1_devices();
+        assert_eq!(named.len(), 13);
+        for expected in
+            ["A100", "A800", "A30", "H100", "H800", "H20", "L40", "L20", "L4", "L2", "MI210", "MI250X", "MI300X"]
+        {
+            assert!(
+                named.iter().any(|r| r.name.contains(expected)),
+                "missing {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1a_classifications_match_paper() {
+        let rule = Acr2022::default();
+        let named = fig1_devices();
+        let class = |n: &str| {
+            let rec = named
+                .iter()
+                .find(|r| r.name == n)
+                .or_else(|| named.iter().find(|r| r.name.contains(n)))
+                .unwrap();
+            rule.classify(&rec.to_metrics())
+        };
+        for licensed in ["A100", "H100 SXM", "MI250X", "MI300X"] {
+            assert_eq!(class(licensed), Classification::LicenseRequired, "{licensed}");
+        }
+        for free in ["A800", "H800", "A30", "H20", "MI210", "L40"] {
+            assert_eq!(class(free), Classification::NotApplicable, "{free}");
+        }
+    }
+
+    #[test]
+    fn fig1b_classifications_match_paper() {
+        let rule = Acr2023::default();
+        let named = fig1_devices();
+        let class = |n: &str| {
+            let rec = named
+                .iter()
+                .find(|r| r.name == n)
+                .or_else(|| named.iter().find(|r| r.name.contains(n)))
+                .unwrap();
+            rule.classify(&rec.to_metrics())
+        };
+        for licensed in ["A100", "A800", "H100 SXM", "H800", "MI250X", "MI300X", "L4"] {
+            assert_eq!(class(licensed), Classification::LicenseRequired, "{licensed}");
+        }
+        for nac in ["A30", "MI210", "L40", "L2"] {
+            assert_eq!(class(nac), Classification::NacEligible, "{nac}");
+        }
+        // The China-specific H20 and L20 escape the October 2023 rule.
+        for free in ["H20", "L20"] {
+            assert_eq!(class(free), Classification::NotApplicable, "{free}");
+        }
+    }
+
+    #[test]
+    fn all_records_have_positive_specs() {
+        for r in &GpuDatabase::curated_65() {
+            assert!(r.tpp > 0.0, "{}", r.name);
+            assert!(r.die_area_mm2 > 0.0, "{}", r.name);
+            assert!(r.mem_gib > 0.0, "{}", r.name);
+            assert!(r.mem_bw_gb_s > 0.0, "{}", r.name);
+            assert!(r.device_bw_gb_s > 0.0, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn rtx_4090_matches_paper_quoted_specs() {
+        // §2.2: "RTX 4090 gaming GPU (5285 TPP, 32 GB/s, 8.68 PD)".
+        let db = GpuDatabase::curated_65();
+        let r = db.find("RTX 4090").unwrap();
+        assert_eq!(r.tpp, 5285.0);
+        assert_eq!(r.device_bw_gb_s, 32.0);
+        let pd = r.performance_density().unwrap();
+        assert!((pd - 8.68).abs() < 0.05, "pd = {pd}");
+    }
+
+    #[test]
+    fn frontier_2025_classifications_are_forward_consistent() {
+        let rule = Acr2023::default();
+        let frontier = frontier_2025();
+        let class = |n: &str| {
+            let rec = frontier
+                .iter()
+                .find(|r| r.name == n)
+                .unwrap_or_else(|| panic!("missing {n}"));
+            rule.classify(&rec.to_metrics())
+        };
+        // Every Blackwell-class data-center part is far over 4800 TPP.
+        for licensed in ["H200", "B200", "B300", "MI355X"] {
+            assert_eq!(class(licensed), Classification::LicenseRequired, "{licensed}");
+        }
+        // The 5090 repeats the 4090's story: consumer NAC…
+        assert_eq!(class("RTX 5090"), Classification::NacEligible);
+        // …and its D variant is again sized just under the floor.
+        assert_eq!(class("RTX 5090D"), Classification::NotApplicable);
+        assert_eq!(class("RTX 5080"), Classification::NotApplicable);
+        assert_eq!(class("RX 9070 XT"), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn frontier_records_are_well_formed() {
+        for r in frontier_2025() {
+            assert!(r.tpp > 0.0 && r.die_area_mm2 > 0.0 && r.mem_bw_gb_s > 0.0, "{}", r.name);
+            assert!((2024..=2025).contains(&r.year), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn a800_pd_matches_paper() {
+        // §2.2: A800 PD 6.04; H800 PD 19.45.
+        let db = GpuDatabase::curated_65();
+        let a800 = db.find("A800").unwrap().performance_density().unwrap();
+        assert!((a800 - 6.04).abs() < 0.05);
+        let h800 = db.find("H800").unwrap().performance_density().unwrap();
+        assert!((h800 - 19.45).abs() < 0.1);
+    }
+}

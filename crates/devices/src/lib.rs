@@ -1,0 +1,34 @@
+//! Curated database of real NVIDIA/AMD GPUs (2018–2024) with the
+//! specifications export-control rules reference.
+//!
+//! Two datasets are provided, mirroring the paper's two data sources:
+//!
+//! * [`fig1_devices`] — the named flagship devices of Figures 1 and 2
+//!   (vendor datasheets / whitepapers).
+//! * [`GpuDatabase::curated_65`] — the 65-device set behind the
+//!   marketing-vs-architecture classification study of Figures 9 and 10
+//!   (14 data-center-marketed, 51 consumer/workstation). Specifications
+//!   are approximate public numbers; the set is curated so the paper's
+//!   headline classification counts reproduce. TPP values use the
+//!   highest dense `TOPS × bitwidth` product each device datasheet
+//!   supports (FP16 tensor throughput for tensor-core devices, packed
+//!   FP16 vector throughput otherwise).
+//!
+//! # Example
+//!
+//! ```
+//! use acs_devices::GpuDatabase;
+//! use acs_policy::{Acr2023, Classification};
+//!
+//! let db = GpuDatabase::curated_65();
+//! assert_eq!(db.len(), 65);
+//! let rtx4090 = db.find("RTX 4090").unwrap();
+//! let class = Acr2023::default().classify(&rtx4090.to_metrics());
+//! assert_eq!(class, Classification::NacEligible);
+//! ```
+
+pub mod database;
+pub mod record;
+
+pub use database::{fig1_devices, frontier_2025, GpuDatabase};
+pub use record::{DeviceRecord, Vendor};

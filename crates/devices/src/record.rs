@@ -1,0 +1,133 @@
+//! A single real-device record.
+
+use acs_policy::{DeviceMetrics, MarketSegment};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GPU vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA Corporation.
+    Nvidia,
+    /// Advanced Micro Devices.
+    Amd,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::Nvidia => write!(f, "NVIDIA"),
+            Vendor::Amd => write!(f, "AMD"),
+        }
+    }
+}
+
+/// Public specifications of one shipped GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRecord {
+    /// Product name.
+    pub name: &'static str,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Launch year.
+    pub year: u16,
+    /// Marketed segment.
+    pub market: MarketSegment,
+    /// Total Processing Performance (max dense `TOPS × bitwidth`).
+    pub tpp: f64,
+    /// Aggregate bidirectional device-to-device bandwidth in GB/s
+    /// (NVLink/Infinity-Fabric class, or the PCIe link otherwise).
+    pub device_bw_gb_s: f64,
+    /// Total die area in mm² (all dies in the package).
+    pub die_area_mm2: f64,
+    /// Whether the dies are non-planar (FinFET/GAA) — true for every
+    /// device in this era's database, kept explicit for the PD rule.
+    pub non_planar: bool,
+    /// Memory capacity in GiB.
+    pub mem_gib: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gb_s: f64,
+}
+
+impl DeviceRecord {
+    /// Convert to the policy engine's input type.
+    #[must_use]
+    pub fn to_metrics(&self) -> DeviceMetrics {
+        DeviceMetrics::new(
+            self.name,
+            self.tpp,
+            self.device_bw_gb_s,
+            self.die_area_mm2,
+            self.non_planar,
+            self.market,
+        )
+        .with_memory(self.mem_gib, self.mem_bw_gb_s)
+    }
+
+    /// Performance density (TPP / die area) for non-planar devices.
+    #[must_use]
+    pub fn performance_density(&self) -> Option<f64> {
+        self.to_metrics().performance_density().map(|p| p.0)
+    }
+}
+
+impl fmt::Display for DeviceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({}, {}): TPP {:.0}, {:.0} GB/s dev, {:.0} mm2, {:.0} GiB @ {:.0} GB/s",
+            self.vendor,
+            self.name,
+            self.year,
+            self.market,
+            self.tpp,
+            self.device_bw_gb_s,
+            self.die_area_mm2,
+            self.mem_gib,
+            self.mem_bw_gb_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceRecord {
+        DeviceRecord {
+            name: "A100 80GB",
+            vendor: Vendor::Nvidia,
+            year: 2020,
+            market: MarketSegment::DataCenter,
+            tpp: 4992.0,
+            device_bw_gb_s: 600.0,
+            die_area_mm2: 826.0,
+            non_planar: true,
+            mem_gib: 80.0,
+            mem_bw_gb_s: 2039.0,
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_core_fields() {
+        let r = sample();
+        let m = r.to_metrics();
+        assert_eq!(m.name(), "A100 80GB");
+        assert_eq!(m.tpp().0, 4992.0);
+        assert_eq!(m.mem_capacity_gib(), 80.0);
+        assert_eq!(m.market(), MarketSegment::DataCenter);
+    }
+
+    #[test]
+    fn a100_pd_matches_public_figure() {
+        let pd = sample().performance_density().unwrap();
+        assert!((pd - 6.04).abs() < 0.05);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("NVIDIA"));
+        assert!(s.contains("A100"));
+    }
+}

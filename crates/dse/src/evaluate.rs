@@ -1,0 +1,299 @@
+//! Design-point evaluation: latency, area, compliance, and cost.
+
+use crate::sweeps::SweepSpec;
+use acs_hw::{AreaModel, CostModel, DeviceConfig, SystemConfig, RETICLE_LIMIT_MM2};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_policy::Acr2023;
+use acs_sim::{SimParams, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// The swept architectural parameters of one design, kept alongside its
+/// results so distributions can be grouped by a fixed parameter
+/// (Figures 11 and 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweptParams {
+    /// Square systolic dimension.
+    pub systolic_dim: u32,
+    /// Lanes per core.
+    pub lanes_per_core: u32,
+    /// Core count (solved from the TPP ceiling).
+    pub core_count: u32,
+    /// L1 per core in KiB.
+    pub l1_kib: u32,
+    /// L2 in MiB.
+    pub l2_mib: u32,
+    /// HBM bandwidth in TB/s.
+    pub hbm_tb_s: f64,
+    /// Device bandwidth in GB/s.
+    pub device_bw_gb_s: f64,
+}
+
+impl SweptParams {
+    /// Extract the swept parameters from a configuration.
+    #[must_use]
+    pub fn of(config: &DeviceConfig) -> Self {
+        SweptParams {
+            systolic_dim: config.systolic().x,
+            lanes_per_core: config.lanes_per_core(),
+            core_count: config.core_count(),
+            l1_kib: config.l1_kib_per_core(),
+            l2_mib: config.l2_mib(),
+            hbm_tb_s: config.hbm().bandwidth_tb_s(),
+            device_bw_gb_s: config.phy().total_gb_s(),
+        }
+    }
+}
+
+/// One fully evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedDesign {
+    /// Design name.
+    pub name: String,
+    /// The swept parameters.
+    pub params: SweptParams,
+    /// Achieved TPP (just under the sweep's ceiling).
+    pub tpp: f64,
+    /// Modelled die area in mm².
+    pub die_area_mm2: f64,
+    /// Performance density (TPP / area).
+    pub perf_density: f64,
+    /// Raw silicon die cost in USD.
+    pub die_cost_usd: f64,
+    /// Yield-adjusted cost per good die in USD.
+    pub good_die_cost_usd: f64,
+    /// Per-layer prefill latency in seconds (TTFT).
+    pub ttft_s: f64,
+    /// Per-layer, per-token decode latency in seconds (TBT).
+    pub tbt_s: f64,
+    /// Whether the die fits the 860 mm² reticle.
+    pub within_reticle: bool,
+    /// Whether the design escapes the October 2023 data-center rule
+    /// entirely (the DSE's compliance target, §4.3).
+    pub pd_unregulated_2023: bool,
+}
+
+impl EvaluatedDesign {
+    /// TTFT × raw die cost (ms·$), Figure 8's y-axis.
+    #[must_use]
+    pub fn ttft_cost_product(&self) -> f64 {
+        self.ttft_s * 1e3 * self.die_cost_usd
+    }
+
+    /// TBT × raw die cost (ms·$).
+    #[must_use]
+    pub fn tbt_cost_product(&self) -> f64 {
+        self.tbt_s * 1e3 * self.die_cost_usd
+    }
+
+    /// Manufacturable and (October 2023) unregulated.
+    #[must_use]
+    pub fn valid_2023(&self) -> bool {
+        self.within_reticle && self.pd_unregulated_2023
+    }
+}
+
+/// Evaluates sweeps of designs for one model/workload pair.
+///
+/// # Example
+///
+/// ```
+/// use acs_dse::{DseRunner, SweepSpec};
+/// use acs_llm::{ModelConfig, WorkloadConfig};
+///
+/// let runner = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+/// let spec = SweepSpec {
+///     hbm_tb_s: vec![2.0, 3.2],
+///     lanes_per_core: vec![4],
+///     l1_kib: vec![192],
+///     l2_mib: vec![40],
+///     systolic_dims: vec![16],
+///     device_bw_gb_s: vec![600.0],
+/// };
+/// let designs = runner.run(&spec, 4800.0);
+/// assert_eq!(designs.len(), 2);
+/// // More memory bandwidth always decodes faster.
+/// assert!(designs[1].tbt_s != designs[0].tbt_s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DseRunner {
+    model: ModelConfig,
+    workload: WorkloadConfig,
+    device_count: u32,
+    area_model: AreaModel,
+    cost_model: CostModel,
+    sim_params: SimParams,
+    rule_2023: Acr2023,
+}
+
+impl DseRunner {
+    /// Runner with the paper's defaults: a 4-device node, the calibrated
+    /// 7 nm area/cost models, and published October 2023 thresholds.
+    #[must_use]
+    pub fn new(model: ModelConfig, workload: WorkloadConfig) -> Self {
+        DseRunner {
+            model,
+            workload,
+            device_count: 4,
+            area_model: AreaModel::n7(),
+            cost_model: CostModel::n7(),
+            sim_params: SimParams::calibrated(),
+            rule_2023: Acr2023::published(),
+        }
+    }
+
+    /// Override the tensor-parallel device count.
+    #[must_use]
+    pub fn with_device_count(mut self, n: u32) -> Self {
+        self.device_count = n;
+        self
+    }
+
+    /// Override the simulator calibration.
+    #[must_use]
+    pub fn with_sim_params(mut self, params: SimParams) -> Self {
+        self.sim_params = params;
+        self
+    }
+
+    /// The model being evaluated.
+    #[must_use]
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Evaluate one configuration.
+    #[must_use]
+    pub fn evaluate(&self, config: &DeviceConfig) -> EvaluatedDesign {
+        let area = self.area_model.die_area(config).total_mm2();
+        let tpp = config.tpp().0;
+        let pd = tpp / area;
+        let system = SystemConfig::new(config.clone(), self.device_count)
+            .expect("device_count is validated nonzero");
+        let sim = Simulator::with_params(system, self.sim_params);
+        EvaluatedDesign {
+            name: config.name().to_owned(),
+            params: SweptParams::of(config),
+            tpp,
+            die_area_mm2: area,
+            perf_density: pd,
+            die_cost_usd: self.cost_model.die_cost_usd(area),
+            good_die_cost_usd: self.cost_model.good_die_cost_usd(area),
+            ttft_s: sim.ttft_s(&self.model, &self.workload),
+            tbt_s: sim.tbt_s(&self.model, &self.workload),
+            within_reticle: area <= RETICLE_LIMIT_MM2,
+            pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
+        }
+    }
+
+    /// Evaluate a whole sweep at a TPP ceiling, in parallel across the
+    /// machine's cores.
+    #[must_use]
+    pub fn run(&self, spec: &SweepSpec, tpp_target: f64) -> Vec<EvaluatedDesign> {
+        let configs = spec.configs(tpp_target);
+        self.run_configs(&configs)
+    }
+
+    /// Evaluate an explicit list of configurations in parallel,
+    /// preserving order.
+    #[must_use]
+    pub fn run_configs(&self, configs: &[DeviceConfig]) -> Vec<EvaluatedDesign> {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(32);
+        let chunk = configs.len().div_ceil(threads.max(1)).max(1);
+        let mut results: Vec<Option<EvaluatedDesign>> = vec![None; configs.len()];
+        std::thread::scope(|scope| {
+            for (configs_chunk, results_chunk) in
+                configs.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (cfg, slot) in configs_chunk.iter().zip(results_chunk.iter_mut()) {
+                        *slot = Some(self.evaluate(cfg));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("all chunks filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> DseRunner {
+        DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default())
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![2, 4],
+            l1_kib: vec![192, 1024],
+            l2_mib: vec![40],
+            hbm_tb_s: vec![2.0, 3.2],
+            device_bw_gb_s: vec![600.0],
+        }
+    }
+
+    #[test]
+    fn run_evaluates_every_feasible_point() {
+        let designs = runner().run(&small_spec(), 4800.0);
+        assert_eq!(designs.len(), 8);
+        for d in &designs {
+            assert!(d.ttft_s > 0.0 && d.tbt_s > 0.0);
+            assert!(d.die_area_mm2 > 100.0);
+            assert!(d.die_cost_usd > 0.0);
+            assert!(d.good_die_cost_usd > d.die_cost_usd);
+            assert!((d.perf_density - d.tpp / d.die_area_mm2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_evaluation() {
+        let r = runner();
+        let configs = small_spec().configs(4800.0);
+        let parallel = r.run_configs(&configs);
+        for (cfg, got) in configs.iter().zip(&parallel) {
+            let serial = r.evaluate(cfg);
+            assert_eq!(&serial, got);
+        }
+    }
+
+    #[test]
+    fn memory_bandwidth_separates_tbt_levels() {
+        // Figure 6b/6e: decode latencies cluster by memory bandwidth.
+        let designs = runner().run(&small_spec(), 4800.0);
+        let slow: Vec<_> = designs.iter().filter(|d| d.params.hbm_tb_s == 2.0).collect();
+        let fast: Vec<_> = designs.iter().filter(|d| d.params.hbm_tb_s == 3.2).collect();
+        let max_fast = fast.iter().map(|d| d.tbt_s).fold(0.0, f64::max);
+        let min_slow = slow.iter().map(|d| d.tbt_s).fold(f64::INFINITY, f64::min);
+        assert!(
+            max_fast < min_slow,
+            "3.2 TB/s designs should all out-decode 2.0 TB/s designs"
+        );
+    }
+
+    #[test]
+    fn pd_compliance_depends_on_area() {
+        // At 2400 TPP, small-die configs violate the PD floor (Fig. 7).
+        let spec = SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![4],
+            l1_kib: vec![192, 1024],
+            l2_mib: vec![48],
+            hbm_tb_s: vec![3.2],
+            device_bw_gb_s: vec![600.0],
+        };
+        let designs = runner().run(&spec, 2400.0);
+        let small_l1 = designs.iter().find(|d| d.params.l1_kib == 192).unwrap();
+        let big_l1 = designs.iter().find(|d| d.params.l1_kib == 1024).unwrap();
+        assert!(!small_l1.pd_unregulated_2023, "PD = {}", small_l1.perf_density);
+        assert!(big_l1.die_area_mm2 > small_l1.die_area_mm2);
+    }
+
+    #[test]
+    fn cost_products_multiply_out() {
+        let d = runner().run(&small_spec(), 4800.0).remove(0);
+        assert!((d.ttft_cost_product() - d.ttft_s * 1e3 * d.die_cost_usd).abs() < 1e-9);
+        assert!((d.tbt_cost_product() - d.tbt_s * 1e3 * d.die_cost_usd).abs() < 1e-9);
+    }
+}

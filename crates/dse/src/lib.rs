@@ -1,0 +1,50 @@
+//! Design-space exploration under advanced computing sanctions.
+//!
+//! Builds the paper's parameter sweeps (Tables 3 and 5), solves each sweep
+//! point's core count against a TPP ceiling (Eq. 1), evaluates every design
+//! with the analytical simulator plus the area/cost models, and provides
+//! the distribution statistics behind the architecture-first-indicator
+//! analysis (Figures 11 and 12).
+//!
+//! # Example
+//!
+//! ```
+//! use acs_dse::prelude::*;
+//! use acs_llm::{ModelConfig, WorkloadConfig};
+//!
+//! // A small custom sweep at the October 2022 TPP ceiling.
+//! let spec = SweepSpec {
+//!     systolic_dims: vec![16],
+//!     lanes_per_core: vec![2, 4],
+//!     l1_kib: vec![192],
+//!     l2_mib: vec![40],
+//!     hbm_tb_s: vec![2.0],
+//!     device_bw_gb_s: vec![600.0],
+//! };
+//! let runner = DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default());
+//! let designs = runner.run(&spec, 4800.0);
+//! assert_eq!(designs.len(), 2);
+//! assert!(designs.iter().all(|d| d.tpp < 4800.0));
+//! ```
+
+pub mod evaluate;
+pub mod packaged;
+pub mod pareto;
+pub mod sensitivity;
+pub mod stats;
+pub mod sweeps;
+
+pub use evaluate::{DseRunner, EvaluatedDesign, SweptParams};
+pub use packaged::{run_packaged, PackagedDesign};
+pub use pareto::pareto_front;
+pub use sensitivity::{elasticities, Elasticity};
+pub use stats::{narrowing_factor, Distribution};
+pub use sweeps::SweepSpec;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::evaluate::{DseRunner, EvaluatedDesign, SweptParams};
+    pub use crate::pareto::pareto_front;
+    pub use crate::stats::{narrowing_factor, Distribution};
+    pub use crate::sweeps::SweepSpec;
+}

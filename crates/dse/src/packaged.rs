@@ -1,0 +1,141 @@
+//! Chiplet-aware design evaluation.
+//!
+//! The monolithic DSE (§4) drops every design over the 860 mm² reticle.
+//! Advanced packaging dissolves that constraint: an over-reticle design
+//! can ship as a multi-chip module, at a packaging premium and a die-to-
+//! die PHY tax. This module re-evaluates a design space with each point
+//! packaged optimally, so the "manufacturable" set — and the best
+//! achievable latencies under a rule — can be compared with and without
+//! chiplets.
+
+use crate::evaluate::{DseRunner, EvaluatedDesign};
+use acs_hw::chiplet::{ChipletPackage, PackagingModel};
+use acs_hw::{AreaModel, CostModel, DeviceConfig, RETICLE_LIMIT_MM2};
+use serde::Serialize;
+
+/// A design realised as its cheapest manufacturable package.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PackagedDesign {
+    /// The monolithic evaluation (latencies, logical metrics).
+    pub design: EvaluatedDesign,
+    /// Chiplets in the chosen package (1 = monolithic).
+    pub chiplets: u32,
+    /// Total package silicon in mm² (includes D2D PHY tax).
+    pub package_area_mm2: f64,
+    /// Package cost in USD (known-good dies + assembly / bond yield).
+    pub package_cost_usd: f64,
+    /// Package-level performance density (TPP / package area).
+    pub package_pd: f64,
+}
+
+impl PackagedDesign {
+    /// Whether each die of the chosen package fits the reticle.
+    #[must_use]
+    pub fn manufacturable(&self) -> bool {
+        self.package_area_mm2 / f64::from(self.chiplets) <= RETICLE_LIMIT_MM2
+    }
+}
+
+/// Evaluate `configs` with optimal packaging over `candidates` chiplet
+/// counts (counts that do not divide a design's cores are skipped for
+/// that design). Performance is taken from the logical (monolithic)
+/// evaluation — the package implements the same architecture; the D2D
+/// hop cost is assumed hidden under the existing interconnect model.
+#[must_use]
+pub fn run_packaged(
+    runner: &DseRunner,
+    configs: &[DeviceConfig],
+    candidates: &[u32],
+    packaging: PackagingModel,
+) -> Vec<PackagedDesign> {
+    let am = AreaModel::n7();
+    let cm = CostModel::n7();
+    let evaluated = runner.run_configs(configs);
+    evaluated
+        .into_iter()
+        .zip(configs)
+        .filter_map(|(design, cfg)| {
+            let best = candidates
+                .iter()
+                .filter_map(|&n| ChipletPackage::new(cfg.clone(), n, packaging).ok())
+                .filter(|p| p.manufacturable(&am))
+                .min_by(|a, b| {
+                    a.package_cost_usd(&am, &cm).total_cmp(&b.package_cost_usd(&am, &cm))
+                })?;
+            let area = best.package_area_mm2(&am);
+            Some(PackagedDesign {
+                package_pd: design.tpp / area,
+                package_cost_usd: best.package_cost_usd(&am, &cm),
+                package_area_mm2: area,
+                chiplets: best.chiplets(),
+                design,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps::SweepSpec;
+    use acs_llm::{ModelConfig, WorkloadConfig};
+
+    fn runner() -> DseRunner {
+        DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default())
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![1, 4],
+            l1_kib: vec![192, 1024],
+            l2_mib: vec![40],
+            hbm_tb_s: vec![2.0, 3.2],
+            device_bw_gb_s: vec![600.0],
+        }
+    }
+
+    #[test]
+    fn packaging_recovers_over_reticle_designs() {
+        let configs = spec().configs(4800.0);
+        let packaged = run_packaged(&runner(), &configs, &[1, 2, 4, 8], PackagingModel::advanced());
+        // Every design gets a manufacturable realisation.
+        assert_eq!(packaged.len(), configs.len());
+        let multi: Vec<_> = packaged.iter().filter(|p| p.chiplets > 1).collect();
+        assert!(!multi.is_empty(), "1-lane 1024K designs exceed the reticle");
+        for p in &packaged {
+            assert!(p.manufacturable());
+            assert!(p.package_cost_usd.is_finite() && p.package_cost_usd > 0.0);
+            // Packaged PD never exceeds the monolithic PD (D2D tax adds area).
+            assert!(p.package_pd <= p.design.perf_density + 1e-9);
+        }
+    }
+
+    #[test]
+    fn monolithic_designs_stay_monolithic_when_cheapest() {
+        // A small design should usually package as 1–2 dies, not 8.
+        let small = DeviceConfig::builder()
+            .core_count(64)
+            .l1_kib_per_core(192)
+            .l2_mib(16)
+            .build()
+            .unwrap();
+        let packaged =
+            run_packaged(&runner(), &[small], &[1, 2, 4, 8], PackagingModel::advanced());
+        assert_eq!(packaged.len(), 1);
+        assert!(packaged[0].chiplets <= 2, "chiplets = {}", packaged[0].chiplets);
+    }
+
+    #[test]
+    fn prime_core_counts_still_package() {
+        // 103 cores is prime: uneven splits fuse off the remainder.
+        let cfg = DeviceConfig::builder().core_count(103).build().unwrap();
+        let packaged =
+            run_packaged(&runner(), &[cfg], &[1, 2, 4], PackagingModel::advanced());
+        assert_eq!(packaged.len(), 1);
+        assert!(packaged[0].manufacturable());
+        // The logical TPP is preserved regardless of the split.
+        let cfg2 = DeviceConfig::builder().core_count(103).build().unwrap();
+        assert!((packaged[0].design.tpp - cfg2.tpp().0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Pareto-front extraction for two-objective design studies
+//! (e.g. TTFT vs TBT in Figures 6c/6f, latency vs cost in Figure 8).
+
+/// Indices of the Pareto-optimal items when minimising both objectives.
+///
+/// An item is on the front when no other item is at least as good in both
+/// objectives and strictly better in one. Non-finite objective values
+/// exclude an item. The returned indices are in input order.
+pub fn pareto_front<T>(
+    items: &[T],
+    obj_a: impl Fn(&T) -> f64,
+    obj_b: impl Fn(&T) -> f64,
+) -> Vec<usize> {
+    let vals: Vec<(f64, f64)> = items.iter().map(|t| (obj_a(t), obj_b(t))).collect();
+    (0..items.len())
+        .filter(|&i| {
+            let (ai, bi) = vals[i];
+            if !ai.is_finite() || !bi.is_finite() {
+                return false;
+            }
+            !vals.iter().enumerate().any(|(j, &(aj, bj))| {
+                j != i
+                    && aj.is_finite()
+                    && bj.is_finite()
+                    && aj <= ai
+                    && bj <= bi
+                    && (aj < ai || bj < bi)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_front() {
+        let pts = [(1.0, 5.0), (2.0, 2.0), (5.0, 1.0), (4.0, 4.0)];
+        let front = pareto_front(&pts, |p| p.0, |p| p.1);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dominated_duplicates_are_kept_together() {
+        // Identical points do not dominate each other.
+        let pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)];
+        let front = pareto_front(&pts, |p| p.0, |p| p.1);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded() {
+        let pts = [(f64::INFINITY, 0.0), (1.0, 1.0)];
+        let front = pareto_front(&pts, |p| p.0, |p| p.1);
+        assert_eq!(front, vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: [(f64, f64); 0] = [];
+        assert!(pareto_front(&pts, |p| p.0, |p| p.1).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        let pts = [(3.0, 3.0)];
+        assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![0]);
+    }
+}

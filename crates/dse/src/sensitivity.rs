@@ -1,0 +1,205 @@
+//! One-at-a-time sensitivity analysis.
+//!
+//! Complements the fixed-parameter distributions of §5.3 with elasticities:
+//! how many percent does a latency move per percent of parameter change,
+//! holding everything else at a reference design? Regulators can read an
+//! elasticity table directly: a knob with near-zero elasticity (device
+//! bandwidth for decoding) is a poor policy lever; one near −1 (memory
+//! bandwidth for decoding) is a precise throttle.
+
+use acs_hw::{DeviceConfig, SystemConfig};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_sim::{SimParams, Simulator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which latency the elasticity is measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Prefill latency.
+    Ttft,
+    /// Decode latency.
+    Tbt,
+}
+
+/// A parameter's measured elasticity on a latency target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Elasticity {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// Latency target.
+    pub target: Target,
+    /// `d ln(latency) / d ln(parameter)` around the reference design
+    /// (negative: increasing the parameter speeds the workload up).
+    pub value: f64,
+}
+
+impl fmt::Display for Elasticity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {:?}: {:+.3}", self.parameter, self.target, self.value)
+    }
+}
+
+fn latency(device: &DeviceConfig, model: &ModelConfig, work: &WorkloadConfig, t: Target) -> f64 {
+    let sim = Simulator::with_params(
+        SystemConfig::quad(device.clone()).expect("quad"),
+        SimParams::calibrated(),
+    );
+    match t {
+        Target::Ttft => sim.ttft_s(model, work),
+        Target::Tbt => sim.tbt_s(model, work),
+    }
+}
+
+/// Central-difference log-log elasticity of each scalable architectural
+/// parameter around `reference`, for `model` under the paper workload.
+///
+/// Parameters are scaled ±25 % (discrete ones to the nearest valid value),
+/// so the figures are local to the reference design.
+#[must_use]
+pub fn elasticities(
+    reference: &DeviceConfig,
+    model: &ModelConfig,
+    work: &WorkloadConfig,
+    target: Target,
+) -> Vec<Elasticity> {
+    let scale = 1.25_f64;
+    let base = latency(reference, model, work, target);
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, up: DeviceConfig, down: DeviceConfig, ratio: f64| {
+        let hi = latency(&up, model, work, target);
+        let lo = latency(&down, model, work, target);
+        let value = (hi / lo).ln() / ratio.ln();
+        debug_assert!(base > 0.0);
+        out.push(Elasticity { parameter: name, target, value });
+    };
+
+    let scaled_u32 = |v: u32, s: f64| ((f64::from(v) * s).round() as u32).max(1);
+
+    push(
+        "core_count",
+        reference.to_builder().core_count(scaled_u32(reference.core_count(), scale)).build().unwrap(),
+        reference
+            .to_builder()
+            .core_count(scaled_u32(reference.core_count(), 1.0 / scale))
+            .build()
+            .unwrap(),
+        f64::from(scaled_u32(reference.core_count(), scale))
+            / f64::from(scaled_u32(reference.core_count(), 1.0 / scale)),
+    );
+    push(
+        "l1_kib_per_core",
+        reference
+            .to_builder()
+            .l1_kib_per_core(scaled_u32(reference.l1_kib_per_core(), scale))
+            .build()
+            .unwrap(),
+        reference
+            .to_builder()
+            .l1_kib_per_core(scaled_u32(reference.l1_kib_per_core(), 1.0 / scale))
+            .build()
+            .unwrap(),
+        f64::from(scaled_u32(reference.l1_kib_per_core(), scale))
+            / f64::from(scaled_u32(reference.l1_kib_per_core(), 1.0 / scale)),
+    );
+    push(
+        "l2_mib",
+        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), scale)).build().unwrap(),
+        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), 1.0 / scale)).build().unwrap(),
+        f64::from(scaled_u32(reference.l2_mib(), scale))
+            / f64::from(scaled_u32(reference.l2_mib(), 1.0 / scale)),
+    );
+    push(
+        "hbm_bandwidth",
+        reference
+            .to_builder()
+            .hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() * scale)
+            .build()
+            .unwrap(),
+        reference
+            .to_builder()
+            .hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() / scale)
+            .build()
+            .unwrap(),
+        scale * scale,
+    );
+    push(
+        "device_bandwidth",
+        reference
+            .to_builder()
+            .device_bandwidth_gb_s(reference.phy().total_gb_s() * scale)
+            .build()
+            .unwrap(),
+        reference
+            .to_builder()
+            .device_bandwidth_gb_s(reference.phy().total_gb_s() / scale)
+            .build()
+            .unwrap(),
+        scale * scale,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> DeviceConfig {
+        DeviceConfig::a100_like()
+    }
+
+    fn by_name<'a>(es: &'a [Elasticity], name: &str) -> &'a Elasticity {
+        es.iter().find(|e| e.parameter == name).unwrap()
+    }
+
+    #[test]
+    fn decode_is_elastic_in_memory_bandwidth_only() {
+        let es = elasticities(
+            &reference(),
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            Target::Tbt,
+        );
+        let hbm = by_name(&es, "hbm_bandwidth").value;
+        assert!(hbm < -0.5, "TBT elasticity on HBM BW = {hbm}");
+        let dev = by_name(&es, "device_bandwidth").value;
+        assert!(dev.abs() < 0.05, "TBT elasticity on device BW = {dev}");
+        let cores = by_name(&es, "core_count").value;
+        assert!(cores.abs() < 0.3, "TBT elasticity on cores = {cores}");
+        assert!(hbm < dev && hbm < cores);
+    }
+
+    #[test]
+    fn prefill_is_elastic_in_compute() {
+        let es = elasticities(
+            &reference(),
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            Target::Ttft,
+        );
+        let cores = by_name(&es, "core_count").value;
+        assert!(cores < -0.5, "TTFT elasticity on cores = {cores}");
+        let hbm = by_name(&es, "hbm_bandwidth").value;
+        assert!(hbm > cores, "prefill cares more about compute than bandwidth");
+        // L1 helps prefill (negative), bounded by its fill/drain role.
+        let l1 = by_name(&es, "l1_kib_per_core").value;
+        assert!(l1 < 0.01, "TTFT elasticity on L1 = {l1}");
+    }
+
+    #[test]
+    fn every_parameter_yields_a_finite_elasticity() {
+        for target in [Target::Ttft, Target::Tbt] {
+            let es = elasticities(
+                &reference(),
+                &ModelConfig::llama3_8b(),
+                &WorkloadConfig::paper_default(),
+                target,
+            );
+            assert_eq!(es.len(), 5);
+            for e in &es {
+                assert!(e.value.is_finite(), "{e}");
+                assert!(e.value.abs() < 3.0, "implausible elasticity: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Distribution statistics for the architecture-first-indicator analysis.
+//!
+//! The paper quantifies how well a constraint predicts performance by how
+//! much it *narrows* a latency distribution: the ratio of the full
+//! design-space range to the fixed-parameter subset's range (e.g.
+//! "42.4× narrower", §5.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Distribution {
+    /// Summarise a sample. Returns `None` for an empty sample or one
+    /// containing non-finite values.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        Some(Distribution {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: quantile(0.25),
+            median: quantile(0.5),
+            q3: quantile(0.75),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+
+    /// Full range (`max − min`).
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} q1={:.4} med={:.4} q3={:.4} max={:.4}",
+            self.count, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// How many times narrower `subset`'s range is than `full`'s
+/// (the paper's "Nx narrower distribution" metric).
+///
+/// Returns infinity when the subset is degenerate (zero range) and the
+/// full range is not.
+#[must_use]
+pub fn narrowing_factor(full: &Distribution, subset: &Distribution) -> f64 {
+    if subset.range() == 0.0 {
+        if full.range() == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        full.range() / subset.range()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let d = Distribution::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.q1, 2.0);
+        assert_eq!(d.q3, 4.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.range(), 4.0);
+        assert_eq!(d.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let d = Distribution::from_samples(&[0.0, 10.0]).unwrap();
+        assert_eq!(d.median, 5.0);
+        assert_eq!(d.q1, 2.5);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Distribution::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Distribution::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_nan_samples_are_rejected() {
+        assert!(Distribution::from_samples(&[]).is_none());
+        assert!(Distribution::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(Distribution::from_samples(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn narrowing_factor_matches_definition() {
+        let full = Distribution::from_samples(&[0.0, 10.0]).unwrap();
+        let sub = Distribution::from_samples(&[4.0, 6.0]).unwrap();
+        assert_eq!(narrowing_factor(&full, &sub), 5.0);
+    }
+
+    #[test]
+    fn degenerate_subset_is_infinitely_narrow() {
+        let full = Distribution::from_samples(&[0.0, 10.0]).unwrap();
+        let point = Distribution::from_samples(&[5.0, 5.0]).unwrap();
+        assert!(narrowing_factor(&full, &point).is_infinite());
+        assert_eq!(narrowing_factor(&point, &point), 1.0);
+    }
+
+    #[test]
+    fn single_sample_distribution() {
+        let d = Distribution::from_samples(&[7.0]).unwrap();
+        assert_eq!(d.min, 7.0);
+        assert_eq!(d.max, 7.0);
+        assert_eq!(d.range(), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Component-level die area model.
+//!
+//! The model sums per-component footprints — systolic-array MACs, vector
+//! ALUs, L1/L2 SRAM, HBM PHYs, device-to-device PHYs, per-core/per-lane
+//! control overhead, and a fixed die overhead — with coefficients
+//! calibrated on TSMC 7 nm so that:
+//!
+//! * the paper's October-2022 GPT-3-optimised design (207 cores × 2 lanes,
+//!   64 MiB L2, 3.2 TB/s HBM) lands at ≈ 856 mm²,
+//! * the Table-4 PD-compliant 2400-TPP design (103 cores, 1 MiB L1/core,
+//!   48 MiB L2) lands at ≈ 753 mm² and its non-compliant twin at ≈ 523 mm².
+//!
+//! Other nodes rescale the logic/SRAM components via
+//! [`ProcessNode::density_scale`]; PHY area is assumed pad-limited and does
+//! not scale.
+
+use crate::config::DeviceConfig;
+use crate::process::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Per-component area coefficients (all mm², 7 nm reference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area of one FP16 systolic MAC unit.
+    pub mac_mm2: f64,
+    /// Area of one FP32 vector ALU.
+    pub vector_alu_mm2: f64,
+    /// L1 (local buffer) SRAM area per MiB, including peripherals.
+    pub l1_mm2_per_mib: f64,
+    /// L2 (global buffer) SRAM area per MiB (denser banking than L1).
+    pub l2_mm2_per_mib: f64,
+    /// HBM PHY + memory controller area per TB/s of bandwidth.
+    pub hbm_phy_mm2_per_tb_s: f64,
+    /// Device-to-device PHY area per GB/s of aggregate bandwidth.
+    pub device_phy_mm2_per_gb_s: f64,
+    /// Per-core control/scheduling overhead.
+    pub core_overhead_mm2: f64,
+    /// Per-lane control, register files, and load/store overhead.
+    pub lane_overhead_mm2: f64,
+    /// Fixed die overhead: crossbar, command processor, misc IP.
+    pub fixed_mm2: f64,
+}
+
+impl AreaModel {
+    /// The calibrated 7 nm model used throughout the reproduction.
+    #[must_use]
+    pub fn n7() -> Self {
+        AreaModel {
+            mac_mm2: 0.0025,
+            vector_alu_mm2: 0.002,
+            l1_mm2_per_mib: 2.4,
+            l2_mm2_per_mib: 1.8,
+            hbm_phy_mm2_per_tb_s: 25.0,
+            device_phy_mm2_per_gb_s: 0.06,
+            core_overhead_mm2: 0.05,
+            lane_overhead_mm2: 0.39,
+            fixed_mm2: 74.0,
+        }
+    }
+
+    /// Compute the area breakdown of a device, rescaling logic and SRAM by
+    /// the device's process node relative to the model's 7 nm reference.
+    #[must_use]
+    pub fn die_area(&self, device: &DeviceConfig) -> AreaBreakdown {
+        let scale = ProcessNode::N7.density_scale() / device.process().density_scale();
+        let lanes_total = f64::from(device.core_count()) * f64::from(device.lanes_per_core());
+        let l1_mib =
+            f64::from(device.core_count()) * f64::from(device.l1_kib_per_core()) / 1024.0;
+
+        let systolic = device.total_macs() as f64 * self.mac_mm2 * scale;
+        let vector =
+            lanes_total * f64::from(device.vector_width()) * self.vector_alu_mm2 * scale;
+        let l1 = l1_mib * self.l1_mm2_per_mib * scale;
+        let l2 = f64::from(device.l2_mib()) * self.l2_mm2_per_mib * scale;
+        let hbm_phy = device.hbm().bandwidth_tb_s() * self.hbm_phy_mm2_per_tb_s;
+        let device_phy = device.phy().total_gb_s() * self.device_phy_mm2_per_gb_s;
+        let control = (f64::from(device.core_count()) * self.core_overhead_mm2
+            + lanes_total * self.lane_overhead_mm2)
+            * scale;
+        let fixed = self.fixed_mm2 * scale;
+
+        AreaBreakdown { systolic, vector, l1, l2, hbm_phy, device_phy, control, fixed }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::n7()
+    }
+}
+
+/// Per-component die area in mm².
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{AreaModel, DeviceConfig};
+///
+/// let breakdown = AreaModel::n7().die_area(&DeviceConfig::a100_like());
+/// assert!(breakdown.total_mm2() > breakdown.sram_mm2());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Systolic-array MAC area.
+    pub systolic: f64,
+    /// Vector-unit ALU area.
+    pub vector: f64,
+    /// L1 (local buffer) SRAM area.
+    pub l1: f64,
+    /// L2 (global buffer) SRAM area.
+    pub l2: f64,
+    /// HBM PHY + memory controller area.
+    pub hbm_phy: f64,
+    /// Device-to-device PHY area.
+    pub device_phy: f64,
+    /// Per-core and per-lane control overhead.
+    pub control: f64,
+    /// Fixed die overhead.
+    pub fixed: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area in mm².
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.systolic
+            + self.vector
+            + self.l1
+            + self.l2
+            + self.hbm_phy
+            + self.device_phy
+            + self.control
+            + self.fixed
+    }
+
+    /// On-die SRAM area (L1 + L2) in mm².
+    #[must_use]
+    pub fn sram_mm2(&self) -> f64 {
+        self.l1 + self.l2
+    }
+
+    /// Whether the die fits under the single-die reticle limit
+    /// ([`crate::RETICLE_LIMIT_MM2`]).
+    #[must_use]
+    pub fn within_reticle(&self) -> bool {
+        self.total_mm2() <= crate::RETICLE_LIMIT_MM2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, SystolicDims};
+
+    fn design(
+        cores: u32,
+        lanes: u32,
+        dims: u32,
+        l1_kib: u32,
+        l2_mib: u32,
+        hbm_tb_s: f64,
+    ) -> DeviceConfig {
+        DeviceConfig::builder()
+            .core_count(cores)
+            .lanes_per_core(lanes)
+            .systolic(SystolicDims::square(dims))
+            .l1_kib_per_core(l1_kib)
+            .l2_mib(l2_mib)
+            .hbm_bandwidth_tb_s(hbm_tb_s)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn calibration_gpt3_optimised_oct2022_design() {
+        // §4.2: 207 cores, 2 lanes, 64 MiB L2, 3.2 TB/s => 856 mm².
+        let d = design(207, 2, 16, 192, 64, 3.2);
+        let total = AreaModel::n7().die_area(&d).total_mm2();
+        assert!((total - 856.0).abs() < 15.0, "total = {total}");
+    }
+
+    #[test]
+    fn calibration_table4_pd_compliant_design() {
+        // Table 4: 753 mm², 103 cores x 2 lanes, 1 MiB L1, 48 MiB L2.
+        let d = design(103, 2, 16, 1024, 48, 3.2);
+        let total = AreaModel::n7().die_area(&d).total_mm2();
+        assert!((total - 753.0).abs() < 10.0, "total = {total}");
+    }
+
+    #[test]
+    fn calibration_table4_non_compliant_design() {
+        // Table 4: 523 mm², identical but 192 KiB L1 / 32 MiB L2.
+        let d = design(103, 2, 16, 192, 32, 3.2);
+        let total = AreaModel::n7().die_area(&d).total_mm2();
+        assert!((total - 523.0).abs() < 10.0, "total = {total}");
+    }
+
+    #[test]
+    fn table4_sram_capacity_ratio_matches_paper() {
+        // "almost triple the floor planned SRAM area (151 MB vs 52 MB)".
+        let compliant = design(103, 2, 16, 1024, 48, 3.2);
+        let non = design(103, 2, 16, 192, 32, 3.2);
+        assert!((compliant.total_sram_mib() - 151.0).abs() < 1.0);
+        assert!((non.total_sram_mib() - 51.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn a100_like_fits_reticle() {
+        let b = AreaModel::n7().die_area(&DeviceConfig::a100_like());
+        assert!(b.within_reticle(), "area = {}", b.total_mm2());
+        assert!(b.total_mm2() > 600.0);
+    }
+
+    #[test]
+    fn bigger_l1_strictly_increases_area() {
+        let small = design(108, 4, 16, 192, 40, 2.0);
+        let big = design(108, 4, 16, 1024, 40, 2.0);
+        let m = AreaModel::n7();
+        assert!(m.die_area(&big).total_mm2() > m.die_area(&small).total_mm2());
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let b = AreaModel::n7().die_area(&DeviceConfig::a100_like());
+        let sum = b.systolic + b.vector + b.l1 + b.l2 + b.hbm_phy + b.device_phy + b.control + b.fixed;
+        assert!((sum - b.total_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn denser_process_shrinks_logic_but_not_phys() {
+        let d7 = DeviceConfig::a100_like();
+        let d5 = d7.to_builder().process(crate::ProcessNode::N5).build().unwrap();
+        let m = AreaModel::n7();
+        let b7 = m.die_area(&d7);
+        let b5 = m.die_area(&d5);
+        assert!(b5.systolic < b7.systolic);
+        assert!(b5.l2 < b7.l2);
+        assert!((b5.hbm_phy - b7.hbm_phy).abs() < 1e-12);
+        assert!((b5.device_phy - b7.device_phy).abs() < 1e-12);
+    }
+}

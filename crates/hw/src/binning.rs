@@ -1,0 +1,200 @@
+//! Die binning and salvage.
+//!
+//! §2.3: "Binning allows partially defective chips to be salvaged to be
+//! reused in less powerful products" — the A800 can be built from A100
+//! dies whose NVLink PHYs failed or were fused off, and the H20 disables
+//! most of an H100-class die. This module models the economics: fatal
+//! defects land on a die as a Poisson process; a die is sellable in a bin
+//! if enough cores survive; salvage raises the effective revenue per
+//! wafer and lowers the cost of regulation-specific parts.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// A product bin: a die qualifies when at least `min_good_cores` of the
+/// physical cores are defect-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Bin name (e.g. `"A100 (108/128 cores)"`).
+    pub name: String,
+    /// Cores that must be functional.
+    pub min_good_cores: u32,
+}
+
+impl Bin {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, min_good_cores: u32) -> Self {
+        Bin { name: name.into(), min_good_cores }
+    }
+}
+
+/// Poisson probability of exactly `k` events at mean `lambda`.
+fn poisson_pmf(k: u32, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let mut log_p = -lambda + f64::from(k) * lambda.ln();
+    for i in 1..=k {
+        log_p -= f64::from(i).ln();
+    }
+    log_p.exp()
+}
+
+/// Binning analysis of one physical die design.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{AreaModel, BinningModel, CostModel, DeviceConfig};
+///
+/// let die = DeviceConfig::builder().core_count(128).l2_mib(48).build()?;
+/// let area = AreaModel::n7().die_area(&die);
+/// let model = BinningModel::for_device(&die, &area);
+/// let cost = CostModel::n7();
+/// // Selling at 108/128 cores salvages dies a perfect-die bin scraps.
+/// assert!(model.bin_yield(&cost, 108) > model.bin_yield(&cost, 128));
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinningModel {
+    /// Physical cores on the die.
+    pub physical_cores: u32,
+    /// Total die area in mm².
+    pub die_area_mm2: f64,
+    /// Fraction of the die area occupied by core logic (defects elsewhere
+    /// are assumed fatal; defects in cores disable one core each).
+    pub core_area_fraction: f64,
+}
+
+impl BinningModel {
+    /// Build from a device configuration and its modelled area breakdown.
+    #[must_use]
+    pub fn for_device(device: &DeviceConfig, area: &crate::AreaBreakdown) -> Self {
+        let core_area =
+            area.systolic + area.vector + area.l1 + area.control;
+        BinningModel {
+            physical_cores: device.core_count(),
+            die_area_mm2: area.total_mm2(),
+            core_area_fraction: (core_area / area.total_mm2()).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Expected fatal defects per die at `d0_per_cm2`.
+    #[must_use]
+    pub fn defects_per_die(&self, cost_model: &CostModel) -> f64 {
+        self.die_area_mm2 / 100.0 * cost_model.defect_density_per_cm2
+    }
+
+    /// Probability that a die has at least `good_cores` functional cores
+    /// and no fatal defect outside the core array.
+    ///
+    /// Core-area defects each disable one distinct core (pessimistically,
+    /// clustered double-hits are counted as separate kills); uncore
+    /// defects are fatal.
+    #[must_use]
+    pub fn bin_yield(&self, cost_model: &CostModel, good_cores: u32) -> f64 {
+        if good_cores > self.physical_cores {
+            return 0.0;
+        }
+        let lambda = self.defects_per_die(cost_model);
+        let lambda_core = lambda * self.core_area_fraction;
+        let lambda_uncore = lambda - lambda_core;
+        let uncore_ok = (-lambda_uncore).exp();
+        let max_kills = self.physical_cores - good_cores;
+        let core_ok: f64 = (0..=max_kills).map(|k| poisson_pmf(k, lambda_core)).sum();
+        uncore_ok * core_ok
+    }
+
+    /// Fraction of dies that qualify for each bin *exclusively*, assigning
+    /// every die to the highest bin it meets. `bins` must be sorted from
+    /// most to least demanding. The last element of the returned vector is
+    /// the scrap fraction.
+    #[must_use]
+    pub fn bin_split(&self, cost_model: &CostModel, bins: &[Bin]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(bins.len() + 1);
+        let mut prev = 0.0;
+        for bin in bins {
+            let cumulative = self.bin_yield(cost_model, bin.min_good_cores);
+            out.push((cumulative - prev).max(0.0));
+            prev = cumulative;
+        }
+        out.push((1.0 - prev).max(0.0));
+        out
+    }
+
+    /// Effective cost per *sellable* die when every bin is monetised,
+    /// versus per perfect die only. Salvage is the ratio of the two.
+    #[must_use]
+    pub fn salvage_gain(&self, cost_model: &CostModel, bins: &[Bin]) -> f64 {
+        let perfect = self.bin_yield(cost_model, self.physical_cores);
+        let any: f64 = self
+            .bin_yield(cost_model, bins.iter().map(|b| b.min_good_cores).min().unwrap_or(self.physical_cores));
+        if perfect <= 0.0 {
+            return f64::INFINITY;
+        }
+        any / perfect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaModel;
+
+    fn ga100_like() -> (BinningModel, CostModel) {
+        // The GA100 story: 128 physical cores, sold as 108-core A100s.
+        let device = DeviceConfig::builder().core_count(128).l2_mib(48).build().unwrap();
+        let area = AreaModel::n7().die_area(&device);
+        (BinningModel::for_device(&device, &area), CostModel::n7())
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let total: f64 = (0..60).map(|k| poisson_pmf(k, 3.0)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(poisson_pmf(0, 0.0), 1.0);
+        assert_eq!(poisson_pmf(3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relaxed_bins_yield_more() {
+        let (m, c) = ga100_like();
+        let perfect = m.bin_yield(&c, 128);
+        let a100 = m.bin_yield(&c, 108);
+        let salvage = m.bin_yield(&c, 64);
+        assert!(perfect < a100, "disabling cores salvages dies");
+        assert!(a100 <= salvage, "relaxing further never hurts");
+        assert!(salvage <= 1.0);
+    }
+
+    #[test]
+    fn ga100_binning_explains_the_108_core_sku() {
+        // Selling at 108/128 cores recovers a large majority of dies that
+        // a perfect-die requirement would scrap.
+        let (m, c) = ga100_like();
+        let gain = m.salvage_gain(&c, &[Bin::new("A100", 108), Bin::new("A30", 56)]);
+        assert!(gain > 1.5, "salvage gain = {gain}");
+    }
+
+    #[test]
+    fn bin_split_partitions_probability() {
+        let (m, c) = ga100_like();
+        let bins = [Bin::new("full", 128), Bin::new("A100", 108), Bin::new("A30", 56)];
+        let split = m.bin_split(&c, &bins);
+        assert_eq!(split.len(), 4);
+        let total: f64 = split.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(split.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // The full-core bin is the smallest of the sellable bins for a
+        // die this large.
+        assert!(split[0] < split[1] + split[2]);
+    }
+
+    #[test]
+    fn impossible_bins_have_zero_yield() {
+        let (m, c) = ga100_like();
+        assert_eq!(m.bin_yield(&c, 129), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Multi-chip-module (chiplet) packaging.
+//!
+//! §2.3/§2.5: the reticle caps single dies at ~860 mm², yet escaping the
+//! October 2023 rule at 4799 TPP needs > 3000 mm² of die — *compliant
+//! designs must be multi-chip modules*. Chiplets also improve yield
+//! (smaller dies collect fewer fatal defects) at the cost of
+//! die-to-die PHY area and packaging/assembly overheads.
+//!
+//! This module models that trade-off: split a logical device across `n`
+//! compute chiplets, charge each chiplet a D2D PHY tax, price the package
+//! as known-good-die cost plus an assembly cost with a package-level
+//! assembly yield, and report the aggregate (package) metrics the ACR
+//! actually regulates — TPP sums over all dies in a package.
+
+use crate::area::AreaModel;
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+
+/// Packaging cost/overhead coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackagingModel {
+    /// Die-to-die PHY area per chiplet per neighbour link, mm².
+    pub d2d_phy_mm2: f64,
+    /// Fixed assembly cost per package, USD (substrate, bonding).
+    pub assembly_base_usd: f64,
+    /// Incremental assembly cost per die, USD.
+    pub assembly_per_die_usd: f64,
+    /// Probability that bonding one die succeeds (package-level assembly
+    /// yield is this to the power of the die count).
+    pub bond_yield_per_die: f64,
+}
+
+impl PackagingModel {
+    /// Advanced-packaging (CoWoS-class) cost assumptions.
+    #[must_use]
+    pub fn advanced() -> Self {
+        PackagingModel {
+            d2d_phy_mm2: 6.0,
+            assembly_base_usd: 60.0,
+            assembly_per_die_usd: 12.0,
+            bond_yield_per_die: 0.99,
+        }
+    }
+}
+
+impl Default for PackagingModel {
+    fn default() -> Self {
+        Self::advanced()
+    }
+}
+
+/// A packaged device: `chiplets` equal compute dies, each carrying
+/// `1/chiplets` of the logical device plus a D2D PHY tax.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{AreaModel, ChipletPackage, DeviceConfig, PackagingModel};
+///
+/// let logical = DeviceConfig::a100_like();
+/// let pkg = ChipletPackage::new(logical.clone(), 2, PackagingModel::advanced())?;
+/// assert_eq!(pkg.chiplets(), 2);
+/// // TPP aggregates over the package, as the rule prescribes.
+/// assert!((pkg.package_tpp().0 - logical.tpp().0).abs() < 1e-9);
+/// assert!(pkg.manufacturable(&AreaModel::n7()));
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipletPackage {
+    logical: DeviceConfig,
+    chiplets: u32,
+    packaging: PackagingModel,
+}
+
+impl ChipletPackage {
+    /// Split `logical` into `chiplets` identical dies. When the core
+    /// count does not divide evenly, each die carries `ceil(cores / n)`
+    /// physical cores and the excess is fused off on one die — the
+    /// standard single-mask-set practice — so the package still enables
+    /// exactly the logical core count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] when `chiplets` is zero or
+    /// exceeds the core count.
+    pub fn new(
+        logical: DeviceConfig,
+        chiplets: u32,
+        packaging: PackagingModel,
+    ) -> Result<Self, HwError> {
+        if chiplets == 0 {
+            return Err(HwError::InvalidConfig {
+                field: "chiplets",
+                reason: "must be nonzero".to_owned(),
+            });
+        }
+        if chiplets > logical.core_count() {
+            return Err(HwError::InvalidConfig {
+                field: "chiplets",
+                reason: format!(
+                    "cannot spread {} cores across {chiplets} chiplets",
+                    logical.core_count()
+                ),
+            });
+        }
+        Ok(ChipletPackage { logical, chiplets, packaging })
+    }
+
+    /// The logical (aggregate) device this package implements.
+    #[must_use]
+    pub fn logical(&self) -> &DeviceConfig {
+        &self.logical
+    }
+
+    /// Number of compute chiplets.
+    #[must_use]
+    pub fn chiplets(&self) -> u32 {
+        self.chiplets
+    }
+
+    /// One chiplet's physical configuration (cores rounded up to keep the
+    /// dies identical; L2 and HBM/device PHYs split evenly).
+    #[must_use]
+    pub fn chiplet_config(&self) -> DeviceConfig {
+        let n = self.chiplets;
+        let share = |v: u32| (v / n).max(1);
+        self.logical
+            .to_builder()
+            .name(format!("{}/{}x", self.logical.name(), n))
+            .core_count(self.logical.core_count().div_ceil(n))
+            .l2_mib(share(self.logical.l2_mib()))
+            .hbm(crate::HbmConfig::new(
+                self.logical.hbm().capacity_gib / f64::from(n),
+                self.logical.hbm().bandwidth_gb_s / f64::from(n),
+            ))
+            .phy(crate::DevicePhyConfig::new(
+                (self.logical.phy().count / n).max(1),
+                self.logical.phy().gb_s_per_phy,
+            ))
+            .build()
+            .expect("chiplet share of a valid device is valid")
+    }
+
+    /// Per-chiplet die area in mm²: the share of the logical device plus
+    /// the die-to-die PHY tax (monolithic packages pay none).
+    #[must_use]
+    pub fn chiplet_area_mm2(&self, area_model: &AreaModel) -> f64 {
+        let base = area_model.die_area(&self.chiplet_config()).total_mm2();
+        let links = if self.chiplets == 1 { 0.0 } else { 2.0 };
+        base + links * self.packaging.d2d_phy_mm2
+    }
+
+    /// Total silicon area across all dies — the "applicable die area" of
+    /// the October 2023 performance-density calculation.
+    #[must_use]
+    pub fn package_area_mm2(&self, area_model: &AreaModel) -> f64 {
+        f64::from(self.chiplets) * self.chiplet_area_mm2(area_model)
+    }
+
+    /// Package TPP: aggregated over *enabled* cores — exactly the logical
+    /// device's TPP (fused-off remainder cores do not count, matching how
+    /// vendors report capped SKUs).
+    #[must_use]
+    pub fn package_tpp(&self) -> crate::Tpp {
+        self.logical.tpp()
+    }
+
+    /// Whether each chiplet fits the single-die reticle.
+    #[must_use]
+    pub fn manufacturable(&self, area_model: &AreaModel) -> bool {
+        self.chiplet_area_mm2(area_model) <= crate::RETICLE_LIMIT_MM2
+    }
+
+    /// Package cost: known-good-die cost per chiplet, times the die count,
+    /// plus assembly, divided by the package assembly yield.
+    #[must_use]
+    pub fn package_cost_usd(&self, area_model: &AreaModel, cost_model: &CostModel) -> f64 {
+        let die = cost_model.good_die_cost_usd(self.chiplet_area_mm2(area_model));
+        let n = f64::from(self.chiplets);
+        let assembly =
+            self.packaging.assembly_base_usd + n * self.packaging.assembly_per_die_usd;
+        let assembly_yield = self.packaging.bond_yield_per_die.powf(n);
+        (die * n + assembly) / assembly_yield.max(1e-9)
+    }
+}
+
+/// The cheapest chiplet count (among `candidates`) for a logical device,
+/// requiring each chiplet to fit the reticle. Returns the winning package,
+/// or `None` when no candidate is manufacturable.
+#[must_use]
+pub fn cheapest_partition(
+    logical: &DeviceConfig,
+    candidates: &[u32],
+    area_model: &AreaModel,
+    cost_model: &CostModel,
+    packaging: PackagingModel,
+) -> Option<ChipletPackage> {
+    candidates
+        .iter()
+        .filter_map(|&n| ChipletPackage::new(logical.clone(), n, packaging).ok())
+        .filter(|p| p.manufacturable(area_model))
+        .min_by(|a, b| {
+            a.package_cost_usd(area_model, cost_model)
+                .total_cmp(&b.package_cost_usd(area_model, cost_model))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystolicDims;
+
+    fn big_logical() -> DeviceConfig {
+        // A 4799-TPP-class device forced to > 3000 mm² by the PD floor:
+        // lots of cores with fat caches.
+        DeviceConfig::builder()
+            .name("escape-4799")
+            .core_count(412)
+            .lanes_per_core(1)
+            .systolic(SystolicDims::square(16))
+            .l1_kib_per_core(1024)
+            .l2_mib(80)
+            .hbm_bandwidth_tb_s(3.2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn monolithic_package_matches_logical_device() {
+        let logical = DeviceConfig::a100_like();
+        let pkg =
+            ChipletPackage::new(logical.clone(), 1, PackagingModel::advanced()).unwrap();
+        assert_eq!(pkg.chiplet_config().core_count(), logical.core_count());
+        assert!((pkg.package_tpp().0 - logical.tpp().0).abs() < 1e-6);
+        // No D2D tax for a single die.
+        let am = AreaModel::n7();
+        assert!(
+            (pkg.package_area_mm2(&am) - am.die_area(&pkg.chiplet_config()).total_mm2()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn splitting_preserves_tpp_and_grows_area() {
+        let logical = big_logical();
+        let am = AreaModel::n7();
+        let mono = ChipletPackage::new(logical.clone(), 1, PackagingModel::advanced()).unwrap();
+        let quad = ChipletPackage::new(logical, 4, PackagingModel::advanced()).unwrap();
+        assert!((mono.package_tpp().0 - quad.package_tpp().0).abs() < 1e-6);
+        // D2D PHYs make the split package strictly larger in total.
+        assert!(quad.package_area_mm2(&am) > mono.package_area_mm2(&am));
+    }
+
+    #[test]
+    fn reticle_escape_requires_chiplets() {
+        // §2.5: a 4799-TPP device escaping the rule needs > 3000 mm²,
+        // which no single die can provide.
+        let logical = big_logical();
+        let am = AreaModel::n7();
+        let mono = ChipletPackage::new(logical.clone(), 1, PackagingModel::advanced()).unwrap();
+        assert!(!mono.manufacturable(&am), "monolithic escape die is impossible");
+        let quad = ChipletPackage::new(logical, 4, PackagingModel::advanced()).unwrap();
+        assert!(quad.manufacturable(&am), "four chiplets fit the reticle");
+        assert!(quad.package_area_mm2(&am) > 1800.0);
+    }
+
+    #[test]
+    fn chiplets_beat_an_equal_area_monolith_on_cost() {
+        // Yield: four quarter-size dies are cheaper than one huge die of
+        // the same silicon area, despite assembly overheads.
+        let cm = CostModel::n7();
+        let am = AreaModel::n7();
+        let logical = DeviceConfig::builder()
+            .core_count(256)
+            .l1_kib_per_core(512)
+            .l2_mib(64)
+            .build()
+            .unwrap();
+        let mono = ChipletPackage::new(logical.clone(), 1, PackagingModel::advanced()).unwrap();
+        let quad = ChipletPackage::new(logical, 4, PackagingModel::advanced()).unwrap();
+        // Compare at package level; the monolith here is near the reticle.
+        let mono_cost = mono.package_cost_usd(&am, &cm);
+        let quad_cost = quad.package_cost_usd(&am, &cm);
+        assert!(
+            quad_cost < mono_cost,
+            "quad ${quad_cost:.0} should undercut mono ${mono_cost:.0}"
+        );
+    }
+
+    #[test]
+    fn cheapest_partition_respects_reticle() {
+        let am = AreaModel::n7();
+        let cm = CostModel::n7();
+        let best = cheapest_partition(
+            &big_logical(),
+            &[1, 2, 4, 8],
+            &am,
+            &cm,
+            PackagingModel::advanced(),
+        )
+        .expect("some partition is manufacturable");
+        assert!(best.chiplets() >= 2, "the monolith violates the reticle");
+        assert!(best.manufacturable(&am));
+    }
+
+    #[test]
+    fn uneven_splits_round_up_and_keep_logical_tpp() {
+        // 108 cores across 5 dies: 22 physical cores per die, 110 built,
+        // 2 fused off — package TPP stays the logical device's.
+        let logical = DeviceConfig::a100_like();
+        let pkg = ChipletPackage::new(logical.clone(), 5, PackagingModel::advanced()).unwrap();
+        assert_eq!(pkg.chiplet_config().core_count(), 22);
+        assert!((pkg.package_tpp().0 - logical.tpp().0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_splits_are_rejected() {
+        let err0 =
+            ChipletPackage::new(DeviceConfig::a100_like(), 0, PackagingModel::advanced())
+                .unwrap_err();
+        assert!(matches!(err0, HwError::InvalidConfig { field: "chiplets", .. }));
+        let err_many =
+            ChipletPackage::new(DeviceConfig::a100_like(), 1000, PackagingModel::advanced())
+                .unwrap_err();
+        assert!(matches!(err_many, HwError::InvalidConfig { field: "chiplets", .. }));
+    }
+}

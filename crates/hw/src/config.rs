@@ -1,0 +1,603 @@
+//! The LLMCompass-style hardware template (Fig. 4 of the paper).
+//!
+//! A [`DeviceConfig`] describes one accelerator device: `core_count` cores,
+//! each with `lanes_per_core` lanes sharing a private local (L1) buffer.
+//! Each lane couples one systolic array ([`SystolicDims`]) with a vector
+//! unit. Cores share a global (L2) buffer connected to off-chip HBM
+//! ([`HbmConfig`]) and the device-to-device interconnect
+//! ([`DevicePhyConfig`]).
+
+use crate::error::HwError;
+use crate::process::ProcessNode;
+use crate::tpp::{PerfDensity, Tpp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric format the systolic arrays operate on.
+///
+/// TPP is calculated from the max `TOPS × bitwidth` product over supported
+/// formats; the paper (and this reproduction) evaluates FP16 tensor math,
+/// matching the NVIDIA A100's peak-TPP format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DataType {
+    /// 8-bit integer / float formats.
+    Int8,
+    /// IEEE half precision (the paper's evaluation format).
+    Fp16,
+    /// Single precision.
+    Fp32,
+}
+
+impl DataType {
+    /// Operand width in bits, the multiplier in `TPP = TOPS × bitwidth`.
+    #[must_use]
+    pub fn bit_width(self) -> u32 {
+        match self {
+            DataType::Int8 => 8,
+            DataType::Fp16 => 16,
+            DataType::Fp32 => 32,
+        }
+    }
+
+    /// Operand size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        self.bit_width() / 8
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int8 => write!(f, "int8"),
+            DataType::Fp16 => write!(f, "fp16"),
+            DataType::Fp32 => write!(f, "fp32"),
+        }
+    }
+}
+
+/// Dimensions of one systolic array (MACs laid out `x × y`).
+///
+/// Each array retires `x · y` multiply-accumulates per cycle; the ACR
+/// counts a fused multiply-accumulate as two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystolicDims {
+    /// Rows (the dimension weights stream across).
+    pub x: u32,
+    /// Columns (the dimension outputs accumulate along).
+    pub y: u32,
+}
+
+impl SystolicDims {
+    /// A square `n × n` array.
+    #[must_use]
+    pub fn square(n: u32) -> Self {
+        SystolicDims { x: n, y: n }
+    }
+
+    /// MAC units in the array (`x · y`).
+    #[must_use]
+    pub fn macs(self) -> u64 {
+        u64::from(self.x) * u64::from(self.y)
+    }
+}
+
+impl fmt::Display for SystolicDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+/// Off-chip HBM memory attached to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Total capacity in GiB.
+    pub capacity_gib: f64,
+    /// Aggregate bandwidth in GB/s (e.g. 2039 for the A100 80 GB).
+    pub bandwidth_gb_s: f64,
+}
+
+impl HbmConfig {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(capacity_gib: f64, bandwidth_gb_s: f64) -> Self {
+        HbmConfig { capacity_gib, bandwidth_gb_s }
+    }
+
+    /// Bandwidth in TB/s, the unit the paper's DSE tables use.
+    #[must_use]
+    pub fn bandwidth_tb_s(&self) -> f64 {
+        self.bandwidth_gb_s / 1000.0
+    }
+}
+
+/// Device-to-device interconnect PHYs.
+///
+/// `count × gb_s_per_phy` yields the *aggregate bidirectional* device
+/// bandwidth, the quantity the October 2022 rule thresholds at 600 GB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DevicePhyConfig {
+    /// Number of device-to-device PHY blocks.
+    pub count: u32,
+    /// Aggregate bidirectional bandwidth per PHY in GB/s.
+    pub gb_s_per_phy: f64,
+}
+
+impl DevicePhyConfig {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(count: u32, gb_s_per_phy: f64) -> Self {
+        DevicePhyConfig { count, gb_s_per_phy }
+    }
+
+    /// Aggregate bidirectional device bandwidth in GB/s.
+    #[must_use]
+    pub fn total_gb_s(&self) -> f64 {
+        f64::from(self.count) * self.gb_s_per_phy
+    }
+
+    /// Bandwidth available in one direction (half the aggregate),
+    /// the figure a ring all-reduce is limited by.
+    #[must_use]
+    pub fn unidirectional_gb_s(&self) -> f64 {
+        self.total_gb_s() / 2.0
+    }
+}
+
+/// One accelerator device in the LLMCompass hardware template.
+///
+/// Construct with [`DeviceConfig::builder`] (validated) or start from the
+/// calibrated [`DeviceConfig::a100_like`] preset and adjust fields through
+/// the builder's setters.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, SystolicDims};
+///
+/// let device = DeviceConfig::builder()
+///     .name("custom-4800")
+///     .core_count(207)
+///     .lanes_per_core(2)
+///     .systolic(SystolicDims::square(16))
+///     .build()?;
+/// assert!(device.tpp().0 < 4800.0);
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    name: String,
+    frequency_ghz: f64,
+    core_count: u32,
+    lanes_per_core: u32,
+    systolic: SystolicDims,
+    vector_width: u32,
+    l1_kib_per_core: u32,
+    l2_mib: u32,
+    hbm: HbmConfig,
+    phy: DevicePhyConfig,
+    process: ProcessNode,
+    datatype: DataType,
+}
+
+impl DeviceConfig {
+    /// Start building a device; defaults mirror [`DeviceConfig::a100_like`].
+    #[must_use]
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder::new()
+    }
+
+    /// The calibrated model of an NVIDIA A100 80 GB SXM used throughout the
+    /// paper as the restricted baseline: 108 cores × 4 lanes × 16×16 FP16
+    /// systolic arrays at 1.41 GHz (TPP ≈ 4992), 192 KiB L1 per core,
+    /// 40 MiB L2, 2 TB/s HBM, 600 GB/s NVLink-class device bandwidth.
+    #[must_use]
+    pub fn a100_like() -> Self {
+        DeviceConfigBuilder::new()
+            .name("modeled-A100")
+            .build()
+            .expect("A100 preset is valid")
+    }
+
+    /// Device name (for reports and CSV output).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Core clock in GHz.
+    #[must_use]
+    pub fn frequency_ghz(&self) -> f64 {
+        self.frequency_ghz
+    }
+
+    /// Number of cores on the device.
+    #[must_use]
+    pub fn core_count(&self) -> u32 {
+        self.core_count
+    }
+
+    /// Lanes per core (each lane = one systolic array + one vector unit).
+    #[must_use]
+    pub fn lanes_per_core(&self) -> u32 {
+        self.lanes_per_core
+    }
+
+    /// Systolic array dimensions.
+    #[must_use]
+    pub fn systolic(&self) -> SystolicDims {
+        self.systolic
+    }
+
+    /// Vector-unit width per lane, in FP32 ALUs.
+    #[must_use]
+    pub fn vector_width(&self) -> u32 {
+        self.vector_width
+    }
+
+    /// Private local-buffer (L1) capacity per core in KiB, shared by the
+    /// core's lanes.
+    #[must_use]
+    pub fn l1_kib_per_core(&self) -> u32 {
+        self.l1_kib_per_core
+    }
+
+    /// Shared global-buffer (L2) capacity in MiB.
+    #[must_use]
+    pub fn l2_mib(&self) -> u32 {
+        self.l2_mib
+    }
+
+    /// Off-chip HBM configuration.
+    #[must_use]
+    pub fn hbm(&self) -> HbmConfig {
+        self.hbm
+    }
+
+    /// Device-to-device PHY configuration.
+    #[must_use]
+    pub fn phy(&self) -> DevicePhyConfig {
+        self.phy
+    }
+
+    /// Manufacturing process node.
+    #[must_use]
+    pub fn process(&self) -> ProcessNode {
+        self.process
+    }
+
+    /// Systolic-array numeric format (determines TPP bitwidth).
+    #[must_use]
+    pub fn datatype(&self) -> DataType {
+        self.datatype
+    }
+
+    /// Total systolic-array MAC units on the device
+    /// (`DIMX · DIMY · lanes/core · cores`, the left side of Eq. 1).
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.systolic.macs() * u64::from(self.lanes_per_core) * u64::from(self.core_count)
+    }
+
+    /// Peak tensor throughput in TOPS (a fused MAC counts as 2 ops).
+    #[must_use]
+    pub fn peak_tops(&self) -> f64 {
+        2.0 * self.total_macs() as f64 * self.frequency_ghz * 1e9 / 1e12
+    }
+
+    /// Peak tensor throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tops() * 1e12
+    }
+
+    /// Peak vector-unit throughput in FLOP/s (one op per ALU per cycle).
+    #[must_use]
+    pub fn peak_vector_flops(&self) -> f64 {
+        f64::from(self.vector_width)
+            * f64::from(self.lanes_per_core)
+            * f64::from(self.core_count)
+            * self.frequency_ghz
+            * 1e9
+    }
+
+    /// Total Processing Performance: `TOPS × bitwidth`.
+    #[must_use]
+    pub fn tpp(&self) -> Tpp {
+        Tpp(self.peak_tops() * f64::from(self.datatype.bit_width()))
+    }
+
+    /// Performance density given a die area in mm² (TPP / mm²); returns
+    /// `None` when the process is planar (the October 2023 rule excludes
+    /// planar dies from applicable die area).
+    #[must_use]
+    pub fn performance_density(&self, die_area_mm2: f64) -> Option<PerfDensity> {
+        if !self.process.is_non_planar() || die_area_mm2 <= 0.0 {
+            return None;
+        }
+        Some(PerfDensity(self.tpp().0 / die_area_mm2))
+    }
+
+    /// Total on-chip SRAM (L1 across cores + L2) in MiB — the figure the
+    /// paper's Table 4 power discussion quotes ("151 MB vs 52 MB").
+    #[must_use]
+    pub fn total_sram_mib(&self) -> f64 {
+        f64::from(self.core_count) * f64::from(self.l1_kib_per_core) / 1024.0
+            + f64::from(self.l2_mib)
+    }
+
+    /// Convert back into a builder to derive variants.
+    #[must_use]
+    pub fn to_builder(&self) -> DeviceConfigBuilder {
+        DeviceConfigBuilder { inner: self.clone() }
+    }
+}
+
+impl fmt::Display for DeviceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} cores x {} lanes x {} {} @ {:.2} GHz, L1 {} KiB, L2 {} MiB, HBM {:.1} TB/s, dev {:.0} GB/s]",
+            self.name,
+            self.core_count,
+            self.lanes_per_core,
+            self.systolic,
+            self.datatype,
+            self.frequency_ghz,
+            self.l1_kib_per_core,
+            self.l2_mib,
+            self.hbm.bandwidth_tb_s(),
+            self.phy.total_gb_s(),
+        )
+    }
+}
+
+/// Validated builder for [`DeviceConfig`].
+///
+/// All setters take and return `&mut self` so configuration composes in
+/// one-liners or branching code; [`DeviceConfigBuilder::build`] validates.
+#[derive(Debug, Clone)]
+pub struct DeviceConfigBuilder {
+    inner: DeviceConfig,
+}
+
+impl Default for DeviceConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceConfigBuilder {
+    /// A builder initialised to the A100-like preset.
+    #[must_use]
+    pub fn new() -> Self {
+        DeviceConfigBuilder {
+            inner: DeviceConfig {
+                name: "unnamed".to_owned(),
+                frequency_ghz: 1.41,
+                core_count: 108,
+                lanes_per_core: 4,
+                systolic: SystolicDims::square(16),
+                vector_width: 32,
+                l1_kib_per_core: 192,
+                l2_mib: 40,
+                hbm: HbmConfig::new(80.0, 2000.0),
+                phy: DevicePhyConfig::new(12, 50.0),
+                process: ProcessNode::N7,
+                datatype: DataType::Fp16,
+            },
+        }
+    }
+
+    /// Set the device name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.inner.name = name.into();
+        self
+    }
+
+    /// Set the core clock in GHz.
+    pub fn frequency_ghz(&mut self, f: f64) -> &mut Self {
+        self.inner.frequency_ghz = f;
+        self
+    }
+
+    /// Set the number of cores.
+    pub fn core_count(&mut self, n: u32) -> &mut Self {
+        self.inner.core_count = n;
+        self
+    }
+
+    /// Set lanes per core.
+    pub fn lanes_per_core(&mut self, n: u32) -> &mut Self {
+        self.inner.lanes_per_core = n;
+        self
+    }
+
+    /// Set systolic array dimensions.
+    pub fn systolic(&mut self, dims: SystolicDims) -> &mut Self {
+        self.inner.systolic = dims;
+        self
+    }
+
+    /// Set vector width per lane (FP32 ALUs).
+    pub fn vector_width(&mut self, n: u32) -> &mut Self {
+        self.inner.vector_width = n;
+        self
+    }
+
+    /// Set per-core L1 capacity in KiB.
+    pub fn l1_kib_per_core(&mut self, kib: u32) -> &mut Self {
+        self.inner.l1_kib_per_core = kib;
+        self
+    }
+
+    /// Set shared L2 capacity in MiB.
+    pub fn l2_mib(&mut self, mib: u32) -> &mut Self {
+        self.inner.l2_mib = mib;
+        self
+    }
+
+    /// Set the HBM configuration.
+    pub fn hbm(&mut self, hbm: HbmConfig) -> &mut Self {
+        self.inner.hbm = hbm;
+        self
+    }
+
+    /// Set HBM bandwidth in TB/s, keeping capacity (the paper's sweeps vary
+    /// bandwidth at fixed 80 GiB capacity).
+    pub fn hbm_bandwidth_tb_s(&mut self, tb_s: f64) -> &mut Self {
+        self.inner.hbm.bandwidth_gb_s = tb_s * 1000.0;
+        self
+    }
+
+    /// Set the device-to-device PHY configuration.
+    pub fn phy(&mut self, phy: DevicePhyConfig) -> &mut Self {
+        self.inner.phy = phy;
+        self
+    }
+
+    /// Set aggregate bidirectional device bandwidth in GB/s, keeping the
+    /// PHY count and rescaling per-PHY bandwidth.
+    pub fn device_bandwidth_gb_s(&mut self, gb_s: f64) -> &mut Self {
+        let count = self.inner.phy.count.max(1);
+        self.inner.phy = DevicePhyConfig::new(count, gb_s / f64::from(count));
+        self
+    }
+
+    /// Set the process node.
+    pub fn process(&mut self, p: ProcessNode) -> &mut Self {
+        self.inner.process = p;
+        self
+    }
+
+    /// Set the systolic-array numeric format.
+    pub fn datatype(&mut self, d: DataType) -> &mut Self {
+        self.inner.datatype = d;
+        self
+    }
+
+    /// Validate and produce the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] if any field is zero, negative,
+    /// or non-finite where that is meaningless (core count, lanes, systolic
+    /// dims, frequency, buffer sizes, bandwidths).
+    pub fn build(&self) -> Result<DeviceConfig, HwError> {
+        let c = &self.inner;
+        fn positive(field: &'static str, v: f64) -> Result<(), HwError> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(HwError::InvalidConfig {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            }
+        }
+        fn nonzero(field: &'static str, v: u32) -> Result<(), HwError> {
+            if v > 0 {
+                Ok(())
+            } else {
+                Err(HwError::InvalidConfig { field, reason: "must be nonzero".to_owned() })
+            }
+        }
+        nonzero("core_count", c.core_count)?;
+        nonzero("lanes_per_core", c.lanes_per_core)?;
+        nonzero("systolic.x", c.systolic.x)?;
+        nonzero("systolic.y", c.systolic.y)?;
+        nonzero("vector_width", c.vector_width)?;
+        nonzero("l1_kib_per_core", c.l1_kib_per_core)?;
+        nonzero("l2_mib", c.l2_mib)?;
+        nonzero("phy.count", c.phy.count)?;
+        positive("frequency_ghz", c.frequency_ghz)?;
+        positive("hbm.capacity_gib", c.hbm.capacity_gib)?;
+        positive("hbm.bandwidth_gb_s", c.hbm.bandwidth_gb_s)?;
+        positive("phy.gb_s_per_phy", c.phy.gb_s_per_phy)?;
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_preset_matches_public_tpp() {
+        let a100 = DeviceConfig::a100_like();
+        // 108 cores * 4 lanes * 256 MACs * 2 * 1.41 GHz = 311.9 TOPS
+        assert!((a100.peak_tops() - 311.9).abs() < 1.0);
+        // TPP = TOPS * 16 ≈ 4990 (paper: 4992)
+        assert!((a100.tpp().0 - 4992.0).abs() < 25.0);
+        assert!((a100.phy().total_gb_s() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_macs_follows_eq1() {
+        let d = DeviceConfig::builder()
+            .core_count(10)
+            .lanes_per_core(2)
+            .systolic(SystolicDims { x: 16, y: 32 })
+            .build()
+            .unwrap();
+        assert_eq!(d.total_macs(), 16 * 32 * 2 * 10);
+    }
+
+    #[test]
+    fn builder_rejects_zero_cores() {
+        let err = DeviceConfig::builder().core_count(0).build().unwrap_err();
+        assert!(matches!(err, HwError::InvalidConfig { field: "core_count", .. }));
+    }
+
+    #[test]
+    fn builder_rejects_nonfinite_frequency() {
+        let err = DeviceConfig::builder().frequency_ghz(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, HwError::InvalidConfig { field: "frequency_ghz", .. }));
+    }
+
+    #[test]
+    fn device_bandwidth_setter_rescales_phys() {
+        let d = DeviceConfig::builder().device_bandwidth_gb_s(400.0).build().unwrap();
+        assert!((d.phy().total_gb_s() - 400.0).abs() < 1e-9);
+        assert_eq!(d.phy().count, 12);
+        assert!((d.phy().unidirectional_gb_s() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_density_excludes_planar() {
+        let finfet = DeviceConfig::a100_like();
+        assert!(finfet.performance_density(826.0).is_some());
+        let planar =
+            finfet.to_builder().process(ProcessNode::N28).build().unwrap();
+        assert_eq!(planar.performance_density(826.0), None);
+    }
+
+    #[test]
+    fn a100_performance_density_matches_paper() {
+        // Paper: A800 (same die) PD = 6.04 on the 826 mm2 GA100 die.
+        let pd = DeviceConfig::a100_like().performance_density(826.0).unwrap();
+        assert!((pd.0 - 6.04).abs() < 0.1, "pd = {}", pd.0);
+    }
+
+    #[test]
+    fn total_sram_accounts_l1_and_l2() {
+        let a100 = DeviceConfig::a100_like();
+        // 108 * 192 KiB = 20.25 MiB, plus 40 MiB L2.
+        assert!((a100.total_sram_mib() - 60.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_parameters() {
+        let s = DeviceConfig::a100_like().to_string();
+        assert!(s.contains("108 cores"));
+        assert!(s.contains("16x16"));
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let a = DeviceConfig::a100_like();
+        let b = a.to_builder().build().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Wafer economics: dies per wafer, defect-limited yield, silicon cost.
+//!
+//! Calibrated to reproduce the paper's Table 4 on 7 nm: a 753 mm² die costs
+//! ≈ $134 in raw silicon and ≈ $350M per million *good* dies; a 523 mm² die
+//! costs ≈ $88 and ≈ $177M.
+
+use serde::{Deserialize, Serialize};
+
+/// Defect-limited yield model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum YieldModel {
+    /// Seeds model: `Y = exp(-A · D0)`. The reproduction's default.
+    #[default]
+    Seeds,
+    /// Murphy model: `Y = ((1 - exp(-A·D0)) / (A·D0))²`.
+    Murphy,
+    /// Poisson model with clustering: `Y = (1 + A·D0/α)^(-α)` with α = 2
+    /// (negative binomial).
+    NegativeBinomial,
+}
+
+impl YieldModel {
+    /// Yield for a die of `area_mm2` at defect density `d0_per_cm2`.
+    ///
+    /// Returns a value in `(0, 1]`; zero-area dies yield 1.
+    #[must_use]
+    pub fn die_yield(self, area_mm2: f64, d0_per_cm2: f64) -> f64 {
+        let ad = (area_mm2 / 100.0) * d0_per_cm2; // defects per die
+        if ad <= 0.0 {
+            return 1.0;
+        }
+        match self {
+            YieldModel::Seeds => (-ad).exp(),
+            YieldModel::Murphy => {
+                let t = (1.0 - (-ad).exp()) / ad;
+                t * t
+            }
+            YieldModel::NegativeBinomial => {
+                let alpha = 2.0;
+                (1.0 + ad / alpha).powf(-alpha)
+            }
+        }
+    }
+}
+
+/// Wafer cost model for one process node.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::CostModel;
+///
+/// let m = CostModel::n7();
+/// // A ~523 mm2 die (Table 4's non-compliant design) costs ≈ $88.
+/// let cost = m.die_cost_usd(523.0);
+/// assert!((cost - 88.0).abs() < 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Wafer diameter in mm (300 for all modern logic).
+    pub wafer_diameter_mm: f64,
+    /// Processed wafer cost in USD.
+    pub wafer_cost_usd: f64,
+    /// Defect density in defects/cm².
+    pub defect_density_per_cm2: f64,
+    /// Yield model to apply.
+    pub yield_model: YieldModel,
+}
+
+impl CostModel {
+    /// Public-estimate TSMC 7 nm economics (≈ $9,346/wafer, D0 ≈ 0.13/cm²),
+    /// calibrated against the paper's Table 4.
+    #[must_use]
+    pub fn n7() -> Self {
+        CostModel {
+            wafer_diameter_mm: 300.0,
+            wafer_cost_usd: 9346.0,
+            defect_density_per_cm2: 0.13,
+            yield_model: YieldModel::Seeds,
+        }
+    }
+
+    /// Candidate die sites per wafer, by the standard estimate
+    /// `π(d/2)²/A − πd/√(2A)` (the second term discounts edge loss).
+    ///
+    /// Returns 0 for dies larger than a wafer.
+    #[must_use]
+    pub fn dies_per_wafer(&self, die_area_mm2: f64) -> f64 {
+        if die_area_mm2 <= 0.0 {
+            return 0.0;
+        }
+        let r = self.wafer_diameter_mm / 2.0;
+        let gross = std::f64::consts::PI * r * r / die_area_mm2
+            - std::f64::consts::PI * self.wafer_diameter_mm / (2.0 * die_area_mm2).sqrt();
+        gross.max(0.0)
+    }
+
+    /// Fraction of dies free of fatal defects.
+    #[must_use]
+    pub fn die_yield(&self, die_area_mm2: f64) -> f64 {
+        self.yield_model.die_yield(die_area_mm2, self.defect_density_per_cm2)
+    }
+
+    /// Raw silicon cost per die (wafer cost amortised over all die sites,
+    /// ignoring defects) — the paper's "Silicon Die Cost" row.
+    ///
+    /// Returns infinity when no die fits on a wafer.
+    #[must_use]
+    pub fn die_cost_usd(&self, die_area_mm2: f64) -> f64 {
+        let dpw = self.dies_per_wafer(die_area_mm2);
+        if dpw <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.wafer_cost_usd / dpw
+    }
+
+    /// Cost per *good* die (raw cost divided by yield) — what one must pay,
+    /// on average, per defect-free die.
+    #[must_use]
+    pub fn good_die_cost_usd(&self, die_area_mm2: f64) -> f64 {
+        self.die_cost_usd(die_area_mm2) / self.die_yield(die_area_mm2)
+    }
+
+    /// Total cost to obtain `n` good dies — the paper's
+    /// "1M Good Dies Cost" row with `n = 1_000_000`.
+    #[must_use]
+    pub fn cost_for_good_dies_usd(&self, die_area_mm2: f64, n: u64) -> f64 {
+        self.good_die_cost_usd(die_area_mm2) * n as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::n7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_compliant_die_cost() {
+        let m = CostModel::n7();
+        // 753 mm² => $134 raw, ≈ $350M per 1M good dies.
+        let raw = m.die_cost_usd(753.0);
+        assert!((raw - 134.0).abs() < 4.0, "raw = {raw}");
+        let million = m.cost_for_good_dies_usd(753.0, 1_000_000) / 1e6;
+        assert!((million - 350.0).abs() < 15.0, "1M good dies = {million}M");
+    }
+
+    #[test]
+    fn table4_non_compliant_die_cost() {
+        let m = CostModel::n7();
+        let raw = m.die_cost_usd(523.0);
+        assert!((raw - 88.0).abs() < 4.0, "raw = {raw}");
+        let million = m.cost_for_good_dies_usd(523.0, 1_000_000) / 1e6;
+        assert!((million - 177.0).abs() < 10.0, "1M good dies = {million}M");
+    }
+
+    #[test]
+    fn yield_decreases_with_area() {
+        let m = CostModel::n7();
+        assert!(m.die_yield(100.0) > m.die_yield(400.0));
+        assert!(m.die_yield(400.0) > m.die_yield(860.0));
+    }
+
+    #[test]
+    fn yield_models_agree_at_zero_defects() {
+        for model in [YieldModel::Seeds, YieldModel::Murphy, YieldModel::NegativeBinomial] {
+            assert!((model.die_yield(800.0, 0.0) - 1.0).abs() < 1e-12);
+            assert!((model.die_yield(0.0, 0.2) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn yield_models_are_ordered_seeds_most_pessimistic() {
+        // For the same A·D0, Seeds < NegBin(α=2) and Seeds < Murphy.
+        let (a, d0) = (800.0, 0.13);
+        let seeds = YieldModel::Seeds.die_yield(a, d0);
+        let murphy = YieldModel::Murphy.die_yield(a, d0);
+        let nb = YieldModel::NegativeBinomial.die_yield(a, d0);
+        assert!(seeds < murphy);
+        assert!(seeds < nb);
+        assert!(seeds > 0.0 && nb < 1.0);
+    }
+
+    #[test]
+    fn dies_per_wafer_decreases_with_area() {
+        let m = CostModel::n7();
+        assert!(m.dies_per_wafer(100.0) > m.dies_per_wafer(500.0));
+        assert!(m.dies_per_wafer(500.0) > m.dies_per_wafer(860.0));
+    }
+
+    #[test]
+    fn oversized_die_costs_infinite() {
+        let m = CostModel::n7();
+        assert_eq!(m.dies_per_wafer(200_000.0), 0.0);
+        assert!(m.die_cost_usd(200_000.0).is_infinite());
+    }
+
+    #[test]
+    fn good_die_cost_exceeds_raw_cost() {
+        let m = CostModel::n7();
+        assert!(m.good_die_cost_usd(753.0) > m.die_cost_usd(753.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for hardware configuration and modelling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or validating hardware descriptions.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, HwError};
+///
+/// let err = DeviceConfig::builder()
+///     .core_count(0)
+///     .build()
+///     .unwrap_err();
+/// assert!(matches!(err, HwError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A configuration field holds a value outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+    /// A derived quantity could not be computed from the given inputs
+    /// (e.g. no core count satisfies a TPP target).
+    Infeasible {
+        /// Description of the infeasible request.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidConfig { field, reason } => {
+                write!(f, "invalid hardware configuration: {field}: {reason}")
+            }
+            HwError::Infeasible { reason } => write!(f, "infeasible request: {reason}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HwError::InvalidConfig {
+            field: "core_count",
+            reason: "must be nonzero".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("core_count"));
+        assert!(s.contains("nonzero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Hardware description, TPP arithmetic, and area/cost models for
+//! accelerator design-space exploration under advanced computing sanctions.
+//!
+//! This crate provides the hardware substrate used throughout the
+//! reproduction of *Chip Architectures Under Advanced Computing Sanctions*
+//! (ISCA '25):
+//!
+//! * [`DeviceConfig`] — the LLMCompass-style hardware template: a device is
+//!   a grid of cores, each core holds several lanes sharing a local (L1)
+//!   buffer, and each lane couples a systolic array with a vector unit. The
+//!   device also carries a shared global (L2) buffer, HBM, and
+//!   device-to-device PHYs.
+//! * [`tpp`] — Total Processing Performance arithmetic: peak TOPS, TPP
+//!   (TOPS × bitwidth), performance density, and the inverse problem of
+//!   sizing a device to sit just under a TPP threshold (Eq. 1 of the paper).
+//! * [`area`] — a component-level die area model calibrated against the
+//!   NVIDIA GA100 (≈ 826 mm²).
+//! * [`cost`] — wafer economics: dies per wafer, defect-limited yield, and
+//!   per-good-die silicon cost, calibrated against Table 4 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use acs_hw::{DeviceConfig, area::AreaModel, cost::CostModel};
+//!
+//! let a100 = DeviceConfig::a100_like();
+//! let tpp = a100.tpp();
+//! assert!((tpp.0 - 4992.0).abs() < 25.0, "modeled A100 TPP ≈ 4992");
+//!
+//! let area = AreaModel::n7().die_area(&a100);
+//! let cost = CostModel::n7().die_cost_usd(area.total_mm2());
+//! assert!(cost > 0.0);
+//! ```
+
+pub mod area;
+pub mod binning;
+pub mod chiplet;
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod power;
+pub mod process;
+pub mod system;
+pub mod tpp;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use binning::{Bin, BinningModel};
+pub use chiplet::{ChipletPackage, PackagingModel};
+pub use power::PowerModel;
+pub use config::{
+    DataType, DeviceConfig, DeviceConfigBuilder, DevicePhyConfig, HbmConfig, SystolicDims,
+};
+pub use cost::{CostModel, YieldModel};
+pub use error::HwError;
+pub use process::ProcessNode;
+pub use system::{SystemConfig, Topology};
+pub use tpp::{PerfDensity, Tpp};
+
+/// The single-die manufacturability ceiling imposed by current EUV
+/// lithography (≈ 860 mm², §2.3 of the paper).
+pub const RETICLE_LIMIT_MM2: f64 = 860.0;

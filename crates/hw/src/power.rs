@@ -1,0 +1,189 @@
+//! Device power model.
+//!
+//! §4.4 observes that the performance-density floor pushes designs toward
+//! large SRAM arrays whose static and dynamic power raise operating costs.
+//! This module makes that observation quantitative with an energy model in
+//! the style of accelerator design studies: per-operation dynamic energies
+//! for MACs, vector ALUs and SRAM accesses, per-bit DRAM/link energies,
+//! and capacity-proportional SRAM leakage, on 7 nm-calibrated constants.
+
+use crate::config::DeviceConfig;
+use crate::process::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Energy and leakage coefficients (7 nm reference).
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, PowerModel};
+///
+/// let model = PowerModel::n7();
+/// let a100 = DeviceConfig::a100_like();
+/// let tdp = model.tdp_w(&a100);
+/// assert!(tdp > 250.0 && tdp < 550.0, "SXM-class TDP, got {tdp} W");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Dynamic energy per FP16 MAC, picojoules.
+    pub mac_pj: f64,
+    /// Dynamic energy per FP32 vector op, picojoules.
+    pub vector_op_pj: f64,
+    /// Dynamic energy per byte of L1 access, picojoules.
+    pub l1_pj_per_byte: f64,
+    /// Dynamic energy per byte of L2 access, picojoules.
+    pub l2_pj_per_byte: f64,
+    /// Energy per byte of HBM access, picojoules (≈ 3.5 pJ/bit · 8).
+    pub hbm_pj_per_byte: f64,
+    /// Energy per byte over the device-to-device links, picojoules.
+    pub link_pj_per_byte: f64,
+    /// SRAM leakage per MiB, watts.
+    pub sram_leakage_w_per_mib: f64,
+    /// Per-core static power (clock tree, control), watts.
+    pub core_static_w: f64,
+    /// Fixed device static power (scheduler, IO, misc), watts.
+    pub device_static_w: f64,
+}
+
+impl PowerModel {
+    /// Calibrated 7 nm coefficients. The modeled A100 lands near its
+    /// 400 W SXM TDP when fully busy.
+    #[must_use]
+    pub fn n7() -> Self {
+        PowerModel {
+            mac_pj: 0.8,
+            vector_op_pj: 1.5,
+            l1_pj_per_byte: 1.2,
+            l2_pj_per_byte: 3.0,
+            hbm_pj_per_byte: 28.0,
+            link_pj_per_byte: 10.0,
+            sram_leakage_w_per_mib: 0.25,
+            core_static_w: 0.35,
+            device_static_w: 25.0,
+        }
+    }
+
+    /// Static (idle) power of a device in watts: SRAM leakage plus
+    /// per-core and fixed components, rescaled by process.
+    #[must_use]
+    pub fn static_w(&self, device: &DeviceConfig) -> f64 {
+        let scale = device.process().density_scale() / ProcessNode::N7.density_scale();
+        // Leakage per transistor falls on newer nodes roughly with the
+        // inverse of density improvement at iso-capacity; model it flat
+        // per MiB and scale the logic terms mildly.
+        let leakage = device.total_sram_mib() * self.sram_leakage_w_per_mib;
+        let logic = f64::from(device.core_count()) * self.core_static_w / scale.max(0.5);
+        leakage + logic + self.device_static_w
+    }
+
+    /// Peak dynamic power in watts when the systolic arrays, vector units
+    /// and HBM run flat out (a TDP-style bound).
+    #[must_use]
+    pub fn peak_dynamic_w(&self, device: &DeviceConfig) -> f64 {
+        let macs_per_s = device.peak_tops() / 2.0 * 1e12; // MACs/s
+        let compute = macs_per_s * self.mac_pj * 1e-12;
+        let vector = device.peak_vector_flops() * self.vector_op_pj * 1e-12;
+        // Peak operand movement: every MAC reads ~1 byte from L1
+        // (amortised by array reuse) and the HBM streams at full rate.
+        let l1 = macs_per_s * 0.5 * self.l1_pj_per_byte * 1e-12;
+        let l2 = device.hbm().bandwidth_gb_s * 1e9 * self.l2_pj_per_byte * 1e-12;
+        let hbm = device.hbm().bandwidth_gb_s * 1e9 * self.hbm_pj_per_byte * 1e-12;
+        let link = device.phy().total_gb_s() * 1e9 * self.link_pj_per_byte * 1e-12;
+        compute + vector + l1 + l2 + hbm + link
+    }
+
+    /// TDP-style total: static + peak dynamic.
+    #[must_use]
+    pub fn tdp_w(&self, device: &DeviceConfig) -> f64 {
+        self.static_w(device) + self.peak_dynamic_w(device)
+    }
+
+    /// Energy of an execution interval in joules, given the work actually
+    /// performed: `macs` on the arrays, `vector_flops` on the vector
+    /// units, `hbm_bytes` streamed, `link_bytes` over the PHYs, and the
+    /// wall-clock `time_s` (which charges static power).
+    #[must_use]
+    pub fn interval_energy_j(
+        &self,
+        device: &DeviceConfig,
+        macs: f64,
+        vector_flops: f64,
+        hbm_bytes: f64,
+        link_bytes: f64,
+        time_s: f64,
+    ) -> f64 {
+        let dynamic = macs * (self.mac_pj + 0.5 * self.l1_pj_per_byte) * 1e-12
+            + vector_flops * self.vector_op_pj * 1e-12
+            + hbm_bytes * (self.hbm_pj_per_byte + self.l2_pj_per_byte) * 1e-12
+            + link_bytes * self.link_pj_per_byte * 1e-12;
+        dynamic + self.static_w(device) * time_s.max(0.0)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::n7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn a100_tdp_is_in_the_sxm_ballpark() {
+        let m = PowerModel::n7();
+        let tdp = m.tdp_w(&DeviceConfig::a100_like());
+        assert!(tdp > 250.0 && tdp < 550.0, "tdp = {tdp} W");
+    }
+
+    #[test]
+    fn sram_heavy_designs_leak_more() {
+        // §4.4: the PD-compliant design's ~3x SRAM raises static power.
+        let m = PowerModel::n7();
+        let lean = DeviceConfig::builder()
+            .core_count(103)
+            .lanes_per_core(2)
+            .l1_kib_per_core(192)
+            .l2_mib(32)
+            .build()
+            .unwrap();
+        let fat = lean.to_builder().l1_kib_per_core(1024).l2_mib(48).build().unwrap();
+        let lean_static = m.static_w(&lean);
+        let fat_static = m.static_w(&fat);
+        assert!(fat_static > lean_static);
+        // The SRAM-leakage delta mirrors the ~100 MiB capacity delta.
+        let delta = fat_static - lean_static;
+        let expected = (fat.total_sram_mib() - lean.total_sram_mib()) * m.sram_leakage_w_per_mib;
+        assert!((delta - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_dynamic_scales_with_compute_and_bandwidth() {
+        let m = PowerModel::n7();
+        let base = DeviceConfig::a100_like();
+        let more_cores = base.to_builder().core_count(216).build().unwrap();
+        let more_bw = base.to_builder().hbm_bandwidth_tb_s(3.2).build().unwrap();
+        assert!(m.peak_dynamic_w(&more_cores) > m.peak_dynamic_w(&base));
+        assert!(m.peak_dynamic_w(&more_bw) > m.peak_dynamic_w(&base));
+    }
+
+    #[test]
+    fn interval_energy_charges_static_power_over_time() {
+        let m = PowerModel::n7();
+        let d = DeviceConfig::a100_like();
+        let idle_1ms = m.interval_energy_j(&d, 0.0, 0.0, 0.0, 0.0, 1e-3);
+        let idle_2ms = m.interval_energy_j(&d, 0.0, 0.0, 0.0, 0.0, 2e-3);
+        assert!((idle_2ms - 2.0 * idle_1ms).abs() < 1e-12);
+        let busy = m.interval_energy_j(&d, 1e12, 1e10, 1e9, 1e8, 1e-3);
+        assert!(busy > idle_1ms);
+    }
+
+    #[test]
+    fn interval_energy_is_never_negative() {
+        let m = PowerModel::n7();
+        let d = DeviceConfig::a100_like();
+        assert!(m.interval_energy_j(&d, 0.0, 0.0, 0.0, 0.0, -1.0) >= 0.0);
+    }
+}

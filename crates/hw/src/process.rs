@@ -1,0 +1,110 @@
+//! Semiconductor process nodes.
+//!
+//! The October 2023 Advanced Computing Rule's performance-density metric
+//! only counts die area manufactured on a *non-planar* transistor
+//! architecture (e.g. sub-16 nm FinFET). [`ProcessNode::is_non_planar`]
+//! captures that distinction; [`ProcessNode::density_scale`] provides a
+//! coarse logic-density factor relative to 7 nm used by the area model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named manufacturing process node.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::ProcessNode;
+///
+/// assert!(ProcessNode::N7.is_non_planar());
+/// assert!(!ProcessNode::N28.is_non_planar());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProcessNode {
+    /// TSMC 4/5 nm-class FinFET (e.g. AD102, H100's N4).
+    N5,
+    /// TSMC 7 nm-class FinFET (e.g. GA100, the paper's DSE baseline).
+    N7,
+    /// 12 nm-class FinFET (e.g. TU102).
+    N12,
+    /// 16 nm-class FinFET — the boundary node: FinFET, hence non-planar.
+    N16,
+    /// 28 nm-class planar.
+    N28,
+}
+
+impl ProcessNode {
+    /// Whether the node uses a non-planar transistor architecture
+    /// (FinFET or GAA). Non-planar dies count toward "applicable die
+    /// area" in the October 2023 performance-density calculation.
+    #[must_use]
+    pub fn is_non_planar(self) -> bool {
+        !matches!(self, ProcessNode::N28)
+    }
+
+    /// Logic density relative to 7 nm (>1 is denser). Used to rescale the
+    /// 7 nm-calibrated area model to other nodes.
+    #[must_use]
+    pub fn density_scale(self) -> f64 {
+        match self {
+            ProcessNode::N5 => 1.8,
+            ProcessNode::N7 => 1.0,
+            ProcessNode::N12 => 0.55,
+            ProcessNode::N16 => 0.45,
+            ProcessNode::N28 => 0.18,
+        }
+    }
+
+    /// Nominal drawn feature size in nanometres, for display purposes.
+    #[must_use]
+    pub fn nanometres(self) -> u32 {
+        match self {
+            ProcessNode::N5 => 5,
+            ProcessNode::N7 => 7,
+            ProcessNode::N12 => 12,
+            ProcessNode::N16 => 16,
+            ProcessNode::N28 => 28,
+        }
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometres())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planarity_matches_finfet_boundary() {
+        assert!(ProcessNode::N5.is_non_planar());
+        assert!(ProcessNode::N7.is_non_planar());
+        assert!(ProcessNode::N12.is_non_planar());
+        assert!(ProcessNode::N16.is_non_planar());
+        assert!(!ProcessNode::N28.is_non_planar());
+    }
+
+    #[test]
+    fn density_monotonically_improves_with_newer_nodes() {
+        let order = [
+            ProcessNode::N28,
+            ProcessNode::N16,
+            ProcessNode::N12,
+            ProcessNode::N7,
+            ProcessNode::N5,
+        ];
+        for pair in order.windows(2) {
+            assert!(pair[0].density_scale() < pair[1].density_scale());
+        }
+    }
+
+    #[test]
+    fn display_formats_as_nanometres() {
+        assert_eq!(ProcessNode::N7.to_string(), "7nm");
+        assert_eq!(ProcessNode::N28.to_string(), "28nm");
+    }
+}

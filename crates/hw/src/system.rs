@@ -1,0 +1,151 @@
+//! Multi-device system configuration.
+//!
+//! The paper evaluates LLM inference on a 4-device tensor-parallel node
+//! (the standard LLMCompass setup for GPT-3-class models), with devices
+//! connected through their device-to-device PHYs in a ring.
+
+use crate::config::DeviceConfig;
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+
+/// Interconnect topology between devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum Topology {
+    /// Ring: each device talks to two neighbours; all-reduce uses the
+    /// standard `2·(n−1)/n` ring algorithm.
+    #[default]
+    Ring,
+    /// Fully connected (switch-based, NVSwitch-like): all-reduce still
+    /// moves `2·(n−1)/n` of the data but uses half the latency steps.
+    FullyConnected,
+}
+
+/// A tensor-parallel inference node: `device_count` copies of one device.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, SystemConfig};
+///
+/// let node = SystemConfig::new(DeviceConfig::a100_like(), 4)?;
+/// assert_eq!(node.device_count(), 4);
+/// assert!(node.aggregate_tpp().0 > 4.0 * 4900.0);
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    device: DeviceConfig,
+    device_count: u32,
+    topology: Topology,
+}
+
+impl SystemConfig {
+    /// Build a system of `device_count` identical devices in a ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] if `device_count` is zero.
+    pub fn new(device: DeviceConfig, device_count: u32) -> Result<Self, HwError> {
+        if device_count == 0 {
+            return Err(HwError::InvalidConfig {
+                field: "device_count",
+                reason: "must be nonzero".to_owned(),
+            });
+        }
+        Ok(SystemConfig { device, device_count, topology: Topology::Ring })
+    }
+
+    /// The paper's evaluation node: four devices, ring-connected.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid device; the `Result` mirrors [`Self::new`].
+    pub fn quad(device: DeviceConfig) -> Result<Self, HwError> {
+        Self::new(device, 4)
+    }
+
+    /// The per-device configuration.
+    #[must_use]
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Number of devices (the tensor-parallel degree).
+    #[must_use]
+    pub fn device_count(&self) -> u32 {
+        self.device_count
+    }
+
+    /// Interconnect topology.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Set the topology (builder-style).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Aggregate TPP across all devices. Note the ACR aggregates TPP over
+    /// dies in a *package*; separate devices in a node are classified
+    /// individually, so policy checks use [`DeviceConfig::tpp`], not this.
+    #[must_use]
+    pub fn aggregate_tpp(&self) -> crate::Tpp {
+        crate::Tpp(self.device.tpp().0 * f64::from(self.device_count))
+    }
+
+    /// Aggregate HBM bandwidth across devices in GB/s.
+    #[must_use]
+    pub fn aggregate_hbm_gb_s(&self) -> f64 {
+        self.device.hbm().bandwidth_gb_s * f64::from(self.device_count)
+    }
+
+    /// Aggregate HBM capacity across devices in GiB.
+    #[must_use]
+    pub fn aggregate_hbm_capacity_gib(&self) -> f64 {
+        self.device.hbm().capacity_gib * f64::from(self.device_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_builds_four_devices() {
+        let s = SystemConfig::quad(DeviceConfig::a100_like()).unwrap();
+        assert_eq!(s.device_count(), 4);
+        assert_eq!(s.topology(), Topology::Ring);
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        let err = SystemConfig::new(DeviceConfig::a100_like(), 0).unwrap_err();
+        assert!(matches!(err, HwError::InvalidConfig { field: "device_count", .. }));
+    }
+
+    #[test]
+    fn aggregates_scale_linearly() {
+        let d = DeviceConfig::a100_like();
+        let s1 = SystemConfig::new(d.clone(), 1).unwrap();
+        let s4 = SystemConfig::new(d, 4).unwrap();
+        assert!((s4.aggregate_tpp().0 - 4.0 * s1.aggregate_tpp().0).abs() < 1e-6);
+        assert!((s4.aggregate_hbm_gb_s() - 4.0 * s1.aggregate_hbm_gb_s()).abs() < 1e-9);
+        assert!(
+            (s4.aggregate_hbm_capacity_gib() - 4.0 * s1.aggregate_hbm_capacity_gib()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn with_topology_round_trips() {
+        let s = SystemConfig::quad(DeviceConfig::a100_like())
+            .unwrap()
+            .with_topology(Topology::FullyConnected);
+        assert_eq!(s.topology(), Topology::FullyConnected);
+    }
+}

@@ -1,0 +1,220 @@
+//! Total Processing Performance (TPP) arithmetic.
+//!
+//! TPP is the October 2022/2023 Advanced Computing Rule's headline metric:
+//! the maximum theoretical tera-operations per second multiplied by the
+//! operation bitwidth, aggregated over all dies in a package, with a fused
+//! multiply-accumulate counted as two operations.
+//!
+//! This module also solves the *inverse* problem chip designers face under
+//! the rules (Eq. 1 of the paper): given a TPP ceiling, a clock frequency,
+//! systolic-array dimensions and a lane count, what is the largest core
+//! count that stays under the ceiling?
+
+use crate::config::{DataType, SystolicDims};
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Total Processing Performance (`TOPS × bitwidth`).
+///
+/// A thin newtype so TPP values cannot be confused with TOPS, bandwidths,
+/// or performance densities in policy code.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Tpp(pub f64);
+
+impl Tpp {
+    /// Compute TPP from a peak TOPS figure and an operand format.
+    #[must_use]
+    pub fn from_tops(tops: f64, datatype: DataType) -> Self {
+        Tpp(tops * f64::from(datatype.bit_width()))
+    }
+
+    /// The TOPS component for a given format.
+    #[must_use]
+    pub fn to_tops(self, datatype: DataType) -> f64 {
+        self.0 / f64::from(datatype.bit_width())
+    }
+}
+
+impl fmt::Display for Tpp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} TPP", self.0)
+    }
+}
+
+/// Performance density: TPP divided by applicable (non-planar) die area
+/// in mm² (October 2023 rule).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct PerfDensity(pub f64);
+
+impl fmt::Display for PerfDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} TPP/mm2", self.0)
+    }
+}
+
+/// The largest number of systolic-array MAC units a device may carry and
+/// still have TPP strictly below `tpp_limit` at clock `frequency_ghz`
+/// (the `FP_max(TPP)` term of Eq. 1).
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{tpp::max_macs_for_tpp, DataType};
+///
+/// // 4800 TPP at FP16 and 1.41 GHz allows just under 106,383 MACs.
+/// let macs = max_macs_for_tpp(4800.0, 1.41, DataType::Fp16);
+/// assert_eq!(macs, 106_382);
+/// ```
+#[must_use]
+pub fn max_macs_for_tpp(tpp_limit: f64, frequency_ghz: f64, datatype: DataType) -> u64 {
+    if tpp_limit <= 0.0 || frequency_ghz <= 0.0 {
+        return 0;
+    }
+    // TPP = 2 * macs * f(GHz) * 1e9 / 1e12 * bits  =>  macs = TPP * 500 / (f * bits)
+    let macs = tpp_limit * 500.0 / (frequency_ghz * f64::from(datatype.bit_width()));
+    // Strictly below the limit: if exactly on the threshold, step down one.
+    let floor = macs.floor();
+    if (macs - floor).abs() < 1e-9 && floor > 0.0 {
+        floor as u64 - 1
+    } else {
+        floor as u64
+    }
+}
+
+/// The largest core count such that
+/// `DIMX · DIMY · lanes · cores · 2 · f × bitwidth` stays strictly below
+/// `tpp_limit` (Eq. 1 rearranged for `CD`).
+///
+/// # Errors
+///
+/// Returns [`HwError::Infeasible`] when even a single core exceeds the
+/// limit (e.g. a huge array with a tiny TPP budget).
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{tpp::cores_for_tpp, DataType, SystolicDims};
+///
+/// // The paper's 4800-TPP DSE: 16x16 arrays, 4 lanes -> 103 cores (TPP 4759).
+/// let cores = cores_for_tpp(4800.0, 1.41, DataType::Fp16, SystolicDims::square(16), 4)?;
+/// assert_eq!(cores, 103);
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+pub fn cores_for_tpp(
+    tpp_limit: f64,
+    frequency_ghz: f64,
+    datatype: DataType,
+    systolic: SystolicDims,
+    lanes_per_core: u32,
+) -> Result<u32, HwError> {
+    let macs_per_core = systolic.macs() * u64::from(lanes_per_core);
+    if macs_per_core == 0 {
+        return Err(HwError::Infeasible {
+            reason: "core has zero MAC units".to_owned(),
+        });
+    }
+    let max_macs = max_macs_for_tpp(tpp_limit, frequency_ghz, datatype);
+    let cores = max_macs / macs_per_core;
+    if cores == 0 {
+        return Err(HwError::Infeasible {
+            reason: format!(
+                "no core count puts {} {lanes_per_core}-lane cores under {tpp_limit} TPP",
+                systolic
+            ),
+        });
+    }
+    u32::try_from(cores).map_err(|_| HwError::Infeasible {
+        reason: "core count overflows u32".to_owned(),
+    })
+}
+
+/// TPP achieved by a (cores, lanes, dims, frequency, datatype) tuple,
+/// without building a full [`crate::DeviceConfig`].
+#[must_use]
+pub fn tpp_of(
+    cores: u32,
+    lanes_per_core: u32,
+    systolic: SystolicDims,
+    frequency_ghz: f64,
+    datatype: DataType,
+) -> Tpp {
+    let macs = systolic.macs() as f64 * f64::from(lanes_per_core) * f64::from(cores);
+    Tpp(2.0 * macs * frequency_ghz * 1e9 / 1e12 * f64::from(datatype.bit_width()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 1.41;
+
+    #[test]
+    fn max_macs_is_strictly_below_limit() {
+        let macs = max_macs_for_tpp(4800.0, F, DataType::Fp16);
+        let achieved = 2.0 * macs as f64 * F * 1e9 / 1e12 * 16.0;
+        assert!(achieved < 4800.0);
+        // And one more MAC would meet or exceed it.
+        let above = 2.0 * (macs + 1) as f64 * F * 1e9 / 1e12 * 16.0;
+        assert!(above >= 4800.0 - 1e-6);
+    }
+
+    #[test]
+    fn paper_4800_tpp_dse_uses_103_cores() {
+        // §4.1: "we set device core count to 103 (TPP 4759)".
+        let cores =
+            cores_for_tpp(4800.0, F, DataType::Fp16, SystolicDims::square(16), 4).unwrap();
+        assert_eq!(cores, 103);
+        let tpp = tpp_of(cores, 4, SystolicDims::square(16), F, DataType::Fp16);
+        assert!((tpp.0 - 4759.0).abs() < 5.0, "tpp = {tpp}");
+    }
+
+    #[test]
+    fn cores_scale_inversely_with_lane_count() {
+        let c1 = cores_for_tpp(4800.0, F, DataType::Fp16, SystolicDims::square(16), 1).unwrap();
+        let c4 = cores_for_tpp(4800.0, F, DataType::Fp16, SystolicDims::square(16), 4).unwrap();
+        assert!(c1 >= 4 * c4);
+        assert!(c1 <= 4 * (c4 + 1));
+    }
+
+    #[test]
+    fn infeasible_when_single_core_exceeds_budget() {
+        let err = cores_for_tpp(10.0, F, DataType::Fp16, SystolicDims::square(128), 8);
+        assert!(matches!(err, Err(HwError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn tpp_of_matches_device_config() {
+        let d = crate::DeviceConfig::a100_like();
+        let t = tpp_of(d.core_count(), d.lanes_per_core(), d.systolic(), d.frequency_ghz(), d.datatype());
+        assert!((t.0 - d.tpp().0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_tops_round_trips() {
+        let t = Tpp::from_tops(312.0, DataType::Fp16);
+        assert!((t.0 - 4992.0).abs() < 1e-9);
+        assert!((t.to_tops(DataType::Fp16) - 312.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_allows_no_macs() {
+        assert_eq!(max_macs_for_tpp(0.0, F, DataType::Fp16), 0);
+        assert_eq!(max_macs_for_tpp(-5.0, F, DataType::Fp16), 0);
+    }
+
+    #[test]
+    fn int8_budget_allows_more_macs_than_fp16() {
+        // Same TPP budget, narrower format => lower bitwidth multiplier =>
+        // more MACs permitted.
+        let i8 = max_macs_for_tpp(4800.0, F, DataType::Int8);
+        let f16 = max_macs_for_tpp(4800.0, F, DataType::Fp16);
+        assert!(i8 > f16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tpp(4992.0).to_string(), "4992 TPP");
+        assert_eq!(PerfDensity(6.04).to_string(), "6.04 TPP/mm2");
+    }
+}

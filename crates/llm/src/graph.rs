@@ -1,0 +1,519 @@
+//! Lowering one Transformer layer to an operator sequence.
+//!
+//! Tensor parallelism follows the Megatron partitioning the paper's
+//! 4-device node uses: attention heads and FFN columns are split across
+//! devices, and each of the two blocks ends in an all-reduce. Norms and
+//! residuals are computed redundantly on every device.
+
+use crate::model::{Activation, ModelConfig};
+use crate::ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
+use crate::workload::{InferencePhase, WorkloadConfig};
+use serde::Serialize;
+
+/// The per-device operator sequence of one Transformer layer.
+///
+/// # Example
+///
+/// ```
+/// use acs_llm::{InferencePhase, LayerGraph, ModelConfig, WorkloadConfig};
+///
+/// let g = LayerGraph::build(
+///     &ModelConfig::gpt3_175b(),
+///     &WorkloadConfig::paper_default(),
+///     InferencePhase::Prefill,
+///     4,
+/// );
+/// // A 4-way tensor-parallel layer all-reduces twice.
+/// assert_eq!(g.allreduce_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LayerGraph {
+    ops: Vec<Operator>,
+    phase: InferencePhase,
+    tensor_parallel: u32,
+}
+
+impl LayerGraph {
+    /// Lower one layer of `model` under `phase` for a `tensor_parallel`-way
+    /// node, with FP16 (2-byte) operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensor_parallel` is zero or does not divide the model's
+    /// attention-head count.
+    #[must_use]
+    pub fn build(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+    ) -> Self {
+        Self::build_with_dtype(model, workload, phase, tensor_parallel, 2)
+    }
+
+    /// [`LayerGraph::build`] with an explicit operand size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// See [`LayerGraph::build`].
+    #[must_use]
+    pub fn build_with_dtype(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        dtype_bytes: u64,
+    ) -> Self {
+        assert!(tensor_parallel > 0, "tensor_parallel must be nonzero");
+        assert_eq!(
+            model.num_heads() % tensor_parallel,
+            0,
+            "tensor_parallel must divide num_heads"
+        );
+        let tp = u64::from(tensor_parallel);
+        let b = workload.batch();
+        let d = model.d_model();
+        let dh = model.head_dim();
+        let heads_per_dev = u64::from(model.num_heads()) / tp;
+        // KV heads are replicated when tp exceeds their count (GQA).
+        let kv_per_dev = (u64::from(model.num_kv_heads()) / tp).max(1);
+        let group = heads_per_dev / kv_per_dev;
+
+        let (s_q, s_kv) = match phase {
+            InferencePhase::Prefill => (workload.input_len(), workload.input_len()),
+            InferencePhase::Decode { context_len } => (1, context_len),
+        };
+        let tokens = b * s_q;
+        let norm_kind = match model.activation() {
+            Activation::Gelu => VectorKind::LayerNorm,
+            Activation::SwiGlu => VectorKind::RmsNorm,
+        };
+
+        let mut ops = Vec::with_capacity(16);
+        ops.push(Operator::Vector(VectorOp {
+            name: "norm_attn",
+            kind: norm_kind,
+            elements: tokens * d,
+        }));
+        // Fused QKV projection: output columns per device are the local
+        // query heads plus local K and V heads.
+        let qkv_n = heads_per_dev * dh + 2 * kv_per_dev * dh;
+        ops.push(Operator::Matmul(MatmulOp {
+            name: "qkv_proj",
+            m: tokens,
+            n: qkv_n,
+            k: d,
+            count: 1,
+            b_shared_by: 1,
+            kind: MatmulKind::Weight,
+        }));
+        // Attention scores Q·Kᵀ: one instance per (batch, local head);
+        // instances within a GQA group share the K operand.
+        ops.push(Operator::Matmul(MatmulOp {
+            name: "attn_score",
+            m: s_q,
+            n: s_kv,
+            k: dh,
+            count: b * heads_per_dev,
+            b_shared_by: group,
+            kind: MatmulKind::Activation,
+        }));
+        ops.push(Operator::Vector(VectorOp {
+            name: "softmax",
+            kind: VectorKind::Softmax,
+            elements: b * heads_per_dev * s_q * s_kv,
+        }));
+        // Context A·V.
+        ops.push(Operator::Matmul(MatmulOp {
+            name: "attn_context",
+            m: s_q,
+            n: dh,
+            k: s_kv,
+            count: b * heads_per_dev,
+            b_shared_by: group,
+            kind: MatmulKind::Activation,
+        }));
+        ops.push(Operator::Matmul(MatmulOp {
+            name: "out_proj",
+            m: tokens,
+            n: d,
+            k: heads_per_dev * dh,
+            count: 1,
+            b_shared_by: 1,
+            kind: MatmulKind::Weight,
+        }));
+        ops.push(Operator::AllReduce(AllReduceOp {
+            name: "allreduce_attn",
+            bytes: tokens * d * dtype_bytes,
+        }));
+        ops.push(Operator::Vector(VectorOp {
+            name: "residual_attn",
+            kind: VectorKind::ResidualAdd,
+            elements: tokens * d,
+        }));
+        ops.push(Operator::Vector(VectorOp {
+            name: "norm_ffn",
+            kind: norm_kind,
+            elements: tokens * d,
+        }));
+        let ffn_cols = model.d_ffn() / tp;
+        // Mixture-of-experts FFNs: route every token to `top_k` experts.
+        // FLOPs scale with top_k; weight traffic scales with the experts
+        // actually touched (count = touched experts, each a distinct
+        // weight set — `b_bytes` then counts every touched expert once).
+        let (ffn_count, ffn_m) = match model.moe() {
+            None => (1, tokens),
+            Some(moe) => {
+                let assignments = tokens * u64::from(moe.top_k);
+                let touched = (moe.expected_experts_touched(assignments).round() as u64)
+                    .clamp(1, u64::from(moe.num_experts).min(assignments));
+                ops.push(Operator::Matmul(MatmulOp {
+                    name: "moe_router",
+                    m: tokens,
+                    n: u64::from(moe.num_experts),
+                    k: d,
+                    count: 1,
+                    b_shared_by: 1,
+                    kind: MatmulKind::Weight,
+                }));
+                ops.push(Operator::Vector(VectorOp {
+                    name: "moe_router_softmax",
+                    kind: VectorKind::Softmax,
+                    elements: tokens * u64::from(moe.num_experts),
+                }));
+                (touched, assignments.div_ceil(touched))
+            }
+        };
+        match model.activation() {
+            Activation::Gelu => {
+                ops.push(Operator::Matmul(MatmulOp {
+                    name: "ffn_up",
+                    m: ffn_m,
+                    n: ffn_cols,
+                    k: d,
+                    count: ffn_count,
+                    b_shared_by: 1,
+                    kind: MatmulKind::Weight,
+                }));
+                ops.push(Operator::Vector(VectorOp {
+                    name: "gelu",
+                    kind: VectorKind::Gelu,
+                    elements: ffn_count * ffn_m * ffn_cols,
+                }));
+            }
+            Activation::SwiGlu => {
+                ops.push(Operator::Matmul(MatmulOp {
+                    name: "ffn_gate",
+                    m: ffn_m,
+                    n: ffn_cols,
+                    k: d,
+                    count: ffn_count,
+                    b_shared_by: 1,
+                    kind: MatmulKind::Weight,
+                }));
+                ops.push(Operator::Matmul(MatmulOp {
+                    name: "ffn_up",
+                    m: ffn_m,
+                    n: ffn_cols,
+                    k: d,
+                    count: ffn_count,
+                    b_shared_by: 1,
+                    kind: MatmulKind::Weight,
+                }));
+                ops.push(Operator::Vector(VectorOp {
+                    name: "silu_mul",
+                    kind: VectorKind::SiluMul,
+                    elements: ffn_count * ffn_m * ffn_cols,
+                }));
+            }
+        }
+        ops.push(Operator::Matmul(MatmulOp {
+            name: "ffn_down",
+            m: ffn_m,
+            n: d,
+            k: ffn_cols,
+            count: ffn_count,
+            b_shared_by: 1,
+            kind: MatmulKind::Weight,
+        }));
+        ops.push(Operator::AllReduce(AllReduceOp {
+            name: "allreduce_ffn",
+            bytes: tokens * d * dtype_bytes,
+        }));
+        ops.push(Operator::Vector(VectorOp {
+            name: "residual_ffn",
+            kind: VectorKind::ResidualAdd,
+            elements: tokens * d,
+        }));
+
+        LayerGraph { ops, phase, tensor_parallel }
+    }
+
+    /// The operator sequence in execution order.
+    #[must_use]
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// The phase this graph was lowered for.
+    #[must_use]
+    pub fn phase(&self) -> InferencePhase {
+        self.phase
+    }
+
+    /// Tensor-parallel degree.
+    #[must_use]
+    pub fn tensor_parallel(&self) -> u32 {
+        self.tensor_parallel
+    }
+
+    /// Total per-device FLOPs in the layer.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(Operator::flops).sum()
+    }
+
+    /// Per-device FLOPs performed on the systolic arrays.
+    #[must_use]
+    pub fn matmul_flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Operator::Matmul(_)))
+            .map(Operator::flops)
+            .sum()
+    }
+
+    /// Number of all-reduce collectives.
+    #[must_use]
+    pub fn allreduce_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, Operator::AllReduce(_))).count()
+    }
+
+    /// Per-device weight bytes streamed from HBM (the decode-phase floor).
+    #[must_use]
+    pub fn weight_bytes(&self, dtype_bytes: u64) -> u64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Operator::Matmul(m) if m.kind == MatmulKind::Weight => Some(m.b_bytes(dtype_bytes)),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Convenience wrapper: lower one layer with FP16 operands.
+///
+/// See [`LayerGraph::build`].
+#[must_use]
+pub fn layer_ops(
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+    tensor_parallel: u32,
+) -> Vec<Operator> {
+    LayerGraph::build(model, workload, phase, tensor_parallel).ops().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt3_prefill(tp: u32) -> LayerGraph {
+        LayerGraph::build(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Prefill,
+            tp,
+        )
+    }
+
+    #[test]
+    fn gpt3_prefill_flops_match_analytic_estimate() {
+        // Full-layer (tp=1) matmul FLOPs ≈ 2·T·(12·d²) + attention
+        // 4·B·S²·d, T = B·S tokens.
+        let g = gpt3_prefill(1);
+        let b = 32.0_f64;
+        let s = 2048.0;
+        let d = 12288.0;
+        let t = b * s;
+        let proj = 2.0 * t * (4.0 * d * d + 2.0 * 4.0 * d * d); // qkv+out+ffn(8d²)
+        let attn = 4.0 * b * s * s * d;
+        let expected = proj + attn;
+        let got = g.matmul_flops();
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "got {got:.3e}, expected {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn tensor_parallel_divides_matmul_flops() {
+        let f1 = gpt3_prefill(1).matmul_flops();
+        let f4 = gpt3_prefill(4).matmul_flops();
+        assert!((f1 / f4 - 4.0).abs() < 0.05, "ratio = {}", f1 / f4);
+    }
+
+    #[test]
+    fn decode_tokens_are_batch_sized() {
+        let g = LayerGraph::build(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Decode { context_len: 2048 },
+            4,
+        );
+        let qkv = g
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                Operator::Matmul(m) if m.name == "qkv_proj" => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(qkv.m, 32);
+    }
+
+    #[test]
+    fn decode_weight_bytes_match_per_device_share() {
+        // GPT-3 layer holds 12·d² weights; at tp=4 and fp16 each device
+        // streams ~2·12·d²/4 bytes per decode step.
+        let g = LayerGraph::build(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Decode { context_len: 2048 },
+            4,
+        );
+        let d = 12288.0_f64;
+        let expected = 2.0 * 12.0 * d * d / 4.0;
+        let got = g.weight_bytes(2) as f64;
+        assert!((got - expected).abs() / expected < 0.01, "got {got:.3e}");
+    }
+
+    #[test]
+    fn swiglu_layer_has_three_ffn_matmuls() {
+        let g = LayerGraph::build(
+            &ModelConfig::llama3_8b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Prefill,
+            4,
+        );
+        let ffn_mms = g
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operator::Matmul(m) if m.name.starts_with("ffn")))
+            .count();
+        assert_eq!(ffn_mms, 3);
+    }
+
+    #[test]
+    fn gqa_shares_kv_operands() {
+        // Llama 3 at tp=4: 8 local heads, 2 local KV heads => group 4.
+        let g = LayerGraph::build(
+            &ModelConfig::llama3_8b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Decode { context_len: 2048 },
+            4,
+        );
+        let score = g
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                Operator::Matmul(m) if m.name == "attn_score" => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(score.count, 32 * 8);
+        assert_eq!(score.b_shared_by, 4);
+        // MHA GPT-3 shares nothing.
+        let g2 = LayerGraph::build(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Decode { context_len: 2048 },
+            4,
+        );
+        let score2 = g2
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                Operator::Matmul(m) if m.name == "attn_score" => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(score2.b_shared_by, 1);
+    }
+
+    #[test]
+    fn allreduce_bytes_scale_with_tokens() {
+        let prefill = gpt3_prefill(4);
+        let decode = LayerGraph::build(
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            InferencePhase::Decode { context_len: 2048 },
+            4,
+        );
+        let bytes = |g: &LayerGraph| -> u64 {
+            g.ops()
+                .iter()
+                .filter_map(|op| match op {
+                    Operator::AllReduce(a) => Some(a.bytes),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(bytes(&prefill), 2 * 32 * 2048 * 12288 * 2);
+        assert_eq!(bytes(&decode), 2 * 32 * 12288 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor_parallel must divide num_heads")]
+    fn rejects_non_dividing_tp() {
+        let _ = gpt3_prefill(5);
+    }
+
+    #[test]
+    fn moe_layer_has_router_and_expert_weight_traffic() {
+        let mixtral = ModelConfig::mixtral_8x7b();
+        let dense = ModelConfig::llama3_8b();
+        let w = WorkloadConfig::paper_default();
+        let decode = InferencePhase::Decode { context_len: 2048 };
+        let g_moe = LayerGraph::build(&mixtral, &w, decode, 4);
+        let g_dense = LayerGraph::build(&dense, &w, decode, 4);
+        assert!(g_moe.ops().iter().any(|op| op.name() == "moe_router"));
+        // Batch-32 top-2 decode touches essentially all 8 experts, so the
+        // layer streams ~8x the dense FFN weights.
+        let ratio = g_moe.weight_bytes(2) as f64 / g_dense.weight_bytes(2) as f64;
+        assert!(ratio > 4.0 && ratio < 9.0, "weight ratio = {ratio}");
+        // But compute only scales with top_k.
+        let flop_ratio = g_moe.matmul_flops() / g_dense.matmul_flops();
+        assert!(flop_ratio > 1.3 && flop_ratio < 2.5, "flop ratio = {flop_ratio}");
+    }
+
+    #[test]
+    fn moe_prefill_touches_all_experts_once() {
+        let mixtral = ModelConfig::mixtral_8x7b();
+        let w = WorkloadConfig::paper_default();
+        let g = LayerGraph::build(&mixtral, &w, InferencePhase::Prefill, 4);
+        let ffn_up = g
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                Operator::Matmul(m) if m.name == "ffn_up" => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ffn_up.count, 8, "65k prefill tokens hit every expert");
+        // Total routed rows ≈ tokens × top_k.
+        let routed = ffn_up.count * ffn_up.m;
+        let expected = 32 * 2048 * 2;
+        assert!((routed as f64 / expected as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn layer_ops_convenience_matches_graph() {
+        let m = ModelConfig::llama3_8b();
+        let w = WorkloadConfig::paper_default();
+        let via_fn = layer_ops(&m, &w, InferencePhase::Prefill, 4);
+        let via_graph = LayerGraph::build(&m, &w, InferencePhase::Prefill, 4);
+        assert_eq!(via_fn, via_graph.ops());
+    }
+}

@@ -1,0 +1,38 @@
+//! LLM workload descriptions and operator graphs for analytical hardware
+//! simulation.
+//!
+//! This crate models the two workloads of the paper's evaluation —
+//! GPT-3 175B and Llama 3 8B (Table 2) — as stacks of identical
+//! decoder-only Transformer layers, and lowers one layer into the operator
+//! sequence a tensor-parallel accelerator node executes:
+//!
+//! * [`ModelConfig`] — model hyperparameters (layers, model/FFN dimensions,
+//!   attention and KV heads, activation function).
+//! * [`WorkloadConfig`] — inference request shape (batch, input length,
+//!   output length); the paper uses batch 32 × 2048 in × 1024 out.
+//! * [`graph::layer_ops`] — the per-layer operator graph for either
+//!   inference phase under a given tensor-parallel degree, expressed as
+//!   [`Operator`]s a simulator can cost.
+//!
+//! # Example
+//!
+//! ```
+//! use acs_llm::{graph, InferencePhase, ModelConfig, WorkloadConfig};
+//!
+//! let gpt3 = ModelConfig::gpt3_175b();
+//! let work = WorkloadConfig::paper_default();
+//! let ops = graph::layer_ops(&gpt3, &work, InferencePhase::Prefill, 4);
+//! assert!(ops.len() > 8, "a Transformer layer has many operators");
+//! ```
+
+pub mod graph;
+pub mod model;
+pub mod ops;
+pub mod traces;
+pub mod workload;
+
+pub use graph::LayerGraph;
+pub use model::{Activation, ModelConfig, MoeConfig};
+pub use ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
+pub use traces::{LengthDistribution, Request, RequestTrace};
+pub use workload::{InferencePhase, WorkloadConfig};

@@ -1,0 +1,276 @@
+//! Operators a Transformer layer lowers to.
+//!
+//! The operator vocabulary mirrors what LLMCompass costs: dense matmuls
+//! (mapped onto the systolic arrays), low-arithmetic-intensity vector
+//! operators (mapped onto the vector units), and inter-device collectives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the matmul's stationary (`B`) operand is. This determines reuse:
+/// weight matrices are shared across the whole batch, while attention
+/// operands (KV cache) are unique per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatmulKind {
+    /// `B` is a weight matrix resident in HBM, shared by all batch items.
+    Weight,
+    /// `B` is an activation / KV-cache tensor (attention score and
+    /// context matmuls).
+    Activation,
+}
+
+/// One (possibly batched) dense matmul: `count` independent instances of
+/// `[m × k] · [k × n]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct MatmulOp {
+    /// Human-readable operator name (e.g. `"qkv_proj"`).
+    pub name: &'static str,
+    /// Rows of `A` (tokens for projections, query length for attention).
+    pub m: u64,
+    /// Columns of `B`.
+    pub n: u64,
+    /// Contraction dimension.
+    pub k: u64,
+    /// Number of independent instances (e.g. batch × heads for attention).
+    pub count: u64,
+    /// How many instances share one `B` operand (GQA group size for
+    /// attention with grouped KV heads; 1 otherwise). Unique-`B` memory
+    /// traffic is `count / b_shared_by` B-matrices.
+    pub b_shared_by: u64,
+    /// Operand role of `B`.
+    pub kind: MatmulKind,
+}
+
+impl MatmulOp {
+    /// Total multiply-accumulate operations (`count · m · n · k`).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.count * self.m * self.n * self.k
+    }
+
+    /// Total floating-point operations (2 per MAC).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Bytes of unique `A` operand at `dtype_bytes` per element.
+    #[must_use]
+    pub fn a_bytes(&self, dtype_bytes: u64) -> u64 {
+        self.count * self.m * self.k * dtype_bytes
+    }
+
+    /// Bytes of unique `B` operand (deduplicating shared instances).
+    #[must_use]
+    pub fn b_bytes(&self, dtype_bytes: u64) -> u64 {
+        (self.count / self.b_shared_by.max(1)).max(1) * self.k * self.n * dtype_bytes
+    }
+
+    /// Bytes of output written.
+    #[must_use]
+    pub fn out_bytes(&self, dtype_bytes: u64) -> u64 {
+        self.count * self.m * self.n * dtype_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of unique operand+output
+    /// traffic.
+    #[must_use]
+    pub fn arithmetic_intensity(&self, dtype_bytes: u64) -> f64 {
+        self.flops() as f64
+            / (self.a_bytes(dtype_bytes) + self.b_bytes(dtype_bytes) + self.out_bytes(dtype_bytes))
+                as f64
+    }
+}
+
+/// Species of vector (non-matmul) operator, with per-element FLOP weights
+/// reflecting their transcendental content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VectorKind {
+    /// Row softmax over attention scores.
+    Softmax,
+    /// LayerNorm (mean + variance + scale/shift).
+    LayerNorm,
+    /// RMSNorm (variance + scale), used by Llama-family models.
+    RmsNorm,
+    /// GELU activation.
+    Gelu,
+    /// SiLU(gate) ⊙ up, the SwiGLU elementwise stage.
+    SiluMul,
+    /// Residual addition.
+    ResidualAdd,
+}
+
+impl VectorKind {
+    /// Approximate FLOPs per element (transcendentals weighted by their
+    /// polynomial-approximation cost).
+    #[must_use]
+    pub fn flops_per_element(self) -> f64 {
+        match self {
+            VectorKind::Softmax => 5.0,
+            VectorKind::LayerNorm => 6.0,
+            VectorKind::RmsNorm => 4.0,
+            VectorKind::Gelu => 8.0,
+            VectorKind::SiluMul => 6.0,
+            VectorKind::ResidualAdd => 1.0,
+        }
+    }
+
+    /// Bytes of DRAM-visible traffic per element at `dtype_bytes`
+    /// (inputs read + output written; SiluMul reads two inputs).
+    #[must_use]
+    pub fn bytes_per_element(self, dtype_bytes: u64) -> f64 {
+        let streams = match self {
+            VectorKind::SiluMul | VectorKind::ResidualAdd => 3.0,
+            _ => 2.0,
+        };
+        streams * dtype_bytes as f64
+    }
+}
+
+/// One vector operator over `elements` scalars.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct VectorOp {
+    /// Human-readable operator name.
+    pub name: &'static str,
+    /// Operator species.
+    pub kind: VectorKind,
+    /// Number of elements processed.
+    pub elements: u64,
+}
+
+impl VectorOp {
+    /// Total floating-point operations.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        self.elements as f64 * self.kind.flops_per_element()
+    }
+
+    /// Total DRAM-visible bytes.
+    #[must_use]
+    pub fn bytes(&self, dtype_bytes: u64) -> f64 {
+        self.elements as f64 * self.kind.bytes_per_element(dtype_bytes)
+    }
+}
+
+/// An all-reduce over the tensor-parallel group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct AllReduceOp {
+    /// Human-readable operator name.
+    pub name: &'static str,
+    /// Payload bytes per device.
+    pub bytes: u64,
+}
+
+/// A single operator in a layer's execution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub enum Operator {
+    /// Dense matmul on the systolic arrays.
+    Matmul(MatmulOp),
+    /// Elementwise / reduction operator on the vector units.
+    Vector(VectorOp),
+    /// Tensor-parallel all-reduce over the device PHYs.
+    AllReduce(AllReduceOp),
+}
+
+impl Operator {
+    /// Operator name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::Matmul(op) => op.name,
+            Operator::Vector(op) => op.name,
+            Operator::AllReduce(op) => op.name,
+        }
+    }
+
+    /// Floating-point operations performed (0 for collectives).
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        match self {
+            Operator::Matmul(op) => op.flops() as f64,
+            Operator::Vector(op) => op.flops(),
+            Operator::AllReduce(_) => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operator::Matmul(op) => write!(
+                f,
+                "matmul {}: {}x[{} x {} x {}]",
+                op.name, op.count, op.m, op.k, op.n
+            ),
+            Operator::Vector(op) => {
+                write!(f, "vector {}: {} elements ({:?})", op.name, op.elements, op.kind)
+            }
+            Operator::AllReduce(op) => write!(f, "allreduce {}: {} bytes", op.name, op.bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(m: u64, n: u64, k: u64, count: u64, shared: u64) -> MatmulOp {
+        MatmulOp { name: "t", m, n, k, count, b_shared_by: shared, kind: MatmulKind::Weight }
+    }
+
+    #[test]
+    fn matmul_flops_counts_two_per_mac() {
+        let op = mm(4, 8, 16, 2, 1);
+        assert_eq!(op.macs(), 2 * 4 * 8 * 16);
+        assert_eq!(op.flops(), 2 * op.macs());
+    }
+
+    #[test]
+    fn shared_b_deduplicates_traffic() {
+        // 8 instances sharing one B in groups of 4 => 2 unique B reads.
+        let op = mm(1, 64, 128, 8, 4);
+        assert_eq!(op.b_bytes(2), 2 * 64 * 128 * 2);
+        // Unshared reads 8 copies.
+        let unshared = mm(1, 64, 128, 8, 1);
+        assert_eq!(unshared.b_bytes(2), 8 * 64 * 128 * 2);
+    }
+
+    #[test]
+    fn arithmetic_intensity_grows_with_m() {
+        let tall = mm(4096, 4096, 4096, 1, 1);
+        let skinny = mm(32, 4096, 4096, 1, 1);
+        assert!(tall.arithmetic_intensity(2) > skinny.arithmetic_intensity(2));
+        // Decode-shaped matmuls are memory bound: intensity < 64 FLOPs/B.
+        assert!(skinny.arithmetic_intensity(2) < 64.0);
+    }
+
+    #[test]
+    fn vector_op_flops_and_bytes() {
+        let op = VectorOp { name: "sm", kind: VectorKind::Softmax, elements: 1000 };
+        assert!((op.flops() - 5000.0).abs() < 1e-9);
+        assert!((op.bytes(2) - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silu_mul_reads_two_inputs() {
+        assert!(
+            VectorKind::SiluMul.bytes_per_element(2) > VectorKind::Gelu.bytes_per_element(2)
+        );
+    }
+
+    #[test]
+    fn operator_display_is_informative() {
+        let op = Operator::Matmul(mm(32, 64, 128, 1, 1));
+        let s = op.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("128"));
+    }
+
+    #[test]
+    fn allreduce_has_zero_flops() {
+        let op = Operator::AllReduce(AllReduceOp { name: "ar", bytes: 1 << 20 });
+        assert_eq!(op.flops(), 0.0);
+    }
+}

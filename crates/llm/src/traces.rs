@@ -1,0 +1,213 @@
+//! Synthetic request traces for serving-level studies.
+//!
+//! The paper's related work (Orca, Splitwise, Sarathi) evaluates serving
+//! systems on request traces; production traces are proprietary, so this
+//! module generates the standard synthetic substitute: Poisson arrivals
+//! with log-normal prompt/output lengths, deterministic under a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in seconds from trace start.
+    pub arrival_s: f64,
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// Tokens to generate.
+    pub output_len: u64,
+}
+
+/// Length distribution: log-normal with a median and a shape parameter,
+/// clamped to `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthDistribution {
+    /// Median length in tokens.
+    pub median: u64,
+    /// Log-normal σ (0 ⇒ deterministic at the median).
+    pub sigma: f64,
+    /// Lower clamp.
+    pub min: u64,
+    /// Upper clamp.
+    pub max: u64,
+}
+
+impl LengthDistribution {
+    /// A chat-style prompt distribution (median 512, heavy tail to 4k).
+    #[must_use]
+    pub fn chat_prompts() -> Self {
+        LengthDistribution { median: 512, sigma: 0.8, min: 16, max: 4096 }
+    }
+
+    /// A chat-style generation distribution (median 128, tail to 1k).
+    #[must_use]
+    pub fn chat_outputs() -> Self {
+        LengthDistribution { median: 128, sigma: 0.7, min: 4, max: 1024 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.sigma <= 0.0 {
+            return self.median.clamp(self.min, self.max);
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let value = (self.median as f64) * (self.sigma * z).exp();
+        (value.round() as u64).clamp(self.min, self.max)
+    }
+}
+
+/// A time-ordered sequence of requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Build from explicit requests (sorted by arrival).
+    #[must_use]
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        RequestTrace { requests }
+    }
+
+    /// Synthetic trace: Poisson arrivals at `rate_rps` for `duration_s`,
+    /// lengths drawn from the given distributions. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` or `duration_s` is not positive and finite.
+    #[must_use]
+    pub fn synthetic(
+        rate_rps: f64,
+        duration_s: f64,
+        prompts: LengthDistribution,
+        outputs: LengthDistribution,
+        seed: u64,
+    ) -> Self {
+        assert!(rate_rps > 0.0 && rate_rps.is_finite(), "rate must be positive");
+        assert!(duration_s > 0.0 && duration_s.is_finite(), "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut requests = Vec::new();
+        let mut t = 0.0;
+        loop {
+            // Exponential inter-arrival gap.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t -= u.ln() / rate_rps;
+            if t >= duration_s {
+                break;
+            }
+            requests.push(Request {
+                arrival_s: t,
+                input_len: prompts.sample(&mut rng),
+                output_len: outputs.sample(&mut rng),
+            });
+        }
+        RequestTrace { requests }
+    }
+
+    /// The requests in arrival order.
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total prompt tokens.
+    #[must_use]
+    pub fn total_input_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.input_len).sum()
+    }
+
+    /// Total output tokens.
+    #[must_use]
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seed: u64) -> RequestTrace {
+        RequestTrace::synthetic(
+            2.0,
+            100.0,
+            LengthDistribution::chat_prompts(),
+            LengthDistribution::chat_outputs(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_per_seed() {
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8));
+    }
+
+    #[test]
+    fn arrival_rate_is_approximately_honoured() {
+        let t = trace(1);
+        // 2 req/s × 100 s ≈ 200 requests (Poisson: ±3σ ≈ ±42).
+        assert!(t.len() > 140 && t.len() < 270, "n = {}", t.len());
+        // Arrivals sorted and within the window.
+        for pair in t.requests().windows(2) {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s);
+        }
+        assert!(t.requests().last().unwrap().arrival_s < 100.0);
+    }
+
+    #[test]
+    fn lengths_respect_clamps_and_median() {
+        let t = trace(2);
+        let prompts = LengthDistribution::chat_prompts();
+        let mut inputs: Vec<u64> = t.requests().iter().map(|r| r.input_len).collect();
+        inputs.sort_unstable();
+        for &len in &inputs {
+            assert!(len >= prompts.min && len <= prompts.max);
+        }
+        // Sample median within a factor of ~1.5 of the target.
+        let median = inputs[inputs.len() / 2] as f64;
+        assert!(median > 512.0 / 1.6 && median < 512.0 * 1.6, "median = {median}");
+    }
+
+    #[test]
+    fn deterministic_distribution_is_constant() {
+        let d = LengthDistribution { median: 100, sigma: 0.0, min: 1, max: 1000 };
+        let t = RequestTrace::synthetic(1.0, 10.0, d, d, 3);
+        assert!(t.requests().iter().all(|r| r.input_len == 100 && r.output_len == 100));
+    }
+
+    #[test]
+    fn new_sorts_requests() {
+        let t = RequestTrace::new(vec![
+            Request { arrival_s: 5.0, input_len: 1, output_len: 1 },
+            Request { arrival_s: 1.0, input_len: 2, output_len: 2 },
+        ]);
+        assert_eq!(t.requests()[0].arrival_s, 1.0);
+        assert_eq!(t.total_input_tokens(), 3);
+        assert_eq!(t.total_output_tokens(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_is_rejected() {
+        let d = LengthDistribution::chat_prompts();
+        let _ = RequestTrace::synthetic(0.0, 10.0, d, d, 0);
+    }
+}

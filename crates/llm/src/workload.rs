@@ -1,0 +1,154 @@
+//! Inference request shapes and phases.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two phases of autoregressive LLM inference.
+///
+/// * **Prefill** processes all input tokens in parallel, producing the
+///   first output token and the KV cache; its latency is the
+///   time-to-first-token (TTFT).
+/// * **Decode** generates output tokens one at a time; its per-token
+///   latency is the time-between-tokens (TBT). `context_len` is the KV
+///   cache length the step attends over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferencePhase {
+    /// Parallel prompt processing (compute-bound).
+    Prefill,
+    /// Auto-regressive generation (memory-bandwidth-bound).
+    Decode {
+        /// KV-cache length this decode step attends over.
+        context_len: u64,
+    },
+}
+
+impl fmt::Display for InferencePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferencePhase::Prefill => write!(f, "prefill"),
+            InferencePhase::Decode { context_len } => write!(f, "decode@{context_len}"),
+        }
+    }
+}
+
+/// Shape of an inference request batch.
+///
+/// # Example
+///
+/// ```
+/// use acs_llm::WorkloadConfig;
+///
+/// let w = WorkloadConfig::paper_default();
+/// assert_eq!((w.batch(), w.input_len(), w.output_len()), (32, 2048, 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    batch: u64,
+    input_len: u64,
+    output_len: u64,
+}
+
+impl WorkloadConfig {
+    /// Construct a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `input_len` is zero (`output_len` may be zero
+    /// for prefill-only studies).
+    #[must_use]
+    pub fn new(batch: u64, input_len: u64, output_len: u64) -> Self {
+        assert!(batch > 0, "batch must be nonzero");
+        assert!(input_len > 0, "input_len must be nonzero");
+        WorkloadConfig { batch, input_len, output_len }
+    }
+
+    /// The paper's setting: batch 32, input 2048, output 1024 — "a typical
+    /// setting for LLM inference workloads ran on flagship data center
+    /// GPUs" (§3.2).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        WorkloadConfig::new(32, 2048, 1024)
+    }
+
+    /// Requests processed together.
+    #[must_use]
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Prompt length in tokens.
+    #[must_use]
+    pub fn input_len(&self) -> u64 {
+        self.input_len
+    }
+
+    /// Generation length in tokens.
+    #[must_use]
+    pub fn output_len(&self) -> u64 {
+        self.output_len
+    }
+
+    /// Total prompt tokens in the batch (`batch × input_len`).
+    #[must_use]
+    pub fn prefill_tokens(&self) -> u64 {
+        self.batch * self.input_len
+    }
+
+    /// The decode phase this reproduction reports TBT at: the KV context
+    /// equals the input length (the first decode steps), matching how we
+    /// anchor against the paper's per-token figures.
+    #[must_use]
+    pub fn decode_phase(&self) -> InferencePhase {
+        InferencePhase::Decode { context_len: self.input_len }
+    }
+
+    /// The decode step midway through generation
+    /// (`context = input + output/2`), for sensitivity studies.
+    #[must_use]
+    pub fn mid_decode_phase(&self) -> InferencePhase {
+        InferencePhase::Decode { context_len: self.input_len + self.output_len / 2 }
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for WorkloadConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch {} x {} in / {} out", self.batch, self.input_len, self.output_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_3_2() {
+        let w = WorkloadConfig::paper_default();
+        assert_eq!(w.prefill_tokens(), 32 * 2048);
+        assert_eq!(w.decode_phase(), InferencePhase::Decode { context_len: 2048 });
+        assert_eq!(w.mid_decode_phase(), InferencePhase::Decode { context_len: 2560 });
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be nonzero")]
+    fn rejects_zero_batch() {
+        let _ = WorkloadConfig::new(0, 2048, 1024);
+    }
+
+    #[test]
+    fn zero_output_is_allowed_for_prefill_studies() {
+        let w = WorkloadConfig::new(1, 128, 0);
+        assert_eq!(w.output_len(), 0);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(InferencePhase::Prefill.to_string(), "prefill");
+        assert_eq!(InferencePhase::Decode { context_len: 2048 }.to_string(), "decode@2048");
+    }
+}

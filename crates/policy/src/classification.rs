@@ -1,0 +1,108 @@
+//! Classification outcomes and market segments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Export-control outcome for a device under an ACR generation.
+///
+/// Ordered by restrictiveness: `NotApplicable < NacEligible <
+/// LicenseRequired`, so the strictest outcome of several rules is simply
+/// the `max`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Classification {
+    /// The rule does not apply; the device exports freely.
+    NotApplicable,
+    /// Eligible for the Notified Advanced Computing licence exception
+    /// (October 2023 rule only). Exports may still be denied case-by-case.
+    NacEligible,
+    /// A regular export licence is required.
+    LicenseRequired,
+}
+
+impl Classification {
+    /// Whether the device faces any export restriction at all.
+    #[must_use]
+    pub fn is_restricted(self) -> bool {
+        self != Classification::NotApplicable
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Classification::NotApplicable => write!(f, "Not Applicable"),
+            Classification::NacEligible => write!(f, "NAC Eligible"),
+            Classification::LicenseRequired => write!(f, "License Required"),
+        }
+    }
+}
+
+/// How a device is designed/marketed — the distinction the October 2023
+/// rule (and §5.2's critique of it) hinges on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarketSegment {
+    /// Designed or marketed for data centers.
+    DataCenter,
+    /// Consumer / workstation ("non-data center") devices.
+    NonDataCenter,
+}
+
+impl MarketSegment {
+    /// The opposite segment — used for the paper's "what if it were
+    /// rebranded" analysis (Figure 9).
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        match self {
+            MarketSegment::DataCenter => MarketSegment::NonDataCenter,
+            MarketSegment::NonDataCenter => MarketSegment::DataCenter,
+        }
+    }
+}
+
+impl fmt::Display for MarketSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketSegment::DataCenter => write!(f, "data center"),
+            MarketSegment::NonDataCenter => write!(f, "non-data center"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_reflects_restrictiveness() {
+        assert!(Classification::NotApplicable < Classification::NacEligible);
+        assert!(Classification::NacEligible < Classification::LicenseRequired);
+        let strictest = [Classification::NacEligible, Classification::NotApplicable]
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(strictest, Classification::NacEligible);
+    }
+
+    #[test]
+    fn restriction_predicate() {
+        assert!(!Classification::NotApplicable.is_restricted());
+        assert!(Classification::NacEligible.is_restricted());
+        assert!(Classification::LicenseRequired.is_restricted());
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for m in [MarketSegment::DataCenter, MarketSegment::NonDataCenter] {
+            assert_eq!(m.opposite().opposite(), m);
+        }
+    }
+
+    #[test]
+    fn display_matches_figure_legends() {
+        assert_eq!(Classification::NacEligible.to_string(), "NAC Eligible");
+        assert_eq!(Classification::LicenseRequired.to_string(), "License Required");
+        assert_eq!(Classification::NotApplicable.to_string(), "Not Applicable");
+    }
+}

@@ -1,0 +1,127 @@
+//! The January 2025 "AI diffusion" framework's quantity controls (§2.1).
+//!
+//! Beyond per-device rules, the proposed January 2025 framework capped the
+//! *cumulative compute* (expressed in TPP) that may be exported to
+//! non-sanctioned destinations without further licensing. This module
+//! models that accounting: a destination holds a TPP allocation; exports
+//! draw it down device by device.
+
+use crate::metrics::DeviceMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A destination's cumulative TPP allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffusionQuota {
+    /// Total TPP that may be shipped.
+    pub tpp_allocation: f64,
+}
+
+impl DiffusionQuota {
+    /// The framework's headline country allocation: about 790 million TPP
+    /// through 2027 (≈ 50,000 H100-class devices).
+    #[must_use]
+    pub fn tier2_country() -> Self {
+        DiffusionQuota { tpp_allocation: 790.0e6 }
+    }
+
+    /// Maximum units of a device this allocation covers.
+    #[must_use]
+    pub fn max_units(&self, device: &DeviceMetrics) -> u64 {
+        if device.tpp().0 <= 0.0 {
+            return u64::MAX;
+        }
+        (self.tpp_allocation / device.tpp().0).floor() as u64
+    }
+}
+
+/// Running export ledger against a quota.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportLedger {
+    quota: DiffusionQuota,
+    consumed_tpp: f64,
+    shipments: Vec<(String, u64)>,
+}
+
+impl ExportLedger {
+    /// Open a ledger against `quota`.
+    #[must_use]
+    pub fn new(quota: DiffusionQuota) -> Self {
+        ExportLedger { quota, consumed_tpp: 0.0, shipments: Vec::new() }
+    }
+
+    /// Remaining TPP headroom.
+    #[must_use]
+    pub fn remaining_tpp(&self) -> f64 {
+        (self.quota.tpp_allocation - self.consumed_tpp).max(0.0)
+    }
+
+    /// Try to record a shipment of `units` devices; returns the number of
+    /// units actually covered (possibly fewer than requested when the
+    /// allocation runs out).
+    pub fn ship(&mut self, device: &DeviceMetrics, units: u64) -> u64 {
+        let per_unit = device.tpp().0.max(0.0);
+        let covered = if per_unit == 0.0 {
+            units
+        } else {
+            units.min((self.remaining_tpp() / per_unit).floor() as u64)
+        };
+        self.consumed_tpp += covered as f64 * per_unit;
+        if covered > 0 {
+            self.shipments.push((device.name().to_owned(), covered));
+        }
+        covered
+    }
+
+    /// Shipments recorded so far: `(device name, units)`.
+    #[must_use]
+    pub fn shipments(&self) -> &[(String, u64)] {
+        &self.shipments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::MarketSegment;
+
+    fn h100() -> DeviceMetrics {
+        DeviceMetrics::new("H100", 15824.0, 900.0, 814.0, true, MarketSegment::DataCenter)
+    }
+
+    fn h20() -> DeviceMetrics {
+        DeviceMetrics::new("H20", 2368.0, 900.0, 814.0, true, MarketSegment::DataCenter)
+    }
+
+    #[test]
+    fn tier2_quota_covers_about_fifty_thousand_h100s() {
+        let q = DiffusionQuota::tier2_country();
+        let units = q.max_units(&h100());
+        assert!(units > 45_000 && units < 55_000, "units = {units}");
+        // Compute-capped devices stretch the same allocation ~6.7x.
+        assert!(q.max_units(&h20()) > 6 * units);
+    }
+
+    #[test]
+    fn ledger_enforces_the_cap() {
+        let mut ledger = ExportLedger::new(DiffusionQuota { tpp_allocation: 100_000.0 });
+        // 6 H100s fit (94,944 TPP); a 7th does not.
+        assert_eq!(ledger.ship(&h100(), 7), 6);
+        let after_h100 = ledger.remaining_tpp();
+        assert!((after_h100 - (100_000.0 - 6.0 * 15_824.0)).abs() < 1e-6);
+        // Top-up with smaller devices until exhaustion.
+        let extra = ledger.ship(&h20(), 100);
+        assert_eq!(extra, (after_h100 / 2368.0).floor() as u64);
+        assert!(ledger.remaining_tpp() < 2368.0);
+        assert_eq!(ledger.shipments().len(), 2);
+        // Nothing more fits.
+        assert_eq!(ledger.ship(&h100(), 1), 0);
+    }
+
+    #[test]
+    fn zero_tpp_devices_are_unconstrained() {
+        let q = DiffusionQuota { tpp_allocation: 10.0 };
+        let legacy =
+            DeviceMetrics::new("vga", 0.0, 1.0, 100.0, false, MarketSegment::NonDataCenter);
+        assert_eq!(q.max_units(&legacy), u64::MAX);
+    }
+}

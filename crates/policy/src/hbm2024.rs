@@ -1,0 +1,148 @@
+//! The December 2024 HBM export control (§2.1).
+//!
+//! Commodity HBM packages with a *memory bandwidth density* — package
+//! bandwidth divided by package area — greater than 2 GB/s/mm² are
+//! export-controlled; packages below 3.3 GB/s/mm² may apply for licence
+//! exception *HBM*. The rule does not apply to HBM already installed in
+//! computing devices before export.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One commodity HBM package.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmPackage {
+    /// Package name.
+    pub name: String,
+    /// Package bandwidth in GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Package area in mm².
+    pub area_mm2: f64,
+}
+
+impl HbmPackage {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bandwidth_gb_s: f64, area_mm2: f64) -> Self {
+        HbmPackage { name: name.into(), bandwidth_gb_s, area_mm2 }
+    }
+
+    /// Memory bandwidth density in GB/s/mm².
+    ///
+    /// Returns 0 for degenerate (non-positive-area) packages.
+    #[must_use]
+    pub fn bandwidth_density(&self) -> f64 {
+        if self.area_mm2 <= 0.0 {
+            0.0
+        } else {
+            self.bandwidth_gb_s / self.area_mm2
+        }
+    }
+}
+
+/// Outcome of the December 2024 HBM rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HbmClassification {
+    /// Below the 2 GB/s/mm² control threshold.
+    NotControlled,
+    /// Controlled, but below 3.3 GB/s/mm²: may apply for licence
+    /// exception HBM.
+    ExceptionEligible,
+    /// Controlled with no exception path.
+    Controlled,
+}
+
+impl fmt::Display for HbmClassification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbmClassification::NotControlled => write!(f, "not controlled"),
+            HbmClassification::ExceptionEligible => write!(f, "license exception HBM eligible"),
+            HbmClassification::Controlled => write!(f, "controlled"),
+        }
+    }
+}
+
+/// The December 2024 HBM rule thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmRule2024 {
+    /// Control threshold in GB/s/mm² (2.0).
+    pub control_density: f64,
+    /// Licence-exception ceiling in GB/s/mm² (3.3).
+    pub exception_density: f64,
+}
+
+impl HbmRule2024 {
+    /// The thresholds as published in December 2024.
+    #[must_use]
+    pub fn published() -> Self {
+        HbmRule2024 { control_density: 2.0, exception_density: 3.3 }
+    }
+
+    /// Classify a commodity HBM package.
+    #[must_use]
+    pub fn classify(&self, package: &HbmPackage) -> HbmClassification {
+        let density = package.bandwidth_density();
+        if density <= self.control_density {
+            HbmClassification::NotControlled
+        } else if density < self.exception_density {
+            HbmClassification::ExceptionEligible
+        } else {
+            HbmClassification::Controlled
+        }
+    }
+}
+
+impl Default for HbmRule2024 {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_tiers() {
+        let rule = HbmRule2024::published();
+        // HBM2e-class: ~460 GB/s on a ~100 mm² package: density 4.6.
+        let hbm2e = HbmPackage::new("HBM2e", 460.0, 100.0);
+        assert_eq!(rule.classify(&hbm2e), HbmClassification::Controlled);
+        // A hypothetical derated stack at 2.5 GB/s/mm²: exception-eligible.
+        let derated = HbmPackage::new("derated", 250.0, 100.0);
+        assert_eq!(rule.classify(&derated), HbmClassification::ExceptionEligible);
+        // Plain DDR-class package density: not controlled.
+        let slow = HbmPackage::new("slow", 150.0, 100.0);
+        assert_eq!(rule.classify(&slow), HbmClassification::NotControlled);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let rule = HbmRule2024::published();
+        // "greater than 2" controls: exactly 2.0 is not controlled.
+        assert_eq!(
+            rule.classify(&HbmPackage::new("edge", 200.0, 100.0)),
+            HbmClassification::NotControlled
+        );
+        // "less than 3.3" is exception-eligible: exactly 3.3 is not.
+        assert_eq!(
+            rule.classify(&HbmPackage::new("edge", 330.0, 100.0)),
+            HbmClassification::Controlled
+        );
+    }
+
+    #[test]
+    fn degenerate_package_is_uncontrolled() {
+        let rule = HbmRule2024::published();
+        assert_eq!(
+            rule.classify(&HbmPackage::new("zero", 500.0, 0.0)),
+            HbmClassification::NotControlled
+        );
+    }
+
+    #[test]
+    fn ordering_reflects_restrictiveness() {
+        assert!(HbmClassification::NotControlled < HbmClassification::ExceptionEligible);
+        assert!(HbmClassification::ExceptionEligible < HbmClassification::Controlled);
+    }
+}

@@ -1,0 +1,91 @@
+//! Legacy export-control performance metrics (§6.1).
+//!
+//! The TPP metric descends from a 30-year lineage:
+//!
+//! * **Composite Theoretical Performance** (CTP, 1991) measured millions
+//!   of theoretical operations per second with a word-length adjustment
+//!   `L/3 × (1/3 + L/96)` in the original rule; the commonly used
+//!   simplification (applied here) scales an operation rate by
+//!   `0.3 + 0.7·L/64` so a 64-bit operation counts fully and narrower
+//!   operations are discounted but never below 30 %.
+//! * **Adjusted Peak Performance** (APP, 2006) replaced CTP with
+//!   64-bit FLOP/s weighted by processor type: 0.9 for vector processors,
+//!   0.3 for non-vector processors, expressed in Weighted TeraFLOPS (WT).
+//!
+//! These are provided for comparison studies; they are *simplified*
+//! reconstructions of the regulatory formulas, not compliance tools.
+
+use serde::{Deserialize, Serialize};
+
+/// Word-length adjustment used by the simplified CTP model:
+/// `0.3 + 0.7 · bits / 64`, so 64-bit ops weigh 1.0 and 8-bit ops 0.3875.
+#[must_use]
+pub fn ctp_word_length_factor(bits: u32) -> f64 {
+    0.3 + 0.7 * f64::from(bits) / 64.0
+}
+
+/// Simplified Composite Theoretical Performance in MTOPS: an operation
+/// rate (`tera_ops_per_s`, theoretical peak) at a given operand width.
+#[must_use]
+pub fn ctp_mtops(tera_ops_per_s: f64, bits: u32) -> f64 {
+    tera_ops_per_s * 1e6 * ctp_word_length_factor(bits)
+}
+
+/// Processor category for APP weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppProcessorKind {
+    /// Vector processors (weighting 0.9).
+    Vector,
+    /// Non-vector processors (weighting 0.3).
+    NonVector,
+}
+
+impl AppProcessorKind {
+    /// The APP weighting factor.
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            AppProcessorKind::Vector => 0.9,
+            AppProcessorKind::NonVector => 0.3,
+        }
+    }
+}
+
+/// Adjusted Peak Performance in Weighted TeraFLOPS: 64-bit FLOP rate
+/// weighted by processor kind.
+#[must_use]
+pub fn app_wt(tera_flops_64bit: f64, kind: AppProcessorKind) -> f64 {
+    tera_flops_64bit * kind.weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_length_factor_full_at_64_bits() {
+        assert!((ctp_word_length_factor(64) - 1.0).abs() < 1e-12);
+        assert!((ctp_word_length_factor(32) - 0.65).abs() < 1e-12);
+        assert!(ctp_word_length_factor(8) > 0.3);
+    }
+
+    #[test]
+    fn ctp_discounts_narrow_ops_tpp_rewards_them_less() {
+        // The same 312 TOPS device: CTP at fp16 vs fp64.
+        let narrow = ctp_mtops(312.0, 16);
+        let wide = ctp_mtops(312.0, 64);
+        assert!(narrow < wide);
+        // TPP instead scales linearly in bitwidth: 16-bit counts 1/4 of
+        // 64-bit — a different (steeper) discount, which is the point of
+        // the §6.1 comparison.
+        let tpp_ratio = 16.0 / 64.0;
+        let ctp_ratio = narrow / wide;
+        assert!(ctp_ratio > tpp_ratio);
+    }
+
+    #[test]
+    fn app_weighting() {
+        assert!((app_wt(10.0, AppProcessorKind::Vector) - 9.0).abs() < 1e-12);
+        assert!((app_wt(10.0, AppProcessorKind::NonVector) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! The Advanced Computing Rule (ACR) engine: US export-control
+//! classification of accelerator devices.
+//!
+//! Implements, as data-driven rule objects, the three generations of
+//! controls the paper analyses:
+//!
+//! * [`Acr2022`] — October 2022 (Table 1a): license required when
+//!   `TPP ≥ 4800` **and** aggregate bidirectional device bandwidth
+//!   `≥ 600 GB/s`.
+//! * [`Acr2023`] — October 2023 (Table 1b): performance-density tiers with
+//!   separate data-center / non-data-center guidelines and Notified
+//!   Advanced Computing (NAC) license exceptions.
+//! * [`HbmRule2024`] — December 2024: memory-bandwidth-density thresholds
+//!   on commodity HBM packages.
+//!
+//! plus the legacy metrics they descend from ([`legacy`]: 1991's Composite
+//! Theoretical Performance and 2006's Adjusted Peak Performance) and the
+//! area-floor arithmetic of the paper's Figure 2 ([`thresholds`]).
+//!
+//! The rule inputs are [`DeviceMetrics`] — the datasheet quantities the
+//! regulations reference — so real devices (`acs-devices`) and synthetic
+//! DSE designs (`acs-dse`) classify through the same code path.
+//!
+//! # Example
+//!
+//! ```
+//! use acs_policy::{Acr2022, Acr2023, Classification, DeviceMetrics, MarketSegment};
+//!
+//! // The NVIDIA A100: TPP 4992, 600 GB/s NVLink, 826 mm² FinFET die.
+//! let a100 = DeviceMetrics::new("A100", 4992.0, 600.0, 826.0, true, MarketSegment::DataCenter)
+//!     .with_memory(80.0, 2039.0);
+//! assert_eq!(Acr2022::default().classify(&a100), Classification::LicenseRequired);
+//! assert_eq!(Acr2023::default().classify(&a100), Classification::LicenseRequired);
+//!
+//! // The A800 cut device bandwidth to 400 GB/s and escaped the 2022 rule…
+//! let a800 = DeviceMetrics::new("A800", 4992.0, 400.0, 826.0, true, MarketSegment::DataCenter);
+//! assert_eq!(Acr2022::default().classify(&a800), Classification::NotApplicable);
+//! // …but the 2023 performance-density rule catches it (PD 6.04 ≥ 5.92).
+//! assert_eq!(Acr2023::default().classify(&a800), Classification::LicenseRequired);
+//! ```
+
+pub mod classification;
+pub mod diffusion2025;
+pub mod hbm2024;
+pub mod legacy;
+pub mod metrics;
+pub mod oct2022;
+pub mod oct2023;
+pub mod thresholds;
+pub mod timeline;
+
+pub use classification::{Classification, MarketSegment};
+pub use diffusion2025::{DiffusionQuota, ExportLedger};
+pub use hbm2024::{HbmClassification, HbmPackage, HbmRule2024};
+pub use metrics::DeviceMetrics;
+pub use oct2022::Acr2022;
+pub use oct2023::Acr2023;
+pub use timeline::{classify_as_of, generation_as_of, RuleGeneration};

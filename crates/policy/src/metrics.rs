@@ -1,0 +1,221 @@
+//! The datasheet quantities export-control rules reference.
+
+use crate::classification::MarketSegment;
+use acs_hw::{AreaModel, DeviceConfig, PerfDensity, Tpp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Export-control-relevant metrics of one device.
+///
+/// Both real products (from `acs-devices`) and synthetic DSE designs (from
+/// `acs-dse`) are classified through this type, so policy code never cares
+/// where a device came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMetrics {
+    name: String,
+    tpp: Tpp,
+    device_bw_gb_s: f64,
+    die_area_mm2: f64,
+    non_planar: bool,
+    market: MarketSegment,
+    mem_capacity_gib: f64,
+    mem_bw_gb_s: f64,
+}
+
+impl DeviceMetrics {
+    /// Construct metrics from datasheet values.
+    ///
+    /// `die_area_mm2` is the total die area of the package;
+    /// `non_planar` records whether the dies use FinFET/GAA transistors
+    /// (planar dies have no "applicable die area" and hence no
+    /// performance density under the October 2023 rule).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        tpp: f64,
+        device_bw_gb_s: f64,
+        die_area_mm2: f64,
+        non_planar: bool,
+        market: MarketSegment,
+    ) -> Self {
+        DeviceMetrics {
+            name: name.into(),
+            tpp: Tpp(tpp),
+            device_bw_gb_s,
+            die_area_mm2,
+            non_planar,
+            market,
+            mem_capacity_gib: 0.0,
+            mem_bw_gb_s: 0.0,
+        }
+    }
+
+    /// Attach memory capacity (GiB) and bandwidth (GB/s) — used by the
+    /// paper's architecture-based classification (Figure 10).
+    #[must_use]
+    pub fn with_memory(mut self, capacity_gib: f64, bandwidth_gb_s: f64) -> Self {
+        self.mem_capacity_gib = capacity_gib;
+        self.mem_bw_gb_s = bandwidth_gb_s;
+        self
+    }
+
+    /// Derive metrics from a hardware configuration: TPP from Eq. 1,
+    /// performance density from the given die area and the configuration's
+    /// process planarity.
+    #[must_use]
+    pub fn from_config(
+        config: &DeviceConfig,
+        die_area_mm2: f64,
+        market: MarketSegment,
+    ) -> Self {
+        DeviceMetrics {
+            name: config.name().to_owned(),
+            tpp: config.tpp(),
+            device_bw_gb_s: config.phy().total_gb_s(),
+            die_area_mm2,
+            non_planar: config.process().is_non_planar(),
+            market,
+            mem_capacity_gib: config.hbm().capacity_gib,
+            mem_bw_gb_s: config.hbm().bandwidth_gb_s,
+        }
+    }
+
+    /// Derive metrics from a configuration, modelling its die area with
+    /// the calibrated 7 nm area model.
+    #[must_use]
+    pub fn from_config_with_model(config: &DeviceConfig, market: MarketSegment) -> Self {
+        let area = AreaModel::n7().die_area(config).total_mm2();
+        Self::from_config(config, area, market)
+    }
+
+    /// Device name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total Processing Performance.
+    #[must_use]
+    pub fn tpp(&self) -> Tpp {
+        self.tpp
+    }
+
+    /// Aggregate bidirectional device-to-device bandwidth in GB/s.
+    #[must_use]
+    pub fn device_bw_gb_s(&self) -> f64 {
+        self.device_bw_gb_s
+    }
+
+    /// Total die area in mm².
+    #[must_use]
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_area_mm2
+    }
+
+    /// Whether the dies use non-planar transistors.
+    #[must_use]
+    pub fn non_planar(&self) -> bool {
+        self.non_planar
+    }
+
+    /// Marketed segment.
+    #[must_use]
+    pub fn market(&self) -> MarketSegment {
+        self.market
+    }
+
+    /// Memory capacity in GiB (0 when unknown).
+    #[must_use]
+    pub fn mem_capacity_gib(&self) -> f64 {
+        self.mem_capacity_gib
+    }
+
+    /// Memory bandwidth in GB/s (0 when unknown).
+    #[must_use]
+    pub fn mem_bw_gb_s(&self) -> f64 {
+        self.mem_bw_gb_s
+    }
+
+    /// Performance density (TPP / applicable die area); `None` for planar
+    /// dies or unknown area.
+    #[must_use]
+    pub fn performance_density(&self) -> Option<PerfDensity> {
+        if self.non_planar && self.die_area_mm2 > 0.0 {
+            Some(PerfDensity(self.tpp.0 / self.die_area_mm2))
+        } else {
+            None
+        }
+    }
+
+    /// A copy rebranded into the opposite market segment (Figure 9's
+    /// counterfactual).
+    #[must_use]
+    pub fn rebranded(&self) -> Self {
+        let mut m = self.clone();
+        m.market = self.market.opposite();
+        m
+    }
+}
+
+impl fmt::Display for DeviceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, {:.0} GB/s dev BW, {:.0} mm2",
+            self.name, self.market, self.tpp, self.device_bw_gb_s, self.die_area_mm2
+        )?;
+        if let Some(pd) = self.performance_density() {
+            write!(f, ", {pd}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_config_yields_paper_metrics() {
+        let cfg = DeviceConfig::a100_like();
+        let m = DeviceMetrics::from_config(&cfg, 826.0, MarketSegment::DataCenter);
+        assert!((m.tpp().0 - 4992.0).abs() < 25.0);
+        assert!((m.device_bw_gb_s() - 600.0).abs() < 1e-9);
+        let pd = m.performance_density().unwrap();
+        assert!((pd.0 - 6.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn planar_devices_have_no_pd() {
+        let m = DeviceMetrics::new("old", 100.0, 32.0, 400.0, false, MarketSegment::NonDataCenter);
+        assert_eq!(m.performance_density(), None);
+    }
+
+    #[test]
+    fn zero_area_has_no_pd() {
+        let m = DeviceMetrics::new("x", 100.0, 32.0, 0.0, true, MarketSegment::NonDataCenter);
+        assert_eq!(m.performance_density(), None);
+    }
+
+    #[test]
+    fn rebranding_flips_only_the_market() {
+        let m = DeviceMetrics::new("x", 5285.0, 32.0, 608.0, true, MarketSegment::NonDataCenter);
+        let r = m.rebranded();
+        assert_eq!(r.market(), MarketSegment::DataCenter);
+        assert_eq!(r.tpp(), m.tpp());
+        assert_eq!(r.rebranded(), m);
+    }
+
+    #[test]
+    fn from_config_with_model_uses_area_model() {
+        let cfg = DeviceConfig::a100_like();
+        let m = DeviceMetrics::from_config_with_model(&cfg, MarketSegment::DataCenter);
+        assert!(m.die_area_mm2() > 500.0 && m.die_area_mm2() < 900.0);
+    }
+
+    #[test]
+    fn display_shows_pd_for_finfet() {
+        let m = DeviceMetrics::new("A800", 4992.0, 400.0, 826.0, true, MarketSegment::DataCenter);
+        assert!(m.to_string().contains("TPP/mm2"));
+    }
+}

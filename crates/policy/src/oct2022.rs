@@ -1,0 +1,117 @@
+//! The October 2022 Advanced Computing Rule (Table 1a).
+//!
+//! A regular export licence is required for devices that achieve an
+//! aggregate bidirectional I/O transfer rate over 600 GB/s **and**
+//! aggregate Total Processing Performance of 4800 or more. There is no
+//! NAC tier and no market-segment distinction.
+
+use crate::classification::Classification;
+use crate::metrics::DeviceMetrics;
+use serde::{Deserialize, Serialize};
+
+/// The October 2022 rule, parameterised so "what-if" thresholds can be
+/// explored (§5's policy design studies).
+///
+/// # Example
+///
+/// ```
+/// use acs_policy::{Acr2022, Classification, DeviceMetrics, MarketSegment};
+///
+/// let rule = Acr2022::published();
+/// let h800 = DeviceMetrics::new("H800", 15824.0, 400.0, 814.0, true,
+///     MarketSegment::DataCenter);
+/// // The bandwidth cut alone escapes the 2022 rule.
+/// assert_eq!(rule.classify(&h800), Classification::NotApplicable);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Acr2022 {
+    /// TPP threshold (inclusive). Regulation value: 4800.
+    pub tpp_threshold: f64,
+    /// Aggregate bidirectional device bandwidth threshold in GB/s
+    /// (inclusive). Regulation value: 600.
+    pub device_bw_threshold_gb_s: f64,
+}
+
+impl Acr2022 {
+    /// The thresholds as published in October 2022.
+    #[must_use]
+    pub fn published() -> Self {
+        Acr2022 { tpp_threshold: 4800.0, device_bw_threshold_gb_s: 600.0 }
+    }
+
+    /// Classify a device.
+    #[must_use]
+    pub fn classify(&self, device: &DeviceMetrics) -> Classification {
+        let over_tpp = device.tpp().0 >= self.tpp_threshold;
+        let over_bw = device.device_bw_gb_s() >= self.device_bw_threshold_gb_s;
+        if over_tpp && over_bw {
+            Classification::LicenseRequired
+        } else {
+            Classification::NotApplicable
+        }
+    }
+
+    /// Whether a (TPP, device bandwidth) point is unregulated — the
+    /// boundary Figure 1a plots.
+    #[must_use]
+    pub fn is_compliant(&self, tpp: f64, device_bw_gb_s: f64) -> bool {
+        tpp < self.tpp_threshold || device_bw_gb_s < self.device_bw_threshold_gb_s
+    }
+}
+
+impl Default for Acr2022 {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::MarketSegment;
+
+    fn dev(name: &str, tpp: f64, bw: f64) -> DeviceMetrics {
+        DeviceMetrics::new(name, tpp, bw, 800.0, true, MarketSegment::DataCenter)
+    }
+
+    #[test]
+    fn paper_named_devices_classify_as_figure_1a() {
+        let rule = Acr2022::published();
+        // Regulated flagships (§2.2).
+        assert_eq!(rule.classify(&dev("H100", 15824.0, 900.0)), Classification::LicenseRequired);
+        assert_eq!(rule.classify(&dev("A100", 4992.0, 600.0)), Classification::LicenseRequired);
+        assert_eq!(rule.classify(&dev("MI250X", 6128.0, 800.0)), Classification::LicenseRequired);
+        // Compliance-by-bandwidth-cut devices.
+        assert_eq!(rule.classify(&dev("A800", 4992.0, 400.0)), Classification::NotApplicable);
+        assert_eq!(rule.classify(&dev("H800", 15824.0, 400.0)), Classification::NotApplicable);
+        // Compliance-by-TPP devices.
+        assert_eq!(rule.classify(&dev("MI210", 2896.0, 300.0)), Classification::NotApplicable);
+        assert_eq!(rule.classify(&dev("A30", 2640.0, 400.0)), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let rule = Acr2022::published();
+        assert_eq!(rule.classify(&dev("edge", 4800.0, 600.0)), Classification::LicenseRequired);
+        assert_eq!(rule.classify(&dev("under-tpp", 4799.9, 600.0)), Classification::NotApplicable);
+        assert_eq!(rule.classify(&dev("under-bw", 4800.0, 599.9)), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn compliance_boundary_matches_classifier() {
+        let rule = Acr2022::published();
+        for &(tpp, bw) in
+            &[(4000.0, 900.0), (8000.0, 500.0), (4800.0, 600.0), (5000.0, 700.0)]
+        {
+            let compliant = rule.is_compliant(tpp, bw);
+            let restricted = rule.classify(&dev("p", tpp, bw)).is_restricted();
+            assert_eq!(compliant, !restricted, "tpp={tpp} bw={bw}");
+        }
+    }
+
+    #[test]
+    fn custom_thresholds_apply() {
+        let strict = Acr2022 { tpp_threshold: 2000.0, device_bw_threshold_gb_s: 300.0 };
+        assert_eq!(strict.classify(&dev("A30", 2640.0, 400.0)), Classification::LicenseRequired);
+    }
+}

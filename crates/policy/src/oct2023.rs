@@ -1,0 +1,222 @@
+//! The October 2023 Advanced Computing Rule (Table 1b).
+//!
+//! Data-center devices:
+//!
+//! * **Licence required**: `TPP ≥ 4800`, or `TPP ≥ 1600 ∧ PD ≥ 5.92`.
+//! * **NAC eligible**: `4800 > TPP ≥ 2400 ∧ 5.92 > PD ≥ 1.6`, or
+//!   `TPP ≥ 1600 ∧ 5.92 > PD ≥ 3.2`.
+//!
+//! Non-data-center devices: **NAC eligible** when `TPP ≥ 4800`.
+//!
+//! Planar-transistor dies contribute no applicable die area, so such
+//! devices have no performance density and only the TPP clauses can bind.
+
+use crate::classification::{Classification, MarketSegment};
+use crate::metrics::DeviceMetrics;
+use serde::{Deserialize, Serialize};
+
+/// The October 2023 rule, parameterised for what-if studies.
+///
+/// # Example
+///
+/// ```
+/// use acs_policy::{Acr2023, Classification, DeviceMetrics, MarketSegment};
+///
+/// let rule = Acr2023::published();
+/// let l40 = DeviceMetrics::new("L40", 2896.0, 32.0, 608.5, true,
+///     MarketSegment::DataCenter);
+/// assert_eq!(rule.classify(&l40), Classification::NacEligible);
+/// // Rebranded as a consumer part it would escape entirely (§5.2).
+/// assert_eq!(
+///     rule.classify_as(&l40, MarketSegment::NonDataCenter),
+///     Classification::NotApplicable
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Acr2023 {
+    /// Unconditional licence TPP threshold (4800).
+    pub tpp_license: f64,
+    /// TPP floor of the density-based licence clause (1600).
+    pub tpp_floor: f64,
+    /// NAC TPP floor of the first NAC clause (2400).
+    pub tpp_nac: f64,
+    /// PD at/above which a licence is required (5.92).
+    pub pd_license: f64,
+    /// PD floor of the second NAC clause (3.2).
+    pub pd_nac_high: f64,
+    /// PD floor of the first NAC clause (1.6).
+    pub pd_nac_low: f64,
+}
+
+impl Acr2023 {
+    /// The thresholds as published in October 2023.
+    #[must_use]
+    pub fn published() -> Self {
+        Acr2023 {
+            tpp_license: 4800.0,
+            tpp_floor: 1600.0,
+            tpp_nac: 2400.0,
+            pd_license: 5.92,
+            pd_nac_high: 3.2,
+            pd_nac_low: 1.6,
+        }
+    }
+
+    /// Classify a device under its marketed segment.
+    #[must_use]
+    pub fn classify(&self, device: &DeviceMetrics) -> Classification {
+        self.classify_as(device, device.market())
+    }
+
+    /// Classify a device *as if* marketed in `segment` — the
+    /// counterfactual behind the paper's false-data-center /
+    /// false-non-data-center analysis (Figure 9).
+    #[must_use]
+    pub fn classify_as(&self, device: &DeviceMetrics, segment: MarketSegment) -> Classification {
+        let tpp = device.tpp().0;
+        match segment {
+            MarketSegment::NonDataCenter => {
+                if tpp >= self.tpp_license {
+                    Classification::NacEligible
+                } else {
+                    Classification::NotApplicable
+                }
+            }
+            MarketSegment::DataCenter => {
+                let pd = device.performance_density().map_or(0.0, |p| p.0);
+                if tpp >= self.tpp_license || (tpp >= self.tpp_floor && pd >= self.pd_license) {
+                    return Classification::LicenseRequired;
+                }
+                let nac_mid = tpp >= self.tpp_nac && pd >= self.pd_nac_low;
+                let nac_dense = tpp >= self.tpp_floor && pd >= self.pd_nac_high;
+                if nac_mid || nac_dense {
+                    Classification::NacEligible
+                } else {
+                    Classification::NotApplicable
+                }
+            }
+        }
+    }
+
+    /// Whether a data-center (TPP, PD) point escapes the rule entirely —
+    /// the strictest compliance target the paper's Oct-2023 DSE uses,
+    /// since NAC-eligible devices "may not always be granted export
+    /// licenses" (§4.3).
+    #[must_use]
+    pub fn is_unregulated_dc(&self, tpp: f64, pd: f64) -> bool {
+        let probe = DeviceMetrics::new(
+            "probe",
+            tpp,
+            0.0,
+            if pd > 0.0 { tpp / pd } else { 0.0 },
+            pd > 0.0,
+            MarketSegment::DataCenter,
+        );
+        self.classify_as(&probe, MarketSegment::DataCenter) == Classification::NotApplicable
+    }
+}
+
+impl Default for Acr2023 {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(name: &str, tpp: f64, area: f64) -> DeviceMetrics {
+        DeviceMetrics::new(name, tpp, 600.0, area, true, MarketSegment::DataCenter)
+    }
+
+    fn consumer(name: &str, tpp: f64, area: f64) -> DeviceMetrics {
+        DeviceMetrics::new(name, tpp, 32.0, area, true, MarketSegment::NonDataCenter)
+    }
+
+    #[test]
+    fn paper_named_devices_classify_as_figure_1b() {
+        let rule = Acr2023::published();
+        // H100/H800: TPP 15824 — licence regardless of PD.
+        assert_eq!(rule.classify(&dc("H100", 15824.0, 814.0)), Classification::LicenseRequired);
+        // A800: TPP 4992 ≥ 4800 — now caught (§2.2).
+        assert_eq!(rule.classify(&dc("A800", 4992.0, 826.0)), Classification::LicenseRequired);
+        // MI210: TPP 2896, PD 3.76 — NAC (§2.2).
+        let mi210 = dc("MI210", 2896.0, 2896.0 / 3.76);
+        assert_eq!(rule.classify(&mi210), Classification::NacEligible);
+        // RTX 4090 (consumer): TPP 5285 ≥ 4800 — NAC (§2.2).
+        assert_eq!(rule.classify(&consumer("RTX 4090", 5285.0, 608.5)), Classification::NacEligible);
+        // RTX 4090D: TPP 4708 < 4800 — unregulated (§2.2).
+        assert_eq!(rule.classify(&consumer("RTX 4090D", 4708.0, 608.5)), Classification::NotApplicable);
+        // H20: TPP 2368 < 2400 with PD ≈ 2.91 < 3.2 — designed to escape
+        // the rule entirely (it shipped to sanctioned markets).
+        assert_eq!(rule.classify(&dc("H20", 2368.0, 814.0)), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn dense_low_tpp_devices_hit_the_second_nac_clause() {
+        let rule = Acr2023::published();
+        // TPP 1800 on a tiny 400 mm² die: PD 4.5 ∈ [3.2, 5.92) => NAC.
+        assert_eq!(rule.classify(&dc("dense", 1800.0, 400.0)), Classification::NacEligible);
+        // Same TPP spread over 1200 mm²: PD 1.5 < 1.6 => unregulated.
+        assert_eq!(rule.classify(&dc("sparse", 1800.0, 1200.0)), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn density_license_clause_requires_tpp_floor() {
+        let rule = Acr2023::published();
+        // PD 8 but TPP 1000 < 1600: no clause binds.
+        assert_eq!(rule.classify(&dc("tiny", 1000.0, 125.0)), Classification::NotApplicable);
+        // PD 8 with TPP 1600: licence.
+        assert_eq!(rule.classify(&dc("dense1600", 1600.0, 200.0)), Classification::LicenseRequired);
+    }
+
+    #[test]
+    fn planar_dies_have_no_density_clauses() {
+        let rule = Acr2023::published();
+        let planar =
+            DeviceMetrics::new("planar", 3000.0, 600.0, 100.0, false, MarketSegment::DataCenter);
+        // PD would be 30 on a FinFET die; planar escapes with TPP < 4800.
+        assert_eq!(rule.classify(&planar), Classification::NotApplicable);
+    }
+
+    #[test]
+    fn non_dc_ignores_density_entirely() {
+        let rule = Acr2023::published();
+        // Extremely dense consumer part, TPP < 4800: unregulated.
+        assert_eq!(rule.classify(&consumer("dense", 4700.0, 100.0)), Classification::NotApplicable);
+        // TPP over 4800: NAC, never a regular licence.
+        assert_eq!(rule.classify(&consumer("big", 20000.0, 100.0)), Classification::NacEligible);
+    }
+
+    #[test]
+    fn paper_area_floors_hold() {
+        // §2.5: 2399 TPP escapes with area > 750 mm²; 4799 TPP needs
+        // > 3000 mm²; 1600 TPP is NAC-free… below PD 5.92 only.
+        let rule = Acr2023::published();
+        assert!(rule.is_unregulated_dc(2399.0, 2399.0 / 751.0));
+        assert!(!rule.is_unregulated_dc(2399.0, 2399.0 / 749.0));
+        assert!(rule.is_unregulated_dc(4799.0, 4799.0 / 3001.0));
+        assert!(!rule.is_unregulated_dc(4799.0, 4799.0 / 2999.0));
+    }
+
+    #[test]
+    fn classify_as_supports_rebranding_counterfactuals() {
+        let rule = Acr2023::published();
+        // The RTX 4090 would require a licence if marketed as DC
+        // (TPP 5285 ≥ 4800).
+        let rtx4090 = consumer("RTX 4090", 5285.0, 608.5);
+        assert_eq!(
+            rule.classify_as(&rtx4090, MarketSegment::DataCenter),
+            Classification::LicenseRequired
+        );
+        // The L40 (DC, TPP 2896, PD ≈ 4.77) is NAC as DC but free as
+        // consumer — a "false data center" device (§5.2).
+        let l40 = dc("L40", 2896.0, 608.5);
+        assert_eq!(rule.classify(&l40), Classification::NacEligible);
+        assert_eq!(
+            rule.classify_as(&l40, MarketSegment::NonDataCenter),
+            Classification::NotApplicable
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Area-floor arithmetic of the October 2023 rule (Figure 2).
+//!
+//! The performance-density metric acts as a *floor on die area*: a device
+//! can escape the rule by keeping TPP constant and growing its die. These
+//! helpers compute the floors the paper quotes in §2.5.
+
+use crate::oct2023::Acr2023;
+
+/// Minimum total die area (mm²) for a data-center device of `tpp` to be
+/// completely unregulated under `rule` (strictly outside both the licence
+/// and NAC tiers). Returns `f64::INFINITY` when no area suffices
+/// (`TPP ≥ 4800`), and `0.0` when any area works (`TPP < 1600`).
+#[must_use]
+pub fn min_area_unregulated_dc(rule: &Acr2023, tpp: f64) -> f64 {
+    if tpp >= rule.tpp_license {
+        return f64::INFINITY;
+    }
+    if tpp < rule.tpp_floor {
+        return 0.0;
+    }
+    // Must stay under every PD floor whose TPP clause binds.
+    let pd_ceiling = if tpp >= rule.tpp_nac { rule.pd_nac_low } else { rule.pd_nac_high };
+    tpp / pd_ceiling
+}
+
+/// Minimum total die area (mm²) for a data-center device of `tpp` to be at
+/// worst NAC-eligible (i.e. not licence-required). `f64::INFINITY` when
+/// `TPP ≥ 4800`; `0.0` when `TPP < 1600`.
+#[must_use]
+pub fn min_area_nac_dc(rule: &Acr2023, tpp: f64) -> f64 {
+    if tpp >= rule.tpp_license {
+        return f64::INFINITY;
+    }
+    if tpp < rule.tpp_floor {
+        return 0.0;
+    }
+    tpp / rule.pd_license
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_2_5_floors() {
+        let rule = Acr2023::published();
+        // "a device with 2399 TPP … needs to have a die area greater than
+        // 750 mm²" — below the 2400 NAC floor, the binding ceiling is the
+        // PD 3.2 clause: 2399 / 3.2 ≈ 750.
+        let floor = min_area_unregulated_dc(&rule, 2399.0);
+        assert!((floor - 2399.0 / 3.2).abs() < 1.0, "floor = {floor}");
+        assert!(floor > 749.0 && floor < 751.0);
+        // "For a 1600 TPP device to be NAC eligible, it needs … greater
+        // than 270 mm²."
+        let nac = min_area_nac_dc(&rule, 1600.0);
+        assert!((nac - 1600.0 / 5.92).abs() < 1.0, "nac = {nac}");
+        assert!(nac > 269.0 && nac < 272.0);
+        // "For a 4799 TPP design to avoid export restrictions, the device
+        // must have total die area greater than 3000 mm²."
+        let big = min_area_unregulated_dc(&rule, 4799.0);
+        assert!(big > 2999.0 && big < 3001.0, "big = {big}");
+    }
+
+    #[test]
+    fn no_escape_at_or_above_4800() {
+        let rule = Acr2023::published();
+        assert!(min_area_unregulated_dc(&rule, 4800.0).is_infinite());
+        assert!(min_area_nac_dc(&rule, 15824.0).is_infinite());
+    }
+
+    #[test]
+    fn small_devices_need_no_area() {
+        let rule = Acr2023::published();
+        assert_eq!(min_area_unregulated_dc(&rule, 1000.0), 0.0);
+        assert_eq!(min_area_nac_dc(&rule, 1599.0), 0.0);
+    }
+
+    #[test]
+    fn floors_are_consistent_with_the_classifier() {
+        let rule = Acr2023::published();
+        for tpp in [1700.0, 2399.0, 2400.0, 3000.0, 4799.0] {
+            let floor = min_area_unregulated_dc(&rule, tpp);
+            assert!(rule.is_unregulated_dc(tpp, tpp / (floor * 1.001)));
+            assert!(!rule.is_unregulated_dc(tpp, tpp / (floor * 0.999)));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The regulatory timeline.
+//!
+//! §2.5 notes that chip design cycles span years while the rules changed
+//! within one; this module lets callers ask "how would this device have
+//! been classified as of a given month?" across the three regimes the
+//! paper spans: before October 2022, the October 2022 rule, and the
+//! October 2023 rule (still in effect through the paper's horizon —
+//! the December 2024 HBM rule regulates memory packages, not devices).
+
+use crate::classification::Classification;
+use crate::metrics::DeviceMetrics;
+use crate::oct2022::Acr2022;
+use crate::oct2023::Acr2023;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which device-level rule generation applies at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleGeneration {
+    /// Before the October 2022 Advanced Computing Rule.
+    PreAcr,
+    /// October 2022 – September 2023.
+    Oct2022,
+    /// October 2023 onward.
+    Oct2023,
+}
+
+impl fmt::Display for RuleGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleGeneration::PreAcr => write!(f, "pre-ACR"),
+            RuleGeneration::Oct2022 => write!(f, "October 2022 rule"),
+            RuleGeneration::Oct2023 => write!(f, "October 2023 rule"),
+        }
+    }
+}
+
+/// The rule generation in force in `(year, month)` (month 1–12).
+///
+/// # Example
+///
+/// ```
+/// use acs_policy::{generation_as_of, RuleGeneration};
+///
+/// assert_eq!(generation_as_of(2023, 3), RuleGeneration::Oct2022);
+/// assert_eq!(generation_as_of(2024, 3), RuleGeneration::Oct2023);
+/// ```
+#[must_use]
+pub fn generation_as_of(year: u16, month: u8) -> RuleGeneration {
+    let stamp = u32::from(year) * 12 + u32::from(month.clamp(1, 12)) - 1;
+    let oct_2022 = 2022 * 12 + 9; // October 2022
+    let oct_2023 = 2023 * 12 + 9;
+    if stamp < oct_2022 {
+        RuleGeneration::PreAcr
+    } else if stamp < oct_2023 {
+        RuleGeneration::Oct2022
+    } else {
+        RuleGeneration::Oct2023
+    }
+}
+
+/// Classify a device under the rule generation in force at `(year, month)`.
+#[must_use]
+pub fn classify_as_of(device: &DeviceMetrics, year: u16, month: u8) -> Classification {
+    match generation_as_of(year, month) {
+        RuleGeneration::PreAcr => Classification::NotApplicable,
+        RuleGeneration::Oct2022 => Acr2022::published().classify(device),
+        RuleGeneration::Oct2023 => Acr2023::published().classify(device),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::MarketSegment;
+
+    fn a800() -> DeviceMetrics {
+        DeviceMetrics::new("A800", 4992.0, 400.0, 826.0, true, MarketSegment::DataCenter)
+    }
+
+    #[test]
+    fn generation_boundaries() {
+        assert_eq!(generation_as_of(2022, 9), RuleGeneration::PreAcr);
+        assert_eq!(generation_as_of(2022, 10), RuleGeneration::Oct2022);
+        assert_eq!(generation_as_of(2023, 9), RuleGeneration::Oct2022);
+        assert_eq!(generation_as_of(2023, 10), RuleGeneration::Oct2023);
+        assert_eq!(generation_as_of(2025, 1), RuleGeneration::Oct2023);
+        assert_eq!(generation_as_of(2018, 1), RuleGeneration::PreAcr);
+    }
+
+    #[test]
+    fn the_a800_lifecycle() {
+        // Launched compliant (Aug 2022, pre-ACR), stayed compliant under
+        // the October 2022 rule, caught in October 2023 (§2.2).
+        let d = a800();
+        assert_eq!(classify_as_of(&d, 2022, 8), Classification::NotApplicable);
+        assert_eq!(classify_as_of(&d, 2023, 3), Classification::NotApplicable);
+        assert_eq!(classify_as_of(&d, 2023, 10), Classification::LicenseRequired);
+    }
+
+    #[test]
+    fn out_of_range_months_clamp() {
+        assert_eq!(generation_as_of(2023, 0), generation_as_of(2023, 1));
+        assert_eq!(generation_as_of(2023, 13), generation_as_of(2023, 12));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RuleGeneration::Oct2022.to_string(), "October 2022 rule");
+    }
+}

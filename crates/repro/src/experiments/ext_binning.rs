@@ -1,0 +1,83 @@
+//! Extension: binning economics behind regulation-specific SKUs (§2.3).
+//!
+//! The A800 uses the same GA100 die as the A100 with the NVLink rate cut;
+//! partially defective dies can serve the export SKU. This experiment
+//! quantifies the salvage: bin split of a 128-core GA100-class die into
+//! full / A100-grade / A30-grade products, and the effective cost per
+//! sellable device with and without the export bins.
+
+use crate::util::{banner, write_csv};
+use acs_hw::binning::{Bin, BinningModel};
+use acs_hw::{AreaModel, CostModel, DeviceConfig};
+use std::error::Error;
+
+/// Run the binning study.
+///
+/// # Errors
+///
+/// Propagates result-file I/O and configuration failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Extension: die binning and regulation-specific SKUs");
+    let physical = DeviceConfig::builder()
+        .name("GA100-class die")
+        .core_count(128)
+        .l2_mib(48)
+        .hbm_bandwidth_tb_s(2.4)
+        .build()?;
+    let am = AreaModel::n7();
+    // Flagship dies ship on young nodes (§2.3): model an early process
+    // ramp with ~2.3x the mature defect density.
+    let cm = CostModel { defect_density_per_cm2: 0.30, ..CostModel::n7() };
+    let area = am.die_area(&physical);
+    let model = BinningModel::for_device(&physical, &area);
+
+    println!(
+        "physical die: {} cores, {:.0} mm2, {:.2} expected fatal defects/die",
+        model.physical_cores,
+        model.die_area_mm2,
+        model.defects_per_die(&cm)
+    );
+
+    let bins = [
+        Bin::new("full (128 cores)", 128),
+        Bin::new("flagship bin (124 cores)", 124),
+        Bin::new("A100-grade (108 cores)", 108),
+    ];
+    let split = model.bin_split(&cm, &bins);
+    let mut rows = Vec::new();
+    println!("\n{:<26} {:>12} {:>16}", "bin", "share", "cumulative yield");
+    let mut cumulative = 0.0;
+    for (bin, share) in bins.iter().zip(&split) {
+        cumulative += share;
+        println!("{:<26} {:>11.1}% {:>15.1}%", bin.name, share * 100.0, cumulative * 100.0);
+        rows.push(vec![
+            bin.name.clone(),
+            bin.min_good_cores.to_string(),
+            format!("{:.4}", share),
+            format!("{:.4}", cumulative),
+        ]);
+    }
+    println!("{:<26} {:>11.1}%", "scrap", split[3] * 100.0);
+    rows.push(vec!["scrap".to_owned(), "0".to_owned(), format!("{:.4}", split[3]), "1.0".to_owned()]);
+
+
+    // Cost per sellable device.
+    let raw = cm.die_cost_usd(model.die_area_mm2);
+    let perfect_only = raw / model.bin_yield(&cm, 128);
+    let with_flagship = raw / model.bin_yield(&cm, 124);
+    let with_a100 = raw / model.bin_yield(&cm, 108);
+    println!("\ncost per sellable die:");
+    println!("  perfect dies only:        ${perfect_only:>7.0}");
+    println!("  disabling to 124 cores:   ${with_flagship:>7.0}");
+    println!("  disabling to 108 cores:   ${with_a100:>7.0}");
+    println!(
+        "salvage multiplies sellable output by {:.2}x — why export SKUs reuse flagship dies",
+        model.salvage_gain(&cm, &bins)
+    );
+
+    write_csv(
+        "ext_binning.csv",
+        &["bin", "min_good_cores", "share", "cumulative_yield"],
+        &rows,
+    )
+}

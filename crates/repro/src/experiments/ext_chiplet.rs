@@ -1,0 +1,127 @@
+//! Extension: multi-chip-module escape designs and chiplet economics
+//! (§2.3/§2.5).
+//!
+//! The October 2023 rule's PD floor means a 4759-TPP device escapes only
+//! with ~3000 mm² of silicon — impossible monolithically. This experiment
+//! builds such a device as a chiplet package, checks manufacturability and
+//! package-level classification, and quantifies the chiplet-vs-monolith
+//! cost trade-off across die counts.
+
+use crate::util::{banner, write_csv};
+use acs_hw::chiplet::{cheapest_partition, ChipletPackage, PackagingModel};
+use acs_hw::{AreaModel, CostModel, DeviceConfig, SystolicDims, RETICLE_LIMIT_MM2};
+use acs_policy::{Acr2023, DeviceMetrics, MarketSegment};
+use std::error::Error;
+
+/// Run the chiplet study.
+///
+/// # Errors
+///
+/// Propagates result-file I/O and configuration failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Extension: chiplet packaging and rule escape by die area");
+    let am = AreaModel::n7();
+    let cm = CostModel::n7();
+    let rule = Acr2023::published();
+
+    // A 4758-TPP logical device with silicon deliberately spent on SRAM to
+    // push total area past the PD floor (TPP/1.6 ≈ 2974 mm²).
+    let escape = DeviceConfig::builder()
+        .name("escape-4758")
+        .core_count(412)
+        .lanes_per_core(1)
+        .systolic(SystolicDims::square(16))
+        .l1_kib_per_core(1536)
+        .l2_mib(512)
+        .hbm_bandwidth_tb_s(3.2)
+        .device_bandwidth_gb_s(900.0)
+        .build()?;
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>12} {:>20}",
+        "chiplets", "die mm2", "package mm2", "PD", "cost $", "Oct-2023 (DC)"
+    );
+    for n in [1u32, 2, 4] {
+        let pkg = ChipletPackage::new(escape.clone(), n, PackagingModel::advanced())?;
+        let die = pkg.chiplet_area_mm2(&am);
+        let total = pkg.package_area_mm2(&am);
+        let tpp = pkg.package_tpp().0;
+        let pd = tpp / total;
+        let metrics = DeviceMetrics::new(
+            format!("escape-{n}x"),
+            tpp,
+            900.0,
+            total,
+            true,
+            MarketSegment::DataCenter,
+        );
+        let class = rule.classify(&metrics);
+        let manufacturable = pkg.manufacturable(&am);
+        let cost = pkg.package_cost_usd(&am, &cm);
+        println!(
+            "{:>8} {:>11.0}{} {:>14.0} {:>8.2} {:>12.0} {:>20}",
+            n,
+            die,
+            if manufacturable { "  " } else { " !" },
+            total,
+            pd,
+            cost,
+            class.to_string()
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{die:.1}"),
+            format!("{total:.1}"),
+            format!("{tpp:.0}"),
+            format!("{pd:.3}"),
+            format!("{cost:.0}"),
+            (manufacturable as u8).to_string(),
+            class.to_string(),
+        ]);
+    }
+    println!("(! = chiplet exceeds the {RETICLE_LIMIT_MM2} mm2 reticle)");
+    println!(
+        "\nescape at ~4758 TPP requires PD < 1.6, i.e. > {:.0} mm2 of package silicon:",
+        4758.0 / 1.6
+    );
+    let best = cheapest_partition(&escape, &[1, 2, 3, 4, 6, 8], &am, &cm, PackagingModel::advanced());
+    match best {
+        Some(pkg) => println!(
+            "cheapest manufacturable partition: {} chiplets at ${:.0}/package",
+            pkg.chiplets(),
+            pkg.package_cost_usd(&am, &cm)
+        ),
+        None => println!("no manufacturable partition found"),
+    }
+
+    // Chiplet-vs-monolith crossover for an A100-class device.
+    println!("\nA100-class device, cost by chiplet count:");
+    let a100 = DeviceConfig::a100_like();
+    for n in [1u32, 2, 4] {
+        if !a100.core_count().is_multiple_of(n) {
+            continue;
+        }
+        let pkg = ChipletPackage::new(a100.clone(), n, PackagingModel::advanced())?;
+        println!(
+            "  {n} chiplet(s): {:>6.0} mm2/die, ${:>5.0}/package",
+            pkg.chiplet_area_mm2(&am),
+            pkg.package_cost_usd(&am, &cm)
+        );
+    }
+
+    write_csv(
+        "ext_chiplet.csv",
+        &[
+            "chiplets",
+            "die_mm2",
+            "package_mm2",
+            "tpp",
+            "perf_density",
+            "package_cost_usd",
+            "manufacturable",
+            "classification",
+        ],
+        &rows,
+    )
+}

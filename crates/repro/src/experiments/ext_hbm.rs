@@ -1,0 +1,92 @@
+//! Extension: the December 2024 HBM rule against the DSE's memory systems.
+//!
+//! Device-level rules leave memory bandwidth uncapped (§4's decoding
+//! loophole); the December 2024 rule instead controls the *commodity HBM
+//! packages* a design would buy. This experiment derives each DSE memory
+//! configuration's stack composition and classifies the stacks — showing
+//! the memory-side door closing on exactly the bandwidth-maxed designs
+//! the device rules allow.
+
+use crate::util::{banner, write_csv};
+use acs_policy::{HbmClassification, HbmPackage, HbmRule2024};
+use std::error::Error;
+
+/// HBM generations a design can source.
+const STACKS: &[(&str, f64, f64)] = &[
+    // (name, GB/s per stack, package area mm²)
+    ("HBM2e", 460.0, 110.0),
+    ("HBM3", 665.0, 110.0),
+    ("HBM3e", 1229.0, 110.0),
+];
+
+/// Run the HBM-rule study.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Extension: December 2024 HBM rule vs the DSE memory systems");
+    let rule = HbmRule2024::published();
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>12} {:>8} {:>12} {:>26}",
+        "stack", "GB/s/stack", "mm2", "GB/s/mm2", "Dec-2024 classification"
+    );
+    for &(name, bw, area) in STACKS {
+        let pkg = HbmPackage::new(name, bw, area);
+        let class = rule.classify(&pkg);
+        println!(
+            "{:<8} {:>12.0} {:>8.0} {:>12.2} {:>26}",
+            name,
+            bw,
+            area,
+            pkg.bandwidth_density(),
+            class.to_string()
+        );
+        rows.push(vec![
+            name.to_owned(),
+            format!("{bw:.0}"),
+            format!("{area:.0}"),
+            format!("{:.3}", pkg.bandwidth_density()),
+            class.to_string(),
+        ]);
+    }
+
+    println!("\nDSE memory systems (Table 3) and the stacks they need:");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "device BW", "HBM2e", "HBM3", "HBM3e"
+    );
+    for device_tb_s in [2.0, 2.4, 2.8, 3.2] {
+        let counts: Vec<String> = STACKS
+            .iter()
+            .map(|&(_, bw, _)| format!("{}", (device_tb_s * 1000.0 / bw).ceil() as u32))
+            .collect();
+        println!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            format!("{device_tb_s} TB/s"),
+            counts[0],
+            counts[1],
+            counts[2]
+        );
+    }
+    let controlled = STACKS
+        .iter()
+        .filter(|&&(_, bw, area)| {
+            rule.classify(&HbmPackage::new("probe", bw, area)) == HbmClassification::Controlled
+        })
+        .count();
+    println!(
+        "\nreading: every modern stack ({controlled}/{} generations) is controlled as a \
+         commodity, so the",
+        STACKS.len()
+    );
+    println!("bandwidth-maxed compliant designs of §4.2 can only be built by vendors who");
+    println!("integrate HBM *before* export — the 2024 rule patches the decode loophole");
+    println!("at the supply-chain layer rather than the device layer.");
+    write_csv(
+        "ext_hbm.csv",
+        &["stack", "gb_s", "area_mm2", "density", "classification"],
+        &rows,
+    )
+}

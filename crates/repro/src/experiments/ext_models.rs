@@ -1,0 +1,84 @@
+//! Extension: model-size sweep on restricted vs flagship hardware.
+//!
+//! Runs every model preset on the modeled A100 baseline and an
+//! H20-inspired design (compute-capped, bandwidth-rich) to show how the
+//! October 2023 compromise hardware behaves across the model spectrum:
+//! competitive on decoding everywhere, far behind on prefill.
+
+use crate::util::{banner, ms, write_csv};
+use acs_hw::{DeviceConfig, SystemConfig, SystolicDims};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_sim::{decode_throughput_tokens_per_s, request_latency_s, Simulator};
+use std::error::Error;
+
+fn h20_like() -> DeviceConfig {
+    // Compute sized just under the NAC floor (TPP ≈ 2368-class),
+    // memory maxed: the China-market compromise design.
+    DeviceConfig::builder()
+        .name("modeled-H20")
+        .core_count(51)
+        .lanes_per_core(4)
+        .systolic(SystolicDims::square(16))
+        .l1_kib_per_core(256)
+        .l2_mib(60)
+        .hbm_bandwidth_tb_s(4.0)
+        .device_bandwidth_gb_s(900.0)
+        .build()
+        .expect("valid")
+}
+
+/// Run the model sweep.
+///
+/// # Errors
+///
+/// Propagates result-file I/O and configuration failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Extension: model spectrum on flagship vs compromise hardware");
+    let work = WorkloadConfig::paper_default();
+    let models = [
+        ModelConfig::llama3_8b(),
+        ModelConfig::gpt3_13b(),
+        ModelConfig::llama3_70b(),
+        ModelConfig::gpt3_175b(),
+        ModelConfig::mixtral_8x7b(),
+    ];
+    let devices = [DeviceConfig::a100_like(), h20_like()];
+    let mut rows = Vec::new();
+    println!(
+        "{:<14} {:<14} {:>10} {:>10} {:>12} {:>12}",
+        "model", "device", "TTFT ms", "TBT ms", "tokens/s", "request s"
+    );
+    for model in &models {
+        for device in &devices {
+            let sim = Simulator::new(SystemConfig::quad(device.clone())?);
+            let ttft = sim.ttft_s(model, &work);
+            let tbt = sim.tbt_s(model, &work);
+            let thpt = decode_throughput_tokens_per_s(&sim, model, &work);
+            let req = request_latency_s(&sim, model, &work);
+            println!(
+                "{:<14} {:<14} {:>10} {:>10} {:>12.0} {:>12.1}",
+                model.name(),
+                device.name(),
+                ms(ttft),
+                ms(tbt),
+                thpt,
+                req
+            );
+            rows.push(vec![
+                model.name().to_owned(),
+                device.name().to_owned(),
+                ms(ttft),
+                ms(tbt),
+                format!("{thpt:.1}"),
+                format!("{req:.2}"),
+            ]);
+        }
+    }
+    println!("\nthe compromise device trails ~2x on prefill yet matches or beats the");
+    println!("flagship on decode throughput — the asymmetry §4 quantifies, across scales.");
+    write_csv(
+        "ext_models.csv",
+        &["model", "device", "ttft_ms", "tbt_ms", "tokens_per_s", "request_s"],
+        &rows,
+    )
+}

@@ -1,0 +1,90 @@
+//! Extension: process scaling tightens the performance-density rule.
+//!
+//! PD divides TPP by *die area*, and die area shrinks with every process
+//! node. A design that is NAC-eligible on 7 nm can become licence-required
+//! on 5 nm *with no architectural change* — the rule effectively ratchets
+//! with Moore's law. This experiment ports fixed logical designs across
+//! nodes and tracks their classification.
+
+use crate::util::{banner, write_csv};
+use acs_hw::{AreaModel, DeviceConfig, ProcessNode, SystolicDims};
+use acs_policy::{Acr2023, DeviceMetrics, MarketSegment};
+use std::error::Error;
+
+/// Run the process-scaling study.
+///
+/// # Errors
+///
+/// Propagates result-file I/O and configuration failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Extension: the PD rule ratchets with process scaling");
+    let rule = Acr2023::published();
+    let am = AreaModel::n7();
+
+    // Two representative compliant-on-7nm designs.
+    let designs = [
+        // A 2379-TPP design sitting just under the PD 3.2 NAC boundary.
+        DeviceConfig::builder()
+            .name("2400-class")
+            .core_count(103)
+            .lanes_per_core(2)
+            .systolic(SystolicDims::square(16))
+            .l1_kib_per_core(512)
+            .l2_mib(48)
+            .hbm_bandwidth_tb_s(2.4)
+            .build()?,
+        // A 1600-class design comfortably unregulated on 7 nm.
+        DeviceConfig::builder()
+            .name("1600-class")
+            .core_count(69)
+            .lanes_per_core(2)
+            .systolic(SystolicDims::square(16))
+            .l1_kib_per_core(256)
+            .l2_mib(40)
+            .hbm_bandwidth_tb_s(2.0)
+            .build()?,
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<14} {:>6} {:>8} {:>10} {:>8} {:>20}",
+        "design", "node", "TPP", "area mm2", "PD", "Oct-2023 (DC)"
+    );
+    for base in &designs {
+        for node in [ProcessNode::N7, ProcessNode::N5] {
+            let d = base.to_builder().process(node).build()?;
+            let area = am.die_area(&d).total_mm2();
+            let tpp = d.tpp().0;
+            let metrics =
+                DeviceMetrics::from_config(&d, area, MarketSegment::DataCenter);
+            let class = rule.classify(&metrics);
+            println!(
+                "{:<14} {:>6} {:>8.0} {:>10.0} {:>8.2} {:>20}",
+                base.name(),
+                node.to_string(),
+                tpp,
+                area,
+                tpp / area,
+                class.to_string()
+            );
+            rows.push(vec![
+                base.name().to_owned(),
+                node.to_string(),
+                format!("{tpp:.0}"),
+                format!("{area:.1}"),
+                format!("{:.3}", tpp / area),
+                class.to_string(),
+            ]);
+        }
+    }
+    println!("\nreading: a straight die shrink raises PD ~1.8x and can flip a design's");
+    println!("classification with zero architectural change. Compliance-minded vendors");
+    println!("must *waste* the area gains of new nodes (or pad with dark silicon) —");
+    println!("an externality of density-based thresholds the paper's §4.4 cost story");
+    println!("extends to future processes.");
+    write_csv(
+        "ext_process.csv",
+        &["design", "node", "tpp", "area_mm2", "perf_density", "classification"],
+        &rows,
+    )
+}

@@ -1,0 +1,118 @@
+//! Figures 1a, 1b and 2: classification of named real devices under the
+//! October 2022 and October 2023 rules.
+
+use crate::plot::{ascii_scatter, PlotPoint};
+use crate::util::{banner, write_csv};
+use acs_devices::fig1_devices;
+use acs_policy::thresholds::{min_area_nac_dc, min_area_unregulated_dc};
+use acs_policy::{Acr2022, Acr2023};
+use std::error::Error;
+
+/// Figure 1a: TPP vs device bandwidth under the October 2022 rule.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run_1a() -> Result<(), Box<dyn Error>> {
+    banner("Figure 1a: device classification, October 2022 rule");
+    let rule = Acr2022::published();
+    let mut rows = Vec::new();
+    println!("{:<14} {:>8} {:>12} {:>18}", "device", "TPP", "devBW GB/s", "classification");
+    for r in fig1_devices() {
+        let class = rule.classify(&r.to_metrics());
+        println!("{:<14} {:>8.0} {:>12.1} {:>18}", r.name, r.tpp, r.device_bw_gb_s, class.to_string());
+        rows.push(vec![
+            r.name.to_owned(),
+            format!("{:.0}", r.tpp),
+            format!("{:.1}", r.device_bw_gb_s),
+            class.to_string(),
+        ]);
+    }
+    write_csv("fig1a.csv", &["device", "tpp", "device_bw_gb_s", "classification"], &rows)
+}
+
+/// Figure 1b: TPP vs performance density under the October 2023 rule.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run_1b() -> Result<(), Box<dyn Error>> {
+    banner("Figure 1b: device classification, October 2023 rule");
+    let rule = Acr2023::published();
+    let mut rows = Vec::new();
+    println!("{:<14} {:>8} {:>8} {:>18}", "device", "TPP", "PD", "classification");
+    for r in fig1_devices() {
+        let m = r.to_metrics();
+        let pd = m.performance_density().map_or(0.0, |p| p.0);
+        let class = rule.classify(&m);
+        println!("{:<14} {:>8.0} {:>8.2} {:>18}", r.name, r.tpp, pd, class.to_string());
+        rows.push(vec![
+            r.name.to_owned(),
+            format!("{:.0}", r.tpp),
+            format!("{:.2}", pd),
+            class.to_string(),
+        ]);
+    }
+    write_csv("fig1b.csv", &["device", "tpp", "perf_density", "classification"], &rows)
+}
+
+/// Figure 2: die area vs TPP — devices can escape the rule by growing
+/// their dies. Emits both the device scatter and the area-floor curves.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run_fig2() -> Result<(), Box<dyn Error>> {
+    banner("Figure 2: die area vs TPP, October 2023 rule");
+    let rule = Acr2023::published();
+    let mut rows = Vec::new();
+    println!("{:<14} {:>8} {:>10} {:>18}", "device", "TPP", "area mm2", "classification");
+    for r in fig1_devices() {
+        let class = rule.classify(&r.to_metrics());
+        println!(
+            "{:<14} {:>8.0} {:>10.1} {:>18}",
+            r.name, r.tpp, r.die_area_mm2, class.to_string()
+        );
+        rows.push(vec![
+            r.name.to_owned(),
+            format!("{:.0}", r.tpp),
+            format!("{:.1}", r.die_area_mm2),
+            class.to_string(),
+        ]);
+    }
+    write_csv("fig2_devices.csv", &["device", "tpp", "die_area_mm2", "classification"], &rows)?;
+
+    // Quick terminal look (L = license, E = NAC eligible, n = unregulated).
+    let points: Vec<PlotPoint> = fig1_devices()
+        .iter()
+        .map(|r| {
+            let marker = match rule.classify(&r.to_metrics()) {
+                acs_policy::Classification::LicenseRequired => 'L',
+                acs_policy::Classification::NacEligible => 'E',
+                acs_policy::Classification::NotApplicable => 'n',
+            };
+            PlotPoint { x: r.die_area_mm2, y: r.tpp.min(8000.0), marker }
+        })
+        .collect();
+    println!("\n{}", ascii_scatter(&points, 64, 14, "die area mm2", "TPP (clipped at 8000)"));
+
+    // The boundary curves: min die area to escape / to be NAC-eligible.
+    let mut curve = Vec::new();
+    let mut tpp = 200.0;
+    while tpp < 4800.0 {
+        curve.push(vec![
+            format!("{tpp:.0}"),
+            format!("{:.1}", min_area_unregulated_dc(&rule, tpp)),
+            format!("{:.1}", min_area_nac_dc(&rule, tpp)),
+        ]);
+        tpp += 100.0;
+    }
+    write_csv(
+        "fig2_area_floors.csv",
+        &["tpp", "min_area_unregulated_mm2", "min_area_nac_mm2"],
+        &curve,
+    )?;
+    println!("Paper anchor: 2399 TPP needs > {:.0} mm2 to escape;", min_area_unregulated_dc(&rule, 2399.0));
+    println!("              4799 TPP needs > {:.0} mm2 (multi-chip only).", min_area_unregulated_dc(&rule, 4799.0));
+    Ok(())
+}

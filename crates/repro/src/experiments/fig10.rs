@@ -1,0 +1,57 @@
+//! Figure 10 (§5.2): architecture-based (memory capacity/bandwidth)
+//! classification over the 65-GPU database.
+
+use crate::util::{banner, write_csv};
+use acs_core::{architectural_consistency, ArchClassifier};
+use acs_devices::GpuDatabase;
+use std::error::Error;
+
+/// Run the memory-architecture classification study.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 10: memory-architecture device classification (65 GPUs)");
+    let db = GpuDatabase::curated_65();
+    let classifier = ArchClassifier::paper();
+    println!(
+        "rule: data center iff memory > {} GiB or bandwidth > {} GB/s",
+        classifier.min_capacity_gib, classifier.min_bandwidth_gb_s
+    );
+    let report = architectural_consistency(&db, &classifier);
+    println!("consistent data center:     {:>3}", report.consistent_dc.len());
+    println!("false data center:          {:>3}  {:?}", report.false_dc.len(), report.false_dc);
+    println!("consistent non-data center: {:>3}", report.consistent_ndc.len());
+    println!("false non-data center:      {:>3}  {:?}", report.false_ndc.len(), report.false_ndc);
+    println!("paper: no false non-data center, two false data center (L2, L4)");
+
+    let category = |name: &str| -> &'static str {
+        if report.false_dc.iter().any(|n| n == name) {
+            "false_dc"
+        } else if report.false_ndc.iter().any(|n| n == name) {
+            "false_ndc"
+        } else if report.consistent_dc.iter().any(|n| n == name) {
+            "consistent_dc"
+        } else {
+            "consistent_ndc"
+        }
+    };
+    let rows: Vec<Vec<String>> = db
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                r.market.to_string(),
+                format!("{:.0}", r.mem_gib),
+                format!("{:.0}", r.mem_bw_gb_s),
+                category(r.name).to_owned(),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig10.csv",
+        &["device", "market", "mem_gib", "mem_bw_gb_s", "category"],
+        &rows,
+    )
+}

@@ -1,0 +1,86 @@
+//! Figure 11 (§5.3): latency distributions of the 4800-TPP,
+//! reticle-fitting designs from the Figure-7 DSE, grouped by one fixed
+//! architectural parameter per column.
+
+use crate::util::{banner, write_csv};
+use acs_core::{indicator_report, FixedParam, LatencyMetric};
+use acs_dse::{DseRunner, EvaluatedDesign, SweepSpec};
+use acs_llm::ModelConfig;
+use std::error::Error;
+
+pub(crate) fn column_rows(
+    model: &ModelConfig,
+    designs: &[EvaluatedDesign],
+    columns: &[FixedParam],
+) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for metric in [LatencyMetric::Ttft, LatencyMetric::Tbt] {
+        println!("\n{} {} distributions (ms):", model.name(), metric);
+        println!(
+            "{:<18} {:>6} {:>9} {:>9} {:>9} {:>11}",
+            "column", "n", "min", "median", "max", "narrowing"
+        );
+        for col in indicator_report(designs, metric, columns) {
+            let d = col.distribution;
+            println!(
+                "{:<18} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>10.1}x",
+                col.label,
+                d.count,
+                d.min * 1e3,
+                d.median * 1e3,
+                d.max * 1e3,
+                col.narrowing
+            );
+            rows.push(vec![
+                model.name().to_owned(),
+                metric.to_string(),
+                col.label.clone(),
+                d.count.to_string(),
+                format!("{:.6}", d.min * 1e3),
+                format!("{:.6}", d.q1 * 1e3),
+                format!("{:.6}", d.median * 1e3),
+                format!("{:.6}", d.q3 * 1e3),
+                format!("{:.6}", d.max * 1e3),
+                format!("{:.3}", col.narrowing),
+            ]);
+        }
+    }
+    rows
+}
+
+pub(crate) const COLUMN_HEADER: [&str; 10] = [
+    "model",
+    "metric",
+    "column",
+    "count",
+    "min_ms",
+    "q1_ms",
+    "median_ms",
+    "q3_ms",
+    "max_ms",
+    "narrowing",
+];
+
+/// Build the Figure-11 columns for both models.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 11: 4800-TPP latency distributions by fixed parameter");
+    let work = super::workload();
+    let columns = FixedParam::fig11_columns();
+    let mut rows = Vec::new();
+    for model in super::models() {
+        let designs: Vec<EvaluatedDesign> = DseRunner::new(model.clone(), work)
+            .run(&SweepSpec::table3_fig7(), 4800.0)
+            .into_iter()
+            .filter(|d| d.within_reticle)
+            .collect();
+        rows.extend(column_rows(&model, &designs, &columns));
+    }
+    println!("\npaper anchors: 1-lane TTFT 5x (GPT-3) / 3.3x (Llama) narrower;");
+    println!("               2.8 TB/s TBT 20.6x / 10.7x narrower;");
+    println!("               500 GB/s device BW only ~5.7% / 15.2% narrower TTFT");
+    write_csv("fig11.csv", &COLUMN_HEADER, &rows)
+}

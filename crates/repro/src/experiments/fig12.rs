@@ -1,0 +1,61 @@
+//! Figure 12 (§5.3): the restriction study — Table 5's down-scaled sweep
+//! at 4800 TPP, with distributions grouped by restricting parameters and
+//! median slowdowns measured against the modeled A100.
+
+use crate::experiments::fig11::{column_rows, COLUMN_HEADER};
+use crate::util::{banner, pct, write_csv};
+use acs_core::{indicator_report, A100Baseline, FixedParam, LatencyMetric};
+use acs_dse::{DseRunner, EvaluatedDesign, SweepSpec};
+use std::error::Error;
+
+/// Build the Figure-12 columns and print the §5.3 restriction headlines.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 12: Table-5 restricted DSE distributions (TPP 4800)");
+    let work = super::workload();
+    let columns = FixedParam::fig12_columns();
+    let mut rows = Vec::new();
+    for model in super::models() {
+        let baseline = A100Baseline::simulate(&model, &work);
+        let designs: Vec<EvaluatedDesign> = DseRunner::new(model.clone(), work)
+            .run(&SweepSpec::table5(), 4800.0)
+            .into_iter()
+            .filter(|d| d.within_reticle)
+            .collect();
+        println!(
+            "\n{}: {} of {} Table-5 designs fit the reticle",
+            model.name(),
+            designs.len(),
+            SweepSpec::table5().cardinality()
+        );
+        rows.extend(column_rows(&model, &designs, &columns));
+
+        // §5.3 headlines: median slowdown vs the A100 for the two
+        // strongest restrictors.
+        for (metric, col, paper) in [
+            (LatencyMetric::Ttft, FixedParam::L1Kib(32), "paper: +58.7% (GPT-3) / +52.6% (Llama)"),
+            (LatencyMetric::Tbt, FixedParam::HbmTbS(0.8), "paper: +110% (GPT-3) / +58.7% (Llama)"),
+        ] {
+            let cols = indicator_report(&designs, metric, &[col]);
+            if let Some(c) = cols.get(1) {
+                let base = match metric {
+                    LatencyMetric::Ttft => baseline.ttft_s,
+                    LatencyMetric::Tbt => baseline.tbt_s,
+                };
+                println!(
+                    "{} with {}: median {} vs A100 ({}), {:.1}x narrower",
+                    metric,
+                    c.label,
+                    pct(c.distribution.median / base - 1.0),
+                    paper,
+                    c.narrowing
+                );
+            }
+        }
+    }
+    println!("\npaper anchors: 32KB-L1 TTFT 1.59x/1.43x narrower; 0.8TB/s TBT 41.8x/42.4x narrower");
+    write_csv("fig12.csv", &COLUMN_HEADER, &rows)
+}

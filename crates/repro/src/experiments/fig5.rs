@@ -1,0 +1,108 @@
+//! Figure 5 (§4.1): TPP-vs-device-bandwidth scaling under the October
+//! 2022 rule, modeling GPT-3 175B.
+//!
+//! Two sweeps, both October-2022-compliant:
+//! * device bandwidth capped below 600 GB/s, TPP (core count) swept;
+//! * TPP capped below 4800 (103 cores), device bandwidth swept.
+
+use crate::util::{banner, ms, pct, write_csv};
+use acs_core::A100Baseline;
+use acs_hw::{AreaModel, DeviceConfig, SystemConfig};
+use acs_llm::ModelConfig;
+use acs_sim::Simulator;
+use std::error::Error;
+
+fn evaluate(cfg: &DeviceConfig, model: &ModelConfig) -> (f64, f64, f64) {
+    let work = super::workload();
+    let sim = Simulator::new(SystemConfig::quad(cfg.clone()).expect("quad node"));
+    let area = AreaModel::n7().die_area(cfg).total_mm2();
+    (sim.ttft_s(model, &work), sim.tbt_s(model, &work), area)
+}
+
+/// Run both sweeps and print the §4.1 headline deltas.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 5: TPP vs device bandwidth scaling (GPT-3 175B, Oct 2022)");
+    let model = ModelConfig::gpt3_175b();
+    let baseline = A100Baseline::simulate(&model, &super::workload());
+    println!(
+        "modeled A100: TTFT {} ms, TBT {} ms (paper anchors ~280, ~1.437)",
+        ms(baseline.ttft_s),
+        ms(baseline.tbt_s)
+    );
+
+    // Sweep 1: device BW capped at 500 GB/s (< 600), scale cores/TPP.
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    println!("\n-- BW capped at 500 GB/s, sweeping TPP --");
+    println!("{:>6} {:>6} {:>10} {:>10} {:>10}", "TPP", "cores", "TTFT ms", "TBT ms", "area mm2");
+    for tpp_target in [4000.0_f64, 4500.0, 5000.0, 5500.0, 6000.0, 6500.0, 7000.0, 7500.0, 8000.0] {
+        // 16x16 arrays, 4 lanes (A100 shape): 1024 MACs per core.
+        let cores = (tpp_target * 500.0 / (1.41 * 16.0) / 1024.0).floor() as u32;
+        let cfg = DeviceConfig::builder()
+            .name(format!("tpp{tpp_target:.0}"))
+            .core_count(cores)
+            .device_bandwidth_gb_s(500.0)
+            .build()?;
+        let tpp = cfg.tpp().0;
+        let (ttft, tbt, area) = evaluate(&cfg, &model);
+        println!("{:>6.0} {:>6} {:>10} {:>10} {:>10.1}", tpp, cores, ms(ttft), ms(tbt), area);
+        results.push((tpp_target, ttft, tbt, area));
+        rows.push(vec![
+            "tpp_sweep".to_owned(),
+            format!("{tpp:.0}"),
+            "500".to_owned(),
+            ms(ttft),
+            ms(tbt),
+            format!("{area:.1}"),
+        ]);
+    }
+    let ttft_at = |t: f64| results.iter().find(|r| r.0 == t).map(|r| r.1).unwrap();
+    let area_at = |t: f64| results.iter().find(|r| r.0 == t).map(|r| r.3).unwrap();
+    println!(
+        "TPP 4000 -> 5000: TTFT {} (paper: -16.2%)",
+        pct(ttft_at(5000.0) / ttft_at(4000.0) - 1.0)
+    );
+    println!(
+        "TPP 4000 -> 7000: TTFT {} (paper: -34.1%), die area {} (paper: +48.3%)",
+        pct(ttft_at(7000.0) / ttft_at(4000.0) - 1.0),
+        pct(area_at(7000.0) / area_at(4000.0) - 1.0)
+    );
+
+    // Sweep 2: TPP capped at 4759 (103 cores), scale device bandwidth.
+    println!("\n-- TPP capped at 4759 (103 cores), sweeping device BW --");
+    println!("{:>8} {:>10} {:>10}", "BW GB/s", "TTFT ms", "TBT ms");
+    let mut bw_results = Vec::new();
+    for bw in [500.0, 600.0, 700.0, 800.0, 900.0, 1000.0] {
+        let cfg = DeviceConfig::builder()
+            .name(format!("bw{bw:.0}"))
+            .core_count(103)
+            .device_bandwidth_gb_s(bw)
+            .build()?;
+        let (ttft, tbt, area) = evaluate(&cfg, &model);
+        println!("{:>8.0} {:>10} {:>10}", bw, ms(ttft), ms(tbt));
+        bw_results.push((bw, ttft, tbt));
+        rows.push(vec![
+            "bw_sweep".to_owned(),
+            "4759".to_owned(),
+            format!("{bw:.0}"),
+            ms(ttft),
+            ms(tbt),
+            format!("{area:.1}"),
+        ]);
+    }
+    let tbt_at = |b: f64| bw_results.iter().find(|r| r.0 == b).map(|r| r.2).unwrap();
+    println!(
+        "BW 600 -> 1000 GB/s: TBT {} (paper: -0.27%)",
+        pct(tbt_at(1000.0) / tbt_at(600.0) - 1.0)
+    );
+
+    write_csv(
+        "fig5.csv",
+        &["sweep", "tpp", "device_bw_gb_s", "ttft_ms", "tbt_ms", "die_area_mm2"],
+        &rows,
+    )
+}

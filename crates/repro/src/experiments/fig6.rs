@@ -1,0 +1,129 @@
+//! Figure 6 (§4.2): the October 2022 design space exploration — 512
+//! designs at TPP ≈ 4800 / 600 GB/s for GPT-3 175B and Llama 3 8B.
+
+use crate::plot::{ascii_scatter, PlotPoint};
+use crate::util::{banner, ms, pct, write_csv};
+use acs_core::optimize_oct2022;
+use acs_dse::EvaluatedDesign;
+use std::error::Error;
+
+pub(crate) fn design_rows(designs: &[EvaluatedDesign], model: &str) -> Vec<Vec<String>> {
+    designs
+        .iter()
+        .map(|d| {
+            vec![
+                model.to_owned(),
+                d.params.systolic_dim.to_string(),
+                d.params.lanes_per_core.to_string(),
+                d.params.core_count.to_string(),
+                d.params.l1_kib.to_string(),
+                d.params.l2_mib.to_string(),
+                format!("{:.1}", d.params.hbm_tb_s),
+                format!("{:.0}", d.params.device_bw_gb_s),
+                format!("{:.0}", d.tpp),
+                format!("{:.1}", d.die_area_mm2),
+                format!("{:.3}", d.perf_density),
+                ms(d.ttft_s),
+                ms(d.tbt_s),
+                format!("{:.2}", d.die_cost_usd),
+                (d.within_reticle as u8).to_string(),
+                (d.pd_unregulated_2023 as u8).to_string(),
+            ]
+        })
+        .collect()
+}
+
+pub(crate) const DESIGN_HEADER: [&str; 16] = [
+    "model",
+    "systolic_dim",
+    "lanes",
+    "cores",
+    "l1_kib",
+    "l2_mib",
+    "hbm_tb_s",
+    "device_bw_gb_s",
+    "tpp",
+    "die_area_mm2",
+    "perf_density",
+    "ttft_ms",
+    "tbt_ms",
+    "die_cost_usd",
+    "within_reticle",
+    "pd_unregulated_2023",
+];
+
+/// Run the Figure 6 DSE for both models and print the §4.2 headlines.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 6: October 2022 DSE (TPP<4800, 600 GB/s device BW)");
+    let work = super::workload();
+    let mut rows = Vec::new();
+    for model in super::models() {
+        let report = optimize_oct2022(&model, &work);
+        let reticle_ok = report.designs.len() - report.reticle_violations;
+        println!(
+            "\n{}: {} designs, {} within the {}mm2 reticle",
+            model.name(),
+            report.designs.len(),
+            reticle_ok,
+            acs_hw::RETICLE_LIMIT_MM2
+        );
+        println!(
+            "modeled A100 baseline: TTFT {} ms, TBT {} ms",
+            ms(report.baseline.ttft_s),
+            ms(report.baseline.tbt_s)
+        );
+        let paper = if model.name().contains("GPT") {
+            "(paper: TTFT -1.2%, TBT -27%)"
+        } else {
+            "(paper: TTFT -4%, TBT -14.2%)"
+        };
+        if let (Some(bt), Some(bd)) = (report.best_ttft(), report.best_tbt()) {
+            println!(
+                "best TTFT design: {} ms ({} vs A100), {:.0} mm2 [{}l, L1 {}K, L2 {}M, {} TB/s]",
+                ms(bt.ttft_s),
+                pct(bt.ttft_s / report.baseline.ttft_s - 1.0),
+                bt.die_area_mm2,
+                bt.params.lanes_per_core,
+                bt.params.l1_kib,
+                bt.params.l2_mib,
+                bt.params.hbm_tb_s,
+            );
+            println!(
+                "best TBT design:  {} ms ({} vs A100), {:.0} mm2 [{}l, L1 {}K, L2 {}M, {} TB/s]",
+                ms(bd.tbt_s),
+                pct(bd.tbt_s / report.baseline.tbt_s - 1.0),
+                bd.die_area_mm2,
+                bd.params.lanes_per_core,
+                bd.params.l1_kib,
+                bd.params.l2_mib,
+                bd.params.hbm_tb_s,
+            );
+            println!("{paper}");
+        }
+        if model.name().contains("GPT") {
+            // Figure 6c in ASCII: prefill vs decoding ('.' manufacturable,
+            // 'x' over-reticle, 'A' the modeled A100).
+            let mut points: Vec<PlotPoint> = report
+                .designs
+                .iter()
+                .map(|d| PlotPoint {
+                    x: d.ttft_s * 1e3,
+                    y: d.tbt_s * 1e3,
+                    marker: if d.within_reticle { '.' } else { 'x' },
+                })
+                .collect();
+            points.push(PlotPoint {
+                x: report.baseline.ttft_s * 1e3,
+                y: report.baseline.tbt_s * 1e3,
+                marker: 'A',
+            });
+            println!("\n{}", ascii_scatter(&points, 64, 16, "TTFT ms", "TBT ms"));
+        }
+        rows.extend(design_rows(&report.designs, model.name()));
+    }
+    write_csv("fig6.csv", &DESIGN_HEADER, &rows)
+}

@@ -1,0 +1,74 @@
+//! Figure 7 (§4.3): the October 2023 DSE — 1536 designs at each of the
+//! 1600 / 2400 / 4800 TPP tiers, for both models.
+
+use crate::experiments::fig6::{design_rows, DESIGN_HEADER};
+use crate::plot::{ascii_scatter, PlotPoint};
+use crate::util::{banner, ms, pct, write_csv};
+use acs_core::{optimize_oct2023, OptimizationReport};
+use std::error::Error;
+
+/// The TPP tiers of the October 2023 rule.
+pub const TPP_TIERS: [f64; 3] = [1600.0, 2400.0, 4800.0];
+
+/// Run the tiered DSE for both models; print per-tier optima vs A100.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 7: October 2023 DSE (1600/2400/4800 TPP tiers)");
+    let work = super::workload();
+    let mut rows = Vec::new();
+    for model in super::models() {
+        println!("\n### {} ###", model.name());
+        for tier in TPP_TIERS {
+            let report: OptimizationReport = optimize_oct2023(&model, &work, tier);
+            let valid = report.designs.iter().filter(|d| d.valid_2023()).count();
+            println!(
+                "{} TPP: {} designs, {} valid ({} PD violations, {} reticle violations)",
+                tier,
+                report.designs.len(),
+                valid,
+                report.pd_violations,
+                report.reticle_violations
+            );
+            match (report.best_ttft(), report.best_tbt()) {
+                (Some(bt), Some(bd)) => {
+                    println!(
+                        "  fastest TTFT: {} ms ({} vs A100)   fastest TBT: {} ms ({} vs A100)",
+                        ms(bt.ttft_s),
+                        pct(bt.ttft_s / report.baseline.ttft_s - 1.0),
+                        ms(bd.tbt_s),
+                        pct(bd.tbt_s / report.baseline.tbt_s - 1.0),
+                    );
+                }
+                _ => println!("  no valid designs at this tier (paper: all 4800 TPP invalid)"),
+            }
+            if model.name().contains("GPT") && (tier - 2400.0).abs() < 1.0 {
+                // Figure 7b in ASCII: die area vs decode latency for the
+                // 2400-TPP tier ('o' = valid, 'x' = PD/reticle-violating,
+                // 'A' = the modeled A100).
+                let mut points: Vec<PlotPoint> = report
+                    .designs
+                    .iter()
+                    .map(|d| PlotPoint {
+                        x: d.die_area_mm2.min(1800.0),
+                        y: d.tbt_s * 1e3,
+                        marker: if d.valid_2023() { 'o' } else { 'x' },
+                    })
+                    .collect();
+                points.push(PlotPoint {
+                    x: report.baseline.die_area_mm2,
+                    y: report.baseline.tbt_s * 1e3,
+                    marker: 'A',
+                });
+                println!("\n{}", ascii_scatter(&points, 64, 14, "die area mm2 (clipped)", "TBT ms"));
+            }
+            let tier_label = format!("{}-{}", model.name(), tier);
+            rows.extend(design_rows(&report.designs, &tier_label));
+        }
+    }
+    println!("\npaper anchors: fastest compliant 2400-TPP TTFT is +78.8% (GPT-3) / +54.6% (Llama)");
+    println!("               fastest TBT: -20.9%/-26.1% (GPT-3 @1600/2400), -12.0%/-12.8% (Llama)");
+    write_csv("fig7.csv", &DESIGN_HEADER, &rows)
+}

@@ -1,0 +1,70 @@
+//! Figure 8 (§4.4): latency–die-cost products over the October 2023 DSE.
+
+use crate::experiments::fig7::TPP_TIERS;
+use crate::util::{banner, write_csv};
+use acs_core::optimize_oct2023;
+use std::error::Error;
+
+/// Compute latency-cost products per tier; print the compliant vs
+/// non-compliant minimum-product ratios §4.4 quotes.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 8: TTFT/TBT x die-cost products (October 2023 DSE)");
+    let work = super::workload();
+    let mut rows = Vec::new();
+    for model in super::models() {
+        println!("\n### {} ###", model.name());
+        for tier in TPP_TIERS {
+            let report = optimize_oct2023(&model, &work, tier);
+            for d in &report.designs {
+                rows.push(vec![
+                    model.name().to_owned(),
+                    format!("{tier}"),
+                    format!("{:.1}", d.die_area_mm2),
+                    format!("{:.2}", d.ttft_cost_product()),
+                    format!("{:.4}", d.tbt_cost_product()),
+                    (d.valid_2023() as u8).to_string(),
+                ]);
+            }
+            // Minimum products on each side of the compliance boundary.
+            let min_of = |compliant: bool, f: fn(&acs_dse::EvaluatedDesign) -> f64| {
+                report
+                    .designs
+                    .iter()
+                    .filter(|d| d.within_reticle && d.pd_unregulated_2023 == compliant)
+                    .map(f)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let c_ttft = min_of(true, |d| d.ttft_cost_product());
+            let n_ttft = min_of(false, |d| d.ttft_cost_product());
+            let c_tbt = min_of(true, |d| d.tbt_cost_product());
+            let n_tbt = min_of(false, |d| d.tbt_cost_product());
+            print!(
+                "{tier} TPP: min TTFT-cost {:.0} (compliant) vs {:.0} (non-compliant) ms*$",
+                c_ttft, n_ttft
+            );
+            if c_ttft.is_finite() && n_ttft.is_finite() {
+                print!("  -> x{:.2}", c_ttft / n_ttft);
+            }
+            println!();
+            if c_tbt.is_finite() && n_tbt.is_finite() {
+                println!(
+                    "          min TBT-cost  {:.2} vs {:.2} ms*$  -> x{:.2}",
+                    c_tbt,
+                    n_tbt,
+                    c_tbt / n_tbt
+                );
+            }
+        }
+    }
+    println!("\npaper (2400 TPP): GPT-3 compliant min products x2.72 (TTFT), x2.64 (TBT);");
+    println!("                  Llama 3 x2.58 (TTFT), x2.91 (TBT) vs non-compliant");
+    write_csv(
+        "fig8.csv",
+        &["model", "tpp_tier", "die_area_mm2", "ttft_cost_ms_usd", "tbt_cost_ms_usd", "valid_2023"],
+        &rows,
+    )
+}

@@ -1,0 +1,54 @@
+//! Figure 9 (§5.2): marketing-based classification and its "false"
+//! devices over the 65-GPU database.
+
+use crate::util::{banner, write_csv};
+use acs_core::marketing_consistency;
+use acs_devices::GpuDatabase;
+use acs_policy::Acr2023;
+use std::error::Error;
+
+/// Run the marketing-consistency study and print the §5.2 counts.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Figure 9: marketing-based device classification (65 GPUs)");
+    let db = GpuDatabase::curated_65();
+    let rule = Acr2023::published();
+    let report = marketing_consistency(&db, &rule);
+    println!("consistent data center:     {:>3}", report.consistent_dc.len());
+    println!("false data center:          {:>3}  {:?}", report.false_dc.len(), report.false_dc);
+    println!("consistent non-data center: {:>3}", report.consistent_ndc.len());
+    println!("false non-data center:      {:>3}  {:?}", report.false_ndc.len(), report.false_ndc);
+    println!("paper: 4 false data center, 7 false non-data center devices");
+
+    let category = |name: &str| -> &'static str {
+        if report.false_dc.iter().any(|n| n == name) {
+            "false_dc"
+        } else if report.false_ndc.iter().any(|n| n == name) {
+            "false_ndc"
+        } else if report.consistent_dc.iter().any(|n| n == name) {
+            "consistent_dc"
+        } else {
+            "consistent_ndc"
+        }
+    };
+    let rows: Vec<Vec<String>> = db
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                r.market.to_string(),
+                format!("{:.0}", r.tpp),
+                format!("{:.2}", r.performance_density().unwrap_or(0.0)),
+                category(r.name).to_owned(),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig9.csv",
+        &["device", "market", "tpp", "perf_density", "category"],
+        &rows,
+    )
+}

@@ -1,0 +1,44 @@
+//! One module per paper artefact.
+
+pub mod ext_ablation;
+pub mod ext_binning;
+pub mod ext_chiplet;
+pub mod ext_chiplet_dse;
+pub mod ext_context;
+pub mod ext_disagg;
+pub mod ext_fleet;
+pub mod ext_hbm;
+pub mod ext_legacy;
+pub mod ext_models;
+pub mod ext_parallelism;
+pub mod ext_policy;
+pub mod ext_process;
+pub mod ext_moe;
+pub mod ext_power;
+pub mod ext_serving;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+
+use acs_llm::{ModelConfig, WorkloadConfig};
+
+/// The two evaluation models, in paper order.
+#[must_use]
+pub fn models() -> [ModelConfig; 2] {
+    [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b()]
+}
+
+/// The paper's workload setting.
+#[must_use]
+pub fn workload() -> WorkloadConfig {
+    WorkloadConfig::paper_default()
+}

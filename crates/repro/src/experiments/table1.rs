@@ -1,0 +1,66 @@
+//! Table 1: the Advanced Computing Rule definitions, exercised on probe
+//! points so the encoded thresholds are visible.
+
+use crate::util::banner;
+use acs_policy::{Acr2022, Acr2023, Classification, DeviceMetrics, MarketSegment};
+use std::error::Error;
+
+/// Print both rule generations and a probe-point truth table.
+///
+/// # Errors
+///
+/// Never fails; the `Result` matches the harness interface.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Table 1a: October 2022 definitions");
+    let r22 = Acr2022::published();
+    println!(
+        "License required: TPP >= {} AND bidirectional device BW >= {} GB/s",
+        r22.tpp_threshold, r22.device_bw_threshold_gb_s
+    );
+
+    banner("Table 1b: October 2023 definitions");
+    let r23 = Acr2023::published();
+    println!(
+        "Data center    - License: TPP >= {} OR (TPP >= {} AND PD >= {})",
+        r23.tpp_license, r23.tpp_floor, r23.pd_license
+    );
+    println!(
+        "Data center    - NAC: ({} > TPP >= {} AND {} > PD >= {}) OR (TPP >= {} AND {} > PD >= {})",
+        r23.tpp_license, r23.tpp_nac, r23.pd_license, r23.pd_nac_low, r23.tpp_floor,
+        r23.pd_license, r23.pd_nac_high
+    );
+    println!("Non-data center - NAC: TPP >= {}", r23.tpp_license);
+
+    banner("Probe points");
+    println!("{:<28} {:>10} {:>8} {:>22} {:>22}", "probe", "TPP", "PD", "Oct-2022", "Oct-2023 (DC)");
+    for (tpp, bw, area) in [
+        (4992.0, 600.0, 826.0),
+        (4992.0, 400.0, 826.0),
+        (2400.0, 600.0, 826.0),
+        (2399.0, 600.0, 760.0),
+        (1600.0, 300.0, 280.0),
+        (1599.0, 300.0, 100.0),
+    ] {
+        let m = DeviceMetrics::new(
+            format!("tpp={tpp} bw={bw} area={area}"),
+            tpp,
+            bw,
+            area,
+            true,
+            MarketSegment::DataCenter,
+        );
+        let c22 = r22.classify(&m);
+        let c23 = r23.classify(&m);
+        println!(
+            "{:<28} {:>10.0} {:>8.2} {:>22} {:>22}",
+            m.name(),
+            tpp,
+            m.performance_density().map_or(0.0, |p| p.0),
+            c22.to_string(),
+            c23.to_string()
+        );
+        // The probes are chosen to exercise every outcome at least once.
+        let _ = Classification::NotApplicable;
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Table 2: the evaluated model architectures.
+
+use crate::util::banner;
+use std::error::Error;
+
+/// Print the model architecture table.
+///
+/// # Errors
+///
+/// Never fails; the `Result` matches the harness interface.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Table 2: model architectures");
+    let models = super::models();
+    println!("{:<22} {:>14} {:>14}", "Parameter", models[0].name(), models[1].name());
+    let row = |label: &str, f: &dyn Fn(&acs_llm::ModelConfig) -> String| {
+        println!("{:<22} {:>14} {:>14}", label, f(&models[0]), f(&models[1]));
+    };
+    row("Number of Layers", &|m| m.num_layers().to_string());
+    row("Model Dimension", &|m| m.d_model().to_string());
+    row("FFN Dimension", &|m| m.d_ffn().to_string());
+    row("Attention Heads", &|m| m.num_heads().to_string());
+    row("K/V Heads", &|m| m.num_kv_heads().to_string());
+    row("Activation Function", &|m| m.activation().to_string());
+    println!();
+    println!("Workload: {}", super::workload());
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Table 4 (§4.4): the cost of performance-density compliance — the
+//! fastest-TTFT PD-compliant vs non-compliant 2400-TPP GPT-3 designs.
+
+use crate::util::{banner, ms, write_csv};
+use acs_core::{optimize_oct2023, ComplianceOverhead};
+use acs_dse::EvaluatedDesign;
+use acs_llm::ModelConfig;
+use std::error::Error;
+
+/// Find the fastest-TTFT designs on each side of the PD boundary and
+/// print the Table-4 rows.
+///
+/// # Errors
+///
+/// Propagates result-file I/O failures; fails if either side of the
+/// boundary is empty (it never is for the Table-3 sweep).
+pub fn run() -> Result<(), Box<dyn Error>> {
+    banner("Table 4: PD-compliant vs non-compliant optimal 2400-TPP designs (GPT-3)");
+    let report = optimize_oct2023(&ModelConfig::gpt3_175b(), &super::workload(), 2400.0);
+    let compliant = report
+        .best_ttft()
+        .ok_or("no PD-compliant design found")?
+        .clone();
+    let non_compliant: &EvaluatedDesign = report
+        .designs
+        .iter()
+        .filter(|d| d.within_reticle && !d.pd_unregulated_2023)
+        .min_by(|a, b| a.ttft_s.total_cmp(&b.ttft_s))
+        .ok_or("no non-compliant design found")?;
+
+    let print_pair = |label: &str, c: String, n: String| {
+        println!("{label:<28} {c:>14} {n:>14}");
+    };
+    println!("{:<28} {:>14} {:>14}", "Parameter", "PD Compliant", "Non-Compliant");
+    print_pair(
+        "Die Area (mm2)",
+        format!("{:.0}", compliant.die_area_mm2),
+        format!("{:.0}", non_compliant.die_area_mm2),
+    );
+    print_pair(
+        "PD",
+        format!("{:.2}", compliant.perf_density),
+        format!("{:.2}", non_compliant.perf_density),
+    );
+    print_pair("TTFT (ms)", ms(compliant.ttft_s), ms(non_compliant.ttft_s));
+    print_pair("TBT (ms)", ms(compliant.tbt_s), ms(non_compliant.tbt_s));
+    print_pair(
+        "Silicon Die Cost (7nm)",
+        format!("${:.0}", compliant.die_cost_usd),
+        format!("${:.0}", non_compliant.die_cost_usd),
+    );
+    print_pair(
+        "1M Good Dies Cost (7nm)",
+        format!("${:.0}M", compliant.good_die_cost_usd),
+        format!("${:.0}M", non_compliant.good_die_cost_usd),
+    );
+    println!("\npaper: 753 vs 523 mm2; PD 3.18 vs 4.59; TTFT 465 vs 470 ms;");
+    println!("       $134 vs $88 per die; $350M vs $177M per 1M good dies");
+
+    let overhead = ComplianceOverhead::between(&compliant, non_compliant);
+    println!(
+        "\ncompliance overhead: area x{:.2}, die cost x{:.2}, good-die cost x{:.2} (paper: x1.44, x1.52, ~x2)",
+        overhead.area_ratio, overhead.die_cost_ratio, overhead.good_die_cost_ratio
+    );
+
+    let row = |d: &EvaluatedDesign, tag: &str| {
+        vec![
+            tag.to_owned(),
+            format!("{:.1}", d.die_area_mm2),
+            format!("{:.3}", d.perf_density),
+            ms(d.ttft_s),
+            ms(d.tbt_s),
+            format!("{:.2}", d.die_cost_usd),
+            format!("{:.2}", d.good_die_cost_usd),
+            d.params.l1_kib.to_string(),
+            d.params.l2_mib.to_string(),
+            d.params.lanes_per_core.to_string(),
+        ]
+    };
+    write_csv(
+        "table4.csv",
+        &[
+            "design",
+            "die_area_mm2",
+            "perf_density",
+            "ttft_ms",
+            "tbt_ms",
+            "die_cost_usd",
+            "good_die_cost_usd",
+            "l1_kib",
+            "l2_mib",
+            "lanes",
+        ],
+        &[row(&compliant, "pd_compliant"), row(non_compliant, "non_compliant")],
+    )
+}

@@ -1,0 +1,101 @@
+//! Reproduction harness for every table and figure of *Chip Architectures
+//! Under Advanced Computing Sanctions* (ISCA '25).
+//!
+//! Each experiment prints the paper-style rows to stdout and writes the
+//! underlying series as CSV into the results directory (`./results` by
+//! default, override with the `ACS_RESULTS_DIR` environment variable).
+//!
+//! Run via the `acs-repro` binary:
+//!
+//! ```text
+//! acs-repro fig6        # October 2022 DSE (Figure 6 + §4.2 headlines)
+//! acs-repro all         # everything, in paper order
+//! ```
+
+pub mod experiments;
+pub mod plot;
+#[cfg(test)]
+mod tests;
+pub mod util;
+
+use std::error::Error;
+
+/// All paper-artefact experiment names, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig1a", "fig1b", "fig2", "table2", "fig5", "fig6", "fig7", "table4", "fig8",
+    "fig9", "fig10", "fig11", "fig12",
+];
+
+/// Extension studies beyond the paper's artefacts (chiplets, power,
+/// binning, legacy metrics, MoE, model sweep, simulator ablation).
+pub const EXTENSIONS: &[&str] = &[
+    "ext-chiplet",
+    "ext-power",
+    "ext-binning",
+    "ext-legacy",
+    "ext-moe",
+    "ext-models",
+    "ext-serving",
+    "ext-parallelism",
+    "ext-policy",
+    "ext-disagg",
+    "ext-process",
+    "ext-context",
+    "ext-chiplet-dse",
+    "ext-hbm",
+    "ext-fleet",
+    "ext-ablation",
+];
+
+/// Run one experiment by name (or `"all"`).
+///
+/// # Errors
+///
+/// Returns an error for unknown experiment names or I/O failures while
+/// writing result files.
+pub fn run(name: &str) -> Result<(), Box<dyn Error>> {
+    match name {
+        "table1" => experiments::table1::run()?,
+        "fig1a" => experiments::fig1::run_1a()?,
+        "fig1b" => experiments::fig1::run_1b()?,
+        "fig2" => experiments::fig1::run_fig2()?,
+        "table2" => experiments::table2::run()?,
+        "fig5" => experiments::fig5::run()?,
+        "fig6" => experiments::fig6::run()?,
+        "fig7" => experiments::fig7::run()?,
+        "table4" => experiments::table4::run()?,
+        "fig8" => experiments::fig8::run()?,
+        "fig9" => experiments::fig9::run()?,
+        "fig10" => experiments::fig10::run()?,
+        "fig11" => experiments::fig11::run()?,
+        "fig12" => experiments::fig12::run()?,
+        "ext-chiplet" => experiments::ext_chiplet::run()?,
+        "ext-power" => experiments::ext_power::run()?,
+        "ext-binning" => experiments::ext_binning::run()?,
+        "ext-legacy" => experiments::ext_legacy::run()?,
+        "ext-moe" => experiments::ext_moe::run()?,
+        "ext-models" => experiments::ext_models::run()?,
+        "ext-serving" => experiments::ext_serving::run()?,
+        "ext-parallelism" => experiments::ext_parallelism::run()?,
+        "ext-policy" => experiments::ext_policy::run()?,
+        "ext-disagg" => experiments::ext_disagg::run()?,
+        "ext-process" => experiments::ext_process::run()?,
+        "ext-context" => experiments::ext_context::run()?,
+        "ext-chiplet-dse" => experiments::ext_chiplet_dse::run()?,
+        "ext-hbm" => experiments::ext_hbm::run()?,
+        "ext-fleet" => experiments::ext_fleet::run()?,
+        "ext-ablation" => experiments::ext_ablation::run()?,
+        "all" => {
+            for exp in EXPERIMENTS {
+                run(exp)?;
+            }
+        }
+        "ext" => {
+            for exp in EXTENSIONS {
+                run(exp)?;
+            }
+        }
+        other => return Err(format!("unknown experiment: {other}").into()),
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! `acs-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! acs-repro <experiment>    one of: table1, fig1a, fig1b, fig2, table2,
+//!                           fig5, fig6, fig7, table4, fig8, fig9, fig10,
+//!                           fig11, fig12, all
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = match args.as_slice() {
+        [name] if name != "--help" && name != "-h" => name.clone(),
+        _ => {
+            eprintln!("usage: acs-repro <experiment>");
+            eprintln!("experiments: {} all", acs_repro::EXPERIMENTS.join(" "));
+            eprintln!("extensions:  {} ext", acs_repro::EXTENSIONS.join(" "));
+            return if args.first().map(String::as_str) == Some("--help")
+                || args.first().map(String::as_str) == Some("-h")
+            {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    match acs_repro::run(&name) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

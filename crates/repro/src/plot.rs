@@ -1,0 +1,117 @@
+//! Terminal scatter plots.
+//!
+//! The paper's figures are scatter plots; the harness writes their series
+//! as CSV, and this module renders a quick ASCII look directly in the
+//! terminal so `acs-repro figN` is visually self-contained.
+
+/// One scatter point with a single-character class marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlotPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Marker drawn for this point.
+    pub marker: char,
+}
+
+/// Render points into a `width × height` character grid with axis labels.
+/// Later points overwrite earlier ones in a shared cell. Returns an empty
+/// string when no finite point exists.
+#[must_use]
+pub fn ascii_scatter(
+    points: &[PlotPoint],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let finite: Vec<&PlotPoint> =
+        points.iter().filter(|p| p.x.is_finite() && p.y.is_finite()).collect();
+    if finite.is_empty() || width < 8 || height < 4 {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &finite {
+        x_min = x_min.min(p.x);
+        x_max = x_max.max(p.x);
+        y_min = y_min.min(p.y);
+        y_max = y_max.max(p.y);
+    }
+    // Degenerate ranges plot in the grid centre.
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for p in &finite {
+        let col = (((p.x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        let row = (((p.y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+        // Row 0 is the top of the plot (max y).
+        grid[height - 1 - row][col.min(width - 1)] = p.marker;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ({y_min:.3} .. {y_max:.3})\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(" {x_label} ({x_min:.1} .. {x_max:.1})\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, marker: char) -> PlotPoint {
+        PlotPoint { x, y, marker }
+    }
+
+    #[test]
+    fn corners_land_in_corners() {
+        let plot = ascii_scatter(
+            &[pt(0.0, 0.0, 'a'), pt(10.0, 10.0, 'b')],
+            20,
+            6,
+            "x",
+            "y",
+        );
+        let lines: Vec<&str> = plot.lines().collect();
+        // First grid line (top) holds the max-y point at the right edge.
+        assert!(lines[1].ends_with('b'), "{plot}");
+        // Last grid line holds the min-y point at the left edge.
+        assert!(lines[6].starts_with("|a"), "{plot}");
+        assert!(plot.contains("x (0.0 .. 10.0)"));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let plot = ascii_scatter(
+            &[pt(f64::NAN, 1.0, '#'), pt(1.0, 2.0, 'o'), pt(2.0, 3.0, 'o')],
+            16,
+            5,
+            "x",
+            "y",
+        );
+        assert!(plot.contains('o'));
+        assert!(!plot.contains('#'), "NaN point must not be drawn:\n{plot}");
+    }
+
+    #[test]
+    fn empty_or_tiny_requests_return_empty() {
+        assert!(ascii_scatter(&[], 20, 6, "x", "y").is_empty());
+        assert!(ascii_scatter(&[pt(1.0, 1.0, 'o')], 2, 2, "x", "y").is_empty());
+    }
+
+    #[test]
+    fn single_point_plots_without_panicking() {
+        let plot = ascii_scatter(&[pt(5.0, 5.0, '*')], 12, 4, "x", "y");
+        assert!(plot.contains('*'));
+    }
+}

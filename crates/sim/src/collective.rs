@@ -1,0 +1,100 @@
+//! Tensor-parallel collective cost model.
+//!
+//! All-reduce uses the bandwidth-optimal ring algorithm: each device sends
+//! and receives `2·(n−1)/n` of the payload over its device-to-device PHYs,
+//! plus a per-step latency. The October 2022 rule's 600 GB/s device
+//! bandwidth threshold bites exactly here.
+
+use crate::params::SimParams;
+use acs_hw::{SystemConfig, Topology};
+use serde::Serialize;
+
+/// Cost of one all-reduce across the tensor-parallel group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CollectiveCost {
+    /// Wire time (s) limited by per-direction device bandwidth.
+    pub wire_s: f64,
+    /// Accumulated per-step latency (s).
+    pub latency_s: f64,
+}
+
+impl CollectiveCost {
+    /// Total modelled latency.
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        self.wire_s + self.latency_s
+    }
+}
+
+/// Price an all-reduce of `bytes` per device over `system`'s interconnect.
+#[must_use]
+pub fn allreduce_cost(bytes: u64, system: &SystemConfig, params: &SimParams) -> CollectiveCost {
+    let n = f64::from(system.device_count());
+    if system.device_count() <= 1 {
+        return CollectiveCost { wire_s: 0.0, latency_s: 0.0 };
+    }
+    let uni_bw = system.device().phy().unidirectional_gb_s() * 1e9;
+    let volume = 2.0 * (n - 1.0) / n * bytes as f64;
+    let wire_s = volume / uni_bw;
+    let steps = match system.topology() {
+        Topology::FullyConnected => 2.0,
+        // Ring and any future topology default to the ring step count.
+        _ => 2.0 * (n - 1.0),
+    };
+    CollectiveCost { wire_s, latency_s: steps * params.allreduce_step_latency_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::DeviceConfig;
+
+    fn quad() -> SystemConfig {
+        SystemConfig::quad(DeviceConfig::a100_like()).unwrap()
+    }
+
+    #[test]
+    fn single_device_is_free() {
+        let s = SystemConfig::new(DeviceConfig::a100_like(), 1).unwrap();
+        let c = allreduce_cost(1 << 30, &s, &SimParams::calibrated());
+        assert_eq!(c.time_s(), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_moves_three_quarters_twice() {
+        // 4 devices: volume factor 2*(3/4) = 1.5 of the payload at 300 GB/s
+        // per direction (600 GB/s aggregate).
+        let c = allreduce_cost(1_000_000_000, &quad(), &SimParams::ideal());
+        let expected = 1.5e9 / 300e9;
+        assert!((c.wire_s - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn device_bandwidth_scales_wire_time() {
+        let p = SimParams::calibrated();
+        let fast_dev =
+            DeviceConfig::a100_like().to_builder().device_bandwidth_gb_s(1200.0).build().unwrap();
+        let fast = SystemConfig::quad(fast_dev).unwrap();
+        let c_slow = allreduce_cost(1 << 30, &quad(), &p);
+        let c_fast = allreduce_cost(1 << 30, &fast, &p);
+        assert!((c_slow.wire_s / c_fast.wire_s - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_connected_cuts_latency_not_bandwidth() {
+        let p = SimParams::calibrated();
+        let ring = quad();
+        let fc = quad().with_topology(Topology::FullyConnected);
+        let cr = allreduce_cost(1 << 20, &ring, &p);
+        let cf = allreduce_cost(1 << 20, &fc, &p);
+        assert!((cr.wire_s - cf.wire_s).abs() < 1e-15);
+        assert!(cf.latency_s < cr.latency_s);
+    }
+
+    #[test]
+    fn decode_allreduce_is_microseconds() {
+        // 32 tokens × 12288 × 2 B = 786 KiB.
+        let c = allreduce_cost(786_432, &quad(), &SimParams::calibrated());
+        assert!(c.time_s() < 50e-6, "time = {}", c.time_s());
+    }
+}

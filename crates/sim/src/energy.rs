@@ -1,0 +1,176 @@
+//! Energy accounting on top of the latency simulation.
+//!
+//! Combines the layer's simulated work (MACs, vector FLOPs, DRAM bytes,
+//! link bytes) and wall-clock time with [`acs_hw::PowerModel`] to produce
+//! per-layer and per-token energy — quantifying §4.4's observation that
+//! cache-bloated PD-compliant designs burn more power for the same work.
+
+use crate::latency::Simulator;
+use acs_hw::PowerModel;
+use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
+use serde::Serialize;
+
+/// Energy of one simulated layer, per device and for the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyReport {
+    /// One device's energy for the layer, joules.
+    pub per_device_j: f64,
+    /// Whole-node energy for the layer (devices × per-device), joules.
+    pub node_j: f64,
+    /// Average node power over the layer, watts.
+    pub avg_power_w: f64,
+    /// Layer latency used for the static charge, seconds.
+    pub time_s: f64,
+}
+
+/// Energy of one layer of `model` under `phase` on `sim`'s node.
+#[must_use]
+pub fn layer_energy(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+    power: &PowerModel,
+) -> EnergyReport {
+    let device = sim.system().device();
+    let latency = sim.simulate_layer(model, workload, phase);
+    let graph = LayerGraph::build(model, workload, phase, sim.system().device_count());
+
+    let macs = graph.matmul_flops() / 2.0;
+    let vector_flops: f64 = graph
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Operator::Vector(v) => Some(v.flops()),
+            _ => None,
+        })
+        .sum();
+    // Ring all-reduce moves 2·(n−1)/n of the payload per device.
+    let n = f64::from(sim.system().device_count());
+    let ar_factor = if n > 1.0 { 2.0 * (n - 1.0) / n } else { 0.0 };
+    let link_bytes: f64 = graph
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Operator::AllReduce(a) => Some(a.bytes as f64 * ar_factor),
+            _ => None,
+        })
+        .sum();
+
+    let time_s = latency.total_s();
+    let per_device_j = power.interval_energy_j(
+        device,
+        macs,
+        vector_flops,
+        latency.dram_bytes(),
+        link_bytes,
+        time_s,
+    );
+    let node_j = per_device_j * n;
+    EnergyReport {
+        per_device_j,
+        node_j,
+        avg_power_w: if time_s > 0.0 { node_j / time_s } else { 0.0 },
+        time_s,
+    }
+}
+
+/// Full-model decode energy per generated token, joules
+/// (`layers × layer energy ÷ batch`).
+#[must_use]
+pub fn energy_per_token_j(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    power: &PowerModel,
+) -> f64 {
+    let report = layer_energy(sim, model, workload, workload.decode_phase(), power);
+    report.node_j * f64::from(model.num_layers()) / workload.batch() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::{DeviceConfig, SystemConfig};
+
+    fn sim() -> Simulator {
+        Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap())
+    }
+
+    #[test]
+    fn a100_decode_power_is_physically_plausible() {
+        let s = sim();
+        let p = PowerModel::n7();
+        let report = layer_energy(
+            &s,
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            WorkloadConfig::paper_default().decode_phase(),
+            &p,
+        );
+        let per_device_w = report.avg_power_w / 4.0;
+        // Decode is bandwidth-bound: well under TDP but above idle.
+        let tdp = p.tdp_w(s.system().device());
+        let idle = p.static_w(s.system().device());
+        assert!(per_device_w < tdp, "{per_device_w} W < TDP {tdp} W");
+        assert!(per_device_w > idle, "{per_device_w} W > idle {idle} W");
+    }
+
+    #[test]
+    fn prefill_draws_more_power_than_decode() {
+        let s = sim();
+        let p = PowerModel::n7();
+        let w = WorkloadConfig::paper_default();
+        let m = ModelConfig::gpt3_175b();
+        let prefill = layer_energy(&s, &m, &w, InferencePhase::Prefill, &p);
+        let decode = layer_energy(&s, &m, &w, w.decode_phase(), &p);
+        assert!(prefill.avg_power_w > decode.avg_power_w);
+        assert!(prefill.node_j > decode.node_j);
+    }
+
+    #[test]
+    fn gpt3_energy_per_token_is_joules_scale() {
+        let s = sim();
+        let e = energy_per_token_j(
+            &s,
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            &PowerModel::n7(),
+        );
+        // 96 layers × ~1.4 ms × ~1 kW node / 32 tokens ≈ a few joules.
+        assert!(e > 0.5 && e < 30.0, "energy/token = {e} J");
+    }
+
+    #[test]
+    fn sram_heavy_design_burns_more_energy_at_equal_work() {
+        // §4.4: the PD-compliant (cache-bloated) design raises static and
+        // dynamic power.
+        let w = WorkloadConfig::paper_default();
+        let m = ModelConfig::gpt3_175b();
+        let p = PowerModel::n7();
+        let lean = DeviceConfig::builder()
+            .core_count(103)
+            .lanes_per_core(2)
+            .l1_kib_per_core(192)
+            .l2_mib(32)
+            .hbm_bandwidth_tb_s(3.2)
+            .build()
+            .unwrap();
+        let fat = lean.to_builder().l1_kib_per_core(1024).l2_mib(48).build().unwrap();
+        let e_lean = layer_energy(
+            &Simulator::new(SystemConfig::quad(lean).unwrap()),
+            &m,
+            &w,
+            w.decode_phase(),
+            &p,
+        );
+        let e_fat = layer_energy(
+            &Simulator::new(SystemConfig::quad(fat).unwrap()),
+            &m,
+            &w,
+            w.decode_phase(),
+            &p,
+        );
+        assert!(e_fat.node_j > e_lean.node_j, "{} vs {}", e_fat.node_j, e_lean.node_j);
+    }
+}

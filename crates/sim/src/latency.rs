@@ -1,0 +1,419 @@
+//! Layer-level scheduling and the top-level [`Simulator`].
+
+use crate::collective::allreduce_cost;
+use crate::matmul::matmul_cost;
+use crate::params::SimParams;
+use crate::vector::vector_cost;
+use acs_hw::SystemConfig;
+use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
+use serde::Serialize;
+use std::fmt;
+
+/// Which resource an operator's latency is limited by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[non_exhaustive]
+pub enum Bound {
+    /// Systolic arrays / vector units.
+    Compute,
+    /// Off-chip memory bandwidth.
+    Memory,
+    /// Global-buffer port bandwidth.
+    GlobalBuffer,
+    /// Device-to-device interconnect.
+    Interconnect,
+    /// Per-operator launch overhead.
+    Overhead,
+}
+
+/// Priced cost of one operator.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpCost {
+    /// Operator name (from the layer graph).
+    pub name: &'static str,
+    /// Total latency contribution (s), including launch overhead.
+    pub time_s: f64,
+    /// Compute-phase time (s).
+    pub compute_s: f64,
+    /// DRAM-phase time (s).
+    pub dram_s: f64,
+    /// Global-buffer-phase time (s).
+    pub l2_s: f64,
+    /// Interconnect time (s); zero for non-collectives.
+    pub comm_s: f64,
+    /// Launch overhead (s).
+    pub overhead_s: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// The binding resource.
+    pub bound: Bound,
+}
+
+impl OpCost {
+    fn classify(&mut self) {
+        let candidates = [
+            (self.compute_s, Bound::Compute),
+            (self.dram_s, Bound::Memory),
+            (self.l2_s, Bound::GlobalBuffer),
+            (self.comm_s, Bound::Interconnect),
+            (self.overhead_s, Bound::Overhead),
+        ];
+        self.bound = candidates
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, b)| b)
+            .unwrap_or(Bound::Compute);
+    }
+}
+
+/// Latency of one Transformer layer, with a per-operator breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerLatency {
+    ops: Vec<OpCost>,
+    phase: InferencePhase,
+}
+
+impl LayerLatency {
+    /// Total layer latency in seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.ops.iter().map(|o| o.time_s).sum()
+    }
+
+    /// Per-operator costs in execution order.
+    #[must_use]
+    pub fn ops(&self) -> &[OpCost] {
+        &self.ops
+    }
+
+    /// The phase this latency describes.
+    #[must_use]
+    pub fn phase(&self) -> InferencePhase {
+        self.phase
+    }
+
+    /// Seconds spent in operators bound by `bound`.
+    #[must_use]
+    pub fn time_bound_by(&self, bound: Bound) -> f64 {
+        self.ops.iter().filter(|o| o.bound == bound).map(|o| o.time_s).sum()
+    }
+
+    /// Total DRAM bytes moved by the layer (one device).
+    #[must_use]
+    pub fn dram_bytes(&self) -> f64 {
+        self.ops.iter().map(|o| o.dram_bytes).sum()
+    }
+
+    /// The single most expensive operator.
+    #[must_use]
+    pub fn slowest_op(&self) -> Option<&OpCost> {
+        self.ops.iter().max_by(|a, b| a.time_s.total_cmp(&b.time_s))
+    }
+}
+
+impl fmt::Display for LayerLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} layer: {:.3} ms", self.phase, self.total_s() * 1e3)?;
+        for op in &self.ops {
+            writeln!(
+                f,
+                "  {:<16} {:>9.1} us  ({:?}-bound)",
+                op.name,
+                op.time_s * 1e6,
+                op.bound
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The analytical LLM-inference simulator.
+///
+/// Prices one Transformer layer of a model on a tensor-parallel node; the
+/// tensor-parallel degree is the node's device count.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, SystemConfig};
+/// use acs_llm::{ModelConfig, WorkloadConfig};
+/// use acs_sim::Simulator;
+///
+/// let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like())?);
+/// let tbt = sim.tbt_s(&ModelConfig::gpt3_175b(), &WorkloadConfig::paper_default());
+/// assert!(tbt > 0.0);
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    system: SystemConfig,
+    params: SimParams,
+}
+
+impl Simulator {
+    /// Simulator with calibrated default parameters.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        Simulator { system, params: SimParams::calibrated() }
+    }
+
+    /// Simulator with explicit parameters.
+    #[must_use]
+    pub fn with_params(system: SystemConfig, params: SimParams) -> Self {
+        Simulator { system, params }
+    }
+
+    /// The simulated node.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Price one layer of `model` under `phase`.
+    #[must_use]
+    pub fn simulate_layer(
+        &self,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+    ) -> LayerLatency {
+        let device = self.system.device();
+        let graph = LayerGraph::build(model, workload, phase, self.system.device_count());
+        let dt = u64::from(device.datatype().bytes());
+        let l2_use =
+            f64::from(device.l2_mib()) * 1024.0 * 1024.0 * self.params.l2_usable_fraction;
+        // Producer→consumer forwarding: a tensor of `bytes` survives in the
+        // L2 between adjacent operators in proportion to the capacity share
+        // it can occupy (half the usable L2, leaving room for blocking).
+        let forward = |bytes: f64| -> f64 {
+            if bytes <= 0.0 {
+                1.0
+            } else {
+                (0.5 * l2_use / bytes).min(1.0)
+            }
+        };
+
+        let mut ops = Vec::with_capacity(graph.ops().len());
+        for op in graph.ops() {
+            let mut cost = match op {
+                Operator::Matmul(m) => {
+                    let fin = forward(m.a_bytes(dt) as f64);
+                    let fout = forward(m.out_bytes(dt) as f64);
+                    let c = matmul_cost(m, device, &self.params, fin, fout);
+                    OpCost {
+                        name: m.name,
+                        time_s: c.time_s() + self.params.op_overhead_s,
+                        compute_s: c.compute_s,
+                        dram_s: c.dram_s,
+                        l2_s: c.l2_s,
+                        comm_s: 0.0,
+                        overhead_s: self.params.op_overhead_s,
+                        dram_bytes: c.dram_bytes,
+                        bound: Bound::Compute,
+                    }
+                }
+                Operator::Vector(v) => {
+                    let f = forward(v.bytes(dt));
+                    let c = vector_cost(v, device, &self.params, f);
+                    OpCost {
+                        name: v.name,
+                        time_s: c.time_s() + self.params.op_overhead_s,
+                        compute_s: c.compute_s,
+                        dram_s: c.dram_s,
+                        l2_s: c.l2_s,
+                        comm_s: 0.0,
+                        overhead_s: self.params.op_overhead_s,
+                        dram_bytes: c.dram_bytes,
+                        bound: Bound::Compute,
+                    }
+                }
+                Operator::AllReduce(a) => {
+                    let c = allreduce_cost(a.bytes, &self.system, &self.params);
+                    OpCost {
+                        name: a.name,
+                        time_s: c.time_s() + self.params.op_overhead_s,
+                        compute_s: 0.0,
+                        dram_s: 0.0,
+                        l2_s: 0.0,
+                        comm_s: c.time_s(),
+                        overhead_s: self.params.op_overhead_s,
+                        dram_bytes: 0.0,
+                        bound: Bound::Interconnect,
+                    }
+                }
+                // `Operator` is non-exhaustive; unknown future operators
+                // contribute only their launch overhead.
+                _ => OpCost {
+                    name: op.name(),
+                    time_s: self.params.op_overhead_s,
+                    compute_s: 0.0,
+                    dram_s: 0.0,
+                    l2_s: 0.0,
+                    comm_s: 0.0,
+                    overhead_s: self.params.op_overhead_s,
+                    dram_bytes: 0.0,
+                    bound: Bound::Overhead,
+                },
+            };
+            cost.classify();
+            ops.push(cost);
+        }
+        LayerLatency { ops, phase }
+    }
+
+    /// Time-to-first-token: one layer's prefill latency (the paper's TTFT
+    /// unit — one representative layer, §3.2).
+    #[must_use]
+    pub fn ttft_s(&self, model: &ModelConfig, workload: &WorkloadConfig) -> f64 {
+        self.simulate_layer(model, workload, InferencePhase::Prefill).total_s()
+    }
+
+    /// Time-between-tokens: one layer's decode latency at a KV context of
+    /// the input length.
+    #[must_use]
+    pub fn tbt_s(&self, model: &ModelConfig, workload: &WorkloadConfig) -> f64 {
+        self.simulate_layer(model, workload, workload.decode_phase()).total_s()
+    }
+
+    /// Full-model TTFT (`per-layer × num_layers`), for end-to-end studies.
+    #[must_use]
+    pub fn full_model_ttft_s(&self, model: &ModelConfig, workload: &WorkloadConfig) -> f64 {
+        self.ttft_s(model, workload) * f64::from(model.num_layers())
+    }
+
+    /// Full-model TBT (`per-layer × num_layers`).
+    #[must_use]
+    pub fn full_model_tbt_s(&self, model: &ModelConfig, workload: &WorkloadConfig) -> f64 {
+        self.tbt_s(model, workload) * f64::from(model.num_layers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::DeviceConfig;
+
+    fn a100_sim() -> Simulator {
+        Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap())
+    }
+
+    fn gpt3() -> ModelConfig {
+        ModelConfig::gpt3_175b()
+    }
+
+    fn work() -> WorkloadConfig {
+        WorkloadConfig::paper_default()
+    }
+
+    #[test]
+    fn a100_gpt3_anchors_near_paper_values() {
+        // Paper (Fig. 5/6): modeled A100 TTFT ≈ 280 ms, TBT ≈ 1.44 ms.
+        let sim = a100_sim();
+        let ttft_ms = sim.ttft_s(&gpt3(), &work()) * 1e3;
+        let tbt_ms = sim.tbt_s(&gpt3(), &work()) * 1e3;
+        assert!(
+            ttft_ms > 200.0 && ttft_ms < 360.0,
+            "TTFT out of anchor band: {ttft_ms} ms"
+        );
+        assert!(tbt_ms > 1.0 && tbt_ms < 1.9, "TBT out of anchor band: {tbt_ms} ms");
+    }
+
+    #[test]
+    fn a100_llama3_anchors_are_faster_than_gpt3() {
+        let sim = a100_sim();
+        let llama = ModelConfig::llama3_8b();
+        let ttft_ms = sim.ttft_s(&llama, &work()) * 1e3;
+        let tbt_ms = sim.tbt_s(&llama, &work()) * 1e3;
+        // Paper (Fig. 6d/6e): ≈ 47 ms and ≈ 0.6 ms.
+        assert!(ttft_ms > 25.0 && ttft_ms < 70.0, "TTFT = {ttft_ms} ms");
+        assert!(tbt_ms > 0.25 && tbt_ms < 0.9, "TBT = {tbt_ms} ms");
+        assert!(ttft_ms < sim.ttft_s(&gpt3(), &work()) * 1e3);
+    }
+
+    #[test]
+    fn prefill_is_mostly_compute_bound_decode_mostly_memory_bound() {
+        let sim = a100_sim();
+        let prefill = sim.simulate_layer(&gpt3(), &work(), InferencePhase::Prefill);
+        let decode = sim.simulate_layer(&gpt3(), &work(), work().decode_phase());
+        assert!(prefill.time_bound_by(Bound::Compute) > prefill.total_s() * 0.5);
+        assert!(decode.time_bound_by(Bound::Memory) > decode.total_s() * 0.5);
+    }
+
+    #[test]
+    fn memory_bandwidth_moves_tbt_much_more_than_ttft() {
+        // §4.2: decoding levels are set by memory bandwidth.
+        let slow = a100_sim();
+        let fast_dev =
+            DeviceConfig::a100_like().to_builder().hbm_bandwidth_tb_s(3.2).build().unwrap();
+        let fast = Simulator::new(SystemConfig::quad(fast_dev).unwrap());
+        let tbt_gain = slow.tbt_s(&gpt3(), &work()) / fast.tbt_s(&gpt3(), &work());
+        let ttft_gain = slow.ttft_s(&gpt3(), &work()) / fast.ttft_s(&gpt3(), &work());
+        assert!(tbt_gain > 1.2, "TBT gain = {tbt_gain}");
+        assert!(ttft_gain < 1.1, "TTFT gain = {ttft_gain}");
+        assert!(tbt_gain > ttft_gain);
+    }
+
+    #[test]
+    fn device_bandwidth_barely_moves_tbt() {
+        // §4.1: 600 → 1000 GB/s decreases TBT by only ~0.27 %.
+        let base = a100_sim();
+        let fat_dev =
+            DeviceConfig::a100_like().to_builder().device_bandwidth_gb_s(1000.0).build().unwrap();
+        let fat = Simulator::new(SystemConfig::quad(fat_dev).unwrap());
+        let rel = 1.0 - fat.tbt_s(&gpt3(), &work()) / base.tbt_s(&gpt3(), &work());
+        assert!(rel > 0.0 && rel < 0.02, "relative TBT gain = {rel}");
+    }
+
+    #[test]
+    fn more_cores_cut_ttft_roughly_proportionally() {
+        // §4.1: TPP 4000 → 5000 decreases TTFT by ~16 %.
+        let d4000 = DeviceConfig::a100_like().to_builder().core_count(86).build().unwrap();
+        let d5000 = DeviceConfig::a100_like().to_builder().core_count(108).build().unwrap();
+        let s4000 = Simulator::new(SystemConfig::quad(d4000).unwrap());
+        let s5000 = Simulator::new(SystemConfig::quad(d5000).unwrap());
+        let rel = 1.0 - s5000.ttft_s(&gpt3(), &work()) / s4000.ttft_s(&gpt3(), &work());
+        assert!(rel > 0.10 && rel < 0.25, "relative TTFT gain = {rel}");
+    }
+
+    #[test]
+    fn layer_latency_breakdown_sums_to_total() {
+        let sim = a100_sim();
+        let lat = sim.simulate_layer(&gpt3(), &work(), InferencePhase::Prefill);
+        let sum: f64 = lat.ops().iter().map(|o| o.time_s).sum();
+        assert!((sum - lat.total_s()).abs() < 1e-12);
+        assert!(lat.slowest_op().is_some());
+    }
+
+    #[test]
+    fn full_model_scales_by_layer_count() {
+        let sim = a100_sim();
+        let per_layer = sim.ttft_s(&gpt3(), &work());
+        assert!((sim.full_model_ttft_s(&gpt3(), &work()) - 96.0 * per_layer).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_operators() {
+        let sim = a100_sim();
+        let lat = sim.simulate_layer(&gpt3(), &work(), work().decode_phase());
+        let s = lat.to_string();
+        assert!(s.contains("qkv_proj"));
+        assert!(s.contains("allreduce_ffn"));
+    }
+
+    #[test]
+    fn decode_context_growth_increases_tbt() {
+        let sim = a100_sim();
+        let short = sim
+            .simulate_layer(&gpt3(), &work(), InferencePhase::Decode { context_len: 1024 })
+            .total_s();
+        let long = sim
+            .simulate_layer(&gpt3(), &work(), InferencePhase::Decode { context_len: 3072 })
+            .total_s();
+        assert!(long > short);
+    }
+}

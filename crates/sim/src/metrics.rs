@@ -1,0 +1,135 @@
+//! Derived performance metrics.
+
+use acs_hw::SystemConfig;
+use acs_llm::{InferencePhase, LayerGraph, ModelConfig, WorkloadConfig};
+
+use crate::Simulator;
+
+/// Model FLOPs utilisation: observed throughput relative to the system's
+/// theoretical peak (§3.1, after PaLM).
+///
+/// `flops` is the useful work performed in `time_s` on `system`.
+#[must_use]
+pub fn mfu(flops: f64, time_s: f64, system: &SystemConfig) -> f64 {
+    if time_s <= 0.0 {
+        return 0.0;
+    }
+    let peak = system.device().peak_flops() * f64::from(system.device_count());
+    (flops / time_s) / peak
+}
+
+/// MFU of one simulated layer under `phase`.
+#[must_use]
+pub fn layer_mfu(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+) -> f64 {
+    let lat = sim.simulate_layer(model, workload, phase);
+    let graph = LayerGraph::build(model, workload, phase, sim.system().device_count());
+    // Per-device matmul FLOPs × devices = useful work for the node.
+    let flops = graph.matmul_flops() * f64::from(sim.system().device_count());
+    mfu(flops, lat.total_s(), sim.system())
+}
+
+/// Steady-state decode throughput of the node in tokens/second:
+/// the whole batch advances one token every `num_layers × TBT`.
+#[must_use]
+pub fn decode_throughput_tokens_per_s(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+) -> f64 {
+    let per_token_s = sim.full_model_tbt_s(model, workload);
+    if per_token_s <= 0.0 {
+        return 0.0;
+    }
+    workload.batch() as f64 / per_token_s
+}
+
+/// End-to-end request latency: full-model prefill plus one full-model
+/// decode step per output token.
+#[must_use]
+pub fn request_latency_s(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+) -> f64 {
+    sim.full_model_ttft_s(model, workload)
+        + workload.output_len() as f64 * sim.full_model_tbt_s(model, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::DeviceConfig;
+
+    #[test]
+    fn prefill_mfu_is_high_decode_mfu_is_low() {
+        // §3.1: "LLM inference can achieve near peak theoretical FLOPs
+        // during the compute-intensive prefill stage but suffer from low
+        // utilization during the memory-intensive decoding stage."
+        let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+        let gpt3 = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let prefill = layer_mfu(&sim, &gpt3, &w, InferencePhase::Prefill);
+        let decode = layer_mfu(&sim, &gpt3, &w, w.decode_phase());
+        assert!(prefill > 0.5, "prefill MFU = {prefill}");
+        assert!(decode < 0.1, "decode MFU = {decode}");
+    }
+
+    #[test]
+    fn mfu_handles_degenerate_inputs() {
+        let system = SystemConfig::quad(DeviceConfig::a100_like()).unwrap();
+        assert_eq!(mfu(1e12, 0.0, &system), 0.0);
+        assert_eq!(mfu(0.0, 1.0, &system), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_request_latency_are_consistent() {
+        let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let thpt = decode_throughput_tokens_per_s(&sim, &m, &w);
+        // Batch 32 at ~1.4 ms/layer × 96 layers ≈ a couple hundred tok/s.
+        assert!(thpt > 50.0 && thpt < 2000.0, "throughput = {thpt}");
+        let req = request_latency_s(&sim, &m, &w);
+        let ttft = sim.full_model_ttft_s(&m, &w);
+        assert!(req > ttft, "request latency includes decoding");
+        assert!(
+            (req - ttft - 1024.0 * sim.full_model_tbt_s(&m, &w)).abs() < 1e-9,
+            "decomposition holds"
+        );
+    }
+
+    #[test]
+    fn moe_decoding_is_slower_than_its_dense_twin() {
+        // The MoE extension: expert weight traffic throttles decode.
+        let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+        let w = WorkloadConfig::paper_default();
+        let dense = ModelConfig::llama3_8b();
+        let moe = ModelConfig::mixtral_8x7b();
+        let tbt_dense = sim.tbt_s(&dense, &w);
+        let tbt_moe = sim.tbt_s(&moe, &w);
+        assert!(
+            tbt_moe > 1.5 * tbt_dense,
+            "MoE decode {tbt_moe} vs dense {tbt_dense}"
+        );
+        // Prefill is closer: compute only scales with top_k.
+        let ttft_ratio = sim.ttft_s(&moe, &w) / sim.ttft_s(&dense, &w);
+        assert!(ttft_ratio > 1.2 && ttft_ratio < 3.0, "ttft ratio = {ttft_ratio}");
+    }
+
+    #[test]
+    fn mfu_never_exceeds_one_for_simulated_layers() {
+        let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+        let w = WorkloadConfig::paper_default();
+        for model in [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b()] {
+            for phase in [InferencePhase::Prefill, w.decode_phase()] {
+                let v = layer_mfu(&sim, &model, &w, phase);
+                assert!(v > 0.0 && v <= 1.0, "{} {phase}: MFU = {v}", model.name());
+            }
+        }
+    }
+}

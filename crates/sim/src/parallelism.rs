@@ -1,0 +1,198 @@
+//! Tensor vs pipeline parallelism.
+//!
+//! The October 2022 rule throttled the device-to-device interconnect
+//! (600 GB/s) on the theory that multi-device AI needs fat links. That is
+//! true of *tensor* parallelism (two all-reduces per layer); *pipeline*
+//! parallelism ships only a microbatch of activations across each stage
+//! boundary and runs happily over thin links — at the price of decode
+//! latency, since an autoregressive token must traverse every stage in
+//! sequence. This module prices both mappings on the same node so the
+//! policy question ("does capping the interconnect throttle the
+//! workload?") can be answered quantitatively.
+
+use crate::latency::Simulator;
+use crate::params::SimParams;
+use acs_hw::SystemConfig;
+use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
+use serde::Serialize;
+
+/// How a model is split across the node's devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Parallelism {
+    /// Megatron-style: every layer split across all devices,
+    /// all-reduces on the critical path.
+    Tensor,
+    /// Layer pipelining: contiguous layer blocks per device, activations
+    /// handed across stage boundaries.
+    Pipeline,
+}
+
+/// Full-model latencies under one mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MappingLatency {
+    /// Mapping priced.
+    pub parallelism: Parallelism,
+    /// Full-model time-to-first-token, seconds.
+    pub ttft_s: f64,
+    /// Full-model per-token decode latency, seconds.
+    pub tbt_s: f64,
+    /// Steady-state decode throughput in tokens/s (pipeline parallelism
+    /// overlaps independent request streams across stages).
+    pub throughput_tokens_per_s: f64,
+}
+
+/// Price `model` on `system` under `parallelism`.
+///
+/// Pipeline mapping assumptions (documented, deliberately simple):
+/// * stages hold `layers / devices` contiguous layers (layers assumed
+///   divisible; remainders are absorbed into the last stage's count);
+/// * prefill uses `devices` microbatches, so the pipeline bubble adds a
+///   factor `(2·S − 1)/S` over perfectly overlapped stages;
+/// * each stage boundary ships the microbatch activations
+///   (`tokens × d_model × 2` bytes) over the per-direction link;
+/// * decode cannot pipeline within one token (autoregression), so TBT is
+///   the *sum* of stage times — but independent tokens of the batch keep
+///   all stages busy, so throughput is set by one stage, not the sum.
+#[must_use]
+pub fn mapping_latency(
+    system: &SystemConfig,
+    params: SimParams,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    parallelism: Parallelism,
+) -> MappingLatency {
+    let devices = system.device_count();
+    let layers = f64::from(model.num_layers());
+    match parallelism {
+        Parallelism::Tensor => {
+            let sim = Simulator::with_params(system.clone(), params);
+            let tbt = sim.tbt_s(model, workload) * layers;
+            MappingLatency {
+                parallelism,
+                ttft_s: sim.ttft_s(model, workload) * layers,
+                tbt_s: tbt,
+                throughput_tokens_per_s: if tbt > 0.0 {
+                    workload.batch() as f64 / tbt
+                } else {
+                    0.0
+                },
+            }
+        }
+        Parallelism::Pipeline => {
+            // Per-layer costs on ONE device holding full-width layers.
+            let single = SystemConfig::new(system.device().clone(), 1)
+                .expect("single-device system");
+            let sim = Simulator::with_params(single, params);
+            let s = f64::from(devices);
+            let layer_prefill =
+                sim.simulate_layer(model, workload, InferencePhase::Prefill).total_s();
+            let layer_decode =
+                sim.simulate_layer(model, workload, workload.decode_phase()).total_s();
+
+            // Stage boundary transfer per microbatch: activations only.
+            let micro_tokens =
+                (workload.batch() * workload.input_len()) as f64 / s;
+            let boundary_bytes = micro_tokens * model.d_model() as f64 * 2.0;
+            let link = system.device().phy().unidirectional_gb_s() * 1e9;
+            let boundary_s = boundary_bytes / link;
+
+            // Prefill: S microbatches over S stages → bubble (2S−1)/S.
+            let stage_prefill = layer_prefill * layers / s + boundary_s;
+            let ttft = stage_prefill * (2.0 * s - 1.0) / s;
+
+            // Decode: one token crosses every stage in sequence.
+            let decode_boundary_bytes = workload.batch() as f64 * model.d_model() as f64 * 2.0;
+            let stage_decode =
+                layer_decode * layers / s + decode_boundary_bytes / link;
+            let tbt = stage_decode * s;
+            MappingLatency {
+                parallelism,
+                ttft_s: ttft,
+                tbt_s: tbt,
+                // Streams pipeline across stages: one batch completes a
+                // token every stage time.
+                throughput_tokens_per_s: if stage_decode > 0.0 {
+                    workload.batch() as f64 / stage_decode
+                } else {
+                    0.0
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::DeviceConfig;
+
+    fn quad(device_bw_gb_s: f64) -> SystemConfig {
+        let d = DeviceConfig::a100_like()
+            .to_builder()
+            .device_bandwidth_gb_s(device_bw_gb_s)
+            .build()
+            .unwrap();
+        SystemConfig::quad(d).unwrap()
+    }
+
+    fn price(system: &SystemConfig, p: Parallelism) -> MappingLatency {
+        mapping_latency(
+            system,
+            SimParams::calibrated(),
+            &ModelConfig::gpt3_175b(),
+            &WorkloadConfig::paper_default(),
+            p,
+        )
+    }
+
+    #[test]
+    fn tensor_wins_decode_latency_pipeline_matches_throughput() {
+        let sys = quad(600.0);
+        let tp = price(&sys, Parallelism::Tensor);
+        let pp = price(&sys, Parallelism::Pipeline);
+        // Autoregression makes PP's per-token latency much worse.
+        assert!(pp.tbt_s > 2.0 * tp.tbt_s, "PP {} vs TP {}", pp.tbt_s, tp.tbt_s);
+        // But pipelined streams keep throughput in the same league.
+        assert!(
+            pp.throughput_tokens_per_s > 0.5 * tp.throughput_tokens_per_s,
+            "PP {} vs TP {} tok/s",
+            pp.throughput_tokens_per_s,
+            tp.throughput_tokens_per_s
+        );
+    }
+
+    #[test]
+    fn interconnect_caps_barely_touch_pipeline_parallelism() {
+        // Slash device bandwidth 600 → 100 GB/s (far below any rule).
+        let fat = price(&quad(600.0), Parallelism::Pipeline);
+        let thin = price(&quad(100.0), Parallelism::Pipeline);
+        let ttft_hit = thin.ttft_s / fat.ttft_s - 1.0;
+        let tbt_hit = thin.tbt_s / fat.tbt_s - 1.0;
+        assert!(ttft_hit < 0.10, "PP prefill hit = {ttft_hit:+.3}");
+        assert!(tbt_hit < 0.02, "PP decode hit = {tbt_hit:+.3}");
+    }
+
+    #[test]
+    fn tensor_parallel_matches_simulator_full_model_numbers() {
+        let sys = quad(600.0);
+        let tp = price(&sys, Parallelism::Tensor);
+        let sim = Simulator::new(sys);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        assert!((tp.ttft_s - sim.full_model_ttft_s(&m, &w)).abs() < 1e-9);
+        assert!((tp.tbt_s - sim.full_model_tbt_s(&m, &w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_prefill_beats_single_device() {
+        // Even with the bubble, S stages split the prefill work.
+        let sys = quad(600.0);
+        let pp = price(&sys, Parallelism::Pipeline);
+        let single = SystemConfig::new(DeviceConfig::a100_like(), 1).unwrap();
+        let sim = Simulator::new(single);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let solo = sim.full_model_ttft_s(&m, &w);
+        assert!(pp.ttft_s < solo, "PP {} vs solo {}", pp.ttft_s, solo);
+    }
+}

@@ -1,0 +1,406 @@
+//! Serving-level simulation: continuous batching over a request trace.
+//!
+//! The layer simulator prices one phase of one batch; real deployments
+//! interleave many requests. This module runs an iteration-level
+//! (Orca-style) scheduler over a [`RequestTrace`]: waiting requests are
+//! prefilled one at a time and join the running batch, which advances one
+//! decode token per iteration; per-iteration costs come from the
+//! analytical simulator at the *current* batch size and context. The
+//! output is what an operator cares about — TTFT/TBT percentiles and
+//! sustained throughput — letting restricted and compliant devices be
+//! compared at the serving level, not just per-kernel.
+
+use crate::latency::Simulator;
+use acs_llm::{InferencePhase, ModelConfig, RequestTrace, WorkloadConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServingConfig {
+    /// Maximum requests decoded together.
+    pub max_batch: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig { max_batch: 32 }
+    }
+}
+
+/// Aggregate serving metrics over a trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServingMetrics {
+    /// Requests completed.
+    pub completed: usize,
+    /// Mean time-to-first-token over completed requests, seconds
+    /// (queueing included).
+    pub mean_ttft_s: f64,
+    /// 99th-percentile TTFT, seconds.
+    pub p99_ttft_s: f64,
+    /// Mean per-token decode latency experienced, seconds.
+    pub mean_tbt_s: f64,
+    /// Output tokens generated per wall-clock second.
+    pub throughput_tokens_per_s: f64,
+    /// Wall-clock span of the simulation, seconds.
+    pub makespan_s: f64,
+}
+
+struct Active {
+    remaining: u64,
+    context: u64,
+    tbt_sum: f64,
+    tbt_count: u64,
+    ttft_s: f64,
+}
+
+/// Run the continuous-batching scheduler for `model` on `sim`'s node over
+/// `trace`.
+///
+/// Scheduling policy: prefill-prioritised — whenever a request is waiting
+/// and the batch has room, it is prefilled (batch size 1) and admitted;
+/// otherwise the running batch advances one decode iteration. Idle time
+/// fast-forwards to the next arrival.
+///
+/// # Example
+///
+/// ```
+/// use acs_hw::{DeviceConfig, SystemConfig};
+/// use acs_llm::{LengthDistribution, ModelConfig, RequestTrace};
+/// use acs_sim::{simulate_serving, ServingConfig, Simulator};
+///
+/// let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like())?);
+/// let trace = RequestTrace::synthetic(
+///     2.0, 10.0,
+///     LengthDistribution::chat_prompts(),
+///     LengthDistribution::chat_outputs(),
+///     7,
+/// );
+/// let metrics = simulate_serving(&sim, &ModelConfig::llama3_8b(), &trace,
+///     ServingConfig::default());
+/// assert_eq!(metrics.completed, trace.len());
+/// # Ok::<(), acs_hw::HwError>(())
+/// ```
+#[must_use]
+pub fn simulate_serving(
+    sim: &Simulator,
+    model: &ModelConfig,
+    trace: &RequestTrace,
+    config: ServingConfig,
+) -> ServingMetrics {
+    let layers = f64::from(model.num_layers());
+    // Memoised full-model costs. Contexts/lengths are bucketed to powers
+    // of two to bound the table.
+    let mut prefill_cache: HashMap<u64, f64> = HashMap::new();
+    let mut decode_cache: HashMap<(usize, u64), f64> = HashMap::new();
+    let bucket = |x: u64| x.max(1).next_power_of_two();
+
+    let mut prefill_cost = |len: u64| -> f64 {
+        let key = bucket(len);
+        *prefill_cache.entry(key).or_insert_with(|| {
+            let w = WorkloadConfig::new(1, key, 1);
+            sim.simulate_layer(model, &w, InferencePhase::Prefill).total_s() * layers
+        })
+    };
+    let mut decode_cost = |batch: usize, context: u64| -> f64 {
+        let key = (batch, bucket(context));
+        *decode_cache.entry(key).or_insert_with(|| {
+            let w = WorkloadConfig::new(batch as u64, key.1, 1);
+            sim.simulate_layer(model, &w, InferencePhase::Decode { context_len: key.1 })
+                .total_s()
+                * layers
+        })
+    };
+
+    let mut waiting: VecDeque<(f64, u64, u64)> = VecDeque::new();
+    let mut pending = trace.requests().iter().copied().peekable();
+    let mut active: Vec<Active> = Vec::new();
+    let mut done: Vec<Active> = Vec::new();
+    let mut now = 0.0_f64;
+    let mut output_tokens = 0u64;
+
+    loop {
+        // Admit arrivals up to `now`.
+        while let Some(r) = pending.peek() {
+            if r.arrival_s <= now {
+                waiting.push_back((r.arrival_s, r.input_len, r.output_len));
+                pending.next();
+            } else {
+                break;
+            }
+        }
+
+        let can_admit = active.len() < config.max_batch;
+        if can_admit && !waiting.is_empty() {
+            // Prefill one waiting request and admit it.
+            let (arrival, input, output) = waiting.pop_front().expect("nonempty");
+            now += prefill_cost(input);
+            output_tokens += 1; // the prefill emits the first token
+            let mut req = Active {
+                remaining: output.saturating_sub(1),
+                context: input + 1,
+                tbt_sum: 0.0,
+                tbt_count: 0,
+                ttft_s: now - arrival,
+            };
+            if req.remaining == 0 {
+                done.push(req);
+            } else {
+                req.context = input + 1;
+                active.push(req);
+            }
+        } else if !active.is_empty() {
+            // One decode iteration for the whole batch.
+            let mean_context =
+                active.iter().map(|a| a.context).sum::<u64>() / active.len() as u64;
+            let step = decode_cost(active.len(), mean_context);
+            now += step;
+            output_tokens += active.len() as u64;
+            for a in &mut active {
+                a.remaining -= 1;
+                a.context += 1;
+                a.tbt_sum += step;
+                a.tbt_count += 1;
+            }
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].remaining == 0 {
+                    done.push(active.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        } else if let Some(r) = pending.peek() {
+            // Idle: fast-forward to the next arrival.
+            now = r.arrival_s;
+        } else {
+            break; // drained
+        }
+    }
+
+    let completed = done.len();
+    let mut ttfts: Vec<f64> = done.iter().map(|d| d.ttft_s).collect();
+    ttfts.sort_by(f64::total_cmp);
+    let mean_ttft = if completed > 0 {
+        ttfts.iter().sum::<f64>() / completed as f64
+    } else {
+        0.0
+    };
+    let p99 = if completed > 0 {
+        ttfts[((completed - 1) as f64 * 0.99).round() as usize]
+    } else {
+        0.0
+    };
+    let (tbt_sum, tbt_count) = done
+        .iter()
+        .fold((0.0, 0u64), |(s, c), d| (s + d.tbt_sum, c + d.tbt_count));
+    ServingMetrics {
+        completed,
+        mean_ttft_s: mean_ttft,
+        p99_ttft_s: p99,
+        mean_tbt_s: if tbt_count > 0 { tbt_sum / tbt_count as f64 } else { 0.0 },
+        throughput_tokens_per_s: if now > 0.0 { output_tokens as f64 / now } else { 0.0 },
+        makespan_s: now,
+    }
+}
+
+/// Disaggregated (Splitwise-style) serving: a dedicated prefill node
+/// processes prompts FIFO and hands the KV cache to a dedicated decode
+/// node that runs continuous batching.
+///
+/// The handoff ships the request's KV cache
+/// (`input_len × kv_dim × 2` bytes per layer, all layers) over the
+/// prefill node's device links. TTFT is the prefill completion (the
+/// prefill emits the first token); decoding proceeds undisturbed by
+/// arriving prompts — the interference-isolation argument of the
+/// phase-splitting literature the paper cites.
+#[must_use]
+pub fn simulate_disaggregated(
+    prefill_sim: &Simulator,
+    decode_sim: &Simulator,
+    model: &ModelConfig,
+    trace: &RequestTrace,
+    config: ServingConfig,
+) -> ServingMetrics {
+    let layers = f64::from(model.num_layers());
+    let link = prefill_sim.system().device().phy().unidirectional_gb_s() * 1e9;
+
+    // FIFO prefill schedule: each request's decode-ready time.
+    let mut ready = Vec::with_capacity(trace.len());
+    let mut free_at = 0.0_f64;
+    let mut prefill_cache: HashMap<u64, f64> = HashMap::new();
+    for r in trace.requests() {
+        let key = r.input_len.max(1).next_power_of_two();
+        let cost = *prefill_cache.entry(key).or_insert_with(|| {
+            let w = WorkloadConfig::new(1, key, 1);
+            prefill_sim.simulate_layer(model, &w, InferencePhase::Prefill).total_s() * layers
+        });
+        let kv_bytes =
+            (r.input_len * model.kv_bytes_per_token_per_layer(2)) as f64 * layers;
+        let start = free_at.max(r.arrival_s);
+        free_at = start + cost + kv_bytes / link;
+        ready.push((free_at, r));
+    }
+
+    // The decode node sees "arrivals" at prefill completion; its TTFT
+    // contribution is already paid, so requests enter with their first
+    // token produced.
+    let decode_trace = RequestTrace::new(
+        ready
+            .iter()
+            .map(|(t, r)| acs_llm::Request {
+                arrival_s: *t,
+                input_len: r.input_len,
+                output_len: r.output_len,
+            })
+            .collect(),
+    );
+    // Reuse the aggregated scheduler with prefill made free on the decode
+    // node: emulate by measuring decode-side metrics, then overwrite TTFT
+    // with the true prefill-side figures.
+    let mut metrics = simulate_serving(decode_sim, model, &decode_trace, config);
+    let mut ttfts: Vec<f64> =
+        ready.iter().map(|(t, r)| *t - r.arrival_s).collect();
+    ttfts.sort_by(f64::total_cmp);
+    if !ttfts.is_empty() {
+        metrics.mean_ttft_s = ttfts.iter().sum::<f64>() / ttfts.len() as f64;
+        metrics.p99_ttft_s = ttfts[((ttfts.len() - 1) as f64 * 0.99).round() as usize];
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::{DeviceConfig, SystemConfig};
+    use acs_llm::{LengthDistribution, RequestTrace};
+
+    fn sim() -> Simulator {
+        Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap())
+    }
+
+    fn trace(rate: f64, seed: u64) -> RequestTrace {
+        RequestTrace::synthetic(
+            rate,
+            30.0,
+            LengthDistribution { median: 512, sigma: 0.5, min: 64, max: 2048 },
+            LengthDistribution { median: 64, sigma: 0.5, min: 4, max: 256 },
+            seed,
+        )
+    }
+
+    #[test]
+    fn all_requests_complete_and_metrics_are_sane() {
+        let t = trace(1.0, 1);
+        let m = simulate_serving(&sim(), &ModelConfig::llama3_8b(), &t, ServingConfig::default());
+        assert_eq!(m.completed, t.len());
+        assert!(m.mean_ttft_s > 0.0 && m.mean_ttft_s.is_finite());
+        assert!(m.p99_ttft_s >= m.mean_ttft_s * 0.5);
+        assert!(m.mean_tbt_s > 0.0);
+        assert!(m.throughput_tokens_per_s > 0.0);
+        assert!(m.makespan_s >= 30.0 * 0.5);
+    }
+
+    #[test]
+    fn overload_inflates_ttft() {
+        let model = ModelConfig::llama3_8b();
+        let light = simulate_serving(&sim(), &model, &trace(0.5, 2), ServingConfig::default());
+        let heavy = simulate_serving(&sim(), &model, &trace(30.0, 2), ServingConfig::default());
+        assert!(
+            heavy.p99_ttft_s > 2.0 * light.p99_ttft_s,
+            "queueing should dominate under overload: {} vs {}",
+            heavy.p99_ttft_s,
+            light.p99_ttft_s
+        );
+    }
+
+    #[test]
+    fn larger_batch_limit_raises_throughput_under_load() {
+        let model = ModelConfig::llama3_8b();
+        let t = trace(20.0, 3);
+        let small = simulate_serving(&sim(), &model, &t, ServingConfig { max_batch: 2 });
+        let large = simulate_serving(&sim(), &model, &t, ServingConfig { max_batch: 32 });
+        assert!(
+            large.throughput_tokens_per_s > small.throughput_tokens_per_s,
+            "{} vs {}",
+            large.throughput_tokens_per_s,
+            small.throughput_tokens_per_s
+        );
+    }
+
+    #[test]
+    fn bandwidth_rich_compliant_device_serves_more() {
+        // The §4 asymmetry at the serving level: a TPP-capped but
+        // bandwidth-maxed design sustains decode-heavy serving at least
+        // as well as the A100.
+        let model = ModelConfig::llama3_8b();
+        let t = trace(15.0, 4);
+        let compliant_dev = DeviceConfig::builder()
+            .core_count(207)
+            .lanes_per_core(2)
+            .l2_mib(64)
+            .hbm_bandwidth_tb_s(3.2)
+            .build()
+            .unwrap();
+        let compliant =
+            Simulator::new(SystemConfig::quad(compliant_dev).unwrap());
+        let a = simulate_serving(&sim(), &model, &t, ServingConfig::default());
+        let c = simulate_serving(&compliant, &model, &t, ServingConfig::default());
+        assert!(
+            c.throughput_tokens_per_s >= a.throughput_tokens_per_s * 0.95,
+            "compliant {} vs A100 {}",
+            c.throughput_tokens_per_s,
+            a.throughput_tokens_per_s
+        );
+    }
+
+    #[test]
+    fn disaggregation_isolates_decode_from_prefill_interference() {
+        // Same decode hardware; under load the aggregated node's decode
+        // steps stall behind arriving prefills, the disaggregated one's
+        // do not.
+        let model = ModelConfig::llama3_8b();
+        let t = trace(12.0, 5);
+        let aggregated =
+            simulate_serving(&sim(), &model, &t, ServingConfig::default());
+        let disagg = simulate_disaggregated(&sim(), &sim(), &model, &t, ServingConfig::default());
+        assert_eq!(disagg.completed, t.len());
+        assert!(
+            disagg.mean_tbt_s <= aggregated.mean_tbt_s * 1.05,
+            "decode-side TBT should not regress: {} vs {}",
+            disagg.mean_tbt_s,
+            aggregated.mean_tbt_s
+        );
+        assert!(disagg.p99_ttft_s > 0.0 && disagg.p99_ttft_s.is_finite());
+    }
+
+    #[test]
+    fn disaggregated_ttft_includes_queueing_and_kv_transfer() {
+        let model = ModelConfig::llama3_8b();
+        // A deterministic two-request trace arriving together: the second
+        // prefill queues behind the first.
+        let t = RequestTrace::new(vec![
+            acs_llm::Request { arrival_s: 0.0, input_len: 1024, output_len: 8 },
+            acs_llm::Request { arrival_s: 0.0, input_len: 1024, output_len: 8 },
+        ]);
+        let m = simulate_disaggregated(&sim(), &sim(), &model, &t, ServingConfig::default());
+        assert_eq!(m.completed, 2);
+        // Mean TTFT ≈ 1.5x the single-prefill latency (0.5·(1 + 2)).
+        let single = m.p99_ttft_s / 2.0;
+        assert!(
+            (m.mean_ttft_s - 1.5 * single).abs() / m.mean_ttft_s < 0.05,
+            "mean {} p99 {}",
+            m.mean_ttft_s,
+            m.p99_ttft_s
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_metrics() {
+        let t = RequestTrace::new(Vec::new());
+        let m = simulate_serving(&sim(), &ModelConfig::llama3_8b(), &t, ServingConfig::default());
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.throughput_tokens_per_s, 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Generate compliance dossiers and export-quota plans for a product line.
+//!
+//! ```text
+//! cargo run --release --example compliance_dossier
+//! ```
+
+use acs::core::compliance_dossier;
+use acs::devices::GpuDatabase;
+use acs::policy::{DiffusionQuota, ExportLedger};
+
+fn main() {
+    let db = GpuDatabase::curated_65();
+
+    // A dossier for the device at the heart of the paper's story.
+    let a800 = db.find("A800").expect("A800 in database").to_metrics();
+    println!("{}", compliance_dossier(&a800));
+
+    // And for the gaming flagship the 2023 rule swept up.
+    let rtx4090 = db.find("RTX 4090").expect("4090 in database").to_metrics();
+    println!("{}", compliance_dossier(&rtx4090));
+
+    // January 2025 diffusion framework: plan a tier-2 country's allocation
+    // across a mixed portfolio.
+    println!("# Diffusion-quota plan (tier-2 country, ~790M TPP)\n");
+    let mut ledger = ExportLedger::new(DiffusionQuota::tier2_country());
+    for (name, units) in [("H100", 20_000u64), ("H20", 100_000), ("L4", 200_000)] {
+        let device = db.find(name).expect("device in database").to_metrics();
+        let covered = ledger.ship(&device, units);
+        println!(
+            "- {name}: requested {units}, covered {covered} ({:.1}M TPP remaining)",
+            ledger.remaining_tpp() / 1e6
+        );
+    }
+}

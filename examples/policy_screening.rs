@@ -1,0 +1,80 @@
+//! Screen a product portfolio against every export-control generation.
+//!
+//! Emulates the compliance-screening workflow a device vendor (or
+//! regulator) would run: classify all 65 GPUs of the 2018–2024 database
+//! under the October 2022 and October 2023 rules, check commodity HBM
+//! packages against the December 2024 rule, and quantify how well the
+//! marketing-based classification holds together.
+//!
+//! ```text
+//! cargo run --release --example policy_screening
+//! ```
+
+use acs::core::prelude::*;
+use acs::devices::GpuDatabase;
+use acs::policy::{Acr2022, Acr2023, Classification, HbmPackage, HbmRule2024};
+
+fn main() {
+    let db = GpuDatabase::curated_65();
+    let r22 = Acr2022::published();
+    let r23 = Acr2023::published();
+
+    // Portfolio screening: who needs a licence under each generation?
+    let mut counts = [[0u32; 3]; 2];
+    for record in &db {
+        let m = record.to_metrics();
+        for (i, class) in [r22.classify(&m), r23.classify(&m)].into_iter().enumerate() {
+            counts[i][match class {
+                Classification::NotApplicable => 0,
+                Classification::NacEligible => 1,
+                Classification::LicenseRequired => 2,
+            }] += 1;
+        }
+    }
+    println!("65-device portfolio under both rule generations:");
+    println!("{:<14} {:>14} {:>14} {:>18}", "rule", "not applicable", "NAC eligible", "license required");
+    println!("{:<14} {:>14} {:>14} {:>18}", "October 2022", counts[0][0], counts[0][1], counts[0][2]);
+    println!("{:<14} {:>14} {:>14} {:>18}", "October 2023", counts[1][0], counts[1][1], counts[1][2]);
+
+    // Devices whose status changed between generations — the §2.2 story.
+    println!("\nnewly restricted by the October 2023 update:");
+    for record in &db {
+        let m = record.to_metrics();
+        if !r22.classify(&m).is_restricted() && r23.classify(&m).is_restricted() {
+            println!("  {} ({}, {})", record.name, m.tpp(), r23.classify(&m));
+        }
+    }
+
+    // The marketing-vs-architecture consistency studies (§5.2).
+    let marketing = marketing_consistency(&db, &r23);
+    println!(
+        "\nmarketing-based classification: {} false DC {:?}, {} false non-DC",
+        marketing.false_dc.len(),
+        marketing.false_dc,
+        marketing.false_ndc.len()
+    );
+    let arch = architectural_consistency(&db, &ArchClassifier::paper());
+    println!(
+        "memory-architecture classification: {} false DC {:?}, {} false non-DC",
+        arch.false_dc.len(),
+        arch.false_dc,
+        arch.false_ndc.len()
+    );
+
+    // December 2024: commodity HBM screening.
+    println!("\ncommodity HBM packages under the December 2024 rule:");
+    let hbm_rule = HbmRule2024::published();
+    for pkg in [
+        HbmPackage::new("HBM2e stack (460 GB/s, 100 mm2)", 460.0, 100.0),
+        HbmPackage::new("HBM3 stack (820 GB/s, 110 mm2)", 820.0, 110.0),
+        HbmPackage::new("derated export stack (210 GB/s, 110 mm2)", 210.0, 110.0),
+        HbmPackage::new("exception-band stack (320 GB/s, 110 mm2)", 320.0, 110.0),
+    ] {
+        println!(
+            "  {:<44} density {:>5.2} GB/s/mm2 -> {}",
+            pkg.name,
+            pkg.bandwidth_density(),
+            hbm_rule.classify(&pkg)
+        );
+    }
+}

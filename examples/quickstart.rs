@@ -1,0 +1,50 @@
+//! Quickstart: describe a device, check it against the export-control
+//! rules, and simulate LLM inference on it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use acs::prelude::*;
+use acs_hw::HwError;
+
+fn main() -> Result<(), HwError> {
+    // 1. Describe an accelerator with the LLMCompass-style template.
+    //    This is the paper's modeled NVIDIA A100 baseline.
+    let a100 = DeviceConfig::a100_like();
+    println!("device: {a100}");
+    println!("TPP: {} (peak {:.0} TOPS fp16)", a100.tpp(), a100.peak_tops());
+
+    // 2. Model its die area and silicon cost.
+    let area = AreaModel::n7().die_area(&a100);
+    let cost = CostModel::n7();
+    println!(
+        "modeled die: {:.0} mm2 ({:.0} mm2 of SRAM), ${:.0} per die, ${:.0} per good die",
+        area.total_mm2(),
+        area.sram_mm2(),
+        cost.die_cost_usd(area.total_mm2()),
+        cost.good_die_cost_usd(area.total_mm2()),
+    );
+
+    // 3. Classify it under both generations of the Advanced Computing
+    //    Rule. The A100 is the canonical restricted device.
+    let metrics = DeviceMetrics::from_config(&a100, 826.0, MarketSegment::DataCenter);
+    println!("October 2022 rule: {}", Acr2022::default().classify(&metrics));
+    println!("October 2023 rule: {}", Acr2023::default().classify(&metrics));
+
+    // 4. Simulate one Transformer layer of GPT-3 175B on a 4-device node.
+    let node = SystemConfig::quad(a100)?;
+    let sim = Simulator::new(node);
+    let gpt3 = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+    println!(
+        "GPT-3 175B, {work}: TTFT {:.1} ms, TBT {:.3} ms per layer",
+        sim.ttft_s(&gpt3, &work) * 1e3,
+        sim.tbt_s(&gpt3, &work) * 1e3,
+    );
+
+    // 5. Inspect the per-operator breakdown of the decode step.
+    let decode = sim.simulate_layer(&gpt3, &work, work.decode_phase());
+    println!("\ndecode breakdown:\n{decode}");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Design a sanction-compliant LLM-inference accelerator.
+//!
+//! Walks the workflow of the paper's §4: sweep the architectural design
+//! space under each rule generation, filter to manufacturable and
+//! compliant designs, and report the best achievable prefill/decode
+//! latencies and what compliance costs in silicon.
+//!
+//! ```text
+//! cargo run --release --example sanction_compliant_design
+//! ```
+
+use acs::core::prelude::*;
+use acs::llm::{ModelConfig, WorkloadConfig};
+
+fn main() {
+    let model = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+
+    println!("=== October 2022 rule (TPP < 4800, device BW 600 GB/s) ===");
+    let r22 = optimize_oct2022(&model, &work);
+    println!(
+        "{} designs explored, {} fit the reticle",
+        r22.designs.len(),
+        r22.designs.len() - r22.reticle_violations
+    );
+    if let Some(best) = r22.best_tbt() {
+        println!(
+            "best decode design: {} — TBT {:.3} ms ({:+.1}% vs A100), {:.0} mm2, ${:.0}/die",
+            best.name,
+            best.tbt_s * 1e3,
+            (best.tbt_s / r22.baseline.tbt_s - 1.0) * 100.0,
+            best.die_area_mm2,
+            best.die_cost_usd,
+        );
+    }
+    if let Some(best) = r22.best_ttft() {
+        println!(
+            "best prefill design: {} — TTFT {:.1} ms ({:+.1}% vs A100)",
+            best.name,
+            best.ttft_s * 1e3,
+            (best.ttft_s / r22.baseline.ttft_s - 1.0) * 100.0,
+        );
+    }
+
+    println!("\n=== October 2023 rule, 2400 TPP tier ===");
+    let r23 = optimize_oct2023(&model, &work, 2400.0);
+    let valid = r23.designs.iter().filter(|d| d.valid_2023()).count();
+    println!(
+        "{} designs explored, {} escape the rule and fit the reticle",
+        r23.designs.len(),
+        valid
+    );
+    match r23.best_ttft() {
+        Some(best) => {
+            println!(
+                "fastest compliant design: TTFT {:.1} ms ({:+.1}% vs A100), \
+                 die {:.0} mm2 at PD {:.2}",
+                best.ttft_s * 1e3,
+                (best.ttft_s / r23.baseline.ttft_s - 1.0) * 100.0,
+                best.die_area_mm2,
+                best.perf_density,
+            );
+            // What did the performance-density floor cost us? Compare to
+            // the fastest design that violates it.
+            if let Some(non) = r23
+                .designs
+                .iter()
+                .filter(|d| d.within_reticle && !d.pd_unregulated_2023)
+                .min_by(|a, b| a.ttft_s.total_cmp(&b.ttft_s))
+            {
+                let overhead = ComplianceOverhead::between(best, non);
+                println!(
+                    "vs fastest non-compliant: area x{:.2}, die cost x{:.2}, \
+                     good-die cost x{:.2} for {:+.1}% TTFT",
+                    overhead.area_ratio,
+                    overhead.die_cost_ratio,
+                    overhead.good_die_cost_ratio,
+                    (overhead.ttft_ratio - 1.0) * 100.0,
+                );
+            }
+        }
+        None => println!("no compliant design exists at this tier"),
+    }
+
+    println!("\n=== October 2023 rule, 4800 TPP tier ===");
+    let r48 = optimize_oct2023(&model, &work, 4800.0);
+    println!(
+        "{} designs explored, {} compliant — the PD floor forbids the whole tier \
+         (a single die would need >3000 mm2)",
+        r48.designs.len(),
+        r48.designs.iter().filter(|d| d.valid_2023()).count()
+    );
+}

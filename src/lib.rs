@@ -1,0 +1,52 @@
+//! Chip Architectures Under Advanced Computing Sanctions — facade crate.
+//!
+//! This crate re-exports the full public API of the workspace, giving
+//! downstream users a single dependency:
+//!
+//! * [`hw`] — hardware templates, TPP arithmetic, area and cost models.
+//! * [`llm`] — LLM workload descriptions (GPT-3 175B, Llama 3 8B) and
+//!   operator graphs for prefill and decoding.
+//! * [`sim`] — the analytical performance simulator (TTFT / TBT).
+//! * [`policy`] — the Advanced Computing Rule engine (Oct 2022, Oct 2023,
+//!   Dec 2024 HBM; NAC tiers; legacy CTP/APP metrics).
+//! * [`devices`] — a curated database of 65 real NVIDIA/AMD GPUs.
+//! * [`dse`] — design-space exploration sweeps, filters, and statistics.
+//! * [`core`] — the paper's contribution: sanction-compliant design
+//!   optimisation and architecture-first policy analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use acs::prelude::*;
+//!
+//! // Classify the modeled A100 under the October 2023 rule.
+//! let device = DeviceConfig::a100_like();
+//! let area = AreaModel::n7().die_area(&device).total_mm2();
+//! let metrics = DeviceMetrics::from_config(&device, area, MarketSegment::DataCenter);
+//! let class = Acr2023::default().classify(&metrics);
+//! assert_eq!(class, Classification::LicenseRequired);
+//! ```
+
+pub use acs_core as core;
+pub use acs_devices as devices;
+pub use acs_dse as dse;
+pub use acs_hw as hw;
+pub use acs_llm as llm;
+pub use acs_policy as policy;
+pub use acs_sim as sim;
+
+/// Commonly used items, importable with `use acs::prelude::*`.
+pub mod prelude {
+    pub use acs_core::prelude::*;
+    pub use acs_devices::{DeviceRecord, GpuDatabase, Vendor};
+    pub use acs_dse::prelude::*;
+    pub use acs_hw::{
+        AreaModel, CostModel, DataType, DeviceConfig, HbmConfig, ProcessNode, SystemConfig,
+        SystolicDims, Tpp,
+    };
+    pub use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
+    pub use acs_policy::{
+        Acr2022, Acr2023, Classification, DeviceMetrics, MarketSegment,
+    };
+    pub use acs_sim::{LayerLatency, Simulator};
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration: sweep → simulate → price → classify →
+//! optimise, exercising every substrate in one pipeline.
+
+use acs::prelude::*;
+use acs_policy::Classification;
+
+#[test]
+fn full_pipeline_from_sweep_to_classification() {
+    // Build a small October-2022-style sweep.
+    let spec = SweepSpec {
+        systolic_dims: vec![16, 32],
+        lanes_per_core: vec![2, 4],
+        l1_kib: vec![192, 512],
+        l2_mib: vec![40],
+        hbm_tb_s: vec![2.0, 3.2],
+        device_bw_gb_s: vec![600.0],
+    };
+    let model = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+    let designs = DseRunner::new(model, work).run(&spec, 4800.0);
+    assert_eq!(designs.len(), 16);
+
+    for d in &designs {
+        // Every design must be strictly TPP-compliant by construction.
+        assert!(d.tpp < 4800.0, "{}", d.name);
+        // Latencies and costs are positive and finite.
+        assert!(d.ttft_s.is_finite() && d.ttft_s > 0.0);
+        assert!(d.tbt_s.is_finite() && d.tbt_s > 0.0);
+        assert!(d.die_cost_usd.is_finite() && d.die_cost_usd > 0.0);
+        // Decode is never faster than one full weight stream allows:
+        // per-device weights / peak bandwidth is a hard floor.
+        let weight_bytes = 2.0 * 12.0 * 12288.0_f64.powi(2) / 4.0;
+        let floor = weight_bytes / (d.params.hbm_tb_s * 1e12);
+        assert!(d.tbt_s > floor, "{}: tbt {} < floor {}", d.name, d.tbt_s, floor);
+
+        // Classify the synthetic design exactly like a real device.
+        let metrics = DeviceMetrics::new(
+            d.name.clone(),
+            d.tpp,
+            d.params.device_bw_gb_s,
+            d.die_area_mm2,
+            true,
+            MarketSegment::DataCenter,
+        );
+        // All designs are under both October 2022 thresholds…
+        assert_eq!(Acr2022::default().classify(&metrics), Classification::NotApplicable);
+        // …and the Oct-2023 verdict must agree with the DSE's own flag.
+        let unregulated =
+            Acr2023::default().classify(&metrics) == Classification::NotApplicable;
+        assert_eq!(unregulated, d.pd_unregulated_2023, "{}", d.name);
+    }
+}
+
+#[test]
+fn optimizer_never_picks_invalid_or_dominated_designs() {
+    let model = ModelConfig::llama3_8b();
+    let work = WorkloadConfig::paper_default();
+    let report = optimize_oct2022(&model, &work);
+    let best_ttft = report.best_ttft().unwrap();
+    let best_tbt = report.best_tbt().unwrap();
+    assert!(best_ttft.within_reticle);
+    assert!(best_tbt.within_reticle);
+    for d in report.designs.iter().filter(|d| d.within_reticle) {
+        assert!(d.ttft_s >= best_ttft.ttft_s);
+        assert!(d.tbt_s >= best_tbt.tbt_s);
+    }
+}
+
+#[test]
+fn pareto_front_of_dse_contains_both_optima() {
+    let model = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+    let report = optimize_oct2022(&model, &work);
+    let valid: Vec<_> =
+        report.designs.iter().filter(|d| d.within_reticle).cloned().collect();
+    let front = pareto_front(&valid, |d| d.ttft_s, |d| d.tbt_s);
+    assert!(!front.is_empty());
+    let min_ttft = valid.iter().map(|d| d.ttft_s).fold(f64::INFINITY, f64::min);
+    let min_tbt = valid.iter().map(|d| d.tbt_s).fold(f64::INFINITY, f64::min);
+    assert!(front.iter().any(|&i| valid[i].ttft_s == min_ttft));
+    assert!(front.iter().any(|&i| valid[i].tbt_s == min_tbt));
+    // Nothing on the front is dominated by anything valid.
+    for &i in &front {
+        for d in &valid {
+            let dominates = d.ttft_s <= valid[i].ttft_s
+                && d.tbt_s <= valid[i].tbt_s
+                && (d.ttft_s < valid[i].ttft_s || d.tbt_s < valid[i].tbt_s);
+            assert!(!dominates);
+        }
+    }
+}
+
+#[test]
+fn indicator_columns_partition_consistently() {
+    let work = WorkloadConfig::paper_default();
+    let designs = DseRunner::new(ModelConfig::gpt3_175b(), work)
+        .run(&SweepSpec::table3_fig6(), 4800.0);
+    // The four HBM columns partition the space.
+    let mut total = 0;
+    for bw in [2.0, 2.4, 2.8, 3.2] {
+        let cols = indicator_report(&designs, LatencyMetric::Tbt, &[FixedParam::HbmTbS(bw)]);
+        total += cols[1].distribution.count;
+        assert!(cols[1].narrowing >= 1.0, "fixing a parameter can only narrow");
+    }
+    assert_eq!(total, designs.len());
+}
+
+#[test]
+fn facade_prelude_reexports_cohere() {
+    // The facade's prelude must expose a workable end-to-end surface.
+    let device = DeviceConfig::a100_like();
+    let area = AreaModel::n7().die_area(&device).total_mm2();
+    let metrics = DeviceMetrics::from_config(&device, area, MarketSegment::DataCenter);
+    let class = Acr2023::default().classify(&metrics);
+    assert_eq!(class, acs_policy::Classification::LicenseRequired);
+    let db = GpuDatabase::curated_65();
+    assert_eq!(db.len(), 65);
+    let _ = CostModel::n7().die_cost_usd(area);
+}

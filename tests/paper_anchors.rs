@@ -1,0 +1,181 @@
+//! Consolidated paper-vs-measured anchors: the headline numbers of every
+//! section, asserted as bands around the published values. EXPERIMENTS.md
+//! records the exact measured figures.
+
+use acs::prelude::*;
+use acs_policy::Classification;
+
+fn gpt3() -> ModelConfig {
+    ModelConfig::gpt3_175b()
+}
+
+fn llama() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+fn work() -> WorkloadConfig {
+    WorkloadConfig::paper_default()
+}
+
+/// §2.2 / Figures 1–2: every named device classification the paper calls
+/// out, end-to-end through the device database.
+#[test]
+fn section_2_named_device_classifications() {
+    let db = GpuDatabase::curated_65();
+    let r22 = Acr2022::default();
+    let r23 = Acr2023::default();
+    let class = |rule_is_22: bool, name: &str| {
+        let m = db.find(name).unwrap().to_metrics();
+        if rule_is_22 {
+            r22.classify(&m)
+        } else {
+            r23.classify(&m)
+        }
+    };
+    // October 2022: A800/H800 escape by the bandwidth cut.
+    assert_eq!(class(true, "A100 80GB"), Classification::LicenseRequired);
+    assert_eq!(class(true, "A800"), Classification::NotApplicable);
+    assert_eq!(class(true, "H800"), Classification::NotApplicable);
+    // October 2023 catches them via TPP/PD.
+    assert_eq!(class(false, "A800"), Classification::LicenseRequired);
+    assert_eq!(class(false, "H800"), Classification::LicenseRequired);
+    // The RTX 4090 needs NAC; the 4090D was sized under 4800 to escape.
+    assert_eq!(class(false, "RTX 4090"), Classification::NacEligible);
+    assert_eq!(class(false, "RTX 4090D"), Classification::NotApplicable);
+}
+
+/// §4.1 (Figure 5): scaling sensitivities of the two October-2022 knobs.
+#[test]
+fn section_4_1_tpp_vs_bandwidth_scaling() {
+    let work = work();
+    let sim_for = |cores: u32, bw: f64| {
+        let cfg = DeviceConfig::a100_like()
+            .to_builder()
+            .core_count(cores)
+            .device_bandwidth_gb_s(bw)
+            .build()
+            .unwrap();
+        Simulator::new(SystemConfig::quad(cfg).unwrap())
+    };
+    // TPP 4000 -> 5000 cuts TTFT by ~16% (paper 16.2%).
+    let ttft_4000 = sim_for(86, 500.0).ttft_s(&gpt3(), &work);
+    let ttft_5000 = sim_for(108, 500.0).ttft_s(&gpt3(), &work);
+    let gain = 1.0 - ttft_5000 / ttft_4000;
+    assert!((0.10..=0.25).contains(&gain), "gain = {gain}");
+    // Device BW 600 -> 1000 moves TBT by well under 1% (paper 0.27%).
+    let tbt_600 = sim_for(103, 600.0).tbt_s(&gpt3(), &work);
+    let tbt_1000 = sim_for(103, 1000.0).tbt_s(&gpt3(), &work);
+    let tbt_gain = 1.0 - tbt_1000 / tbt_600;
+    assert!((0.0..0.01).contains(&tbt_gain), "tbt gain = {tbt_gain}");
+}
+
+/// §4.2 (Figure 6): October-2022-compliant designs beat the A100 on
+/// decoding by double digits while roughly holding prefill.
+#[test]
+fn section_4_2_oct2022_optimised_designs() {
+    for (model, tbt_band) in [(gpt3(), 0.15..0.40), (llama(), 0.05..0.30)] {
+        let report = optimize_oct2022(&model, &work());
+        let tbt_gain = report.best_tbt_improvement();
+        assert!(tbt_band.contains(&tbt_gain), "{}: TBT gain {tbt_gain}", model.name());
+        let ttft_gain = report.best_ttft_improvement();
+        assert!(ttft_gain > -0.05, "{}: TTFT gain {ttft_gain}", model.name());
+        // The decode optimum maxes out memory bandwidth (§4.2).
+        assert_eq!(report.best_tbt().unwrap().params.hbm_tb_s, 3.2);
+    }
+}
+
+/// §4.3 (Figure 7): the 2023 rule kills the 4800 tier, hobbles prefill at
+/// 2400, but leaves decoding improvable.
+#[test]
+fn section_4_3_oct2023_tiers() {
+    let report_4800 = optimize_oct2023(&gpt3(), &work(), 4800.0);
+    assert!(report_4800.best_ttft().is_none(), "all 4800-TPP designs invalid");
+
+    let report_2400 = optimize_oct2023(&gpt3(), &work(), 2400.0);
+    let best = report_2400.best_ttft().unwrap();
+    assert!(
+        best.ttft_s > report_2400.baseline.ttft_s * 1.4,
+        "compliant 2400-TPP prefill is much slower than the A100"
+    );
+    assert!(report_2400.best_tbt_improvement() > 0.1, "decoding still improves");
+}
+
+/// §4.4 (Table 4 / Figure 8): the PD floor wastes silicon — the compliant
+/// optimum costs meaningfully more per good die at equal performance.
+#[test]
+fn section_4_4_compliance_costs_silicon() {
+    let report = optimize_oct2023(&gpt3(), &work(), 2400.0);
+    let compliant = report.best_ttft().unwrap();
+    let non = report
+        .designs
+        .iter()
+        .filter(|d| d.within_reticle && !d.pd_unregulated_2023)
+        .min_by(|a, b| a.ttft_s.total_cmp(&b.ttft_s))
+        .unwrap();
+    let o = ComplianceOverhead::between(compliant, non);
+    assert!(o.good_die_cost_ratio > 1.2, "good-die premium = {}", o.good_die_cost_ratio);
+    assert!((0.95..1.05).contains(&o.ttft_ratio), "performance parity");
+    // Only a narrow single-die area window exists at this tier
+    // (§4.4: reticle vs PD floor leaves ~110 mm²).
+    let areas: Vec<f64> = report
+        .designs
+        .iter()
+        .filter(|d| d.valid_2023())
+        .map(|d| d.die_area_mm2)
+        .collect();
+    let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = areas.iter().copied().fold(0.0, f64::max);
+    assert!(max <= 860.0);
+    assert!(max - min < 200.0, "window = {}", max - min);
+}
+
+/// §5.2 (Figures 9–10): the classification-consistency counts.
+#[test]
+fn section_5_2_classification_counts() {
+    let db = GpuDatabase::curated_65();
+    let marketing = marketing_consistency(&db, &Acr2023::default());
+    assert_eq!(marketing.false_dc.len(), 4);
+    assert_eq!(marketing.false_ndc.len(), 7);
+    let arch = architectural_consistency(&db, &ArchClassifier::paper());
+    assert_eq!(arch.false_dc.len(), 2);
+    assert!(arch.false_ndc.is_empty());
+}
+
+/// §5.3 (Figures 11–12): memory bandwidth is the decode indicator; lanes
+/// and L1 are prefill indicators; device bandwidth is neither.
+#[test]
+fn section_5_3_indicator_strengths() {
+    let designs: Vec<EvaluatedDesign> = DseRunner::new(gpt3(), work())
+        .run(&SweepSpec::table3_fig7(), 4800.0)
+        .into_iter()
+        .filter(|d| d.within_reticle)
+        .collect();
+    let narrowing = |metric, col: FixedParam| {
+        indicator_report(&designs, metric, &[col])[1].narrowing
+    };
+    let bw_tbt = narrowing(LatencyMetric::Tbt, FixedParam::HbmTbS(2.8));
+    assert!(bw_tbt > 10.0, "memory BW narrows TBT {bw_tbt}x (paper 20.6x)");
+    let lane_ttft = narrowing(LatencyMetric::Ttft, FixedParam::Lanes(1));
+    assert!(lane_ttft > 3.0, "lane count narrows TTFT {lane_ttft}x (paper 5x)");
+    let dev_ttft = narrowing(LatencyMetric::Ttft, FixedParam::DeviceBwGbS(500.0));
+    assert!(dev_ttft < 2.0, "device BW is a weak indicator ({dev_ttft}x)");
+    assert!(bw_tbt > dev_ttft);
+}
+
+/// §5.3 (Figure 12): restricting L1 or memory bandwidth throttles the
+/// matching phase relative to the A100.
+#[test]
+fn section_5_3_restriction_medians() {
+    let baseline = A100Baseline::simulate(&gpt3(), &work());
+    let designs: Vec<EvaluatedDesign> = DseRunner::new(gpt3(), work())
+        .run(&SweepSpec::table5(), 4800.0)
+        .into_iter()
+        .filter(|d| d.within_reticle)
+        .collect();
+    let l1 = indicator_report(&designs, LatencyMetric::Ttft, &[FixedParam::L1Kib(32)]);
+    let slow = l1[1].distribution.median / baseline.ttft_s - 1.0;
+    assert!((0.3..1.2).contains(&slow), "32KB L1 median TTFT {slow:+.2} (paper +0.587)");
+    let bw = indicator_report(&designs, LatencyMetric::Tbt, &[FixedParam::HbmTbS(0.8)]);
+    let slow_tbt = bw[1].distribution.median / baseline.tbt_s - 1.0;
+    assert!((0.6..2.0).contains(&slow_tbt), "0.8TB/s median TBT {slow_tbt:+.2} (paper +1.10)");
+}

@@ -1,0 +1,192 @@
+//! Property-based tests over the core substrates.
+
+use acs::prelude::*;
+use acs_hw::tpp::{cores_for_tpp, max_macs_for_tpp, tpp_of};
+use acs_llm::{graph::LayerGraph, InferencePhase};
+use acs_sim::SimParams;
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+    (
+        8u32..512,                                // cores
+        1u32..=8,                                 // lanes
+        prop::sample::select(vec![4u32, 8, 16, 32]), // systolic dim
+        prop::sample::select(vec![32u32, 64, 128, 192, 256, 512, 1024]), // l1 KiB
+        prop::sample::select(vec![8u32, 16, 32, 40, 48, 64, 80]),        // l2 MiB
+        0.4f64..4.0,                              // hbm TB/s
+        100.0f64..1200.0,                         // device BW GB/s
+    )
+        .prop_map(|(cores, lanes, dim, l1, l2, hbm, bw)| {
+            DeviceConfig::builder()
+                .core_count(cores)
+                .lanes_per_core(lanes)
+                .systolic(SystolicDims::square(dim))
+                .l1_kib_per_core(l1)
+                .l2_mib(l2)
+                .hbm_bandwidth_tb_s(hbm)
+                .device_bandwidth_gb_s(bw)
+                .build()
+                .expect("generated configs are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1 inverse: the solved core count sits strictly under the
+    /// ceiling, and one more core meets or exceeds it.
+    #[test]
+    fn cores_for_tpp_is_tight(
+        tpp_limit in 200.0f64..30_000.0,
+        dim in prop::sample::select(vec![4u32, 8, 16, 32]),
+        lanes in 1u32..=8,
+    ) {
+        let dims = SystolicDims::square(dim);
+        if let Ok(cores) = cores_for_tpp(tpp_limit, 1.41, DataType::Fp16, dims, lanes) {
+            let at = tpp_of(cores, lanes, dims, 1.41, DataType::Fp16);
+            let above = tpp_of(cores + 1, lanes, dims, 1.41, DataType::Fp16);
+            prop_assert!(at.0 < tpp_limit);
+            prop_assert!(above.0 >= tpp_limit - 1e-6);
+        }
+    }
+
+    /// `max_macs_for_tpp` is monotone in the budget.
+    #[test]
+    fn mac_budget_is_monotone(a in 0.0f64..20_000.0, b in 0.0f64..20_000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            max_macs_for_tpp(lo, 1.41, DataType::Fp16)
+                <= max_macs_for_tpp(hi, 1.41, DataType::Fp16)
+        );
+    }
+
+    /// Area model: total is the sum of parts, positive, and monotone in L2.
+    #[test]
+    fn area_model_is_sane(device in arb_device()) {
+        let model = AreaModel::n7();
+        let b = model.die_area(&device);
+        prop_assert!(b.total_mm2() > 0.0);
+        let sum = b.systolic + b.vector + b.l1 + b.l2 + b.hbm_phy + b.device_phy
+            + b.control + b.fixed;
+        prop_assert!((sum - b.total_mm2()).abs() < 1e-9);
+        let bigger_l2 = device.to_builder().l2_mib(device.l2_mib() + 16).build().unwrap();
+        prop_assert!(model.die_area(&bigger_l2).total_mm2() > b.total_mm2());
+    }
+
+    /// Cost model invariants: yield in (0, 1], good-die cost dominates raw
+    /// cost, and cost grows with area.
+    #[test]
+    fn cost_model_is_sane(area in 50.0f64..860.0) {
+        let m = CostModel::n7();
+        let y = m.die_yield(area);
+        prop_assert!(y > 0.0 && y <= 1.0);
+        prop_assert!(m.good_die_cost_usd(area) >= m.die_cost_usd(area));
+        prop_assert!(m.die_cost_usd(area + 50.0) > m.die_cost_usd(area));
+    }
+
+    /// The simulator returns positive, finite latencies for any valid
+    /// device, and prefill always dwarfs a single decode step.
+    #[test]
+    fn simulator_latencies_are_well_formed(device in arb_device()) {
+        let sim = Simulator::new(SystemConfig::quad(device).unwrap());
+        let w = WorkloadConfig::paper_default();
+        for model in [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b()] {
+            let ttft = sim.ttft_s(&model, &w);
+            let tbt = sim.tbt_s(&model, &w);
+            prop_assert!(ttft.is_finite() && ttft > 0.0);
+            prop_assert!(tbt.is_finite() && tbt > 0.0);
+            prop_assert!(ttft > tbt, "{}: {} vs {}", model.name(), ttft, tbt);
+        }
+    }
+
+    /// More memory bandwidth never hurts either phase.
+    #[test]
+    fn memory_bandwidth_is_weakly_beneficial(device in arb_device()) {
+        let fast = device
+            .to_builder()
+            .hbm_bandwidth_tb_s(device.hbm().bandwidth_tb_s() * 2.0)
+            .build()
+            .unwrap();
+        let w = WorkloadConfig::paper_default();
+        let sim_a = Simulator::new(SystemConfig::quad(device).unwrap());
+        let sim_b = Simulator::new(SystemConfig::quad(fast).unwrap());
+        let m = ModelConfig::gpt3_175b();
+        prop_assert!(sim_b.tbt_s(&m, &w) <= sim_a.tbt_s(&m, &w) * 1.0001);
+        prop_assert!(sim_b.ttft_s(&m, &w) <= sim_a.ttft_s(&m, &w) * 1.0001);
+    }
+
+    /// Classification is total and ordered: growing die area (lowering
+    /// PD) never makes a data-center device MORE restricted under the
+    /// October 2023 rule.
+    #[test]
+    fn oct2023_is_monotone_in_area(
+        tpp in 100.0f64..20_000.0,
+        area in 50.0f64..2000.0,
+        extra in 1.0f64..2000.0,
+    ) {
+        let rule = Acr2023::default();
+        let small = acs_policy::DeviceMetrics::new(
+            "s", tpp, 600.0, area, true, MarketSegment::DataCenter);
+        let large = acs_policy::DeviceMetrics::new(
+            "l", tpp, 600.0, area + extra, true, MarketSegment::DataCenter);
+        prop_assert!(rule.classify(&large) <= rule.classify(&small));
+    }
+
+    /// October 2022 is monotone in both TPP and device bandwidth.
+    #[test]
+    fn oct2022_is_monotone(
+        tpp in 0.0f64..20_000.0,
+        bw in 0.0f64..1200.0,
+        dt in 0.0f64..5000.0,
+        db in 0.0f64..500.0,
+    ) {
+        let rule = Acr2022::default();
+        let lo = acs_policy::DeviceMetrics::new(
+            "lo", tpp, bw, 800.0, true, MarketSegment::DataCenter);
+        let hi = acs_policy::DeviceMetrics::new(
+            "hi", tpp + dt, bw + db, 800.0, true, MarketSegment::DataCenter);
+        prop_assert!(rule.classify(&lo) <= rule.classify(&hi));
+    }
+
+    /// Layer graphs: per-device matmul FLOPs shrink (weakly) as tensor
+    /// parallelism grows, and all-reduce payloads scale with tokens.
+    #[test]
+    fn layer_graph_scales_with_tp(
+        batch in 1u64..64,
+        input in 64u64..4096,
+    ) {
+        let w = WorkloadConfig::new(batch, input, 16);
+        let m = ModelConfig::gpt3_175b();
+        let f1 = LayerGraph::build(&m, &w, InferencePhase::Prefill, 1).matmul_flops();
+        let f4 = LayerGraph::build(&m, &w, InferencePhase::Prefill, 4).matmul_flops();
+        prop_assert!(f4 < f1);
+        prop_assert!(f1 / f4 > 3.0 && f1 / f4 < 5.0);
+    }
+
+    /// Distribution summary invariants.
+    #[test]
+    fn distribution_invariants(mut xs in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let d = Distribution::from_samples(&xs).unwrap();
+        xs.sort_by(f64::total_cmp);
+        prop_assert_eq!(d.min, xs[0]);
+        prop_assert_eq!(d.max, xs[xs.len() - 1]);
+        prop_assert!(d.min <= d.q1 && d.q1 <= d.median);
+        prop_assert!(d.median <= d.q3 && d.q3 <= d.max);
+        prop_assert!(d.mean >= d.min && d.mean <= d.max);
+        prop_assert!(d.iqr() <= d.range());
+    }
+
+    /// Idealised parameters (full bandwidth, no overheads) essentially
+    /// dominate the calibrated ones. Wave quantisation makes the compute
+    /// term non-monotone in tile size, so a small tolerance is allowed.
+    #[test]
+    fn ideal_params_dominate(device in arb_device()) {
+        let w = WorkloadConfig::paper_default();
+        let m = ModelConfig::llama3_8b();
+        let system = SystemConfig::quad(device).unwrap();
+        let cal = Simulator::with_params(system.clone(), SimParams::calibrated());
+        let ideal = Simulator::with_params(system, SimParams::ideal());
+        prop_assert!(ideal.ttft_s(&m, &w) <= cal.ttft_s(&m, &w) * 1.2);
+        prop_assert!(ideal.tbt_s(&m, &w) <= cal.tbt_s(&m, &w) * 1.2);
+    }
+}

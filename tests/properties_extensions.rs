@@ -1,0 +1,164 @@
+//! Property-based tests over the extension subsystems: chiplets, binning,
+//! power, serving traces, the policy timeline, and serde round-trips.
+
+use acs::prelude::*;
+use acs_hw::binning::{Bin, BinningModel};
+use acs_hw::chiplet::{ChipletPackage, PackagingModel};
+use acs_hw::PowerModel;
+use acs_llm::{LengthDistribution, RequestTrace};
+use acs_policy::{classify_as_of, Classification};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+    (
+        prop::sample::select(vec![64u32, 96, 108, 128, 144, 192, 256]),
+        1u32..=4,
+        prop::sample::select(vec![8u32, 16, 32]),
+        prop::sample::select(vec![64u32, 192, 512]),
+        prop::sample::select(vec![16u32, 40, 64]),
+        prop::sample::select(vec![0.8f64, 1.2, 1.6, 2.0, 2.4, 3.2]),
+    )
+        .prop_map(|(cores, lanes, dim, l1, l2, hbm)| {
+            DeviceConfig::builder()
+                .core_count(cores)
+                .lanes_per_core(lanes)
+                .systolic(SystolicDims::square(dim))
+                .l1_kib_per_core(l1)
+                .l2_mib(l2)
+                .hbm_bandwidth_tb_s(hbm)
+                .build()
+                .expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Splitting a device into chiplets preserves package TPP exactly
+    /// (when the core count divides) and never shrinks total silicon.
+    #[test]
+    fn chiplet_split_preserves_tpp(device in arb_device(), n in 1u32..=4) {
+        prop_assume!(device.core_count() % n == 0);
+        let am = AreaModel::n7();
+        let pkg = ChipletPackage::new(device.clone(), n, PackagingModel::advanced()).unwrap();
+        prop_assert!((pkg.package_tpp().0 - device.tpp().0).abs() < 1e-6);
+        let mono = ChipletPackage::new(device, 1, PackagingModel::advanced()).unwrap();
+        prop_assert!(pkg.package_area_mm2(&am) >= mono.package_area_mm2(&am) - 1e-9);
+    }
+
+    /// Per-chiplet dies shrink monotonically with the split factor.
+    #[test]
+    fn chiplet_dies_shrink_with_split(device in arb_device()) {
+        prop_assume!(device.core_count() % 4 == 0);
+        let am = AreaModel::n7();
+        let areas: Vec<f64> = [1u32, 2, 4]
+            .iter()
+            .map(|&n| {
+                ChipletPackage::new(device.clone(), n, PackagingModel::advanced())
+                    .unwrap()
+                    .chiplet_area_mm2(&am)
+            })
+            .collect();
+        prop_assert!(areas[0] > areas[1] && areas[1] > areas[2]);
+    }
+
+    /// Binning yields are probabilities, monotone in the core requirement.
+    #[test]
+    fn binning_yield_is_monotone(device in arb_device(), d0 in 0.05f64..0.6) {
+        let am = AreaModel::n7();
+        let area = am.die_area(&device);
+        let model = BinningModel::for_device(&device, &area);
+        let cm = CostModel { defect_density_per_cm2: d0, ..CostModel::n7() };
+        let mut last = 0.0;
+        let cores = device.core_count();
+        for req in [cores, cores.saturating_sub(4).max(1), cores / 2, 1] {
+            let y = model.bin_yield(&cm, req);
+            prop_assert!((0.0..=1.0).contains(&y), "yield = {y}");
+            prop_assert!(y >= last - 1e-12, "relaxing must not reduce yield");
+            last = y;
+        }
+        // Splits always partition.
+        let bins = [Bin::new("a", cores), Bin::new("b", cores / 2)];
+        let split = model.bin_split(&cm, &bins);
+        prop_assert!((split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Power accounting: TDP dominates idle, and both are positive.
+    #[test]
+    fn power_model_ordering(device in arb_device()) {
+        let p = PowerModel::n7();
+        let idle = p.static_w(&device);
+        let tdp = p.tdp_w(&device);
+        prop_assert!(idle > 0.0);
+        prop_assert!(tdp > idle);
+        // Busy intervals cost more than idle intervals of equal length.
+        let idle_j = p.interval_energy_j(&device, 0.0, 0.0, 0.0, 0.0, 1e-3);
+        let busy_j = p.interval_energy_j(&device, 1e12, 1e9, 1e9, 1e6, 1e-3);
+        prop_assert!(busy_j > idle_j);
+    }
+
+    /// Trace generation: deterministic per seed, arrivals sorted and
+    /// within the window, counts near the rate × duration.
+    #[test]
+    fn traces_are_well_formed(rate in 0.5f64..20.0, seed in 0u64..1000) {
+        let d_in = LengthDistribution::chat_prompts();
+        let d_out = LengthDistribution::chat_outputs();
+        let t1 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed);
+        let t2 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed);
+        prop_assert_eq!(&t1, &t2);
+        for pair in t1.requests().windows(2) {
+            prop_assert!(pair[0].arrival_s <= pair[1].arrival_s);
+        }
+        if let Some(last) = t1.requests().last() {
+            prop_assert!(last.arrival_s < 50.0);
+        }
+        let expected = rate * 50.0;
+        let sigma = expected.sqrt();
+        prop_assert!(
+            (t1.len() as f64 - expected).abs() < 6.0 * sigma + 5.0,
+            "n = {}, expected ≈ {expected}",
+            t1.len()
+        );
+    }
+
+    /// The rule timeline is monotone: a device never becomes LESS
+    /// restricted as the generations advance… except where the October
+    /// 2023 rule deliberately relaxed the bandwidth prong, so we assert
+    /// the precise shape instead: pre-ACR is always unrestricted.
+    #[test]
+    fn timeline_pre_acr_is_always_free(
+        tpp in 0.0f64..30_000.0,
+        bw in 0.0f64..1200.0,
+        area in 100.0f64..3000.0,
+    ) {
+        let m = acs_policy::DeviceMetrics::new(
+            "probe", tpp, bw, area, true, MarketSegment::DataCenter);
+        prop_assert_eq!(classify_as_of(&m, 2021, 6), Classification::NotApplicable);
+        // And every generation yields a total classification.
+        let _ = classify_as_of(&m, 2023, 1);
+        let _ = classify_as_of(&m, 2024, 6);
+    }
+
+    /// Serde round-trips for the configuration types a downstream user
+    /// would persist.
+    #[test]
+    fn device_config_serde_round_trip(device in arb_device()) {
+        let json = serde_json::to_string(&device).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(device, back);
+    }
+
+    /// Elasticities stay finite across reference designs.
+    #[test]
+    fn elasticities_are_finite(device in arb_device()) {
+        let es = acs_dse::elasticities(
+            &device,
+            &ModelConfig::llama3_8b(),
+            &WorkloadConfig::paper_default(),
+            acs_dse::sensitivity::Target::Tbt,
+        );
+        for e in es {
+            prop_assert!(e.value.is_finite(), "{e}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-validation of the policy engine against the full device
+//! databases: every real device must classify totally, consistently, and
+//! in line with the regulation's structure.
+
+use acs::prelude::*;
+use acs_devices::{fig1_devices, frontier_2025};
+use acs_policy::{classify_as_of, generation_as_of, Classification, RuleGeneration};
+
+fn all_records() -> Vec<acs_devices::DeviceRecord> {
+    let mut v: Vec<_> = GpuDatabase::curated_65().iter().cloned().collect();
+    v.extend(fig1_devices());
+    v.extend(frontier_2025());
+    v
+}
+
+#[test]
+fn every_device_classifies_under_every_generation() {
+    let r22 = Acr2022::default();
+    let r23 = Acr2023::default();
+    for r in all_records() {
+        let m = r.to_metrics();
+        // Totality: no panics, and the pre-ACR generation is always free.
+        let _ = r22.classify(&m);
+        let _ = r23.classify(&m);
+        assert_eq!(classify_as_of(&m, 2020, 1), Classification::NotApplicable, "{}", r.name);
+    }
+}
+
+#[test]
+fn oct2022_restriction_implies_both_thresholds() {
+    let r22 = Acr2022::default();
+    for r in all_records() {
+        let m = r.to_metrics();
+        if r22.classify(&m) == Classification::LicenseRequired {
+            assert!(r.tpp >= 4800.0, "{}: TPP {}", r.name, r.tpp);
+            assert!(r.device_bw_gb_s >= 600.0, "{}: BW {}", r.name, r.device_bw_gb_s);
+        } else {
+            assert!(
+                r.tpp < 4800.0 || r.device_bw_gb_s < 600.0,
+                "{} escapes with both thresholds met",
+                r.name
+            );
+        }
+    }
+}
+
+#[test]
+fn oct2023_license_implies_tpp_or_density_clause() {
+    let r23 = Acr2023::default();
+    for r in all_records() {
+        let m = r.to_metrics();
+        if m.market() != MarketSegment::DataCenter {
+            continue;
+        }
+        let pd = m.performance_density().map_or(0.0, |p| p.0);
+        match r23.classify(&m) {
+            Classification::LicenseRequired => {
+                assert!(
+                    r.tpp >= 4800.0 || (r.tpp >= 1600.0 && pd >= 5.92),
+                    "{}: TPP {} PD {pd}",
+                    r.name,
+                    r.tpp
+                );
+            }
+            Classification::NacEligible => {
+                assert!(r.tpp >= 1600.0, "{}: NAC needs the TPP floor", r.name);
+                assert!(pd >= 1.6, "{}: NAC needs a PD floor", r.name);
+                assert!(pd < 5.92, "{}: PD {pd} would be licence-level", r.name);
+            }
+            Classification::NotApplicable => {
+                let clause1 = r.tpp >= 2400.0 && pd >= 1.6;
+                let clause2 = r.tpp >= 1600.0 && pd >= 3.2;
+                assert!(
+                    r.tpp < 4800.0 && (r.tpp < 1600.0 || pd < 5.92) && !clause1 && !clause2,
+                    "{} should be regulated (TPP {} PD {pd})",
+                    r.name,
+                    r.tpp
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generations_tighten_for_dense_data_center_devices() {
+    // For every DC device with PD >= 5.92 or TPP >= 4800, the October 2023
+    // verdict is at least as strict as October 2022's.
+    let r22 = Acr2022::default();
+    let r23 = Acr2023::default();
+    for r in all_records() {
+        let m = r.to_metrics();
+        if m.market() != MarketSegment::DataCenter {
+            continue;
+        }
+        let pd = m.performance_density().map_or(0.0, |p| p.0);
+        if r.tpp >= 4800.0 || pd >= 5.92 {
+            assert!(
+                r23.classify(&m) >= r22.classify(&m),
+                "{}: 2023 should not relax dense/fast devices",
+                r.name
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_agrees_with_direct_rule_calls() {
+    let r22 = Acr2022::default();
+    let r23 = Acr2023::default();
+    for r in all_records().into_iter().take(30) {
+        let m = r.to_metrics();
+        assert_eq!(classify_as_of(&m, 2023, 1), r22.classify(&m), "{}", r.name);
+        assert_eq!(classify_as_of(&m, 2024, 1), r23.classify(&m), "{}", r.name);
+    }
+    assert_eq!(generation_as_of(2024, 1), RuleGeneration::Oct2023);
+}
+
+#[test]
+fn rebranding_never_changes_metrics_only_the_verdict() {
+    let r23 = Acr2023::default();
+    for r in all_records() {
+        let m = r.to_metrics();
+        let flipped = m.rebranded();
+        assert_eq!(m.tpp(), flipped.tpp());
+        assert_eq!(m.performance_density(), flipped.performance_density());
+        // And rebranding twice is the identity on the verdict.
+        assert_eq!(
+            r23.classify(&flipped.rebranded()),
+            r23.classify(&m),
+            "{}",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn diffusion_quota_is_consistent_with_device_tpp() {
+    use acs_policy::DiffusionQuota;
+    let quota = DiffusionQuota::tier2_country();
+    let db = GpuDatabase::curated_65();
+    let h100 = db.find("H100").unwrap().to_metrics();
+    let l4 = db.find("L4").unwrap().to_metrics();
+    // Lower-TPP devices always stretch an allocation further.
+    assert!(quota.max_units(&l4) > quota.max_units(&h100));
+    // And the unit count inverts the TPP ratio (within rounding).
+    let ratio = quota.max_units(&l4) as f64 / quota.max_units(&h100) as f64;
+    let tpp_ratio = h100.tpp().0 / l4.tpp().0;
+    assert!((ratio / tpp_ratio - 1.0).abs() < 0.01, "{ratio} vs {tpp_ratio}");
+}

@@ -1,0 +1,137 @@
+//! Physical-consistency checks of the simulator across a whole design
+//! space: no modelled latency may beat the hard bounds its own inputs
+//! imply.
+
+use acs::prelude::*;
+use acs_llm::{InferencePhase, LayerGraph};
+use acs_sim::{layer_energy, mfu};
+use acs_hw::PowerModel;
+
+fn designs() -> (Vec<EvaluatedDesign>, ModelConfig, WorkloadConfig) {
+    let model = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+    let spec = SweepSpec {
+        systolic_dims: vec![16, 32],
+        lanes_per_core: vec![1, 4],
+        l1_kib: vec![64, 192, 1024],
+        l2_mib: vec![8, 40],
+        hbm_tb_s: vec![0.8, 2.0, 3.2],
+        device_bw_gb_s: vec![600.0],
+    };
+    (DseRunner::new(model.clone(), work).run(&spec, 4800.0), model, work)
+}
+
+#[test]
+fn no_design_beats_its_compute_bound_on_prefill() {
+    let (designs, model, work) = designs();
+    let graph = LayerGraph::build(&model, &work, InferencePhase::Prefill, 4);
+    for d in &designs {
+        // Per-device matmul FLOPs at the design's (just-under-TPP) peak.
+        let peak_flops = d.tpp / 16.0 * 1e12;
+        let floor = graph.matmul_flops() / peak_flops;
+        assert!(
+            d.ttft_s > floor,
+            "{}: TTFT {} beats the compute floor {}",
+            d.name,
+            d.ttft_s,
+            floor
+        );
+    }
+}
+
+#[test]
+fn no_design_beats_its_weight_stream_on_decode() {
+    let (designs, ..) = designs();
+    // GPT-3 per-device weights at tp=4, fp16.
+    let weight_bytes = 2.0 * 12.0 * 12288.0_f64 * 12288.0 / 4.0;
+    for d in &designs {
+        let floor = weight_bytes / (d.params.hbm_tb_s * 1e12);
+        assert!(
+            d.tbt_s > floor,
+            "{}: TBT {} beats the weight-stream floor {}",
+            d.name,
+            d.tbt_s,
+            floor
+        );
+    }
+}
+
+#[test]
+fn mfu_is_bounded_across_the_design_space() {
+    let (designs, model, work) = designs();
+    let graph = LayerGraph::build(&model, &work, InferencePhase::Prefill, 4);
+    for d in designs.iter().take(24) {
+        // Rebuild the system to evaluate MFU at the design's spec.
+        let cfg = DeviceConfig::builder()
+            .core_count(d.params.core_count)
+            .lanes_per_core(d.params.lanes_per_core)
+            .systolic(SystolicDims::square(d.params.systolic_dim))
+            .l1_kib_per_core(d.params.l1_kib)
+            .l2_mib(d.params.l2_mib)
+            .hbm_bandwidth_tb_s(d.params.hbm_tb_s)
+            .device_bandwidth_gb_s(d.params.device_bw_gb_s)
+            .build()
+            .unwrap();
+        let system = SystemConfig::quad(cfg).unwrap();
+        let v = mfu(graph.matmul_flops() * 4.0, d.ttft_s, &system);
+        assert!(v > 0.0 && v <= 1.0, "{}: MFU {v}", d.name);
+    }
+}
+
+#[test]
+fn energy_is_monotone_in_work() {
+    let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+    let p = PowerModel::n7();
+    let model = ModelConfig::gpt3_175b();
+    let short = WorkloadConfig::new(32, 512, 16);
+    let long = WorkloadConfig::new(32, 4096, 16);
+    let e_short = layer_energy(&sim, &model, &short, InferencePhase::Prefill, &p);
+    let e_long = layer_energy(&sim, &model, &long, InferencePhase::Prefill, &p);
+    assert!(e_long.node_j > e_short.node_j, "8x the tokens must cost more energy");
+    // And average power never exceeds the TDP-style bound.
+    let tdp = p.tdp_w(sim.system().device()) * 4.0;
+    for e in [e_short, e_long] {
+        assert!(e.avg_power_w <= tdp * 1.05, "{} W vs TDP {tdp} W", e.avg_power_w);
+    }
+}
+
+#[test]
+fn latency_breakdowns_account_for_all_time() {
+    let sim = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+    let work = WorkloadConfig::paper_default();
+    for model in [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b(), ModelConfig::mixtral_8x7b()]
+    {
+        for phase in [InferencePhase::Prefill, work.decode_phase()] {
+            let lat = sim.simulate_layer(&model, &work, phase);
+            let sum: f64 = lat.ops().iter().map(|o| o.time_s).sum();
+            assert!((sum - lat.total_s()).abs() < 1e-12, "{} {phase}", model.name());
+            for op in lat.ops() {
+                assert!(op.time_s >= op.overhead_s, "{}", op.name);
+                assert!(op.time_s.is_finite() && op.time_s > 0.0, "{}", op.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn tbt_orders_by_memory_bandwidth_within_fixed_architecture() {
+    let (designs, ..) = designs();
+    // Group designs differing only in HBM bandwidth; TBT must be
+    // monotone decreasing in bandwidth inside each group.
+    for a in &designs {
+        for b in &designs {
+            let same_arch = a.params.systolic_dim == b.params.systolic_dim
+                && a.params.lanes_per_core == b.params.lanes_per_core
+                && a.params.l1_kib == b.params.l1_kib
+                && a.params.l2_mib == b.params.l2_mib;
+            if same_arch && a.params.hbm_tb_s < b.params.hbm_tb_s {
+                assert!(
+                    a.tbt_s >= b.tbt_s * 0.999,
+                    "{} vs {}: more bandwidth must not hurt decode",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}
