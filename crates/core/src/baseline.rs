@@ -7,13 +7,12 @@
 use acs_hw::{CostModel, DeviceConfig, SystemConfig};
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_sim::{SimParams, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Published GA100 die area in mm².
 pub const GA100_DIE_AREA_MM2: f64 = 826.0;
 
 /// The restricted-baseline reference point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct A100Baseline {
     /// Per-layer prefill latency (s).
     pub ttft_s: f64,

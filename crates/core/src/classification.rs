@@ -3,10 +3,9 @@
 
 use acs_devices::{DeviceRecord, GpuDatabase};
 use acs_policy::{Acr2023, MarketSegment};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a consistency study over a device database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConsistencyReport {
     /// Consistently classified data-center devices.
     pub consistent_dc: Vec<String>,
@@ -42,7 +41,7 @@ pub fn marketing_consistency(db: &GpuDatabase, rule: &Acr2023) -> ConsistencyRep
         let m = r.to_metrics();
         let as_marketed = rule.classify(&m).is_restricted();
         let rebranded = rule.classify_as(&m, r.market.opposite()).is_restricted();
-        let name = r.name.to_owned();
+        let name = r.name.to_string();
         match (r.market, as_marketed, rebranded) {
             (MarketSegment::DataCenter, true, false) => report.false_dc.push(name),
             (MarketSegment::DataCenter, _, _) => report.consistent_dc.push(name),
@@ -56,7 +55,7 @@ pub fn marketing_consistency(db: &GpuDatabase, rule: &Acr2023) -> ConsistencyRep
 /// The architecture-based data-center test of Figure 10: a device is a
 /// data-center part when its memory capacity or memory bandwidth exceeds
 /// thresholds that separate current product lines.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArchClassifier {
     /// Capacity above which a device is data-center class (GiB).
     pub min_capacity_gib: f64,
@@ -103,7 +102,7 @@ pub fn architectural_consistency(
     let mut report = ConsistencyReport::default();
     for r in db {
         let arch = classifier.classify(r);
-        let name = r.name.to_owned();
+        let name = r.name.to_string();
         match (r.market, arch) {
             (MarketSegment::DataCenter, MarketSegment::DataCenter) => {
                 report.consistent_dc.push(name);

@@ -12,11 +12,10 @@
 //!   empirical market study.
 
 use acs_dse::EvaluatedDesign;
-use serde::{Deserialize, Serialize};
 
 /// Relative cost of regulatory compliance between two designs of similar
 /// performance (Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComplianceOverhead {
     /// Compliant area / non-compliant area.
     pub area_ratio: f64,

@@ -10,10 +10,9 @@
 use acs_hw::SystemConfig;
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_sim::{decode_throughput_tokens_per_s, Simulator};
-use serde::Serialize;
 
 /// A purchasable node type.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FleetOption {
     /// Display name.
     pub name: String,
@@ -47,7 +46,7 @@ impl FleetOption {
 }
 
 /// A planned fleet: node counts per option plus totals.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FleetPlan {
     /// `(option name, nodes)` in purchase order.
     pub purchases: Vec<(String, u64)>,

@@ -6,11 +6,10 @@
 //! parameter predicts workload performance.
 
 use acs_dse::{narrowing_factor, Distribution, EvaluatedDesign, SweptParams};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which latency a column summarises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LatencyMetric {
     /// Time to first token (prefill).
     Ttft,
@@ -37,7 +36,7 @@ impl fmt::Display for LatencyMetric {
 }
 
 /// A single architectural parameter pinned to one value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum FixedParam {
     /// Lanes per core.
@@ -109,7 +108,7 @@ impl FixedParam {
 }
 
 /// One column of a Figure-11/12-style distribution plot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndicatorColumn {
     /// Column label ("TPP Only" or a fixed parameter).
     pub label: String,

@@ -3,10 +3,9 @@
 use crate::baseline::A100Baseline;
 use acs_dse::{DseRunner, EvaluatedDesign, SweepSpec};
 use acs_llm::{ModelConfig, WorkloadConfig};
-use serde::{Deserialize, Serialize};
 
 /// Result of optimising a design space against the A100 baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizationReport {
     /// Baseline the improvements are measured against.
     pub baseline: A100Baseline,

@@ -18,11 +18,10 @@ use acs_devices::GpuDatabase;
 use acs_dse::{pareto_front, DseRunner, SweepSpec};
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_policy::MarketSegment;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A candidate policy: a TPP ceiling plus optional architectural caps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyCandidate {
     /// TPP ceiling (designs must sit strictly below).
     pub tpp_cap: f64,
@@ -46,7 +45,7 @@ impl fmt::Display for PolicyCandidate {
 }
 
 /// A candidate's measured position on the effectiveness/collateral plane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyOutcome {
     /// The candidate.
     pub candidate: PolicyCandidate,

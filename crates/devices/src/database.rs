@@ -5,9 +5,10 @@
 //! reproduce; the exact roster the authors scraped is not published, so
 //! minor SKU membership differs (documented in EXPERIMENTS.md).
 
-use crate::record::{DeviceRecord, Vendor};
+use crate::record::{DeviceRecord, Vendor, CSV_HEADER};
+use acs_errors::AcsError;
 use acs_policy::MarketSegment;
-use serde::Serialize;
+use std::borrow::Cow;
 
 use MarketSegment::{DataCenter as DC, NonDataCenter as NDC};
 use Vendor::{Amd, Nvidia};
@@ -26,7 +27,7 @@ const fn rec(
     mem_bw_gb_s: f64,
 ) -> DeviceRecord {
     DeviceRecord {
-        name,
+        name: Cow::Borrowed(name),
         vendor,
         year,
         market,
@@ -87,7 +88,7 @@ pub fn frontier_2025() -> Vec<DeviceRecord> {
 }
 
 /// A queryable set of device records.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuDatabase {
     records: Vec<DeviceRecord>,
 }
@@ -204,6 +205,51 @@ impl GpuDatabase {
         self.records.iter().find(|r| r.name.to_ascii_lowercase().contains(&needle))
     }
 
+    /// [`GpuDatabase::find`] with a typed error: lookups in pipelines
+    /// surface a failed query as [`AcsError::UnknownDevice`] instead of
+    /// an unwrap site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::UnknownDevice`] carrying the query when no
+    /// record matches.
+    pub fn get(&self, name: &str) -> Result<&DeviceRecord, AcsError> {
+        self.find(name).ok_or_else(|| AcsError::UnknownDevice { query: name.to_owned() })
+    }
+
+    /// Emit the database as CSV (header + one line per record, in
+    /// [`CSV_HEADER`] order).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&r.to_csv_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a CSV document produced by [`GpuDatabase::to_csv`] (or
+    /// hand-written in the same column order). A leading header line is
+    /// skipped; blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::MalformedRecord`] identifying the offending
+    /// line (1-based) for any unparsable or invalid record.
+    pub fn from_csv(text: &str) -> Result<Self, AcsError> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || (i == 0 && trimmed == CSV_HEADER) {
+                continue;
+            }
+            records.push(DeviceRecord::from_csv_line(trimmed, &format!("line {}", i + 1))?);
+        }
+        Ok(GpuDatabase { records })
+    }
+
     /// Devices in a market segment.
     #[must_use]
     pub fn by_market(&self, market: MarketSegment) -> Vec<&DeviceRecord> {
@@ -248,10 +294,50 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let db = GpuDatabase::curated_65();
-        let mut names: Vec<_> = db.iter().map(|r| r.name).collect();
+        let mut names: Vec<&str> = db.iter().map(|r| r.name.as_ref()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 65);
+    }
+
+    #[test]
+    fn get_returns_typed_unknown_device() {
+        let db = GpuDatabase::curated_65();
+        assert_eq!(db.get("rtx 4090").unwrap().name, "RTX 4090");
+        let err = db.get("B9000 Ultra").unwrap_err();
+        assert_eq!(err.kind(), "unknown_device");
+        assert!(err.to_string().contains("B9000 Ultra"));
+    }
+
+    #[test]
+    fn csv_round_trips_the_curated_set() {
+        let db = GpuDatabase::curated_65();
+        let csv = db.to_csv();
+        let back = GpuDatabase::from_csv(&csv).unwrap();
+        assert_eq!(back, db);
+        // Round-trip is byte-stable.
+        assert_eq!(back.to_csv(), csv);
+    }
+
+    #[test]
+    fn from_csv_reports_the_offending_line() {
+        let db = GpuDatabase::curated_65();
+        let mut csv = db.to_csv();
+        csv.push_str("Bogus GPU,NVIDIA,2022,data center,not-a-number,32,600,true,24,1008\n");
+        let err = GpuDatabase::from_csv(&csv).unwrap_err();
+        assert_eq!(err.kind(), "malformed_record");
+        // Header + 65 records + the bad line.
+        assert!(err.to_string().contains("line 67"), "{err}");
+    }
+
+    #[test]
+    fn every_curated_record_validates() {
+        for r in GpuDatabase::curated_65().iter().chain(fig1_devices().iter()) {
+            r.validate().unwrap_or_else(|e| panic!("{}: {e}", r.name));
+        }
+        for r in &frontier_2025() {
+            r.validate().unwrap_or_else(|e| panic!("{}: {e}", r.name));
+        }
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //!
 //! let db = GpuDatabase::curated_65();
 //! assert_eq!(db.len(), 65);
-//! let rtx4090 = db.find("RTX 4090").unwrap();
+//! let rtx4090 = db.get("RTX 4090")?;
 //! let class = Acr2023::default().classify(&rtx4090.to_metrics());
 //! assert_eq!(class, Classification::NacEligible);
+//! # Ok::<(), acs_errors::AcsError>(())
 //! ```
 
 pub mod database;

@@ -1,16 +1,35 @@
 //! A single real-device record.
 
+use acs_errors::AcsError;
 use acs_policy::{DeviceMetrics, MarketSegment};
-use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// GPU vendor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     /// NVIDIA Corporation.
     Nvidia,
     /// Advanced Micro Devices.
     Amd,
+}
+
+impl Vendor {
+    /// Parse the display form (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::MalformedRecord`] for an unknown vendor string.
+    pub fn parse(s: &str) -> Result<Self, AcsError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "nvidia" => Ok(Vendor::Nvidia),
+            "amd" => Ok(Vendor::Amd),
+            _ => Err(AcsError::MalformedRecord {
+                record: s.to_owned(),
+                reason: "unknown vendor (expected NVIDIA or AMD)".to_owned(),
+            }),
+        }
+    }
 }
 
 impl fmt::Display for Vendor {
@@ -23,10 +42,11 @@ impl fmt::Display for Vendor {
 }
 
 /// Public specifications of one shipped GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRecord {
-    /// Product name.
-    pub name: &'static str,
+    /// Product name. Curated records borrow a static string; parsed
+    /// records own theirs.
+    pub name: Cow<'static, str>,
     /// Vendor.
     pub vendor: Vendor,
     /// Launch year.
@@ -49,12 +69,17 @@ pub struct DeviceRecord {
     pub mem_bw_gb_s: f64,
 }
 
+/// CSV column order used by [`DeviceRecord::from_csv_line`] and
+/// [`DeviceRecord::to_csv_line`].
+pub const CSV_HEADER: &str =
+    "name,vendor,year,market,tpp,device_bw_gb_s,die_area_mm2,non_planar,mem_gib,mem_bw_gb_s";
+
 impl DeviceRecord {
     /// Convert to the policy engine's input type.
     #[must_use]
     pub fn to_metrics(&self) -> DeviceMetrics {
         DeviceMetrics::new(
-            self.name,
+            self.name.as_ref(),
             self.tpp,
             self.device_bw_gb_s,
             self.die_area_mm2,
@@ -68,6 +93,111 @@ impl DeviceRecord {
     #[must_use]
     pub fn performance_density(&self) -> Option<f64> {
         self.to_metrics().performance_density().map(|p| p.0)
+    }
+
+    /// Check the record's numeric invariants: every specification must be
+    /// finite and positive, the name nonempty, and the launch year
+    /// plausible for the export-control era.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::MalformedRecord`] naming the first violated
+    /// field.
+    pub fn validate(&self) -> Result<(), AcsError> {
+        let bad = |reason: String| {
+            Err(AcsError::MalformedRecord { record: self.name.to_string(), reason })
+        };
+        if self.name.trim().is_empty() {
+            return Err(AcsError::MalformedRecord {
+                record: "<unnamed>".to_owned(),
+                reason: "empty device name".to_owned(),
+            });
+        }
+        if !(1990..=2100).contains(&self.year) {
+            return bad(format!("implausible launch year {}", self.year));
+        }
+        for (field, value) in [
+            ("tpp", self.tpp),
+            ("device_bw_gb_s", self.device_bw_gb_s),
+            ("die_area_mm2", self.die_area_mm2),
+            ("mem_gib", self.mem_gib),
+            ("mem_bw_gb_s", self.mem_bw_gb_s),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return bad(format!("{field} must be finite and positive, got {value}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the record as one CSV line in [`CSV_HEADER`] order. Names
+    /// never contain commas in this dataset; a comma would corrupt the
+    /// format, so it is rejected upstream by parsing.
+    #[must_use]
+    pub fn to_csv_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.name,
+            self.vendor,
+            self.year,
+            self.market,
+            self.tpp,
+            self.device_bw_gb_s,
+            self.die_area_mm2,
+            self.non_planar,
+            self.mem_gib,
+            self.mem_bw_gb_s
+        )
+    }
+
+    /// Parse one CSV line in [`CSV_HEADER`] order. `context` identifies
+    /// the record in errors (typically `"line N"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::MalformedRecord`] for a wrong field count, an
+    /// unparsable field, or a record that fails [`DeviceRecord::validate`].
+    pub fn from_csv_line(line: &str, context: &str) -> Result<Self, AcsError> {
+        let malformed = |reason: String| AcsError::MalformedRecord {
+            record: context.to_owned(),
+            reason,
+        };
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 10 {
+            return Err(malformed(format!("expected 10 fields, found {}", fields.len())));
+        }
+        let f64_field = |i: usize, name: &str| -> Result<f64, AcsError> {
+            fields[i]
+                .parse::<f64>()
+                .map_err(|_| malformed(format!("{name}: not a number: {:?}", fields[i])))
+        };
+        let market = match fields[3].to_ascii_lowercase().as_str() {
+            "data center" | "dc" => MarketSegment::DataCenter,
+            "non-data center" | "ndc" => MarketSegment::NonDataCenter,
+            other => return Err(malformed(format!("unknown market segment {other:?}"))),
+        };
+        let non_planar = match fields[7].to_ascii_lowercase().as_str() {
+            "true" => true,
+            "false" => false,
+            other => return Err(malformed(format!("non_planar: not a boolean: {other:?}"))),
+        };
+        let record = DeviceRecord {
+            name: Cow::Owned(fields[0].to_owned()),
+            vendor: Vendor::parse(fields[1])
+                .map_err(|e| malformed(format!("vendor: {e}")))?,
+            year: fields[2]
+                .parse::<u16>()
+                .map_err(|_| malformed(format!("year: not an integer: {:?}", fields[2])))?,
+            market,
+            tpp: f64_field(4, "tpp")?,
+            device_bw_gb_s: f64_field(5, "device_bw_gb_s")?,
+            die_area_mm2: f64_field(6, "die_area_mm2")?,
+            non_planar,
+            mem_gib: f64_field(8, "mem_gib")?,
+            mem_bw_gb_s: f64_field(9, "mem_bw_gb_s")?,
+        };
+        record.validate()?;
+        Ok(record)
     }
 }
 
@@ -95,7 +225,7 @@ mod tests {
 
     fn sample() -> DeviceRecord {
         DeviceRecord {
-            name: "A100 80GB",
+            name: Cow::Borrowed("A100 80GB"),
             vendor: Vendor::Nvidia,
             year: 2020,
             market: MarketSegment::DataCenter,
@@ -129,5 +259,57 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("NVIDIA"));
         assert!(s.contains("A100"));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let r = sample();
+        let line = r.to_csv_line();
+        let back = DeviceRecord::from_csv_line(&line, "line 1").unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let cases = [
+            ("A100,NVIDIA,2020", "expected 10 fields"),
+            ("A100,Intel,2020,data center,1,1,1,true,1,1", "vendor"),
+            ("A100,NVIDIA,soon,data center,1,1,1,true,1,1", "year"),
+            ("A100,NVIDIA,2020,cloud,1,1,1,true,1,1", "market"),
+            ("A100,NVIDIA,2020,data center,fast,1,1,true,1,1", "tpp"),
+            ("A100,NVIDIA,2020,data center,1,1,1,maybe,1,1", "non_planar"),
+            ("A100,NVIDIA,2020,data center,-5,1,1,true,1,1", "tpp"),
+            ("A100,NVIDIA,2020,data center,NaN,1,1,true,1,1", "tpp"),
+            (",NVIDIA,2020,data center,1,1,1,true,1,1", "name"),
+        ];
+        for (line, expect) in cases {
+            let err = DeviceRecord::from_csv_line(line, "line 7").unwrap_err();
+            assert_eq!(err.kind(), "malformed_record", "{line}");
+            assert!(
+                err.to_string().to_lowercase().contains(expect),
+                "{line}: {err} (wanted {expect:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let mut r = sample();
+        r.tpp = f64::NAN;
+        assert_eq!(r.validate().unwrap_err().kind(), "malformed_record");
+        let mut r = sample();
+        r.die_area_mm2 = 0.0;
+        assert!(r.validate().is_err());
+        let mut r = sample();
+        r.year = 1234;
+        assert!(r.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn vendor_parse_is_case_insensitive() {
+        assert_eq!(Vendor::parse("nvidia").unwrap(), Vendor::Nvidia);
+        assert_eq!(Vendor::parse(" AMD ").unwrap(), Vendor::Amd);
+        assert_eq!(Vendor::parse("intel").unwrap_err().kind(), "malformed_record");
     }
 }

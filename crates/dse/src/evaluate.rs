@@ -1,16 +1,18 @@
 //! Design-point evaluation: latency, area, compliance, and cost.
 
-use crate::sweeps::SweepSpec;
+use crate::report::{DesignFailure, SweepReport};
+use crate::sweeps::{CandidateParams, SweepSpec};
+use acs_errors::{guard, AcsError};
 use acs_hw::{AreaModel, CostModel, DeviceConfig, SystemConfig, RETICLE_LIMIT_MM2};
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_policy::Acr2023;
 use acs_sim::{SimParams, Simulator};
-use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The swept architectural parameters of one design, kept alongside its
 /// results so distributions can be grouped by a fixed parameter
 /// (Figures 11 and 12).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweptParams {
     /// Square systolic dimension.
     pub systolic_dim: u32,
@@ -45,7 +47,7 @@ impl SweptParams {
 }
 
 /// One fully evaluated design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluatedDesign {
     /// Design name.
     pub name: String,
@@ -161,57 +163,127 @@ impl DseRunner {
         &self.model
     }
 
-    /// Evaluate one configuration.
-    #[must_use]
-    pub fn evaluate(&self, config: &DeviceConfig) -> EvaluatedDesign {
-        let area = self.area_model.die_area(config).total_mm2();
-        let tpp = config.tpp().0;
-        let pd = tpp / area;
-        let system = SystemConfig::new(config.clone(), self.device_count)
-            .expect("device_count is validated nonzero");
+    /// Evaluate one configuration, enforcing the pipeline's numeric
+    /// invariants at every boundary: the area, cost, and latency models
+    /// may not emit NaN, infinity, or non-positive values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the runner's device count
+    /// is zero, and [`AcsError::NonFinite`] when any derived metric
+    /// violates its contract.
+    pub fn try_evaluate(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+        let ctx = format!("evaluate.{}", config.name());
+        let area =
+            guard::ensure_positive(&ctx, "die_area_mm2", self.area_model.die_area(config).total_mm2())?;
+        let tpp = guard::ensure_positive(&ctx, "tpp", config.tpp().0)?;
+        let pd = guard::ensure_positive(&ctx, "perf_density", tpp / area)?;
+        let system = SystemConfig::new(config.clone(), self.device_count)?;
         let sim = Simulator::with_params(system, self.sim_params);
-        EvaluatedDesign {
+        Ok(EvaluatedDesign {
             name: config.name().to_owned(),
             params: SweptParams::of(config),
             tpp,
             die_area_mm2: area,
             perf_density: pd,
-            die_cost_usd: self.cost_model.die_cost_usd(area),
-            good_die_cost_usd: self.cost_model.good_die_cost_usd(area),
-            ttft_s: sim.ttft_s(&self.model, &self.workload),
-            tbt_s: sim.tbt_s(&self.model, &self.workload),
+            die_cost_usd: guard::ensure_positive(
+                &ctx,
+                "die_cost_usd",
+                self.cost_model.die_cost_usd(area),
+            )?,
+            good_die_cost_usd: guard::ensure_positive(
+                &ctx,
+                "good_die_cost_usd",
+                self.cost_model.good_die_cost_usd(area),
+            )?,
+            ttft_s: sim.try_ttft_s(&self.model, &self.workload)?,
+            tbt_s: sim.try_tbt_s(&self.model, &self.workload)?,
             within_reticle: area <= RETICLE_LIMIT_MM2,
             pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
-        }
+        })
     }
 
     /// Evaluate a whole sweep at a TPP ceiling, in parallel across the
-    /// machine's cores.
+    /// machine's cores. Points that fail validation or evaluation are
+    /// dropped; use [`DseRunner::run_report`] to keep the failure ledger.
     #[must_use]
     pub fn run(&self, spec: &SweepSpec, tpp_target: f64) -> Vec<EvaluatedDesign> {
-        let configs = spec.configs(tpp_target);
-        self.run_configs(&configs)
+        self.run_report(&spec.candidates(tpp_target)).designs.into_iter().map(|(_, d)| d).collect()
     }
 
-    /// Evaluate an explicit list of configurations in parallel,
-    /// preserving order.
+    /// Evaluate an explicit list of configurations in parallel, preserving
+    /// order and length: `result[i]` is the outcome of `configs[i]`. Each
+    /// point runs behind `catch_unwind`, so one pathological configuration
+    /// cannot take down the batch.
     #[must_use]
-    pub fn run_configs(&self, configs: &[DeviceConfig]) -> Vec<EvaluatedDesign> {
+    pub fn run_configs(&self, configs: &[DeviceConfig]) -> Vec<Result<EvaluatedDesign, AcsError>> {
+        self.parallel_map(configs, |cfg| self.try_evaluate(cfg))
+    }
+
+    /// Evaluate raw sweep candidates with full fault isolation: each point
+    /// is validated and evaluated behind `std::panic::catch_unwind`; a
+    /// panic, an invalid candidate, or a numeric-invariant violation
+    /// becomes a [`DesignFailure`] in the report instead of aborting the
+    /// sweep.
+    #[must_use]
+    pub fn run_report(&self, candidates: &[CandidateParams]) -> SweepReport {
+        let outcomes = self.parallel_map(candidates, |cand| cand.build().and_then(|cfg| self.try_evaluate(&cfg)));
+        let mut report = SweepReport::default();
+        for (index, (cand, outcome)) in candidates.iter().zip(outcomes).enumerate() {
+            match outcome {
+                Ok(d) => report.designs.push((index, d)),
+                Err(reason) => {
+                    report.failures.push(DesignFailure { index, params: cand.name.clone(), reason });
+                }
+            }
+        }
+        report
+    }
+
+    /// Order-preserving parallel map with per-item panic containment.
+    pub(crate) fn parallel_map<T: Sync, U: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> Result<U, AcsError> + Sync,
+    ) -> Vec<Result<U, AcsError>> {
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(32);
-        let chunk = configs.len().div_ceil(threads.max(1)).max(1);
-        let mut results: Vec<Option<EvaluatedDesign>> = vec![None; configs.len()];
+        let chunk = items.len().div_ceil(threads.max(1)).max(1);
+        let mut results: Vec<Option<Result<U, AcsError>>> = Vec::new();
+        results.resize_with(items.len(), || None);
         std::thread::scope(|scope| {
-            for (configs_chunk, results_chunk) in
-                configs.chunks(chunk).zip(results.chunks_mut(chunk))
+            for (items_chunk, results_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk))
             {
+                let f = &f;
                 scope.spawn(move || {
-                    for (cfg, slot) in configs_chunk.iter().zip(results_chunk.iter_mut()) {
-                        *slot = Some(self.evaluate(cfg));
+                    for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
+                            .unwrap_or_else(|payload| {
+                                let message = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_owned())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                                Err(AcsError::EvaluationPanic { design: String::new(), message })
+                            });
+                        *slot = Some(outcome);
                     }
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("all chunks filled")).collect()
+        // Every slot is filled by construction (chunks partition both
+        // slices identically); a hole would be a harness bug, reported as
+        // a typed error rather than a panic.
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(AcsError::EvaluationPanic {
+                        design: String::new(),
+                        message: "parallel harness left a slot unfilled".to_owned(),
+                    })
+                })
+            })
+            .collect()
     }
 }
 
@@ -252,10 +324,40 @@ mod tests {
         let r = runner();
         let configs = small_spec().configs(4800.0);
         let parallel = r.run_configs(&configs);
+        assert_eq!(parallel.len(), configs.len());
         for (cfg, got) in configs.iter().zip(&parallel) {
-            let serial = r.evaluate(cfg);
-            assert_eq!(&serial, got);
+            let serial = r.try_evaluate(cfg).unwrap();
+            assert_eq!(&serial, got.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn run_report_isolates_bad_candidates() {
+        let r = runner();
+        let mut candidates = small_spec().candidates(4800.0);
+        candidates[1].hbm_tb_s = 0.0; // injected fault
+        candidates[3].lanes_per_core = 0; // injected fault
+        let report = r.run_report(&candidates);
+        assert_eq!(report.total(), candidates.len());
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].index, 1);
+        assert_eq!(report.failures[1].index, 3);
+        for f in &report.failures {
+            assert_eq!(f.kind(), "invalid_config");
+        }
+        // Healthy points are unaffected by their broken neighbours.
+        let healthy = r.run_report(&small_spec().candidates(4800.0));
+        for (i, d) in &report.designs {
+            let (_, expected) = healthy.designs.iter().find(|(j, _)| j == i).unwrap();
+            assert_eq!(d, expected);
+        }
+    }
+
+    #[test]
+    fn zero_device_count_is_a_typed_error() {
+        let r = runner().with_device_count(0);
+        let cfg = DeviceConfig::a100_like();
+        assert_eq!(r.try_evaluate(&cfg).unwrap_err().kind(), "invalid_config");
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Fault injection for the sweep pipeline.
+//!
+//! The robustness contract of [`crate::DseRunner::run_report`] is that a
+//! sweep seeded with pathological design points completes, with each bad
+//! point reported as a typed [`crate::DesignFailure`] rather than a
+//! panic or a silent drop. This module produces those pathological points
+//! deterministically so tests (and `tests/fault_injection.rs` at the
+//! workspace root) can assert the contract over thousand-point sweeps.
+
+use crate::sweeps::CandidateParams;
+use std::fmt;
+
+/// A class of pathological input, applied to a [`CandidateParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// HBM bandwidth forced to zero — must be rejected at validation.
+    ZeroBandwidth,
+    /// HBM bandwidth forced to NaN — must be rejected at validation.
+    NanParam,
+    /// Lanes per core forced to zero — must be rejected at validation.
+    ZeroLanes,
+    /// L1 inflated until the die dwarfs the 860 mm² reticle. The config
+    /// is *valid* and evaluation should succeed with
+    /// `within_reticle == false`: graceful degradation, not an error.
+    ReticleOverflow,
+    /// Core count forced to `u32::MAX`. Either the models keep every
+    /// metric finite (success) or the numeric guards/panic containment
+    /// convert the blow-up into a typed error.
+    OverflowCores,
+}
+
+impl FaultClass {
+    /// Every class, in injection order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::ZeroBandwidth,
+        FaultClass::NanParam,
+        FaultClass::ZeroLanes,
+        FaultClass::ReticleOverflow,
+        FaultClass::OverflowCores,
+    ];
+
+    /// Short stable tag, appended to faulted candidates' names.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultClass::ZeroBandwidth => "zero-bw",
+            FaultClass::NanParam => "nan",
+            FaultClass::ZeroLanes => "zero-lanes",
+            FaultClass::ReticleOverflow => "reticle",
+            FaultClass::OverflowCores => "overflow-cores",
+        }
+    }
+
+    /// Corrupt `candidate` with this fault, marking its name with
+    /// `!fault-<tag>` so checkpoints and failure ledgers identify it.
+    pub fn apply(&self, candidate: &mut CandidateParams) {
+        match self {
+            FaultClass::ZeroBandwidth => candidate.hbm_tb_s = 0.0,
+            FaultClass::NanParam => candidate.hbm_tb_s = f64::NAN,
+            FaultClass::ZeroLanes => candidate.lanes_per_core = 0,
+            FaultClass::ReticleOverflow => candidate.l1_kib = 262_144,
+            FaultClass::OverflowCores => candidate.core_count = u32::MAX,
+        }
+        candidate.name.push_str("!fault-");
+        candidate.name.push_str(self.tag());
+    }
+
+    /// Whether a successful evaluation is an acceptable outcome for this
+    /// class (degradation classes), as opposed to a mandatory failure.
+    #[must_use]
+    pub fn may_succeed(&self) -> bool {
+        matches!(self, FaultClass::ReticleOverflow | FaultClass::OverflowCores)
+    }
+
+    /// The [`acs_errors::AcsError::kind`] tags an evaluation failure of a
+    /// candidate with this fault is allowed to carry.
+    #[must_use]
+    pub fn allowed_failure_kinds(&self) -> &'static [&'static str] {
+        match self {
+            FaultClass::ZeroBandwidth | FaultClass::NanParam | FaultClass::ZeroLanes => {
+                &["invalid_config"]
+            }
+            FaultClass::ReticleOverflow => &["non_finite", "infeasible"],
+            FaultClass::OverflowCores => {
+                &["non_finite", "infeasible", "invalid_config", "evaluation_panic"]
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Corrupt every `every`-th candidate in place (indices 0, `every`,
+/// 2·`every`, …), cycling through [`FaultClass::ALL`]. Deterministic:
+/// the same input always receives the same faults. Returns the injection
+/// ledger as `(index, class)` pairs.
+///
+/// # Panics
+///
+/// Panics if `every` is zero (a harness-usage bug, not a data fault).
+pub fn inject_faults(candidates: &mut [CandidateParams], every: usize) -> Vec<(usize, FaultClass)> {
+    assert!(every > 0, "injection stride must be nonzero");
+    let mut injected = Vec::new();
+    for (slot, index) in (0..candidates.len()).step_by(every).enumerate() {
+        let class = FaultClass::ALL[slot % FaultClass::ALL.len()];
+        class.apply(&mut candidates[index]);
+        injected.push((index, class));
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps::SweepSpec;
+
+    fn candidates() -> Vec<CandidateParams> {
+        SweepSpec::table3_fig6().candidates(4800.0)
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_cycles_classes() {
+        let mut a = candidates();
+        let mut b = candidates();
+        let la = inject_faults(&mut a, 7);
+        let lb = inject_faults(&mut b, 7);
+        assert_eq!(la, lb);
+        // NaN faults defeat whole-struct PartialEq; names capture the
+        // injection pattern.
+        let names = |v: &[CandidateParams]| v.iter().map(|c| c.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(la.len(), a.len().div_ceil(7));
+        // All five classes appear.
+        for class in FaultClass::ALL {
+            assert!(la.iter().any(|(_, c)| *c == class), "{class} missing");
+        }
+        // Faulted names are marked.
+        for (i, class) in &la {
+            assert!(a[*i].name.ends_with(&format!("!fault-{}", class.tag())), "{}", a[*i].name);
+        }
+    }
+
+    #[test]
+    fn validation_faults_fail_the_build_with_expected_kinds() {
+        let mut cands = candidates();
+        let ledger = inject_faults(&mut cands, 11);
+        for (i, class) in &ledger {
+            match cands[*i].build() {
+                Ok(_) => assert!(class.may_succeed(), "{class} must not build"),
+                Err(e) => {
+                    // Build-time rejections must be invalid_config; the
+                    // other classes only fail later, in evaluation.
+                    assert_eq!(e.kind(), "invalid_config", "{class}: {e}");
+                    assert!(
+                        class.allowed_failure_kinds().contains(&e.kind()),
+                        "{class} may not fail with {}",
+                        e.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_candidates_are_untouched() {
+        let clean = candidates();
+        let mut faulted = clean.clone();
+        let ledger = inject_faults(&mut faulted, 5);
+        let hit: std::collections::BTreeSet<usize> = ledger.iter().map(|(i, _)| *i).collect();
+        for (i, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+            if !hit.contains(&i) {
+                assert_eq!(c, f);
+            }
+        }
+    }
+}

@@ -27,24 +27,30 @@
 //! assert!(designs.iter().all(|d| d.tpp < 4800.0));
 //! ```
 
+pub mod checkpoint;
 pub mod evaluate;
+pub mod faultinject;
 pub mod packaged;
 pub mod pareto;
+pub mod report;
 pub mod sensitivity;
 pub mod stats;
 pub mod sweeps;
 
 pub use evaluate::{DseRunner, EvaluatedDesign, SweptParams};
+pub use faultinject::{inject_faults, FaultClass};
 pub use packaged::{run_packaged, PackagedDesign};
 pub use pareto::pareto_front;
+pub use report::{DesignFailure, SweepReport};
 pub use sensitivity::{elasticities, Elasticity};
 pub use stats::{narrowing_factor, Distribution};
-pub use sweeps::SweepSpec;
+pub use sweeps::{CandidateParams, SweepSpec};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::evaluate::{DseRunner, EvaluatedDesign, SweptParams};
     pub use crate::pareto::pareto_front;
+    pub use crate::report::{DesignFailure, SweepReport};
     pub use crate::stats::{narrowing_factor, Distribution};
-    pub use crate::sweeps::SweepSpec;
+    pub use crate::sweeps::{CandidateParams, SweepSpec};
 }

@@ -11,10 +11,9 @@
 use crate::evaluate::{DseRunner, EvaluatedDesign};
 use acs_hw::chiplet::{ChipletPackage, PackagingModel};
 use acs_hw::{AreaModel, CostModel, DeviceConfig, RETICLE_LIMIT_MM2};
-use serde::Serialize;
 
 /// A design realised as its cheapest manufacturable package.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackagedDesign {
     /// The monolithic evaluation (latencies, logical metrics).
     pub design: EvaluatedDesign,
@@ -41,6 +40,8 @@ impl PackagedDesign {
 /// that design). Performance is taken from the logical (monolithic)
 /// evaluation — the package implements the same architecture; the D2D
 /// hop cost is assumed hidden under the existing interconnect model.
+/// Configurations whose monolithic evaluation fails are dropped, like
+/// designs with no manufacturable package.
 #[must_use]
 pub fn run_packaged(
     runner: &DseRunner,
@@ -54,7 +55,8 @@ pub fn run_packaged(
     evaluated
         .into_iter()
         .zip(configs)
-        .filter_map(|(design, cfg)| {
+        .filter_map(|(outcome, cfg)| {
+            let design = outcome.ok()?;
             let best = candidates
                 .iter()
                 .filter_map(|&n| ChipletPackage::new(cfg.clone(), n, packaging).ok())

@@ -7,14 +7,14 @@
 //! bandwidth for decoding) is a poor policy lever; one near −1 (memory
 //! bandwidth for decoding) is a precise throttle.
 
+use acs_errors::AcsError;
 use acs_hw::{DeviceConfig, SystemConfig};
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_sim::{SimParams, Simulator};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which latency the elasticity is measured on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Target {
     /// Prefill latency.
     Ttft,
@@ -23,7 +23,7 @@ pub enum Target {
 }
 
 /// A parameter's measured elasticity on a latency target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Elasticity {
     /// Parameter name.
     pub parameter: &'static str,
@@ -40,14 +40,16 @@ impl fmt::Display for Elasticity {
     }
 }
 
-fn latency(device: &DeviceConfig, model: &ModelConfig, work: &WorkloadConfig, t: Target) -> f64 {
-    let sim = Simulator::with_params(
-        SystemConfig::quad(device.clone()).expect("quad"),
-        SimParams::calibrated(),
-    );
+fn latency(
+    device: &DeviceConfig,
+    model: &ModelConfig,
+    work: &WorkloadConfig,
+    t: Target,
+) -> Result<f64, AcsError> {
+    let sim = Simulator::with_params(SystemConfig::quad(device.clone())?, SimParams::calibrated());
     match t {
-        Target::Ttft => sim.ttft_s(model, work),
-        Target::Tbt => sim.tbt_s(model, work),
+        Target::Ttft => sim.try_ttft_s(model, work),
+        Target::Tbt => sim.try_tbt_s(model, work),
     }
 }
 
@@ -56,88 +58,81 @@ fn latency(device: &DeviceConfig, model: &ModelConfig, work: &WorkloadConfig, t:
 ///
 /// Parameters are scaled ±25 % (discrete ones to the nearest valid value),
 /// so the figures are local to the reference design.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`AcsError`] when a scaled variant fails validation or its
+/// simulated latency violates the finite-positive contract — a reference
+/// design at the edge of the valid domain surfaces here as a typed error
+/// rather than a panic.
 pub fn elasticities(
     reference: &DeviceConfig,
     model: &ModelConfig,
     work: &WorkloadConfig,
     target: Target,
-) -> Vec<Elasticity> {
+) -> Result<Vec<Elasticity>, AcsError> {
     let scale = 1.25_f64;
-    let base = latency(reference, model, work, target);
     let mut out = Vec::new();
-    let mut push = |name: &'static str, up: DeviceConfig, down: DeviceConfig, ratio: f64| {
-        let hi = latency(&up, model, work, target);
-        let lo = latency(&down, model, work, target);
+    let mut push = |name: &'static str,
+                    up: Result<DeviceConfig, acs_hw::HwError>,
+                    down: Result<DeviceConfig, acs_hw::HwError>,
+                    ratio: f64|
+     -> Result<(), AcsError> {
+        let hi = latency(&up?, model, work, target)?;
+        let lo = latency(&down?, model, work, target)?;
         let value = (hi / lo).ln() / ratio.ln();
-        debug_assert!(base > 0.0);
         out.push(Elasticity { parameter: name, target, value });
+        Ok(())
     };
 
     let scaled_u32 = |v: u32, s: f64| ((f64::from(v) * s).round() as u32).max(1);
 
     push(
         "core_count",
-        reference.to_builder().core_count(scaled_u32(reference.core_count(), scale)).build().unwrap(),
-        reference
-            .to_builder()
-            .core_count(scaled_u32(reference.core_count(), 1.0 / scale))
-            .build()
-            .unwrap(),
+        reference.to_builder().core_count(scaled_u32(reference.core_count(), scale)).build(),
+        reference.to_builder().core_count(scaled_u32(reference.core_count(), 1.0 / scale)).build(),
         f64::from(scaled_u32(reference.core_count(), scale))
             / f64::from(scaled_u32(reference.core_count(), 1.0 / scale)),
-    );
+    )?;
     push(
         "l1_kib_per_core",
         reference
             .to_builder()
             .l1_kib_per_core(scaled_u32(reference.l1_kib_per_core(), scale))
-            .build()
-            .unwrap(),
+            .build(),
         reference
             .to_builder()
             .l1_kib_per_core(scaled_u32(reference.l1_kib_per_core(), 1.0 / scale))
-            .build()
-            .unwrap(),
+            .build(),
         f64::from(scaled_u32(reference.l1_kib_per_core(), scale))
             / f64::from(scaled_u32(reference.l1_kib_per_core(), 1.0 / scale)),
-    );
+    )?;
     push(
         "l2_mib",
-        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), scale)).build().unwrap(),
-        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), 1.0 / scale)).build().unwrap(),
+        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), scale)).build(),
+        reference.to_builder().l2_mib(scaled_u32(reference.l2_mib(), 1.0 / scale)).build(),
         f64::from(scaled_u32(reference.l2_mib(), scale))
             / f64::from(scaled_u32(reference.l2_mib(), 1.0 / scale)),
-    );
+    )?;
     push(
         "hbm_bandwidth",
-        reference
-            .to_builder()
-            .hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() * scale)
-            .build()
-            .unwrap(),
-        reference
-            .to_builder()
-            .hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() / scale)
-            .build()
-            .unwrap(),
+        reference.to_builder().hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() * scale).build(),
+        reference.to_builder().hbm_bandwidth_tb_s(reference.hbm().bandwidth_tb_s() / scale).build(),
         scale * scale,
-    );
+    )?;
     push(
         "device_bandwidth",
         reference
             .to_builder()
             .device_bandwidth_gb_s(reference.phy().total_gb_s() * scale)
-            .build()
-            .unwrap(),
+            .build(),
         reference
             .to_builder()
             .device_bandwidth_gb_s(reference.phy().total_gb_s() / scale)
-            .build()
-            .unwrap(),
+            .build(),
         scale * scale,
-    );
-    out
+    )?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -159,7 +154,8 @@ mod tests {
             &ModelConfig::gpt3_175b(),
             &WorkloadConfig::paper_default(),
             Target::Tbt,
-        );
+        )
+        .unwrap();
         let hbm = by_name(&es, "hbm_bandwidth").value;
         assert!(hbm < -0.5, "TBT elasticity on HBM BW = {hbm}");
         let dev = by_name(&es, "device_bandwidth").value;
@@ -176,7 +172,8 @@ mod tests {
             &ModelConfig::gpt3_175b(),
             &WorkloadConfig::paper_default(),
             Target::Ttft,
-        );
+        )
+        .unwrap();
         let cores = by_name(&es, "core_count").value;
         assert!(cores < -0.5, "TTFT elasticity on cores = {cores}");
         let hbm = by_name(&es, "hbm_bandwidth").value;
@@ -194,7 +191,8 @@ mod tests {
                 &ModelConfig::llama3_8b(),
                 &WorkloadConfig::paper_default(),
                 target,
-            );
+            )
+            .unwrap();
             assert_eq!(es.len(), 5);
             for e in &es {
                 assert!(e.value.is_finite(), "{e}");

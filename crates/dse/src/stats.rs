@@ -5,11 +5,10 @@
 //! design-space range to the fixed-parameter subset's range (e.g.
 //! "42.4× narrower", §5.3).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary statistics of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     /// Sample size.
     pub count: usize,

@@ -1,13 +1,81 @@
 //! Sweep specifications (the paper's Tables 3 and 5).
 
+use acs_errors::AcsError;
 use acs_hw::tpp::cores_for_tpp;
 use acs_hw::{DataType, DeviceConfig, SystolicDims};
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The raw, *pre-validation* parameters of one sweep point.
+///
+/// A [`DeviceConfig`] is valid by construction, so a candidate that holds
+/// pathological values (zero bandwidth, NaN, overflow-scale counts) can
+/// only exist in this form. The sweep pipeline carries candidates, not
+/// configs: validation happens inside the fault-isolated evaluation of
+/// each point, and a bad candidate becomes a structured
+/// [`crate::DesignFailure`] instead of a panic or a skipped row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateParams {
+    /// Design name (unique within a sweep; checkpoints key on it).
+    pub name: String,
+    /// Square systolic dimension.
+    pub systolic_dim: u32,
+    /// Lanes per core.
+    pub lanes_per_core: u32,
+    /// Core count.
+    pub core_count: u32,
+    /// L1 per core in KiB.
+    pub l1_kib: u32,
+    /// L2 in MiB.
+    pub l2_mib: u32,
+    /// HBM bandwidth in TB/s.
+    pub hbm_tb_s: f64,
+    /// Aggregate bidirectional device bandwidth in GB/s.
+    pub device_bw_gb_s: f64,
+}
+
+impl CandidateParams {
+    /// Validate and materialise the device this candidate describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] for any out-of-domain field —
+    /// this is the boundary where injected faults surface as typed errors.
+    pub fn build(&self) -> Result<DeviceConfig, AcsError> {
+        let mut b = DeviceConfig::builder();
+        b.name(self.name.clone())
+            .core_count(self.core_count)
+            .lanes_per_core(self.lanes_per_core)
+            .systolic(SystolicDims::square(self.systolic_dim))
+            .l1_kib_per_core(self.l1_kib)
+            .l2_mib(self.l2_mib)
+            .hbm_bandwidth_tb_s(self.hbm_tb_s)
+            .device_bandwidth_gb_s(self.device_bw_gb_s);
+        Ok(b.build()?)
+    }
+}
+
+impl fmt::Display for CandidateParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}x{} x {}l x {}c, L1 {}K, L2 {}M, {} TB/s, {} GB/s]",
+            self.name,
+            self.systolic_dim,
+            self.systolic_dim,
+            self.lanes_per_core,
+            self.core_count,
+            self.l1_kib,
+            self.l2_mib,
+            self.hbm_tb_s,
+            self.device_bw_gb_s
+        )
+    }
+}
 
 /// The architectural parameters a DSE sweeps. The cartesian product of all
 /// lists, with the core count solved per point to sit just under a TPP
 /// ceiling, forms the design space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Square systolic-array dimensions to try.
     pub systolic_dims: Vec<u32>,
@@ -70,12 +138,18 @@ impl SweepSpec {
             * self.device_bw_gb_s.len()
     }
 
-    /// Materialise device configurations with core counts solved to sit
+    /// Materialise the sweep as raw candidates, core counts solved to sit
     /// just under `tpp_target` at the A100's 1.41 GHz FP16 operating
     /// point (§3.3). Sweep points for which no core count fits (huge
-    /// arrays against a small budget) are skipped.
+    /// arrays against a small budget) are skipped; every other point is
+    /// emitted *unvalidated* — validation happens per point inside the
+    /// fault-isolated evaluation, so one bad list entry cannot take down
+    /// a sweep.
+    ///
+    /// Ordering is the deterministic row-major cartesian order of the
+    /// spec's lists; checkpoints rely on it.
     #[must_use]
-    pub fn configs(&self, tpp_target: f64) -> Vec<DeviceConfig> {
+    pub fn candidates(&self, tpp_target: f64) -> Vec<CandidateParams> {
         let mut out = Vec::with_capacity(self.cardinality());
         for &dim in &self.systolic_dims {
             for &lanes in &self.lanes_per_core {
@@ -88,21 +162,18 @@ impl SweepSpec {
                     for &l2 in &self.l2_mib {
                         for &hbm in &self.hbm_tb_s {
                             for &dev_bw in &self.device_bw_gb_s {
-                                let name = format!(
-                                    "dse-{tpp_target:.0}-{dim}x{dim}-{lanes}l-{l1}k-{l2}m-{hbm}t-{dev_bw:.0}g"
-                                );
-                                let cfg = DeviceConfig::builder()
-                                    .name(name)
-                                    .core_count(cores)
-                                    .lanes_per_core(lanes)
-                                    .systolic(dims)
-                                    .l1_kib_per_core(l1)
-                                    .l2_mib(l2)
-                                    .hbm_bandwidth_tb_s(hbm)
-                                    .device_bandwidth_gb_s(dev_bw)
-                                    .build()
-                                    .expect("sweep values are valid");
-                                out.push(cfg);
+                                out.push(CandidateParams {
+                                    name: format!(
+                                        "dse-{tpp_target:.0}-{dim}x{dim}-{lanes}l-{l1}k-{l2}m-{hbm}t-{dev_bw:.0}g"
+                                    ),
+                                    systolic_dim: dim,
+                                    lanes_per_core: lanes,
+                                    core_count: cores,
+                                    l1_kib: l1,
+                                    l2_mib: l2,
+                                    hbm_tb_s: hbm,
+                                    device_bw_gb_s: dev_bw,
+                                });
                             }
                         }
                     }
@@ -110,6 +181,15 @@ impl SweepSpec {
             }
         }
         out
+    }
+
+    /// Materialise validated device configurations (the historical API).
+    /// Candidates that fail validation are dropped — for a failure ledger
+    /// instead of silent drops, use [`SweepSpec::candidates`] with
+    /// [`crate::DseRunner::run_report`].
+    #[must_use]
+    pub fn configs(&self, tpp_target: f64) -> Vec<DeviceConfig> {
+        self.candidates(tpp_target).iter().filter_map(|c| c.build().ok()).collect()
     }
 }
 
@@ -154,6 +234,32 @@ mod tests {
             device_bw_gb_s: vec![600.0],
         };
         assert!(spec.configs(100.0).is_empty());
+    }
+
+    #[test]
+    fn candidates_and_configs_agree_one_to_one() {
+        let spec = SweepSpec::table3_fig6();
+        let cands = spec.candidates(4800.0);
+        let cfgs = spec.configs(4800.0);
+        assert_eq!(cands.len(), 512);
+        assert_eq!(cands.len(), cfgs.len());
+        for (c, cfg) in cands.iter().zip(&cfgs) {
+            assert_eq!(c.name, cfg.name());
+            assert_eq!(c.core_count, cfg.core_count());
+            assert_eq!(c.build().unwrap(), *cfg);
+        }
+    }
+
+    #[test]
+    fn pathological_candidates_build_to_typed_errors() {
+        let mut c = SweepSpec::table3_fig6().candidates(4800.0).remove(0);
+        c.hbm_tb_s = 0.0;
+        assert_eq!(c.build().unwrap_err().kind(), "invalid_config");
+        c.hbm_tb_s = f64::NAN;
+        assert_eq!(c.build().unwrap_err().kind(), "invalid_config");
+        c.hbm_tb_s = 2.0;
+        c.lanes_per_core = 0;
+        assert_eq!(c.build().unwrap_err().kind(), "invalid_config");
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Numeric invariant guards for module boundaries.
+//!
+//! The simulator and the area/cost models must never leak NaN, infinity,
+//! or negative quantities into the DSE layer. These helpers turn such
+//! values into typed [`AcsError::NonFinite`] errors at the boundary.
+
+use crate::AcsError;
+
+/// Require `value` to be finite (not NaN or ±∞).
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context` and `metric`.
+pub fn ensure_finite(context: &str, metric: &str, value: f64) -> Result<f64, AcsError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context, metric, value))
+    }
+}
+
+/// Require `value` to be finite and strictly positive — the contract for
+/// latencies, areas, costs, and bandwidth-derived quantities.
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context` and `metric`.
+pub fn ensure_positive(context: &str, metric: &str, value: f64) -> Result<f64, AcsError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context, metric, value))
+    }
+}
+
+/// Require `value` to be finite and non-negative (zero allowed) — the
+/// contract for additive breakdown terms such as per-phase times.
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context` and `metric`.
+pub fn ensure_non_negative(context: &str, metric: &str, value: f64) -> Result<f64, AcsError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context, metric, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_values_pass_through() {
+        assert_eq!(ensure_finite("c", "m", 1.5), Ok(1.5));
+        assert_eq!(ensure_positive("c", "m", 1e-300), Ok(1e-300));
+        assert_eq!(ensure_non_negative("c", "m", 0.0), Ok(0.0));
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected_everywhere() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(ensure_finite("c", "m", bad).is_err());
+            assert!(ensure_positive("c", "m", bad).is_err());
+            assert!(ensure_non_negative("c", "m", bad).is_err());
+        }
+    }
+
+    #[test]
+    fn sign_contracts_differ() {
+        assert!(ensure_positive("c", "m", 0.0).is_err());
+        assert!(ensure_positive("c", "m", -1.0).is_err());
+        assert!(ensure_non_negative("c", "m", -1.0).is_err());
+        assert!(ensure_finite("c", "m", -1.0).is_ok());
+    }
+
+    #[test]
+    fn errors_name_the_metric() {
+        let e = ensure_positive("simulator", "tbt_s", f64::NAN).unwrap_err();
+        assert!(e.to_string().contains("tbt_s"));
+        assert!(e.to_string().contains("simulator"));
+    }
+}

@@ -1,0 +1,509 @@
+//! A small dependency-free JSON emitter and parser.
+//!
+//! The offline build environment has no access to `serde`/`serde_json`,
+//! so the checkpoint format (JSONL) and config round-trips are built on
+//! this module instead. It supports the full JSON data model with two
+//! deliberate restrictions:
+//!
+//! * Numbers are `f64` (ample for every quantity in this workspace; u32
+//!   sweep parameters round-trip exactly through f64).
+//! * Object key order is preserved as written, keeping emitted
+//!   checkpoints byte-deterministic.
+//!
+//! Non-finite numbers are not representable in JSON; [`Value::from_f64`]
+//! refuses them with a typed error rather than emitting `NaN` tokens.
+
+use crate::AcsError;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Wrap a finite `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] for NaN or infinite input: JSON cannot
+    /// represent them, and silently mangling a checkpoint is worse than
+    /// failing the write.
+    pub fn from_f64(v: f64) -> Result<Self, AcsError> {
+        if v.is_finite() {
+            Ok(Value::Number(v))
+        } else {
+            Err(AcsError::Json { reason: format!("cannot serialise non-finite number {v}") })
+        }
+    }
+
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer accessor (rejects fractional and out-of-range).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Required-member accessor with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when `self` is not an object or lacks
+    /// `key`.
+    pub fn require(&self, key: &str) -> Result<&Value, AcsError> {
+        self.get(key)
+            .ok_or_else(|| AcsError::Json { reason: format!("missing object member {key:?}") })
+    }
+
+    /// Required finite-number member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when absent or not a number.
+    pub fn require_f64(&self, key: &str) -> Result<f64, AcsError> {
+        self.require(key)?
+            .as_f64()
+            .ok_or_else(|| AcsError::Json { reason: format!("member {key:?} is not a number") })
+    }
+
+    /// Required unsigned-integer member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when absent or not a non-negative
+    /// integer.
+    pub fn require_u64(&self, key: &str) -> Result<u64, AcsError> {
+        self.require(key)?
+            .as_u64()
+            .ok_or_else(|| AcsError::Json { reason: format!("member {key:?} is not an integer") })
+    }
+
+    /// Required string member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when absent or not a string.
+    pub fn require_str(&self, key: &str) -> Result<&str, AcsError> {
+        self.require(key)?
+            .as_str()
+            .ok_or_else(|| AcsError::Json { reason: format!("member {key:?} is not a string") })
+    }
+
+    /// Required boolean member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when absent or not a boolean.
+    pub fn require_bool(&self, key: &str) -> Result<bool, AcsError> {
+        self.require(key)?
+            .as_bool()
+            .ok_or_else(|| AcsError::Json { reason: format!("member {key:?} is not a boolean") })
+    }
+
+    /// Serialise to compact JSON (no whitespace, keys in insertion
+    /// order — byte-deterministic for identical values).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                // Rust's shortest round-trip float formatting; integers
+                // print without a trailing ".0".
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build an object from key/value pairs (helper for emitters).
+#[must_use]
+pub fn object(members: Vec<(&str, Value)>) -> Value {
+    Value::Object(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+///
+/// Returns [`AcsError::Json`] with a byte offset on malformed input or
+/// trailing garbage.
+pub fn parse(input: &str) -> Result<Value, AcsError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> AcsError {
+        AcsError::Json { reason: format!("{msg} at byte {}", self.pos) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), AcsError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, AcsError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, AcsError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, AcsError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Value::Number(n))
+    }
+
+    fn string(&mut self) -> Result<String, AcsError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not paired: this parser reads
+                            // its own emitter's output, which never emits
+                            // them. Reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate in \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, AcsError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, AcsError> {
+        self.expect_byte(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-1.5", "1e300", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.to_json()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order_and_bytes() {
+        let v = object(vec![
+            ("b", Value::Number(2.0)),
+            ("a", Value::Number(1.5)),
+            ("s", Value::String("x\n\"y\"".into())),
+            ("arr", Value::Array(vec![Value::Null, Value::Bool(true)])),
+        ]);
+        let s = v.to_json();
+        assert_eq!(s, "{\"b\":2,\"a\":1.5,\"s\":\"x\\n\\\"y\\\"\",\"arr\":[null,true]}");
+        let back = parse(&s).unwrap();
+        assert_eq!(back, v);
+        // Emission is byte-deterministic.
+        assert_eq!(back.to_json(), s);
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        // Rust's float formatting is shortest-round-trip; checkpoints rely
+        // on results surviving a write/read cycle bit-for-bit.
+        for x in [0.1, 1.0 / 3.0, 2.039e3, f64::MIN_POSITIVE, 826.0, 6.043583, 1e-300] {
+            let v = Value::from_f64(x).unwrap();
+            let back = parse(&v.to_json()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_refused() {
+        assert!(Value::from_f64(f64::NAN).is_err());
+        assert!(Value::from_f64(f64::INFINITY).is_err());
+        assert!(parse("NaN").is_err());
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn malformed_documents_error_with_position() {
+        for bad in ["{", "[1,", "{\"a\"}", "\"unterminated", "tru", "1 2", "{'a':1}"] {
+            let e = parse(bad).unwrap_err();
+            assert!(matches!(e, AcsError::Json { .. }), "{bad}");
+            assert!(e.to_string().contains("byte"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn accessors_type_check() {
+        let v = parse("{\"n\":3,\"s\":\"x\",\"b\":false,\"f\":1.5}").unwrap();
+        assert_eq!(v.require_u64("n").unwrap(), 3);
+        assert_eq!(v.require_str("s").unwrap(), "x");
+        assert!(!v.require_bool("b").unwrap());
+        assert_eq!(v.require_f64("f").unwrap(), 1.5);
+        assert!(v.require_u64("f").is_err());
+        assert!(v.require("missing").is_err());
+        assert_eq!(v.get("missing"), None);
+        assert!(Value::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn unicode_and_control_characters_survive() {
+        let s = "héllo \u{1} – ✓";
+        let v = Value::String(s.into());
+        assert_eq!(parse(&v.to_json()).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_independently() {
+        let lines = "{\"i\":0}\n{\"i\":1}\n";
+        let parsed: Vec<Value> = lines.lines().map(|l| parse(l).unwrap()).collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].require_u64("i").unwrap(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Workspace-wide error taxonomy and robustness primitives.
+//!
+//! Every crate in the workspace reports failures through [`AcsError`], a
+//! single hand-rolled enum (the offline build has no access to external
+//! error-handling crates). The taxonomy follows the error-handling policy
+//! in `DESIGN.md`:
+//!
+//! * **Library code never panics** on bad input — malformed configs, NaN
+//!   parameters, and infeasible requests become typed `Err` values.
+//! * **Numeric invariants are enforced at module boundaries** with the
+//!   [`guard`] helpers: no NaN, infinity, or negative latency/area/cost
+//!   may escape the simulator or the cost models.
+//! * **Panics are reserved for in-process bugs**, and the DSE sweep layer
+//!   still contains them with `std::panic::catch_unwind`, converting them
+//!   into [`AcsError::EvaluationPanic`].
+//!
+//! The crate also ships [`json`], a small dependency-free JSON emitter and
+//! parser used for the sweep checkpoint format (JSONL) and for config
+//! round-trips, replacing `serde` in the offline build.
+
+pub mod guard;
+pub mod json;
+
+use std::error::Error;
+use std::fmt;
+
+/// Unified error type for the advanced-computing-sanctions workspace.
+///
+/// Variants are grouped by the pipeline stage that raises them; every
+/// variant carries enough context to be reported in a sweep's failure
+/// ledger without access to the original input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AcsError {
+    /// A configuration field holds a value outside its valid domain
+    /// (raised at construction/validation time — `DeviceConfig::build`,
+    /// `SystemConfig::new`, workload validation, …).
+    InvalidConfig {
+        /// Name of the offending field (e.g. `"hbm.bandwidth_gb_s"`).
+        field: String,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A derived quantity could not be computed from the given inputs
+    /// (e.g. no core count satisfies a TPP target).
+    Infeasible {
+        /// Description of the infeasible request.
+        reason: String,
+    },
+    /// A simulator or model output violated a numeric invariant: NaN,
+    /// infinity, or a negative latency/area/cost/energy.
+    NonFinite {
+        /// Where the value was produced (e.g. `"simulator.ttft_s"`).
+        context: String,
+        /// The metric that went bad.
+        metric: String,
+        /// The offending value, stringified (NaN/inf are not JSON).
+        value: String,
+    },
+    /// A device-database lookup found no matching record.
+    UnknownDevice {
+        /// The query string that failed to match.
+        query: String,
+    },
+    /// A device record failed to parse or validate.
+    MalformedRecord {
+        /// Identifier of the record (name or line number).
+        record: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A design point's evaluation panicked; the panic was contained by
+    /// the sweep harness and converted into this variant.
+    EvaluationPanic {
+        /// The design's name, when known.
+        design: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A checkpoint file could not be read, written, or parsed.
+    Checkpoint {
+        /// Path of the checkpoint file.
+        path: String,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// Path or resource involved.
+        path: String,
+        /// Stringified `std::io::Error`.
+        reason: String,
+    },
+    /// A JSON document failed to parse or had an unexpected shape.
+    Json {
+        /// Description of the failure, with position where available.
+        reason: String,
+    },
+}
+
+impl AcsError {
+    /// Stable machine-readable tag for the variant, used in checkpoint
+    /// files and failure summaries. Never contains spaces.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AcsError::InvalidConfig { .. } => "invalid_config",
+            AcsError::Infeasible { .. } => "infeasible",
+            AcsError::NonFinite { .. } => "non_finite",
+            AcsError::UnknownDevice { .. } => "unknown_device",
+            AcsError::MalformedRecord { .. } => "malformed_record",
+            AcsError::EvaluationPanic { .. } => "evaluation_panic",
+            AcsError::Checkpoint { .. } => "checkpoint",
+            AcsError::Io { .. } => "io",
+            AcsError::Json { .. } => "json",
+        }
+    }
+
+    /// Convenience constructor for [`AcsError::InvalidConfig`].
+    #[must_use]
+    pub fn invalid_config(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        AcsError::InvalidConfig { field: field.into(), reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`AcsError::NonFinite`].
+    #[must_use]
+    pub fn non_finite(context: impl Into<String>, metric: impl Into<String>, value: f64) -> Self {
+        AcsError::NonFinite {
+            context: context.into(),
+            metric: metric.into(),
+            value: format!("{value}"),
+        }
+    }
+
+    /// Structural JSON form, used by sweep checkpoints so a resumed run
+    /// reconstructs failures *exactly* as the original run produced them.
+    #[must_use]
+    pub fn to_json_value(&self) -> json::Value {
+        use json::Value as V;
+        let s = |v: &str| V::String(v.to_owned());
+        let mut members: Vec<(&str, V)> = vec![("kind", s(self.kind()))];
+        match self {
+            AcsError::InvalidConfig { field, reason } => {
+                members.push(("field", s(field)));
+                members.push(("reason", s(reason)));
+            }
+            AcsError::Infeasible { reason } | AcsError::Json { reason } => {
+                members.push(("reason", s(reason)));
+            }
+            AcsError::NonFinite { context, metric, value } => {
+                members.push(("context", s(context)));
+                members.push(("metric", s(metric)));
+                members.push(("value", s(value)));
+            }
+            AcsError::UnknownDevice { query } => members.push(("query", s(query))),
+            AcsError::MalformedRecord { record, reason } => {
+                members.push(("record", s(record)));
+                members.push(("reason", s(reason)));
+            }
+            AcsError::EvaluationPanic { design, message } => {
+                members.push(("design", s(design)));
+                members.push(("message", s(message)));
+            }
+            AcsError::Checkpoint { path, reason } | AcsError::Io { path, reason } => {
+                members.push(("path", s(path)));
+                members.push(("reason", s(reason)));
+            }
+        }
+        json::object(members)
+    }
+
+    /// Parse the structural form emitted by [`AcsError::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] when the document lacks a known `kind`
+    /// or the variant's fields.
+    pub fn from_json_value(v: &json::Value) -> Result<Self, AcsError> {
+        let owned = |r: Result<&str, AcsError>| r.map(str::to_owned);
+        let e = match v.require_str("kind")? {
+            "invalid_config" => AcsError::InvalidConfig {
+                field: owned(v.require_str("field"))?,
+                reason: owned(v.require_str("reason"))?,
+            },
+            "infeasible" => AcsError::Infeasible { reason: owned(v.require_str("reason"))? },
+            "non_finite" => AcsError::NonFinite {
+                context: owned(v.require_str("context"))?,
+                metric: owned(v.require_str("metric"))?,
+                value: owned(v.require_str("value"))?,
+            },
+            "unknown_device" => {
+                AcsError::UnknownDevice { query: owned(v.require_str("query"))? }
+            }
+            "malformed_record" => AcsError::MalformedRecord {
+                record: owned(v.require_str("record"))?,
+                reason: owned(v.require_str("reason"))?,
+            },
+            "evaluation_panic" => AcsError::EvaluationPanic {
+                design: owned(v.require_str("design"))?,
+                message: owned(v.require_str("message"))?,
+            },
+            "checkpoint" => AcsError::Checkpoint {
+                path: owned(v.require_str("path"))?,
+                reason: owned(v.require_str("reason"))?,
+            },
+            "io" => AcsError::Io {
+                path: owned(v.require_str("path"))?,
+                reason: owned(v.require_str("reason"))?,
+            },
+            "json" => AcsError::Json { reason: owned(v.require_str("reason"))? },
+            other => {
+                return Err(AcsError::Json { reason: format!("unknown error kind {other:?}") })
+            }
+        };
+        Ok(e)
+    }
+}
+
+impl fmt::Display for AcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcsError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            AcsError::Infeasible { reason } => write!(f, "infeasible request: {reason}"),
+            AcsError::NonFinite { context, metric, value } => {
+                write!(f, "non-finite result in {context}: {metric} = {value}")
+            }
+            AcsError::UnknownDevice { query } => write!(f, "unknown device: {query:?}"),
+            AcsError::MalformedRecord { record, reason } => {
+                write!(f, "malformed device record {record}: {reason}")
+            }
+            AcsError::EvaluationPanic { design, message } => {
+                write!(f, "evaluation of {design:?} panicked: {message}")
+            }
+            AcsError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
+            AcsError::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
+            AcsError::Json { reason } => write!(f, "json error: {reason}"),
+        }
+    }
+}
+
+impl Error for AcsError {}
+
+impl From<std::io::Error> for AcsError {
+    fn from(e: std::io::Error) -> Self {
+        AcsError::Io { path: String::new(), reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_identifiers() {
+        let cases: Vec<AcsError> = vec![
+            AcsError::invalid_config("f", "r"),
+            AcsError::Infeasible { reason: "r".into() },
+            AcsError::non_finite("ctx", "m", f64::NAN),
+            AcsError::UnknownDevice { query: "q".into() },
+            AcsError::MalformedRecord { record: "1".into(), reason: "r".into() },
+            AcsError::EvaluationPanic { design: "d".into(), message: "m".into() },
+            AcsError::Checkpoint { path: "p".into(), reason: "r".into() },
+            AcsError::Io { path: "p".into(), reason: "r".into() },
+            AcsError::Json { reason: "r".into() },
+        ];
+        for e in &cases {
+            assert!(!e.kind().is_empty());
+            assert!(!e.kind().contains(' '));
+            assert!(!e.to_string().is_empty());
+        }
+        // Kinds are distinct across variants.
+        let mut kinds: Vec<_> = cases.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), cases.len());
+    }
+
+    #[test]
+    fn non_finite_stringifies_nan() {
+        let e = AcsError::non_finite("sim", "ttft_s", f64::NAN);
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AcsError>();
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let cases: Vec<AcsError> = vec![
+            AcsError::invalid_config("hbm.bandwidth_gb_s", "must be positive"),
+            AcsError::Infeasible { reason: "no core count fits".into() },
+            AcsError::non_finite("simulator", "tbt_s", f64::NAN),
+            AcsError::UnknownDevice { query: "B9000".into() },
+            AcsError::MalformedRecord { record: "line 3".into(), reason: "bad tpp".into() },
+            AcsError::EvaluationPanic { design: "d-0".into(), message: "overflow".into() },
+            AcsError::Checkpoint { path: "results/x.jsonl".into(), reason: "torn".into() },
+            AcsError::Io { path: "/tmp/x".into(), reason: "denied".into() },
+            AcsError::Json { reason: "trailing".into() },
+        ];
+        for e in &cases {
+            let text = e.to_json_value().to_json();
+            let back = AcsError::from_json_value(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, e);
+        }
+        assert!(AcsError::from_json_value(&json::parse("{\"kind\":\"nope\"}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: AcsError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -16,10 +16,9 @@
 
 use crate::config::DeviceConfig;
 use crate::process::ProcessNode;
-use serde::{Deserialize, Serialize};
 
 /// Per-component area coefficients (all mm², 7 nm reference).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaModel {
     /// Area of one FP16 systolic MAC unit.
     pub mac_mm2: f64,
@@ -99,7 +98,7 @@ impl Default for AreaModel {
 /// let breakdown = AreaModel::n7().die_area(&DeviceConfig::a100_like());
 /// assert!(breakdown.total_mm2() > breakdown.sram_mm2());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaBreakdown {
     /// Systolic-array MAC area.
     pub systolic: f64,

@@ -10,11 +10,10 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use serde::{Deserialize, Serialize};
 
 /// A product bin: a die qualifies when at least `min_good_cores` of the
 /// physical cores are defect-free.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bin {
     /// Bin name (e.g. `"A100 (108/128 cores)"`).
     pub name: String,
@@ -57,7 +56,7 @@ fn poisson_pmf(k: u32, lambda: f64) -> f64 {
 /// assert!(model.bin_yield(&cost, 108) > model.bin_yield(&cost, 128));
 /// # Ok::<(), acs_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinningModel {
     /// Physical cores on the die.
     pub physical_cores: u32,

@@ -16,10 +16,9 @@ use crate::area::AreaModel;
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::error::HwError;
-use serde::{Deserialize, Serialize};
 
 /// Packaging cost/overhead coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackagingModel {
     /// Die-to-die PHY area per chiplet per neighbour link, mm².
     pub d2d_phy_mm2: f64,
@@ -67,11 +66,14 @@ impl Default for PackagingModel {
 /// assert!(pkg.manufacturable(&AreaModel::n7()));
 /// # Ok::<(), acs_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipletPackage {
     logical: DeviceConfig,
     chiplets: u32,
     packaging: PackagingModel,
+    /// Per-die configuration, computed (and validated) at construction so
+    /// later accessors cannot fail.
+    chiplet: DeviceConfig,
 }
 
 impl ChipletPackage {
@@ -105,7 +107,23 @@ impl ChipletPackage {
                 ),
             });
         }
-        Ok(ChipletPackage { logical, chiplets, packaging })
+        let n = chiplets;
+        let share = |v: u32| (v / n).max(1);
+        let chiplet = logical
+            .to_builder()
+            .name(format!("{}/{}x", logical.name(), n))
+            .core_count(logical.core_count().div_ceil(n))
+            .l2_mib(share(logical.l2_mib()))
+            .hbm(crate::HbmConfig::new(
+                logical.hbm().capacity_gib / f64::from(n),
+                logical.hbm().bandwidth_gb_s / f64::from(n),
+            ))
+            .phy(crate::DevicePhyConfig::new(
+                (logical.phy().count / n).max(1),
+                logical.phy().gb_s_per_phy,
+            ))
+            .build()?;
+        Ok(ChipletPackage { logical, chiplets, packaging, chiplet })
     }
 
     /// The logical (aggregate) device this package implements.
@@ -121,26 +139,11 @@ impl ChipletPackage {
     }
 
     /// One chiplet's physical configuration (cores rounded up to keep the
-    /// dies identical; L2 and HBM/device PHYs split evenly).
+    /// dies identical; L2 and HBM/device PHYs split evenly). Computed and
+    /// validated at [`ChipletPackage::new`] time.
     #[must_use]
     pub fn chiplet_config(&self) -> DeviceConfig {
-        let n = self.chiplets;
-        let share = |v: u32| (v / n).max(1);
-        self.logical
-            .to_builder()
-            .name(format!("{}/{}x", self.logical.name(), n))
-            .core_count(self.logical.core_count().div_ceil(n))
-            .l2_mib(share(self.logical.l2_mib()))
-            .hbm(crate::HbmConfig::new(
-                self.logical.hbm().capacity_gib / f64::from(n),
-                self.logical.hbm().bandwidth_gb_s / f64::from(n),
-            ))
-            .phy(crate::DevicePhyConfig::new(
-                (self.logical.phy().count / n).max(1),
-                self.logical.phy().gb_s_per_phy,
-            ))
-            .build()
-            .expect("chiplet share of a valid device is valid")
+        self.chiplet.clone()
     }
 
     /// Per-chiplet die area in mm²: the share of the logical device plus

@@ -10,7 +10,6 @@
 use crate::error::HwError;
 use crate::process::ProcessNode;
 use crate::tpp::{PerfDensity, Tpp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Numeric format the systolic arrays operate on.
@@ -18,7 +17,7 @@ use std::fmt;
 /// TPP is calculated from the max `TOPS × bitwidth` product over supported
 /// formats; the paper (and this reproduction) evaluates FP16 tensor math,
 /// matching the NVIDIA A100's peak-TPP format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DataType {
     /// 8-bit integer / float formats.
@@ -45,6 +44,24 @@ impl DataType {
     pub fn bytes(self) -> u32 {
         self.bit_width() / 8
     }
+
+    /// Parse the lowercase name produced by `Display` (`"int8"`, `"fp16"`,
+    /// `"fp32"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for any other string.
+    pub fn parse(s: &str) -> Result<Self, HwError> {
+        match s {
+            "int8" => Ok(DataType::Int8),
+            "fp16" => Ok(DataType::Fp16),
+            "fp32" => Ok(DataType::Fp32),
+            other => Err(HwError::InvalidConfig {
+                field: "datatype",
+                reason: format!("unknown datatype {other:?}"),
+            }),
+        }
+    }
 }
 
 impl fmt::Display for DataType {
@@ -61,7 +78,7 @@ impl fmt::Display for DataType {
 ///
 /// Each array retires `x · y` multiply-accumulates per cycle; the ACR
 /// counts a fused multiply-accumulate as two operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystolicDims {
     /// Rows (the dimension weights stream across).
     pub x: u32,
@@ -90,7 +107,7 @@ impl fmt::Display for SystolicDims {
 }
 
 /// Off-chip HBM memory attached to the device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HbmConfig {
     /// Total capacity in GiB.
     pub capacity_gib: f64,
@@ -116,7 +133,7 @@ impl HbmConfig {
 ///
 /// `count × gb_s_per_phy` yields the *aggregate bidirectional* device
 /// bandwidth, the quantity the October 2022 rule thresholds at 600 GB/s.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DevicePhyConfig {
     /// Number of device-to-device PHY blocks.
     pub count: u32,
@@ -165,7 +182,7 @@ impl DevicePhyConfig {
 /// assert!(device.tpp().0 < 4800.0);
 /// # Ok::<(), acs_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     name: String,
     frequency_ghz: f64,
@@ -194,10 +211,12 @@ impl DeviceConfig {
     /// 40 MiB L2, 2 TB/s HBM, 600 GB/s NVLink-class device bandwidth.
     #[must_use]
     pub fn a100_like() -> Self {
-        DeviceConfigBuilder::new()
-            .name("modeled-A100")
-            .build()
-            .expect("A100 preset is valid")
+        // The builder's defaults ARE the A100 preset and are valid by
+        // construction, so the preset is taken directly rather than routed
+        // through `build()` — library code must not be able to panic here.
+        let mut b = DeviceConfigBuilder::new();
+        b.name("modeled-A100");
+        b.inner
     }
 
     /// Device name (for reports and CSV output).

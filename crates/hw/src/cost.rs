@@ -4,10 +4,9 @@
 //! ≈ $134 in raw silicon and ≈ $350M per million *good* dies; a 523 mm² die
 //! costs ≈ $88 and ≈ $177M.
 
-use serde::{Deserialize, Serialize};
 
 /// Defect-limited yield model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum YieldModel {
     /// Seeds model: `Y = exp(-A · D0)`. The reproduction's default.
@@ -56,7 +55,7 @@ impl YieldModel {
 /// let cost = m.die_cost_usd(523.0);
 /// assert!((cost - 88.0).abs() < 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Wafer diameter in mm (300 for all modern logic).
     pub wafer_diameter_mm: f64,

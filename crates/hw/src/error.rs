@@ -47,6 +47,17 @@ impl fmt::Display for HwError {
 
 impl Error for HwError {}
 
+impl From<HwError> for acs_errors::AcsError {
+    fn from(e: HwError) -> Self {
+        match e {
+            HwError::InvalidConfig { field, reason } => {
+                acs_errors::AcsError::InvalidConfig { field: field.to_owned(), reason }
+            }
+            HwError::Infeasible { reason } => acs_errors::AcsError::Infeasible { reason },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +77,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<HwError>();
+    }
+
+    #[test]
+    fn converts_into_workspace_taxonomy() {
+        let e: acs_errors::AcsError = HwError::InvalidConfig {
+            field: "core_count",
+            reason: "must be nonzero".to_owned(),
+        }
+        .into();
+        assert_eq!(e.kind(), "invalid_config");
+        let e: acs_errors::AcsError =
+            HwError::Infeasible { reason: "no fit".to_owned() }.into();
+        assert_eq!(e.kind(), "infeasible");
     }
 }

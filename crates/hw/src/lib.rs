@@ -40,6 +40,7 @@ pub mod cost;
 pub mod error;
 pub mod power;
 pub mod process;
+pub mod serial;
 pub mod system;
 pub mod tpp;
 

@@ -9,7 +9,6 @@
 
 use crate::config::DeviceConfig;
 use crate::process::ProcessNode;
-use serde::{Deserialize, Serialize};
 
 /// Energy and leakage coefficients (7 nm reference).
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let tdp = model.tdp_w(&a100);
 /// assert!(tdp > 250.0 && tdp < 550.0, "SXM-class TDP, got {tdp} W");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     /// Dynamic energy per FP16 MAC, picojoules.
     pub mac_pj: f64,

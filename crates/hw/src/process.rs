@@ -6,7 +6,6 @@
 //! captures that distinction; [`ProcessNode::density_scale`] provides a
 //! coarse logic-density factor relative to 7 nm used by the area model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named manufacturing process node.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!(ProcessNode::N7.is_non_planar());
 /// assert!(!ProcessNode::N28.is_non_planar());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ProcessNode {
     /// TSMC 4/5 nm-class FinFET (e.g. AD102, H100's N4).
@@ -53,6 +52,25 @@ impl ProcessNode {
             ProcessNode::N12 => 0.55,
             ProcessNode::N16 => 0.45,
             ProcessNode::N28 => 0.18,
+        }
+    }
+
+    /// Parse the display form (`"7nm"`, `"28nm"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HwError::InvalidConfig`] for unknown nodes.
+    pub fn parse(s: &str) -> Result<Self, crate::HwError> {
+        match s {
+            "5nm" => Ok(ProcessNode::N5),
+            "7nm" => Ok(ProcessNode::N7),
+            "12nm" => Ok(ProcessNode::N12),
+            "16nm" => Ok(ProcessNode::N16),
+            "28nm" => Ok(ProcessNode::N28),
+            other => Err(crate::HwError::InvalidConfig {
+                field: "process",
+                reason: format!("unknown process node {other:?}"),
+            }),
         }
     }
 

@@ -1,0 +1,175 @@
+//! JSON round-trip for [`DeviceConfig`].
+//!
+//! The sweep checkpoint format stores design points as JSONL, and the
+//! fault-injection harness replays configurations from disk; both need a
+//! faithful textual form of a device. The offline build has no `serde`,
+//! so this module emits and parses [`acs_errors::json::Value`] trees
+//! directly. Deserialisation always re-validates through
+//! [`DeviceConfigBuilder::build`], so a hand-edited or corrupted document
+//! cannot smuggle an invalid device into the pipeline.
+
+use crate::config::{DataType, DeviceConfig, DevicePhyConfig, HbmConfig, SystolicDims};
+use crate::process::ProcessNode;
+use acs_errors::json::{self, object, Value};
+use acs_errors::AcsError;
+
+fn u32_member(v: &Value, key: &str) -> Result<u32, AcsError> {
+    let n = v.require_u64(key)?;
+    u32::try_from(n)
+        .map_err(|_| AcsError::Json { reason: format!("member {key:?} overflows u32: {n}") })
+}
+
+impl DeviceConfig {
+    /// Serialise to a JSON value. Infallible: a constructed `DeviceConfig`
+    /// has passed validation, so every numeric field is finite.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        object(vec![
+            ("name", Value::String(self.name().to_owned())),
+            ("frequency_ghz", Value::Number(self.frequency_ghz())),
+            ("core_count", Value::Number(f64::from(self.core_count()))),
+            ("lanes_per_core", Value::Number(f64::from(self.lanes_per_core()))),
+            (
+                "systolic",
+                object(vec![
+                    ("x", Value::Number(f64::from(self.systolic().x))),
+                    ("y", Value::Number(f64::from(self.systolic().y))),
+                ]),
+            ),
+            ("vector_width", Value::Number(f64::from(self.vector_width()))),
+            ("l1_kib_per_core", Value::Number(f64::from(self.l1_kib_per_core()))),
+            ("l2_mib", Value::Number(f64::from(self.l2_mib()))),
+            (
+                "hbm",
+                object(vec![
+                    ("capacity_gib", Value::Number(self.hbm().capacity_gib)),
+                    ("bandwidth_gb_s", Value::Number(self.hbm().bandwidth_gb_s)),
+                ]),
+            ),
+            (
+                "phy",
+                object(vec![
+                    ("count", Value::Number(f64::from(self.phy().count))),
+                    ("gb_s_per_phy", Value::Number(self.phy().gb_s_per_phy)),
+                ]),
+            ),
+            ("process", Value::String(self.process().to_string())),
+            ("datatype", Value::String(self.datatype().to_string())),
+        ])
+    }
+
+    /// Serialise to a compact JSON string (byte-deterministic).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Deserialise from a JSON value, re-validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::Json`] for shape mismatches (missing members,
+    /// wrong types, u32 overflow) and [`AcsError::InvalidConfig`] when the
+    /// document is well-formed but describes an invalid device.
+    pub fn from_json_value(v: &Value) -> Result<Self, AcsError> {
+        let systolic = v.require("systolic")?;
+        let hbm = v.require("hbm")?;
+        let phy = v.require("phy")?;
+        let mut b = DeviceConfig::builder();
+        b.name(v.require_str("name")?)
+            .frequency_ghz(v.require_f64("frequency_ghz")?)
+            .core_count(u32_member(v, "core_count")?)
+            .lanes_per_core(u32_member(v, "lanes_per_core")?)
+            .systolic(SystolicDims { x: u32_member(systolic, "x")?, y: u32_member(systolic, "y")? })
+            .vector_width(u32_member(v, "vector_width")?)
+            .l1_kib_per_core(u32_member(v, "l1_kib_per_core")?)
+            .l2_mib(u32_member(v, "l2_mib")?)
+            .hbm(HbmConfig::new(
+                hbm.require_f64("capacity_gib")?,
+                hbm.require_f64("bandwidth_gb_s")?,
+            ))
+            .phy(DevicePhyConfig::new(
+                u32_member(phy, "count")?,
+                phy.require_f64("gb_s_per_phy")?,
+            ))
+            .process(ProcessNode::parse(v.require_str("process")?)?)
+            .datatype(DataType::parse(v.require_str("datatype")?)?);
+        Ok(b.build()?)
+    }
+
+    /// Deserialise from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceConfig::from_json_value`], plus [`AcsError::Json`] for
+    /// malformed documents.
+    pub fn from_json_str(s: &str) -> Result<Self, AcsError> {
+        Self::from_json_value(&json::parse(s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_round_trips_exactly() {
+        let a = DeviceConfig::a100_like();
+        let back = DeviceConfig::from_json_str(&a.to_json_string()).unwrap();
+        assert_eq!(a, back);
+        // Emission is byte-deterministic.
+        assert_eq!(a.to_json_string(), back.to_json_string());
+    }
+
+    #[test]
+    fn fractional_bandwidths_round_trip_bit_for_bit() {
+        let mut b = DeviceConfig::builder();
+        b.name("frac").hbm_bandwidth_tb_s(2.039).frequency_ghz(1.0 / 3.0);
+        let d = b.build().unwrap();
+        let back = DeviceConfig::from_json_str(&d.to_json_string()).unwrap();
+        assert_eq!(d.hbm().bandwidth_gb_s.to_bits(), back.hbm().bandwidth_gb_s.to_bits());
+        assert_eq!(d.frequency_ghz().to_bits(), back.frequency_ghz().to_bits());
+    }
+
+    #[test]
+    fn missing_member_is_a_json_error() {
+        let mut v = DeviceConfig::a100_like().to_json_value();
+        if let Value::Object(members) = &mut v {
+            members.retain(|(k, _)| k != "core_count");
+        }
+        let e = DeviceConfig::from_json_value(&v).unwrap_err();
+        assert_eq!(e.kind(), "json");
+        assert!(e.to_string().contains("core_count"));
+    }
+
+    #[test]
+    fn invalid_field_value_is_rejected_by_validation() {
+        let s = DeviceConfig::a100_like().to_json_string().replace("\"core_count\":108", "\"core_count\":0");
+        let e = DeviceConfig::from_json_str(&s).unwrap_err();
+        assert_eq!(e.kind(), "invalid_config");
+    }
+
+    #[test]
+    fn unknown_process_and_datatype_are_rejected() {
+        let base = DeviceConfig::a100_like().to_json_string();
+        let e = DeviceConfig::from_json_str(&base.replace("\"7nm\"", "\"3nm\"")).unwrap_err();
+        assert_eq!(e.kind(), "invalid_config");
+        let e = DeviceConfig::from_json_str(&base.replace("\"fp16\"", "\"fp8\"")).unwrap_err();
+        assert_eq!(e.kind(), "invalid_config");
+    }
+
+    #[test]
+    fn u32_overflow_is_a_json_error() {
+        let s = DeviceConfig::a100_like()
+            .to_json_string()
+            .replace("\"core_count\":108", "\"core_count\":5000000000");
+        let e = DeviceConfig::from_json_str(&s).unwrap_err();
+        assert_eq!(e.kind(), "json");
+    }
+
+    #[test]
+    fn malformed_document_is_a_json_error() {
+        assert_eq!(DeviceConfig::from_json_str("{not json").unwrap_err().kind(), "json");
+        assert_eq!(DeviceConfig::from_json_str("[1,2]").unwrap_err().kind(), "json");
+    }
+}

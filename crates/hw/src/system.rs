@@ -6,10 +6,9 @@
 
 use crate::config::DeviceConfig;
 use crate::error::HwError;
-use serde::{Deserialize, Serialize};
 
 /// Interconnect topology between devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum Topology {
     /// Ring: each device talks to two neighbours; all-reduce uses the
@@ -33,7 +32,7 @@ pub enum Topology {
 /// assert!(node.aggregate_tpp().0 > 4.0 * 4900.0);
 /// # Ok::<(), acs_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     device: DeviceConfig,
     device_count: u32,
@@ -63,6 +62,14 @@ impl SystemConfig {
     /// Never fails for a valid device; the `Result` mirrors [`Self::new`].
     pub fn quad(device: DeviceConfig) -> Result<Self, HwError> {
         Self::new(device, 4)
+    }
+
+    /// A single-device "node" — infallible, since a device count of one is
+    /// always valid. Used by the pipeline-parallel mapping, which prices
+    /// layers on one device at a time.
+    #[must_use]
+    pub fn single(device: DeviceConfig) -> Self {
+        SystemConfig { device, device_count: 1, topology: Topology::Ring }
     }
 
     /// The per-device configuration.

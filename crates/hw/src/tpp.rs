@@ -12,14 +12,13 @@
 
 use crate::config::{DataType, SystolicDims};
 use crate::error::HwError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Total Processing Performance (`TOPS × bitwidth`).
 ///
 /// A thin newtype so TPP values cannot be confused with TOPS, bandwidths,
 /// or performance densities in policy code.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Tpp(pub f64);
 
 impl Tpp {
@@ -44,7 +43,7 @@ impl fmt::Display for Tpp {
 
 /// Performance density: TPP divided by applicable (non-planar) die area
 /// in mm² (October 2023 rule).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct PerfDensity(pub f64);
 
 impl fmt::Display for PerfDensity {

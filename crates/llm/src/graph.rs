@@ -8,7 +8,6 @@
 use crate::model::{Activation, ModelConfig};
 use crate::ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
 use crate::workload::{InferencePhase, WorkloadConfig};
-use serde::Serialize;
 
 /// The per-device operator sequence of one Transformer layer.
 ///
@@ -26,7 +25,7 @@ use serde::Serialize;
 /// // A 4-way tensor-parallel layer all-reduces twice.
 /// assert_eq!(g.allreduce_count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerGraph {
     ops: Vec<Operator>,
     phase: InferencePhase,

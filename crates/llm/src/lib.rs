@@ -28,6 +28,7 @@
 pub mod graph;
 pub mod model;
 pub mod ops;
+pub mod rng;
 pub mod traces;
 pub mod workload;
 

@@ -1,10 +1,9 @@
 //! Decoder-only Transformer model configurations (paper Table 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Feed-forward activation function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Activation {
     /// GELU, used by GPT-3: one up-projection, one down-projection.
@@ -43,7 +42,7 @@ impl fmt::Display for Activation {
 /// property that makes MoE decoding punishingly memory-bound at small
 /// batch sizes, and an instructive extension for sanction analysis
 /// (TPP-style compute ceilings say nothing about expert capacity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MoeConfig {
     /// Experts per layer.
     pub num_experts: u32,
@@ -72,7 +71,7 @@ impl MoeConfig {
 /// assert_eq!(llama.num_kv_heads(), 8, "Llama 3 uses grouped-query attention");
 /// assert_eq!(llama.head_dim(), 128);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     name: String,
     num_layers: u32,

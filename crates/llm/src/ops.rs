@@ -4,13 +4,12 @@
 //! (mapped onto the systolic arrays), low-arithmetic-intensity vector
 //! operators (mapped onto the vector units), and inter-device collectives.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What the matmul's stationary (`B`) operand is. This determines reuse:
 /// weight matrices are shared across the whole batch, while attention
 /// operands (KV cache) are unique per request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatmulKind {
     /// `B` is a weight matrix resident in HBM, shared by all batch items.
     Weight,
@@ -21,7 +20,7 @@ pub enum MatmulKind {
 
 /// One (possibly batched) dense matmul: `count` independent instances of
 /// `[m × k] · [k × n]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MatmulOp {
     /// Human-readable operator name (e.g. `"qkv_proj"`).
     pub name: &'static str,
@@ -84,7 +83,7 @@ impl MatmulOp {
 
 /// Species of vector (non-matmul) operator, with per-element FLOP weights
 /// reflecting their transcendental content.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum VectorKind {
     /// Row softmax over attention scores.
@@ -129,7 +128,7 @@ impl VectorKind {
 }
 
 /// One vector operator over `elements` scalars.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorOp {
     /// Human-readable operator name.
     pub name: &'static str,
@@ -154,7 +153,7 @@ impl VectorOp {
 }
 
 /// An all-reduce over the tensor-parallel group.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AllReduceOp {
     /// Human-readable operator name.
     pub name: &'static str,
@@ -163,7 +162,7 @@ pub struct AllReduceOp {
 }
 
 /// A single operator in a layer's execution.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Operator {
     /// Dense matmul on the systolic arrays.

@@ -5,12 +5,11 @@
 //! module generates the standard synthetic substitute: Poisson arrivals
 //! with log-normal prompt/output lengths, deterministic under a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SplitMix64;
+use acs_errors::AcsError;
 
 /// One inference request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Arrival time in seconds from trace start.
     pub arrival_s: f64,
@@ -22,7 +21,7 @@ pub struct Request {
 
 /// Length distribution: log-normal with a median and a shape parameter,
 /// clamped to `[min, max]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LengthDistribution {
     /// Median length in tokens.
     pub median: u64,
@@ -47,13 +46,13 @@ impl LengthDistribution {
         LengthDistribution { median: 128, sigma: 0.7, min: 4, max: 1024 }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> u64 {
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
         if self.sigma <= 0.0 {
             return self.median.clamp(self.min, self.max);
         }
         // Box–Muller standard normal.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
+        let u1: f64 = rng.next_open_f64();
+        let u2: f64 = rng.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let value = (self.median as f64) * (self.sigma * z).exp();
         (value.round() as u64).clamp(self.min, self.max)
@@ -61,7 +60,7 @@ impl LengthDistribution {
 }
 
 /// A time-ordered sequence of requests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestTrace {
     requests: Vec<Request>,
 }
@@ -77,25 +76,36 @@ impl RequestTrace {
     /// Synthetic trace: Poisson arrivals at `rate_rps` for `duration_s`,
     /// lengths drawn from the given distributions. Deterministic per seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rate_rps` or `duration_s` is not positive and finite.
-    #[must_use]
+    /// Returns [`AcsError::InvalidConfig`] if `rate_rps` or `duration_s`
+    /// is not positive and finite (a NaN rate must not silently produce
+    /// an empty trace).
     pub fn synthetic(
         rate_rps: f64,
         duration_s: f64,
         prompts: LengthDistribution,
         outputs: LengthDistribution,
         seed: u64,
-    ) -> Self {
-        assert!(rate_rps > 0.0 && rate_rps.is_finite(), "rate must be positive");
-        assert!(duration_s > 0.0 && duration_s.is_finite(), "duration must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+    ) -> Result<Self, AcsError> {
+        if !(rate_rps > 0.0 && rate_rps.is_finite()) {
+            return Err(AcsError::invalid_config(
+                "rate_rps",
+                format!("must be positive and finite, got {rate_rps}"),
+            ));
+        }
+        if !(duration_s > 0.0 && duration_s.is_finite()) {
+            return Err(AcsError::invalid_config(
+                "duration_s",
+                format!("must be positive and finite, got {duration_s}"),
+            ));
+        }
+        let mut rng = SplitMix64::new(seed);
         let mut requests = Vec::new();
         let mut t = 0.0;
         loop {
             // Exponential inter-arrival gap.
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u: f64 = rng.next_open_f64();
             t -= u.ln() / rate_rps;
             if t >= duration_s {
                 break;
@@ -106,7 +116,7 @@ impl RequestTrace {
                 output_len: outputs.sample(&mut rng),
             });
         }
-        RequestTrace { requests }
+        Ok(RequestTrace { requests })
     }
 
     /// The requests in arrival order.
@@ -152,6 +162,7 @@ mod tests {
             LengthDistribution::chat_outputs(),
             seed,
         )
+        .unwrap()
     }
 
     #[test]
@@ -189,7 +200,7 @@ mod tests {
     #[test]
     fn deterministic_distribution_is_constant() {
         let d = LengthDistribution { median: 100, sigma: 0.0, min: 1, max: 1000 };
-        let t = RequestTrace::synthetic(1.0, 10.0, d, d, 3);
+        let t = RequestTrace::synthetic(1.0, 10.0, d, d, 3).unwrap();
         assert!(t.requests().iter().all(|r| r.input_len == 100 && r.output_len == 100));
     }
 
@@ -205,9 +216,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rate must be positive")]
-    fn zero_rate_is_rejected() {
+    fn invalid_rates_and_durations_are_typed_errors() {
         let d = LengthDistribution::chat_prompts();
-        let _ = RequestTrace::synthetic(0.0, 10.0, d, d, 0);
+        for bad_rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = RequestTrace::synthetic(bad_rate, 10.0, d, d, 0).unwrap_err();
+            assert!(matches!(err, AcsError::InvalidConfig { .. }), "{bad_rate}");
+        }
+        for bad_dur in [0.0, -5.0, f64::NAN] {
+            let err = RequestTrace::synthetic(1.0, bad_dur, d, d, 0).unwrap_err();
+            assert!(matches!(err, AcsError::InvalidConfig { .. }), "{bad_dur}");
+        }
     }
 }

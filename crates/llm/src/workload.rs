@@ -1,6 +1,5 @@
 //! Inference request shapes and phases.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two phases of autoregressive LLM inference.
@@ -11,7 +10,7 @@ use std::fmt;
 /// * **Decode** generates output tokens one at a time; its per-token
 ///   latency is the time-between-tokens (TBT). `context_len` is the KV
 ///   cache length the step attends over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InferencePhase {
     /// Parallel prompt processing (compute-bound).
     Prefill,
@@ -41,7 +40,7 @@ impl fmt::Display for InferencePhase {
 /// let w = WorkloadConfig::paper_default();
 /// assert_eq!((w.batch(), w.input_len(), w.output_len()), (32, 2048, 1024));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadConfig {
     batch: u64,
     input_len: u64,

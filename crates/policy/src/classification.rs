@@ -1,6 +1,5 @@
 //! Classification outcomes and market segments.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Export-control outcome for a device under an ACR generation.
@@ -9,7 +8,7 @@ use std::fmt;
 /// LicenseRequired`, so the strictest outcome of several rules is simply
 /// the `max`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum Classification {
     /// The rule does not apply; the device exports freely.
@@ -41,7 +40,7 @@ impl fmt::Display for Classification {
 
 /// How a device is designed/marketed — the distinction the October 2023
 /// rule (and §5.2's critique of it) hinges on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MarketSegment {
     /// Designed or marketed for data centers.
     DataCenter,

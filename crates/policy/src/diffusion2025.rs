@@ -7,10 +7,9 @@
 //! draw it down device by device.
 
 use crate::metrics::DeviceMetrics;
-use serde::{Deserialize, Serialize};
 
 /// A destination's cumulative TPP allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiffusionQuota {
     /// Total TPP that may be shipped.
     pub tpp_allocation: f64,
@@ -35,7 +34,7 @@ impl DiffusionQuota {
 }
 
 /// Running export ledger against a quota.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExportLedger {
     quota: DiffusionQuota,
     consumed_tpp: f64,

@@ -6,11 +6,10 @@
 //! exception *HBM*. The rule does not apply to HBM already installed in
 //! computing devices before export.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One commodity HBM package.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HbmPackage {
     /// Package name.
     pub name: String,
@@ -41,7 +40,7 @@ impl HbmPackage {
 }
 
 /// Outcome of the December 2024 HBM rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HbmClassification {
     /// Below the 2 GB/s/mm² control threshold.
     NotControlled,
@@ -63,7 +62,7 @@ impl fmt::Display for HbmClassification {
 }
 
 /// The December 2024 HBM rule thresholds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HbmRule2024 {
     /// Control threshold in GB/s/mm² (2.0).
     pub control_density: f64,

@@ -15,7 +15,6 @@
 //! These are provided for comparison studies; they are *simplified*
 //! reconstructions of the regulatory formulas, not compliance tools.
 
-use serde::{Deserialize, Serialize};
 
 /// Word-length adjustment used by the simplified CTP model:
 /// `0.3 + 0.7 · bits / 64`, so 64-bit ops weigh 1.0 and 8-bit ops 0.3875.
@@ -32,7 +31,7 @@ pub fn ctp_mtops(tera_ops_per_s: f64, bits: u32) -> f64 {
 }
 
 /// Processor category for APP weighting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppProcessorKind {
     /// Vector processors (weighting 0.9).
     Vector,

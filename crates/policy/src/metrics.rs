@@ -2,7 +2,6 @@
 
 use crate::classification::MarketSegment;
 use acs_hw::{AreaModel, DeviceConfig, PerfDensity, Tpp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Export-control-relevant metrics of one device.
@@ -10,7 +9,7 @@ use std::fmt;
 /// Both real products (from `acs-devices`) and synthetic DSE designs (from
 /// `acs-dse`) are classified through this type, so policy code never cares
 /// where a device came from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceMetrics {
     name: String,
     tpp: Tpp,

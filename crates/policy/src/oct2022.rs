@@ -7,7 +7,6 @@
 
 use crate::classification::Classification;
 use crate::metrics::DeviceMetrics;
-use serde::{Deserialize, Serialize};
 
 /// The October 2022 rule, parameterised so "what-if" thresholds can be
 /// explored (§5's policy design studies).
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // The bandwidth cut alone escapes the 2022 rule.
 /// assert_eq!(rule.classify(&h800), Classification::NotApplicable);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Acr2022 {
     /// TPP threshold (inclusive). Regulation value: 4800.
     pub tpp_threshold: f64,

@@ -13,7 +13,6 @@
 
 use crate::classification::{Classification, MarketSegment};
 use crate::metrics::DeviceMetrics;
-use serde::{Deserialize, Serialize};
 
 /// The October 2023 rule, parameterised for what-if studies.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 ///     Classification::NotApplicable
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Acr2023 {
     /// Unconditional licence TPP threshold (4800).
     pub tpp_license: f64,

@@ -11,11 +11,10 @@ use crate::classification::Classification;
 use crate::metrics::DeviceMetrics;
 use crate::oct2022::Acr2022;
 use crate::oct2023::Acr2023;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which device-level rule generation applies at a point in time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleGeneration {
     /// Before the October 2022 Advanced Computing Rule.
     PreAcr,

@@ -26,7 +26,7 @@ pub fn run() -> Result<(), Box<dyn Error>> {
         LengthDistribution::chat_prompts(),
         LengthDistribution::chat_outputs(),
         11,
-    );
+    )?;
 
     // All three designs sit under the October 2022 ceiling.
     let a100 = Simulator::new(SystemConfig::quad(DeviceConfig::a100_like())?);

@@ -27,7 +27,7 @@ pub fn run() -> Result<(), Box<dyn Error>> {
             let tops16 = r.tpp / 16.0;
             let ctp = ctp_mtops(tops16, 16);
             let app = app_wt(tops16 / 16.0, AppProcessorKind::Vector);
-            (r.name.to_owned(), ctp, app, r.tpp)
+            (r.name.to_string(), ctp, app, r.tpp)
         })
         .collect();
 

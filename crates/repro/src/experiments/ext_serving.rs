@@ -43,7 +43,7 @@ pub fn run() -> Result<(), Box<dyn Error>> {
             LengthDistribution::chat_prompts(),
             LengthDistribution::chat_outputs(),
             42,
-        );
+        )?;
         for (name, sim) in [("modeled-A100", &a100), ("compliant-3.2TBs", &compliant)] {
             let m = simulate_serving(sim, &model, &trace, ServingConfig::default());
             println!(

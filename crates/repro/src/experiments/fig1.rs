@@ -22,7 +22,7 @@ pub fn run_1a() -> Result<(), Box<dyn Error>> {
         let class = rule.classify(&r.to_metrics());
         println!("{:<14} {:>8.0} {:>12.1} {:>18}", r.name, r.tpp, r.device_bw_gb_s, class.to_string());
         rows.push(vec![
-            r.name.to_owned(),
+            r.name.to_string(),
             format!("{:.0}", r.tpp),
             format!("{:.1}", r.device_bw_gb_s),
             class.to_string(),
@@ -47,7 +47,7 @@ pub fn run_1b() -> Result<(), Box<dyn Error>> {
         let class = rule.classify(&m);
         println!("{:<14} {:>8.0} {:>8.2} {:>18}", r.name, r.tpp, pd, class.to_string());
         rows.push(vec![
-            r.name.to_owned(),
+            r.name.to_string(),
             format!("{:.0}", r.tpp),
             format!("{:.2}", pd),
             class.to_string(),
@@ -74,7 +74,7 @@ pub fn run_fig2() -> Result<(), Box<dyn Error>> {
             r.name, r.tpp, r.die_area_mm2, class.to_string()
         );
         rows.push(vec![
-            r.name.to_owned(),
+            r.name.to_string(),
             format!("{:.0}", r.tpp),
             format!("{:.1}", r.die_area_mm2),
             class.to_string(),

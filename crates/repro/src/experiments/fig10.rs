@@ -41,11 +41,11 @@ pub fn run() -> Result<(), Box<dyn Error>> {
         .iter()
         .map(|r| {
             vec![
-                r.name.to_owned(),
+                r.name.to_string(),
                 r.market.to_string(),
                 format!("{:.0}", r.mem_gib),
                 format!("{:.0}", r.mem_bw_gb_s),
-                category(r.name).to_owned(),
+                category(&r.name).to_owned(),
             ]
         })
         .collect();

@@ -38,11 +38,11 @@ pub fn run() -> Result<(), Box<dyn Error>> {
         .iter()
         .map(|r| {
             vec![
-                r.name.to_owned(),
+                r.name.to_string(),
                 r.market.to_string(),
                 format!("{:.0}", r.tpp),
                 format!("{:.2}", r.performance_density().unwrap_or(0.0)),
-                category(r.name).to_owned(),
+                category(&r.name).to_owned(),
             ]
         })
         .collect();

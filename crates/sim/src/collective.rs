@@ -7,10 +7,9 @@
 
 use crate::params::SimParams;
 use acs_hw::{SystemConfig, Topology};
-use serde::Serialize;
 
 /// Cost of one all-reduce across the tensor-parallel group.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CollectiveCost {
     /// Wire time (s) limited by per-direction device bandwidth.
     pub wire_s: f64,

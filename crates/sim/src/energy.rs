@@ -8,10 +8,9 @@
 use crate::latency::Simulator;
 use acs_hw::PowerModel;
 use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
-use serde::Serialize;
 
 /// Energy of one simulated layer, per device and for the node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// One device's energy for the layer, joules.
     pub per_device_j: f64,

@@ -4,13 +4,13 @@ use crate::collective::allreduce_cost;
 use crate::matmul::matmul_cost;
 use crate::params::SimParams;
 use crate::vector::vector_cost;
+use acs_errors::{guard, AcsError};
 use acs_hw::SystemConfig;
 use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
-use serde::Serialize;
 use std::fmt;
 
 /// Which resource an operator's latency is limited by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Bound {
     /// Systolic arrays / vector units.
@@ -26,7 +26,7 @@ pub enum Bound {
 }
 
 /// Priced cost of one operator.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OpCost {
     /// Operator name (from the layer graph).
     pub name: &'static str,
@@ -66,7 +66,7 @@ impl OpCost {
 }
 
 /// Latency of one Transformer layer, with a per-operator breakdown.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LayerLatency {
     ops: Vec<OpCost>,
     phase: InferencePhase,
@@ -291,6 +291,69 @@ impl Simulator {
     pub fn full_model_tbt_s(&self, model: &ModelConfig, workload: &WorkloadConfig) -> f64 {
         self.tbt_s(model, workload) * f64::from(model.num_layers())
     }
+
+    /// Price one layer and enforce the simulator's numeric contract: every
+    /// per-operator time and byte count must be finite and non-negative.
+    /// This is the variant the DSE pipeline calls — a NaN or infinity
+    /// produced anywhere inside the cost models surfaces here as a typed
+    /// [`AcsError::NonFinite`] instead of propagating silently into sweep
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::NonFinite`] naming the offending operator and
+    /// metric.
+    pub fn try_simulate_layer(
+        &self,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+    ) -> Result<LayerLatency, AcsError> {
+        let lat = self.simulate_layer(model, workload, phase);
+        for op in lat.ops() {
+            let ctx = format!("simulator.{}", op.name);
+            guard::ensure_non_negative(&ctx, "time_s", op.time_s)?;
+            guard::ensure_non_negative(&ctx, "compute_s", op.compute_s)?;
+            guard::ensure_non_negative(&ctx, "dram_s", op.dram_s)?;
+            guard::ensure_non_negative(&ctx, "l2_s", op.l2_s)?;
+            guard::ensure_non_negative(&ctx, "comm_s", op.comm_s)?;
+            guard::ensure_non_negative(&ctx, "dram_bytes", op.dram_bytes)?;
+        }
+        guard::ensure_finite("simulator.layer", "total_s", lat.total_s())?;
+        Ok(lat)
+    }
+
+    /// Guarded [`Simulator::ttft_s`]: finite and strictly positive, or a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::NonFinite`] when the latency is NaN, infinite,
+    /// or non-positive.
+    pub fn try_ttft_s(
+        &self,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+    ) -> Result<f64, AcsError> {
+        let lat = self.try_simulate_layer(model, workload, InferencePhase::Prefill)?;
+        guard::ensure_positive("simulator", "ttft_s", lat.total_s())
+    }
+
+    /// Guarded [`Simulator::tbt_s`]: finite and strictly positive, or a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::NonFinite`] when the latency is NaN, infinite,
+    /// or non-positive.
+    pub fn try_tbt_s(
+        &self,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+    ) -> Result<f64, AcsError> {
+        let lat = self.try_simulate_layer(model, workload, workload.decode_phase())?;
+        guard::ensure_positive("simulator", "tbt_s", lat.total_s())
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +466,19 @@ mod tests {
         let s = lat.to_string();
         assert!(s.contains("qkv_proj"));
         assert!(s.contains("allreduce_ffn"));
+    }
+
+    #[test]
+    fn try_variants_pass_healthy_configs_and_agree_with_unchecked() {
+        let sim = a100_sim();
+        let ttft = sim.try_ttft_s(&gpt3(), &work()).unwrap();
+        let tbt = sim.try_tbt_s(&gpt3(), &work()).unwrap();
+        assert_eq!(ttft, sim.ttft_s(&gpt3(), &work()));
+        assert_eq!(tbt, sim.tbt_s(&gpt3(), &work()));
+        let lat = sim
+            .try_simulate_layer(&gpt3(), &work(), InferencePhase::Prefill)
+            .unwrap();
+        assert!(lat.total_s().is_finite() && lat.total_s() > 0.0);
     }
 
     #[test]

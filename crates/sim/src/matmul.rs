@@ -18,10 +18,9 @@
 use crate::params::SimParams;
 use acs_hw::DeviceConfig;
 use acs_llm::{MatmulKind, MatmulOp};
-use serde::Serialize;
 
 /// Cost components of one matmul on one device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatmulCost {
     /// Systolic-array busy time (s), including efficiency losses.
     pub compute_s: f64,

@@ -14,10 +14,9 @@ use crate::latency::Simulator;
 use crate::params::SimParams;
 use acs_hw::SystemConfig;
 use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
-use serde::Serialize;
 
 /// How a model is split across the node's devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Parallelism {
     /// Megatron-style: every layer split across all devices,
     /// all-reduces on the critical path.
@@ -28,7 +27,7 @@ pub enum Parallelism {
 }
 
 /// Full-model latencies under one mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MappingLatency {
     /// Mapping priced.
     pub parallelism: Parallelism,
@@ -80,8 +79,7 @@ pub fn mapping_latency(
         }
         Parallelism::Pipeline => {
             // Per-layer costs on ONE device holding full-width layers.
-            let single = SystemConfig::new(system.device().clone(), 1)
-                .expect("single-device system");
+            let single = SystemConfig::single(system.device().clone());
             let sim = Simulator::with_params(single, params);
             let s = f64::from(devices);
             let layer_prefill =

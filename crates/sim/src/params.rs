@@ -1,6 +1,5 @@
 //! Simulator calibration parameters.
 
-use serde::{Deserialize, Serialize};
 
 /// Tunable constants of the analytical model.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 ///   the active tile (the rest double-buffers the next one).
 /// * `l2_usable_fraction` — fraction of the global buffer usable for
 ///   blocking.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimParams {
     /// Achievable fraction of peak DRAM bandwidth (0..=1).
     pub dram_efficiency: f64,

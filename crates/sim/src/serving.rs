@@ -12,12 +12,11 @@
 
 use crate::latency::Simulator;
 use acs_llm::{InferencePhase, ModelConfig, RequestTrace, WorkloadConfig};
-use serde::Serialize;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Scheduler configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingConfig {
     /// Maximum requests decoded together.
     pub max_batch: usize,
@@ -30,7 +29,7 @@ impl Default for ServingConfig {
 }
 
 /// Aggregate serving metrics over a trace.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServingMetrics {
     /// Requests completed.
     pub completed: usize,
@@ -76,11 +75,11 @@ struct Active {
 ///     LengthDistribution::chat_prompts(),
 ///     LengthDistribution::chat_outputs(),
 ///     7,
-/// );
+/// )?;
 /// let metrics = simulate_serving(&sim, &ModelConfig::llama3_8b(), &trace,
 ///     ServingConfig::default());
 /// assert_eq!(metrics.completed, trace.len());
-/// # Ok::<(), acs_hw::HwError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
 pub fn simulate_serving(
@@ -132,9 +131,10 @@ pub fn simulate_serving(
         }
 
         let can_admit = active.len() < config.max_batch;
-        if can_admit && !waiting.is_empty() {
+        if let Some((arrival, input, output)) =
+            if can_admit { waiting.pop_front() } else { None }
+        {
             // Prefill one waiting request and admit it.
-            let (arrival, input, output) = waiting.pop_front().expect("nonempty");
             now += prefill_cost(input);
             output_tokens += 1; // the prefill emits the first token
             let mut req = Active {
@@ -288,6 +288,7 @@ mod tests {
             LengthDistribution { median: 64, sigma: 0.5, min: 4, max: 256 },
             seed,
         )
+        .unwrap()
     }
 
     #[test]

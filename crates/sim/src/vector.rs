@@ -8,10 +8,9 @@
 use crate::params::SimParams;
 use acs_hw::DeviceConfig;
 use acs_llm::VectorOp;
-use serde::Serialize;
 
 /// Cost components of one vector operator on one device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VectorCost {
     /// Vector-unit busy time (s).
     pub compute_s: f64,

@@ -53,7 +53,7 @@ fn main() {
         .filter(|r| {
             r.market == acs::policy::MarketSegment::NonDataCenter && r.mem_bw_gb_s > 800.0
         })
-        .map(|r| r.name)
+        .map(|r| r.name.as_ref())
         .collect();
     println!(
         "\nconsumer devices above a hypothetical 800 GB/s memory-BW threshold: {touched:?}"
@@ -66,7 +66,7 @@ fn main() {
         .iter()
         .filter(|r| blunt.classify(&r.to_metrics()).is_restricted())
         .filter(|r| r.market == acs::policy::MarketSegment::NonDataCenter)
-        .map(|r| r.name)
+        .map(|r| r.name.as_ref())
         .collect();
     println!(
         "consumer devices a blunt TPP>=1600 rule would restrict ({}): {:?}",

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, full test suite, and the
+# fault-injection robustness suite. Mirrors what the driver runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --locked"
+cargo build --release --locked --offline
+
+echo "==> cargo test -q --locked"
+cargo test -q --locked --offline
+
+echo "==> fault-injection suite"
+cargo test -q --locked --offline --test fault_injection
+
+echo "==> error-handling policy grep (non-test library code must be clean)"
+# Hits are allowed only inside #[cfg(test)] modules; this mechanical pass
+# fails if any file's pre-test-module region contains a panic site.
+fail=0
+files=$(grep -rl "unwrap()\|expect(\|panic!" crates/hw/src crates/sim/src crates/dse/src crates/devices/src crates/llm/src 2>/dev/null || true)
+for f in $files; do
+    cut=$(awk '/#\[cfg\(test\)\]/{print NR; exit}' "$f")
+    [ -z "$cut" ] && cut=$(($(wc -l < "$f") + 1))
+    if head -n $((cut - 1)) "$f" | grep -n "unwrap()\|expect(\|panic!" >/dev/null; then
+        echo "panic site outside test module in $f:"
+        head -n $((cut - 1)) "$f" | grep -n "unwrap()\|expect(\|panic!" || true
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] && echo "clean"
+exit "$fail"

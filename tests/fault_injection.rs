@@ -1,0 +1,150 @@
+//! End-to-end fault-injection harness for the DSE pipeline.
+//!
+//! Seeds a >1,000-point sweep with every fault class, then asserts the
+//! robustness contract: the sweep completes without aborting, each bad
+//! point surfaces as a structured `DesignFailure` with an expected error
+//! kind, healthy points are unaffected, and an interrupted checkpointed
+//! run resumes to a report identical to an uninterrupted one.
+
+use acs_dse::{inject_faults, DseRunner, FaultClass, SweepSpec};
+use acs_llm::{ModelConfig, WorkloadConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn runner() -> DseRunner {
+    DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+}
+
+/// The October 2023 sweep (1536 points) at the 2400 TPP target.
+fn big_candidates() -> Vec<acs_dse::CandidateParams> {
+    let cands = SweepSpec::table3_fig7().candidates(2400.0);
+    assert!(cands.len() >= 1000, "need a >=1000-point sweep, got {}", cands.len());
+    cands
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("acs-fault-injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{tag}.jsonl", std::process::id()))
+}
+
+#[test]
+fn thousand_point_sweep_survives_all_fault_classes() {
+    let mut candidates = big_candidates();
+    let ledger = inject_faults(&mut candidates, 7);
+    let classes: std::collections::BTreeSet<_> = ledger.iter().map(|(_, c)| c.tag()).collect();
+    assert!(classes.len() >= 5, "all five fault classes must be seeded: {classes:?}");
+
+    // The sweep must complete and account for every point.
+    let report = runner().run_report(&candidates);
+    assert_eq!(report.total(), candidates.len());
+
+    let injected: BTreeMap<usize, FaultClass> = ledger.iter().copied().collect();
+    let failed: BTreeMap<usize, &acs_dse::DesignFailure> =
+        report.failures.iter().map(|f| (f.index, f)).collect();
+
+    // Every failure is an injected point (healthy designs never fail) and
+    // carries an error kind the fault class allows.
+    for (index, failure) in &failed {
+        let class = injected
+            .get(index)
+            .unwrap_or_else(|| panic!("uninjected point #{index} failed: {failure}"));
+        assert!(
+            class.allowed_failure_kinds().contains(&failure.kind()),
+            "{class}: unexpected kind {} ({failure})",
+            failure.kind()
+        );
+        assert_eq!(failure.params, candidates[*index].name);
+    }
+
+    // Every injected point either failed or belongs to a class whose
+    // graceful degradation is a successful (finite) evaluation.
+    let ok_by_index: BTreeMap<usize, _> =
+        report.designs.iter().map(|(i, d)| (*i, d)).collect();
+    for (index, class) in &injected {
+        if failed.contains_key(index) {
+            continue;
+        }
+        assert!(class.may_succeed(), "{class} at #{index} must fail, but evaluated");
+        let d = ok_by_index[index];
+        for (metric, v) in [("ttft_s", d.ttft_s), ("tbt_s", d.tbt_s), ("area", d.die_area_mm2)] {
+            assert!(v.is_finite() && v > 0.0, "{class} #{index}: {metric} = {v}");
+        }
+        if *class == FaultClass::ReticleOverflow {
+            assert!(!d.within_reticle, "a reticle-busting die must be flagged");
+        }
+    }
+
+    // The validation fault classes always fail — they must appear in the
+    // ledger's counts.
+    let counts = report.failure_counts();
+    let must_fail = ledger
+        .iter()
+        .filter(|(_, c)| !c.may_succeed())
+        .count();
+    assert!(must_fail > 0);
+    assert_eq!(counts.get("invalid_config"), Some(&must_fail), "{counts:?}");
+
+    // Healthy points match a fault-free sweep exactly.
+    let clean = runner().run_report(&big_candidates());
+    assert!(clean.failures.is_empty(), "{}", clean.summary());
+    let clean_by_index: BTreeMap<usize, _> =
+        clean.designs.iter().map(|(i, d)| (*i, d)).collect();
+    for (i, d) in &report.designs {
+        if !injected.contains_key(i) {
+            assert_eq!(Some(&d), clean_by_index.get(i).as_deref(), "point #{i} diverged");
+        }
+    }
+}
+
+#[test]
+fn interrupted_checkpoint_resumes_to_identical_report() {
+    let mut candidates = big_candidates();
+    inject_faults(&mut candidates, 13);
+    let r = runner();
+
+    // Uninterrupted checkpointed run = ground truth.
+    let path = temp_path("resume");
+    let _ = std::fs::remove_file(&path);
+    let full = r.run_report_resumable(&candidates, &path).unwrap();
+    assert_eq!(full.total(), candidates.len());
+    assert_eq!(full, r.run_report(&candidates));
+
+    // Simulate a crash: keep an arbitrary prefix of the checkpoint and
+    // tear the next line mid-write.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 3;
+    let mut torn = lines[..keep].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&path, &torn).unwrap();
+
+    let resumed = r.run_report_resumable(&candidates, &path).unwrap();
+    assert_eq!(resumed, full, "resumed report diverged from the uninterrupted run");
+
+    // And the repaired checkpoint now resumes with zero re-evaluation.
+    let lines_after = std::fs::read_to_string(&path).unwrap().lines().count();
+    let again = r.run_report_resumable(&candidates, &path).unwrap();
+    assert_eq!(again, full);
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap().lines().count(),
+        lines_after,
+        "a fully-covered checkpoint must not grow on resume"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn faulted_sweep_summary_is_reportable() {
+    let mut candidates = SweepSpec::table3_fig6().candidates(4800.0);
+    inject_faults(&mut candidates, 51);
+    let report = runner().run_report(&candidates);
+    let s = report.summary();
+    assert!(s.contains("failed"), "{s}");
+    assert!(s.contains("invalid_config"), "{s}");
+    for f in &report.failures {
+        // Each failure names its point and renders a human-readable line.
+        assert!(f.to_string().contains(&f.params), "{f}");
+    }
+}

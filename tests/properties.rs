@@ -1,192 +1,282 @@
-//! Property-based tests over the core substrates.
+//! Property-style tests over the core substrates.
+//!
+//! The offline build has no property-testing crate, so these run the same
+//! invariants over deterministic pseudo-random samples drawn from the
+//! workspace's SplitMix64 generator: every run checks the same cases, and
+//! a failure message carries the case index for reproduction.
 
 use acs::prelude::*;
 use acs_hw::tpp::{cores_for_tpp, max_macs_for_tpp, tpp_of};
+use acs_hw::HwError;
+use acs_llm::rng::SplitMix64;
 use acs_llm::{graph::LayerGraph, InferencePhase};
 use acs_sim::SimParams;
-use proptest::prelude::*;
 
-fn arb_device() -> impl Strategy<Value = DeviceConfig> {
-    (
-        8u32..512,                                // cores
-        1u32..=8,                                 // lanes
-        prop::sample::select(vec![4u32, 8, 16, 32]), // systolic dim
-        prop::sample::select(vec![32u32, 64, 128, 192, 256, 512, 1024]), // l1 KiB
-        prop::sample::select(vec![8u32, 16, 32, 40, 48, 64, 80]),        // l2 MiB
-        0.4f64..4.0,                              // hbm TB/s
-        100.0f64..1200.0,                         // device BW GB/s
-    )
-        .prop_map(|(cores, lanes, dim, l1, l2, hbm, bw)| {
-            DeviceConfig::builder()
-                .core_count(cores)
-                .lanes_per_core(lanes)
-                .systolic(SystolicDims::square(dim))
-                .l1_kib_per_core(l1)
-                .l2_mib(l2)
-                .hbm_bandwidth_tb_s(hbm)
-                .device_bandwidth_gb_s(bw)
-                .build()
-                .expect("generated configs are valid")
-        })
+fn pick<T: Copy>(rng: &mut SplitMix64, options: &[T]) -> T {
+    options[(rng.next_u64() % options.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn uni(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
 
-    /// Eq. 1 inverse: the solved core count sits strictly under the
-    /// ceiling, and one more core meets or exceeds it.
-    #[test]
-    fn cores_for_tpp_is_tight(
-        tpp_limit in 200.0f64..30_000.0,
-        dim in prop::sample::select(vec![4u32, 8, 16, 32]),
-        lanes in 1u32..=8,
-    ) {
-        let dims = SystolicDims::square(dim);
+fn uni_u32(rng: &mut SplitMix64, lo: u32, hi: u32) -> u32 {
+    lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32
+}
+
+fn gen_device(rng: &mut SplitMix64) -> DeviceConfig {
+    DeviceConfig::builder()
+        .core_count(uni_u32(rng, 8, 511))
+        .lanes_per_core(uni_u32(rng, 1, 8))
+        .systolic(SystolicDims::square(pick(rng, &[4, 8, 16, 32])))
+        .l1_kib_per_core(pick(rng, &[32, 64, 128, 192, 256, 512, 1024]))
+        .l2_mib(pick(rng, &[8, 16, 32, 40, 48, 64, 80]))
+        .hbm_bandwidth_tb_s(uni(rng, 0.4, 4.0))
+        .device_bandwidth_gb_s(uni(rng, 100.0, 1200.0))
+        .build()
+        .expect("generated configs are valid")
+}
+
+/// Eq. 1 inverse: the solved core count sits strictly under the ceiling,
+/// and one more core meets or exceeds it.
+#[test]
+fn cores_for_tpp_is_tight() {
+    let mut rng = SplitMix64::new(101);
+    for case in 0..64 {
+        let tpp_limit = uni(&mut rng, 200.0, 30_000.0);
+        let dims = SystolicDims::square(pick(&mut rng, &[4, 8, 16, 32]));
+        let lanes = uni_u32(&mut rng, 1, 8);
         if let Ok(cores) = cores_for_tpp(tpp_limit, 1.41, DataType::Fp16, dims, lanes) {
             let at = tpp_of(cores, lanes, dims, 1.41, DataType::Fp16);
             let above = tpp_of(cores + 1, lanes, dims, 1.41, DataType::Fp16);
-            prop_assert!(at.0 < tpp_limit);
-            prop_assert!(above.0 >= tpp_limit - 1e-6);
+            assert!(at.0 < tpp_limit, "case {case}");
+            assert!(above.0 >= tpp_limit - 1e-6, "case {case}");
         }
     }
+}
 
-    /// `max_macs_for_tpp` is monotone in the budget.
-    #[test]
-    fn mac_budget_is_monotone(a in 0.0f64..20_000.0, b in 0.0f64..20_000.0) {
+/// `max_macs_for_tpp` is monotone in the budget.
+#[test]
+fn mac_budget_is_monotone() {
+    let mut rng = SplitMix64::new(102);
+    for case in 0..64 {
+        let a = uni(&mut rng, 0.0, 20_000.0);
+        let b = uni(&mut rng, 0.0, 20_000.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(
+        assert!(
             max_macs_for_tpp(lo, 1.41, DataType::Fp16)
-                <= max_macs_for_tpp(hi, 1.41, DataType::Fp16)
+                <= max_macs_for_tpp(hi, 1.41, DataType::Fp16),
+            "case {case}"
         );
     }
+}
 
-    /// Area model: total is the sum of parts, positive, and monotone in L2.
-    #[test]
-    fn area_model_is_sane(device in arb_device()) {
-        let model = AreaModel::n7();
+/// Area model: total is the sum of parts, positive, and monotone in L2.
+#[test]
+fn area_model_is_sane() {
+    let mut rng = SplitMix64::new(103);
+    let model = AreaModel::n7();
+    for case in 0..64 {
+        let device = gen_device(&mut rng);
         let b = model.die_area(&device);
-        prop_assert!(b.total_mm2() > 0.0);
+        assert!(b.total_mm2() > 0.0, "case {case}");
         let sum = b.systolic + b.vector + b.l1 + b.l2 + b.hbm_phy + b.device_phy
             + b.control + b.fixed;
-        prop_assert!((sum - b.total_mm2()).abs() < 1e-9);
+        assert!((sum - b.total_mm2()).abs() < 1e-9, "case {case}");
         let bigger_l2 = device.to_builder().l2_mib(device.l2_mib() + 16).build().unwrap();
-        prop_assert!(model.die_area(&bigger_l2).total_mm2() > b.total_mm2());
+        assert!(model.die_area(&bigger_l2).total_mm2() > b.total_mm2(), "case {case}");
     }
+}
 
-    /// Cost model invariants: yield in (0, 1], good-die cost dominates raw
-    /// cost, and cost grows with area.
-    #[test]
-    fn cost_model_is_sane(area in 50.0f64..860.0) {
-        let m = CostModel::n7();
+/// Cost model invariants: yield in (0, 1], good-die cost dominates raw
+/// cost, and cost grows with area.
+#[test]
+fn cost_model_is_sane() {
+    let mut rng = SplitMix64::new(104);
+    let m = CostModel::n7();
+    for case in 0..64 {
+        let area = uni(&mut rng, 50.0, 860.0);
         let y = m.die_yield(area);
-        prop_assert!(y > 0.0 && y <= 1.0);
-        prop_assert!(m.good_die_cost_usd(area) >= m.die_cost_usd(area));
-        prop_assert!(m.die_cost_usd(area + 50.0) > m.die_cost_usd(area));
+        assert!(y > 0.0 && y <= 1.0, "case {case}: yield = {y}");
+        assert!(m.good_die_cost_usd(area) >= m.die_cost_usd(area), "case {case}");
+        assert!(m.die_cost_usd(area + 50.0) > m.die_cost_usd(area), "case {case}");
     }
+}
 
-    /// The simulator returns positive, finite latencies for any valid
-    /// device, and prefill always dwarfs a single decode step.
-    #[test]
-    fn simulator_latencies_are_well_formed(device in arb_device()) {
-        let sim = Simulator::new(SystemConfig::quad(device).unwrap());
-        let w = WorkloadConfig::paper_default();
+/// The simulator returns positive, finite latencies for any valid device,
+/// and prefill always dwarfs a single decode step. The `try_` variants
+/// agree with the unchecked paths on healthy inputs.
+#[test]
+fn simulator_latencies_are_well_formed() {
+    let mut rng = SplitMix64::new(105);
+    let w = WorkloadConfig::paper_default();
+    for case in 0..24 {
+        let sim = Simulator::new(SystemConfig::quad(gen_device(&mut rng)).unwrap());
         for model in [ModelConfig::gpt3_175b(), ModelConfig::llama3_8b()] {
             let ttft = sim.ttft_s(&model, &w);
             let tbt = sim.tbt_s(&model, &w);
-            prop_assert!(ttft.is_finite() && ttft > 0.0);
-            prop_assert!(tbt.is_finite() && tbt > 0.0);
-            prop_assert!(ttft > tbt, "{}: {} vs {}", model.name(), ttft, tbt);
+            assert!(ttft.is_finite() && ttft > 0.0, "case {case}");
+            assert!(tbt.is_finite() && tbt > 0.0, "case {case}");
+            assert!(ttft > tbt, "case {case} {}: {ttft} vs {tbt}", model.name());
+            assert_eq!(sim.try_ttft_s(&model, &w).unwrap(), ttft, "case {case}");
+            assert_eq!(sim.try_tbt_s(&model, &w).unwrap(), tbt, "case {case}");
         }
     }
+}
 
-    /// More memory bandwidth never hurts either phase.
-    #[test]
-    fn memory_bandwidth_is_weakly_beneficial(device in arb_device()) {
+/// More memory bandwidth never hurts either phase.
+#[test]
+fn memory_bandwidth_is_weakly_beneficial() {
+    let mut rng = SplitMix64::new(106);
+    let w = WorkloadConfig::paper_default();
+    let m = ModelConfig::gpt3_175b();
+    for case in 0..24 {
+        let device = gen_device(&mut rng);
         let fast = device
             .to_builder()
             .hbm_bandwidth_tb_s(device.hbm().bandwidth_tb_s() * 2.0)
             .build()
             .unwrap();
-        let w = WorkloadConfig::paper_default();
         let sim_a = Simulator::new(SystemConfig::quad(device).unwrap());
         let sim_b = Simulator::new(SystemConfig::quad(fast).unwrap());
-        let m = ModelConfig::gpt3_175b();
-        prop_assert!(sim_b.tbt_s(&m, &w) <= sim_a.tbt_s(&m, &w) * 1.0001);
-        prop_assert!(sim_b.ttft_s(&m, &w) <= sim_a.ttft_s(&m, &w) * 1.0001);
+        assert!(sim_b.tbt_s(&m, &w) <= sim_a.tbt_s(&m, &w) * 1.0001, "case {case}");
+        assert!(sim_b.ttft_s(&m, &w) <= sim_a.ttft_s(&m, &w) * 1.0001, "case {case}");
     }
+}
 
-    /// Classification is total and ordered: growing die area (lowering
-    /// PD) never makes a data-center device MORE restricted under the
-    /// October 2023 rule.
-    #[test]
-    fn oct2023_is_monotone_in_area(
-        tpp in 100.0f64..20_000.0,
-        area in 50.0f64..2000.0,
-        extra in 1.0f64..2000.0,
-    ) {
-        let rule = Acr2023::default();
+/// Classification is total and ordered: growing die area (lowering PD)
+/// never makes a data-center device MORE restricted under October 2023.
+#[test]
+fn oct2023_is_monotone_in_area() {
+    let mut rng = SplitMix64::new(107);
+    let rule = Acr2023::default();
+    for case in 0..64 {
+        let tpp = uni(&mut rng, 100.0, 20_000.0);
+        let area = uni(&mut rng, 50.0, 2000.0);
+        let extra = uni(&mut rng, 1.0, 2000.0);
         let small = acs_policy::DeviceMetrics::new(
             "s", tpp, 600.0, area, true, MarketSegment::DataCenter);
         let large = acs_policy::DeviceMetrics::new(
             "l", tpp, 600.0, area + extra, true, MarketSegment::DataCenter);
-        prop_assert!(rule.classify(&large) <= rule.classify(&small));
+        assert!(rule.classify(&large) <= rule.classify(&small), "case {case}");
     }
+}
 
-    /// October 2022 is monotone in both TPP and device bandwidth.
-    #[test]
-    fn oct2022_is_monotone(
-        tpp in 0.0f64..20_000.0,
-        bw in 0.0f64..1200.0,
-        dt in 0.0f64..5000.0,
-        db in 0.0f64..500.0,
-    ) {
-        let rule = Acr2022::default();
+/// October 2022 is monotone in both TPP and device bandwidth.
+#[test]
+fn oct2022_is_monotone() {
+    let mut rng = SplitMix64::new(108);
+    let rule = Acr2022::default();
+    for case in 0..64 {
+        let tpp = uni(&mut rng, 0.0, 20_000.0);
+        let bw = uni(&mut rng, 0.0, 1200.0);
+        let dt = uni(&mut rng, 0.0, 5000.0);
+        let db = uni(&mut rng, 0.0, 500.0);
         let lo = acs_policy::DeviceMetrics::new(
             "lo", tpp, bw, 800.0, true, MarketSegment::DataCenter);
         let hi = acs_policy::DeviceMetrics::new(
             "hi", tpp + dt, bw + db, 800.0, true, MarketSegment::DataCenter);
-        prop_assert!(rule.classify(&lo) <= rule.classify(&hi));
+        assert!(rule.classify(&lo) <= rule.classify(&hi), "case {case}");
     }
+}
 
-    /// Layer graphs: per-device matmul FLOPs shrink (weakly) as tensor
-    /// parallelism grows, and all-reduce payloads scale with tokens.
-    #[test]
-    fn layer_graph_scales_with_tp(
-        batch in 1u64..64,
-        input in 64u64..4096,
-    ) {
+/// Layer graphs: per-device matmul FLOPs shrink as tensor parallelism
+/// grows, close to proportionally.
+#[test]
+fn layer_graph_scales_with_tp() {
+    let mut rng = SplitMix64::new(109);
+    let m = ModelConfig::gpt3_175b();
+    for case in 0..64 {
+        let batch = 1 + rng.next_u64() % 63;
+        let input = 64 + rng.next_u64() % 4032;
         let w = WorkloadConfig::new(batch, input, 16);
-        let m = ModelConfig::gpt3_175b();
         let f1 = LayerGraph::build(&m, &w, InferencePhase::Prefill, 1).matmul_flops();
         let f4 = LayerGraph::build(&m, &w, InferencePhase::Prefill, 4).matmul_flops();
-        prop_assert!(f4 < f1);
-        prop_assert!(f1 / f4 > 3.0 && f1 / f4 < 5.0);
+        assert!(f4 < f1, "case {case}");
+        assert!(f1 / f4 > 3.0 && f1 / f4 < 5.0, "case {case}: ratio {}", f1 / f4);
     }
+}
 
-    /// Distribution summary invariants.
-    #[test]
-    fn distribution_invariants(mut xs in prop::collection::vec(0.0f64..1e6, 1..200)) {
+/// Distribution summary invariants.
+#[test]
+fn distribution_invariants() {
+    let mut rng = SplitMix64::new(110);
+    for case in 0..64 {
+        let n = 1 + (rng.next_u64() % 199) as usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| uni(&mut rng, 0.0, 1e6)).collect();
         let d = Distribution::from_samples(&xs).unwrap();
         xs.sort_by(f64::total_cmp);
-        prop_assert_eq!(d.min, xs[0]);
-        prop_assert_eq!(d.max, xs[xs.len() - 1]);
-        prop_assert!(d.min <= d.q1 && d.q1 <= d.median);
-        prop_assert!(d.median <= d.q3 && d.q3 <= d.max);
-        prop_assert!(d.mean >= d.min && d.mean <= d.max);
-        prop_assert!(d.iqr() <= d.range());
+        assert_eq!(d.min, xs[0], "case {case}");
+        assert_eq!(d.max, xs[xs.len() - 1], "case {case}");
+        assert!(d.min <= d.q1 && d.q1 <= d.median, "case {case}");
+        assert!(d.median <= d.q3 && d.q3 <= d.max, "case {case}");
+        assert!(d.mean >= d.min && d.mean <= d.max, "case {case}");
+        assert!(d.iqr() <= d.range(), "case {case}");
     }
+}
 
-    /// Idealised parameters (full bandwidth, no overheads) essentially
-    /// dominate the calibrated ones. Wave quantisation makes the compute
-    /// term non-monotone in tile size, so a small tolerance is allowed.
-    #[test]
-    fn ideal_params_dominate(device in arb_device()) {
-        let w = WorkloadConfig::paper_default();
-        let m = ModelConfig::llama3_8b();
-        let system = SystemConfig::quad(device).unwrap();
+/// Idealised parameters (full bandwidth, no overheads) essentially
+/// dominate the calibrated ones. Wave quantisation makes the compute term
+/// non-monotone in tile size, so a small tolerance is allowed.
+#[test]
+fn ideal_params_dominate() {
+    let mut rng = SplitMix64::new(111);
+    let w = WorkloadConfig::paper_default();
+    let m = ModelConfig::llama3_8b();
+    for case in 0..24 {
+        let system = SystemConfig::quad(gen_device(&mut rng)).unwrap();
         let cal = Simulator::with_params(system.clone(), SimParams::calibrated());
         let ideal = Simulator::with_params(system, SimParams::ideal());
-        prop_assert!(ideal.ttft_s(&m, &w) <= cal.ttft_s(&m, &w) * 1.2);
-        prop_assert!(ideal.tbt_s(&m, &w) <= cal.tbt_s(&m, &w) * 1.2);
+        assert!(ideal.ttft_s(&m, &w) <= cal.ttft_s(&m, &w) * 1.2, "case {case}");
+        assert!(ideal.tbt_s(&m, &w) <= cal.tbt_s(&m, &w) * 1.2, "case {case}");
+    }
+}
+
+/// `DeviceConfig::build` rejects each invalid-input class with the
+/// correct `HwError` variant naming the offending field.
+#[test]
+fn builder_rejects_every_invalid_input_class() {
+    let zero_u32: &[(&str, fn() -> Result<DeviceConfig, HwError>)] = &[
+        ("core_count", || DeviceConfig::builder().core_count(0).build()),
+        ("lanes_per_core", || DeviceConfig::builder().lanes_per_core(0).build()),
+        ("systolic.x", || DeviceConfig::builder().systolic(SystolicDims { x: 0, y: 16 }).build()),
+        ("systolic.y", || DeviceConfig::builder().systolic(SystolicDims { x: 16, y: 0 }).build()),
+        ("l1_kib_per_core", || DeviceConfig::builder().l1_kib_per_core(0).build()),
+        ("l2_mib", || DeviceConfig::builder().l2_mib(0).build()),
+    ];
+    for (field, make) in zero_u32 {
+        match make() {
+            Err(HwError::InvalidConfig { field: f, .. }) => assert_eq!(&f, field),
+            other => panic!("{field}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+    // Non-positive and non-finite floats, per field.
+    for bad in [0.0, -1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let float_cases: &[(&str, Result<DeviceConfig, HwError>)] = &[
+            ("frequency_ghz", DeviceConfig::builder().frequency_ghz(bad).build()),
+            ("hbm.bandwidth_gb_s", DeviceConfig::builder().hbm_bandwidth_tb_s(bad).build()),
+            ("phy.gb_s_per_phy", DeviceConfig::builder().device_bandwidth_gb_s(bad).build()),
+        ];
+        for (field, outcome) in float_cases {
+            match outcome {
+                Err(HwError::InvalidConfig { field: f, reason }) => {
+                    assert_eq!(f, field, "{bad}");
+                    assert!(reason.contains("positive"), "{field}: {reason}");
+                }
+                other => panic!("{field} = {bad}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Valid configurations round-trip through the workspace JSON codec.
+#[test]
+fn device_config_json_round_trip() {
+    let mut rng = SplitMix64::new(112);
+    for case in 0..64 {
+        let device = gen_device(&mut rng);
+        let json = device.to_json_string();
+        let back = DeviceConfig::from_json_str(&json).unwrap();
+        assert_eq!(device, back, "case {case}");
     }
 }

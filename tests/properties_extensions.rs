@@ -1,56 +1,70 @@
-//! Property-based tests over the extension subsystems: chiplets, binning,
-//! power, serving traces, the policy timeline, and serde round-trips.
+//! Property-style tests over the extension subsystems: chiplets, binning,
+//! power, serving traces, the policy timeline, and JSON round-trips.
+//!
+//! Deterministic SplitMix64 sampling stands in for a property-testing
+//! crate (unavailable in the offline build); each failure message carries
+//! its case index for reproduction.
 
 use acs::prelude::*;
 use acs_hw::binning::{Bin, BinningModel};
 use acs_hw::chiplet::{ChipletPackage, PackagingModel};
 use acs_hw::PowerModel;
+use acs_llm::rng::SplitMix64;
 use acs_llm::{LengthDistribution, RequestTrace};
 use acs_policy::{classify_as_of, Classification};
-use proptest::prelude::*;
 
-fn arb_device() -> impl Strategy<Value = DeviceConfig> {
-    (
-        prop::sample::select(vec![64u32, 96, 108, 128, 144, 192, 256]),
-        1u32..=4,
-        prop::sample::select(vec![8u32, 16, 32]),
-        prop::sample::select(vec![64u32, 192, 512]),
-        prop::sample::select(vec![16u32, 40, 64]),
-        prop::sample::select(vec![0.8f64, 1.2, 1.6, 2.0, 2.4, 3.2]),
-    )
-        .prop_map(|(cores, lanes, dim, l1, l2, hbm)| {
-            DeviceConfig::builder()
-                .core_count(cores)
-                .lanes_per_core(lanes)
-                .systolic(SystolicDims::square(dim))
-                .l1_kib_per_core(l1)
-                .l2_mib(l2)
-                .hbm_bandwidth_tb_s(hbm)
-                .build()
-                .expect("valid")
-        })
+fn pick<T: Copy>(rng: &mut SplitMix64, options: &[T]) -> T {
+    options[(rng.next_u64() % options.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn uni(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
 
-    /// Splitting a device into chiplets preserves package TPP exactly
-    /// (when the core count divides) and never shrinks total silicon.
-    #[test]
-    fn chiplet_split_preserves_tpp(device in arb_device(), n in 1u32..=4) {
-        prop_assume!(device.core_count() % n == 0);
-        let am = AreaModel::n7();
+fn gen_device(rng: &mut SplitMix64) -> DeviceConfig {
+    DeviceConfig::builder()
+        .core_count(pick(rng, &[64, 96, 108, 128, 144, 192, 256]))
+        .lanes_per_core(pick(rng, &[1, 2, 3, 4]))
+        .systolic(SystolicDims::square(pick(rng, &[8, 16, 32])))
+        .l1_kib_per_core(pick(rng, &[64, 192, 512]))
+        .l2_mib(pick(rng, &[16, 40, 64]))
+        .hbm_bandwidth_tb_s(pick(rng, &[0.8, 1.2, 1.6, 2.0, 2.4, 3.2]))
+        .build()
+        .expect("valid")
+}
+
+/// Splitting a device into chiplets preserves package TPP exactly (when
+/// the core count divides) and never shrinks total silicon.
+#[test]
+fn chiplet_split_preserves_tpp() {
+    let mut rng = SplitMix64::new(201);
+    let am = AreaModel::n7();
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
+        let n = pick(&mut rng, &[1u32, 2, 4]);
+        if device.core_count() % n != 0 {
+            continue;
+        }
         let pkg = ChipletPackage::new(device.clone(), n, PackagingModel::advanced()).unwrap();
-        prop_assert!((pkg.package_tpp().0 - device.tpp().0).abs() < 1e-6);
+        assert!((pkg.package_tpp().0 - device.tpp().0).abs() < 1e-6, "case {case}");
         let mono = ChipletPackage::new(device, 1, PackagingModel::advanced()).unwrap();
-        prop_assert!(pkg.package_area_mm2(&am) >= mono.package_area_mm2(&am) - 1e-9);
+        assert!(
+            pkg.package_area_mm2(&am) >= mono.package_area_mm2(&am) - 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Per-chiplet dies shrink monotonically with the split factor.
-    #[test]
-    fn chiplet_dies_shrink_with_split(device in arb_device()) {
-        prop_assume!(device.core_count() % 4 == 0);
-        let am = AreaModel::n7();
+/// Per-chiplet dies shrink monotonically with the split factor.
+#[test]
+fn chiplet_dies_shrink_with_split() {
+    let mut rng = SplitMix64::new(202);
+    let am = AreaModel::n7();
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
+        if device.core_count() % 4 != 0 {
+            continue;
+        }
         let areas: Vec<f64> = [1u32, 2, 4]
             .iter()
             .map(|&n| {
@@ -59,13 +73,18 @@ proptest! {
                     .chiplet_area_mm2(&am)
             })
             .collect();
-        prop_assert!(areas[0] > areas[1] && areas[1] > areas[2]);
+        assert!(areas[0] > areas[1] && areas[1] > areas[2], "case {case}: {areas:?}");
     }
+}
 
-    /// Binning yields are probabilities, monotone in the core requirement.
-    #[test]
-    fn binning_yield_is_monotone(device in arb_device(), d0 in 0.05f64..0.6) {
-        let am = AreaModel::n7();
+/// Binning yields are probabilities, monotone in the core requirement.
+#[test]
+fn binning_yield_is_monotone() {
+    let mut rng = SplitMix64::new(203);
+    let am = AreaModel::n7();
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
+        let d0 = uni(&mut rng, 0.05, 0.6);
         let area = am.die_area(&device);
         let model = BinningModel::for_device(&device, &area);
         let cm = CostModel { defect_density_per_cm2: d0, ..CostModel::n7() };
@@ -73,92 +92,117 @@ proptest! {
         let cores = device.core_count();
         for req in [cores, cores.saturating_sub(4).max(1), cores / 2, 1] {
             let y = model.bin_yield(&cm, req);
-            prop_assert!((0.0..=1.0).contains(&y), "yield = {y}");
-            prop_assert!(y >= last - 1e-12, "relaxing must not reduce yield");
+            assert!((0.0..=1.0).contains(&y), "case {case}: yield = {y}");
+            assert!(y >= last - 1e-12, "case {case}: relaxing must not reduce yield");
             last = y;
         }
         // Splits always partition.
         let bins = [Bin::new("a", cores), Bin::new("b", cores / 2)];
         let split = model.bin_split(&cm, &bins);
-        prop_assert!((split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((split.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Power accounting: TDP dominates idle, and both are positive.
-    #[test]
-    fn power_model_ordering(device in arb_device()) {
-        let p = PowerModel::n7();
+/// Power accounting: TDP dominates idle, and both are positive.
+#[test]
+fn power_model_ordering() {
+    let mut rng = SplitMix64::new(204);
+    let p = PowerModel::n7();
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
         let idle = p.static_w(&device);
         let tdp = p.tdp_w(&device);
-        prop_assert!(idle > 0.0);
-        prop_assert!(tdp > idle);
+        assert!(idle > 0.0, "case {case}");
+        assert!(tdp > idle, "case {case}");
         // Busy intervals cost more than idle intervals of equal length.
         let idle_j = p.interval_energy_j(&device, 0.0, 0.0, 0.0, 0.0, 1e-3);
         let busy_j = p.interval_energy_j(&device, 1e12, 1e9, 1e9, 1e6, 1e-3);
-        prop_assert!(busy_j > idle_j);
+        assert!(busy_j > idle_j, "case {case}");
     }
+}
 
-    /// Trace generation: deterministic per seed, arrivals sorted and
-    /// within the window, counts near the rate × duration.
-    #[test]
-    fn traces_are_well_formed(rate in 0.5f64..20.0, seed in 0u64..1000) {
-        let d_in = LengthDistribution::chat_prompts();
-        let d_out = LengthDistribution::chat_outputs();
-        let t1 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed);
-        let t2 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed);
-        prop_assert_eq!(&t1, &t2);
+/// Trace generation: deterministic per seed, arrivals sorted and within
+/// the window, counts near rate × duration, and invalid inputs rejected
+/// with typed errors.
+#[test]
+fn traces_are_well_formed() {
+    let mut rng = SplitMix64::new(205);
+    let d_in = LengthDistribution::chat_prompts();
+    let d_out = LengthDistribution::chat_outputs();
+    for case in 0..24 {
+        let rate = uni(&mut rng, 0.5, 20.0);
+        let seed = rng.next_u64() % 1000;
+        let t1 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed).unwrap();
+        let t2 = RequestTrace::synthetic(rate, 50.0, d_in, d_out, seed).unwrap();
+        assert_eq!(t1, t2, "case {case}");
         for pair in t1.requests().windows(2) {
-            prop_assert!(pair[0].arrival_s <= pair[1].arrival_s);
+            assert!(pair[0].arrival_s <= pair[1].arrival_s, "case {case}");
         }
         if let Some(last) = t1.requests().last() {
-            prop_assert!(last.arrival_s < 50.0);
+            assert!(last.arrival_s < 50.0, "case {case}");
         }
         let expected = rate * 50.0;
         let sigma = expected.sqrt();
-        prop_assert!(
+        assert!(
             (t1.len() as f64 - expected).abs() < 6.0 * sigma + 5.0,
-            "n = {}, expected ≈ {expected}",
+            "case {case}: n = {}, expected ≈ {expected}",
             t1.len()
         );
     }
+    for bad_rate in [0.0, -1.0, f64::NAN] {
+        assert!(RequestTrace::synthetic(bad_rate, 10.0, d_in, d_out, 0).is_err());
+    }
+}
 
-    /// The rule timeline is monotone: a device never becomes LESS
-    /// restricted as the generations advance… except where the October
-    /// 2023 rule deliberately relaxed the bandwidth prong, so we assert
-    /// the precise shape instead: pre-ACR is always unrestricted.
-    #[test]
-    fn timeline_pre_acr_is_always_free(
-        tpp in 0.0f64..30_000.0,
-        bw in 0.0f64..1200.0,
-        area in 100.0f64..3000.0,
-    ) {
+/// The rule timeline: pre-ACR is always unrestricted, and every
+/// generation yields a total classification.
+#[test]
+fn timeline_pre_acr_is_always_free() {
+    let mut rng = SplitMix64::new(206);
+    for case in 0..64 {
+        let tpp = uni(&mut rng, 0.0, 30_000.0);
+        let bw = uni(&mut rng, 0.0, 1200.0);
+        let area = uni(&mut rng, 100.0, 3000.0);
         let m = acs_policy::DeviceMetrics::new(
             "probe", tpp, bw, area, true, MarketSegment::DataCenter);
-        prop_assert_eq!(classify_as_of(&m, 2021, 6), Classification::NotApplicable);
-        // And every generation yields a total classification.
+        assert_eq!(
+            classify_as_of(&m, 2021, 6),
+            Classification::NotApplicable,
+            "case {case}"
+        );
         let _ = classify_as_of(&m, 2023, 1);
         let _ = classify_as_of(&m, 2024, 6);
     }
+}
 
-    /// Serde round-trips for the configuration types a downstream user
-    /// would persist.
-    #[test]
-    fn device_config_serde_round_trip(device in arb_device()) {
-        let json = serde_json::to_string(&device).unwrap();
-        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(device, back);
+/// JSON round-trips for the configuration type a downstream user would
+/// persist (the workspace codec, replacing the former serde path).
+#[test]
+fn device_config_json_round_trip() {
+    let mut rng = SplitMix64::new(207);
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
+        let json = device.to_json_string();
+        let back = DeviceConfig::from_json_str(&json).unwrap();
+        assert_eq!(device, back, "case {case}");
     }
+}
 
-    /// Elasticities stay finite across reference designs.
-    #[test]
-    fn elasticities_are_finite(device in arb_device()) {
+/// Elasticities stay finite across reference designs.
+#[test]
+fn elasticities_are_finite() {
+    let mut rng = SplitMix64::new(208);
+    for case in 0..12 {
+        let device = gen_device(&mut rng);
         let es = acs_dse::elasticities(
             &device,
             &ModelConfig::llama3_8b(),
             &WorkloadConfig::paper_default(),
             acs_dse::sensitivity::Target::Tbt,
-        );
+        )
+        .unwrap();
         for e in es {
-            prop_assert!(e.value.is_finite(), "{e}");
+            assert!(e.value.is_finite(), "case {case}: {e}");
         }
     }
 }
