@@ -2,12 +2,15 @@
 
 use crate::report::{DesignFailure, SweepReport};
 use crate::sweeps::{CandidateParams, SweepSpec};
+use acs_cache::{CacheKey, ShardedCache};
+use acs_errors::json::{object, Value};
 use acs_errors::{guard, AcsError};
 use acs_hw::{AreaModel, CostModel, DeviceConfig, SystemConfig, RETICLE_LIMIT_MM2};
 use acs_llm::{ModelConfig, WorkloadConfig};
 use acs_policy::Acr2023;
 use acs_sim::{SimParams, Simulator};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// The swept architectural parameters of one design, kept alongside its
 /// results so distributions can be grouped by a fixed parameter
@@ -125,6 +128,7 @@ pub struct DseRunner {
     cost_model: CostModel,
     sim_params: SimParams,
     rule_2023: Acr2023,
+    cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
 }
 
 impl DseRunner {
@@ -140,6 +144,7 @@ impl DseRunner {
             cost_model: CostModel::n7(),
             sim_params: SimParams::calibrated(),
             rule_2023: Acr2023::published(),
+            cache: None,
         }
     }
 
@@ -157,10 +162,86 @@ impl DseRunner {
         self
     }
 
+    /// Memoise evaluations through a shared content-addressed cache.
+    /// Sweeps and repro runs that revisit a design point — or a service
+    /// screening the same configuration twice — return the cached
+    /// [`EvaluatedDesign`] instead of re-running the area, cost, and
+    /// latency models. The key covers every input of the evaluation
+    /// (device parameters, model, workload, device count, calibration),
+    /// so sharing one cache across differently configured runners is
+    /// safe.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ShardedCache<EvaluatedDesign>>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The model being evaluated.
     #[must_use]
     pub fn model(&self) -> &ModelConfig {
         &self.model
+    }
+
+    /// The content-addressed key for one configuration under this
+    /// runner's model, workload, and calibration.
+    #[must_use]
+    pub fn cache_key(&self, config: &DeviceConfig) -> CacheKey {
+        let n = Value::Number;
+        let u = |x: u64| Value::Number(x as f64);
+        let p = &self.sim_params;
+        CacheKey::from_value(&object(vec![
+            ("v", Value::String("dse-eval-v1".to_owned())),
+            (
+                "device",
+                object(vec![
+                    ("name", Value::String(config.name().to_owned())),
+                    ("cores", u(u64::from(config.core_count()))),
+                    ("lanes", u(u64::from(config.lanes_per_core()))),
+                    ("sys_x", u(u64::from(config.systolic().x))),
+                    ("sys_y", u(u64::from(config.systolic().y))),
+                    ("vec", u(u64::from(config.vector_width()))),
+                    ("ghz", n(config.frequency_ghz())),
+                    ("l1_kib", u(u64::from(config.l1_kib_per_core()))),
+                    ("l2_mib", u(u64::from(config.l2_mib()))),
+                    ("hbm_gb_s", n(config.hbm().bandwidth_gb_s)),
+                    ("hbm_gib", n(config.hbm().capacity_gib)),
+                    ("phy_gb_s", n(config.phy().total_gb_s())),
+                    ("dtype_bits", u(u64::from(config.datatype().bit_width()))),
+                ]),
+            ),
+            ("device_count", u(u64::from(self.device_count))),
+            (
+                "model",
+                object(vec![
+                    ("name", Value::String(self.model.name().to_owned())),
+                    ("layers", u(u64::from(self.model.num_layers()))),
+                    ("d_model", u(self.model.d_model())),
+                    ("d_ffn", u(self.model.d_ffn())),
+                    ("heads", u(u64::from(self.model.num_heads()))),
+                    ("kv_heads", u(u64::from(self.model.num_kv_heads()))),
+                ]),
+            ),
+            (
+                "workload",
+                object(vec![
+                    ("batch", u(self.workload.batch())),
+                    ("input", u(self.workload.input_len())),
+                    ("output", u(self.workload.output_len())),
+                ]),
+            ),
+            (
+                "params",
+                object(vec![
+                    ("dram_eff", n(p.dram_efficiency)),
+                    ("dram_lat", n(p.dram_latency_s)),
+                    ("op_ovh", n(p.op_overhead_s)),
+                    ("l2_bpc", n(p.l2_bytes_per_lane_cycle)),
+                    ("ar_step", n(p.allreduce_step_latency_s)),
+                    ("l1_frac", n(p.l1_usable_fraction)),
+                    ("l2_frac", n(p.l2_usable_fraction)),
+                ]),
+            ),
+        ]))
     }
 
     /// Evaluate one configuration, enforcing the pipeline's numeric
@@ -173,6 +254,16 @@ impl DseRunner {
     /// is zero, and [`AcsError::NonFinite`] when any derived metric
     /// violates its contract.
     pub fn try_evaluate(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+        match &self.cache {
+            Some(cache) => {
+                let key = self.cache_key(config);
+                cache.get_or_try_insert(&key, || self.evaluate_uncached(config)).map(|(d, _)| d)
+            }
+            None => self.evaluate_uncached(config),
+        }
+    }
+
+    fn evaluate_uncached(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
         let ctx = format!("evaluate.{}", config.name());
         let area =
             guard::ensure_positive(&ctx, "die_area_mm2", self.area_model.die_area(config).total_mm2())?;
@@ -390,6 +481,50 @@ mod tests {
         let big_l1 = designs.iter().find(|d| d.params.l1_kib == 1024).unwrap();
         assert!(!small_l1.pd_unregulated_2023, "PD = {}", small_l1.perf_density);
         assert!(big_l1.die_area_mm2 > small_l1.die_area_mm2);
+    }
+
+    #[test]
+    fn cached_runner_matches_uncached_and_hits_on_repeat() {
+        let cache = Arc::new(ShardedCache::new(256));
+        let plain = runner();
+        let cached = runner().with_cache(Arc::clone(&cache));
+        let configs = small_spec().configs(4800.0);
+        for cfg in &configs {
+            assert_eq!(cached.try_evaluate(cfg).unwrap(), plain.try_evaluate(cfg).unwrap());
+        }
+        let cold = cache.stats();
+        assert_eq!(cold.misses as usize, configs.len());
+        assert_eq!(cold.insertions as usize, configs.len());
+        for cfg in &configs {
+            cached.try_evaluate(cfg).unwrap();
+        }
+        let warm = cache.stats();
+        assert_eq!(warm.hits as usize, configs.len(), "second pass should be all hits");
+        assert_eq!(warm.insertions, cold.insertions);
+    }
+
+    #[test]
+    fn cache_keys_separate_workloads_and_device_counts() {
+        let cfg = DeviceConfig::a100_like();
+        let base = runner();
+        let other_workload =
+            DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::new(8, 512, 128));
+        let other_count = runner().with_device_count(8);
+        let k0 = base.cache_key(&cfg);
+        assert_ne!(k0.canonical(), other_workload.cache_key(&cfg).canonical());
+        assert_ne!(k0.canonical(), other_count.cache_key(&cfg).canonical());
+        // Same runner, same config: byte-identical canonical form.
+        assert_eq!(k0.canonical(), runner().cache_key(&cfg).canonical());
+        assert_eq!(k0.digest(), runner().cache_key(&cfg).digest());
+    }
+
+    #[test]
+    fn cached_errors_are_not_memoised() {
+        let cache = Arc::new(ShardedCache::new(64));
+        let bad = runner().with_device_count(0).with_cache(Arc::clone(&cache));
+        let cfg = DeviceConfig::a100_like();
+        assert_eq!(bad.try_evaluate(&cfg).unwrap_err().kind(), "invalid_config");
+        assert_eq!(cache.len(), 0, "failed evaluations must not occupy cache slots");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Content hashing for cache keys: FNV-1a over canonical JSON.
+//!
+//! The evaluation pipeline is deterministic and pure — the same
+//! (accelerator config, workload, policy vintage) always yields the same
+//! result — so results can be memoised behind a content-addressed key.
+//! The key material is the byte-deterministic output of [`crate::json`]'s
+//! emitter (compact, insertion-ordered keys), hashed with 64-bit FNV-1a.
+//! Every crate that builds a cache key goes through this module, so
+//! digests are stable across crates and across runs.
+//!
+//! FNV-1a is not cryptographic; collisions are tolerated by storing the
+//! canonical encoding alongside the digest (see `acs-cache`), which makes
+//! the *encoding* the true key and the digest merely a shard/bucket index.
+
+use crate::json::Value;
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over raw bytes.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Digest of a JSON value's canonical (compact, insertion-ordered)
+/// encoding. Two values digest equal iff their canonical encodings are
+/// byte-identical; callers that need key-order insensitivity must
+/// normalise member order before calling.
+#[must_use]
+pub fn canonical_digest(value: &Value) -> u64 {
+    fnv1a_64(value.to_json().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{object, parse};
+
+    #[test]
+    fn fnv1a_matches_published_test_vectors() {
+        // The reference vectors from the FNV specification (Noll).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn canonical_digests_are_pinned() {
+        // These digests are cache-key material: changing the JSON
+        // emitter's byte output or the hash silently invalidates every
+        // persisted cache, so the exact values are pinned here.
+        let simple = object(vec![("a", Value::Number(1.0))]);
+        assert_eq!(simple.to_json(), "{\"a\":1}");
+        assert_eq!(canonical_digest(&simple), fnv1a_64(b"{\"a\":1}"));
+        assert_eq!(canonical_digest(&simple), 0x9c3e_82dd_6fca_e8b1);
+
+        let nested = object(vec![
+            ("config", object(vec![("hbm_tb_s", Value::Number(3.2))])),
+            ("vintage", Value::String("oct-2023".into())),
+        ]);
+        assert_eq!(
+            nested.to_json(),
+            "{\"config\":{\"hbm_tb_s\":3.2},\"vintage\":\"oct-2023\"}"
+        );
+        assert_eq!(canonical_digest(&nested), 0x1cec_5fd8_b943_838a);
+    }
+
+    #[test]
+    fn digest_is_stable_across_parse_round_trip() {
+        let text = "{\"b\":2,\"a\":[1,true,null],\"s\":\"x\"}";
+        let v = parse(text).unwrap();
+        assert_eq!(canonical_digest(&v), canonical_digest(&parse(&v.to_json()).unwrap()));
+        assert_eq!(canonical_digest(&v), fnv1a_64(text.as_bytes()));
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_digests() {
+        let a = object(vec![("tpp", Value::Number(4800.0))]);
+        let b = object(vec![("tpp", Value::Number(4800.5))]);
+        assert_ne!(canonical_digest(&a), canonical_digest(&b));
+    }
+
+    #[test]
+    fn key_order_is_significant() {
+        // Canonical means "as emitted", not "sorted": callers normalise.
+        let ab = object(vec![("a", Value::Number(1.0)), ("b", Value::Number(2.0))]);
+        let ba = object(vec![("b", Value::Number(2.0)), ("a", Value::Number(1.0))]);
+        assert_ne!(canonical_digest(&ab), canonical_digest(&ba));
+    }
+}

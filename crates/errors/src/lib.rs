@@ -19,6 +19,7 @@
 //! round-trips, replacing `serde` in the offline build.
 
 pub mod guard;
+pub mod hash;
 pub mod json;
 
 use std::error::Error;
@@ -96,6 +97,18 @@ pub enum AcsError {
         /// Description of the failure, with position where available.
         reason: String,
     },
+    /// A wire-protocol violation: a malformed HTTP request, an
+    /// unsupported method, an oversized payload, or an unroutable path.
+    Protocol {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The service shed load: the accept queue was full or the server is
+    /// shutting down. Clients should back off and retry.
+    Overloaded {
+        /// Description of the rejected work.
+        reason: String,
+    },
 }
 
 impl AcsError {
@@ -113,6 +126,8 @@ impl AcsError {
             AcsError::Checkpoint { .. } => "checkpoint",
             AcsError::Io { .. } => "io",
             AcsError::Json { .. } => "json",
+            AcsError::Protocol { .. } => "protocol",
+            AcsError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -144,7 +159,10 @@ impl AcsError {
                 members.push(("field", s(field)));
                 members.push(("reason", s(reason)));
             }
-            AcsError::Infeasible { reason } | AcsError::Json { reason } => {
+            AcsError::Infeasible { reason }
+            | AcsError::Json { reason }
+            | AcsError::Protocol { reason }
+            | AcsError::Overloaded { reason } => {
                 members.push(("reason", s(reason)));
             }
             AcsError::NonFinite { context, metric, value } => {
@@ -208,6 +226,8 @@ impl AcsError {
                 reason: owned(v.require_str("reason"))?,
             },
             "json" => AcsError::Json { reason: owned(v.require_str("reason"))? },
+            "protocol" => AcsError::Protocol { reason: owned(v.require_str("reason"))? },
+            "overloaded" => AcsError::Overloaded { reason: owned(v.require_str("reason"))? },
             other => {
                 return Err(AcsError::Json { reason: format!("unknown error kind {other:?}") })
             }
@@ -238,6 +258,8 @@ impl fmt::Display for AcsError {
             }
             AcsError::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
             AcsError::Json { reason } => write!(f, "json error: {reason}"),
+            AcsError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            AcsError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
         }
     }
 }
@@ -266,6 +288,8 @@ mod tests {
             AcsError::Checkpoint { path: "p".into(), reason: "r".into() },
             AcsError::Io { path: "p".into(), reason: "r".into() },
             AcsError::Json { reason: "r".into() },
+            AcsError::Protocol { reason: "r".into() },
+            AcsError::Overloaded { reason: "r".into() },
         ];
         for e in &cases {
             assert!(!e.kind().is_empty());
@@ -303,6 +327,8 @@ mod tests {
             AcsError::Checkpoint { path: "results/x.jsonl".into(), reason: "torn".into() },
             AcsError::Io { path: "/tmp/x".into(), reason: "denied".into() },
             AcsError::Json { reason: "trailing".into() },
+            AcsError::Protocol { reason: "bad request line".into() },
+            AcsError::Overloaded { reason: "queue full".into() },
         ];
         for e in &cases {
             let text = e.to_json_value().to_json();

@@ -1,0 +1,846 @@
+//! Request routing and endpoint logic.
+//!
+//! Every endpoint speaks JSON both ways. Failures use one envelope —
+//! `{"error": <AcsError as JSON>, "message": <display form>}` — with the
+//! HTTP status derived from the error taxonomy's stable `kind()` tag, so
+//! clients can switch on `error.kind` without parsing prose.
+//!
+//! `POST /v1/screen` and `POST /v1/simulate` are memoised through
+//! content-addressed caches keyed on a *normalised* form of the request
+//! (defaults filled in, members in fixed order), so two JSON bodies that
+//! mean the same thing share one cache entry.
+
+use crate::http::{percent_decode, HttpRequest};
+use acs_cache::{CacheKey, CacheStats, ShardedCache};
+use acs_devices::{DeviceRecord, GpuDatabase};
+use acs_errors::json::{object, parse, Value};
+use acs_errors::AcsError;
+use acs_hw::DeviceConfig;
+use acs_llm::{LengthDistribution, ModelConfig, RequestTrace, WorkloadConfig};
+use acs_policy::{
+    Acr2022, Acr2023, Classification, DeviceMetrics, HbmClassification, HbmPackage, HbmRule2024,
+    MarketSegment,
+};
+use acs_sim::{simulate_serving_cached, ServingConfig, Simulator, StepCostCache};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared service state: the device database, the response caches, and
+/// the request counters surfaced by `GET /v1/metrics`.
+#[derive(Debug)]
+pub struct AppState {
+    db: GpuDatabase,
+    screen_cache: ShardedCache<String>,
+    simulate_cache: ShardedCache<String>,
+    step_cache: StepCostCache,
+    screen_requests: AtomicU64,
+    simulate_requests: AtomicU64,
+    device_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    error_responses: AtomicU64,
+    started: Instant,
+}
+
+impl AppState {
+    /// State with the curated device database and caches bounded to
+    /// `cache_capacity` entries each.
+    #[must_use]
+    pub fn new(cache_capacity: usize) -> Self {
+        AppState {
+            db: GpuDatabase::curated_65(),
+            screen_cache: ShardedCache::new(cache_capacity),
+            simulate_cache: ShardedCache::new(cache_capacity),
+            step_cache: StepCostCache::new(cache_capacity.max(1024)),
+            screen_requests: AtomicU64::new(0),
+            simulate_requests: AtomicU64::new(0),
+            device_requests: AtomicU64::new(0),
+            metrics_requests: AtomicU64::new(0),
+            error_responses: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Counters of the response caches, in `/v1/metrics` order
+    /// (screen, simulate, sim-steps).
+    #[must_use]
+    pub fn cache_stats(&self) -> [CacheStats; 3] {
+        [self.screen_cache.stats(), self.simulate_cache.stats(), self.step_cache.stats()]
+    }
+}
+
+/// Map an error's taxonomy tag to an HTTP status: client-side input
+/// faults are 400s, lookup misses 404, physically impossible requests
+/// 422, load shedding 503, and everything else (internal invariants)
+/// 500.
+#[must_use]
+pub fn status_for(error: &AcsError) -> u16 {
+    match error.kind() {
+        "json" | "protocol" | "invalid_config" | "malformed_record" => 400,
+        "unknown_device" => 404,
+        "infeasible" => 422,
+        "overloaded" => 503,
+        _ => 500,
+    }
+}
+
+/// The uniform error envelope.
+#[must_use]
+pub fn error_body(error: &AcsError) -> String {
+    object(vec![
+        ("error", error.to_json_value()),
+        ("message", Value::String(error.to_string())),
+    ])
+    .to_json()
+}
+
+fn err(error: &AcsError) -> (u16, String) {
+    (status_for(error), error_body(error))
+}
+
+/// Route one request. Always returns a complete `(status, JSON body)`
+/// pair; this function never panics on untrusted input.
+pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
+    let path = request.path.split('?').next().unwrap_or("");
+    let outcome: Result<String, (u16, String)> = match (request.method.as_str(), path) {
+        ("POST", "/v1/screen") => {
+            state.screen_requests.fetch_add(1, Ordering::Relaxed);
+            screen(state, &request.body).map_err(|e| err(&e))
+        }
+        ("POST", "/v1/simulate") => {
+            state.simulate_requests.fetch_add(1, Ordering::Relaxed);
+            simulate(state, &request.body).map_err(|e| err(&e))
+        }
+        ("GET", "/v1/devices") => {
+            state.device_requests.fetch_add(1, Ordering::Relaxed);
+            Ok(list_devices(state))
+        }
+        ("GET", p) if p.starts_with("/v1/devices/") => {
+            state.device_requests.fetch_add(1, Ordering::Relaxed);
+            device_detail(state, &percent_decode(&p["/v1/devices/".len()..]))
+                .map_err(|e| err(&e))
+        }
+        ("GET", "/v1/metrics") => {
+            state.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            Ok(metrics(state))
+        }
+        (m, "/v1/screen" | "/v1/simulate" | "/v1/devices" | "/v1/metrics") => {
+            let e = AcsError::Protocol { reason: format!("method {m} not allowed on {path}") };
+            let (_, body) = err(&e);
+            Err((405, body))
+        }
+        _ => {
+            let e = AcsError::Protocol {
+                reason: format!("no route for {} {path}", request.method),
+            };
+            let (_, body) = err(&e);
+            Err((404, body))
+        }
+    };
+    let (status, body) = match outcome {
+        Ok(body) => (200, body),
+        Err((status, body)) => (status, body),
+    };
+    if status >= 400 {
+        state.error_responses.fetch_add(1, Ordering::Relaxed);
+    }
+    (status, body)
+}
+
+fn classification_tag(c: Classification) -> &'static str {
+    match c {
+        Classification::NotApplicable => "not_applicable",
+        Classification::NacEligible => "nac_eligible",
+        Classification::LicenseRequired => "license_required",
+    }
+}
+
+fn hbm_tag(c: HbmClassification) -> &'static str {
+    match c {
+        HbmClassification::NotControlled => "not_controlled",
+        HbmClassification::ExceptionEligible => "exception_eligible",
+        HbmClassification::Controlled => "controlled",
+    }
+}
+
+fn market_tag(m: MarketSegment) -> &'static str {
+    match m {
+        MarketSegment::DataCenter => "data_center",
+        MarketSegment::NonDataCenter => "non_data_center",
+    }
+}
+
+fn parse_market(v: &Value) -> Result<MarketSegment, AcsError> {
+    match v.get("market").and_then(Value::as_str) {
+        None | Some("data_center") => Ok(MarketSegment::DataCenter),
+        Some("non_data_center") => Ok(MarketSegment::NonDataCenter),
+        Some(other) => Err(AcsError::Json {
+            reason: format!("unknown market {other:?} (expected data_center or non_data_center)"),
+        }),
+    }
+}
+
+/// Build a [`DeviceConfig`] from a request's `config` object, starting
+/// from the A100-like template and overriding any supplied field. The
+/// accepted members mirror the DSE's swept parameters.
+fn config_from_json(spec: &Value) -> Result<DeviceConfig, AcsError> {
+    const KNOWN: [&str; 8] = [
+        "name",
+        "core_count",
+        "lanes_per_core",
+        "systolic_dim",
+        "l1_kib",
+        "l2_mib",
+        "hbm_tb_s",
+        "device_bw_gb_s",
+    ];
+    if let Value::Object(members) = spec {
+        for (k, _) in members {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(AcsError::Json {
+                    reason: format!("unknown config member {k:?} (expected one of {KNOWN:?})"),
+                });
+            }
+        }
+    } else {
+        return Err(AcsError::Json { reason: "config must be an object".to_owned() });
+    }
+    let mut builder = DeviceConfig::a100_like().to_builder();
+    if let Some(name) = spec.get("name").and_then(Value::as_str) {
+        builder.name(name);
+    }
+    let u32_field = |key: &str| -> Result<Option<u32>, AcsError> {
+        match spec.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| AcsError::Json {
+                    reason: format!("config member {key:?} must be a small non-negative integer"),
+                }),
+        }
+    };
+    if let Some(n) = u32_field("core_count")? {
+        builder.core_count(n);
+    }
+    if let Some(n) = u32_field("lanes_per_core")? {
+        builder.lanes_per_core(n);
+    }
+    if let Some(n) = u32_field("systolic_dim")? {
+        builder.systolic(acs_hw::SystolicDims { x: n, y: n });
+    }
+    if let Some(n) = u32_field("l1_kib")? {
+        builder.l1_kib_per_core(n);
+    }
+    if let Some(n) = u32_field("l2_mib")? {
+        builder.l2_mib(n);
+    }
+    if let Some(v) = spec.get("hbm_tb_s") {
+        let tb_s = v.as_f64().ok_or_else(|| AcsError::Json {
+            reason: "config member \"hbm_tb_s\" must be a number".to_owned(),
+        })?;
+        builder.hbm_bandwidth_tb_s(tb_s);
+    }
+    if let Some(v) = spec.get("device_bw_gb_s") {
+        let gb_s = v.as_f64().ok_or_else(|| AcsError::Json {
+            reason: "config member \"device_bw_gb_s\" must be a number".to_owned(),
+        })?;
+        builder.device_bandwidth_gb_s(gb_s);
+    }
+    Ok(builder.build()?)
+}
+
+/// Normalised canonical form of a config for cache keys: every
+/// load-bearing parameter, fixed member order.
+fn config_fingerprint(c: &DeviceConfig) -> Value {
+    let u = |x: u64| Value::Number(x as f64);
+    object(vec![
+        ("name", Value::String(c.name().to_owned())),
+        ("cores", u(u64::from(c.core_count()))),
+        ("lanes", u(u64::from(c.lanes_per_core()))),
+        ("sys_x", u(u64::from(c.systolic().x))),
+        ("sys_y", u(u64::from(c.systolic().y))),
+        ("vec", u(u64::from(c.vector_width()))),
+        ("ghz", Value::Number(c.frequency_ghz())),
+        ("l1_kib", u(u64::from(c.l1_kib_per_core()))),
+        ("l2_mib", u(u64::from(c.l2_mib()))),
+        ("hbm_gb_s", Value::Number(c.hbm().bandwidth_gb_s)),
+        ("hbm_gib", Value::Number(c.hbm().capacity_gib)),
+        ("phy_gb_s", Value::Number(c.phy().total_gb_s())),
+        ("dtype_bits", u(u64::from(c.datatype().bit_width()))),
+    ])
+}
+
+fn screening_value(
+    metrics: &DeviceMetrics,
+    hbm: Option<(&str, f64, f64)>, // (name, mem bandwidth GB/s, package area mm²)
+) -> Value {
+    let c2022 = Acr2022::published().classify(metrics);
+    let c2023 = Acr2023::published().classify(metrics);
+    let strictest = c2022.max(c2023);
+    let dec_2024 = match hbm {
+        Some((name, bw, area)) => Value::String(
+            hbm_tag(HbmRule2024::published().classify(&HbmPackage::new(name, bw, area)))
+                .to_owned(),
+        ),
+        // The HBM rule keys on *package* area, which device records and
+        // accelerator configs do not carry; without it the density is
+        // undefined, so the vintage is reported as unevaluated rather
+        // than guessed.
+        None => Value::String("not_evaluated".to_owned()),
+    };
+    object(vec![
+        ("oct_2022", Value::String(classification_tag(c2022).to_owned())),
+        ("oct_2023", Value::String(classification_tag(c2023).to_owned())),
+        ("dec_2024_hbm", dec_2024),
+        ("strictest_acr", Value::String(classification_tag(strictest).to_owned())),
+        ("export_license_required", Value::Bool(strictest == Classification::LicenseRequired)),
+    ])
+}
+
+fn metrics_value(m: &DeviceMetrics) -> Value {
+    object(vec![
+        ("tpp", Value::Number(m.tpp().0)),
+        ("device_bw_gb_s", Value::Number(m.device_bw_gb_s())),
+        ("die_area_mm2", Value::Number(m.die_area_mm2())),
+        (
+            "performance_density",
+            m.performance_density().map_or(Value::Null, |p| Value::Number(p.0)),
+        ),
+        ("mem_gib", Value::Number(m.mem_capacity_gib())),
+        ("mem_bw_gb_s", Value::Number(m.mem_bw_gb_s())),
+        ("market", Value::String(market_tag(m.market()).to_owned())),
+    ])
+}
+
+/// `POST /v1/screen` — classify a device (by database name) or a custom
+/// accelerator config under each ACR vintage.
+fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
+    let request = parse(body)?;
+    let hbm_area = match request.get("hbm_package_area_mm2") {
+        None => None,
+        Some(v) => Some(v.as_f64().filter(|a| *a > 0.0).ok_or_else(|| AcsError::Json {
+            reason: "\"hbm_package_area_mm2\" must be a positive number".to_owned(),
+        })?),
+    };
+
+    // Resolve to (display name, policy metrics, HBM bandwidth) and a
+    // normalised identity for the cache key.
+    let (name, metrics, mem_bw, identity) = match (request.get("device"), request.get("config")) {
+        (Some(_), Some(_)) => {
+            return Err(AcsError::Json {
+                reason: "supply either \"device\" or \"config\", not both".to_owned(),
+            })
+        }
+        (Some(d), None) => {
+            let query = d.as_str().ok_or_else(|| AcsError::Json {
+                reason: "\"device\" must be a string".to_owned(),
+            })?;
+            let record = state.db.get(query)?;
+            let metrics = record.to_metrics();
+            let mem_bw = record.mem_bw_gb_s;
+            let name = record.name.to_string();
+            let identity = object(vec![("device", Value::String(name.clone()))]);
+            (name, metrics, mem_bw, identity)
+        }
+        (None, Some(spec)) => {
+            let config = config_from_json(spec)?;
+            let market = parse_market(&request)?;
+            let metrics = DeviceMetrics::from_config_with_model(&config, market);
+            let mem_bw = config.hbm().bandwidth_gb_s;
+            let name = config.name().to_owned();
+            let identity = object(vec![
+                ("config", config_fingerprint(&config)),
+                ("market", Value::String(market_tag(market).to_owned())),
+            ]);
+            (name, metrics, mem_bw, identity)
+        }
+        (None, None) => {
+            return Err(AcsError::Json {
+                reason: "request must name a \"device\" or supply a \"config\"".to_owned(),
+            })
+        }
+    };
+
+    let key = CacheKey::from_value(&object(vec![
+        ("v", Value::String("screen-v1".to_owned())),
+        ("subject", identity),
+        ("hbm_area", hbm_area.map_or(Value::Null, Value::Number)),
+    ]));
+    let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
+        let hbm = hbm_area.map(|area| (name.as_str(), mem_bw, area));
+        Ok::<_, AcsError>(
+            object(vec![
+                ("device", Value::String(name.clone())),
+                ("metrics", metrics_value(&metrics)),
+                ("screening", screening_value(&metrics, hbm)),
+            ])
+            .to_json(),
+        )
+    })?;
+    Ok(response)
+}
+
+/// Resolve a model name; matching is case-insensitive and ignores
+/// punctuation, so `llama3-8b`, `Llama 3 8B`, and `llama3_8b` all work.
+fn resolve_model(name: &str) -> Result<ModelConfig, AcsError> {
+    let canon: String = name.chars().filter(char::is_ascii_alphanumeric).collect::<String>()
+        .to_ascii_lowercase();
+    let presets = [
+        ModelConfig::gpt3_13b(),
+        ModelConfig::gpt3_175b(),
+        ModelConfig::llama3_8b(),
+        ModelConfig::llama3_70b(),
+        ModelConfig::mixtral_8x7b(),
+    ];
+    for preset in presets {
+        let preset_canon: String =
+            preset.name().chars().filter(char::is_ascii_alphanumeric).collect::<String>()
+                .to_ascii_lowercase();
+        if preset_canon == canon {
+            return Ok(preset);
+        }
+    }
+    Err(AcsError::UnknownDevice { query: format!("model {name}") })
+}
+
+struct SimulateRequest {
+    config: DeviceConfig,
+    model: ModelConfig,
+    workload: WorkloadConfig,
+    device_count: u32,
+    rate_rps: f64,
+    duration_s: f64,
+    seed: u64,
+    max_batch: usize,
+}
+
+fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
+    let request = parse(body)?;
+    let config = match request.get("config") {
+        Some(spec) => config_from_json(spec)?,
+        None => DeviceConfig::a100_like(),
+    };
+    let model = resolve_model(request.get("model").and_then(Value::as_str).unwrap_or("Llama 3 8B"))?;
+
+    let workload = match request.get("workload") {
+        None => WorkloadConfig::paper_default(),
+        Some(w) => {
+            let batch = w.get("batch").map_or(Ok(32), |v| {
+                v.as_u64().ok_or_else(|| AcsError::Json {
+                    reason: "workload \"batch\" must be a non-negative integer".to_owned(),
+                })
+            })?;
+            let input_len = w.get("input_len").map_or(Ok(2048), |v| {
+                v.as_u64().ok_or_else(|| AcsError::Json {
+                    reason: "workload \"input_len\" must be a non-negative integer".to_owned(),
+                })
+            })?;
+            let output_len = w.get("output_len").map_or(Ok(1024), |v| {
+                v.as_u64().ok_or_else(|| AcsError::Json {
+                    reason: "workload \"output_len\" must be a non-negative integer".to_owned(),
+                })
+            })?;
+            // WorkloadConfig::new asserts these invariants; validate here
+            // so a bad request is a 400, not a worker panic.
+            if batch == 0 || input_len == 0 {
+                return Err(AcsError::InvalidConfig {
+                    field: "workload".to_owned(),
+                    reason: "batch and input_len must be positive".to_owned(),
+                });
+            }
+            WorkloadConfig::new(batch, input_len, output_len)
+        }
+    };
+
+    let device_count = match request.get("device_count") {
+        None => 4,
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .filter(|n| *n > 0)
+            .ok_or_else(|| AcsError::InvalidConfig {
+                field: "device_count".to_owned(),
+                reason: "must be a positive integer".to_owned(),
+            })?,
+    };
+    let trace = request.get("trace");
+    let number = |key: &str, default: f64| -> Result<f64, AcsError> {
+        match trace.and_then(|t| t.get(key)) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or_else(|| AcsError::Json {
+                reason: format!("trace member {key:?} must be a number"),
+            }),
+        }
+    };
+    let rate_rps = number("rate_rps", 2.0)?;
+    let duration_s = number("duration_s", 10.0)?;
+    let seed = match trace.and_then(|t| t.get("seed")) {
+        None => 7,
+        Some(v) => v.as_u64().ok_or_else(|| AcsError::Json {
+            reason: "trace member \"seed\" must be a non-negative integer".to_owned(),
+        })?,
+    };
+    let max_batch = match request.get("max_batch") {
+        None => 32,
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .filter(|n| *n > 0)
+            .ok_or_else(|| AcsError::InvalidConfig {
+                field: "max_batch".to_owned(),
+                reason: "must be a positive integer".to_owned(),
+            })?,
+    };
+    Ok(SimulateRequest { config, model, workload, device_count, rate_rps, duration_s, seed, max_batch })
+}
+
+/// `POST /v1/simulate` — per-phase latency plus serving-level percentiles
+/// for one accelerator configuration.
+fn simulate(state: &AppState, body: &str) -> Result<String, AcsError> {
+    let req = parse_simulate(body)?;
+    let u = |x: u64| Value::Number(x as f64);
+    let key = CacheKey::from_value(&object(vec![
+        ("v", Value::String("simulate-v1".to_owned())),
+        ("config", config_fingerprint(&req.config)),
+        ("model", Value::String(req.model.name().to_owned())),
+        (
+            "workload",
+            object(vec![
+                ("batch", u(req.workload.batch())),
+                ("input", u(req.workload.input_len())),
+                ("output", u(req.workload.output_len())),
+            ]),
+        ),
+        ("device_count", u(u64::from(req.device_count))),
+        (
+            "trace",
+            object(vec![
+                ("rate_rps", Value::Number(req.rate_rps)),
+                ("duration_s", Value::Number(req.duration_s)),
+                ("seed", u(req.seed)),
+            ]),
+        ),
+        ("max_batch", u(req.max_batch as u64)),
+    ]));
+    let (response, _) = state.simulate_cache.get_or_try_insert(&key, || {
+        let system = acs_hw::SystemConfig::new(req.config.clone(), req.device_count)?;
+        let sim = Simulator::new(system);
+        let ttft_s = sim.try_ttft_s(&req.model, &req.workload)?;
+        let tbt_s = sim.try_tbt_s(&req.model, &req.workload)?;
+        let trace = RequestTrace::synthetic(
+            req.rate_rps,
+            req.duration_s,
+            LengthDistribution::chat_prompts(),
+            LengthDistribution::chat_outputs(),
+            req.seed,
+        )?;
+        let serving = simulate_serving_cached(
+            &sim,
+            &req.model,
+            &trace,
+            ServingConfig { max_batch: req.max_batch },
+            &state.step_cache,
+        );
+        Ok::<_, AcsError>(
+            object(vec![
+                ("device", Value::String(req.config.name().to_owned())),
+                ("model", Value::String(req.model.name().to_owned())),
+                (
+                    "per_layer",
+                    object(vec![
+                        ("ttft_s", Value::Number(ttft_s)),
+                        ("tbt_s", Value::Number(tbt_s)),
+                    ]),
+                ),
+                (
+                    "serving",
+                    object(vec![
+                        ("requests", u(trace.len() as u64)),
+                        ("completed", u(serving.completed as u64)),
+                        ("mean_ttft_s", Value::Number(serving.mean_ttft_s)),
+                        ("p50_ttft_s", Value::Number(serving.p50_ttft_s)),
+                        ("p99_ttft_s", Value::Number(serving.p99_ttft_s)),
+                        ("mean_tbt_s", Value::Number(serving.mean_tbt_s)),
+                        (
+                            "throughput_tokens_per_s",
+                            Value::Number(serving.throughput_tokens_per_s),
+                        ),
+                        ("makespan_s", Value::Number(serving.makespan_s)),
+                    ]),
+                ),
+            ])
+            .to_json(),
+        )
+    })?;
+    Ok(response)
+}
+
+/// `GET /v1/devices` — names in the curated database.
+fn list_devices(state: &AppState) -> String {
+    let names: Vec<Value> =
+        state.db.iter().map(|r| Value::String(r.name.to_string())).collect();
+    object(vec![
+        ("count", Value::Number(names.len() as f64)),
+        ("devices", Value::Array(names)),
+    ])
+    .to_json()
+}
+
+fn record_value(record: &DeviceRecord) -> Value {
+    object(vec![
+        ("name", Value::String(record.name.to_string())),
+        ("vendor", Value::String(record.vendor.to_string())),
+        ("year", Value::Number(f64::from(record.year))),
+        ("market", Value::String(market_tag(record.market).to_owned())),
+        ("tpp", Value::Number(record.tpp)),
+        ("device_bw_gb_s", Value::Number(record.device_bw_gb_s)),
+        ("die_area_mm2", Value::Number(record.die_area_mm2)),
+        ("mem_gib", Value::Number(record.mem_gib)),
+        ("mem_bw_gb_s", Value::Number(record.mem_bw_gb_s)),
+        (
+            "performance_density",
+            record.performance_density().map_or(Value::Null, Value::Number),
+        ),
+    ])
+}
+
+/// `GET /v1/devices/{name}` — record plus its screening under each
+/// vintage (case-insensitive substring lookup, 404 on no match).
+fn device_detail(state: &AppState, name: &str) -> Result<String, AcsError> {
+    let record = state.db.get(name)?;
+    let metrics = record.to_metrics();
+    Ok(object(vec![
+        ("device", record_value(record)),
+        ("screening", screening_value(&metrics, None)),
+    ])
+    .to_json())
+}
+
+fn stats_value(stats: CacheStats, len: usize) -> Value {
+    let u = |x: u64| Value::Number(x as f64);
+    object(vec![
+        ("hits", u(stats.hits)),
+        ("misses", u(stats.misses)),
+        ("insertions", u(stats.insertions)),
+        ("evictions", u(stats.evictions)),
+        ("hit_rate", Value::Number(stats.hit_rate())),
+        ("entries", Value::Number(len as f64)),
+    ])
+}
+
+/// `GET /v1/metrics` — request counters and cache statistics.
+fn metrics(state: &AppState) -> String {
+    let u = |c: &AtomicU64| Value::Number(c.load(Ordering::Relaxed) as f64);
+    object(vec![
+        ("uptime_s", Value::Number(state.started.elapsed().as_secs_f64())),
+        (
+            "requests",
+            object(vec![
+                ("screen", u(&state.screen_requests)),
+                ("simulate", u(&state.simulate_requests)),
+                ("devices", u(&state.device_requests)),
+                ("metrics", u(&state.metrics_requests)),
+                ("errors", u(&state.error_responses)),
+            ]),
+        ),
+        (
+            "caches",
+            object(vec![
+                ("screen", stats_value(state.screen_cache.stats(), state.screen_cache.len())),
+                (
+                    "simulate",
+                    stats_value(state.simulate_cache.stats(), state.simulate_cache.len()),
+                ),
+                ("sim_steps", stats_value(state.step_cache.stats(), state.step_cache.len())),
+            ]),
+        ),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(state: &AppState, path: &str, body: &str) -> (u16, Value) {
+        let (status, body) = handle(
+            state,
+            &HttpRequest { method: "POST".into(), path: path.into(), body: body.into() },
+        );
+        (status, parse(&body).expect("response must be valid JSON"))
+    }
+
+    fn get(state: &AppState, path: &str) -> (u16, Value) {
+        let (status, body) = handle(
+            state,
+            &HttpRequest { method: "GET".into(), path: path.into(), body: String::new() },
+        );
+        (status, parse(&body).expect("response must be valid JSON"))
+    }
+
+    #[test]
+    fn screening_a_database_device_matches_the_policy_engine() {
+        let state = AppState::new(64);
+        let (status, body) = post(&state, "/v1/screen", "{\"device\":\"H100 SXM\"}");
+        assert_eq!(status, 200);
+        let s = body.get("screening").unwrap();
+        assert_eq!(s.get("oct_2022").unwrap().as_str(), Some("license_required"));
+        assert_eq!(s.get("strictest_acr").unwrap().as_str(), Some("license_required"));
+        assert_eq!(s.get("dec_2024_hbm").unwrap().as_str(), Some("not_evaluated"));
+        assert_eq!(s.get("export_license_required").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn screening_a_compliant_config_is_unregulated_in_2022() {
+        let state = AppState::new(64);
+        // The paper's §4 asymmetry: TPP-capped but bandwidth-rich.
+        let body = "{\"config\":{\"core_count\":96,\"hbm_tb_s\":3.2,\"device_bw_gb_s\":599.0}}";
+        let (status, response) = post(&state, "/v1/screen", body);
+        assert_eq!(status, 200);
+        let s = response.get("screening").unwrap();
+        assert_eq!(s.get("oct_2022").unwrap().as_str(), Some("not_applicable"));
+    }
+
+    #[test]
+    fn screen_responses_are_cached_across_repeats() {
+        let state = AppState::new(64);
+        let body = "{\"device\":\"A100 80GB\"}";
+        let (s1, r1) = post(&state, "/v1/screen", body);
+        let (s2, r2) = post(&state, "/v1/screen", body);
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(r1.to_json(), r2.to_json());
+        let stats = state.screen_cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn hbm_package_screening_applies_the_2024_rule() {
+        let state = AppState::new(64);
+        // H100 SXM: 3350 GB/s over an 814 mm² die-sized package would be
+        // > 3.3 GB/s/mm² — controlled outright.
+        let (status, body) =
+            post(&state, "/v1/screen", "{\"device\":\"H100 SXM\",\"hbm_package_area_mm2\":814}");
+        assert_eq!(status, 200);
+        let s = body.get("screening").unwrap();
+        assert_eq!(s.get("dec_2024_hbm").unwrap().as_str(), Some("controlled"));
+    }
+
+    #[test]
+    fn unknown_devices_are_typed_404s() {
+        let state = AppState::new(64);
+        let (status, body) = post(&state, "/v1/screen", "{\"device\":\"TPU v9\"}");
+        assert_eq!(status, 404);
+        assert_eq!(
+            body.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unknown_device")
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_400s() {
+        let state = AppState::new(64);
+        for body in ["not json", "{}", "{\"device\":7}", "{\"config\":{\"warp_count\":3}}"] {
+            let (status, response) = post(&state, "/v1/screen", body);
+            assert_eq!(status, 400, "body {body:?}");
+            assert_eq!(
+                response.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some("json"),
+                "body {body:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_returns_latency_and_percentiles_and_caches_repeats() {
+        let state = AppState::new(64);
+        let body = "{\"model\":\"llama3-8b\",\"trace\":{\"rate_rps\":2,\"duration_s\":5}}";
+        let (status, r1) = post(&state, "/v1/simulate", body);
+        assert_eq!(status, 200);
+        let serving = r1.get("serving").unwrap();
+        let p50 = serving.get("p50_ttft_s").unwrap().as_f64().unwrap();
+        let p99 = serving.get("p99_ttft_s").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p50 <= p99);
+        assert!(r1.get("per_layer").unwrap().get("ttft_s").unwrap().as_f64().unwrap() > 0.0);
+        let (_, r2) = post(&state, "/v1/simulate", body);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert_eq!(state.simulate_cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_batch_workloads_are_rejected_not_panicked() {
+        let state = AppState::new(64);
+        let (status, body) =
+            post(&state, "/v1/simulate", "{\"workload\":{\"batch\":0,\"input_len\":128}}");
+        assert_eq!(status, 400);
+        assert_eq!(
+            body.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_config")
+        );
+    }
+
+    #[test]
+    fn simulate_distinguishes_configs_in_the_cache() {
+        let state = AppState::new(64);
+        let slow = "{\"config\":{\"hbm_tb_s\":2.0},\"trace\":{\"duration_s\":5}}";
+        let fast = "{\"config\":{\"hbm_tb_s\":3.2},\"trace\":{\"duration_s\":5}}";
+        let (_, r_slow) = post(&state, "/v1/simulate", slow);
+        let (_, r_fast) = post(&state, "/v1/simulate", fast);
+        let tbt = |r: &Value| {
+            r.get("per_layer").unwrap().get("tbt_s").unwrap().as_f64().unwrap()
+        };
+        assert!(tbt(&r_fast) < tbt(&r_slow), "more bandwidth must decode faster");
+        assert_eq!(state.simulate_cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn device_listing_and_detail_round_trip() {
+        let state = AppState::new(64);
+        let (status, listing) = get(&state, "/v1/devices");
+        assert_eq!(status, 200);
+        let count = listing.get("count").unwrap().as_u64().unwrap();
+        assert_eq!(count, 65);
+        let (status, detail) = get(&state, "/v1/devices/A800%2080GB");
+        assert_eq!(status, 200);
+        let device = detail.get("device").unwrap();
+        assert_eq!(device.get("name").unwrap().as_str(), Some("A800 80GB"));
+        // The A800 is the bandwidth-downgraded export SKU: under 600 GB/s
+        // interconnect, over none of the 2023 density clauses' exemptions.
+        let screening = detail.get("screening").unwrap();
+        assert_eq!(screening.get("oct_2022").unwrap().as_str(), Some("not_applicable"));
+        let (status, _) = get(&state, "/v1/devices/NoSuchCard");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_report_request_counts_and_cache_stats() {
+        let state = AppState::new(64);
+        post(&state, "/v1/screen", "{\"device\":\"A100 40GB\"}");
+        post(&state, "/v1/screen", "{\"device\":\"A100 40GB\"}");
+        let (status, m) = get(&state, "/v1/metrics");
+        assert_eq!(status, 200);
+        let requests = m.get("requests").unwrap();
+        assert_eq!(requests.get("screen").unwrap().as_u64(), Some(2));
+        let screen_cache = m.get("caches").unwrap().get("screen").unwrap();
+        assert_eq!(screen_cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(screen_cache.get("misses").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn unroutable_paths_and_methods_get_protocol_errors() {
+        let state = AppState::new(64);
+        let (status, body) = get(&state, "/v2/nothing");
+        assert_eq!(status, 404);
+        assert_eq!(body.get("error").unwrap().get("kind").unwrap().as_str(), Some("protocol"));
+        let (status, _) = get(&state, "/v1/screen");
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn model_resolution_is_spelling_tolerant() {
+        assert_eq!(resolve_model("llama3-8b").unwrap().name(), "Llama 3 8B");
+        assert_eq!(resolve_model("Llama 3 8B").unwrap().name(), "Llama 3 8B");
+        assert_eq!(resolve_model("GPT3_175B").unwrap().name(), "GPT-3 175B");
+        assert!(resolve_model("gpt5").is_err());
+    }
+}

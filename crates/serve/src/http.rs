@@ -1,0 +1,227 @@
+//! A minimal HTTP/1.1 wire layer over `std::net`, shared by the server,
+//! the load generator, and the examples.
+//!
+//! Scope is deliberately narrow — exactly what the service needs and
+//! nothing more: one request per connection (`Connection: close`),
+//! `Content-Length`-framed bodies, no chunked encoding, no TLS, no
+//! keep-alive. Framing violations surface as [`AcsError::Protocol`] so
+//! the handler layer can map them to a 400 with the standard error
+//! envelope.
+
+use acs_errors::AcsError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Maximum number of request headers.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request: method, percent-encoded path, and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query, still encoded).
+    pub path: String,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+fn protocol(reason: impl Into<String>) -> AcsError {
+    AcsError::Protocol { reason: reason.into() }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, AcsError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) => return Err(protocol(format!("connection ended mid-line: {e}"))),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(protocol("header line exceeds 8 KiB"));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| protocol("header line is not UTF-8"))
+}
+
+/// Read and frame one request from `stream`.
+///
+/// # Errors
+///
+/// [`AcsError::Protocol`] on malformed request lines, non-UTF-8 headers
+/// or bodies, oversized lines/bodies/header counts, or a connection that
+/// closes mid-message.
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| protocol("empty request line"))?.to_owned();
+    let path = parts.next().ok_or_else(|| protocol("request line missing target"))?.to_owned();
+    let version = parts.next().ok_or_else(|| protocol("request line missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol(format!("unsupported protocol version {version}")));
+    }
+
+    let mut content_length = 0usize;
+    for i in 0.. {
+        if i > MAX_HEADERS {
+            return Err(protocol("too many headers"));
+        }
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(protocol(format!("malformed header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| protocol(format!("unparseable Content-Length {value:?}")))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(protocol(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                )));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| protocol(format!("connection ended mid-body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| protocol("request body is not UTF-8"))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Canonical reason phrase for the statuses the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one `Connection: close` JSON response. I/O errors are returned
+/// so callers can count them, but by this point the client may be gone —
+/// treat failures as diagnostics, not faults.
+///
+/// # Errors
+///
+/// [`AcsError::Io`] when the socket write fails.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), AcsError> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    let io_err = |e: std::io::Error| AcsError::Io {
+        path: "tcp-response".to_owned(),
+        reason: e.to_string(),
+    };
+    stream.write_all(head.as_bytes()).map_err(io_err)?;
+    stream.write_all(body.as_bytes()).map_err(io_err)?;
+    stream.flush().map_err(io_err)
+}
+
+/// One-shot HTTP client: connect, send `method path` with `body`, return
+/// `(status, response body)`. Used by the load generator, the CI smoke
+/// test, and the examples; kept symmetric with the server so both ends
+/// exercise the same framing rules.
+///
+/// # Errors
+///
+/// [`AcsError::Io`] on connect/read/write failures and
+/// [`AcsError::Protocol`] on an unparsable status line.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), AcsError> {
+    let io_err = |e: std::io::Error| AcsError::Io { path: addr.to_string(), reason: e.to_string() };
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(io_err)?;
+    stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+    stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(request.as_bytes()).map_err(io_err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(io_err)?;
+
+    let status = response
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| response.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.get(..3))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| protocol(format!("unparsable status line in {:?}", response.lines().next())))?;
+    let body = response.split_once("\r\n\r\n").map_or("", |(_, b)| b).to_owned();
+    Ok((status, body))
+}
+
+/// Decode `%XX` escapes in a path segment (`+` is left alone: these are
+/// path segments, not form data).
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_spaces_and_literals() {
+        assert_eq!(percent_decode("A100%2080GB"), "A100 80GB");
+        assert_eq!(percent_decode("H100%20SXM"), "H100 SXM");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("trailing%2"), "trailing%2");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for s in [200, 400, 404, 405, 422, 500, 503] {
+            assert!(!reason_phrase(s).is_empty());
+        }
+    }
+}

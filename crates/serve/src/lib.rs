@@ -1,0 +1,342 @@
+//! `acs-serve`: a zero-dependency HTTP/1.1 query service over the
+//! reproduction's policy and simulation engines.
+//!
+//! The service turns the library pipeline into an interactive tool: an
+//! analyst posts an accelerator description and gets back its export
+//! classification under each Advanced Computing Rule vintage
+//! (`POST /v1/screen`) or its simulated per-phase latency and serving
+//! percentiles (`POST /v1/simulate`), without writing Rust. Results are
+//! memoised through `acs-cache`'s content-addressed cache — repeated
+//! queries, the common case when a dashboard polls a fixed set of
+//! designs, are served from memory; `GET /v1/metrics` exposes the hit
+//! counters that prove it.
+//!
+//! Built entirely on `std::net`: no async runtime, no HTTP framework.
+//! A fixed worker pool drains a bounded accept queue; overflow is shed
+//! with a 503 (`overloaded` in the error taxonomy) rather than queued
+//! without bound, and per-connection read/write timeouts bound the
+//! damage a slow client can do.
+//!
+//! # Example
+//!
+//! ```
+//! use acs_serve::{http, Server, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind(ServeConfig::default())?;
+//! let addr = server.local_addr();
+//! let (handle, thread) = server.spawn();
+//! let (status, body) = http::http_request(
+//!     addr, "POST", "/v1/screen", "{\"device\":\"H100 SXM\"}", Duration::from_secs(5))?;
+//! assert_eq!(status, 200);
+//! assert!(body.contains("license_required"));
+//! handle.shutdown();
+//! thread.join().unwrap();
+//! # Ok::<(), acs_errors::AcsError>(())
+//! ```
+
+pub mod handlers;
+pub mod http;
+pub mod loadgen;
+
+pub use handlers::{error_body, handle, status_for, AppState};
+pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
+
+use acs_errors::AcsError;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before load shedding.
+    pub queue_depth: usize,
+    /// Per-connection read and write timeout.
+    pub io_timeout: Duration,
+    /// Capacity of each response cache (screen, simulate, sim-steps).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            io_timeout: Duration::from_secs(5),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+/// Requests a running server stop accepting and drain. Cloneable and
+/// sendable across threads; `shutdown` is idempotent.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and wake the accept loop. Returns once the signal
+    /// is delivered; use the join handle from [`Server::spawn`] to wait
+    /// for the drain.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        // The accept loop blocks in `accept()`; a throwaway local
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The bound-but-not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state.
+    ///
+    /// # Errors
+    ///
+    /// [`AcsError::Io`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Self, AcsError> {
+        let io_err = |e: std::io::Error| AcsError::Io {
+            path: config.addr.clone(),
+            reason: e.to_string(),
+        };
+        let listener = TcpListener::bind(&config.addr).map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState::new(config.cache_capacity)),
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                stop: AtomicBool::new(false),
+            }),
+            config,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared), addr: self.addr }
+    }
+
+    /// The shared application state (for in-process metrics inspection).
+    #[must_use]
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accept and serve until [`ServerHandle::shutdown`] is called.
+    /// Blocks the calling thread; worker threads are joined before
+    /// returning, so all in-flight requests finish.
+    pub fn run(self) {
+        let workers: Vec<_> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                let state = Arc::clone(&self.state);
+                let timeout = self.config.io_timeout;
+                std::thread::spawn(move || worker_loop(&shared, &state, timeout))
+            })
+            .collect();
+
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break; // the wake-up connection, or a straggler: drop it
+            }
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if queue.len() >= self.config.queue_depth {
+                drop(queue);
+                shed(stream, self.config.io_timeout);
+            } else {
+                queue.push_back(stream);
+                drop(queue);
+                self.shared.available.notify_one();
+            }
+        }
+
+        self.shared.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`Server::run`] on a new thread; returns the shutdown handle and
+    /// the join handle.
+    #[must_use]
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let handle = self.handle();
+        let thread = std::thread::spawn(move || self.run());
+        (handle, thread)
+    }
+}
+
+/// Reject one connection with a 503 without occupying a worker.
+fn shed(mut stream: TcpStream, timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(timeout));
+    let error = AcsError::Overloaded {
+        reason: "accept queue full; retry with backoff".to_owned(),
+    };
+    let _ = http::write_response(&mut stream, 503, &handlers::error_body(&error));
+}
+
+fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let (status, body) = match http::read_request(&mut stream) {
+            Ok(request) => handlers::handle(state, &request),
+            Err(e) => (handlers::status_for(&e), handlers::error_body(&e)),
+        };
+        // The client may already be gone; a failed write is not a server
+        // fault, so the outcome is ignored.
+        let _ = http::write_response(&mut stream, status, &body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_errors::json::parse;
+    use std::io::Write;
+
+    fn start() -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>, Arc<AppState>) {
+        let server = Server::bind(ServeConfig { workers: 2, ..ServeConfig::default() })
+            .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let state = server.state();
+        let (handle, thread) = server.spawn();
+        (addr, handle, thread, state)
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        http::http_request(addr, method, path, body, Duration::from_secs(10))
+            .expect("request round-trips")
+    }
+
+    #[test]
+    fn serves_all_endpoints_over_loopback() {
+        let (addr, handle, thread, _) = start();
+        let (status, body) = request(addr, "POST", "/v1/screen", "{\"device\":\"H100 SXM\"}");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("license_required"));
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/simulate",
+            "{\"model\":\"llama3-8b\",\"trace\":{\"duration_s\":5}}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("p99_ttft_s"));
+
+        let (status, body) = request(addr, "GET", "/v1/devices/H100%20SXM", "");
+        assert_eq!(status, 200, "{body}");
+
+        let (status, body) = request(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "{body}");
+        let m = parse(&body).unwrap();
+        assert_eq!(m.get("requests").unwrap().get("screen").unwrap().as_u64(), Some(1));
+
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_simulate_requests_hit_the_cache_over_the_wire() {
+        let (addr, handle, thread, state) = start();
+        let body = "{\"trace\":{\"duration_s\":5},\"workload\":{\"batch\":8,\"input_len\":512,\"output_len\":64}}";
+        let (_, first) = request(addr, "POST", "/v1/simulate", body);
+        let (_, second) = request(addr, "POST", "/v1/simulate", body);
+        assert_eq!(first, second, "cached response must be byte-identical");
+        let stats = state.cache_stats()[1];
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_on_the_wire_yields_a_protocol_error_not_a_hang() {
+        let (addr, handle, thread, _) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("protocol"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_graceful() {
+        let (addr, handle, thread, _) = start();
+        let (status, _) = request(addr, "GET", "/v1/devices", "");
+        assert_eq!(status, 200);
+        handle.shutdown();
+        handle.shutdown();
+        thread.join().unwrap();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || http::http_request(addr, "GET", "/v1/metrics", "", Duration::from_millis(200))
+                    .is_err(),
+            "server should no longer answer after shutdown"
+        );
+    }
+}

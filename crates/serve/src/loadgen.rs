@@ -1,0 +1,226 @@
+//! A closed-loop load generator for the service, used to demonstrate the
+//! cache's effect: a 100%-repeated request stream should sustain an
+//! order of magnitude more QPS than a 100%-unique stream, because every
+//! repeat is a cache lookup instead of a simulation.
+
+use crate::http::http_request;
+use acs_errors::AcsError;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which request stream to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Every request body is distinct (unique trace seeds): all misses.
+    Unique,
+    /// Every request body is identical: all hits after the first.
+    Repeated,
+    /// Alternate unique and repeated bodies.
+    Mixed,
+}
+
+impl LoadMode {
+    /// Parse the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// [`AcsError::InvalidConfig`] on an unknown mode name.
+    pub fn parse(s: &str) -> Result<Self, AcsError> {
+        match s {
+            "unique" => Ok(LoadMode::Unique),
+            "repeated" => Ok(LoadMode::Repeated),
+            "mixed" => Ok(LoadMode::Mixed),
+            other => Err(AcsError::InvalidConfig {
+                field: "mode".to_owned(),
+                reason: format!("unknown mode {other:?} (expected unique, repeated, or mixed)"),
+            }),
+        }
+    }
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Request stream shape.
+    pub mode: LoadMode,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 200,
+            concurrency: 4,
+            mode: LoadMode::Repeated,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregate results of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// Requests that returned HTTP 200.
+    pub succeeded: usize,
+    /// Requests that failed (transport error or non-200).
+    pub failed: usize,
+    /// Sustained queries per second over the run.
+    pub qps: f64,
+    /// Mean request latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_s: f64,
+}
+
+/// The `/v1/simulate` body for request number `i` under `mode`. Unique
+/// bodies vary the trace seed, which changes the arrival pattern and so
+/// defeats the response cache; the per-step cost cache still helps, which
+/// is exactly the layering the serving path is designed to have.
+#[must_use]
+pub fn request_body(mode: LoadMode, i: usize) -> String {
+    let seed = match mode {
+        LoadMode::Repeated => 7,
+        LoadMode::Unique => 1000 + i as u64,
+        LoadMode::Mixed => {
+            if i % 2 == 0 {
+                7
+            } else {
+                1000 + i as u64
+            }
+        }
+    };
+    format!(
+        "{{\"model\":\"llama3-8b\",\"workload\":{{\"batch\":8,\"input_len\":512,\"output_len\":64}},\
+         \"trace\":{{\"rate_rps\":4,\"duration_s\":5,\"seed\":{seed}}}}}"
+    )
+}
+
+/// Issue `config.requests` POSTs to `/v1/simulate` on `addr` from
+/// `config.concurrency` threads and aggregate latencies.
+///
+/// # Errors
+///
+/// [`AcsError::Infeasible`] when zero requests were configured.
+pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenReport, AcsError> {
+    if config.requests == 0 {
+        return Err(AcsError::Infeasible {
+            reason: "loadgen needs at least one request".to_owned(),
+        });
+    }
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let threads = config.concurrency.max(1).min(config.requests);
+    let (latencies, failures): (Vec<Vec<f64>>, Vec<usize>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut failures = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= config.requests {
+                            break;
+                        }
+                        let body = request_body(config.mode, i);
+                        let sent = Instant::now();
+                        match http_request(addr, "POST", "/v1/simulate", &body, config.timeout) {
+                            Ok((200, _)) => {
+                                latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Ok(_) | Err(_) => failures += 1,
+                        }
+                    }
+                    (latencies, failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0)))
+            .unzip()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(f64::total_cmp);
+    let succeeded = all.len();
+    let failed: usize = failures.iter().sum();
+    let pct = |p: f64| -> f64 {
+        if all.is_empty() {
+            0.0
+        } else {
+            all[((all.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    Ok(LoadgenReport {
+        requests: config.requests,
+        succeeded,
+        failed,
+        qps: if elapsed_s > 0.0 { config.requests as f64 / elapsed_s } else { 0.0 },
+        mean_ms: if succeeded > 0 { all.iter().sum::<f64>() / succeeded as f64 } else { 0.0 },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        elapsed_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_repeat_or_differ_as_the_mode_demands() {
+        assert_eq!(request_body(LoadMode::Repeated, 0), request_body(LoadMode::Repeated, 9));
+        assert_ne!(request_body(LoadMode::Unique, 0), request_body(LoadMode::Unique, 1));
+        assert_eq!(request_body(LoadMode::Mixed, 0), request_body(LoadMode::Mixed, 2));
+        assert_ne!(request_body(LoadMode::Mixed, 1), request_body(LoadMode::Mixed, 3));
+    }
+
+    #[test]
+    fn mode_parsing_accepts_the_cli_spellings() {
+        assert_eq!(LoadMode::parse("unique").unwrap(), LoadMode::Unique);
+        assert_eq!(LoadMode::parse("repeated").unwrap(), LoadMode::Repeated);
+        assert_eq!(LoadMode::parse("mixed").unwrap(), LoadMode::Mixed);
+        assert_eq!(LoadMode::parse("chaos").unwrap_err().kind(), "invalid_config");
+    }
+
+    #[test]
+    fn zero_requests_is_a_typed_error() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let err = run_loadgen(addr, &LoadgenConfig { requests: 0, ..LoadgenConfig::default() });
+        assert_eq!(err.unwrap_err().kind(), "infeasible");
+    }
+
+    #[test]
+    fn loadgen_measures_a_live_server_and_repeats_hit_cache() {
+        let server = crate::Server::bind(crate::ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let state = server.state();
+        let (handle, thread) = server.spawn();
+        let report = run_loadgen(
+            addr,
+            &LoadgenConfig { requests: 20, concurrency: 2, ..LoadgenConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(report.succeeded, 20);
+        assert_eq!(report.failed, 0);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_ms > 0.0 && report.p50_ms <= report.p99_ms);
+        let stats = state.cache_stats()[1];
+        assert!(stats.hits >= 19 - 1, "all but the first identical request should hit");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+}

@@ -55,4 +55,7 @@ pub use latency::{Bound, LayerLatency, OpCost, Simulator};
 pub use metrics::{decode_throughput_tokens_per_s, mfu, request_latency_s};
 pub use parallelism::{mapping_latency, MappingLatency, Parallelism};
 pub use params::SimParams;
-pub use serving::{simulate_disaggregated, simulate_serving, ServingConfig, ServingMetrics};
+pub use serving::{
+    simulate_disaggregated, simulate_serving, simulate_serving_cached, ServingConfig,
+    ServingMetrics, StepCostCache,
+};

@@ -1,0 +1,150 @@
+//! End-to-end client for the `acs-serve` query service: screen a
+//! compliant design, simulate it, repeat the simulation to demonstrate
+//! the content-addressed cache, and verify the hit through
+//! `GET /v1/metrics`.
+//!
+//! ```text
+//! cargo run --release --example serve_client              # in-process server
+//! cargo run --release --example serve_client -- --addr 127.0.0.1:8737
+//! ```
+//!
+//! Exits nonzero if any endpoint misbehaves or the repeated simulation
+//! does not hit the cache.
+
+use acs::serve::{http, ServeConfig, Server};
+use acs_errors::json::parse;
+use acs_errors::AcsError;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<String, AcsError> {
+    let (status, response) = http::http_request(addr, method, path, body, TIMEOUT)?;
+    if status != 200 {
+        return Err(AcsError::Protocol {
+            reason: format!("{method} {path} returned {status}: {response}"),
+        });
+    }
+    Ok(response)
+}
+
+fn run(addr: SocketAddr) -> Result<(), AcsError> {
+    // 1. Screen a TPP-capped, bandwidth-rich design — the paper's §4
+    //    compliant-architecture shape. The oversized L1 lowers performance
+    //    density below the Oct-2023 threshold, so no export license applies.
+    let screen_body = "{\"config\":{\"name\":\"compliant-3.2tb\",\"core_count\":96,\
+                       \"l1_kib\":1024,\"hbm_tb_s\":3.2,\"device_bw_gb_s\":599.0}}";
+    let screening = call(addr, "POST", "/v1/screen", screen_body)?;
+    let parsed = parse(&screening)?;
+    let strictest = parsed
+        .require("screening")?
+        .require_str("strictest_acr")?
+        .to_owned();
+    println!("compliant design screens as: {strictest}");
+    if strictest == "license_required" {
+        return Err(AcsError::Protocol {
+            reason: "the compliant design should not need an export license".to_owned(),
+        });
+    }
+
+    // 2. Compare with a known restricted device from the database.
+    let h100 = call(addr, "POST", "/v1/screen", "{\"device\":\"H100 SXM\"}")?;
+    let h100_class = parse(&h100)?
+        .require("screening")?
+        .require_str("strictest_acr")?
+        .to_owned();
+    println!("H100 SXM screens as: {h100_class}");
+    if h100_class != "license_required" {
+        return Err(AcsError::Protocol {
+            reason: format!("H100 should be license_required, got {h100_class}"),
+        });
+    }
+
+    // 3. Device lookup with a percent-encoded name.
+    let detail = call(addr, "GET", "/v1/devices/A800%2080GB", "")?;
+    let name = parse(&detail)?.require("device")?.require_str("name")?.to_owned();
+    println!("device lookup: {name}");
+
+    // 4. Simulate the compliant design twice; the second run must be a
+    //    cache hit (verified through the service's own metrics).
+    let simulate_body = "{\"config\":{\"name\":\"compliant-3.2tb\",\"core_count\":96,\
+                         \"l1_kib\":1024,\"hbm_tb_s\":3.2,\"device_bw_gb_s\":599.0},\
+                         \"model\":\"llama3-8b\",\"trace\":{\"duration_s\":5}}";
+    let before = parse(&call(addr, "GET", "/v1/metrics", "")?)?
+        .require("caches")?
+        .require("simulate")?
+        .require_f64("hits")?;
+    let first = call(addr, "POST", "/v1/simulate", simulate_body)?;
+    let second = call(addr, "POST", "/v1/simulate", simulate_body)?;
+    if first != second {
+        return Err(AcsError::Protocol {
+            reason: "repeated simulation returned a different body".to_owned(),
+        });
+    }
+    let serving = parse(&first)?;
+    let p50 = serving.require("serving")?.require_f64("p50_ttft_s")?;
+    let p99 = serving.require("serving")?.require_f64("p99_ttft_s")?;
+    println!("serving percentiles: p50 TTFT {:.1} ms, p99 TTFT {:.1} ms", p50 * 1e3, p99 * 1e3);
+
+    let after = parse(&call(addr, "GET", "/v1/metrics", "")?)?
+        .require("caches")?
+        .require("simulate")?
+        .require_f64("hits")?;
+    if after < before + 1.0 {
+        return Err(AcsError::Protocol {
+            reason: format!(
+                "repeated POST /v1/simulate did not hit the cache (hits {before} -> {after})"
+            ),
+        });
+    }
+    println!("cache verified: simulate hits {before} -> {after}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // With --addr, talk to an already-running service (the CI smoke test
+    // does this); otherwise bring one up in-process.
+    let mut args = std::env::args().skip(1);
+    let external = match (args.next().as_deref(), args.next()) {
+        (Some("--addr"), Some(addr)) => match addr.parse::<SocketAddr>() {
+            Ok(addr) => Some(addr),
+            Err(e) => {
+                eprintln!("serve_client: bad --addr {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, _) => None,
+        _ => {
+            eprintln!("usage: serve_client [--addr HOST:PORT]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match external {
+        Some(addr) => run(addr),
+        None => match Server::bind(ServeConfig::default()) {
+            Ok(server) => {
+                let addr = server.local_addr();
+                println!("serve_client: in-process server on http://{addr}");
+                let (handle, thread) = server.spawn();
+                let outcome = run(addr);
+                handle.shutdown();
+                let _ = thread.join();
+                outcome
+            }
+            Err(e) => Err(e),
+        },
+    };
+    match outcome {
+        Ok(()) => {
+            println!("serve_client: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Run the dependency-free smoke benchmark (tests/bench_smoke.rs).
+#
+# The criterion benches under crates/bench need a crates-io registry and
+# cannot build offline; this script times the same hot paths with the
+# std-only harness instead. Numbers are indicative, not publishable —
+# the assertions only catch order-of-magnitude regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test --release --offline --test bench_smoke -- --ignored --nocapture

@@ -13,6 +13,10 @@
 //! * [`dse`] — design-space exploration sweeps, filters, and statistics.
 //! * [`core`] — the paper's contribution: sanction-compliant design
 //!   optimisation and architecture-first policy analysis.
+//! * [`cache`] — a sharded, content-addressed result cache shared by the
+//!   DSE evaluator, the serving simulator, and the query service.
+//! * [`serve`] — a zero-dependency HTTP/1.1 service exposing screening
+//!   and simulation as JSON endpoints.
 //!
 //! # Quickstart
 //!
@@ -27,8 +31,10 @@
 //! assert_eq!(class, Classification::LicenseRequired);
 //! ```
 
+pub use acs_cache as cache;
 pub use acs_core as core;
 pub use acs_devices as devices;
+pub use acs_serve as serve;
 pub use acs_dse as dse;
 pub use acs_hw as hw;
 pub use acs_llm as llm;

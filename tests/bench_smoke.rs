@@ -1,0 +1,87 @@
+//! Dependency-free smoke benchmark.
+//!
+//! The criterion harness in `crates/bench` cannot build in the offline
+//! environment (criterion is not vendored), which left the repo with no
+//! runnable performance check at all. This test is the std-only
+//! replacement: it times the hot paths with `std::time::Instant`, prints
+//! a small report, and enforces only very generous ceilings — it exists
+//! to catch order-of-magnitude regressions and to prove the paths run,
+//! not to produce publishable numbers.
+//!
+//! Ignored by default so `cargo test` stays fast; run it with
+//! `scripts/bench-smoke.sh` or
+//! `cargo test --release --test bench_smoke -- --ignored --nocapture`.
+
+use acs::prelude::*;
+use acs_cache::ShardedCache;
+use acs_dse::DseRunner;
+use acs_llm::{LengthDistribution, RequestTrace};
+use acs_sim::{simulate_serving_cached, ServingConfig, StepCostCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn time<T>(label: &str, iterations: u32, mut f: impl FnMut() -> T) -> f64 {
+    // One warm-up call keeps lazy initialisation out of the measurement.
+    let _ = f();
+    let started = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(f());
+    }
+    let per_call_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(iterations);
+    println!("{label:<44} {per_call_ms:>10.3} ms/call  ({iterations} calls)");
+    per_call_ms
+}
+
+#[test]
+#[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
+fn bench_smoke() {
+    let node = SystemConfig::quad(DeviceConfig::a100_like()).expect("quad node");
+    let sim = Simulator::new(node);
+    let gpt3 = ModelConfig::gpt3_175b();
+    let work = WorkloadConfig::paper_default();
+
+    let layer_ms = time("simulate_layer (GPT-3 175B prefill)", 200, || {
+        sim.simulate_layer(&gpt3, &work, InferencePhase::Prefill)
+    });
+
+    let runner = DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default());
+    let a100 = DeviceConfig::a100_like();
+    let eval_ms = time("DseRunner::try_evaluate (uncached)", 50, || {
+        runner.try_evaluate(&a100).expect("evaluation succeeds")
+    });
+
+    let cache = Arc::new(ShardedCache::new(1024));
+    let cached_runner = DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default())
+        .with_cache(Arc::clone(&cache));
+    cached_runner.try_evaluate(&a100).expect("prime the cache");
+    let cached_ms = time("DseRunner::try_evaluate (cache hit)", 2000, || {
+        cached_runner.try_evaluate(&a100).expect("cached evaluation succeeds")
+    });
+
+    let trace = RequestTrace::synthetic(
+        4.0,
+        5.0,
+        LengthDistribution::chat_prompts(),
+        LengthDistribution::chat_outputs(),
+        7,
+    )
+    .expect("synthetic trace");
+    let llama = ModelConfig::llama3_8b();
+    let steps = StepCostCache::new(4096);
+    // Prime so the timing below measures the steady (warm-cache) state.
+    simulate_serving_cached(&sim, &llama, &trace, ServingConfig::default(), &steps);
+    let serving_ms = time("simulate_serving_cached (warm steps)", 20, || {
+        simulate_serving_cached(&sim, &llama, &trace, ServingConfig::default(), &steps)
+    });
+
+    // Generous ceilings: only order-of-magnitude regressions fail.
+    assert!(layer_ms < 100.0, "layer simulation took {layer_ms:.1} ms");
+    assert!(eval_ms < 500.0, "design evaluation took {eval_ms:.1} ms");
+    // No cached-vs-uncached comparison here: a single analytic evaluation
+    // is microseconds in release builds, on the same order as a cache
+    // lookup. The cache's payoff is at the request level (serving steps,
+    // whole /v1/simulate bodies), which the loadgen check in scripts/ci.sh
+    // measures end to end.
+    assert!(cached_ms < 5.0, "cache hit took {cached_ms:.3} ms");
+    assert!(serving_ms < 2000.0, "serving simulation took {serving_ms:.1} ms");
+}
