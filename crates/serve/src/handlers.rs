@@ -404,6 +404,16 @@ fn resolve_model(name: &str) -> Result<ModelConfig, AcsError> {
     Err(AcsError::UnknownDevice { query: format!("model {name}") })
 }
 
+/// Service-side ceilings for `/v1/simulate`. The simulator itself only
+/// checks that trace parameters are positive and finite, so without these
+/// a single request body could ask a worker to materialise an arbitrarily
+/// large synthetic trace. Generous for real use, fatal for abuse.
+const MAX_RATE_RPS: f64 = 10_000.0;
+const MAX_DURATION_S: f64 = 3_600.0;
+const MAX_TRACE_REQUESTS: f64 = 1_000_000.0;
+const MAX_DEVICE_COUNT: u32 = 4_096;
+const MAX_MAX_BATCH: usize = 4_096;
+
 struct SimulateRequest {
     config: DeviceConfig,
     model: ModelConfig,
@@ -458,10 +468,10 @@ fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
         Some(v) => v
             .as_u64()
             .and_then(|n| u32::try_from(n).ok())
-            .filter(|n| *n > 0)
+            .filter(|n| (1..=MAX_DEVICE_COUNT).contains(n))
             .ok_or_else(|| AcsError::InvalidConfig {
                 field: "device_count".to_owned(),
-                reason: "must be a positive integer".to_owned(),
+                reason: format!("must be a positive integer at most {MAX_DEVICE_COUNT}"),
             })?,
     };
     let trace = request.get("trace");
@@ -475,6 +485,28 @@ fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
     };
     let rate_rps = number("rate_rps", 2.0)?;
     let duration_s = number("duration_s", 10.0)?;
+    let bounded = |field: &str, value: f64, max: f64| -> Result<(), AcsError> {
+        if value.is_finite() && value > 0.0 && value <= max {
+            Ok(())
+        } else {
+            Err(AcsError::InvalidConfig {
+                field: format!("trace.{field}"),
+                reason: format!("must be a positive number at most {max}"),
+            })
+        }
+    };
+    bounded("rate_rps", rate_rps, MAX_RATE_RPS)?;
+    bounded("duration_s", duration_s, MAX_DURATION_S)?;
+    // Individually legal values can still multiply to an absurd trace.
+    if rate_rps * duration_s > MAX_TRACE_REQUESTS {
+        return Err(AcsError::InvalidConfig {
+            field: "trace".to_owned(),
+            reason: format!(
+                "rate_rps * duration_s implies {:.0} requests, more than the {MAX_TRACE_REQUESTS:.0}-request limit",
+                rate_rps * duration_s
+            ),
+        });
+    }
     let seed = match trace.and_then(|t| t.get("seed")) {
         None => 7,
         Some(v) => v.as_u64().ok_or_else(|| AcsError::Json {
@@ -486,10 +518,10 @@ fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
         Some(v) => v
             .as_u64()
             .and_then(|n| usize::try_from(n).ok())
-            .filter(|n| *n > 0)
+            .filter(|n| (1..=MAX_MAX_BATCH).contains(n))
             .ok_or_else(|| AcsError::InvalidConfig {
                 field: "max_batch".to_owned(),
-                reason: "must be a positive integer".to_owned(),
+                reason: format!("must be a positive integer at most {MAX_MAX_BATCH}"),
             })?,
     };
     Ok(SimulateRequest { config, model, workload, device_count, rate_rps, duration_s, seed, max_batch })
@@ -777,6 +809,28 @@ mod tests {
             body.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("invalid_config")
         );
+    }
+
+    #[test]
+    fn oversized_traces_are_rejected_not_materialised() {
+        let state = AppState::new(64);
+        for body in [
+            "{\"trace\":{\"rate_rps\":1e6,\"duration_s\":1e9}}",
+            "{\"trace\":{\"rate_rps\":-1}}",
+            "{\"trace\":{\"duration_s\":1e9}}",
+            // Individually within bounds, product over the request limit.
+            "{\"trace\":{\"rate_rps\":10000,\"duration_s\":3600}}",
+            "{\"device_count\":100000}",
+            "{\"max_batch\":100000}",
+        ] {
+            let (status, response) = post(&state, "/v1/simulate", body);
+            assert_eq!(status, 400, "body {body:?} -> {}", response.to_json());
+            assert_eq!(
+                response.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some("invalid_config"),
+                "body {body:?}"
+            );
+        }
     }
 
     #[test]

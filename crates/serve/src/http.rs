@@ -77,9 +77,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
         return Err(protocol(format!("unsupported protocol version {version}")));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for i in 0.. {
-        if i > MAX_HEADERS {
+        if i >= MAX_HEADERS {
             return Err(protocol("too many headers"));
         }
         let line = read_line(&mut reader)?;
@@ -90,19 +90,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
             return Err(protocol(format!("malformed header line {line:?}")));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
+            if content_length.is_some() {
+                return Err(protocol("duplicate Content-Length header"));
+            }
+            let length = value
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| protocol(format!("unparseable Content-Length {value:?}")))?;
-            if content_length > MAX_BODY_BYTES {
+            if length > MAX_BODY_BYTES {
                 return Err(protocol(format!(
-                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
                 )));
             }
+            content_length = Some(length);
         }
     }
 
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
     reader
         .read_exact(&mut body)
         .map_err(|e| protocol(format!("connection ended mid-body: {e}")))?;
@@ -185,16 +189,26 @@ pub fn http_request(
 }
 
 /// Decode `%XX` escapes in a path segment (`+` is left alone: these are
-/// path segments, not form data).
+/// path segments, not form data). Operates on raw bytes — a `%` followed
+/// by a multibyte UTF-8 sequence must not be treated as a string slice
+/// boundary.
 #[must_use]
 pub fn percent_decode(s: &str) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'%' && i + 2 < bytes.len() {
-            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                out.push(v);
+            if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                out.push((hi << 4) | lo);
                 i += 3;
                 continue;
             }
@@ -216,6 +230,20 @@ mod tests {
         assert_eq!(percent_decode("plain"), "plain");
         assert_eq!(percent_decode("trailing%2"), "trailing%2");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn percent_decoding_never_panics_on_multibyte_input() {
+        // A '%' directly followed by a multibyte UTF-8 char is valid UTF-8
+        // on the wire; slicing the &str two bytes past the '%' would land
+        // inside the char and panic. Decode must stay byte-oriented.
+        assert_eq!(percent_decode("%aé"), "%aé");
+        assert_eq!(percent_decode("%é"), "%é");
+        assert_eq!(percent_decode("é%20è"), "é è");
+        // Escaped multibyte sequences still decode.
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+        // An escape decoding to invalid UTF-8 is replaced, not panicked on.
+        assert_eq!(percent_decode("%ff"), "\u{fffd}");
     }
 
     #[test]

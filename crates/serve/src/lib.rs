@@ -186,7 +186,7 @@ impl Server {
                 self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             if queue.len() >= self.config.queue_depth {
                 drop(queue);
-                shed(stream, self.config.io_timeout);
+                shed(stream);
             } else {
                 queue.push_back(stream);
                 drop(queue);
@@ -210,9 +210,16 @@ impl Server {
     }
 }
 
+/// How long the accept thread may spend writing a 503 to a shed
+/// connection. Shedding happens exactly when the server is overloaded, so
+/// a stalled client must not hold up `accept()` for the full per-request
+/// `io_timeout` — give the courtesy response a tight budget and otherwise
+/// just drop the connection.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
 /// Reject one connection with a 503 without occupying a worker.
-fn shed(mut stream: TcpStream, timeout: Duration) {
-    let _ = stream.set_write_timeout(Some(timeout));
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
     let error = AcsError::Overloaded {
         reason: "accept queue full; retry with backoff".to_owned(),
     };
@@ -239,10 +246,25 @@ fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
         let Some(mut stream) = stream else { return };
         let _ = stream.set_read_timeout(Some(timeout));
         let _ = stream.set_write_timeout(Some(timeout));
-        let (status, body) = match http::read_request(&mut stream) {
-            Ok(request) => handlers::handle(state, &request),
-            Err(e) => (handlers::status_for(&e), handlers::error_body(&e)),
-        };
+        // A panic anywhere in parsing or handling must not kill the
+        // worker: the pool is fixed-size and never respawned, so an
+        // unwinding bug would silently shrink it until the service dies.
+        // Contain the unwind and answer with a taxonomy-tagged 500.
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match http::read_request(&mut stream) {
+                Ok(request) => handlers::handle(state, &request),
+                Err(e) => (handlers::status_for(&e), handlers::error_body(&e)),
+            }
+        }));
+        let (status, body) = handled.unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            let e = AcsError::EvaluationPanic { design: "request-handler".to_owned(), message };
+            (handlers::status_for(&e), handlers::error_body(&e))
+        });
         // The client may already be gone; a failed write is not a server
         // fault, so the outcome is ignored.
         let _ = http::write_response(&mut stream, status, &body);
@@ -320,6 +342,42 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         assert!(response.contains("protocol"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn multibyte_paths_do_not_kill_the_worker_pool() {
+        let (addr, handle, thread, _) = start();
+        // '%' followed by a multibyte UTF-8 char once panicked inside
+        // percent_decode; with the default 4 workers, a handful of such
+        // requests permanently killed the pool. Send more than that, then
+        // prove the server still answers.
+        for _ in 0..6 {
+            let (status, _) =
+                request(addr, "GET", "/v1/devices/%aé", "");
+            assert_eq!(status, 404, "undecodable name is a lookup miss, not a crash");
+        }
+        let (status, _) = request(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "workers must survive multibyte paths");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_content_length_headers_are_rejected() {
+        let (addr, handle, thread, _) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"POST /v1/screen HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\n{}",
+            )
+            .unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("duplicate Content-Length"), "{response}");
         handle.shutdown();
         thread.join().unwrap();
     }

@@ -94,7 +94,7 @@ pub fn request_body(mode: LoadMode, i: usize) -> String {
         LoadMode::Repeated => 7,
         LoadMode::Unique => 1000 + i as u64,
         LoadMode::Mixed => {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 7
             } else {
                 1000 + i as u64
