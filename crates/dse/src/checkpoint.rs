@@ -278,7 +278,13 @@ impl DseRunner {
         candidates: &[CandidateParams],
         path: &Path,
     ) -> Result<SweepReport, AcsError> {
-        let (done, valid_bytes) = load_checkpoint(path, candidates)?;
+        let (done, valid_bytes) = {
+            let _load_span = acs_telemetry::span("dse.checkpoint.load");
+            load_checkpoint(path, candidates)?
+        };
+        if acs_telemetry::enabled() {
+            acs_telemetry::count("dse.checkpoint.loaded", done.len() as u64);
+        }
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| io_err(parent, &e))?;
@@ -318,7 +324,15 @@ impl DseRunner {
                     let mut w = sink.lock().unwrap_or_else(PoisonError::into_inner);
                     // Flush per entry: an interrupted run may tear at most
                     // the line being written, which resume tolerates.
+                    let t0 = acs_telemetry::enabled().then(std::time::Instant::now);
                     let wrote = writeln!(w, "{line}").and_then(|()| w.flush());
+                    if let Some(t0) = t0 {
+                        acs_telemetry::observe(
+                            "dse.checkpoint.write_us",
+                            t0.elapsed().as_secs_f64() * 1e6,
+                        );
+                        acs_telemetry::count("dse.checkpoint.appended", 1);
+                    }
                     if let Err(e) = wrote {
                         record_first(&write_failure, io_err(path, &e));
                     }

@@ -257,7 +257,19 @@ impl DseRunner {
         match &self.cache {
             Some(cache) => {
                 let key = self.cache_key(config);
-                cache.get_or_try_insert(&key, || self.evaluate_uncached(config)).map(|(d, _)| d)
+                let (design, hit) =
+                    cache.get_or_try_insert(&key, || self.evaluate_uncached(config))?;
+                // Cached handles: per-point hot path (see parallel_map).
+                static HITS: acs_telemetry::GlobalCounter =
+                    acs_telemetry::GlobalCounter::new("dse.cache.hits");
+                static MISSES: acs_telemetry::GlobalCounter =
+                    acs_telemetry::GlobalCounter::new("dse.cache.misses");
+                if hit {
+                    HITS.add(1);
+                } else {
+                    MISSES.add(1);
+                }
+                Ok(design)
             }
             None => self.evaluate_uncached(config),
         }
@@ -328,6 +340,13 @@ impl DseRunner {
                 }
             }
         }
+        if acs_telemetry::enabled() {
+            acs_telemetry::count("dse.eval.ok", report.designs.len() as u64);
+            acs_telemetry::count("dse.eval.failed", report.failures.len() as u64);
+            for failure in &report.failures {
+                acs_telemetry::count(&format!("dse.eval.fail.{}", failure.reason.kind()), 1);
+            }
+        }
         report
     }
 
@@ -346,6 +365,14 @@ impl DseRunner {
             {
                 let f = &f;
                 scope.spawn(move || {
+                    // Per-point wall time goes to a histogram rather than
+                    // a span: histogram merges are order-free, so the
+                    // trace structure stays deterministic however the
+                    // scheduler interleaves worker threads. Timestamps are
+                    // chained — each point's end is the next point's start
+                    // — so profiling costs one clock read per point, not
+                    // two; the histogram's own count is the point count.
+                    let mut last = acs_telemetry::enabled().then(std::time::Instant::now);
                     for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
                         let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
                             .unwrap_or_else(|payload| {
@@ -356,6 +383,13 @@ impl DseRunner {
                                     .unwrap_or_else(|| "non-string panic payload".to_owned());
                                 Err(AcsError::EvaluationPanic { design: String::new(), message })
                             });
+                        if let Some(t0) = last {
+                            static POINT_US: acs_telemetry::GlobalHistogram =
+                                acs_telemetry::GlobalHistogram::new("dse.eval.point_us");
+                            let t1 = std::time::Instant::now();
+                            POINT_US.record((t1 - t0).as_secs_f64() * 1e6);
+                            last = Some(t1);
+                        }
                         *slot = Some(outcome);
                     }
                 });

@@ -110,6 +110,12 @@ pub fn inject_faults(candidates: &mut [CandidateParams], every: usize) -> Vec<(u
         class.apply(&mut candidates[index]);
         injected.push((index, class));
     }
+    if acs_telemetry::enabled() {
+        acs_telemetry::count("dse.faults.injected", injected.len() as u64);
+        for (_, class) in &injected {
+            acs_telemetry::count(&format!("dse.faults.class.{}", class.tag()), 1);
+        }
+    }
     injected
 }
 

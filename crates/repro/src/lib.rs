@@ -54,6 +54,9 @@ pub const EXTENSIONS: &[&str] = &[
 /// Returns an error for unknown experiment names or I/O failures while
 /// writing result files.
 pub fn run(name: &str) -> Result<(), Box<dyn Error>> {
+    // Under `--profile` every experiment gets a span; `all`/`ext` recurse
+    // through here, so their children nest automatically.
+    let _span = acs_telemetry::span(&format!("repro.{name}"));
     match name {
         "table1" => experiments::table1::run()?,
         "fig1a" => experiments::fig1::run_1a()?,
@@ -98,4 +101,19 @@ pub fn run(name: &str) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("unknown experiment: {other}").into()),
     }
     Ok(())
+}
+
+/// Export the global telemetry registry for a profiled `--profile` run:
+/// writes `trace_<name>.jsonl` into the results directory and returns its
+/// path. The trace structure (span IDs, ordering, instrument names) is
+/// deterministic for a given experiment; only timing fields vary between
+/// runs (DESIGN.md §11).
+///
+/// # Errors
+///
+/// Propagates results-directory resolution and file-write failures.
+pub fn write_profile(name: &str) -> Result<std::path::PathBuf, Box<dyn Error>> {
+    let path = util::results_dir()?.join(format!("trace_{name}.jsonl"));
+    acs_telemetry::write_trace(acs_telemetry::global(), &path)?;
+    Ok(path)
 }

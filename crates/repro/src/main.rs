@@ -1,19 +1,27 @@
 //! `acs-repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! acs-repro <experiment>    one of: table1, fig1a, fig1b, fig2, table2,
+//! acs-repro <experiment> [--profile]
+//!                           one of: table1, fig1a, fig1b, fig2, table2,
 //!                           fig5, fig6, fig7, table4, fig8, fig9, fig10,
 //!                           fig11, fig12, all
 //! ```
+//!
+//! `--profile` enables the telemetry registry for the run, writes a
+//! deterministic JSONL trace to `results/trace_<experiment>.jsonl`
+//! (honouring `ACS_RESULTS_DIR`), and prints the per-stage summary table
+//! (DESIGN.md §11).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args.iter().any(|a| a == "--profile");
+    args.retain(|a| a != "--profile");
     let name = match args.as_slice() {
         [name] if name != "--help" && name != "-h" => name.clone(),
         _ => {
-            eprintln!("usage: acs-repro <experiment>");
+            eprintln!("usage: acs-repro <experiment> [--profile]");
             eprintln!("experiments: {} all", acs_repro::EXPERIMENTS.join(" "));
             eprintln!("extensions:  {} ext", acs_repro::EXTENSIONS.join(" "));
             return if args.first().map(String::as_str) == Some("--help")
@@ -25,8 +33,24 @@ fn main() -> ExitCode {
             };
         }
     };
+    if profile {
+        acs_telemetry::global().enable();
+    }
     match acs_repro::run(&name) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if profile {
+                match acs_repro::write_profile(&name) {
+                    Ok(path) => println!("trace written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error: cannot write trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                println!();
+                print!("{}", acs_telemetry::summary_table(acs_telemetry::global()));
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -22,22 +22,33 @@ use acs_policy::{
     MarketSegment,
 };
 use acs_sim::{simulate_serving_cached, ServingConfig, Simulator, StepCostCache};
-use std::sync::atomic::{AtomicU64, Ordering};
+use acs_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Instant;
 
+/// Request-latency endpoint labels, indexing [`AppState::latency`] and
+/// naming the `serve.latency_us.*` histograms.
+const ENDPOINTS: [&str; 5] = ["screen", "simulate", "devices", "metrics", "other"];
+
 /// Shared service state: the device database, the response caches, and
-/// the request counters surfaced by `GET /v1/metrics`.
+/// the service's own always-enabled telemetry [`Registry`] — the single
+/// source of truth behind `GET /v1/metrics` (request counters,
+/// per-endpoint latency histograms, queue depth, shed count).
 #[derive(Debug)]
 pub struct AppState {
     db: GpuDatabase,
     screen_cache: ShardedCache<String>,
     simulate_cache: ShardedCache<String>,
     step_cache: StepCostCache,
-    screen_requests: AtomicU64,
-    simulate_requests: AtomicU64,
-    device_requests: AtomicU64,
-    metrics_requests: AtomicU64,
-    error_responses: AtomicU64,
+    telemetry: Arc<Registry>,
+    screen_requests: Arc<Counter>,
+    simulate_requests: Arc<Counter>,
+    device_requests: Arc<Counter>,
+    metrics_requests: Arc<Counter>,
+    error_responses: Arc<Counter>,
+    shed_responses: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency: [Arc<Histogram>; 5],
     started: Instant,
 }
 
@@ -46,16 +57,27 @@ impl AppState {
     /// `cache_capacity` entries each.
     #[must_use]
     pub fn new(cache_capacity: usize) -> Self {
+        // The service registry is always on: /v1/metrics must report real
+        // numbers whether or not the process was started with profiling.
+        // (The *global* registry stays disabled unless profiling is
+        // requested; sim-layer instrumentation hangs off that one.)
+        let telemetry = Arc::new(Registry::new_enabled());
+        let latency = ENDPOINTS
+            .map(|endpoint| telemetry.histogram(&format!("serve.latency_us.{endpoint}")));
         AppState {
             db: GpuDatabase::curated_65(),
             screen_cache: ShardedCache::new(cache_capacity),
             simulate_cache: ShardedCache::new(cache_capacity),
             step_cache: StepCostCache::new(cache_capacity.max(1024)),
-            screen_requests: AtomicU64::new(0),
-            simulate_requests: AtomicU64::new(0),
-            device_requests: AtomicU64::new(0),
-            metrics_requests: AtomicU64::new(0),
-            error_responses: AtomicU64::new(0),
+            screen_requests: telemetry.counter("serve.requests.screen"),
+            simulate_requests: telemetry.counter("serve.requests.simulate"),
+            device_requests: telemetry.counter("serve.requests.devices"),
+            metrics_requests: telemetry.counter("serve.requests.metrics"),
+            error_responses: telemetry.counter("serve.requests.errors"),
+            shed_responses: telemetry.counter("serve.queue.shed"),
+            queue_depth: telemetry.gauge("serve.queue.depth"),
+            latency,
+            telemetry,
             started: Instant::now(),
         }
     }
@@ -65,6 +87,40 @@ impl AppState {
     #[must_use]
     pub fn cache_stats(&self) -> [CacheStats; 3] {
         [self.screen_cache.stats(), self.simulate_cache.stats(), self.step_cache.stats()]
+    }
+
+    /// The service's telemetry registry (always enabled).
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Record the accept-queue depth after a push or pop.
+    pub fn record_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as u64);
+    }
+
+    /// Count one load-shedding 503.
+    pub fn record_shed(&self) {
+        self.shed_responses.add(1);
+    }
+
+    /// Mirror the sharded caches' hit/miss/eviction counters into the
+    /// telemetry registry (as gauges: the caches own the running totals,
+    /// the registry reflects their latest values) so a trace export of the
+    /// service registry carries the cache picture too.
+    fn sync_cache_telemetry(&self) {
+        let caches = [
+            ("screen", self.screen_cache.stats(), self.screen_cache.len()),
+            ("simulate", self.simulate_cache.stats(), self.simulate_cache.len()),
+            ("sim_steps", self.step_cache.stats(), self.step_cache.len()),
+        ];
+        for (name, stats, len) in caches {
+            self.telemetry.set_gauge(&format!("serve.cache.{name}.hits"), stats.hits);
+            self.telemetry.set_gauge(&format!("serve.cache.{name}.misses"), stats.misses);
+            self.telemetry.set_gauge(&format!("serve.cache.{name}.evictions"), stats.evictions);
+            self.telemetry.set_gauge(&format!("serve.cache.{name}.entries"), len as u64);
+        }
     }
 }
 
@@ -100,27 +156,35 @@ fn err(error: &AcsError) -> (u16, String) {
 /// Route one request. Always returns a complete `(status, JSON body)`
 /// pair; this function never panics on untrusted input.
 pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
+    let t0 = Instant::now();
     let path = request.path.split('?').next().unwrap_or("");
+    let endpoint = match path {
+        "/v1/screen" => 0,
+        "/v1/simulate" => 1,
+        p if p == "/v1/devices" || p.starts_with("/v1/devices/") => 2,
+        "/v1/metrics" => 3,
+        _ => 4,
+    };
     let outcome: Result<String, (u16, String)> = match (request.method.as_str(), path) {
         ("POST", "/v1/screen") => {
-            state.screen_requests.fetch_add(1, Ordering::Relaxed);
+            state.screen_requests.add(1);
             screen(state, &request.body).map_err(|e| err(&e))
         }
         ("POST", "/v1/simulate") => {
-            state.simulate_requests.fetch_add(1, Ordering::Relaxed);
+            state.simulate_requests.add(1);
             simulate(state, &request.body).map_err(|e| err(&e))
         }
         ("GET", "/v1/devices") => {
-            state.device_requests.fetch_add(1, Ordering::Relaxed);
+            state.device_requests.add(1);
             Ok(list_devices(state))
         }
         ("GET", p) if p.starts_with("/v1/devices/") => {
-            state.device_requests.fetch_add(1, Ordering::Relaxed);
+            state.device_requests.add(1);
             device_detail(state, &percent_decode(&p["/v1/devices/".len()..]))
                 .map_err(|e| err(&e))
         }
         ("GET", "/v1/metrics") => {
-            state.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            state.metrics_requests.add(1);
             Ok(metrics(state))
         }
         (m, "/v1/screen" | "/v1/simulate" | "/v1/devices" | "/v1/metrics") => {
@@ -141,8 +205,9 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
         Err((status, body)) => (status, body),
     };
     if status >= 400 {
-        state.error_responses.fetch_add(1, Ordering::Relaxed);
+        state.error_responses.add(1);
     }
+    state.latency[endpoint].record(t0.elapsed().as_secs_f64() * 1e6);
     (status, body)
 }
 
@@ -661,9 +726,30 @@ fn stats_value(stats: CacheStats, len: usize) -> Value {
     ])
 }
 
-/// `GET /v1/metrics` — request counters and cache statistics.
+/// `GET /v1/metrics` — request counters, per-endpoint latency quantiles,
+/// queue health, and cache statistics, all read from the state's telemetry
+/// registry (the single source of truth) and emitted through the
+/// canonical-JSON codec.
 fn metrics(state: &AppState) -> String {
-    let u = |c: &AtomicU64| Value::Number(c.load(Ordering::Relaxed) as f64);
+    state.sync_cache_telemetry();
+    let u = |c: &Counter| Value::Number(c.get() as f64);
+    let latency = ENDPOINTS
+        .iter()
+        .zip(&state.latency)
+        .map(|(endpoint, histogram)| {
+            let s = histogram.snapshot();
+            (
+                *endpoint,
+                object(vec![
+                    ("count", Value::Number(s.count as f64)),
+                    ("mean_us", Value::Number(s.mean())),
+                    ("p50_us", Value::Number(s.p50())),
+                    ("p90_us", Value::Number(s.p90())),
+                    ("p99_us", Value::Number(s.p99())),
+                ]),
+            )
+        })
+        .collect();
     object(vec![
         ("uptime_s", Value::Number(state.started.elapsed().as_secs_f64())),
         (
@@ -674,6 +760,14 @@ fn metrics(state: &AppState) -> String {
                 ("devices", u(&state.device_requests)),
                 ("metrics", u(&state.metrics_requests)),
                 ("errors", u(&state.error_responses)),
+            ]),
+        ),
+        ("latency_us", object(latency)),
+        (
+            "queue",
+            object(vec![
+                ("depth", Value::Number(state.queue_depth.get() as f64)),
+                ("shed", u(&state.shed_responses)),
             ]),
         ),
         (
@@ -878,6 +972,40 @@ mod tests {
         let screen_cache = m.get("caches").unwrap().get("screen").unwrap();
         assert_eq!(screen_cache.get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(screen_cache.get("misses").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_body_parses_and_reports_latency_and_queue_from_the_registry() {
+        let state = AppState::new(64);
+        post(&state, "/v1/screen", "{\"device\":\"A100 40GB\"}");
+        get(&state, "/v1/devices");
+        let (status, raw) = handle(
+            &state,
+            &HttpRequest { method: "GET".into(), path: "/v1/metrics".into(), body: String::new() },
+        );
+        assert_eq!(status, 200);
+        // The body must round-trip through the canonical-JSON codec.
+        let m = parse(&raw).expect("metrics body must be valid canonical JSON");
+        let latency = m.get("latency_us").expect("latency_us section");
+        for endpoint in ENDPOINTS {
+            let section = latency.get(endpoint).expect("every endpoint has a latency entry");
+            assert!(section.get("p50_us").unwrap().as_f64().is_some());
+            assert!(section.get("p99_us").unwrap().as_f64().is_some());
+        }
+        let screen = latency.get("screen").unwrap();
+        assert_eq!(screen.get("count").unwrap().as_u64(), Some(1));
+        assert!(screen.get("p50_us").unwrap().as_f64().unwrap() > 0.0);
+        let queue = m.get("queue").expect("queue section");
+        assert_eq!(queue.get("shed").unwrap().as_u64(), Some(0));
+        // The request counters and the registry are the same numbers: one
+        // source of truth.
+        assert_eq!(
+            m.get("requests").unwrap().get("screen").unwrap().as_u64(),
+            Some(state.telemetry().counter("serve.requests.screen").get()),
+        );
+        // Mirrored cache gauges landed in the registry.
+        let gauges = state.telemetry().gauge_values();
+        assert!(gauges.iter().any(|(n, v)| n == "serve.cache.screen.misses" && *v == 1));
     }
 
     #[test]

@@ -186,9 +186,11 @@ impl Server {
                 self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             if queue.len() >= self.config.queue_depth {
                 drop(queue);
+                self.state.record_shed();
                 shed(stream);
             } else {
                 queue.push_back(stream);
+                self.state.record_queue_depth(queue.len());
                 drop(queue);
                 self.shared.available.notify_one();
             }
@@ -232,6 +234,7 @@ fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(stream) = queue.pop_front() {
+                    state.record_queue_depth(queue.len());
                     break Some(stream);
                 }
                 if shared.stop.load(Ordering::SeqCst) {

@@ -5,6 +5,7 @@
 
 use crate::http::http_request;
 use acs_errors::AcsError;
+use acs_telemetry::Histogram;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -122,12 +123,17 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
     let next = AtomicUsize::new(0);
     let started = Instant::now();
     let threads = config.concurrency.max(1).min(config.requests);
-    let (latencies, failures): (Vec<Vec<f64>>, Vec<usize>) = std::thread::scope(|scope| {
+    // One histogram shared by every client thread: the same merge-safe
+    // instrument the rest of the stack uses, so the report's p50/p99 come
+    // from the telemetry quantile logic instead of a private percentile
+    // implementation.
+    let latency_ms = Histogram::standalone();
+    let failures: Vec<usize> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let latency_ms = &latency_ms;
                 scope.spawn(move || {
-                    let mut latencies = Vec::new();
                     let mut failures = 0usize;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -138,40 +144,29 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
                         let sent = Instant::now();
                         match http_request(addr, "POST", "/v1/simulate", &body, config.timeout) {
                             Ok((200, _)) => {
-                                latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                                latency_ms.record(sent.elapsed().as_secs_f64() * 1e3);
                             }
                             Ok(_) | Err(_) => failures += 1,
                         }
                     }
-                    (latencies, failures)
+                    failures
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0)))
-            .unzip()
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
-    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
-    all.sort_by(f64::total_cmp);
-    let succeeded = all.len();
+    let sample = latency_ms.snapshot();
+    let succeeded = usize::try_from(sample.count).unwrap_or(usize::MAX);
     let failed: usize = failures.iter().sum();
-    let pct = |p: f64| -> f64 {
-        if all.is_empty() {
-            0.0
-        } else {
-            all[((all.len() - 1) as f64 * p).round() as usize]
-        }
-    };
     Ok(LoadgenReport {
         requests: config.requests,
         succeeded,
         failed,
         qps: if elapsed_s > 0.0 { config.requests as f64 / elapsed_s } else { 0.0 },
-        mean_ms: if succeeded > 0 { all.iter().sum::<f64>() / succeeded as f64 } else { 0.0 },
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
+        mean_ms: sample.mean(),
+        p50_ms: sample.p50(),
+        p99_ms: sample.p99(),
         elapsed_s,
     })
 }

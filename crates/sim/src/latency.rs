@@ -263,6 +263,9 @@ impl Simulator {
             cost.classify();
             ops.push(cost);
         }
+        if acs_telemetry::enabled() {
+            record_layer_telemetry(graph.ops(), &ops, phase);
+        }
         LayerLatency { ops, phase }
     }
 
@@ -353,6 +356,54 @@ impl Simulator {
     ) -> Result<f64, AcsError> {
         let lat = self.try_simulate_layer(model, workload, workload.decode_phase())?;
         guard::ensure_positive("simulator", "tbt_s", lat.total_s())
+    }
+}
+
+/// Record per-operator-class modelled cost totals into the global
+/// telemetry registry, aggregated per layer call.
+///
+/// The class totals are monotonic nanosecond counters rather than
+/// histograms: this runs on the sweep hot path, where the <5%
+/// profiling-overhead budget affords roughly one uncontended `fetch_add`
+/// per operator class and nothing more. Exact totals (divided by the
+/// `sim.layers.*` counts) answer the attribution question — where does
+/// modelled time go? — while distributions live where they carry real
+/// signal: per-point wall time (`dse.eval.point_us`) and serving step
+/// costs (`sim.step.*`).
+fn record_layer_telemetry(graph_ops: &[Operator], ops: &[OpCost], phase: InferencePhase) {
+    use acs_telemetry::GlobalCounter;
+    // Cached handles: no registry name lookup (let alone a `format!`)
+    // per simulated layer.
+    static COST_COUNTERS: [GlobalCounter; 4] = [
+        GlobalCounter::new("sim.cost_ns.matmul"),
+        GlobalCounter::new("sim.cost_ns.attention"),
+        GlobalCounter::new("sim.cost_ns.vector"),
+        GlobalCounter::new("sim.cost_ns.collective"),
+    ];
+    static PREFILL_LAYERS: GlobalCounter = GlobalCounter::new("sim.layers.prefill");
+    static DECODE_LAYERS: GlobalCounter = GlobalCounter::new("sim.layers.decode");
+    let mut sums = [0.0f64; 4];
+    for (op, cost) in graph_ops.iter().zip(ops) {
+        let class = match op {
+            // The attention score/context products are the workload's
+            // quadratic term; track them separately from weight matmuls.
+            Operator::Matmul(m) if m.name.starts_with("attn") => 1,
+            Operator::Matmul(_) => 0,
+            Operator::Vector(_) => 2,
+            Operator::AllReduce(_) => 3,
+            _ => continue,
+        };
+        sums[class] += cost.time_s;
+    }
+    for i in 0..4 {
+        if sums[i] > 0.0 {
+            COST_COUNTERS[i].add((sums[i] * 1e9) as u64);
+        }
+    }
+    if matches!(phase, InferencePhase::Prefill) {
+        PREFILL_LAYERS.add(1);
+    } else {
+        DECODE_LAYERS.add(1);
     }
 }
 

@@ -203,8 +203,17 @@ fn run_schedule(
         if let Some((arrival, input, output)) =
             if can_admit { waiting.pop_front() } else { None }
         {
-            // Prefill one waiting request and admit it.
-            now += prefill_cost(input);
+            // Prefill one waiting request and admit it. Cached handles:
+            // this fires once per simulated step, far too often for a
+            // registry name lookup per call.
+            static PREFILL_STEPS: acs_telemetry::GlobalCounter =
+                acs_telemetry::GlobalCounter::new("sim.serving.prefill_steps");
+            static PREFILL_COST_US: acs_telemetry::GlobalHistogram =
+                acs_telemetry::GlobalHistogram::new("sim.serving.prefill_cost_us");
+            let step = prefill_cost(input);
+            PREFILL_STEPS.add(1);
+            PREFILL_COST_US.record(step * 1e6);
+            now += step;
             output_tokens += 1; // the prefill emits the first token
             let mut req = Active {
                 remaining: output.saturating_sub(1),
@@ -223,7 +232,13 @@ fn run_schedule(
             // One decode iteration for the whole batch.
             let mean_context =
                 active.iter().map(|a| a.context).sum::<u64>() / active.len() as u64;
+            static DECODE_STEPS: acs_telemetry::GlobalCounter =
+                acs_telemetry::GlobalCounter::new("sim.serving.decode_steps");
+            static DECODE_COST_US: acs_telemetry::GlobalHistogram =
+                acs_telemetry::GlobalHistogram::new("sim.serving.decode_cost_us");
             let step = decode_cost(active.len(), mean_context);
+            DECODE_STEPS.add(1);
+            DECODE_COST_US.record(step * 1e6);
             now += step;
             output_tokens += active.len() as u64;
             for a in &mut active {
@@ -362,27 +377,43 @@ pub fn simulate_serving_cached(
         config,
         |len| {
             let key = bucket(len);
-            let (cost, _) = cache
+            let (cost, hit) = cache
                 .inner
                 .get_or_try_insert::<std::convert::Infallible>(
                     &step_key(sim, model, "prefill", 1, key),
                     || Ok(full_prefill_cost(sim, model, key)),
                 )
                 .unwrap_or_else(|e| match e {});
+            record_stepcache(hit);
             cost
         },
         |batch, context| {
             let key = bucket(context);
-            let (cost, _) = cache
+            let (cost, hit) = cache
                 .inner
                 .get_or_try_insert::<std::convert::Infallible>(
                     &step_key(sim, model, "decode", batch as u64, key),
                     || Ok(full_decode_cost(sim, model, batch, key)),
                 )
                 .unwrap_or_else(|e| match e {});
+            record_stepcache(hit);
             cost
         },
     )
+}
+
+/// Per-step cache-outcome telemetry, with cached handles (one call per
+/// simulated serving step).
+fn record_stepcache(hit: bool) {
+    static HITS: acs_telemetry::GlobalCounter =
+        acs_telemetry::GlobalCounter::new("sim.stepcache.hits");
+    static MISSES: acs_telemetry::GlobalCounter =
+        acs_telemetry::GlobalCounter::new("sim.stepcache.misses");
+    if hit {
+        HITS.add(1);
+    } else {
+        MISSES.add(1);
+    }
 }
 
 /// Disaggregated (Splitwise-style) serving: a dedicated prefill node

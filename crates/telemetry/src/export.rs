@@ -1,0 +1,315 @@
+//! Trace export: a deterministic JSONL dump of a registry plus a compact
+//! text summary table.
+//!
+//! The JSONL form uses the canonical-JSON codec from `acs-errors`, so a
+//! given registry state always serialises to identical bytes. Structure is
+//! deterministic across runs of a deterministic program: span IDs are
+//! sequential in creation order, events appear in completion order, and
+//! instruments are emitted sorted by name with fixed-width bucket arrays —
+//! only timing-derived *values* (durations, wall-time histogram contents)
+//! vary between runs.
+
+use crate::{HistogramSnapshot, Registry, SpanEvent, BUCKETS};
+use acs_errors::json::{object, Value};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+fn num(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Number(v)
+    } else {
+        Value::Null
+    }
+}
+
+fn unum(v: u64) -> Value {
+    Value::Number(v as f64)
+}
+
+fn span_line(e: &SpanEvent) -> Value {
+    object(vec![
+        ("type", Value::String("span".to_owned())),
+        ("id", unum(e.id)),
+        ("parent", unum(e.parent)),
+        ("depth", unum(u64::from(e.depth))),
+        ("name", Value::String(e.name.clone())),
+        ("start_ns", unum(e.start_ns)),
+        ("dur_ns", unum(e.dur_ns)),
+    ])
+}
+
+fn histogram_line(name: &str, s: &HistogramSnapshot) -> Value {
+    let buckets: Vec<Value> = (0..BUCKETS)
+        .map(|i| unum(s.buckets.get(i).copied().unwrap_or(0)))
+        .collect();
+    object(vec![
+        ("type", Value::String("histogram".to_owned())),
+        ("name", Value::String(name.to_owned())),
+        ("count", unum(s.count)),
+        ("rejected", unum(s.rejected)),
+        ("sum", num(s.sum)),
+        ("min", if s.count == 0 { Value::Null } else { num(s.min) }),
+        ("max", if s.count == 0 { Value::Null } else { num(s.max) }),
+        ("p50", num(s.p50())),
+        ("p90", num(s.p90())),
+        ("p99", num(s.p99())),
+        ("buckets", Value::Array(buckets)),
+    ])
+}
+
+/// Serialise the registry as JSONL: one header line, then spans in
+/// completion order, then counters, gauges, and histograms sorted by name.
+#[must_use]
+pub fn trace_jsonl(reg: &Registry) -> String {
+    let spans = reg.span_events();
+    let counters = reg.counter_values();
+    let gauges = reg.gauge_values();
+    let histograms = reg.histogram_snapshots();
+    let mut out = String::new();
+    let header = object(vec![
+        ("type", Value::String("trace_header".to_owned())),
+        ("version", unum(1)),
+        ("spans", unum(spans.len() as u64)),
+        ("counters", unum(counters.len() as u64)),
+        ("gauges", unum(gauges.len() as u64)),
+        ("histograms", unum(histograms.len() as u64)),
+    ]);
+    out.push_str(&header.to_json());
+    out.push('\n');
+    for e in &spans {
+        out.push_str(&span_line(e).to_json());
+        out.push('\n');
+    }
+    for (name, value) in &counters {
+        let line = object(vec![
+            ("type", Value::String("counter".to_owned())),
+            ("name", Value::String(name.clone())),
+            ("value", unum(*value)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for (name, value) in &gauges {
+        let line = object(vec![
+            ("type", Value::String("gauge".to_owned())),
+            ("name", Value::String(name.clone())),
+            ("value", unum(*value)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for (name, snap) in &histograms {
+        out.push_str(&histogram_line(name, snap).to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write [`trace_jsonl`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_trace(reg: &Registry, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(trace_jsonl(reg).as_bytes())?;
+    file.flush()
+}
+
+/// Render a compact, fixed-width summary: per-stage wall time (spans
+/// aggregated by name), counters, histogram quantiles, gauges, and derived
+/// cache hit rates (from `<base>.hits` / `<base>.misses` counter pairs).
+#[must_use]
+pub fn summary_table(reg: &Registry) -> String {
+    let spans = reg.span_events();
+    let counters = reg.counter_values();
+    let gauges = reg.gauge_values();
+    let histograms = reg.histogram_snapshots();
+    let mut out = String::new();
+    let _ = writeln!(out, "telemetry summary");
+    let _ = writeln!(out, "=================");
+
+    if !spans.is_empty() {
+        // Aggregate by name, preserving first-seen order of completion so
+        // the table reads in roughly pipeline order.
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: std::collections::BTreeMap<String, (u64, u64)> = std::collections::BTreeMap::new();
+        for e in &spans {
+            let entry = agg.entry(e.name.clone()).or_insert_with(|| {
+                order.push(e.name.clone());
+                (0, 0)
+            });
+            entry.0 += 1;
+            entry.1 += e.dur_ns;
+        }
+        let _ = writeln!(out, "{:<40} {:>8} {:>12} {:>12}", "span", "calls", "total_ms", "mean_ms");
+        for name in &order {
+            let (calls, total_ns) = agg[name];
+            let total_ms = total_ns as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>8} {:>12.3} {:>12.3}",
+                name,
+                calls,
+                total_ms,
+                total_ms / calls as f64,
+            );
+        }
+    }
+
+    if !histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p90", "p99"
+        );
+        for (name, s) in &histograms {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                name,
+                s.count,
+                s.p50(),
+                s.p90(),
+                s.p99(),
+            );
+        }
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "{:<40} {:>8}", "counter", "value");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {:<38} {:>8}", name, value);
+        }
+    }
+
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "{:<40} {:>8}", "gauge", "value");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {:<38} {:>8}", name, value);
+        }
+    }
+
+    let mut rate_rows = Vec::new();
+    for (name, hits) in &counters {
+        if let Some(base) = name.strip_suffix(".hits") {
+            let miss_key = format!("{base}.misses");
+            if let Some((_, misses)) = counters.iter().find(|(n, _)| *n == miss_key) {
+                let total = hits + misses;
+                if total > 0 {
+                    rate_rows.push((base.to_owned(), *hits, *misses, *hits as f64 / total as f64));
+                }
+            }
+        }
+    }
+    if !rate_rows.is_empty() {
+        let _ = writeln!(out, "{:<40} {:>8}", "cache", "hit_rate");
+        for (base, hits, misses, rate) in &rate_rows {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>7.1}%  ({hits} hits / {misses} misses)",
+                base,
+                rate * 100.0,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_errors::json::parse;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new_enabled();
+        {
+            let _outer = reg.span("stage.outer");
+            let _inner = reg.span("stage.inner");
+        }
+        reg.add("demo.cache.hits", 3);
+        reg.add("demo.cache.misses", 1);
+        reg.set_gauge("demo.depth", 4);
+        reg.observe("demo.latency_us", 12.5);
+        reg.observe("demo.latency_us", 80.0);
+        reg
+    }
+
+    #[test]
+    fn every_jsonl_line_parses_and_header_counts_match() {
+        let reg = sample_registry();
+        let text = trace_jsonl(&reg);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 6);
+        let header = parse(lines[0]).expect("header parses");
+        assert_eq!(header.require_str("type").unwrap(), "trace_header");
+        assert_eq!(header.require_u64("spans").unwrap(), 2);
+        assert_eq!(header.require_u64("counters").unwrap(), 2);
+        assert_eq!(header.require_u64("gauges").unwrap(), 1);
+        assert_eq!(header.require_u64("histograms").unwrap(), 1);
+        for line in &lines[1..] {
+            let v = parse(line).expect("line parses");
+            assert!(v.get("type").is_some());
+        }
+    }
+
+    #[test]
+    fn histogram_lines_have_fixed_width_bucket_arrays() {
+        let reg = sample_registry();
+        let text = trace_jsonl(&reg);
+        let hist = text
+            .lines()
+            .find(|l| l.contains("\"histogram\""))
+            .expect("histogram line");
+        let v = parse(hist).unwrap();
+        assert_eq!(v.require("buckets").unwrap().as_array().unwrap().len(), BUCKETS);
+        assert_eq!(v.require_u64("count").unwrap(), 2);
+        assert_eq!(crate::bucket_upper(32), 1.0);
+    }
+
+    #[test]
+    fn serialisation_is_deterministic_for_a_fixed_registry() {
+        let reg = sample_registry();
+        assert_eq!(trace_jsonl(&reg), trace_jsonl(&reg));
+    }
+
+    #[test]
+    fn empty_histogram_serialises_null_min_max() {
+        let reg = Registry::new_enabled();
+        let _ = reg.histogram("empty");
+        let text = trace_jsonl(&reg);
+        let line = text.lines().find(|l| l.contains("\"empty\"")).unwrap();
+        let v = parse(line).unwrap();
+        assert_eq!(v.require("min").unwrap(), &acs_errors::json::Value::Null);
+        assert_eq!(v.require("max").unwrap(), &acs_errors::json::Value::Null);
+    }
+
+    #[test]
+    fn summary_table_reports_stages_counters_and_hit_rates() {
+        let reg = sample_registry();
+        let table = summary_table(&reg);
+        assert!(table.contains("stage.outer"));
+        assert!(table.contains("stage.inner"));
+        assert!(table.contains("demo.cache.hits"));
+        assert!(table.contains("demo.latency_us"));
+        assert!(table.contains("demo.depth"));
+        assert!(table.contains("75.0%"), "hit rate row missing:\n{table}");
+    }
+
+    #[test]
+    fn write_trace_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("acs-telemetry-test-{}", std::process::id()));
+        let path = dir.join("nested").join("trace.jsonl");
+        let reg = sample_registry();
+        write_trace(&reg, &path).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, trace_jsonl(&reg));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,435 @@
+//! `acs-telemetry`: zero-dependency tracing, metrics, and profiling.
+//!
+//! The subsystem has three layers (DESIGN.md §11):
+//!
+//! 1. **Spans** ([`Span`]) — scoped guards with monotonic timing and
+//!    thread-safe nesting via a thread-local parent stack.
+//! 2. **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — named
+//!    instruments interned in a [`Registry`]; histograms use power-of-two
+//!    buckets and merge across threads.
+//! 3. **Export** ([`export`]) — a deterministic JSONL trace (canonical-JSON
+//!    codec from `acs-errors`) and a compact text summary table.
+//!
+//! Instrumented code paths call the free functions ([`span`], [`count`],
+//! [`observe`], [`set_gauge`]) against the process-global registry, which
+//! starts *disabled*: until [`global`]`().enable()` runs (e.g. via a
+//! `--profile` flag), every call reduces to an atomic load and a branch.
+//! Subsystems that always need live metrics (the serve crate) own their own
+//! always-enabled `Registry` instead of using the global one.
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{summary_table, trace_jsonl, write_trace};
+pub use metrics::{
+    bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot,
+    BUCKETS, OFFSET,
+};
+pub use span::{Span, SpanEvent};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Distinguishes registries on the thread-local span stack.
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A registry of named instruments plus a span trace buffer.
+///
+/// Instruments are interned on first use and live for the registry's
+/// lifetime; handles ([`Arc<Counter>`] etc.) can be cached by hot code to
+/// skip the name lookup. The registry starts disabled unless constructed
+/// with [`Registry::new_enabled`].
+#[derive(Debug)]
+pub struct Registry {
+    id: u64,
+    enabled: Arc<AtomicBool>,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A new, disabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: Arc::new(AtomicBool::new(false)),
+            epoch: Instant::now(),
+            next_span_id: AtomicU64::new(1),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A new registry that is recording from the start.
+    #[must_use]
+    pub fn new_enabled() -> Self {
+        let reg = Registry::new();
+        reg.enable();
+        reg
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (already-interned handles go quiet too: they share
+    /// this flag).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the registry is currently recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Intern (or fetch) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new(Arc::clone(&self.enabled)));
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Intern (or fetch) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new(Arc::clone(&self.enabled)));
+        map.insert(name.to_owned(), Arc::clone(&g));
+        g
+    }
+
+    /// Intern (or fetch) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(Arc::clone(&self.enabled)));
+        map.insert(name.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Add `n` to the counter called `name` (no-op when disabled, before
+    /// any name lookup).
+    pub fn add(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Record `v` into the histogram called `name` (no-op when disabled).
+    pub fn observe(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Set the gauge called `name` (no-op when disabled).
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if self.is_enabled() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// Open a span called `name`. Returns an inert guard when disabled.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        if self.is_enabled() {
+            Span::start(self, name)
+        } else {
+            Span::disabled()
+        }
+    }
+
+    /// Completed spans, in completion order.
+    #[must_use]
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        self.spans.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Sorted `(name, value)` pairs for all interned counters.
+    #[must_use]
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, value)` pairs for all interned gauges.
+    #[must_use]
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, snapshot)` pairs for all interned histograms.
+    #[must_use]
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Zero every instrument, clear the trace buffer, and restart span IDs
+    /// from 1. Interned handles stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap_or_else(PoisonError::into_inner).values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap_or_else(PoisonError::into_inner).values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap_or_else(PoisonError::into_inner).values() {
+            h.reset();
+        }
+        self.spans.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        self.next_span_id.store(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn registry_id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn push_span_event(&self, event: SpanEvent) {
+        self.spans.lock().unwrap_or_else(PoisonError::into_inner).push(event);
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry (created disabled on first access).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether the global registry exists *and* is recording. This is the
+/// fast-path check instrumented code uses before doing any work; when
+/// profiling was never requested it is one `OnceLock` load and a branch.
+#[must_use]
+pub fn enabled() -> bool {
+    GLOBAL.get().is_some_and(Registry::is_enabled)
+}
+
+/// Add `n` to the global counter called `name` (no-op unless profiling).
+pub fn count(name: &str, n: u64) {
+    if let Some(reg) = GLOBAL.get() {
+        reg.add(name, n);
+    }
+}
+
+/// Record `v` into the global histogram called `name` (no-op unless
+/// profiling).
+pub fn observe(name: &str, v: f64) {
+    if let Some(reg) = GLOBAL.get() {
+        reg.observe(name, v);
+    }
+}
+
+/// Set the global gauge called `name` (no-op unless profiling).
+pub fn set_gauge(name: &str, v: u64) {
+    if let Some(reg) = GLOBAL.get() {
+        reg.set_gauge(name, v);
+    }
+}
+
+/// Open a span on the global registry (inert unless profiling).
+pub fn span(name: &str) -> Span<'static> {
+    match GLOBAL.get() {
+        Some(reg) => reg.span(name),
+        None => Span::disabled(),
+    }
+}
+
+/// A named counter on the global registry with a cached handle.
+///
+/// [`count`] pays a mutex-guarded name lookup per call, which is fine for
+/// per-run events but too slow for per-point or per-layer hot paths. This
+/// type is `const`-constructible, so a call site can hold one in a
+/// `static` and intern exactly once (on its first enabled call); every
+/// call after that is an atomic load, a branch, and an atomic add.
+/// [`Registry::reset`] zeroes instruments in place, so the cached handle
+/// stays valid across resets.
+#[derive(Debug)]
+pub struct GlobalCounter {
+    name: &'static str,
+    handle: OnceLock<Arc<Counter>>,
+}
+
+impl GlobalCounter {
+    /// A handle for the global counter called `name` (not yet interned).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        GlobalCounter { name, handle: OnceLock::new() }
+    }
+
+    /// Add `n` (no-op unless profiling).
+    pub fn add(&self, n: u64) {
+        // Fast path once interned: the counter's own enabled flag (shared
+        // with the registry) makes it a no-op when profiling is off.
+        if let Some(counter) = self.handle.get() {
+            counter.add(n);
+        } else if enabled() {
+            self.handle.get_or_init(|| global().counter(self.name)).add(n);
+        }
+    }
+}
+
+/// A named histogram on the global registry with a cached handle; the
+/// histogram counterpart of [`GlobalCounter`].
+#[derive(Debug)]
+pub struct GlobalHistogram {
+    name: &'static str,
+    handle: OnceLock<Arc<Histogram>>,
+}
+
+impl GlobalHistogram {
+    /// A handle for the global histogram called `name` (not yet interned).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        GlobalHistogram { name, handle: OnceLock::new() }
+    }
+
+    /// Record `v` (no-op unless profiling).
+    pub fn record(&self, v: f64) {
+        if let Some(histogram) = self.handle.get() {
+            histogram.record(v);
+        } else if enabled() {
+            self.handle.get_or_init(|| global().histogram(self.name)).record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing_and_interns_nothing_via_add() {
+        let reg = Registry::new();
+        reg.add("c", 3);
+        reg.observe("h", 1.0);
+        reg.set_gauge("g", 2);
+        assert!(reg.counter_values().is_empty());
+        assert!(reg.gauge_values().is_empty());
+        assert!(reg.histogram_snapshots().is_empty());
+    }
+
+    #[test]
+    fn instruments_are_interned_once_and_shared() {
+        let reg = Registry::new_enabled();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter_values(), vec![("x".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_valid() {
+        let reg = Registry::new_enabled();
+        let c = reg.counter("n");
+        c.add(7);
+        drop(reg.span("s"));
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert!(reg.span_events().is_empty());
+        c.add(1);
+        assert_eq!(reg.counter_values(), vec![("n".to_owned(), 1)]);
+        drop(reg.span("t"));
+        assert_eq!(reg.span_events()[0].id, 1, "span ids restart after reset");
+    }
+
+    #[test]
+    fn names_come_back_sorted() {
+        let reg = Registry::new_enabled();
+        reg.add("zeta", 1);
+        reg.add("alpha", 1);
+        reg.add("mid", 1);
+        let names: Vec<String> = reg.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn cached_global_handles_are_quiet_until_profiling_and_survive_reset() {
+        // The only test in this binary touching the global registry, so no
+        // cross-test interference despite cargo's concurrent test threads.
+        static HITS: GlobalCounter = GlobalCounter::new("test.cached.hits");
+        static LAT: GlobalHistogram = GlobalHistogram::new("test.cached.lat");
+        HITS.add(5);
+        LAT.record(1.0);
+        assert!(
+            !global().counter_values().iter().any(|(n, _)| n == "test.cached.hits"),
+            "disabled global must not intern through a cached handle"
+        );
+        global().enable();
+        HITS.add(2);
+        LAT.record(2.0);
+        global().reset();
+        HITS.add(3);
+        let hits = global()
+            .counter_values()
+            .into_iter()
+            .find(|(n, _)| n == "test.cached.hits")
+            .map(|(_, v)| v);
+        assert_eq!(hits, Some(3), "handle stays valid across reset");
+        global().disable();
+    }
+
+    #[test]
+    fn counters_tolerate_concurrent_adds() {
+        let reg = Registry::new_enabled();
+        let c = reg.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,584 @@
+//! Named metric instruments: counters, gauges, and log-bucketed histograms.
+//!
+//! All instruments are lock-free on the hot path (plain atomics) and carry a
+//! shared `enabled` flag cloned from their owning [`crate::Registry`], so a
+//! disabled registry reduces every update to one atomic load and a branch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets. Bucket `i` covers `(2^(i-OFFSET-1), 2^(i-OFFSET)]`;
+/// bucket 0 additionally absorbs zero, and the top bucket absorbs overflow.
+pub const BUCKETS: usize = 64;
+
+/// Exponent offset: bucket 0's upper bound is `2^-OFFSET`, the top bucket's
+/// upper bound is `2^(BUCKETS-1-OFFSET)`. With 64 buckets and offset 32 the
+/// histogram spans `2^-32 ..= 2^31`, which covers sub-nanosecond model costs
+/// up to half-hour wall times when values are recorded in microseconds.
+pub const OFFSET: i32 = 32;
+
+fn pow2(e: i32) -> f64 {
+    f64::powi(2.0, e)
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[must_use]
+pub fn bucket_upper(i: usize) -> f64 {
+    pow2(i as i32 - OFFSET)
+}
+
+/// Exclusive lower bound of bucket `i` (zero for bucket 0, which is closed).
+#[must_use]
+pub fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        pow2(i as i32 - OFFSET - 1)
+    }
+}
+
+/// Bucket index for `v`, or `None` when `v` is not recordable (negative,
+/// NaN, or infinite). Exact powers of two land in the bucket whose upper
+/// bound they equal: `bucket_index(2^k) == k + OFFSET`.
+#[must_use]
+pub fn bucket_index(v: f64) -> Option<usize> {
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    if v <= bucket_upper(0) {
+        return Some(0);
+    }
+    // `ceil(log2(v))` read straight off the IEEE-754 representation: for a
+    // normal `v = 1.m × 2^e` it is `e` when the mantissa is zero (an exact
+    // power of two, which belongs to the bucket whose upper bound it
+    // equals) and `e + 1` otherwise. Exact, branch-cheap, and free of the
+    // float `log2` library call — this runs once per recorded sample on
+    // profiled hot paths. Subnormals (< 2^-1022) were already absorbed by
+    // the bucket-0 early return above.
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    let e = if mantissa == 0 { exp } else { exp + 1 };
+    let hi = BUCKETS as i32 - 1 - OFFSET;
+    Some((e.clamp(1 - OFFSET, hi) + OFFSET) as usize)
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Counter { enabled, value: AtomicU64::new(0) }
+    }
+
+    /// Add `n`; a no-op while the owning registry is disabled.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `u64` gauge (e.g. current queue depth).
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Gauge { enabled, value: AtomicU64::new(0) }
+    }
+
+    /// Set the gauge; a no-op while the owning registry is disabled.
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `v` if it exceeds the current value (high-water mark).
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shards per histogram. Recording threads are pinned round-robin to a
+/// shard, so up to this many concurrent writers touch disjoint memory.
+const SHARDS: usize = 8;
+
+/// One shard of a histogram's state, alignment-padded so two shards never
+/// share a cache line. Without sharding, a profiled parallel sweep has
+/// every worker thread ping-ponging one set of shared atomics
+/// (bucket/count/sum lines bounce between cores on each record), which
+/// alone blew the <5% profiling-overhead budget enforced by
+/// `scripts/bench-smoke.sh`.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Shard {
+    // The total sample count is not maintained per record — it is the sum
+    // of the buckets, computed at snapshot time — so a record is two RMW
+    // atomics (bucket increment + sum accumulate) on the common path.
+    buckets: [AtomicU64; BUCKETS],
+    rejected: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            rejected: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.rejected.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// The shard this thread records into: assigned once per thread,
+/// round-robin, so a steady worker pool spreads evenly across shards.
+/// Const-initialised TLS (no lazy-init flag on the access path) with a
+/// sentinel for "not yet assigned".
+fn shard_index() -> usize {
+    static NEXT_SHARD: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            i = (NEXT_SHARD.fetch_add(1, Ordering::Relaxed) as usize) % SHARDS;
+            s.set(i);
+        }
+        i
+    })
+}
+
+/// A log-bucketed histogram over non-negative finite `f64` samples, with
+/// power-of-two bucket boundaries. Recording is lock-free and sharded per
+/// recording thread; concurrent snapshots merge the shards and are merely
+/// approximate (they may straddle an in-flight record), which is fine for
+/// monitoring and exact once writers have quiesced.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    shards: [Shard; SHARDS],
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Histogram { enabled, shards: std::array::from_fn(|_| Shard::new()) }
+    }
+
+    /// A free-standing, always-enabled histogram not owned by any registry
+    /// (e.g. for a short-lived measurement shared across worker threads).
+    #[must_use]
+    pub fn standalone() -> Self {
+        Histogram::new(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// Record one sample. Returns `false` (and counts the rejection) for
+    /// negative, NaN, or infinite values; a no-op returning `true` while
+    /// the owning registry is disabled.
+    pub fn record(&self, v: f64) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return true;
+        }
+        let shard = &self.shards[shard_index()];
+        let Some(i) = bucket_index(v) else {
+            shard.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        shard.buckets[i].fetch_add(1, Ordering::Relaxed);
+        // The CAS loops below effectively never retry: a shard has one
+        // steady writer unless more than SHARDS threads record at once.
+        let mut cur = shard.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match shard.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = shard.min_bits.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match shard.min_bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = shard.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match shard.max_bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        true
+    }
+
+    /// Point-in-time copy of the histogram state, merged across shards.
+    /// Bucket counts, totals, and min/max merge exactly; `sum` is a float
+    /// accumulation whose grouping depends on which threads recorded
+    /// where, so its last bits may differ between reruns (quantiles,
+    /// which come from buckets and min/max, do not).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut rejected = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for shard in &self.shards {
+            for (total, b) in buckets.iter_mut().zip(&shard.buckets) {
+                *total += b.load(Ordering::Relaxed);
+            }
+            rejected += shard.rejected.load(Ordering::Relaxed);
+            sum += f64::from_bits(shard.sum_bits.load(Ordering::Relaxed));
+            min = min.min(f64::from_bits(shard.min_bits.load(Ordering::Relaxed)));
+            max = max.max(f64::from_bits(shard.max_bits.load(Ordering::Relaxed)));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot { buckets, count, rejected, sum, min, max }
+    }
+
+    pub(crate) fn reset(&self) {
+        for shard in &self.shards {
+            shard.reset();
+        }
+    }
+}
+
+/// An immutable copy of a histogram's state: mergeable across threads and
+/// the unit from which quantiles are extracted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, length [`BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Total accepted samples.
+    pub count: u64,
+    /// Samples rejected as negative or non-finite.
+    pub rejected: u64,
+    /// Sum of accepted samples.
+    pub sum: f64,
+    /// Smallest accepted sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest accepted sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            rejected: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge two snapshots (associative and commutative up to float
+    /// summation order in `sum`; bucket counts merge exactly).
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            rejected: self.rejected + other.rejected,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Mean of accepted samples, `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate for `p in [0, 1]` by linear interpolation inside
+    /// the covering bucket, clamped to the observed `[min, max]` so a
+    /// single-sample histogram reports that sample exactly at every `p`.
+    /// Returns `0.0` when empty.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * (self.count - 1) as f64;
+        let mut before = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (before + n - 1) as f64 >= target {
+                let lower = bucket_lower(i);
+                let upper = bucket_upper(i);
+                let within = ((target - before as f64 + 1.0) / n as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * within).clamp(self.min, self.max);
+            }
+            before += n;
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_flag() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // 2^k must land in the bucket whose upper bound is exactly 2^k,
+        // for every exponent the histogram covers.
+        for k in -OFFSET..(BUCKETS as i32 - OFFSET) {
+            let v = pow2(k);
+            let i = bucket_index(v).unwrap();
+            assert_eq!(i as i32, k + OFFSET, "2^{k} misbucketed to {i}");
+            assert_eq!(bucket_upper(i), v, "upper bound of bucket {i} should be 2^{k}");
+        }
+        // Just above a power of two moves to the next bucket; just below stays.
+        let v = 4.0f64;
+        assert_eq!(bucket_index(v).unwrap(), bucket_index(v + v * 1e-9).unwrap() - 1);
+        assert_eq!(bucket_index(v).unwrap(), bucket_index(v - v * 1e-9).unwrap());
+    }
+
+    #[test]
+    fn every_sample_satisfies_its_buckets_interval_invariant() {
+        // Dense sweep across many octaves: the exponent-bit index must
+        // place each value in the bucket with `lower < v <= upper`
+        // (modulo clamping at the ends of the covered range).
+        let mut v = 1.37e-11;
+        while v < 1e12 {
+            let i = bucket_index(v).unwrap();
+            if i < BUCKETS - 1 {
+                assert!(v <= bucket_upper(i), "{v} above bucket {i}");
+            }
+            if i > 0 {
+                assert!(v > bucket_lower(i), "{v} below bucket {i}");
+            }
+            v *= 1.618;
+        }
+    }
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        assert_eq!(bucket_index(0.0), Some(0));
+        assert_eq!(bucket_index(f64::MIN_POSITIVE), Some(0));
+    }
+
+    #[test]
+    fn overflow_clamps_to_top_bucket() {
+        assert_eq!(bucket_index(1e30), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(f64::MAX), Some(BUCKETS - 1));
+    }
+
+    #[test]
+    fn non_finite_and_negative_are_rejected() {
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(bucket_index(f64::INFINITY), None);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), None);
+        assert_eq!(bucket_index(-1.0), None);
+        let h = Histogram::new(enabled_flag());
+        assert!(!h.record(f64::NAN));
+        assert!(!h.record(-3.0));
+        assert!(h.record(3.0));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.rejected, 2);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = Histogram::new(enabled_flag());
+        assert!(h.record(3.25));
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 3.25);
+        assert_eq!(s.p99(), 3.25);
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 3.25);
+        assert_eq!(s.mean(), 3.25);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_ordered() {
+        let h = Histogram::new(enabled_flag());
+        for i in 1..=1000 {
+            assert!(h.record(i as f64));
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        assert!(s.p50() >= s.min && s.p99() <= s.max);
+        // The true median is ~500; the log-bucketed estimate must land in
+        // the covering bucket (256, 512].
+        assert!(s.p50() > 256.0 && s.p50() <= 512.0, "p50 = {}", s.p50());
+    }
+
+    #[test]
+    fn merge_is_associative_on_bucket_counts_and_exact_sums() {
+        // Integer-valued samples keep `sum` exactly representable, so merge
+        // associativity is exact for every field, not just the counts.
+        let parts: Vec<HistogramSnapshot> = [1.0, 7.0, 1024.0]
+            .iter()
+            .map(|&base| {
+                let h = Histogram::new(enabled_flag());
+                for i in 0..50u32 {
+                    assert!(h.record(base * f64::from(i + 1)));
+                }
+                h.snapshot()
+            })
+            .collect();
+        let left = parts[0].merge(&parts[1]).merge(&parts[2]);
+        let right = parts[0].merge(&parts[1].merge(&parts[2]));
+        assert_eq!(left, right);
+        assert_eq!(left.count, 150);
+        assert_eq!(left.buckets.iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn cross_thread_merge_matches_single_threaded_recording() {
+        let shared = Histogram::new(enabled_flag());
+        let locals: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let local = Histogram::standalone();
+                        for i in 0..100u64 {
+                            let v = (t * 100 + i + 1) as f64;
+                            assert!(shared.record(v));
+                            assert!(local.record(v));
+                        }
+                        local.snapshot()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("recorder thread"))
+                .collect()
+        });
+        let merged = locals
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, s| acc.merge(s));
+        let direct = shared.snapshot();
+        assert_eq!(merged.buckets, direct.buckets);
+        assert_eq!(merged.count, direct.count);
+        assert_eq!(merged.min, direct.min);
+        assert_eq!(merged.max, direct.max);
+        // Float summation order differs across threads; the totals must
+        // still agree to rounding.
+        assert!((merged.sum - direct.sum).abs() < 1e-6 * merged.sum.abs());
+    }
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let c = Counter::new(flag.clone());
+        let g = Gauge::new(flag.clone());
+        let h = Histogram::new(flag.clone());
+        c.add(5);
+        g.set(9);
+        assert!(h.record(1.0));
+        assert!(h.record(f64::NAN), "disabled histograms do not even reject");
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        flag.store(true, Ordering::Relaxed);
+        c.add(5);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new(enabled_flag());
+        g.set_max(3);
+        g.set_max(1);
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hierarchical timed spans with thread-safe nesting.
+//!
+//! A [`Span`] is a scoped guard: creating one pushes it onto a thread-local
+//! stack (so spans opened later on the same thread become its children) and
+//! dropping it records a [`SpanEvent`] into the owning registry's trace
+//! buffer. Span IDs are assigned sequentially at creation, so any code path
+//! that opens spans in a deterministic order yields an identical trace
+//! structure on every run — only the timing fields vary.
+
+use crate::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One completed span, as recorded in the trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Sequential ID, starting at 1 per registry.
+    pub id: u64,
+    /// ID of the enclosing span on the same thread, or 0 at the root.
+    pub parent: u64,
+    /// Nesting depth at creation (root spans have depth 0).
+    pub depth: u32,
+    /// Span name.
+    pub name: String,
+    /// Start offset from the registry epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub dur_ns: u64,
+}
+
+thread_local! {
+    /// Stack of `(registry id, span id)` for the spans currently open on
+    /// this thread. Keyed by registry so two registries interleaved on one
+    /// thread do not adopt each other's spans as parents.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scoped span guard. Obtained from [`Registry::span`] or
+/// [`crate::span`]; records its event when dropped. Disabled registries
+/// hand out inert guards whose creation and drop cost one atomic load.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct Span<'r> {
+    inner: Option<SpanInner<'r>>,
+}
+
+#[derive(Debug)]
+struct SpanInner<'r> {
+    registry: &'r Registry,
+    id: u64,
+    parent: u64,
+    depth: u32,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl<'r> Span<'r> {
+    /// An inert span (what disabled registries return).
+    pub(crate) fn disabled() -> Span<'static> {
+        Span { inner: None }
+    }
+
+    pub(crate) fn start(registry: &'r Registry, name: &str) -> Span<'r> {
+        let id = registry.next_span_id();
+        let rid = registry.registry_id();
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(r, _)| *r == rid)
+                .map_or(0, |&(_, sid)| sid);
+            let depth = stack.iter().filter(|(r, _)| *r == rid).count() as u32;
+            stack.push((rid, id));
+            (parent, depth)
+        });
+        Span {
+            inner: Some(SpanInner {
+                registry,
+                id,
+                parent,
+                depth,
+                name: name.to_owned(),
+                start: Instant::now(),
+                start_ns: registry.elapsed_ns(),
+            }),
+        }
+    }
+
+    /// The span's ID, or 0 for an inert span.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.id)
+    }
+
+    /// Whether this span is live (owned by an enabled registry).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let rid = inner.registry.registry_id();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally our entry is on top (guards drop in reverse creation
+            // order); tolerate out-of-order drops by removing wherever it is.
+            if let Some(pos) = stack.iter().rposition(|&e| e == (rid, inner.id)) {
+                stack.remove(pos);
+            }
+        });
+        let dur_ns = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner.registry.push_span_event(SpanEvent {
+            id: inner.id,
+            parent: inner.parent,
+            depth: inner.depth,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn nesting_assigns_parents_and_depths() {
+        let reg = Registry::new_enabled();
+        {
+            let outer = reg.span("outer");
+            assert_eq!(outer.id(), 1);
+            {
+                let inner = reg.span("inner");
+                assert_eq!(inner.id(), 2);
+                let _leaf = reg.span("leaf");
+            }
+            let sibling = reg.span("sibling");
+            assert!(sibling.is_recording());
+        }
+        let events = reg.span_events();
+        // Completion order: leaf, inner, sibling, outer.
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["leaf", "inner", "sibling", "outer"]);
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).expect("span recorded");
+        assert_eq!(by_name("outer").parent, 0);
+        assert_eq!(by_name("outer").depth, 0);
+        assert_eq!(by_name("inner").parent, by_name("outer").id);
+        assert_eq!(by_name("inner").depth, 1);
+        assert_eq!(by_name("leaf").parent, by_name("inner").id);
+        assert_eq!(by_name("leaf").depth, 2);
+        assert_eq!(by_name("sibling").parent, by_name("outer").id);
+        assert_eq!(by_name("sibling").depth, 1);
+    }
+
+    #[test]
+    fn spans_do_not_leak_parents_across_threads() {
+        let reg = Registry::new_enabled();
+        let _root = reg.span("root");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let worker = reg.span("worker");
+                // A fresh thread has an empty span stack: no parent, even
+                // though `root` is open on the spawning thread.
+                drop(worker);
+            });
+        });
+        let events = reg.span_events();
+        let worker = events.iter().find(|e| e.name == "worker").expect("worker span");
+        assert_eq!(worker.parent, 0);
+        assert_eq!(worker.depth, 0);
+    }
+
+    #[test]
+    fn two_registries_on_one_thread_do_not_adopt_each_other() {
+        let a = Registry::new_enabled();
+        let b = Registry::new_enabled();
+        let _outer_a = a.span("a.outer");
+        let inner_b = b.span("b.inner");
+        assert_eq!(inner_b.id(), 1, "each registry numbers its own spans");
+        drop(inner_b);
+        let events = b.span_events();
+        assert_eq!(events[0].parent, 0, "b's span must not parent onto a's");
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_inert_spans() {
+        let reg = Registry::new();
+        let span = reg.span("ignored");
+        assert!(!span.is_recording());
+        assert_eq!(span.id(), 0);
+        drop(span);
+        assert!(reg.span_events().is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Validate `BENCH_*.json` artefacts against the `acs-bench-v1` schema.
+//!
+//! `scripts/ci.sh` runs this after the smoke benches to guarantee the
+//! benchmark output stays machine-readable: the perf trajectory across
+//! commits is only useful if every artefact parses the same way.
+//!
+//! ```text
+//! cargo run --example bench_validate -- BENCH_dse.json BENCH_serve.json
+//! ```
+//!
+//! Each file must be a canonical-JSON object with `schema` equal to
+//! `"acs-bench-v1"`, a non-empty string `suite`, and a non-empty `metrics`
+//! object whose members are all finite numbers. Exits non-zero with a
+//! per-file message on the first violation.
+
+use acs_errors::json::{parse, Value};
+use std::process::ExitCode;
+
+fn validate(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let doc = parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = doc.require_str("schema").map_err(|e| e.to_string())?;
+    if schema != "acs-bench-v1" {
+        return Err(format!("schema {schema:?}, expected \"acs-bench-v1\""));
+    }
+    let suite = doc.require_str("suite").map_err(|e| e.to_string())?;
+    if suite.is_empty() {
+        return Err("empty suite name".to_owned());
+    }
+    let Some(Value::Object(metrics)) = doc.get("metrics") else {
+        return Err("missing or non-object \"metrics\"".to_owned());
+    };
+    if metrics.is_empty() {
+        return Err("empty \"metrics\" object".to_owned());
+    }
+    for (name, value) in metrics {
+        match value {
+            Value::Number(v) if v.is_finite() => {}
+            other => return Err(format!("metric {name:?} is not a finite number: {other:?}")),
+        }
+    }
+    Ok(metrics.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_validate <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match validate(path) {
+            Ok(count) => println!("{path}: ok ({count} metrics)"),
+            Err(reason) => {
+                eprintln!("{path}: INVALID: {reason}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,8 +4,13 @@
 # The criterion benches under crates/bench need a crates-io registry and
 # cannot build offline; this script times the same hot paths with the
 # std-only harness instead. Numbers are indicative, not publishable —
-# the assertions only catch order-of-magnitude regressions.
+# the assertions only catch order-of-magnitude regressions (plus the
+# telemetry-overhead budget, which is a real contract).
+#
+# Writes BENCH_dse.json and BENCH_serve.json (schema acs-bench-v1) to the
+# repo root, or to $ACS_BENCH_DIR when set. Single-threaded so the two
+# benches never time each other's noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo test --release --offline --test bench_smoke -- --ignored --nocapture
+cargo test --release --offline --test bench_smoke -- --ignored --nocapture --test-threads=1

@@ -8,15 +8,29 @@
 //! to catch order-of-magnitude regressions and to prove the paths run,
 //! not to produce publishable numbers.
 //!
-//! Ignored by default so `cargo test` stays fast; run it with
-//! `scripts/bench-smoke.sh` or
-//! `cargo test --release --test bench_smoke -- --ignored --nocapture`.
+//! Two artefacts are written for the perf trajectory (schema documented
+//! in README "Observability"): `BENCH_dse.json` from [`bench_smoke`] and
+//! `BENCH_serve.json` from [`bench_serve`], each
+//! `{"schema": "acs-bench-v1", "suite": ..., "metrics": {...}}` with
+//! every metric a finite number. `ACS_BENCH_DIR` overrides the output
+//! directory (default: the repo root).
+//!
+//! [`bench_smoke`] also enforces the telemetry contract that profiling is
+//! cheap: the same sweep with the global registry enabled may cost at
+//! most 5% more wall time than with it disabled.
+//!
+//! Ignored by default so `cargo test` stays fast; run via
+//! `scripts/bench-smoke.sh`, which passes `--test-threads=1` so the two
+//! benches never time each other's noise.
 
 use acs::prelude::*;
 use acs_cache::ShardedCache;
-use acs_dse::DseRunner;
+use acs_dse::{DseRunner, SweepSpec};
+use acs_errors::json::{object, Value};
 use acs_llm::{LengthDistribution, RequestTrace};
+use acs_serve::{run_loadgen, LoadMode, LoadgenConfig, ServeConfig, Server};
 use acs_sim::{simulate_serving_cached, ServingConfig, StepCostCache};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,6 +44,38 @@ fn time<T>(label: &str, iterations: u32, mut f: impl FnMut() -> T) -> f64 {
     let per_call_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(iterations);
     println!("{label:<44} {per_call_ms:>10.3} ms/call  ({iterations} calls)");
     per_call_ms
+}
+
+/// One timed round: `iterations` calls of `f`, in ms per call.
+fn round_ms<T>(iterations: u32, f: &mut impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e3 / f64::from(iterations)
+}
+
+fn bench_dir() -> PathBuf {
+    std::env::var_os("ACS_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Write `BENCH_<suite>.json` in the stable `acs-bench-v1` schema.
+fn write_bench(suite: &str, metrics: Vec<(&str, f64)>) {
+    let members: Vec<(&str, Value)> = metrics
+        .into_iter()
+        .map(|(name, v)| {
+            assert!(v.is_finite(), "bench metric {name} must be finite, got {v}");
+            (name, Value::Number(v))
+        })
+        .collect();
+    let doc = object(vec![
+        ("schema", Value::String("acs-bench-v1".to_owned())),
+        ("suite", Value::String(suite.to_owned())),
+        ("metrics", object(members)),
+    ]);
+    let path = bench_dir().join(format!("BENCH_{suite}.json"));
+    std::fs::write(&path, doc.to_json() + "\n").expect("write bench artefact");
+    println!("wrote {}", path.display());
 }
 
 #[test]
@@ -69,10 +115,71 @@ fn bench_smoke() {
     let llama = ModelConfig::llama3_8b();
     let steps = StepCostCache::new(4096);
     // Prime so the timing below measures the steady (warm-cache) state.
-    simulate_serving_cached(&sim, &llama, &trace, ServingConfig::default(), &steps);
+    let _ = simulate_serving_cached(&sim, &llama, &trace, ServingConfig::default(), &steps);
     let serving_ms = time("simulate_serving_cached (warm steps)", 20, || {
         simulate_serving_cached(&sim, &llama, &trace, ServingConfig::default(), &steps)
     });
+
+    // --- telemetry overhead on the sweep smoke path ---
+    // The same parallel sweep with the global registry disabled (every
+    // instrumentation site reduces to an atomic load and a branch) versus
+    // enabled. The sweep runs exactly as the smoke sweeps in scripts/ci.sh
+    // do — through the content-addressed cache, with a fresh cache per run
+    // so every point is a first-visit miss like a cold `acs-dse --cache`
+    // run. Two measurement-noise defences: the point list is smoke-run
+    // sized (hundreds of points, like the repro sweeps) so per-round wall
+    // time is dominated by evaluation work rather than thread-spawn jitter,
+    // and each round times a back-to-back disabled/enabled *pair*
+    // (alternating the order to cancel drift within the pair) with the
+    // asserted overhead taken as the median of the per-pair ratios.
+    let spec = SweepSpec {
+        systolic_dims: vec![16],
+        lanes_per_core: vec![2, 4],
+        l1_kib: vec![192, 1024],
+        l2_mib: vec![40],
+        hbm_tb_s: (0..50).map(|i| 2.0 + 0.025 * f64::from(i)).collect(),
+        device_bw_gb_s: vec![600.0],
+    };
+    let candidates = spec.candidates(4800.0);
+    assert_eq!(candidates.len(), 200, "smoke-run-sized grid of unique points");
+    let sweep_base = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+    let registry = acs_telemetry::global();
+    let mut sweep = || {
+        let runner = sweep_base.clone().with_cache(Arc::new(ShardedCache::new(1024)));
+        runner.run_report(&candidates)
+    };
+    registry.enable();
+    let _ = sweep(); // warm-up interns every instrument up front
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    let mut ratios = Vec::new();
+    for round in 0..10 {
+        let (off, on) = if round % 2 == 0 {
+            registry.disable();
+            let off = round_ms(20, &mut sweep);
+            registry.enable();
+            (off, round_ms(20, &mut sweep))
+        } else {
+            registry.enable();
+            let on = round_ms(20, &mut sweep);
+            registry.disable();
+            (round_ms(20, &mut sweep), on)
+        };
+        offs.push(off);
+        ons.push(on);
+        ratios.push(on / off);
+    }
+    registry.disable();
+    registry.reset();
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = (ratios[4] + ratios[5]) / 2.0;
+    let sweep_off_ms = offs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let sweep_on_ms = ons.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let overhead_pct = (median_ratio - 1.0) * 100.0;
+    println!(
+        "{:<44} {:>10.3} ms/call  (disabled {:.3} ms, overhead {:+.2}%)",
+        "run_report (profiled sweep)", sweep_on_ms, sweep_off_ms, overhead_pct
+    );
 
     // Generous ceilings: only order-of-magnitude regressions fail.
     assert!(layer_ms < 100.0, "layer simulation took {layer_ms:.1} ms");
@@ -84,4 +191,79 @@ fn bench_smoke() {
     // measures end to end.
     assert!(cached_ms < 5.0, "cache hit took {cached_ms:.3} ms");
     assert!(serving_ms < 2000.0, "serving simulation took {serving_ms:.1} ms");
+    assert!(
+        overhead_pct < 5.0,
+        "profiling overhead {overhead_pct:.2}% exceeds the 5% budget \
+         (enabled {sweep_on_ms:.3} ms vs disabled {sweep_off_ms:.3} ms)"
+    );
+
+    write_bench(
+        "dse",
+        vec![
+            ("layer_ms", layer_ms),
+            ("eval_ms", eval_ms),
+            ("eval_cache_hit_ms", cached_ms),
+            ("serving_warm_ms", serving_ms),
+            ("sweep_ms", sweep_off_ms),
+            ("sweep_profiled_ms", sweep_on_ms),
+            ("telemetry_overhead_pct", overhead_pct),
+        ],
+    );
+}
+
+#[test]
+#[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
+fn bench_serve() {
+    let server = Server::bind(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let state = server.state();
+    let (handle, thread) = server.spawn();
+
+    let run = |mode: LoadMode, requests: usize| {
+        run_loadgen(
+            addr,
+            &LoadgenConfig { requests, concurrency: 4, mode, ..LoadgenConfig::default() },
+        )
+        .expect("loadgen run")
+    };
+    // Unique bodies defeat the response cache (every request simulates);
+    // repeated bodies hit it after the first. The QPS ratio is the
+    // service-level speedup the cache buys.
+    let unique = run(LoadMode::Unique, 40);
+    let repeated = run(LoadMode::Repeated, 200);
+    println!(
+        "loadgen unique   {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        unique.qps, unique.p50_ms, unique.p99_ms
+    );
+    println!(
+        "loadgen repeated {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        repeated.qps, repeated.p50_ms, repeated.p99_ms
+    );
+    let speedup = if unique.qps > 0.0 { repeated.qps / unique.qps } else { 0.0 };
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+
+    assert_eq!(unique.failed, 0, "unique stream must not drop requests");
+    assert_eq!(repeated.failed, 0, "repeated stream must not drop requests");
+    assert!(repeated.p50_ms > 0.0 && repeated.p50_ms <= repeated.p99_ms);
+    assert!(speedup > 1.0, "repeated stream must beat unique (got {speedup:.2}x)");
+    // The first wave of concurrent identical requests can all miss (each
+    // starts simulating before any has inserted), so allow one miss per
+    // client thread plus the genuine first miss.
+    let stats = state.cache_stats()[1];
+    assert!(stats.hits >= 195, "nearly all repeated requests hit the cache (hits={})", stats.hits);
+
+    write_bench(
+        "serve",
+        vec![
+            ("unique_qps", unique.qps),
+            ("repeated_qps", repeated.qps),
+            ("cache_speedup", speedup),
+            ("unique_p50_ms", unique.p50_ms),
+            ("unique_p99_ms", unique.p99_ms),
+            ("repeated_p50_ms", repeated.p50_ms),
+            ("repeated_p99_ms", repeated.p99_ms),
+        ],
+    );
 }
