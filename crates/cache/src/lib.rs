@@ -85,6 +85,15 @@ impl CacheKey {
     pub fn canonical(&self) -> &str {
         &self.canon
     }
+
+    /// Fixed-width hex rendering of a digest, for embedding one key's
+    /// digest as a component of another key. Canonical JSON numbers are
+    /// `f64`, which cannot represent every 64-bit digest exactly, so
+    /// composed keys must carry digests as strings.
+    #[must_use]
+    pub fn digest_hex(digest: u64) -> String {
+        format!("{digest:016x}")
+    }
 }
 
 /// Monotonic cache counters (since construction).
@@ -420,5 +429,15 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn digest_hex_is_fixed_width_and_lossless() {
+        assert_eq!(CacheKey::digest_hex(0), "0000000000000000");
+        assert_eq!(CacheKey::digest_hex(u64::MAX), "ffffffffffffffff");
+        // Digests above 2^53 are exactly the ones f64 would mangle.
+        let big = (1u64 << 53) + 1;
+        assert_eq!(u64::from_str_radix(&CacheKey::digest_hex(big), 16).unwrap(), big);
+        assert_eq!(CacheKey::digest_hex(big).len(), 16);
     }
 }

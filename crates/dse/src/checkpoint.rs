@@ -317,7 +317,7 @@ impl DseRunner {
             .map(|(i, c)| (i, c.clone()))
             .collect();
 
-        let fresh = self.parallel_map(&pending, |(index, cand)| {
+        let fresh = self.parallel_map(&pending, |(_, cand)| cand.name.as_str(), |(index, cand)| {
             let outcome = cand.build().and_then(|cfg| self.try_evaluate(&cfg));
             match entry_line(*index, &cand.name, &outcome) {
                 Ok(line) => {

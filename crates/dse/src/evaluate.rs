@@ -6,11 +6,13 @@ use acs_cache::{CacheKey, ShardedCache};
 use acs_errors::json::{object, Value};
 use acs_errors::{guard, AcsError};
 use acs_hw::{AreaModel, CostModel, DeviceConfig, SystemConfig, RETICLE_LIMIT_MM2};
-use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
 use acs_policy::Acr2023;
-use acs_sim::{SimParams, Simulator};
+use acs_sim::{plan_digest, EvalPlans, SimParams, Simulator};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// The swept architectural parameters of one design, kept alongside its
 /// results so distributions can be grouped by a fixed parameter
@@ -129,6 +131,16 @@ pub struct DseRunner {
     sim_params: SimParams,
     rule_2023: Acr2023,
     cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
+    plans: Arc<PlanSlot>,
+}
+
+/// Layer plans shared by every point of a sweep, built lazily per dtype.
+/// A plan depends only on the runner's model, workload, and device count —
+/// none of which vary across a sweep — plus the device's datatype width,
+/// so a handful of entries serve thousands of evaluations.
+#[derive(Debug, Default)]
+struct PlanSlot {
+    by_dtype: RwLock<BTreeMap<u32, Arc<EvalPlans>>>,
 }
 
 impl DseRunner {
@@ -145,6 +157,7 @@ impl DseRunner {
             sim_params: SimParams::calibrated(),
             rule_2023: Acr2023::published(),
             cache: None,
+            plans: Arc::new(PlanSlot::default()),
         }
     }
 
@@ -152,6 +165,9 @@ impl DseRunner {
     #[must_use]
     pub fn with_device_count(mut self, n: u32) -> Self {
         self.device_count = n;
+        // Plans bake in the tensor-parallel degree; drop the shared slot
+        // rather than poison clones that still use the old count.
+        self.plans = Arc::new(PlanSlot::default());
         self
     }
 
@@ -183,14 +199,28 @@ impl DseRunner {
     }
 
     /// The content-addressed key for one configuration under this
-    /// runner's model, workload, and calibration.
+    /// runner's model, workload, and calibration. The model, workload,
+    /// device count, and datatype are folded into the two layer-plan
+    /// digests (hex strings: a 64-bit digest does not fit a JSON
+    /// number), which cover exactly the inputs that shape the operator
+    /// graphs.
     #[must_use]
     pub fn cache_key(&self, config: &DeviceConfig) -> CacheKey {
         let n = Value::Number;
         let u = |x: u64| Value::Number(x as f64);
         let p = &self.sim_params;
+        let dt = config.datatype().bytes();
+        let prefill =
+            plan_digest(&self.model, &self.workload, InferencePhase::Prefill, self.device_count, dt);
+        let decode = plan_digest(
+            &self.model,
+            &self.workload,
+            self.workload.decode_phase(),
+            self.device_count,
+            dt,
+        );
         CacheKey::from_value(&object(vec![
-            ("v", Value::String("dse-eval-v1".to_owned())),
+            ("v", Value::String("dse-eval-v2".to_owned())),
             (
                 "device",
                 object(vec![
@@ -211,22 +241,10 @@ impl DseRunner {
             ),
             ("device_count", u(u64::from(self.device_count))),
             (
-                "model",
+                "plans",
                 object(vec![
-                    ("name", Value::String(self.model.name().to_owned())),
-                    ("layers", u(u64::from(self.model.num_layers()))),
-                    ("d_model", u(self.model.d_model())),
-                    ("d_ffn", u(self.model.d_ffn())),
-                    ("heads", u(u64::from(self.model.num_heads()))),
-                    ("kv_heads", u(u64::from(self.model.num_kv_heads()))),
-                ]),
-            ),
-            (
-                "workload",
-                object(vec![
-                    ("batch", u(self.workload.batch())),
-                    ("input", u(self.workload.input_len())),
-                    ("output", u(self.workload.output_len())),
+                    ("prefill", Value::String(CacheKey::digest_hex(prefill))),
+                    ("decode", Value::String(CacheKey::digest_hex(decode))),
                 ]),
             ),
             (
@@ -254,6 +272,17 @@ impl DseRunner {
     /// is zero, and [`AcsError::NonFinite`] when any derived metric
     /// violates its contract.
     pub fn try_evaluate(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+        self.try_evaluate_shared(&Arc::new(config.clone()))
+    }
+
+    /// [`DseRunner::try_evaluate`] for a configuration that is already
+    /// shared. The sweep drivers use this form: the device is lent to the
+    /// [`SystemConfig`] instead of deep-cloned per point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DseRunner::try_evaluate`].
+    pub fn try_evaluate_shared(&self, config: &Arc<DeviceConfig>) -> Result<EvaluatedDesign, AcsError> {
         match &self.cache {
             Some(cache) => {
                 let key = self.cache_key(config);
@@ -275,7 +304,75 @@ impl DseRunner {
         }
     }
 
-    fn evaluate_uncached(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+    fn evaluate_uncached(&self, config: &Arc<DeviceConfig>) -> Result<EvaluatedDesign, AcsError> {
+        // Allocation-free while healthy: the guard context is built only
+        // on the error path, the device is shared into the system rather
+        // than cloned, and the layer graphs come from the per-sweep plan
+        // slot instead of being rebuilt per point.
+        let ctx = || format!("evaluate.{}", config.name());
+        let area = guard::ensure_positive_with(
+            ctx,
+            "die_area_mm2",
+            self.area_model.die_area(config).total_mm2(),
+        )?;
+        let tpp = guard::ensure_positive_with(ctx, "tpp", config.tpp().0)?;
+        let pd = guard::ensure_positive_with(ctx, "perf_density", tpp / area)?;
+        let system = SystemConfig::shared(Arc::clone(config), self.device_count)?;
+        let sim = Simulator::with_params(system, self.sim_params);
+        let plans = self.plans_for(config.datatype().bytes())?;
+        Ok(EvaluatedDesign {
+            name: config.name().to_owned(),
+            params: SweptParams::of(config),
+            tpp,
+            die_area_mm2: area,
+            perf_density: pd,
+            die_cost_usd: guard::ensure_positive_with(
+                ctx,
+                "die_cost_usd",
+                self.cost_model.die_cost_usd(area),
+            )?,
+            good_die_cost_usd: guard::ensure_positive_with(
+                ctx,
+                "good_die_cost_usd",
+                self.cost_model.good_die_cost_usd(area),
+            )?,
+            ttft_s: sim.try_ttft_planned(&plans.prefill)?,
+            tbt_s: sim.try_tbt_planned(&plans.decode)?,
+            within_reticle: area <= RETICLE_LIMIT_MM2,
+            pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
+        })
+    }
+
+    /// The plan pair for one datatype width, built at most once per
+    /// runner (read-mostly after the first point of a sweep).
+    fn plans_for(&self, dtype_bytes: u32) -> Result<Arc<EvalPlans>, AcsError> {
+        if let Some(plans) = self
+            .plans
+            .by_dtype
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&dtype_bytes)
+        {
+            return Ok(Arc::clone(plans));
+        }
+        // Built outside the write lock; a racing builder just loses.
+        let built =
+            Arc::new(EvalPlans::build(&self.model, &self.workload, self.device_count, dtype_bytes)?);
+        let mut map = self.plans.by_dtype.write().unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::clone(map.entry(dtype_bytes).or_insert(built)))
+    }
+
+    /// The pre-plan evaluation pipeline, kept verbatim as the reference
+    /// baseline: eager guard contexts, a device clone into the system,
+    /// and per-call graph lowering through
+    /// [`Simulator::try_simulate_layer`]. The golden-equivalence test
+    /// and the bench-smoke speedup ratio compare the planned path
+    /// against this.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DseRunner::try_evaluate`].
+    pub fn try_evaluate_legacy(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
         let ctx = format!("evaluate.{}", config.name());
         let area =
             guard::ensure_positive(&ctx, "die_area_mm2", self.area_model.die_area(config).total_mm2())?;
@@ -299,8 +396,16 @@ impl DseRunner {
                 "good_die_cost_usd",
                 self.cost_model.good_die_cost_usd(area),
             )?,
-            ttft_s: sim.try_ttft_s(&self.model, &self.workload)?,
-            tbt_s: sim.try_tbt_s(&self.model, &self.workload)?,
+            ttft_s: {
+                let lat =
+                    sim.try_simulate_layer(&self.model, &self.workload, InferencePhase::Prefill)?;
+                guard::ensure_positive("simulator", "ttft_s", lat.total_s())?
+            },
+            tbt_s: {
+                let lat =
+                    sim.try_simulate_layer(&self.model, &self.workload, self.workload.decode_phase())?;
+                guard::ensure_positive("simulator", "tbt_s", lat.total_s())?
+            },
             within_reticle: area <= RETICLE_LIMIT_MM2,
             pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
         })
@@ -320,7 +425,7 @@ impl DseRunner {
     /// cannot take down the batch.
     #[must_use]
     pub fn run_configs(&self, configs: &[DeviceConfig]) -> Vec<Result<EvaluatedDesign, AcsError>> {
-        self.parallel_map(configs, |cfg| self.try_evaluate(cfg))
+        self.parallel_map(configs, |cfg| cfg.name(), |cfg| self.try_evaluate(cfg))
     }
 
     /// Evaluate raw sweep candidates with full fault isolation: each point
@@ -330,7 +435,33 @@ impl DseRunner {
     /// sweep.
     #[must_use]
     pub fn run_report(&self, candidates: &[CandidateParams]) -> SweepReport {
-        let outcomes = self.parallel_map(candidates, |cand| cand.build().and_then(|cfg| self.try_evaluate(&cfg)));
+        let outcomes = self.parallel_map(
+            candidates,
+            |cand| cand.name.as_str(),
+            |cand| cand.build().map(Arc::new).and_then(|cfg| self.try_evaluate_shared(&cfg)),
+        );
+        self.collect_report(candidates, outcomes)
+    }
+
+    /// [`DseRunner::run_report`] through the pre-plan
+    /// [`DseRunner::try_evaluate_legacy`] pipeline. Reference baseline
+    /// for equivalence tests and the bench-smoke speedup ratio; never
+    /// consults the evaluation cache.
+    #[must_use]
+    pub fn run_report_legacy(&self, candidates: &[CandidateParams]) -> SweepReport {
+        let outcomes = self.parallel_map(
+            candidates,
+            |cand| cand.name.as_str(),
+            |cand| cand.build().and_then(|cfg| self.try_evaluate_legacy(&cfg)),
+        );
+        self.collect_report(candidates, outcomes)
+    }
+
+    fn collect_report(
+        &self,
+        candidates: &[CandidateParams],
+        outcomes: Vec<Result<EvaluatedDesign, AcsError>>,
+    ) -> SweepReport {
         let mut report = SweepReport::default();
         for (index, (cand, outcome)) in candidates.iter().zip(outcomes).enumerate() {
             match outcome {
@@ -343,27 +474,59 @@ impl DseRunner {
         if acs_telemetry::enabled() {
             acs_telemetry::count("dse.eval.ok", report.designs.len() as u64);
             acs_telemetry::count("dse.eval.failed", report.failures.len() as u64);
+            // One registry lookup per failure *kind*, not per failure: a
+            // sweep with thousands of broken points flushes a handful of
+            // pre-aggregated counts.
+            let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
             for failure in &report.failures {
-                acs_telemetry::count(&format!("dse.eval.fail.{}", failure.reason.kind()), 1);
+                *by_kind.entry(failure.reason.kind()).or_insert(0) += 1;
+            }
+            for (kind, count) in by_kind {
+                acs_telemetry::count(&format!("dse.eval.fail.{kind}"), count);
             }
         }
         report
     }
 
-    /// Order-preserving parallel map with per-item panic containment.
-    pub(crate) fn parallel_map<T: Sync, U: Send>(
+    /// Order-preserving parallel map with per-item panic containment and
+    /// work stealing. Workers claim small stripes of the input from a
+    /// shared atomic cursor, so a run of cheap (or instantly failing)
+    /// points on one side of the sweep cannot strand the expensive tail
+    /// on a single thread the way static chunking did. `label` names the
+    /// item in panic reports.
+    pub(crate) fn parallel_map<T: Sync, U: Send + Sync>(
         &self,
         items: &[T],
+        label: impl Fn(&T) -> &str + Sync,
         f: impl Fn(&T) -> Result<U, AcsError> + Sync,
     ) -> Vec<Result<U, AcsError>> {
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(32);
-        let chunk = items.len().div_ceil(threads.max(1)).max(1);
-        let mut results: Vec<Option<Result<U, AcsError>>> = Vec::new();
-        results.resize_with(items.len(), || None);
+        self.parallel_map_on(worker_threads(), items, label, f)
+    }
+
+    fn parallel_map_on<T: Sync, U: Send + Sync>(
+        &self,
+        threads: usize,
+        items: &[T],
+        label: impl Fn(&T) -> &str + Sync,
+        f: impl Fn(&T) -> Result<U, AcsError> + Sync,
+    ) -> Vec<Result<U, AcsError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, items.len());
+        acs_telemetry::set_gauge("dse.threads", threads as u64);
+        // Stripes of a few items amortise the claim fetch while staying
+        // small enough that no worker can hoard a long expensive run.
+        let stripe = (items.len() / (threads * 8)).clamp(1, 64);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<OnceLock<Result<U, AcsError>>> = Vec::new();
+        slots.resize_with(items.len(), OnceLock::new);
         std::thread::scope(|scope| {
-            for (items_chunk, results_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
+            for _ in 0..threads {
                 let f = &f;
+                let label = &label;
+                let next = &next;
+                let slots = &slots;
                 scope.spawn(move || {
                     // Per-point wall time goes to a histogram rather than
                     // a span: histogram merges are order-free, so the
@@ -373,43 +536,70 @@ impl DseRunner {
                     // — so profiling costs one clock read per point, not
                     // two; the histogram's own count is the point count.
                     let mut last = acs_telemetry::enabled().then(std::time::Instant::now);
-                    for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
-                        let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
-                            .unwrap_or_else(|payload| {
-                                let message = payload
-                                    .downcast_ref::<&str>()
-                                    .map(|s| (*s).to_owned())
-                                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "non-string panic payload".to_owned());
-                                Err(AcsError::EvaluationPanic { design: String::new(), message })
-                            });
-                        if let Some(t0) = last {
-                            static POINT_US: acs_telemetry::GlobalHistogram =
-                                acs_telemetry::GlobalHistogram::new("dse.eval.point_us");
-                            let t1 = std::time::Instant::now();
-                            POINT_US.record((t1 - t0).as_secs_f64() * 1e6);
-                            last = Some(t1);
+                    loop {
+                        let start = next.fetch_add(stripe, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
                         }
-                        *slot = Some(outcome);
+                        let end = (start + stripe).min(items.len());
+                        for (item, slot) in items[start..end].iter().zip(&slots[start..end]) {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
+                                .unwrap_or_else(|payload| {
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| (*s).to_owned())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                                    Err(AcsError::EvaluationPanic {
+                                        design: label(item).to_owned(),
+                                        message,
+                                    })
+                                });
+                            if let Some(t0) = last {
+                                static POINT_US: acs_telemetry::GlobalHistogram =
+                                    acs_telemetry::GlobalHistogram::new("dse.eval.point_us");
+                                let t1 = std::time::Instant::now();
+                                POINT_US.record((t1 - t0).as_secs_f64() * 1e6);
+                                last = Some(t1);
+                            }
+                            // Each index is claimed by exactly one stripe,
+                            // so the set cannot already be occupied.
+                            let _ = slot.set(outcome);
+                        }
                     }
                 });
             }
         });
-        // Every slot is filled by construction (chunks partition both
-        // slices identically); a hole would be a harness bug, reported as
-        // a typed error rather than a panic.
-        results
+        // Every slot is filled by construction (the cursor hands each
+        // index to exactly one worker); a hole would be a harness bug,
+        // reported as a typed error rather than a panic.
+        slots
             .into_iter()
-            .map(|r| {
-                r.unwrap_or_else(|| {
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| {
                     Err(AcsError::EvaluationPanic {
-                        design: String::new(),
+                        design: label(&items[i]).to_owned(),
                         message: "parallel harness left a slot unfilled".to_owned(),
                     })
                 })
             })
             .collect()
     }
+}
+
+/// Worker-thread count for [`DseRunner::parallel_map`]: the
+/// `ACS_THREADS` environment variable when it parses as a positive
+/// integer, otherwise the machine's available parallelism (4 when
+/// unknown); capped at 32 either way. Surfaced per run as the
+/// `dse.threads` gauge.
+fn worker_threads() -> usize {
+    std::env::var("ACS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .min(32)
 }
 
 #[cfg(test)]
@@ -566,5 +756,97 @@ mod tests {
         let d = runner().run(&small_spec(), 4800.0).remove(0);
         assert!((d.ttft_cost_product() - d.ttft_s * 1e3 * d.die_cost_usd).abs() < 1e-9);
         assert!((d.tbt_cost_product() - d.tbt_s * 1e3 * d.die_cost_usd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_path_matches_legacy_reference() {
+        let r = runner();
+        for cfg in small_spec().configs(4800.0) {
+            let planned = r.try_evaluate(&cfg).unwrap();
+            let legacy = r.try_evaluate_legacy(&cfg).unwrap();
+            assert_eq!(planned, legacy);
+            assert_eq!(planned.ttft_s.to_bits(), legacy.ttft_s.to_bits());
+            assert_eq!(planned.tbt_s.to_bits(), legacy.tbt_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn panic_reports_carry_the_design_label() {
+        let r = runner();
+        let items = vec!["alpha".to_owned(), "beta".to_owned()];
+        let results = r.parallel_map(
+            &items,
+            |name| name.as_str(),
+            |name: &String| -> Result<u32, AcsError> {
+                if name == "beta" {
+                    panic!("injected failure in {name}");
+                }
+                Ok(1)
+            },
+        );
+        assert_eq!(results[0], Ok(1));
+        match &results[1] {
+            Err(AcsError::EvaluationPanic { design, message }) => {
+                assert_eq!(design, "beta");
+                assert!(message.contains("injected failure"), "{message}");
+            }
+            other => panic!("expected a labelled panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn work_stealing_spreads_a_skewed_tail() {
+        // First half of the items fail instantly; second half each sleep.
+        // Under the old static chunking (4 threads, 8 items -> chunks of
+        // 2) the four sleepers land two-per-thread on the back half of
+        // the pool: >= 2 sleeps of serial wall time. Stealing interleaves
+        // claims, so every worker ends up with ~one sleeper and the wall
+        // time stays near one sleep. The bound sits between the two
+        // regimes; sleeps do not need CPU, so this holds on 1 core.
+        let r = runner();
+        let sleep = std::time::Duration::from_millis(100);
+        let items: Vec<usize> = (0..8).collect();
+        let started = std::time::Instant::now();
+        let results = r.parallel_map_on(
+            4,
+            &items,
+            |i| if *i < 4 { "fast" } else { "slow" },
+            |i| {
+                if *i < 4 {
+                    panic!("instant failure");
+                }
+                std::thread::sleep(sleep);
+                Ok(*i)
+            },
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < sleep + std::time::Duration::from_millis(70),
+            "skewed sweep should finish in ~one sleep with stealing, took {elapsed:?}"
+        );
+        for (i, outcome) in results.iter().enumerate() {
+            if i < 4 {
+                assert!(matches!(outcome, Err(AcsError::EvaluationPanic { .. })));
+            } else {
+                assert_eq!(*outcome, Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    fn acs_threads_env_overrides_worker_count() {
+        // Every transient value below is a valid positive count, so a
+        // concurrently running parallel_map at worst sizes its pool
+        // differently for one sweep — correctness never depends on it.
+        let n = worker_threads();
+        assert!((1..=32).contains(&n), "worker count out of range: {n}");
+        std::env::set_var("ACS_THREADS", " 3 ");
+        assert_eq!(worker_threads(), 3, "trimmed positive integers are honoured");
+        std::env::set_var("ACS_THREADS", "99");
+        assert_eq!(worker_threads(), 32, "overrides are capped at 32");
+        std::env::set_var("ACS_THREADS", "0");
+        assert!(worker_threads() >= 1, "zero falls back to the default");
+        std::env::remove_var("ACS_THREADS");
+        assert_eq!(worker_threads(), n);
     }
 }

@@ -47,6 +47,61 @@ pub fn ensure_non_negative(context: &str, metric: &str, value: f64) -> Result<f6
     }
 }
 
+/// [`ensure_finite`] with a lazily built context: `context` is invoked
+/// only on the error path, so hot loops pay nothing for the string when
+/// the value is healthy.
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context()` and `metric`.
+pub fn ensure_finite_with(
+    context: impl FnOnce() -> String,
+    metric: &str,
+    value: f64,
+) -> Result<f64, AcsError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context(), metric, value))
+    }
+}
+
+/// [`ensure_positive`] with a lazily built context (see
+/// [`ensure_finite_with`]).
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context()` and `metric`.
+pub fn ensure_positive_with(
+    context: impl FnOnce() -> String,
+    metric: &str,
+    value: f64,
+) -> Result<f64, AcsError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context(), metric, value))
+    }
+}
+
+/// [`ensure_non_negative`] with a lazily built context (see
+/// [`ensure_finite_with`]).
+///
+/// # Errors
+///
+/// Returns [`AcsError::NonFinite`] naming `context()` and `metric`.
+pub fn ensure_non_negative_with(
+    context: impl FnOnce() -> String,
+    metric: &str,
+    value: f64,
+) -> Result<f64, AcsError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(AcsError::non_finite(context(), metric, value))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +135,25 @@ mod tests {
         let e = ensure_positive("simulator", "tbt_s", f64::NAN).unwrap_err();
         assert!(e.to_string().contains("tbt_s"));
         assert!(e.to_string().contains("simulator"));
+    }
+
+    #[test]
+    fn lazy_variants_match_eager_and_skip_context_on_success() {
+        let mut built = false;
+        let ctx = || {
+            built = true;
+            "lazy".to_owned()
+        };
+        assert_eq!(ensure_positive_with(ctx, "m", 2.0), Ok(2.0));
+        assert!(!built, "context closure must not run on the success path");
+        assert_eq!(ensure_finite_with(|| "c".to_owned(), "m", -1.0), Ok(-1.0));
+        assert_eq!(ensure_non_negative_with(|| "c".to_owned(), "m", 0.0), Ok(0.0));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(ensure_finite_with(|| "c".to_owned(), "m", bad).is_err());
+            assert!(ensure_positive_with(|| "c".to_owned(), "m", bad).is_err());
+            assert!(ensure_non_negative_with(|| "c".to_owned(), "m", bad).is_err());
+        }
+        let e = ensure_positive_with(|| "lazy.ctx".to_owned(), "tbt_s", 0.0).unwrap_err();
+        assert_eq!(e, ensure_positive("lazy.ctx", "tbt_s", 0.0).unwrap_err());
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::config::DeviceConfig;
 use crate::error::HwError;
+use std::sync::Arc;
 
 /// Interconnect topology between devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -34,7 +35,11 @@ pub enum Topology {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
-    device: DeviceConfig,
+    // Shared rather than owned: sweeps build one `SystemConfig` per
+    // evaluated point, and the device description (strings, nested
+    // structs) dominates its size. `Arc` makes `SystemConfig::shared` and
+    // `Clone` pointer-cheap; `PartialEq` still compares the pointee.
+    device: Arc<DeviceConfig>,
     device_count: u32,
     topology: Topology,
 }
@@ -46,6 +51,17 @@ impl SystemConfig {
     ///
     /// Returns [`HwError::InvalidConfig`] if `device_count` is zero.
     pub fn new(device: DeviceConfig, device_count: u32) -> Result<Self, HwError> {
+        Self::shared(Arc::new(device), device_count)
+    }
+
+    /// [`SystemConfig::new`] over an already-shared device, for hot paths
+    /// that evaluate one device under many system shapes (or many devices
+    /// behind one sweep) without cloning the configuration per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] if `device_count` is zero.
+    pub fn shared(device: Arc<DeviceConfig>, device_count: u32) -> Result<Self, HwError> {
         if device_count == 0 {
             return Err(HwError::InvalidConfig {
                 field: "device_count",
@@ -69,7 +85,7 @@ impl SystemConfig {
     /// layers on one device at a time.
     #[must_use]
     pub fn single(device: DeviceConfig) -> Self {
-        SystemConfig { device, device_count: 1, topology: Topology::Ring }
+        SystemConfig { device: Arc::new(device), device_count: 1, topology: Topology::Ring }
     }
 
     /// The per-device configuration.
@@ -146,6 +162,15 @@ mod tests {
             (s4.aggregate_hbm_capacity_gib() - 4.0 * s1.aggregate_hbm_capacity_gib()).abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn shared_reuses_one_device_allocation() {
+        let device = Arc::new(DeviceConfig::a100_like());
+        let s = SystemConfig::shared(Arc::clone(&device), 4).unwrap();
+        assert_eq!(s.device(), &*device);
+        assert_eq!(s, SystemConfig::quad(DeviceConfig::a100_like()).unwrap());
+        assert!(SystemConfig::shared(device, 0).is_err());
     }
 
     #[test]

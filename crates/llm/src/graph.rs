@@ -8,6 +8,8 @@
 use crate::model::{Activation, ModelConfig};
 use crate::ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
 use crate::workload::{InferencePhase, WorkloadConfig};
+use acs_errors::AcsError;
+use std::fmt::Write as _;
 
 /// The per-device operator sequence of one Transformer layer.
 ///
@@ -48,6 +50,101 @@ impl LayerGraph {
         tensor_parallel: u32,
     ) -> Self {
         Self::build_with_dtype(model, workload, phase, tensor_parallel, 2)
+    }
+
+    /// [`LayerGraph::build`] with the panics replaced by typed errors,
+    /// for plan-building paths that must report a bad tensor-parallel
+    /// degree as an [`AcsError::InvalidConfig`] instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when `tensor_parallel` is zero
+    /// or does not divide the model's attention-head count.
+    pub fn try_build(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+    ) -> Result<Self, AcsError> {
+        Self::try_build_with_dtype(model, workload, phase, tensor_parallel, 2)
+    }
+
+    /// [`LayerGraph::try_build`] with an explicit operand size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayerGraph::try_build`].
+    pub fn try_build_with_dtype(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        dtype_bytes: u64,
+    ) -> Result<Self, AcsError> {
+        if tensor_parallel == 0 {
+            return Err(AcsError::invalid_config("tensor_parallel", "must be nonzero"));
+        }
+        if model.num_heads() % tensor_parallel != 0 {
+            return Err(AcsError::invalid_config(
+                "tensor_parallel",
+                format!(
+                    "{tensor_parallel} does not divide the model's {} attention heads",
+                    model.num_heads()
+                ),
+            ));
+        }
+        Ok(Self::build_with_dtype(model, workload, phase, tensor_parallel, dtype_bytes))
+    }
+
+    /// Canonical text form of everything a layer plan depends on: the
+    /// model's full hyperparameters, the workload shape, the phase
+    /// (including the decode context), the tensor-parallel degree, and the
+    /// operand size. Byte-identical inputs produce byte-identical keys, so
+    /// the string (or its digest) content-addresses a lowered graph
+    /// without building one. Infallible and validation-free by design —
+    /// cache-key derivation must never fail.
+    #[must_use]
+    pub fn plan_key(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        dtype_bytes: u64,
+    ) -> String {
+        let mut key = String::with_capacity(192);
+        // `write!` into a String cannot fail; the results are discarded.
+        let _ = write!(
+            key,
+            "llm-plan-v1|model={};layers={};d={};ffn={};heads={};kv={};act={}",
+            model.name(),
+            model.num_layers(),
+            model.d_model(),
+            model.d_ffn(),
+            model.num_heads(),
+            model.num_kv_heads(),
+            model.activation(),
+        );
+        match model.moe() {
+            Some(moe) => {
+                let _ = write!(key, ";moe={}x{}", moe.num_experts, moe.top_k);
+            }
+            None => key.push_str(";moe=none"),
+        }
+        let _ = write!(
+            key,
+            "|work=b{},i{},o{}",
+            workload.batch(),
+            workload.input_len(),
+            workload.output_len()
+        );
+        match phase {
+            InferencePhase::Prefill => key.push_str("|phase=prefill"),
+            InferencePhase::Decode { context_len } => {
+                let _ = write!(key, "|phase=decode@{context_len}");
+            }
+        }
+        let _ = write!(key, "|tp={tensor_parallel}|dt={dtype_bytes}");
+        key
     }
 
     /// [`LayerGraph::build`] with an explicit operand size in bytes.
@@ -467,6 +564,40 @@ mod tests {
     #[should_panic(expected = "tensor_parallel must divide num_heads")]
     fn rejects_non_dividing_tp() {
         let _ = gpt3_prefill(5);
+    }
+
+    #[test]
+    fn try_build_types_the_panic_cases_and_matches_build() {
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let ok = LayerGraph::try_build(&m, &w, InferencePhase::Prefill, 4).unwrap();
+        assert_eq!(ok, LayerGraph::build(&m, &w, InferencePhase::Prefill, 4));
+        for bad_tp in [0, 5] {
+            let err =
+                LayerGraph::try_build(&m, &w, InferencePhase::Prefill, bad_tp).unwrap_err();
+            assert_eq!(err.kind(), "invalid_config");
+        }
+    }
+
+    #[test]
+    fn plan_keys_separate_every_load_bearing_input() {
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let base = LayerGraph::plan_key(&m, &w, InferencePhase::Prefill, 4, 2);
+        // Deterministic: same inputs, byte-identical key.
+        assert_eq!(base, LayerGraph::plan_key(&m, &w, InferencePhase::Prefill, 4, 2));
+        let variants = [
+            LayerGraph::plan_key(&ModelConfig::llama3_8b(), &w, InferencePhase::Prefill, 4, 2),
+            LayerGraph::plan_key(&ModelConfig::mixtral_8x7b(), &w, InferencePhase::Prefill, 4, 2),
+            LayerGraph::plan_key(&m, &WorkloadConfig::new(8, 512, 128), InferencePhase::Prefill, 4, 2),
+            LayerGraph::plan_key(&m, &w, InferencePhase::Decode { context_len: 2048 }, 4, 2),
+            LayerGraph::plan_key(&m, &w, InferencePhase::Decode { context_len: 4096 }, 4, 2),
+            LayerGraph::plan_key(&m, &w, InferencePhase::Prefill, 8, 2),
+            LayerGraph::plan_key(&m, &w, InferencePhase::Prefill, 4, 1),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(&base, v, "variant {i} must not collide with the base key");
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use acs_policy::{
     Acr2022, Acr2023, Classification, DeviceMetrics, HbmClassification, HbmPackage, HbmRule2024,
     MarketSegment,
 };
-use acs_sim::{simulate_serving_cached, ServingConfig, Simulator, StepCostCache};
+use acs_sim::{simulate_serving_cached, PlanStore, ServingConfig, Simulator, StepCostCache};
 use acs_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +40,7 @@ pub struct AppState {
     screen_cache: ShardedCache<String>,
     simulate_cache: ShardedCache<String>,
     step_cache: StepCostCache,
+    plan_store: PlanStore,
     telemetry: Arc<Registry>,
     screen_requests: Arc<Counter>,
     simulate_requests: Arc<Counter>,
@@ -69,6 +70,9 @@ impl AppState {
             screen_cache: ShardedCache::new(cache_capacity),
             simulate_cache: ShardedCache::new(cache_capacity),
             step_cache: StepCostCache::new(cache_capacity.max(1024)),
+            // Plans are tiny (one operator graph pair per distinct
+            // model/workload/node shape), so a small store suffices.
+            plan_store: PlanStore::new(64),
             screen_requests: telemetry.counter("serve.requests.screen"),
             simulate_requests: telemetry.counter("serve.requests.simulate"),
             device_requests: telemetry.counter("serve.requests.devices"),
@@ -596,20 +600,26 @@ fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
 /// for one accelerator configuration.
 fn simulate(state: &AppState, body: &str) -> Result<String, AcsError> {
     let req = parse_simulate(body)?;
+    // One plan pair serves both the cache key (via its digests: the
+    // model, workload, and node shape are content-addressed) and, on a
+    // miss, the simulation itself.
+    let plans = state.plan_store.get_or_build(
+        &req.model,
+        &req.workload,
+        req.device_count,
+        req.config.datatype().bytes(),
+    )?;
     let u = |x: u64| Value::Number(x as f64);
     let key = CacheKey::from_value(&object(vec![
-        ("v", Value::String("simulate-v1".to_owned())),
+        ("v", Value::String("simulate-v2".to_owned())),
         ("config", config_fingerprint(&req.config)),
-        ("model", Value::String(req.model.name().to_owned())),
         (
-            "workload",
+            "plans",
             object(vec![
-                ("batch", u(req.workload.batch())),
-                ("input", u(req.workload.input_len())),
-                ("output", u(req.workload.output_len())),
+                ("prefill", Value::String(CacheKey::digest_hex(plans.prefill_digest()))),
+                ("decode", Value::String(CacheKey::digest_hex(plans.decode_digest()))),
             ]),
         ),
-        ("device_count", u(u64::from(req.device_count))),
         (
             "trace",
             object(vec![
@@ -623,8 +633,8 @@ fn simulate(state: &AppState, body: &str) -> Result<String, AcsError> {
     let (response, _) = state.simulate_cache.get_or_try_insert(&key, || {
         let system = acs_hw::SystemConfig::new(req.config.clone(), req.device_count)?;
         let sim = Simulator::new(system);
-        let ttft_s = sim.try_ttft_s(&req.model, &req.workload)?;
-        let tbt_s = sim.try_tbt_s(&req.model, &req.workload)?;
+        let ttft_s = sim.try_ttft_planned(&plans.prefill)?;
+        let tbt_s = sim.try_tbt_planned(&plans.decode)?;
         let trace = RequestTrace::synthetic(
             req.rate_rps,
             req.duration_s,

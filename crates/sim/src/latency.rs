@@ -3,10 +3,11 @@
 use crate::collective::allreduce_cost;
 use crate::matmul::matmul_cost;
 use crate::params::SimParams;
+use crate::plan::{LayerPlan, OpBytes};
 use crate::vector::vector_cost;
 use acs_errors::{guard, AcsError};
 use acs_hw::SystemConfig;
-use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
+use acs_llm::{InferencePhase, ModelConfig, Operator, WorkloadConfig};
 use std::fmt;
 
 /// Which resource an operator's latency is limited by.
@@ -175,6 +176,16 @@ impl Simulator {
     }
 
     /// Price one layer of `model` under `phase`.
+    ///
+    /// Thin wrapper over [`Simulator::simulate_planned`]: it lowers a
+    /// single-use [`LayerPlan`] and executes it, so the per-call API and
+    /// the plan-reuse API share one pricing loop and cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's device count is zero or does not divide the
+    /// model's attention-head count (see [`acs_llm::LayerGraph::build`]);
+    /// [`LayerPlan::build`] reports the same conditions as typed errors.
     #[must_use]
     pub fn simulate_layer(
         &self,
@@ -182,11 +193,55 @@ impl Simulator {
         workload: &WorkloadConfig,
         phase: InferencePhase,
     ) -> LayerLatency {
-        let device = self.system.device();
-        let graph = LayerGraph::build(model, workload, phase, self.system.device_count());
-        let dt = u64::from(device.datatype().bytes());
-        let l2_use =
-            f64::from(device.l2_mib()) * 1024.0 * 1024.0 * self.params.l2_usable_fraction;
+        let plan = LayerPlan::of_unchecked(
+            model,
+            workload,
+            phase,
+            self.system.device_count(),
+            self.system.device().datatype().bytes(),
+        );
+        self.simulate_planned(&plan)
+    }
+
+    /// Execute a prebuilt [`LayerPlan`]: price each operator on this
+    /// node's device. This is the sweep hot path — the graph lowering and
+    /// operand-size derivation were done once at plan-build time, so each
+    /// call performs only the per-device cost arithmetic.
+    ///
+    /// The plan must have been built for this node's device count and
+    /// operand dtype (checked in debug builds; the fallible
+    /// [`Simulator::try_simulate_planned`] rejects mismatches as typed
+    /// errors).
+    #[must_use]
+    pub fn simulate_planned(&self, plan: &LayerPlan) -> LayerLatency {
+        debug_assert_eq!(plan.device_count(), self.system.device_count());
+        debug_assert_eq!(plan.dtype_bytes(), self.system.device().datatype().bytes());
+        let phase = plan.phase();
+        let l2_use = self.l2_usable();
+        let graph = plan.graph();
+        let mut ops = Vec::with_capacity(graph.ops().len());
+        for (op, bytes) in graph.ops().iter().zip(plan.op_bytes()) {
+            let mut cost = self.price_op(op, *bytes, l2_use);
+            cost.classify();
+            ops.push(cost);
+        }
+        if acs_telemetry::enabled() {
+            record_layer_telemetry(graph.ops(), &ops, phase);
+        }
+        LayerLatency { ops, phase }
+    }
+
+    /// Usable L2 bytes under the calibrated occupancy fraction.
+    fn l2_usable(&self) -> f64 {
+        f64::from(self.system.device().l2_mib()) * 1024.0 * 1024.0 * self.params.l2_usable_fraction
+    }
+
+    /// Price a single planned operator. Every execution mode — the
+    /// per-operator breakdown of [`Simulator::simulate_planned`] and the
+    /// total-only sweep path — routes through this one function, so their
+    /// arithmetic cannot drift. `bound` is left at a placeholder; callers
+    /// that report it run [`OpCost::classify`].
+    fn price_op(&self, op: &Operator, bytes: OpBytes, l2_use: f64) -> OpCost {
         // Producer→consumer forwarding: a tensor of `bytes` survives in the
         // L2 between adjacent operators in proportion to the capacity share
         // it can occupy (half the usable L2, leaving room for blocking).
@@ -197,76 +252,104 @@ impl Simulator {
                 (0.5 * l2_use / bytes).min(1.0)
             }
         };
-
-        let mut ops = Vec::with_capacity(graph.ops().len());
-        for op in graph.ops() {
-            let mut cost = match op {
-                Operator::Matmul(m) => {
-                    let fin = forward(m.a_bytes(dt) as f64);
-                    let fout = forward(m.out_bytes(dt) as f64);
-                    let c = matmul_cost(m, device, &self.params, fin, fout);
-                    OpCost {
-                        name: m.name,
-                        time_s: c.time_s() + self.params.op_overhead_s,
-                        compute_s: c.compute_s,
-                        dram_s: c.dram_s,
-                        l2_s: c.l2_s,
-                        comm_s: 0.0,
-                        overhead_s: self.params.op_overhead_s,
-                        dram_bytes: c.dram_bytes,
-                        bound: Bound::Compute,
-                    }
+        let device = self.system.device();
+        match op {
+            Operator::Matmul(m) => {
+                let fin = forward(bytes.a);
+                let fout = forward(bytes.out);
+                let c = matmul_cost(m, device, &self.params, fin, fout);
+                OpCost {
+                    name: m.name,
+                    time_s: c.time_s() + self.params.op_overhead_s,
+                    compute_s: c.compute_s,
+                    dram_s: c.dram_s,
+                    l2_s: c.l2_s,
+                    comm_s: 0.0,
+                    overhead_s: self.params.op_overhead_s,
+                    dram_bytes: c.dram_bytes,
+                    bound: Bound::Compute,
                 }
-                Operator::Vector(v) => {
-                    let f = forward(v.bytes(dt));
-                    let c = vector_cost(v, device, &self.params, f);
-                    OpCost {
-                        name: v.name,
-                        time_s: c.time_s() + self.params.op_overhead_s,
-                        compute_s: c.compute_s,
-                        dram_s: c.dram_s,
-                        l2_s: c.l2_s,
-                        comm_s: 0.0,
-                        overhead_s: self.params.op_overhead_s,
-                        dram_bytes: c.dram_bytes,
-                        bound: Bound::Compute,
-                    }
+            }
+            Operator::Vector(v) => {
+                let f = forward(bytes.a);
+                let c = vector_cost(v, device, &self.params, f);
+                OpCost {
+                    name: v.name,
+                    time_s: c.time_s() + self.params.op_overhead_s,
+                    compute_s: c.compute_s,
+                    dram_s: c.dram_s,
+                    l2_s: c.l2_s,
+                    comm_s: 0.0,
+                    overhead_s: self.params.op_overhead_s,
+                    dram_bytes: c.dram_bytes,
+                    bound: Bound::Compute,
                 }
-                Operator::AllReduce(a) => {
-                    let c = allreduce_cost(a.bytes, &self.system, &self.params);
-                    OpCost {
-                        name: a.name,
-                        time_s: c.time_s() + self.params.op_overhead_s,
-                        compute_s: 0.0,
-                        dram_s: 0.0,
-                        l2_s: 0.0,
-                        comm_s: c.time_s(),
-                        overhead_s: self.params.op_overhead_s,
-                        dram_bytes: 0.0,
-                        bound: Bound::Interconnect,
-                    }
-                }
-                // `Operator` is non-exhaustive; unknown future operators
-                // contribute only their launch overhead.
-                _ => OpCost {
-                    name: op.name(),
-                    time_s: self.params.op_overhead_s,
+            }
+            Operator::AllReduce(a) => {
+                let c = allreduce_cost(a.bytes, &self.system, &self.params);
+                OpCost {
+                    name: a.name,
+                    time_s: c.time_s() + self.params.op_overhead_s,
                     compute_s: 0.0,
                     dram_s: 0.0,
                     l2_s: 0.0,
-                    comm_s: 0.0,
+                    comm_s: c.time_s(),
                     overhead_s: self.params.op_overhead_s,
                     dram_bytes: 0.0,
-                    bound: Bound::Overhead,
-                },
-            };
-            cost.classify();
-            ops.push(cost);
+                    bound: Bound::Interconnect,
+                }
+            }
+            // `Operator` is non-exhaustive; unknown future operators
+            // contribute only their launch overhead.
+            _ => OpCost {
+                name: op.name(),
+                time_s: self.params.op_overhead_s,
+                compute_s: 0.0,
+                dram_s: 0.0,
+                l2_s: 0.0,
+                comm_s: 0.0,
+                overhead_s: self.params.op_overhead_s,
+                dram_bytes: 0.0,
+                bound: Bound::Overhead,
+            },
         }
-        if acs_telemetry::enabled() {
-            record_layer_telemetry(graph.ops(), &ops, phase);
+    }
+
+    /// Total-only planned execution: price every operator, enforce the
+    /// numeric contract, and accumulate the layer total without
+    /// materialising the per-operator breakdown. This is the sweep hot
+    /// path — it performs no heap allocation while every metric is
+    /// healthy. The accumulation order matches [`LayerLatency::total_s`]
+    /// (left-to-right over the op list, from 0.0), so the result is
+    /// bit-identical to the breakdown path, and telemetry class totals
+    /// are accumulated inline so profiled sweeps stay within the
+    /// overhead budget.
+    fn checked_total_planned(&self, plan: &LayerPlan) -> Result<f64, AcsError> {
+        self.check_plan(plan)?;
+        let l2_use = self.l2_usable();
+        let telemetry_on = acs_telemetry::enabled();
+        let mut class_sums = [0.0f64; 4];
+        let mut total = 0.0f64;
+        for (op, bytes) in plan.graph().ops().iter().zip(plan.op_bytes()) {
+            let cost = self.price_op(op, *bytes, l2_use);
+            let ctx = || format!("simulator.{}", cost.name);
+            guard::ensure_non_negative_with(ctx, "time_s", cost.time_s)?;
+            guard::ensure_non_negative_with(ctx, "compute_s", cost.compute_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_s", cost.dram_s)?;
+            guard::ensure_non_negative_with(ctx, "l2_s", cost.l2_s)?;
+            guard::ensure_non_negative_with(ctx, "comm_s", cost.comm_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_bytes", cost.dram_bytes)?;
+            if telemetry_on {
+                if let Some(class) = op_class(op) {
+                    class_sums[class] += cost.time_s;
+                }
+            }
+            total += cost.time_s;
         }
-        LayerLatency { ops, phase }
+        if telemetry_on {
+            flush_layer_telemetry(&class_sums, plan.phase());
+        }
+        guard::ensure_finite("simulator.layer", "total_s", total)
     }
 
     /// Time-to-first-token: one layer's prefill latency (the paper's TTFT
@@ -296,11 +379,13 @@ impl Simulator {
     }
 
     /// Price one layer and enforce the simulator's numeric contract: every
-    /// per-operator time and byte count must be finite and non-negative.
-    /// This is the variant the DSE pipeline calls — a NaN or infinity
-    /// produced anywhere inside the cost models surfaces here as a typed
-    /// [`AcsError::NonFinite`] instead of propagating silently into sweep
-    /// results.
+    /// per-operator time and byte count must be finite and non-negative —
+    /// a NaN or infinity produced anywhere inside the cost models surfaces
+    /// here as a typed [`AcsError::NonFinite`] instead of propagating
+    /// silently into sweep results. The DSE pipeline now reuses plans via
+    /// [`Simulator::try_simulate_planned`]; this per-call variant (with
+    /// its eager guard contexts) is kept as the legacy reference path the
+    /// equivalence tests and the throughput benchmark compare against.
     ///
     /// # Errors
     ///
@@ -326,36 +411,135 @@ impl Simulator {
         Ok(lat)
     }
 
-    /// Guarded [`Simulator::ttft_s`]: finite and strictly positive, or a
-    /// typed error.
+    /// Reject a plan built for a different node shape or operand dtype —
+    /// executing it would price the wrong graph.
+    fn check_plan(&self, plan: &LayerPlan) -> Result<(), AcsError> {
+        if plan.device_count() != self.system.device_count() {
+            return Err(AcsError::invalid_config(
+                "plan.device_count",
+                format!(
+                    "plan was built for {} devices but the simulator's node has {}",
+                    plan.device_count(),
+                    self.system.device_count()
+                ),
+            ));
+        }
+        let dt = self.system.device().datatype().bytes();
+        if plan.dtype_bytes() != dt {
+            return Err(AcsError::invalid_config(
+                "plan.dtype_bytes",
+                format!(
+                    "plan assumes {}-byte operands but the device computes in {}-byte operands",
+                    plan.dtype_bytes(),
+                    dt
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`Simulator::simulate_planned`] with the simulator's numeric
+    /// contract enforced (see [`Simulator::try_simulate_layer`]) and the
+    /// plan's node shape and dtype checked against this simulator. Guard
+    /// contexts are built lazily, so the sweep hot path allocates nothing
+    /// while every metric is healthy.
     ///
     /// # Errors
     ///
-    /// Returns [`AcsError::NonFinite`] when the latency is NaN, infinite,
-    /// or non-positive.
+    /// Returns [`AcsError::InvalidConfig`] on a mismatched plan and
+    /// [`AcsError::NonFinite`] naming the offending operator and metric.
+    pub fn try_simulate_planned(&self, plan: &LayerPlan) -> Result<LayerLatency, AcsError> {
+        self.check_plan(plan)?;
+        let lat = self.simulate_planned(plan);
+        for op in lat.ops() {
+            let ctx = || format!("simulator.{}", op.name);
+            guard::ensure_non_negative_with(ctx, "time_s", op.time_s)?;
+            guard::ensure_non_negative_with(ctx, "compute_s", op.compute_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_s", op.dram_s)?;
+            guard::ensure_non_negative_with(ctx, "l2_s", op.l2_s)?;
+            guard::ensure_non_negative_with(ctx, "comm_s", op.comm_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_bytes", op.dram_bytes)?;
+        }
+        guard::ensure_finite("simulator.layer", "total_s", lat.total_s())?;
+        Ok(lat)
+    }
+
+    /// Guarded TTFT from a prebuilt prefill plan: finite and strictly
+    /// positive, or a typed error. The plan-reuse counterpart of
+    /// [`Simulator::try_ttft_s`] — bit-identical results, no per-call
+    /// graph lowering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the plan is not a prefill
+    /// plan for this node, and [`AcsError::NonFinite`] when the latency
+    /// is NaN, infinite, or non-positive.
+    pub fn try_ttft_planned(&self, plan: &LayerPlan) -> Result<f64, AcsError> {
+        if !matches!(plan.phase(), InferencePhase::Prefill) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TTFT requires a prefill plan, got a decode plan",
+            ));
+        }
+        let total = self.checked_total_planned(plan)?;
+        guard::ensure_positive("simulator", "ttft_s", total)
+    }
+
+    /// Guarded TBT from a prebuilt decode plan (see
+    /// [`Simulator::try_ttft_planned`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the plan is not a decode
+    /// plan for this node, and [`AcsError::NonFinite`] when the latency
+    /// is NaN, infinite, or non-positive.
+    pub fn try_tbt_planned(&self, plan: &LayerPlan) -> Result<f64, AcsError> {
+        if !matches!(plan.phase(), InferencePhase::Decode { .. }) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TBT requires a decode plan, got a prefill plan",
+            ));
+        }
+        let total = self.checked_total_planned(plan)?;
+        guard::ensure_positive("simulator", "tbt_s", total)
+    }
+
+    /// Guarded [`Simulator::ttft_s`]: finite and strictly positive, or a
+    /// typed error. Thin wrapper that lowers a single-use plan; sweeps
+    /// should build the plan once and call
+    /// [`Simulator::try_ttft_planned`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the node cannot
+    /// tensor-parallelise the model, and [`AcsError::NonFinite`] when the
+    /// latency is NaN, infinite, or non-positive.
     pub fn try_ttft_s(
         &self,
         model: &ModelConfig,
         workload: &WorkloadConfig,
     ) -> Result<f64, AcsError> {
-        let lat = self.try_simulate_layer(model, workload, InferencePhase::Prefill)?;
-        guard::ensure_positive("simulator", "ttft_s", lat.total_s())
+        let plan = LayerPlan::for_simulator(self, model, workload, InferencePhase::Prefill)?;
+        self.try_ttft_planned(&plan)
     }
 
     /// Guarded [`Simulator::tbt_s`]: finite and strictly positive, or a
-    /// typed error.
+    /// typed error. Thin wrapper that lowers a single-use plan; sweeps
+    /// should build the plan once and call
+    /// [`Simulator::try_tbt_planned`].
     ///
     /// # Errors
     ///
-    /// Returns [`AcsError::NonFinite`] when the latency is NaN, infinite,
-    /// or non-positive.
+    /// Returns [`AcsError::InvalidConfig`] when the node cannot
+    /// tensor-parallelise the model, and [`AcsError::NonFinite`] when the
+    /// latency is NaN, infinite, or non-positive.
     pub fn try_tbt_s(
         &self,
         model: &ModelConfig,
         workload: &WorkloadConfig,
     ) -> Result<f64, AcsError> {
-        let lat = self.try_simulate_layer(model, workload, workload.decode_phase())?;
-        guard::ensure_positive("simulator", "tbt_s", lat.total_s())
+        let plan = LayerPlan::for_simulator(self, model, workload, workload.decode_phase())?;
+        self.try_tbt_planned(&plan)
     }
 }
 
@@ -371,6 +555,32 @@ impl Simulator {
 /// signal: per-point wall time (`dse.eval.point_us`) and serving step
 /// costs (`sim.step.*`).
 fn record_layer_telemetry(graph_ops: &[Operator], ops: &[OpCost], phase: InferencePhase) {
+    let mut sums = [0.0f64; 4];
+    for (op, cost) in graph_ops.iter().zip(ops) {
+        if let Some(class) = op_class(op) {
+            sums[class] += cost.time_s;
+        }
+    }
+    flush_layer_telemetry(&sums, phase);
+}
+
+/// Telemetry class of one operator, indexing the `sim.cost_ns.*`
+/// counters; `None` for operators outside the four tracked classes.
+fn op_class(op: &Operator) -> Option<usize> {
+    match op {
+        // The attention score/context products are the workload's
+        // quadratic term; track them separately from weight matmuls.
+        Operator::Matmul(m) if m.name.starts_with("attn") => Some(1),
+        Operator::Matmul(_) => Some(0),
+        Operator::Vector(_) => Some(2),
+        Operator::AllReduce(_) => Some(3),
+        _ => None,
+    }
+}
+
+/// Flush one layer's accumulated per-class cost totals (indexed by
+/// [`op_class`]) and bump the per-phase layer counter.
+fn flush_layer_telemetry(sums: &[f64; 4], phase: InferencePhase) {
     use acs_telemetry::GlobalCounter;
     // Cached handles: no registry name lookup (let alone a `format!`)
     // per simulated layer.
@@ -382,19 +592,6 @@ fn record_layer_telemetry(graph_ops: &[Operator], ops: &[OpCost], phase: Inferen
     ];
     static PREFILL_LAYERS: GlobalCounter = GlobalCounter::new("sim.layers.prefill");
     static DECODE_LAYERS: GlobalCounter = GlobalCounter::new("sim.layers.decode");
-    let mut sums = [0.0f64; 4];
-    for (op, cost) in graph_ops.iter().zip(ops) {
-        let class = match op {
-            // The attention score/context products are the workload's
-            // quadratic term; track them separately from weight matmuls.
-            Operator::Matmul(m) if m.name.starts_with("attn") => 1,
-            Operator::Matmul(_) => 0,
-            Operator::Vector(_) => 2,
-            Operator::AllReduce(_) => 3,
-            _ => continue,
-        };
-        sums[class] += cost.time_s;
-    }
     for i in 0..4 {
         if sums[i] > 0.0 {
             COST_COUNTERS[i].add((sums[i] * 1e9) as u64);

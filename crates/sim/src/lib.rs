@@ -47,11 +47,13 @@ pub mod matmul;
 pub mod metrics;
 pub mod parallelism;
 pub mod params;
+pub mod plan;
 pub mod serving;
 pub mod vector;
 
 pub use energy::{energy_per_token_j, layer_energy, EnergyReport};
 pub use latency::{Bound, LayerLatency, OpCost, Simulator};
+pub use plan::{plan_digest, EvalPlans, LayerPlan, PlanStore};
 pub use metrics::{decode_throughput_tokens_per_s, mfu, request_latency_s};
 pub use parallelism::{mapping_latency, MappingLatency, Parallelism};
 pub use params::SimParams;

@@ -1,0 +1,397 @@
+//! Plan-then-execute layer simulation.
+//!
+//! [`crate::Simulator::simulate_layer`] lowers the model's operator graph
+//! on every call, but the graph — and the per-operator operand sizes that
+//! feed the L2 forwarding model — depend only on `(model, workload,
+//! phase, device_count, dtype)`. A DSE sweep holds all five fixed while
+//! varying the device's *architectural* parameters, so thousands of
+//! points rebuild an identical graph. A [`LayerPlan`] hoists that
+//! invariant work out of the hot loop: build it once per sweep (one per
+//! phase × dtype), then execute it per point with
+//! [`crate::Simulator::simulate_planned`], which only prices operators.
+//!
+//! Execution is bit-identical to the per-call API because the per-call
+//! API *is* the planned path: `simulate_layer` lowers a single-use plan
+//! and runs the same pricing loop. The plan precomputes exactly the
+//! values the loop would have derived — nothing about the arithmetic
+//! changes, only when the inputs are computed.
+//!
+//! Plans are content-addressed through [`acs_llm::LayerGraph::plan_key`]:
+//! [`plan_digest`] gives cache layers (the DSE evaluation cache, the
+//! serving step-cost cache, the query service's response cache) a cheap
+//! digest covering the model, workload, phase, parallelism, and dtype
+//! without serialising each component separately.
+
+use crate::latency::Simulator;
+use acs_cache::{CacheKey, CacheStats, ShardedCache};
+use acs_errors::AcsError;
+use acs_llm::{InferencePhase, LayerGraph, ModelConfig, Operator, WorkloadConfig};
+use std::sync::Arc;
+
+/// Precomputed operand byte sizes for one operator: the inputs of the L2
+/// forwarding model, and the only dtype-dependent quantities the pricing
+/// loop consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OpBytes {
+    /// Producer-side tensor bytes (matmul A operand / vector operand).
+    pub(crate) a: f64,
+    /// Consumer-side tensor bytes (matmul output; zero otherwise).
+    pub(crate) out: f64,
+}
+
+/// A reusable, immutable lowering of one Transformer layer: the operator
+/// graph plus the precomputed operand sizes, tagged with the device count
+/// and operand dtype it was built for so a mismatched simulator can be
+/// rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    graph: LayerGraph,
+    op_bytes: Vec<OpBytes>,
+    device_count: u32,
+    dtype_bytes: u32,
+}
+
+impl LayerPlan {
+    /// Build a plan, validating the tensor-parallel degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when `device_count` is zero or
+    /// does not divide the model's attention-head count.
+    pub fn build(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        device_count: u32,
+        dtype_bytes: u32,
+    ) -> Result<Self, AcsError> {
+        let graph = LayerGraph::try_build(model, workload, phase, device_count)?;
+        Ok(Self::from_graph(graph, device_count, dtype_bytes))
+    }
+
+    /// Plan for `sim`'s node and device dtype — what
+    /// [`Simulator::simulate_layer`] would lower internally.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayerPlan::build`].
+    pub fn for_simulator(
+        sim: &Simulator,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+    ) -> Result<Self, AcsError> {
+        Self::build(
+            model,
+            workload,
+            phase,
+            sim.system().device_count(),
+            sim.system().device().datatype().bytes(),
+        )
+    }
+
+    /// [`LayerPlan::build`] with the legacy panicking validation, for the
+    /// infallible `simulate_layer` wrapper (which documents the panic).
+    pub(crate) fn of_unchecked(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        device_count: u32,
+        dtype_bytes: u32,
+    ) -> Self {
+        let graph = LayerGraph::build(model, workload, phase, device_count);
+        Self::from_graph(graph, device_count, dtype_bytes)
+    }
+
+    fn from_graph(graph: LayerGraph, device_count: u32, dtype_bytes: u32) -> Self {
+        let dt = u64::from(dtype_bytes);
+        let op_bytes = graph
+            .ops()
+            .iter()
+            .map(|op| match op {
+                Operator::Matmul(m) => {
+                    OpBytes { a: m.a_bytes(dt) as f64, out: m.out_bytes(dt) as f64 }
+                }
+                Operator::Vector(v) => OpBytes { a: v.bytes(dt), out: 0.0 },
+                _ => OpBytes { a: 0.0, out: 0.0 },
+            })
+            .collect();
+        LayerPlan { graph, op_bytes, device_count, dtype_bytes }
+    }
+
+    /// The lowered operator graph.
+    #[must_use]
+    pub fn graph(&self) -> &LayerGraph {
+        &self.graph
+    }
+
+    /// The phase the plan prices.
+    #[must_use]
+    pub fn phase(&self) -> InferencePhase {
+        self.graph.phase()
+    }
+
+    /// The tensor-parallel device count the plan was lowered for.
+    #[must_use]
+    pub fn device_count(&self) -> u32 {
+        self.device_count
+    }
+
+    /// The operand size (bytes) the plan's byte counts assume.
+    #[must_use]
+    pub fn dtype_bytes(&self) -> u32 {
+        self.dtype_bytes
+    }
+
+    pub(crate) fn op_bytes(&self) -> &[OpBytes] {
+        &self.op_bytes
+    }
+}
+
+/// Content digest of a plan's defining inputs: the FNV-1a digest of
+/// [`LayerGraph::plan_key`]'s canonical form. Infallible and cheap (one
+/// short format plus a hash) — no graph is lowered — so cache-key
+/// derivation can embed it unconditionally. Render with
+/// [`CacheKey::digest_hex`] when composing into JSON keys.
+#[must_use]
+pub fn plan_digest(
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+    device_count: u32,
+    dtype_bytes: u32,
+) -> u64 {
+    CacheKey::from_canonical(LayerGraph::plan_key(
+        model,
+        workload,
+        phase,
+        device_count,
+        u64::from(dtype_bytes),
+    ))
+    .digest()
+}
+
+/// The plan pair one design evaluation consumes: prefill (TTFT) and
+/// decode (TBT) for the same model/workload/node, with their content
+/// digests precomputed for key derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPlans {
+    /// Prefill-phase plan (TTFT).
+    pub prefill: LayerPlan,
+    /// Decode-phase plan at the workload's decode context (TBT).
+    pub decode: LayerPlan,
+    prefill_digest: u64,
+    decode_digest: u64,
+}
+
+impl EvalPlans {
+    /// Build both phase plans for one model/workload/node/dtype.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayerPlan::build`].
+    pub fn build(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        device_count: u32,
+        dtype_bytes: u32,
+    ) -> Result<Self, AcsError> {
+        let decode_phase = workload.decode_phase();
+        Ok(EvalPlans {
+            prefill: LayerPlan::build(
+                model,
+                workload,
+                InferencePhase::Prefill,
+                device_count,
+                dtype_bytes,
+            )?,
+            decode: LayerPlan::build(model, workload, decode_phase, device_count, dtype_bytes)?,
+            prefill_digest: plan_digest(
+                model,
+                workload,
+                InferencePhase::Prefill,
+                device_count,
+                dtype_bytes,
+            ),
+            decode_digest: plan_digest(model, workload, decode_phase, device_count, dtype_bytes),
+        })
+    }
+
+    /// Content digest of the prefill plan's inputs.
+    #[must_use]
+    pub fn prefill_digest(&self) -> u64 {
+        self.prefill_digest
+    }
+
+    /// Content digest of the decode plan's inputs.
+    #[must_use]
+    pub fn decode_digest(&self) -> u64 {
+        self.decode_digest
+    }
+}
+
+/// A bounded, sharable store of [`EvalPlans`], content-addressed by the
+/// prefill plan key (which — given that the decode phase is derived from
+/// the same workload — uniquely determines the pair). Long-lived services
+/// use one store so repeated queries against the same model/workload
+/// shape skip graph lowering entirely.
+#[derive(Debug)]
+pub struct PlanStore {
+    inner: ShardedCache<Arc<EvalPlans>>,
+}
+
+impl PlanStore {
+    /// A store bounded to `capacity` plan pairs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PlanStore { inner: ShardedCache::new(capacity) }
+    }
+
+    /// Fetch (or build and memoise) the plan pair for one evaluation
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when `device_count` cannot
+    /// tensor-parallelise the model; errors are never cached.
+    pub fn get_or_build(
+        &self,
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        device_count: u32,
+        dtype_bytes: u32,
+    ) -> Result<Arc<EvalPlans>, AcsError> {
+        let key = CacheKey::from_canonical(LayerGraph::plan_key(
+            model,
+            workload,
+            InferencePhase::Prefill,
+            device_count,
+            u64::from(dtype_bytes),
+        ));
+        let (plans, _) = self.inner.get_or_try_insert(&key, || {
+            EvalPlans::build(model, workload, device_count, dtype_bytes).map(Arc::new)
+        })?;
+        Ok(plans)
+    }
+
+    /// Hit/miss/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Plan pairs currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the store holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Default for PlanStore {
+    fn default() -> Self {
+        PlanStore::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_hw::{DeviceConfig, SystemConfig};
+
+    fn sim() -> Simulator {
+        Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap())
+    }
+
+    #[test]
+    fn planned_execution_is_bit_identical_to_per_call_api() {
+        let s = sim();
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        for phase in [InferencePhase::Prefill, work.decode_phase()] {
+            let plan = LayerPlan::for_simulator(&s, &model, &work, phase).unwrap();
+            let planned = s.simulate_planned(&plan);
+            let direct = s.simulate_layer(&model, &work, phase);
+            assert_eq!(planned.total_s().to_bits(), direct.total_s().to_bits());
+            assert_eq!(planned.ops().len(), direct.ops().len());
+            for (a, b) in planned.ops().iter().zip(direct.ops()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(a.dram_bytes.to_bits(), b.dram_bytes.to_bits());
+                assert_eq!(a.bound, b.bound);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_tensor_parallel_degrees() {
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        for bad in [0, 5] {
+            let err =
+                LayerPlan::build(&model, &work, InferencePhase::Prefill, bad, 2).unwrap_err();
+            assert_eq!(err.kind(), "invalid_config");
+        }
+    }
+
+    #[test]
+    fn mismatched_plans_are_rejected_by_the_checked_api() {
+        let s = sim();
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        // Built for 8 devices, executed on a 4-device node.
+        let other = LayerPlan::build(&model, &work, InferencePhase::Prefill, 8, 2).unwrap();
+        assert_eq!(s.try_simulate_planned(&other).unwrap_err().kind(), "invalid_config");
+        // Built for another dtype.
+        let odd = LayerPlan::build(&model, &work, InferencePhase::Prefill, 4, 1).unwrap();
+        assert_eq!(s.try_simulate_planned(&odd).unwrap_err().kind(), "invalid_config");
+        // Phase mismatch: a decode plan cannot answer TTFT and vice versa.
+        let prefill = LayerPlan::for_simulator(&s, &model, &work, InferencePhase::Prefill).unwrap();
+        let decode = LayerPlan::for_simulator(&s, &model, &work, work.decode_phase()).unwrap();
+        assert_eq!(s.try_ttft_planned(&decode).unwrap_err().kind(), "invalid_config");
+        assert_eq!(s.try_tbt_planned(&prefill).unwrap_err().kind(), "invalid_config");
+        // Matched plans agree with the model/workload API.
+        let ttft = s.try_ttft_planned(&prefill).unwrap();
+        let tbt = s.try_tbt_planned(&decode).unwrap();
+        assert_eq!(ttft.to_bits(), s.try_ttft_s(&model, &work).unwrap().to_bits());
+        assert_eq!(tbt.to_bits(), s.try_tbt_s(&model, &work).unwrap().to_bits());
+    }
+
+    #[test]
+    fn plan_digests_separate_phase_dtype_and_node_shape() {
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        let base = plan_digest(&model, &work, InferencePhase::Prefill, 4, 2);
+        assert_eq!(base, plan_digest(&model, &work, InferencePhase::Prefill, 4, 2));
+        assert_ne!(base, plan_digest(&model, &work, work.decode_phase(), 4, 2));
+        assert_ne!(base, plan_digest(&model, &work, InferencePhase::Prefill, 8, 2));
+        assert_ne!(base, plan_digest(&model, &work, InferencePhase::Prefill, 4, 1));
+        assert_ne!(
+            base,
+            plan_digest(&ModelConfig::llama3_8b(), &work, InferencePhase::Prefill, 4, 2)
+        );
+    }
+
+    #[test]
+    fn plan_store_memoises_pairs_and_skips_error_caching() {
+        let store = PlanStore::new(16);
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        let a = store.get_or_build(&model, &work, 4, 2).unwrap();
+        let b = store.get_or_build(&model, &work, 4, 2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat lookups share one plan pair");
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(a.prefill.phase(), InferencePhase::Prefill);
+        assert!(matches!(a.decode.phase(), InferencePhase::Decode { .. }));
+        assert_eq!(a.prefill_digest(), plan_digest(&model, &work, InferencePhase::Prefill, 4, 2));
+        // Invalid shapes surface typed errors and leave the store empty.
+        assert_eq!(store.get_or_build(&model, &work, 5, 2).unwrap_err().kind(), "invalid_config");
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -116,17 +116,32 @@ impl Default for StepCostCache {
     }
 }
 
-/// Everything that determines a step cost, canonically encoded. Two
-/// simulators with identical architectural and calibration parameters
-/// share entries even if their `DeviceConfig` names differ is *not* true:
-/// the name is excluded, only load-bearing parameters are keyed.
-fn step_key(sim: &Simulator, model: &ModelConfig, phase: &str, batch: u64, context: u64) -> CacheKey {
+/// Everything that determines a step cost, canonically encoded. The
+/// model, bucketed step shape, phase, tensor-parallel degree, and dtype
+/// are content-addressed through the layer-plan digest
+/// ([`crate::plan::plan_digest`]); the device's architectural parameters
+/// and the calibration — the remaining cost inputs — are keyed
+/// explicitly. The device *name* is excluded: only load-bearing
+/// parameters are keyed, so identically configured devices share entries.
+fn step_key(
+    sim: &Simulator,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+) -> CacheKey {
     let d = sim.system().device();
     let p = sim.params();
     let n = Value::Number;
     let u = |x: u64| Value::Number(x as f64);
+    let plan = crate::plan::plan_digest(
+        model,
+        workload,
+        phase,
+        sim.system().device_count(),
+        d.datatype().bytes(),
+    );
     CacheKey::from_value(&object(vec![
-        ("v", Value::String("sim-step-v1".to_owned())),
+        ("v", Value::String("sim-step-v2".to_owned())),
         (
             "device",
             object(vec![
@@ -144,7 +159,6 @@ fn step_key(sim: &Simulator, model: &ModelConfig, phase: &str, batch: u64, conte
                 ("dtype_bits", u(u64::from(d.datatype().bit_width()))),
             ]),
         ),
-        ("device_count", u(u64::from(sim.system().device_count()))),
         (
             "params",
             object(vec![
@@ -157,20 +171,7 @@ fn step_key(sim: &Simulator, model: &ModelConfig, phase: &str, batch: u64, conte
                 ("l2_frac", n(p.l2_usable_fraction)),
             ]),
         ),
-        (
-            "model",
-            object(vec![
-                ("name", Value::String(model.name().to_owned())),
-                ("layers", u(u64::from(model.num_layers()))),
-                ("d_model", u(model.d_model())),
-                ("d_ffn", u(model.d_ffn())),
-                ("heads", u(u64::from(model.num_heads()))),
-                ("kv_heads", u(u64::from(model.num_kv_heads()))),
-            ]),
-        ),
-        ("phase", Value::String(phase.to_owned())),
-        ("batch", u(batch)),
-        ("context", u(context)),
+        ("plan", Value::String(CacheKey::digest_hex(plan))),
     ]))
 }
 
@@ -380,7 +381,12 @@ pub fn simulate_serving_cached(
             let (cost, hit) = cache
                 .inner
                 .get_or_try_insert::<std::convert::Infallible>(
-                    &step_key(sim, model, "prefill", 1, key),
+                    &step_key(
+                        sim,
+                        model,
+                        &WorkloadConfig::new(1, key, 1),
+                        InferencePhase::Prefill,
+                    ),
                     || Ok(full_prefill_cost(sim, model, key)),
                 )
                 .unwrap_or_else(|e| match e {});
@@ -392,7 +398,12 @@ pub fn simulate_serving_cached(
             let (cost, hit) = cache
                 .inner
                 .get_or_try_insert::<std::convert::Infallible>(
-                    &step_key(sim, model, "decode", batch as u64, key),
+                    &step_key(
+                        sim,
+                        model,
+                        &WorkloadConfig::new(batch as u64, key, 1),
+                        InferencePhase::Decode { context_len: key },
+                    ),
                     || Ok(full_decode_cost(sim, model, batch, key)),
                 )
                 .unwrap_or_else(|e| match e {});

@@ -12,11 +12,16 @@
 //! `"acs-bench-v1"`, a non-empty string `suite`, and a non-empty `metrics`
 //! object whose members are all finite numbers. Exits non-zero with a
 //! per-file message on the first violation.
+//!
+//! `--min-dse-plan-speedup <ratio>` additionally requires every `dse`
+//! suite artefact to carry a `plan_speedup` metric at or above the given
+//! ratio — the CI floor for the plan-then-execute sweep pipeline against
+//! its legacy reference.
 
 use acs_errors::json::{parse, Value};
 use std::process::ExitCode;
 
-fn validate(path: &str) -> Result<usize, String> {
+fn validate(path: &str, min_plan_speedup: Option<f64>) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
     let doc = parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
     let schema = doc.require_str("schema").map_err(|e| e.to_string())?;
@@ -39,18 +44,43 @@ fn validate(path: &str) -> Result<usize, String> {
             other => return Err(format!("metric {name:?} is not a finite number: {other:?}")),
         }
     }
+    if let (Some(floor), "dse") = (min_plan_speedup, suite) {
+        match metrics.iter().find(|(name, _)| name == "plan_speedup") {
+            Some((_, Value::Number(v))) if *v >= floor => {}
+            Some((_, Value::Number(v))) => {
+                return Err(format!("plan_speedup {v:.2} below the required {floor:.2}"));
+            }
+            _ => return Err("dse suite is missing the plan_speedup metric".to_owned()),
+        }
+    }
     Ok(metrics.len())
 }
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut min_plan_speedup = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--min-dse-plan-speedup" {
+            match iter.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(v)) if v.is_finite() && v > 0.0 => min_plan_speedup = Some(v),
+                _ => {
+                    eprintln!("--min-dse-plan-speedup requires a positive ratio");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: bench_validate <BENCH_*.json>...");
+        eprintln!("usage: bench_validate [--min-dse-plan-speedup <ratio>] <BENCH_*.json>...");
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     for path in &paths {
-        match validate(path) {
+        match validate(path, min_plan_speedup) {
             Ok(count) => println!("{path}: ok ({count} metrics)"),
             Err(reason) => {
                 eprintln!("{path}: INVALID: {reason}");

@@ -50,8 +50,9 @@ cargo run -q --release --locked --offline -p acs-serve --bin acs-serve -- \
 echo "==> profiled smoke bench (includes the <5% telemetry-overhead assertion)"
 ACS_BENCH_DIR="$smokedir" scripts/bench-smoke.sh
 
-echo "==> bench artefact schema validation (acs-bench-v1)"
+echo "==> bench artefact schema validation (acs-bench-v1, plan speedup >= 1.5x)"
 cargo run -q --release --locked --offline --example bench_validate -- \
+    --min-dse-plan-speedup 1.5 \
     "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json"
 
 echo "==> profiled DSE trace determinism (identical structure across runs)"

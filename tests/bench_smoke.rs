@@ -181,8 +181,42 @@ fn bench_smoke() {
         "run_report (profiled sweep)", sweep_on_ms, sweep_off_ms, overhead_pct
     );
 
+    // --- planned vs legacy sweep throughput ---
+    // The reference uncached sweep: Table 3's Figure-7 grid (1536 points,
+    // all feasible at the 2400 TPP ceiling) under the acs-dse default
+    // model/workload. `run_report` prices every point against layer plans
+    // built once per sweep; `run_report_legacy` is the pre-plan pipeline
+    // that lowers the operator graphs again at every point. Both run the
+    // same scheduler and the same points, so the ratio isolates the
+    // per-point work the plan cache removes.
+    let reference = SweepSpec::table3_fig7().candidates(2400.0);
+    assert_eq!(reference.len(), 1536, "reference sweep size");
+    let planned_runner = sweep_base.clone();
+    let mut planned_round = || planned_runner.run_report(&reference);
+    let mut legacy_round = || planned_runner.run_report_legacy(&reference);
+    let _ = planned_round(); // warm plan slot + thread pool paths
+    let _ = legacy_round();
+    let mut planned_ms = f64::INFINITY;
+    let mut legacy_ms = f64::INFINITY;
+    for _ in 0..3 {
+        planned_ms = planned_ms.min(round_ms(1, &mut planned_round));
+        legacy_ms = legacy_ms.min(round_ms(1, &mut legacy_round));
+    }
+    let points_per_sec = reference.len() as f64 / (planned_ms / 1e3);
+    let points_per_sec_legacy = reference.len() as f64 / (legacy_ms / 1e3);
+    let plan_speedup = legacy_ms / planned_ms;
+    println!(
+        "{:<44} {:>10.0} points/s  (legacy {:.0} points/s, {:.2}x)",
+        "run_report (1536-point uncached sweep)", points_per_sec, points_per_sec_legacy, plan_speedup
+    );
+
     // Generous ceilings: only order-of-magnitude regressions fail.
     assert!(layer_ms < 100.0, "layer simulation took {layer_ms:.1} ms");
+    assert!(
+        plan_speedup >= 1.5,
+        "planned sweep must beat the legacy pipeline by >= 1.5x, got {plan_speedup:.2}x \
+         (planned {planned_ms:.1} ms vs legacy {legacy_ms:.1} ms)"
+    );
     assert!(eval_ms < 500.0, "design evaluation took {eval_ms:.1} ms");
     // No cached-vs-uncached comparison here: a single analytic evaluation
     // is microseconds in release builds, on the same order as a cache
@@ -207,6 +241,9 @@ fn bench_smoke() {
             ("sweep_ms", sweep_off_ms),
             ("sweep_profiled_ms", sweep_on_ms),
             ("telemetry_overhead_pct", overhead_pct),
+            ("points_per_sec", points_per_sec),
+            ("points_per_sec_legacy", points_per_sec_legacy),
+            ("plan_speedup", plan_speedup),
         ],
     );
 }

@@ -1,0 +1,100 @@
+//! Golden equivalence between the planned sweep pipeline and the legacy
+//! per-point pipeline.
+//!
+//! The plan-then-execute split (`LayerPlan` built once per sweep, priced
+//! per point) is a pure scheduling change: it must not move a single bit
+//! of any result. These tests drive both pipelines over a large sweep —
+//! including injected faults and mixed datatypes — and compare the
+//! canonical JSON digests of every evaluated design plus the full
+//! failure ledger.
+
+use acs_cache::CacheKey;
+use acs_dse::{inject_faults, DseRunner, EvaluatedDesign, SweepSpec};
+use acs_hw::{DataType, DeviceConfig};
+use acs_llm::{ModelConfig, WorkloadConfig};
+
+/// Canonical content digest of one evaluated design. Any drift in any
+/// field — including the float bit patterns, which the canonical codec
+/// round-trips exactly — changes this value.
+fn design_digest(design: &EvaluatedDesign) -> u64 {
+    let value = design.to_json_value().expect("evaluated designs serialise");
+    CacheKey::from_value(&value).digest()
+}
+
+fn runner() -> DseRunner {
+    DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+}
+
+#[test]
+fn planned_sweep_is_bit_identical_to_legacy_with_faults() {
+    // 512 points, with a fault injected every 7th: the planned pipeline
+    // must reproduce the legacy pipeline's successes bit-for-bit AND
+    // fail at exactly the same indices with the same error kinds.
+    let mut candidates = SweepSpec::table3_fig6().candidates(4800.0);
+    assert!(candidates.len() >= 200, "need a representative sweep, got {}", candidates.len());
+    let injected = inject_faults(&mut candidates, 7);
+    assert!(!injected.is_empty());
+
+    let planned = runner().run_report(&candidates);
+    let legacy = runner().run_report_legacy(&candidates);
+
+    assert_eq!(planned.total(), candidates.len());
+    assert_eq!(planned.total(), legacy.total());
+
+    // Failure ledger: same indices, same candidate names, same kinds.
+    assert_eq!(planned.failures.len(), legacy.failures.len());
+    for (p, l) in planned.failures.iter().zip(&legacy.failures) {
+        assert_eq!(p.index, l.index);
+        assert_eq!(p.params, l.params);
+        assert_eq!(p.kind(), l.kind());
+    }
+
+    // Successes: same indices, and canonically identical content.
+    assert_eq!(planned.designs.len(), legacy.designs.len());
+    assert!(!planned.designs.is_empty());
+    for ((pi, pd), (li, ld)) in planned.designs.iter().zip(&legacy.designs) {
+        assert_eq!(pi, li);
+        assert_eq!(
+            design_digest(pd),
+            design_digest(ld),
+            "design {} diverged between planned and legacy pipelines",
+            pd.name
+        );
+        assert_eq!(pd.ttft_s.to_bits(), ld.ttft_s.to_bits());
+        assert_eq!(pd.tbt_s.to_bits(), ld.tbt_s.to_bits());
+    }
+}
+
+#[test]
+fn planned_sweep_is_bit_identical_across_mixed_dtypes() {
+    // A sweep whose devices alternate int8 / fp16 / fp32 exercises one
+    // plan pair per datatype width in a single run.
+    let base = SweepSpec::table3_fig6().configs(4800.0);
+    let configs: Vec<DeviceConfig> = base
+        .iter()
+        .take(48)
+        .enumerate()
+        .map(|(i, cfg)| {
+            let dtype = match i % 3 {
+                0 => DataType::Int8,
+                1 => DataType::Fp16,
+                _ => DataType::Fp32,
+            };
+            cfg.to_builder().datatype(dtype).build().expect("datatype swap keeps configs valid")
+        })
+        .collect();
+    assert_eq!(configs.len(), 48);
+
+    let r = runner();
+    let parallel_planned = r.run_configs(&configs);
+    for (cfg, outcome) in configs.iter().zip(&parallel_planned) {
+        let planned = outcome.as_ref().expect("healthy configs evaluate");
+        let legacy = r.try_evaluate_legacy(cfg).expect("legacy path agrees on health");
+        assert_eq!(
+            design_digest(planned),
+            design_digest(&legacy),
+            "dtype {:?} diverged between planned and legacy pipelines",
+            cfg.datatype()
+        );
+    }
+}
