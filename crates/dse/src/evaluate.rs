@@ -125,13 +125,14 @@ impl EvaluatedDesign {
 pub struct DseRunner {
     model: ModelConfig,
     workload: WorkloadConfig,
-    device_count: u32,
-    area_model: AreaModel,
-    cost_model: CostModel,
-    sim_params: SimParams,
-    rule_2023: Acr2023,
-    cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
+    pub(crate) device_count: u32,
+    pub(crate) area_model: AreaModel,
+    pub(crate) cost_model: CostModel,
+    pub(crate) sim_params: SimParams,
+    pub(crate) rule_2023: Acr2023,
+    pub(crate) cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
     plans: Arc<PlanSlot>,
+    pub(crate) factored: Arc<crate::factored::FactoredSlot>,
 }
 
 /// Layer plans shared by every point of a sweep, built lazily per dtype.
@@ -158,6 +159,7 @@ impl DseRunner {
             rule_2023: Acr2023::published(),
             cache: None,
             plans: Arc::new(PlanSlot::default()),
+            factored: Arc::new(crate::factored::FactoredSlot::default()),
         }
     }
 
@@ -165,9 +167,11 @@ impl DseRunner {
     #[must_use]
     pub fn with_device_count(mut self, n: u32) -> Self {
         self.device_count = n;
-        // Plans bake in the tensor-parallel degree; drop the shared slot
-        // rather than poison clones that still use the old count.
+        // Plans and priced legs bake in the tensor-parallel degree; drop
+        // the shared slots rather than poison clones that still use the
+        // old count.
         self.plans = Arc::new(PlanSlot::default());
+        self.factored = Arc::new(crate::factored::FactoredSlot::default());
         self
     }
 
@@ -175,6 +179,9 @@ impl DseRunner {
     #[must_use]
     pub fn with_sim_params(mut self, params: SimParams) -> Self {
         self.sim_params = params;
+        // Leg tables bake in the calibration (plans do not: they are
+        // pure graph shape); a recalibrated runner must re-price.
+        self.factored = Arc::new(crate::factored::FactoredSlot::default());
         self
     }
 
@@ -345,7 +352,7 @@ impl DseRunner {
 
     /// The plan pair for one datatype width, built at most once per
     /// runner (read-mostly after the first point of a sweep).
-    fn plans_for(&self, dtype_bytes: u32) -> Result<Arc<EvalPlans>, AcsError> {
+    pub(crate) fn plans_for(&self, dtype_bytes: u32) -> Result<Arc<EvalPlans>, AcsError> {
         if let Some(plans) = self
             .plans
             .by_dtype
@@ -457,7 +464,7 @@ impl DseRunner {
         self.collect_report(candidates, outcomes)
     }
 
-    fn collect_report(
+    pub(crate) fn collect_report(
         &self,
         candidates: &[CandidateParams],
         outcomes: Vec<Result<EvaluatedDesign, AcsError>>,

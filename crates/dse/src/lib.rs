@@ -29,6 +29,7 @@
 
 pub mod checkpoint;
 pub mod evaluate;
+pub mod factored;
 pub mod faultinject;
 pub mod packaged;
 pub mod pareto;

@@ -1,12 +1,69 @@
 //! Pareto-front extraction for two-objective design studies
 //! (e.g. TTFT vs TBT in Figures 6c/6f, latency vs cost in Figure 8).
 
+use std::cmp::Ordering;
+
 /// Indices of the Pareto-optimal items when minimising both objectives.
 ///
 /// An item is on the front when no other item is at least as good in both
 /// objectives and strictly better in one. Non-finite objective values
-/// exclude an item. The returned indices are in input order.
+/// exclude an item; identical points do not dominate each other, so
+/// duplicates of a front point are all kept. The returned indices are in
+/// input order.
+///
+/// Runs in O(n log n): sort by the first objective (second as
+/// tie-break), then sweep once tracking the best second objective seen
+/// in strictly earlier groups — a point survives iff it carries its
+/// group's minimal second objective and beats every earlier group.
+/// Differentially tested against [`pareto_front_naive`] on randomized
+/// point sets.
 pub fn pareto_front<T>(
+    items: &[T],
+    obj_a: impl Fn(&T) -> f64,
+    obj_b: impl Fn(&T) -> f64,
+) -> Vec<usize> {
+    let mut pts: Vec<(f64, f64, usize)> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let (a, b) = (obj_a(t), obj_b(t));
+            (a.is_finite() && b.is_finite()).then_some((a, b, i))
+        })
+        .collect();
+    pts.sort_by(|x, y| match x.0.total_cmp(&y.0) {
+        Ordering::Equal => x.1.total_cmp(&y.1),
+        other => other,
+    });
+    let mut front = Vec::new();
+    // Minimum of the second objective over every strictly-smaller first
+    // objective: any such point dominates (strict in a, <= in b).
+    let mut best_b = f64::INFINITY;
+    let mut group = 0;
+    while group < pts.len() {
+        let a = pts[group].0;
+        // The group is sorted by b, so its head holds the group minimum;
+        // group members with a larger b are dominated within the group.
+        let group_min_b = pts[group].1;
+        let mut end = group;
+        while end < pts.len() && pts[end].0 == a {
+            if pts[end].1 == group_min_b && group_min_b < best_b {
+                front.push(pts[end].2);
+            }
+            end += 1;
+        }
+        if group_min_b < best_b {
+            best_b = group_min_b;
+        }
+        group = end;
+    }
+    front.sort_unstable();
+    front
+}
+
+/// The quadratic reference implementation of [`pareto_front`], retained
+/// verbatim for differential testing: every point is checked against
+/// every other point straight from the dominance definition.
+pub fn pareto_front_naive<T>(
     items: &[T],
     obj_a: impl Fn(&T) -> f64,
     obj_b: impl Fn(&T) -> f64,
@@ -66,5 +123,64 @@ mod tests {
     fn single_point_is_optimal() {
         let pts = [(3.0, 3.0)];
         assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![0]);
+    }
+
+    #[test]
+    fn equal_first_objective_keeps_only_the_group_minimum() {
+        // Same a: smaller b dominates the rest of the column.
+        let pts = [(1.0, 3.0), (1.0, 2.0), (1.0, 2.0), (1.0, 5.0)];
+        assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![1, 2]);
+    }
+
+    /// SplitMix64: tiny, dependency-free, deterministic.
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn sweep_matches_naive_reference_on_random_point_sets() {
+        let mut rng = SplitMix64(0xAC5_5EED_0001);
+        for round in 0..200 {
+            let n = (rng.next() % 60) as usize;
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| {
+                    // A small discrete grid forces heavy ties and exact
+                    // duplicates; a sprinkle of non-finite values checks
+                    // the exclusion rule.
+                    let coord = |r: &mut SplitMix64| match r.next() % 16 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        v => (v % 7) as f64,
+                    };
+                    (coord(&mut rng), coord(&mut rng))
+                })
+                .collect();
+            let fast = pareto_front(&pts, |p| p.0, |p| p.1);
+            let naive = pareto_front_naive(&pts, |p| p.0, |p| p.1);
+            assert_eq!(fast, naive, "round {round}: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_continuous_points() {
+        let mut rng = SplitMix64(42);
+        let unit = |r: &mut SplitMix64| (r.next() >> 11) as f64 / (1u64 << 53) as f64;
+        for round in 0..50 {
+            let n = 1 + (rng.next() % 200) as usize;
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|_| (unit(&mut rng), unit(&mut rng))).collect();
+            let fast = pareto_front(&pts, |p| p.0, |p| p.1);
+            let naive = pareto_front_naive(&pts, |p| p.0, |p| p.1);
+            assert_eq!(fast, naive, "round {round}");
+        }
     }
 }

@@ -29,29 +29,56 @@ pub struct Distribution {
 impl Distribution {
     /// Summarise a sample. Returns `None` for an empty sample or one
     /// containing non-finite values.
+    ///
+    /// Only eight order statistics are ever read (min, max, and the two
+    /// neighbouring ranks of each quartile), so the sample is never fully
+    /// sorted: each needed rank is pulled with `select_nth_unstable_by`
+    /// on the suffix left by the previous (ascending) rank — O(n) in
+    /// total instead of O(n log n), and the selected elements are exactly
+    /// the sorted array's, so every quantile is bit-identical to the
+    /// full-sort implementation this replaces.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
             return None;
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let pos = |q: f64| q * (n - 1) as f64;
+        let mut ranks = vec![0, n - 1];
+        for q in [0.25, 0.5, 0.75] {
+            ranks.push(pos(q).floor() as usize);
+            ranks.push(pos(q).ceil() as usize);
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        let mut scratch = samples.to_vec();
+        let mut values = Vec::with_capacity(ranks.len());
+        let mut offset = 0;
+        for &r in &ranks {
+            let (_, v, _) = scratch[offset..].select_nth_unstable_by(r - offset, f64::total_cmp);
+            values.push(*v);
+            offset = r;
+        }
+        // Every rank was pushed above, so the search cannot miss; the
+        // fallback index keeps the lookup total without a panic path.
+        let at = |r: usize| values[ranks.binary_search(&r).unwrap_or(0)];
         let quantile = |q: f64| -> f64 {
             // Linear interpolation between closest ranks.
-            let pos = q * (sorted.len() - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            let p = pos(q);
+            let lo = p.floor() as usize;
+            let hi = p.ceil() as usize;
+            let frac = p - lo as f64;
+            at(lo) * (1.0 - frac) + at(hi) * frac
         };
         Some(Distribution {
-            count: sorted.len(),
-            min: sorted[0],
+            count: n,
+            min: at(0),
             q1: quantile(0.25),
             median: quantile(0.5),
             q3: quantile(0.75),
-            max: sorted[sorted.len() - 1],
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: at(n - 1),
+            mean,
         })
     }
 
@@ -148,6 +175,20 @@ mod tests {
         let point = Distribution::from_samples(&[5.0, 5.0]).unwrap();
         assert!(narrowing_factor(&full, &point).is_infinite());
         assert_eq!(narrowing_factor(&point, &point), 1.0);
+    }
+
+    #[test]
+    fn quantile_outputs_are_pinned() {
+        // Exact values from the linear-interpolation definition, pinned
+        // so the selection-based implementation cannot drift from the
+        // full-sort one it replaced.
+        let d =
+            Distribution::from_samples(&[2.0, 9.0, 4.0, 1.0, 7.0, 5.0, 8.0, 3.0, 6.0]).unwrap();
+        assert_eq!((d.min, d.q1, d.median, d.q3, d.max), (1.0, 3.0, 5.0, 7.0, 9.0));
+        // Even sample size: both quartiles interpolate between ranks.
+        let d = Distribution::from_samples(&[40.0, 10.0, 30.0, 20.0]).unwrap();
+        assert_eq!((d.q1, d.median, d.q3), (17.5, 25.0, 32.5));
+        assert_eq!(d.mean, 25.0);
     }
 
     #[test]

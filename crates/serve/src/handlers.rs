@@ -13,6 +13,7 @@
 use crate::http::{percent_decode, HttpRequest};
 use acs_cache::{CacheKey, CacheStats, ShardedCache};
 use acs_devices::{DeviceRecord, GpuDatabase};
+use acs_dse::{DseRunner, SweepSpec};
 use acs_errors::json::{object, parse, Value};
 use acs_errors::AcsError;
 use acs_hw::DeviceConfig;
@@ -41,6 +42,10 @@ pub struct AppState {
     simulate_cache: ShardedCache<String>,
     step_cache: StepCostCache,
     plan_store: PlanStore,
+    // The grid evaluator. Its factored leg tables live inside the runner
+    // and persist for the service's lifetime, so every /v1/screen grid
+    // request prices only the legs no earlier request has priced.
+    dse: DseRunner,
     telemetry: Arc<Registry>,
     screen_requests: Arc<Counter>,
     simulate_requests: Arc<Counter>,
@@ -73,6 +78,7 @@ impl AppState {
             // Plans are tiny (one operator graph pair per distinct
             // model/workload/node shape), so a small store suffices.
             plan_store: PlanStore::new(64),
+            dse: DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default()),
             screen_requests: telemetry.counter("serve.requests.screen"),
             simulate_requests: telemetry.counter("serve.requests.simulate"),
             device_requests: telemetry.counter("serve.requests.devices"),
@@ -382,10 +388,169 @@ fn metrics_value(m: &DeviceMetrics) -> Value {
     ])
 }
 
+/// Ceiling on `/v1/screen` grid cardinality: large enough for the
+/// paper's Table 3 sweeps (up to 1536 points), small enough that a
+/// single request cannot pin a worker for minutes.
+const MAX_GRID_POINTS: usize = 4_096;
+
+/// Parse a `grid` request member into a sweep spec plus its TPP target.
+fn parse_grid(spec: &Value) -> Result<(SweepSpec, f64), AcsError> {
+    const KNOWN: [&str; 7] = [
+        "systolic_dims",
+        "lanes_per_core",
+        "l1_kib",
+        "l2_mib",
+        "hbm_tb_s",
+        "device_bw_gb_s",
+        "tpp_target",
+    ];
+    if let Value::Object(members) = spec {
+        for (k, _) in members {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(AcsError::Json {
+                    reason: format!("unknown grid member {k:?} (expected one of {KNOWN:?})"),
+                });
+            }
+        }
+    } else {
+        return Err(AcsError::Json { reason: "grid must be an object".to_owned() });
+    }
+    let axis = |key: &str| -> Result<&[Value], AcsError> {
+        spec.get(key).and_then(Value::as_array).filter(|a| !a.is_empty()).ok_or_else(|| {
+            AcsError::Json { reason: format!("grid member {key:?} must be a non-empty array") }
+        })
+    };
+    let u32_axis = |key: &str| -> Result<Vec<u32>, AcsError> {
+        axis(key)?
+            .iter()
+            .map(|v| {
+                v.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(|| AcsError::Json {
+                    reason: format!("grid member {key:?} must hold small non-negative integers"),
+                })
+            })
+            .collect()
+    };
+    let f64_axis = |key: &str| -> Result<Vec<f64>, AcsError> {
+        axis(key)?
+            .iter()
+            .map(|v| {
+                v.as_f64().filter(|x| x.is_finite()).ok_or_else(|| AcsError::Json {
+                    reason: format!("grid member {key:?} must hold finite numbers"),
+                })
+            })
+            .collect()
+    };
+    let sweep = SweepSpec {
+        systolic_dims: u32_axis("systolic_dims")?,
+        lanes_per_core: u32_axis("lanes_per_core")?,
+        l1_kib: u32_axis("l1_kib")?,
+        l2_mib: u32_axis("l2_mib")?,
+        hbm_tb_s: f64_axis("hbm_tb_s")?,
+        device_bw_gb_s: f64_axis("device_bw_gb_s")?,
+    };
+    let tpp_target = spec
+        .get("tpp_target")
+        .and_then(Value::as_f64)
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .ok_or_else(|| AcsError::Json {
+            reason: "grid member \"tpp_target\" must be a positive number".to_owned(),
+        })?;
+    if sweep.cardinality() > MAX_GRID_POINTS {
+        return Err(AcsError::invalid_config(
+            "grid",
+            format!(
+                "{} points exceed the {MAX_GRID_POINTS}-point request ceiling",
+                sweep.cardinality()
+            ),
+        ));
+    }
+    Ok((sweep, tpp_target))
+}
+
+/// Normalised canonical form of a grid for cache keys: axis values in
+/// request order (the factored evaluator is order-insensitive, but two
+/// orderings are two requests — correctness never depends on collapsing
+/// them).
+fn grid_fingerprint(s: &SweepSpec) -> Value {
+    let u32s =
+        |xs: &[u32]| Value::Array(xs.iter().map(|&x| Value::Number(f64::from(x))).collect());
+    let f64s = |xs: &[f64]| Value::Array(xs.iter().copied().map(Value::Number).collect());
+    object(vec![
+        ("systolic_dims", u32s(&s.systolic_dims)),
+        ("lanes_per_core", u32s(&s.lanes_per_core)),
+        ("l1_kib", u32s(&s.l1_kib)),
+        ("l2_mib", u32s(&s.l2_mib)),
+        ("hbm_tb_s", f64s(&s.hbm_tb_s)),
+        ("device_bw_gb_s", f64s(&s.device_bw_gb_s)),
+    ])
+}
+
+/// `POST /v1/screen` with a `grid` member: evaluate a DSE lattice with
+/// the factored evaluator and return every design plus the failure
+/// ledger. Responses are cached like scalar screens; on a cache miss the
+/// evaluation still reuses every cost leg any earlier grid priced,
+/// because the leg tables belong to the [`AppState`]'s runner.
+fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
+    let (sweep, tpp_target) = parse_grid(spec)?;
+    let key = CacheKey::from_value(&object(vec![
+        ("v", Value::String("screen-grid-v1".to_owned())),
+        ("grid", grid_fingerprint(&sweep)),
+        ("tpp", Value::Number(tpp_target)),
+    ]));
+    let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
+        let report = state.dse.run_factored(&sweep, tpp_target);
+        let mut designs = Vec::with_capacity(report.designs.len());
+        for (index, d) in &report.designs {
+            designs.push(object(vec![
+                ("index", Value::Number(*index as f64)),
+                ("design", d.to_json_value()?),
+            ]));
+        }
+        let failures = report
+            .failures
+            .iter()
+            .map(|f| {
+                object(vec![
+                    ("index", Value::Number(f.index as f64)),
+                    ("params", Value::String(f.params.clone())),
+                    ("kind", Value::String(f.kind().to_owned())),
+                    ("error", f.reason.to_json_value()),
+                ])
+            })
+            .collect();
+        Ok::<_, AcsError>(
+            object(vec![
+                (
+                    "grid",
+                    object(vec![
+                        ("points", Value::Number(sweep.cardinality() as f64)),
+                        ("tpp_target", Value::Number(tpp_target)),
+                        ("evaluated", Value::Number(report.designs.len() as f64)),
+                        ("failed", Value::Number(report.failures.len() as f64)),
+                    ]),
+                ),
+                ("designs", Value::Array(designs)),
+                ("failures", Value::Array(failures)),
+            ])
+            .to_json(),
+        )
+    })?;
+    Ok(response)
+}
+
 /// `POST /v1/screen` — classify a device (by database name) or a custom
-/// accelerator config under each ACR vintage.
+/// accelerator config under each ACR vintage, or evaluate a `grid` of
+/// swept configurations with the factored DSE evaluator.
 fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
     let request = parse(body)?;
+    if let Some(grid) = request.get("grid") {
+        if request.get("device").is_some() || request.get("config").is_some() {
+            return Err(AcsError::Json {
+                reason: "supply \"grid\" alone, without \"device\" or \"config\"".to_owned(),
+            });
+        }
+        return screen_grid(state, grid);
+    }
     let hbm_area = match request.get("hbm_package_area_mm2") {
         None => None,
         Some(v) => Some(v.as_f64().filter(|a| *a > 0.0).ok_or_else(|| AcsError::Json {
@@ -848,6 +1013,109 @@ mod tests {
         assert_eq!(r1.to_json(), r2.to_json());
         let stats = state.screen_cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn grid_screens_run_the_factored_sweep_and_cache() {
+        let state = AppState::new(64);
+        let body = "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+                    \"l1_kib\":[192,1024],\"l2_mib\":[40],\"hbm_tb_s\":[2.0,3.2],\
+                    \"device_bw_gb_s\":[600.0],\"tpp_target\":4800}}";
+        let (status, r1) = post(&state, "/v1/screen", body);
+        assert_eq!(status, 200, "{}", r1.to_json());
+        let grid = r1.get("grid").unwrap();
+        assert_eq!(grid.get("points").unwrap().as_u64(), Some(4));
+        assert_eq!(grid.get("evaluated").unwrap().as_u64(), Some(4));
+        assert_eq!(grid.get("failed").unwrap().as_u64(), Some(0));
+        let designs = r1.get("designs").unwrap().as_array().unwrap();
+        assert_eq!(designs.len(), 4);
+        // The response carries exactly what the library's own factored
+        // runner produces for the same lattice.
+        let spec = SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![4],
+            l1_kib: vec![192, 1024],
+            l2_mib: vec![40],
+            hbm_tb_s: vec![2.0, 3.2],
+            device_bw_gb_s: vec![600.0],
+        };
+        let reference = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+            .run_factored(&spec, 4800.0);
+        for (entry, (index, design)) in designs.iter().zip(&reference.designs) {
+            assert_eq!(entry.get("index").unwrap().as_u64(), Some(*index as u64));
+            let d = entry.get("design").unwrap();
+            assert_eq!(d.get("name").unwrap().as_str(), Some(design.name.as_str()));
+            assert_eq!(d.get("ttft_s").unwrap().as_f64(), Some(design.ttft_s));
+            assert_eq!(d.get("tbt_s").unwrap().as_f64(), Some(design.tbt_s));
+        }
+        // Repeats are response-cache hits (same cache as scalar screens).
+        let (_, r2) = post(&state, "/v1/screen", body);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert_eq!(state.screen_cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn grid_faults_surface_in_the_failure_ledger() {
+        let state = AppState::new(64);
+        // Zero HBM bandwidth is invalid per point, not fatal to the grid.
+        let body = "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+                    \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[0.0,2.0],\
+                    \"device_bw_gb_s\":[600.0],\"tpp_target\":4800}}";
+        let (status, r) = post(&state, "/v1/screen", body);
+        assert_eq!(status, 200, "{}", r.to_json());
+        assert_eq!(r.get("grid").unwrap().get("evaluated").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("grid").unwrap().get("failed").unwrap().as_u64(), Some(1));
+        let failure = &r.get("failures").unwrap().as_array().unwrap()[0];
+        assert_eq!(failure.get("kind").unwrap().as_str(), Some("invalid_config"));
+    }
+
+    #[test]
+    fn malformed_grids_are_typed_400s() {
+        let state = AppState::new(64);
+        let cases = [
+            // grid alongside a device/config subject
+            ("{\"grid\":{},\"device\":\"H100 SXM\"}", "json"),
+            // unknown member
+            ("{\"grid\":{\"warp_counts\":[3]}}", "json"),
+            // empty axis
+            ("{\"grid\":{\"systolic_dims\":[],\"lanes_per_core\":[4],\"l1_kib\":[192],\
+              \"l2_mib\":[40],\"hbm_tb_s\":[2.0],\"device_bw_gb_s\":[600.0],\
+              \"tpp_target\":4800}}", "json"),
+            // missing tpp_target
+            ("{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[4],\"l1_kib\":[192],\
+              \"l2_mib\":[40],\"hbm_tb_s\":[2.0],\"device_bw_gb_s\":[600.0]}}", "json"),
+        ];
+        for (body, kind) in cases {
+            let (status, response) = post(&state, "/v1/screen", body);
+            assert_eq!(status, 400, "body {body:?}");
+            assert_eq!(
+                response.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some(kind),
+                "body {body:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected_before_evaluation() {
+        let state = AppState::new(64);
+        // 16 × 8 × 8 × 8 = 8192 points > the 4096 ceiling.
+        let body = format!(
+            "{{\"grid\":{{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+             \"l1_kib\":{l1},\"l2_mib\":{l2},\"hbm_tb_s\":{hbm},\
+             \"device_bw_gb_s\":{bw},\"tpp_target\":4800}}}}",
+            l1 = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]",
+            l2 = "[1,2,3,4,5,6,7,8]",
+            hbm = "[1,2,3,4,5,6,7,8]",
+            bw = "[1,2,3,4,5,6,7,8]",
+        );
+        let (status, response) = post(&state, "/v1/screen", &body);
+        assert_eq!(status, 400, "{}", response.to_json());
+        assert_eq!(
+            response.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_config")
+        );
+        assert_eq!(state.screen_cache.stats().misses, 0, "rejected before touching the cache");
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! the load generator, and the examples.
 //!
 //! Scope is deliberately narrow — exactly what the service needs and
-//! nothing more: one request per connection (`Connection: close`),
-//! `Content-Length`-framed bodies, no chunked encoding, no TLS, no
-//! keep-alive. Framing violations surface as [`AcsError::Protocol`] so
-//! the handler layer can map them to a 400 with the standard error
-//! envelope.
+//! nothing more: `Content-Length`-framed bodies, no chunked encoding,
+//! no TLS. Connections follow HTTP/1.1 persistence semantics: requests
+//! default to keep-alive unless the client sends `Connection: close`
+//! (HTTP/1.0 defaults to close unless it asks for `keep-alive`), so the
+//! load generator and the examples reuse one socket per thread instead
+//! of paying a TCP handshake per request ([`HttpClient`]). Framing
+//! violations surface as [`AcsError::Protocol`] so the handler layer
+//! can map them to a 400 with the standard error envelope.
 
 use acs_errors::AcsError;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -59,16 +62,44 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, AcsError> {
     String::from_utf8(buf).map_err(|_| protocol("header line is not UTF-8"))
 }
 
-/// Read and frame one request from `stream`.
+/// Whether a `Connection` header value (comma-separated tokens) asks to
+/// keep the connection open, given the version's default.
+fn wants_keep_alive(connection: Option<&str>, default: bool) -> bool {
+    match connection {
+        None => default,
+        Some(value) => {
+            let mut keep = default;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+            keep
+        }
+    }
+}
+
+/// Read and frame one request from a buffered connection, returning the
+/// request and whether the client wants the connection kept open
+/// afterwards (HTTP/1.1 defaults to keep-alive unless it sends
+/// `Connection: close`; HTTP/1.0 defaults to close unless it sends
+/// `Connection: keep-alive`).
+///
+/// The reader must persist across requests on the same connection — a
+/// `BufReader` may hold read-ahead bytes of the next pipelined request,
+/// so constructing a fresh one per request would drop them.
 ///
 /// # Errors
 ///
 /// [`AcsError::Protocol`] on malformed request lines, non-UTF-8 headers
 /// or bodies, oversized lines/bodies/header counts, or a connection that
 /// closes mid-message.
-pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
-    let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader)?;
+pub fn read_request(reader: &mut impl BufRead) -> Result<(HttpRequest, bool), AcsError> {
+    let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or_else(|| protocol("empty request line"))?.to_owned();
     let path = parts.next().ok_or_else(|| protocol("request line missing target"))?.to_owned();
@@ -76,13 +107,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
     if !version.starts_with("HTTP/1.") {
         return Err(protocol(format!("unsupported protocol version {version}")));
     }
+    let keep_alive_default = version != "HTTP/1.0";
 
     let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
     for i in 0.. {
         if i >= MAX_HEADERS {
             return Err(protocol("too many headers"));
         }
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader)?;
         if line.is_empty() {
             break;
         }
@@ -103,15 +136,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, AcsError> {
                 )));
             }
             content_length = Some(length);
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            connection = Some(value.trim().to_owned());
         }
     }
+    let keep_alive = wants_keep_alive(connection.as_deref(), keep_alive_default);
 
     let mut body = vec![0u8; content_length.unwrap_or(0)];
     reader
         .read_exact(&mut body)
         .map_err(|e| protocol(format!("connection ended mid-body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| protocol("request body is not UTF-8"))?;
-    Ok(HttpRequest { method, path, body })
+    Ok((HttpRequest { method, path, body }, keep_alive))
 }
 
 /// Canonical reason phrase for the statuses the service emits.
@@ -136,8 +172,26 @@ pub fn reason_phrase(status: u16) -> &'static str {
 ///
 /// [`AcsError::Io`] when the socket write fails.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), AcsError> {
+    write_response_with(stream, status, body, false)
+}
+
+/// Write one JSON response, announcing whether the server will keep the
+/// connection open (`Connection: keep-alive`) or close it afterwards
+/// (`Connection: close`). The caller owns actually closing or reusing
+/// the socket to match.
+///
+/// # Errors
+///
+/// [`AcsError::Io`] when the socket write fails.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> Result<(), AcsError> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason_phrase(status),
         body.len(),
     );
@@ -186,6 +240,163 @@ pub fn http_request(
         .ok_or_else(|| protocol(format!("unparsable status line in {:?}", response.lines().next())))?;
     let body = response.split_once("\r\n\r\n").map_or("", |(_, b)| b).to_owned();
     Ok((status, body))
+}
+
+/// Largest accepted response body on the client side, in bytes.
+const MAX_RESPONSE_BYTES: usize = 16 << 20;
+
+/// Read one `Content-Length`-framed response from a persistent
+/// connection: `(status, body, server keeps the connection open)`. A
+/// response without a `Content-Length` is read to EOF and marks the
+/// connection closed.
+fn read_framed_response(reader: &mut impl BufRead) -> Result<(u16, String, bool), AcsError> {
+    let status_line = read_line(reader)?;
+    let status = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.get(..3))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| protocol(format!("unparsable status line {status_line:?}")))?;
+    let keep_alive_default = !status_line.starts_with("HTTP/1.0 ");
+    let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
+    for i in 0.. {
+        if i >= MAX_HEADERS {
+            return Err(protocol("too many response headers"));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(protocol(format!("malformed response header {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| protocol(format!("unparseable Content-Length {value:?}")))?;
+            if length > MAX_RESPONSE_BYTES {
+                return Err(protocol(format!("response of {length} bytes is too large")));
+            }
+            content_length = Some(length);
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            connection = Some(value.trim().to_owned());
+        }
+    }
+    match content_length {
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| protocol(format!("connection ended mid-response: {e}")))?;
+            let body =
+                String::from_utf8(body).map_err(|_| protocol("response body is not UTF-8"))?;
+            let keep = wants_keep_alive(connection.as_deref(), keep_alive_default);
+            Ok((status, body, keep))
+        }
+        None => {
+            // Unframed legacy response: the connection is the frame.
+            let mut body = String::new();
+            reader
+                .read_to_string(&mut body)
+                .map_err(|e| protocol(format!("connection ended mid-response: {e}")))?;
+            Ok((status, body, false))
+        }
+    }
+}
+
+/// A persistent HTTP/1.1 client: sends `Connection: keep-alive` and
+/// reuses one socket across sequential requests, falling back to a
+/// fresh dial when the server closed the idle connection (stale
+/// keep-alive sockets are retried once). The load generator holds one
+/// per worker thread and the examples one per process, so steady-state
+/// traffic pays zero TCP handshakes.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr`. No I/O happens until the first request.
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        HttpClient { addr, timeout, conn: None }
+    }
+
+    /// Send `method path` with `body`, returning `(status, body)`. The
+    /// service's endpoints are pure queries, so replaying a request on a
+    /// stale reused connection is safe.
+    ///
+    /// # Errors
+    ///
+    /// [`AcsError::Io`] on connect/read/write failures and
+    /// [`AcsError::Protocol`] on response-framing violations.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), AcsError> {
+        if self.conn.is_some() {
+            // A reused socket may have been closed by the server since
+            // the last exchange; one redial distinguishes a stale
+            // connection from a dead server.
+            if let Ok(response) = self.round_trip(method, path, body) {
+                return Ok(response);
+            }
+            self.conn = None;
+        }
+        self.round_trip(method, path, body)
+    }
+
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), AcsError> {
+        let io_err =
+            |e: std::io::Error| AcsError::Io { path: self.addr.to_string(), reason: e.to_string() };
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout).map_err(io_err)?;
+            stream.set_read_timeout(Some(self.timeout)).map_err(io_err)?;
+            stream.set_write_timeout(Some(self.timeout)).map_err(io_err)?;
+            // Without this, Nagle holds each request back until the
+            // previous response's delayed ACK (~40 ms) — fatal to a
+            // persistent connection trading small messages.
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+        }
+        let Some(reader) = self.conn.as_mut() else {
+            return Err(protocol("client connection vanished before use"));
+        };
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        let outcome = reader
+            .get_mut()
+            .write_all(request.as_bytes())
+            .map_err(io_err)
+            .and_then(|()| read_framed_response(reader));
+        match outcome {
+            Ok((status, body, server_keeps)) => {
+                if !server_keeps {
+                    self.conn = None;
+                }
+                Ok((status, body))
+            }
+            Err(e) => {
+                // Never reuse a connection in an unknown framing state.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
 }
 
 /// Decode `%XX` escapes in a path segment (`+` is left alone: these are

@@ -44,6 +44,7 @@ pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
 
 use acs_errors::AcsError;
 use std::collections::VecDeque;
+use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -182,6 +183,11 @@ impl Server {
             if self.shared.stop.load(Ordering::SeqCst) {
                 break; // the wake-up connection, or a straggler: drop it
             }
+            // Keep-alive makes Nagle hostile: a small response followed
+            // by the client's next small request deadlocks against
+            // delayed ACKs for ~40 ms per round trip. Flush segments
+            // immediately; best-effort, the socket still works without.
+            let _ = stream.set_nodelay(true);
             let mut queue =
                 self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             if queue.len() >= self.config.queue_depth {
@@ -246,31 +252,60 @@ fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some(mut stream) = stream else { return };
+        let Some(stream) = stream else { return };
         let _ = stream.set_read_timeout(Some(timeout));
         let _ = stream.set_write_timeout(Some(timeout));
+        serve_connection(state, stream);
+    }
+}
+
+/// Serve one connection until the client (or a framing error) closes it.
+/// HTTP/1.1 requests default to keep-alive, so a well-behaved client can
+/// run many sequential requests over one socket; `Connection: close`
+/// ends the session after the response it rides on.
+fn serve_connection(state: &AppState, stream: TcpStream) {
+    // One buffered reader for the connection's whole lifetime: read-ahead
+    // bytes of a pipelined next request live in this buffer, so it must
+    // outlive individual requests.
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        // A clean close between requests is the normal end of a
+        // keep-alive session, not a protocol error.
+        match reader.fill_buf() {
+            Ok([]) | Err(_) => return,
+            Ok(_) => {}
+        }
         // A panic anywhere in parsing or handling must not kill the
         // worker: the pool is fixed-size and never respawned, so an
         // unwinding bug would silently shrink it until the service dies.
         // Contain the unwind and answer with a taxonomy-tagged 500.
         let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match http::read_request(&mut stream) {
-                Ok(request) => handlers::handle(state, &request),
-                Err(e) => (handlers::status_for(&e), handlers::error_body(&e)),
+            match http::read_request(&mut reader) {
+                Ok((request, keep_alive)) => {
+                    let (status, body) = handlers::handle(state, &request);
+                    (status, body, keep_alive)
+                }
+                // The connection's framing state is unknown after a
+                // malformed request; answer and hang up.
+                Err(e) => (handlers::status_for(&e), handlers::error_body(&e), false),
             }
         }));
-        let (status, body) = handled.unwrap_or_else(|payload| {
+        let (status, body, keep_alive) = handled.unwrap_or_else(|payload| {
             let message = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_owned())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_owned());
             let e = AcsError::EvaluationPanic { design: "request-handler".to_owned(), message };
-            (handlers::status_for(&e), handlers::error_body(&e))
+            (handlers::status_for(&e), handlers::error_body(&e), false)
         });
         // The client may already be gone; a failed write is not a server
-        // fault, so the outcome is ignored.
-        let _ = http::write_response(&mut stream, status, &body);
+        // fault, but it does end the session.
+        if http::write_response_with(reader.get_mut(), status, &body, keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
+        }
     }
 }
 
@@ -381,6 +416,93 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         assert!(response.contains("duplicate Content-Length"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (addr, handle, thread, _) = start();
+        // Raw socket (not HttpClient, whose stale-connection retry could
+        // mask a broken keep-alive): two requests down one pipe, two
+        // well-framed responses back.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        for _ in 0..2 {
+            reader
+                .get_mut()
+                .write_all(b"GET /v1/devices HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+            let mut content_length = 0usize;
+            loop {
+                let mut header = String::new();
+                reader.read_line(&mut header).unwrap();
+                if header == "\r\n" {
+                    break;
+                }
+                if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+            assert!(String::from_utf8(body).unwrap().contains("devices"));
+        }
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn the_client_reuses_its_connection_across_requests() {
+        let (addr, handle, thread, _) = start();
+        let mut client = http::HttpClient::new(addr, Duration::from_secs(10));
+        let (status, body) = client.request("GET", "/v1/devices", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) =
+            client.request("POST", "/v1/screen", "{\"device\":\"H100 SXM\"}").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = client.request("GET", "/v1/metrics", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let m = parse(&body).unwrap();
+        assert_eq!(m.get("requests").unwrap().get("screen").unwrap().as_u64(), Some(1));
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn connection_close_still_closes_the_socket() {
+        let (addr, handle, thread, _) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"GET /v1/devices HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+            )
+            .unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        // read_to_string returning means the server closed its end.
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn http_1_0_requests_default_to_close() {
+        let (addr, handle, thread, _) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /v1/devices HTTP/1.0\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
         handle.shutdown();
         thread.join().unwrap();
     }

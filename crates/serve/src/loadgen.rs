@@ -3,7 +3,7 @@
 //! order of magnitude more QPS than a 100%-unique stream, because every
 //! repeat is a cache lookup instead of a simulation.
 
-use crate::http::http_request;
+use crate::http::HttpClient;
 use acs_errors::AcsError;
 use acs_telemetry::Histogram;
 use std::net::SocketAddr;
@@ -134,6 +134,10 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
                 let next = &next;
                 let latency_ms = &latency_ms;
                 scope.spawn(move || {
+                    // One persistent client per thread: requests reuse the
+                    // same keep-alive connection, so measured latency is
+                    // request service time rather than TCP handshakes.
+                    let mut client = HttpClient::new(addr, config.timeout);
                     let mut failures = 0usize;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -142,7 +146,7 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
                         }
                         let body = request_body(config.mode, i);
                         let sent = Instant::now();
-                        match http_request(addr, "POST", "/v1/simulate", &body, config.timeout) {
+                        match client.request("POST", "/v1/simulate", &body) {
                             Ok((200, _)) => {
                                 latency_ms.record(sent.elapsed().as_secs_f64() * 1e3);
                             }

@@ -232,7 +232,7 @@ impl Simulator {
     }
 
     /// Usable L2 bytes under the calibrated occupancy fraction.
-    fn l2_usable(&self) -> f64 {
+    pub(crate) fn l2_usable(&self) -> f64 {
         f64::from(self.system.device().l2_mib()) * 1024.0 * 1024.0 * self.params.l2_usable_fraction
     }
 
@@ -413,7 +413,7 @@ impl Simulator {
 
     /// Reject a plan built for a different node shape or operand dtype —
     /// executing it would price the wrong graph.
-    fn check_plan(&self, plan: &LayerPlan) -> Result<(), AcsError> {
+    pub(crate) fn check_plan(&self, plan: &LayerPlan) -> Result<(), AcsError> {
         if plan.device_count() != self.system.device_count() {
             return Err(AcsError::invalid_config(
                 "plan.device_count",
@@ -566,7 +566,7 @@ fn record_layer_telemetry(graph_ops: &[Operator], ops: &[OpCost], phase: Inferen
 
 /// Telemetry class of one operator, indexing the `sim.cost_ns.*`
 /// counters; `None` for operators outside the four tracked classes.
-fn op_class(op: &Operator) -> Option<usize> {
+pub(crate) fn op_class(op: &Operator) -> Option<usize> {
     match op {
         // The attention score/context products are the workload's
         // quadratic term; track them separately from weight matmuls.
@@ -580,7 +580,7 @@ fn op_class(op: &Operator) -> Option<usize> {
 
 /// Flush one layer's accumulated per-class cost totals (indexed by
 /// [`op_class`]) and bump the per-phase layer counter.
-fn flush_layer_telemetry(sums: &[f64; 4], phase: InferencePhase) {
+pub(crate) fn flush_layer_telemetry(sums: &[f64; 4], phase: InferencePhase) {
     use acs_telemetry::GlobalCounter;
     // Cached handles: no registry name lookup (let alone a `format!`)
     // per simulated layer.

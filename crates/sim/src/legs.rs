@@ -1,0 +1,501 @@
+//! Component-decomposed pricing: dependency keys and per-plan leg tables.
+//!
+//! A DSE sweep walks a dense Cartesian grid, but each priced cost
+//! component reads only a *subset* of the swept axes: matmul compute
+//! never sees `hbm_tb_s`, the DRAM model never sees `l1_kib`, and the
+//! all-reduce sees nothing but the interconnect. The overlap
+//! (`max(compute, l2, dram)`) is the only place the legs meet. This
+//! module names each leg's dependency key — the exact tuple of device
+//! parameters the leg's arithmetic reads — so a sweep evaluator can
+//! memoize priced legs in small per-key tables and reduce a grid point
+//! to a few lookups and a fused combine, instead of re-walking the
+//! whole operator graph (the observation LLMCompass makes about
+//! analytical-model sweeps being dominated by redundant re-pricing).
+//!
+//! The keys are *value-derived* (from the concrete [`DeviceConfig`], not
+//! from the sweep axes), which buys two properties for free: a permuted
+//! sweep specification hits the same table entries, and an injected
+//! fault that perturbs a parameter perturbs the key, so faulted points
+//! can never alias a healthy entry.
+//!
+//! Leg values are priced by the same functions the per-op API composes
+//! ([`crate::matmul_cost`] is [`crate::matmul_compute_leg`] +
+//! [`crate::matmul_memory_leg`]; same for vector ops), and the combine
+//! loop in [`Simulator::try_ttft_factored`] replays the planned path's
+//! accumulation and guard order exactly — so factored totals are
+//! bit-identical to [`Simulator::try_ttft_planned`], NaN/infinity
+//! propagation included. The guard contract is enforced per point, not
+//! per table entry: a leg table stores whatever the cost model produced
+//! (including non-finite values), and every point that reads it fails
+//! with the same typed error the planned path would have produced.
+
+use crate::collective::allreduce_cost;
+use crate::latency::{flush_layer_telemetry, op_class, Simulator};
+use crate::matmul::{matmul_compute_leg, matmul_memory_leg};
+use crate::plan::LayerPlan;
+use crate::vector::{vector_compute_leg, vector_memory_leg};
+use acs_errors::{guard, AcsError};
+use acs_hw::{DataType, DeviceConfig, SystemConfig, Topology};
+use acs_llm::{InferencePhase, Operator};
+
+/// Dependency key of the compute/L2 leg: every device parameter the
+/// systolic, vector-ALU, and global-buffer *port* models read. Two
+/// devices with equal keys price identical compute legs for any plan.
+///
+/// The solved core count is part of the key on purpose: the sweep's TPP
+/// Eq. 1 step derives cores from `(systolic_dim, lanes)`, so distinct
+/// axis combinations can reach distinct core counts — the key captures
+/// the solved value, not the axes that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComputeKey {
+    /// Systolic rows.
+    pub systolic_x: u32,
+    /// Systolic columns.
+    pub systolic_y: u32,
+    /// Lanes per core.
+    pub lanes_per_core: u32,
+    /// Core count (solved from the TPP ceiling during candidate
+    /// generation).
+    pub core_count: u32,
+    /// L1 per core in KiB (sets the activation-panel height).
+    pub l1_kib: u32,
+    /// Vector-unit width (the vector ops' peak FLOP/s).
+    pub vector_width: u32,
+    /// Core clock in GHz, bit-exact.
+    pub frequency_ghz_bits: u64,
+    /// Operand datatype (tile geometry and byte counts).
+    pub datatype: DataType,
+}
+
+impl ComputeKey {
+    /// The compute-leg key of one device.
+    #[must_use]
+    pub fn of(device: &DeviceConfig) -> Self {
+        ComputeKey {
+            systolic_x: device.systolic().x,
+            systolic_y: device.systolic().y,
+            lanes_per_core: device.lanes_per_core(),
+            core_count: device.core_count(),
+            l1_kib: device.l1_kib_per_core(),
+            vector_width: device.vector_width(),
+            frequency_ghz_bits: device.frequency_ghz().to_bits(),
+            datatype: device.datatype(),
+        }
+    }
+}
+
+/// Dependency key of the DRAM leg: L2 capacity (blocking and the
+/// forwarding fractions), HBM bandwidth, and the operand datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryKey {
+    /// L2 capacity in MiB.
+    pub l2_mib: u32,
+    /// HBM bandwidth in GB/s, bit-exact.
+    pub hbm_gb_s_bits: u64,
+    /// Operand datatype (byte counts and blocking panel height).
+    pub datatype: DataType,
+}
+
+impl MemoryKey {
+    /// The memory-leg key of one device.
+    #[must_use]
+    pub fn of(device: &DeviceConfig) -> Self {
+        MemoryKey {
+            l2_mib: device.l2_mib(),
+            hbm_gb_s_bits: device.hbm().bandwidth_gb_s.to_bits(),
+            datatype: device.datatype(),
+        }
+    }
+}
+
+/// Dependency key of the collective leg: per-direction device bandwidth,
+/// group size, and topology — all the wire model reads — plus the
+/// operand datatype. The wire model itself is dtype-blind, but the byte
+/// counts it prices come from the plan's all-reduce operators, and those
+/// scale with the operand width; carrying the datatype keeps a leg table
+/// keyed by `CommKey` safe across mixed-dtype sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommKey {
+    /// One-direction device bandwidth in GB/s, bit-exact.
+    pub unidirectional_gb_s_bits: u64,
+    /// Tensor-parallel group size.
+    pub device_count: u32,
+    /// Interconnect topology (sets the latency step count).
+    pub topology: Topology,
+    /// Operand datatype (sizes the plan's collective payloads).
+    pub datatype: DataType,
+}
+
+impl CommKey {
+    /// The collective-leg key of one node.
+    #[must_use]
+    pub fn of(system: &SystemConfig) -> Self {
+        CommKey {
+            unidirectional_gb_s_bits: system.device().phy().unidirectional_gb_s().to_bits(),
+            device_count: system.device_count(),
+            topology: system.topology(),
+            datatype: system.device().datatype(),
+        }
+    }
+}
+
+/// All three dependency keys of one node, derived in one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LegKeys {
+    /// Compute/L2 leg key.
+    pub compute: ComputeKey,
+    /// DRAM leg key.
+    pub memory: MemoryKey,
+    /// Collective leg key.
+    pub comm: CommKey,
+}
+
+impl LegKeys {
+    /// The leg keys of one node.
+    #[must_use]
+    pub fn of(system: &SystemConfig) -> Self {
+        LegKeys {
+            compute: ComputeKey::of(system.device()),
+            memory: MemoryKey::of(system.device()),
+            comm: CommKey::of(system),
+        }
+    }
+}
+
+/// Priced compute/L2 leg of one planned operator (zero for operators
+/// without an on-chip phase).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComputeLeg {
+    /// Compute-phase time (s).
+    pub compute_s: f64,
+    /// Global-buffer-phase time (s).
+    pub l2_s: f64,
+}
+
+/// Priced DRAM leg of one planned operator (zero for operators without a
+/// DRAM phase).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryLeg {
+    /// DRAM-phase time (s).
+    pub dram_s: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+}
+
+/// One plan priced into its three leg vectors, index-aligned with the
+/// plan's operator list. Each vector depends only on its own
+/// [`LegKeys`] component, so a sweep evaluator can cache them in
+/// independent per-key tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanLegs {
+    /// Per-op compute/L2 legs (keyed by [`ComputeKey`]).
+    pub compute: Vec<ComputeLeg>,
+    /// Per-op DRAM legs (keyed by [`MemoryKey`]).
+    pub memory: Vec<MemoryLeg>,
+    /// Per-op collective times in seconds (keyed by [`CommKey`]).
+    pub comm: Vec<f64>,
+}
+
+impl Simulator {
+    /// Price every operator of `plan` into its leg vectors, walking the
+    /// ops in plan order with each op's compute leg priced before its
+    /// memory leg — the same visit order as the planned pricing loop, so
+    /// any cost-model panic fires at the same operator on both paths.
+    #[must_use]
+    pub fn price_plan_legs(&self, plan: &LayerPlan) -> PlanLegs {
+        let device = self.system().device();
+        let params = self.params();
+        let l2_use = self.l2_usable();
+        let forward = |bytes: f64| -> f64 {
+            if bytes <= 0.0 {
+                1.0
+            } else {
+                (0.5 * l2_use / bytes).min(1.0)
+            }
+        };
+        let ops = plan.graph().ops();
+        let mut compute = Vec::with_capacity(ops.len());
+        let mut memory = Vec::with_capacity(ops.len());
+        let mut comm = Vec::with_capacity(ops.len());
+        for (op, bytes) in ops.iter().zip(plan.op_bytes()) {
+            match op {
+                Operator::Matmul(m) => {
+                    let c = matmul_compute_leg(m, device, params);
+                    let fin = forward(bytes.a);
+                    let fout = forward(bytes.out);
+                    let d = matmul_memory_leg(m, device, params, fin, fout);
+                    compute.push(ComputeLeg { compute_s: c.compute_s, l2_s: c.l2_s });
+                    memory.push(MemoryLeg { dram_s: d.dram_s, dram_bytes: d.dram_bytes });
+                    comm.push(0.0);
+                }
+                Operator::Vector(v) => {
+                    let c = vector_compute_leg(v, device, params);
+                    let f = forward(bytes.a);
+                    let d = vector_memory_leg(v, device, params, f);
+                    compute.push(ComputeLeg { compute_s: c.compute_s, l2_s: c.l2_s });
+                    memory.push(MemoryLeg { dram_s: d.dram_s, dram_bytes: d.dram_bytes });
+                    comm.push(0.0);
+                }
+                Operator::AllReduce(a) => {
+                    let c = allreduce_cost(a.bytes, self.system(), params);
+                    compute.push(ComputeLeg::default());
+                    memory.push(MemoryLeg::default());
+                    comm.push(c.time_s());
+                }
+                // Unknown future operators contribute only launch
+                // overhead; their legs are zero.
+                _ => {
+                    compute.push(ComputeLeg::default());
+                    memory.push(MemoryLeg::default());
+                    comm.push(0.0);
+                }
+            }
+        }
+        PlanLegs { compute, memory, comm }
+    }
+
+    /// Factored total: combine pre-priced leg vectors into the layer
+    /// total, enforcing the same numeric contract in the same per-op
+    /// guard order as the planned path, with the same left-to-right
+    /// accumulation and inline telemetry class sums — bit-identical to
+    /// `checked_total_planned` by construction, at the cost of a few
+    /// array reads per op instead of a full cost-model walk.
+    fn checked_total_factored(
+        &self,
+        plan: &LayerPlan,
+        compute: &[ComputeLeg],
+        memory: &[MemoryLeg],
+        comm: &[f64],
+    ) -> Result<f64, AcsError> {
+        self.check_plan(plan)?;
+        let ops = plan.graph().ops();
+        if compute.len() != ops.len() || memory.len() != ops.len() || comm.len() != ops.len() {
+            return Err(AcsError::invalid_config(
+                "legs.len",
+                format!(
+                    "leg tables of {}/{}/{} entries cannot price a {}-op plan",
+                    compute.len(),
+                    memory.len(),
+                    comm.len(),
+                    ops.len()
+                ),
+            ));
+        }
+        let overhead_s = self.params().op_overhead_s;
+        let telemetry_on = acs_telemetry::enabled();
+        let mut class_sums = [0.0f64; 4];
+        let mut total = 0.0f64;
+        // Zipping the (length-checked) slices lets the combine run
+        // without per-op bounds checks — this loop is the entire
+        // factored hot path, so even the checks show up.
+        let legs = ops.iter().zip(compute).zip(memory).zip(comm);
+        for (((op, c), d), wire) in legs {
+            // Reconstruct exactly the planned path's per-op metrics: the
+            // overlap combine for on-chip ops, wire time for collectives,
+            // bare launch overhead otherwise.
+            let (time_s, compute_s, dram_s, l2_s, comm_s, dram_bytes) = match op {
+                Operator::Matmul(_) | Operator::Vector(_) => {
+                    let time_s = c.compute_s.max(c.l2_s).max(d.dram_s) + overhead_s;
+                    (time_s, c.compute_s, d.dram_s, c.l2_s, 0.0, d.dram_bytes)
+                }
+                Operator::AllReduce(_) => (*wire + overhead_s, 0.0, 0.0, 0.0, *wire, 0.0),
+                _ => (overhead_s, 0.0, 0.0, 0.0, 0.0, 0.0),
+            };
+            let ctx = || format!("simulator.{}", op.name());
+            guard::ensure_non_negative_with(ctx, "time_s", time_s)?;
+            guard::ensure_non_negative_with(ctx, "compute_s", compute_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_s", dram_s)?;
+            guard::ensure_non_negative_with(ctx, "l2_s", l2_s)?;
+            guard::ensure_non_negative_with(ctx, "comm_s", comm_s)?;
+            guard::ensure_non_negative_with(ctx, "dram_bytes", dram_bytes)?;
+            if telemetry_on {
+                if let Some(class) = op_class(op) {
+                    class_sums[class] += time_s;
+                }
+            }
+            total += time_s;
+        }
+        if telemetry_on {
+            flush_layer_telemetry(&class_sums, plan.phase());
+        }
+        guard::ensure_finite("simulator.layer", "total_s", total)
+    }
+
+    /// Guarded TTFT from a prebuilt prefill plan and its pre-priced leg
+    /// vectors (built by [`Simulator::price_plan_legs`], possibly via a
+    /// sweep-shared per-key table). The factored counterpart of
+    /// [`Simulator::try_ttft_planned`] — bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the plan is not a prefill
+    /// plan for this node or the leg vectors do not match the plan, and
+    /// [`AcsError::NonFinite`] when the latency is NaN, infinite, or
+    /// non-positive.
+    pub fn try_ttft_factored(
+        &self,
+        plan: &LayerPlan,
+        compute: &[ComputeLeg],
+        memory: &[MemoryLeg],
+        comm: &[f64],
+    ) -> Result<f64, AcsError> {
+        if !matches!(plan.phase(), InferencePhase::Prefill) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TTFT requires a prefill plan, got a decode plan",
+            ));
+        }
+        let total = self.checked_total_factored(plan, compute, memory, comm)?;
+        guard::ensure_positive("simulator", "ttft_s", total)
+    }
+
+    /// Guarded TBT from a prebuilt decode plan and its pre-priced leg
+    /// vectors (see [`Simulator::try_ttft_factored`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the plan is not a decode
+    /// plan for this node or the leg vectors do not match the plan, and
+    /// [`AcsError::NonFinite`] when the latency is NaN, infinite, or
+    /// non-positive.
+    pub fn try_tbt_factored(
+        &self,
+        plan: &LayerPlan,
+        compute: &[ComputeLeg],
+        memory: &[MemoryLeg],
+        comm: &[f64],
+    ) -> Result<f64, AcsError> {
+        if !matches!(plan.phase(), InferencePhase::Decode { .. }) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TBT requires a decode plan, got a prefill plan",
+            ));
+        }
+        let total = self.checked_total_factored(plan, compute, memory, comm)?;
+        guard::ensure_positive("simulator", "tbt_s", total)
+    }
+
+    /// Convenience for tests and single-point callers: price the plan's
+    /// legs and immediately combine them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::try_ttft_factored`] / [`Simulator::try_tbt_factored`].
+    pub fn try_total_factored(&self, plan: &LayerPlan) -> Result<f64, AcsError> {
+        let legs = self.price_plan_legs(plan);
+        match plan.phase() {
+            InferencePhase::Prefill => {
+                self.try_ttft_factored(plan, &legs.compute, &legs.memory, &legs.comm)
+            }
+            _ => self.try_tbt_factored(plan, &legs.compute, &legs.memory, &legs.comm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_llm::{ModelConfig, WorkloadConfig};
+
+    fn sim() -> Simulator {
+        Simulator::new(SystemConfig::quad(DeviceConfig::a100_like()).unwrap())
+    }
+
+    fn plans(s: &Simulator) -> (LayerPlan, LayerPlan) {
+        let model = ModelConfig::gpt3_175b();
+        let work = WorkloadConfig::paper_default();
+        (
+            LayerPlan::for_simulator(s, &model, &work, InferencePhase::Prefill).unwrap(),
+            LayerPlan::for_simulator(s, &model, &work, work.decode_phase()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn factored_totals_are_bit_identical_to_planned() {
+        let s = sim();
+        let (prefill, decode) = plans(&s);
+        let ttft = s.try_ttft_planned(&prefill).unwrap();
+        let tbt = s.try_tbt_planned(&decode).unwrap();
+        assert_eq!(s.try_total_factored(&prefill).unwrap().to_bits(), ttft.to_bits());
+        assert_eq!(s.try_total_factored(&decode).unwrap().to_bits(), tbt.to_bits());
+    }
+
+    #[test]
+    fn leg_vectors_align_with_the_plan() {
+        let s = sim();
+        let (prefill, _) = plans(&s);
+        let legs = s.price_plan_legs(&prefill);
+        let n = prefill.graph().ops().len();
+        assert_eq!(legs.compute.len(), n);
+        assert_eq!(legs.memory.len(), n);
+        assert_eq!(legs.comm.len(), n);
+        // Collectives carry no compute/memory legs and vice versa.
+        for (op, ((c, m), &w)) in prefill
+            .graph()
+            .ops()
+            .iter()
+            .zip(legs.compute.iter().zip(&legs.memory).zip(&legs.comm))
+        {
+            match op {
+                Operator::AllReduce(_) => {
+                    assert_eq!((c.compute_s, m.dram_s), (0.0, 0.0));
+                    assert!(w > 0.0);
+                }
+                Operator::Matmul(_) | Operator::Vector(_) => {
+                    assert!(c.compute_s > 0.0);
+                    assert_eq!(w, 0.0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_leg_lengths_are_typed_errors() {
+        let s = sim();
+        let (prefill, _) = plans(&s);
+        let legs = s.price_plan_legs(&prefill);
+        let err = s
+            .try_ttft_factored(&prefill, &legs.compute[1..], &legs.memory, &legs.comm)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+    }
+
+    #[test]
+    fn keys_read_exactly_the_parameters_the_legs_read() {
+        let base = DeviceConfig::a100_like();
+        let quad = |d: DeviceConfig| SystemConfig::quad(d).unwrap();
+        let k0 = LegKeys::of(&quad(base.clone()));
+        // Memory-side change: compute key stable, memory key moves.
+        let hbm = base.to_builder().hbm_bandwidth_tb_s(3.2).build().unwrap();
+        let k_hbm = LegKeys::of(&quad(hbm));
+        assert_eq!(k0.compute, k_hbm.compute);
+        assert_ne!(k0.memory, k_hbm.memory);
+        assert_eq!(k0.comm, k_hbm.comm);
+        // Compute-side change: memory and comm keys stable.
+        let l1 = base.to_builder().l1_kib_per_core(1024).build().unwrap();
+        let k_l1 = LegKeys::of(&quad(l1));
+        assert_ne!(k0.compute, k_l1.compute);
+        assert_eq!(k0.memory, k_l1.memory);
+        assert_eq!(k0.comm, k_l1.comm);
+        // Interconnect change: only the comm key moves.
+        let bw = base.to_builder().device_bandwidth_gb_s(900.0).build().unwrap();
+        let k_bw = LegKeys::of(&quad(bw));
+        assert_eq!(k0.compute, k_bw.compute);
+        assert_eq!(k0.memory, k_bw.memory);
+        assert_ne!(k0.comm, k_bw.comm);
+    }
+
+    #[test]
+    fn equal_keys_imply_bit_equal_legs() {
+        // Two differently named devices with identical parameters must
+        // produce identical keys and identical leg vectors — the property
+        // the sweep-level memoization relies on.
+        let s1 = sim();
+        let renamed = DeviceConfig::a100_like().to_builder().name("other").build().unwrap();
+        let s2 = Simulator::new(SystemConfig::quad(renamed).unwrap());
+        assert_eq!(LegKeys::of(s1.system()), LegKeys::of(s2.system()));
+        let (prefill, _) = plans(&s1);
+        assert_eq!(s1.price_plan_legs(&prefill), s2.price_plan_legs(&prefill));
+    }
+}

@@ -43,6 +43,7 @@
 pub mod collective;
 pub mod energy;
 pub mod latency;
+pub mod legs;
 pub mod matmul;
 pub mod metrics;
 pub mod parallelism;
@@ -53,6 +54,7 @@ pub mod vector;
 
 pub use energy::{energy_per_token_j, layer_energy, EnergyReport};
 pub use latency::{Bound, LayerLatency, OpCost, Simulator};
+pub use legs::{CommKey, ComputeKey, ComputeLeg, LegKeys, MemoryKey, MemoryLeg, PlanLegs};
 pub use plan::{plan_digest, EvalPlans, LayerPlan, PlanStore};
 pub use metrics::{decode_throughput_tokens_per_s, mfu, request_latency_s};
 pub use parallelism::{mapping_latency, MappingLatency, Parallelism};

@@ -62,21 +62,43 @@ pub fn l1_m_tile(device: &DeviceConfig, params: &SimParams) -> u64 {
     (((l1_lane - weight_tile) / per_row).floor() as i64).max(1) as u64
 }
 
-/// Price one matmul operator.
-///
-/// `forward_in` / `forward_out` are the fractions of the `A` operand /
-/// output that are forwarded through the L2 instead of touching DRAM
-/// (producer–consumer locality, computed by the layer scheduler).
+/// The on-chip half of a matmul's cost: systolic-array busy time plus
+/// global-buffer port time. Reads only the device's *compute-side*
+/// parameters (systolic dims, lanes, cores, L1, frequency, dtype) — never
+/// L2 capacity or HBM bandwidth — so it can be memoized per compute
+/// dependency key across a sweep (see `acs_sim::legs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatmulComputeLeg {
+    /// Systolic-array busy time (s), including efficiency losses.
+    pub compute_s: f64,
+    /// Global-buffer port time (s).
+    pub l2_s: f64,
+    /// Activation-panel rows per tile (the L1-driven `m_t`).
+    pub m_tile: u64,
+    /// Combined systolic efficiency (fill/drain × padding × waves).
+    pub efficiency: f64,
+}
+
+/// The off-chip half of a matmul's cost: DRAM traffic under L2 blocking.
+/// Reads only the device's *memory-side* parameters (L2 capacity, HBM
+/// bandwidth, dtype) plus the scheduler's forwarding fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatmulMemoryLeg {
+    /// DRAM streaming time (s).
+    pub dram_s: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+}
+
+/// Price the compute/L2 leg of one matmul (mechanisms 1–3 of the module
+/// docs, plus the global-buffer port model, which needs the leg's `m_t`).
 #[must_use]
-pub fn matmul_cost(
+pub fn matmul_compute_leg(
     op: &MatmulOp,
     device: &DeviceConfig,
     params: &SimParams,
-    forward_in: f64,
-    forward_out: f64,
-) -> MatmulCost {
+) -> MatmulComputeLeg {
     let dt = u64::from(device.datatype().bytes());
-    let dtf = dt as f64;
     let dx = u64::from(device.systolic().x);
     let dy = u64::from(device.systolic().y);
     let arrays =
@@ -134,6 +156,28 @@ pub fn matmul_cost(
     let l2_bw = arrays as f64 * params.l2_bytes_per_lane_cycle * freq;
     let l2_s = l2_bytes / l2_bw;
 
+    MatmulComputeLeg { compute_s, l2_s, m_tile: m_t, efficiency }
+}
+
+/// Price the DRAM leg of one matmul (mechanism 4 of the module docs).
+///
+/// `forward_in` / `forward_out` are the fractions of the `A` operand /
+/// output that are forwarded through the L2 instead of touching DRAM
+/// (producer–consumer locality, computed by the layer scheduler).
+#[must_use]
+pub fn matmul_memory_leg(
+    op: &MatmulOp,
+    device: &DeviceConfig,
+    params: &SimParams,
+    forward_in: f64,
+    forward_out: f64,
+) -> MatmulMemoryLeg {
+    let dt = u64::from(device.datatype().bytes());
+    let dtf = dt as f64;
+    let a_bytes = op.a_bytes(dt) as f64;
+    let b_bytes = op.b_bytes(dt) as f64;
+    let out_bytes = op.out_bytes(dt) as f64;
+
     // --- DRAM traffic with L2 blocking ---
     let l2_use = f64::from(device.l2_mib()) * 1024.0 * 1024.0 * params.l2_usable_fraction;
     let forward_in = forward_in.clamp(0.0, 1.0);
@@ -162,7 +206,35 @@ pub fn matmul_cost(
     let dram_s =
         dram_bytes / params.effective_dram_bw(device.hbm().bandwidth_gb_s, dram_bytes);
 
-    MatmulCost { compute_s, l2_s, dram_s, dram_bytes, m_tile: m_t, efficiency }
+    MatmulMemoryLeg { dram_s, dram_bytes }
+}
+
+/// Price one matmul operator: the composition of
+/// [`matmul_compute_leg`] and [`matmul_memory_leg`] — the legs *are* the
+/// cost model, so the factored sweep path and this per-op API cannot
+/// drift.
+///
+/// `forward_in` / `forward_out` are the fractions of the `A` operand /
+/// output that are forwarded through the L2 instead of touching DRAM
+/// (producer–consumer locality, computed by the layer scheduler).
+#[must_use]
+pub fn matmul_cost(
+    op: &MatmulOp,
+    device: &DeviceConfig,
+    params: &SimParams,
+    forward_in: f64,
+    forward_out: f64,
+) -> MatmulCost {
+    let compute = matmul_compute_leg(op, device, params);
+    let memory = matmul_memory_leg(op, device, params, forward_in, forward_out);
+    MatmulCost {
+        compute_s: compute.compute_s,
+        l2_s: compute.l2_s,
+        dram_s: memory.dram_s,
+        dram_bytes: memory.dram_bytes,
+        m_tile: compute.m_tile,
+        efficiency: compute.efficiency,
+    }
 }
 
 #[cfg(test)]

@@ -30,15 +30,36 @@ impl VectorCost {
     }
 }
 
-/// Price one vector operator. `forward` is the fraction of its traffic
-/// served by the L2 instead of DRAM.
+/// The on-chip half of a vector op's cost: ALU busy time plus
+/// global-buffer port time. Reads only compute-side device parameters
+/// (vector width, lanes, cores, frequency, dtype), so it can be memoized
+/// per compute dependency key across a sweep (see `acs_sim::legs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorComputeLeg {
+    /// Vector-unit busy time (s).
+    pub compute_s: f64,
+    /// Global-buffer port time (s).
+    pub l2_s: f64,
+}
+
+/// The off-chip half of a vector op's cost: DRAM traffic after L2
+/// forwarding. Reads only memory-side device parameters (HBM bandwidth,
+/// dtype) plus the scheduler's forwarding fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorMemoryLeg {
+    /// DRAM streaming time (s).
+    pub dram_s: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+}
+
+/// Price the compute/L2 leg of one vector operator.
 #[must_use]
-pub fn vector_cost(
+pub fn vector_compute_leg(
     op: &VectorOp,
     device: &DeviceConfig,
     params: &SimParams,
-    forward: f64,
-) -> VectorCost {
+) -> VectorComputeLeg {
     let dt = u64::from(device.datatype().bytes());
     let compute_s = op.flops() / device.peak_vector_flops();
     let bytes = op.bytes(dt);
@@ -48,10 +69,45 @@ pub fn vector_cost(
         * device.frequency_ghz()
         * 1e9;
     let l2_s = bytes / l2_bw;
+    VectorComputeLeg { compute_s, l2_s }
+}
+
+/// Price the DRAM leg of one vector operator. `forward` is the fraction
+/// of its traffic served by the L2 instead of DRAM.
+#[must_use]
+pub fn vector_memory_leg(
+    op: &VectorOp,
+    device: &DeviceConfig,
+    params: &SimParams,
+    forward: f64,
+) -> VectorMemoryLeg {
+    let dt = u64::from(device.datatype().bytes());
+    let bytes = op.bytes(dt);
     let dram_bytes = bytes * (1.0 - forward.clamp(0.0, 1.0));
     let dram_s =
         dram_bytes / params.effective_dram_bw(device.hbm().bandwidth_gb_s, dram_bytes);
-    VectorCost { compute_s, l2_s, dram_s, dram_bytes }
+    VectorMemoryLeg { dram_s, dram_bytes }
+}
+
+/// Price one vector operator: the composition of [`vector_compute_leg`]
+/// and [`vector_memory_leg`] — the legs *are* the cost model, so the
+/// factored sweep path and this per-op API cannot drift. `forward` is
+/// the fraction of its traffic served by the L2 instead of DRAM.
+#[must_use]
+pub fn vector_cost(
+    op: &VectorOp,
+    device: &DeviceConfig,
+    params: &SimParams,
+    forward: f64,
+) -> VectorCost {
+    let compute = vector_compute_leg(op, device, params);
+    let memory = vector_memory_leg(op, device, params, forward);
+    VectorCost {
+        compute_s: compute.compute_s,
+        l2_s: compute.l2_s,
+        dram_s: memory.dram_s,
+        dram_bytes: memory.dram_bytes,
+    }
 }
 
 #[cfg(test)]

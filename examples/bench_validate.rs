@@ -16,12 +16,23 @@
 //! `--min-dse-plan-speedup <ratio>` additionally requires every `dse`
 //! suite artefact to carry a `plan_speedup` metric at or above the given
 //! ratio — the CI floor for the plan-then-execute sweep pipeline against
-//! its legacy reference.
+//! its legacy reference. `--min-dse-factored-speedup <ratio>` is the
+//! same floor for the `factored_speedup` metric: the dependency-keyed
+//! factored evaluator against the planned pipeline it memoises.
 
 use acs_errors::json::{parse, Value};
 use std::process::ExitCode;
 
-fn validate(path: &str, min_plan_speedup: Option<f64>) -> Result<usize, String> {
+/// Require `metrics[name] >= floor` for a dse-suite artefact.
+fn check_floor(metrics: &[(String, Value)], name: &str, floor: f64) -> Result<(), String> {
+    match metrics.iter().find(|(metric, _)| metric == name) {
+        Some((_, Value::Number(v))) if *v >= floor => Ok(()),
+        Some((_, Value::Number(v))) => Err(format!("{name} {v:.2} below the required {floor:.2}")),
+        _ => Err(format!("dse suite is missing the {name} metric")),
+    }
+}
+
+fn validate(path: &str, floors: &Floors) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
     let doc = parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
     let schema = doc.require_str("schema").map_err(|e| e.to_string())?;
@@ -44,29 +55,39 @@ fn validate(path: &str, min_plan_speedup: Option<f64>) -> Result<usize, String> 
             other => return Err(format!("metric {name:?} is not a finite number: {other:?}")),
         }
     }
-    if let (Some(floor), "dse") = (min_plan_speedup, suite) {
-        match metrics.iter().find(|(name, _)| name == "plan_speedup") {
-            Some((_, Value::Number(v))) if *v >= floor => {}
-            Some((_, Value::Number(v))) => {
-                return Err(format!("plan_speedup {v:.2} below the required {floor:.2}"));
-            }
-            _ => return Err("dse suite is missing the plan_speedup metric".to_owned()),
+    if suite == "dse" {
+        if let Some(floor) = floors.plan_speedup {
+            check_floor(metrics, "plan_speedup", floor)?;
+        }
+        if let Some(floor) = floors.factored_speedup {
+            check_floor(metrics, "factored_speedup", floor)?;
         }
     }
     Ok(metrics.len())
 }
 
+#[derive(Default)]
+struct Floors {
+    plan_speedup: Option<f64>,
+    factored_speedup: Option<f64>,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut min_plan_speedup = None;
+    let mut floors = Floors::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--min-dse-plan-speedup" {
+        if arg == "--min-dse-plan-speedup" || arg == "--min-dse-factored-speedup" {
+            let slot = if arg == "--min-dse-plan-speedup" {
+                &mut floors.plan_speedup
+            } else {
+                &mut floors.factored_speedup
+            };
             match iter.next().as_deref().map(str::parse::<f64>) {
-                Some(Ok(v)) if v.is_finite() && v > 0.0 => min_plan_speedup = Some(v),
+                Some(Ok(v)) if v.is_finite() && v > 0.0 => *slot = Some(v),
                 _ => {
-                    eprintln!("--min-dse-plan-speedup requires a positive ratio");
+                    eprintln!("{arg} requires a positive ratio");
                     return ExitCode::FAILURE;
                 }
             }
@@ -75,12 +96,15 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: bench_validate [--min-dse-plan-speedup <ratio>] <BENCH_*.json>...");
+        eprintln!(
+            "usage: bench_validate [--min-dse-plan-speedup <ratio>] \
+             [--min-dse-factored-speedup <ratio>] <BENCH_*.json>..."
+        );
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     for path in &paths {
-        match validate(path, min_plan_speedup) {
+        match validate(path, &floors) {
             Ok(count) => println!("{path}: ok ({count} metrics)"),
             Err(reason) => {
                 eprintln!("{path}: INVALID: {reason}");

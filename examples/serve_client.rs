@@ -11,7 +11,7 @@
 //! Exits nonzero if any endpoint misbehaves or the repeated simulation
 //! does not hit the cache.
 
-use acs::serve::{http, ServeConfig, Server};
+use acs::serve::{http::HttpClient, ServeConfig, Server};
 use acs_errors::json::parse;
 use acs_errors::AcsError;
 use std::net::SocketAddr;
@@ -20,8 +20,13 @@ use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 
-fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<String, AcsError> {
-    let (status, response) = http::http_request(addr, method, path, body, TIMEOUT)?;
+fn call(
+    client: &mut HttpClient,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<String, AcsError> {
+    let (status, response) = client.request(method, path, body)?;
     if status != 200 {
         return Err(AcsError::Protocol {
             reason: format!("{method} {path} returned {status}: {response}"),
@@ -31,12 +36,14 @@ fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<String
 }
 
 fn run(addr: SocketAddr) -> Result<(), AcsError> {
+    // One keep-alive connection carries the whole conversation.
+    let client = &mut HttpClient::new(addr, TIMEOUT);
     // 1. Screen a TPP-capped, bandwidth-rich design — the paper's §4
     //    compliant-architecture shape. The oversized L1 lowers performance
     //    density below the Oct-2023 threshold, so no export license applies.
     let screen_body = "{\"config\":{\"name\":\"compliant-3.2tb\",\"core_count\":96,\
                        \"l1_kib\":1024,\"hbm_tb_s\":3.2,\"device_bw_gb_s\":599.0}}";
-    let screening = call(addr, "POST", "/v1/screen", screen_body)?;
+    let screening = call(client, "POST", "/v1/screen", screen_body)?;
     let parsed = parse(&screening)?;
     let strictest = parsed
         .require("screening")?
@@ -50,7 +57,7 @@ fn run(addr: SocketAddr) -> Result<(), AcsError> {
     }
 
     // 2. Compare with a known restricted device from the database.
-    let h100 = call(addr, "POST", "/v1/screen", "{\"device\":\"H100 SXM\"}")?;
+    let h100 = call(client, "POST", "/v1/screen", "{\"device\":\"H100 SXM\"}")?;
     let h100_class = parse(&h100)?
         .require("screening")?
         .require_str("strictest_acr")?
@@ -63,7 +70,7 @@ fn run(addr: SocketAddr) -> Result<(), AcsError> {
     }
 
     // 3. Device lookup with a percent-encoded name.
-    let detail = call(addr, "GET", "/v1/devices/A800%2080GB", "")?;
+    let detail = call(client, "GET", "/v1/devices/A800%2080GB", "")?;
     let name = parse(&detail)?.require("device")?.require_str("name")?.to_owned();
     println!("device lookup: {name}");
 
@@ -72,12 +79,12 @@ fn run(addr: SocketAddr) -> Result<(), AcsError> {
     let simulate_body = "{\"config\":{\"name\":\"compliant-3.2tb\",\"core_count\":96,\
                          \"l1_kib\":1024,\"hbm_tb_s\":3.2,\"device_bw_gb_s\":599.0},\
                          \"model\":\"llama3-8b\",\"trace\":{\"duration_s\":5}}";
-    let before = parse(&call(addr, "GET", "/v1/metrics", "")?)?
+    let before = parse(&call(client, "GET", "/v1/metrics", "")?)?
         .require("caches")?
         .require("simulate")?
         .require_f64("hits")?;
-    let first = call(addr, "POST", "/v1/simulate", simulate_body)?;
-    let second = call(addr, "POST", "/v1/simulate", simulate_body)?;
+    let first = call(client, "POST", "/v1/simulate", simulate_body)?;
+    let second = call(client, "POST", "/v1/simulate", simulate_body)?;
     if first != second {
         return Err(AcsError::Protocol {
             reason: "repeated simulation returned a different body".to_owned(),
@@ -88,7 +95,7 @@ fn run(addr: SocketAddr) -> Result<(), AcsError> {
     let p99 = serving.require("serving")?.require_f64("p99_ttft_s")?;
     println!("serving percentiles: p50 TTFT {:.1} ms, p99 TTFT {:.1} ms", p50 * 1e3, p99 * 1e3);
 
-    let after = parse(&call(addr, "GET", "/v1/metrics", "")?)?
+    let after = parse(&call(client, "GET", "/v1/metrics", "")?)?
         .require("caches")?
         .require("simulate")?
         .require_f64("hits")?;

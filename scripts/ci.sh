@@ -13,6 +13,9 @@ cargo test -q --locked --offline
 echo "==> fault-injection suite"
 cargo test -q --locked --offline --test fault_injection
 
+echo "==> factored-evaluator golden equivalence (bit-identity vs planned path)"
+cargo test -q --release --locked --offline --test factored_equivalence
+
 echo "==> quickstart example"
 cargo run -q --release --locked --offline --example quickstart >/dev/null
 echo "ok"
@@ -50,9 +53,10 @@ cargo run -q --release --locked --offline -p acs-serve --bin acs-serve -- \
 echo "==> profiled smoke bench (includes the <5% telemetry-overhead assertion)"
 ACS_BENCH_DIR="$smokedir" scripts/bench-smoke.sh
 
-echo "==> bench artefact schema validation (acs-bench-v1, plan speedup >= 1.5x)"
+echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored >= 2x)"
 cargo run -q --release --locked --offline --example bench_validate -- \
     --min-dse-plan-speedup 1.5 \
+    --min-dse-factored-speedup 2.0 \
     "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json"
 
 echo "==> profiled DSE trace determinism (identical structure across runs)"

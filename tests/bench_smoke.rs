@@ -210,12 +210,46 @@ fn bench_smoke() {
         "run_report (1536-point uncached sweep)", points_per_sec, points_per_sec_legacy, plan_speedup
     );
 
+    // --- factored vs planned sweep throughput ---
+    // Same reference sweep, same scheduler: the factored evaluator prices
+    // each distinct cost leg once (this 1536-point lattice decomposes
+    // into ~32 compute, 16 memory, and 3 comm leg keys) and serves every
+    // other point from the leg tables with a handful of lookups and a
+    // max() combine. Each round constructs a fresh runner, so the timing
+    // includes cold leg tables: the measured speedup is within-sweep
+    // factoring, not cross-round reuse.
+    let mut factored_round = || {
+        DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+            .run_report_factored(&reference)
+    };
+    let warm = factored_round(); // warm thread pool + allocator paths
+    assert_eq!(warm.total(), reference.len());
+    assert!(warm.failures.is_empty(), "reference sweep has no bad points");
+    let mut factored_ms = f64::INFINITY;
+    for _ in 0..3 {
+        factored_ms = factored_ms.min(round_ms(1, &mut factored_round));
+    }
+    let points_per_sec_factored = reference.len() as f64 / (factored_ms / 1e3);
+    let factored_speedup = planned_ms / factored_ms;
+    println!(
+        "{:<44} {:>10.0} points/s  (planned {:.0} points/s, {:.2}x)",
+        "run_report_factored (1536-point sweep)",
+        points_per_sec_factored,
+        points_per_sec,
+        factored_speedup
+    );
+
     // Generous ceilings: only order-of-magnitude regressions fail.
     assert!(layer_ms < 100.0, "layer simulation took {layer_ms:.1} ms");
     assert!(
         plan_speedup >= 1.5,
         "planned sweep must beat the legacy pipeline by >= 1.5x, got {plan_speedup:.2}x \
          (planned {planned_ms:.1} ms vs legacy {legacy_ms:.1} ms)"
+    );
+    assert!(
+        factored_speedup >= 2.0,
+        "factored sweep must beat the planned pipeline by >= 2x, got {factored_speedup:.2}x \
+         (factored {factored_ms:.1} ms vs planned {planned_ms:.1} ms)"
     );
     assert!(eval_ms < 500.0, "design evaluation took {eval_ms:.1} ms");
     // No cached-vs-uncached comparison here: a single analytic evaluation
@@ -244,6 +278,8 @@ fn bench_smoke() {
             ("points_per_sec", points_per_sec),
             ("points_per_sec_legacy", points_per_sec_legacy),
             ("plan_speedup", plan_speedup),
+            ("points_per_sec_factored", points_per_sec_factored),
+            ("factored_speedup", factored_speedup),
         ],
     );
 }

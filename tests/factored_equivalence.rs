@@ -1,0 +1,144 @@
+//! Golden equivalence between the factored sweep evaluator and the
+//! planned pipeline it memoises.
+//!
+//! The factored evaluator replaces per-point pricing with lookups into
+//! dependency-keyed leg tables plus a `max()` combine. That is a pure
+//! caching change: it must not move a single bit of any result. These
+//! tests drive both pipelines over large sweeps — including injected
+//! faults, mixed datatypes, and permuted axis orders — and compare the
+//! canonical JSON digests of every evaluated design plus the full
+//! failure ledger.
+
+use acs_cache::CacheKey;
+use acs_dse::{inject_faults, DseRunner, EvaluatedDesign, SweepSpec};
+use acs_hw::{DataType, DeviceConfig};
+use acs_llm::{ModelConfig, WorkloadConfig};
+
+/// Canonical content digest of one evaluated design. Any drift in any
+/// field — including the float bit patterns, which the canonical codec
+/// round-trips exactly — changes this value.
+fn design_digest(design: &EvaluatedDesign) -> u64 {
+    let value = design.to_json_value().expect("evaluated designs serialise");
+    CacheKey::from_value(&value).digest()
+}
+
+fn runner() -> DseRunner {
+    DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+}
+
+#[test]
+fn factored_sweep_is_bit_identical_to_planned_with_faults() {
+    // 512 points, with a fault injected every 7th: the factored pipeline
+    // must reproduce the planned pipeline's successes bit-for-bit AND
+    // fail at exactly the same indices with the same error kinds.
+    let mut candidates = SweepSpec::table3_fig6().candidates(4800.0);
+    assert!(candidates.len() >= 200, "need a representative sweep, got {}", candidates.len());
+    let injected = inject_faults(&mut candidates, 7);
+    assert!(!injected.is_empty());
+
+    let factored = runner().run_report_factored(&candidates);
+    let planned = runner().run_report(&candidates);
+
+    assert_eq!(factored.total(), candidates.len());
+    assert_eq!(factored.total(), planned.total());
+
+    // Failure ledger: same indices, same candidate names, same kinds.
+    assert_eq!(factored.failures.len(), planned.failures.len());
+    for (f, p) in factored.failures.iter().zip(&planned.failures) {
+        assert_eq!(f.index, p.index);
+        assert_eq!(f.params, p.params);
+        assert_eq!(f.kind(), p.kind());
+    }
+
+    // Successes: same indices, and canonically identical content.
+    assert_eq!(factored.designs.len(), planned.designs.len());
+    assert!(!factored.designs.is_empty());
+    for ((fi, fd), (pi, pd)) in factored.designs.iter().zip(&planned.designs) {
+        assert_eq!(fi, pi);
+        assert_eq!(
+            design_digest(fd),
+            design_digest(pd),
+            "design {} diverged between factored and planned pipelines",
+            fd.name
+        );
+        assert_eq!(fd.ttft_s.to_bits(), pd.ttft_s.to_bits());
+        assert_eq!(fd.tbt_s.to_bits(), pd.tbt_s.to_bits());
+    }
+}
+
+#[test]
+fn factored_sweep_is_bit_identical_across_mixed_dtypes() {
+    // A sweep whose devices alternate int8 / fp16 / fp32 exercises one
+    // leg-table key set per datatype in a single run: the compute and
+    // memory keys carry the dtype, and — because allreduce payloads scale
+    // with operand width — so does the comm key.
+    let base = SweepSpec::table3_fig6().configs(4800.0);
+    let configs: Vec<DeviceConfig> = base
+        .iter()
+        .take(48)
+        .enumerate()
+        .map(|(i, cfg)| {
+            let dtype = match i % 3 {
+                0 => DataType::Int8,
+                1 => DataType::Fp16,
+                _ => DataType::Fp32,
+            };
+            cfg.to_builder().datatype(dtype).build().expect("datatype swap keeps configs valid")
+        })
+        .collect();
+    assert_eq!(configs.len(), 48);
+
+    let r = runner();
+    let factored = r.run_configs_factored(&configs);
+    let planned = r.run_configs(&configs);
+    for ((cfg, f), p) in configs.iter().zip(&factored).zip(&planned) {
+        let f = f.as_ref().expect("healthy configs evaluate on the factored path");
+        let p = p.as_ref().expect("healthy configs evaluate on the planned path");
+        assert_eq!(
+            design_digest(f),
+            design_digest(p),
+            "dtype {:?} diverged between factored and planned pipelines",
+            cfg.datatype()
+        );
+    }
+}
+
+#[test]
+fn axis_value_permutation_does_not_move_factored_results() {
+    // The same axis value *sets* in a different order must produce the
+    // same per-design results: leg keys derive from parameter values, not
+    // lattice positions, so a permuted sweep hits the same table entries.
+    let spec = SweepSpec {
+        systolic_dims: vec![16, 32],
+        lanes_per_core: vec![2, 4, 8],
+        l1_kib: vec![192, 512, 1024],
+        l2_mib: vec![32, 64],
+        hbm_tb_s: vec![2.0, 2.8, 3.2],
+        device_bw_gb_s: vec![500.0, 900.0],
+    };
+    let permuted = SweepSpec {
+        systolic_dims: vec![32, 16],
+        lanes_per_core: vec![8, 2, 4],
+        l1_kib: vec![1024, 192, 512],
+        l2_mib: vec![64, 32],
+        hbm_tb_s: vec![3.2, 2.0, 2.8],
+        device_bw_gb_s: vec![900.0, 500.0],
+    };
+
+    let r = runner();
+    let original = r.run_factored(&spec, 4800.0);
+    let shuffled = r.run_factored(&permuted, 4800.0);
+    assert_eq!(original.total(), spec.cardinality());
+    assert_eq!(original.total(), shuffled.total());
+    assert_eq!(original.failures.len(), shuffled.failures.len());
+
+    // Designs land at different sweep indices but must be the same set
+    // of (name, digest) pairs, bit for bit.
+    let digests = |report: &acs_dse::SweepReport| {
+        let mut v: Vec<(String, u64)> =
+            report.successes().map(|d| (d.name.clone(), design_digest(d))).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(digests(&original), digests(&shuffled));
+}

@@ -145,5 +145,23 @@ fn profiled_sweep_nests_spans_and_replays_with_identical_structure() {
         assert!(matches!(v, Value::Object(_)));
     }
     let _ = std::fs::remove_dir_all(&dir);
+
+    // --- factored leg-table economics are observable ---
+    reg.reset();
+    let factored = runner().run_factored(&small_spec(), 4800.0);
+    assert_eq!(factored.total() as u64, n);
+    assert!(factored.failures.is_empty());
+    let leg_counters = reg.counter_values();
+    let leg = |name: &str| {
+        leg_counters.iter().find(|(c, _)| c == name).map(|(_, v)| *v).unwrap_or_default()
+    };
+    let (hits, misses) = (leg("dse.factored.leg_hit"), leg("dse.factored.leg_miss"));
+    assert_eq!(hits + misses, 6 * n, "three leg lookups per phase per point");
+    // small_spec has 4 compute + 2 memory + 1 comm distinct keys per
+    // phase; racing workers may each price a key once, so the exact
+    // split is scheduler-dependent, but every key must miss at least
+    // once and the counters must cover every lookup.
+    assert!(misses >= 14, "at least one miss per distinct leg key, got {misses}");
+
     reg.disable();
 }
