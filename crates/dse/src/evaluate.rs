@@ -133,6 +133,7 @@ pub struct DseRunner {
     pub(crate) cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
     plans: Arc<PlanSlot>,
     pub(crate) factored: Arc<crate::factored::FactoredSlot>,
+    threads: Option<usize>,
 }
 
 /// Layer plans shared by every point of a sweep, built lazily per dtype.
@@ -160,7 +161,19 @@ impl DseRunner {
             cache: None,
             plans: Arc::new(PlanSlot::default()),
             factored: Arc::new(crate::factored::FactoredSlot::default()),
+            threads: None,
         }
+    }
+
+    /// Pin the sweep scheduler to exactly `n` worker threads instead of
+    /// the `ACS_THREADS`/machine-parallelism default. Results are
+    /// independent of the thread count by construction — the
+    /// differential-verification harness uses this override to prove it
+    /// without racing on environment variables.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.clamp(1, 32));
+        self
     }
 
     /// Override the tensor-parallel device count.
@@ -507,7 +520,7 @@ impl DseRunner {
         label: impl Fn(&T) -> &str + Sync,
         f: impl Fn(&T) -> Result<U, AcsError> + Sync,
     ) -> Vec<Result<U, AcsError>> {
-        self.parallel_map_on(worker_threads(), items, label, f)
+        self.parallel_map_on(self.threads.unwrap_or_else(worker_threads), items, label, f)
     }
 
     fn parallel_map_on<T: Sync, U: Send + Sync>(

@@ -238,7 +238,7 @@ pub fn object(members: Vec<(&str, Value)>) -> Value {
 /// Returns [`AcsError::Json`] with a byte offset on malformed input or
 /// trailing garbage.
 pub fn parse(input: &str) -> Result<Value, AcsError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -248,14 +248,30 @@ pub fn parse(input: &str) -> Result<Value, AcsError> {
     Ok(v)
 }
 
+/// Maximum container nesting [`parse`] accepts. The parser recurses per
+/// nesting level, so without a ceiling a tiny hostile input ( `"["`
+/// repeated ~50k times) overflows the thread stack — an abort, not a
+/// catchable panic. Every document this codebase emits is a handful of
+/// levels deep; 128 is generous headroom, not a constraint.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> AcsError {
         AcsError::Json { reason: format!("{msg} at byte {}", self.pos) }
+    }
+
+    fn descend(&mut self) -> Result<(), AcsError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("containers nested deeper than 128 levels"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -372,11 +388,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, AcsError> {
+        self.descend()?;
         self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -387,6 +405,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -395,11 +414,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, AcsError> {
+        self.descend()?;
         self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -415,6 +436,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -426,6 +448,21 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Fuzzer-found: the recursive-descent parser had no depth limit,
+        // so a kilobyte of '[' aborted the process. The limit must trip
+        // as a typed error, and legitimate depth must still parse.
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err());
+        let hostile = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse(&hostile).is_err(), "201 levels exceeds the ceiling");
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&fine).is_ok(), "100 levels is within the ceiling");
+        let mixed = format!("{}{}", "{\"k\":[".repeat(200), "x");
+        assert!(parse(&mixed).is_err());
+    }
 
     #[test]
     fn scalar_round_trips() {

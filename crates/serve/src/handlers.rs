@@ -53,6 +53,8 @@ pub struct AppState {
     metrics_requests: Arc<Counter>,
     error_responses: Arc<Counter>,
     shed_responses: Arc<Counter>,
+    deadline_closed: Arc<Counter>,
+    chaos_faults: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     latency: [Arc<Histogram>; 5],
     started: Instant,
@@ -85,6 +87,8 @@ impl AppState {
             metrics_requests: telemetry.counter("serve.requests.metrics"),
             error_responses: telemetry.counter("serve.requests.errors"),
             shed_responses: telemetry.counter("serve.queue.shed"),
+            deadline_closed: telemetry.counter("serve.conn.deadline_closed"),
+            chaos_faults: telemetry.counter("serve.conn.chaos_faults"),
             queue_depth: telemetry.gauge("serve.queue.depth"),
             latency,
             telemetry,
@@ -113,6 +117,18 @@ impl AppState {
     /// Count one load-shedding 503.
     pub fn record_shed(&self) {
         self.shed_responses.add(1);
+    }
+
+    /// Count one connection closed because it exhausted its per-request
+    /// read deadline (the slow-loris defence shedding a worker hog).
+    pub fn record_deadline_close(&self) {
+        self.deadline_closed.add(1);
+    }
+
+    /// Count `n` socket faults injected by the chaos shim (zero unless
+    /// the server was started with a chaos seed).
+    pub fn record_chaos(&self, n: u64) {
+        self.chaos_faults.add(n);
     }
 
     /// Mirror the sharded caches' hit/miss/eviction counters into the
@@ -943,6 +959,13 @@ fn metrics(state: &AppState) -> String {
             object(vec![
                 ("depth", Value::Number(state.queue_depth.get() as f64)),
                 ("shed", u(&state.shed_responses)),
+            ]),
+        ),
+        (
+            "connections",
+            object(vec![
+                ("deadline_closed", u(&state.deadline_closed)),
+                ("chaos_faults", u(&state.chaos_faults)),
             ]),
         ),
         (

@@ -11,7 +11,9 @@
 //! violations surface as [`AcsError::Protocol`] so the handler layer
 //! can map them to a 400 with the standard error envelope.
 
+use crate::chaos::{FaultPlan, FaultStream};
 use acs_errors::AcsError;
+use acs_llm::rng::SplitMix64;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -171,20 +173,21 @@ pub fn reason_phrase(status: u16) -> &'static str {
 /// # Errors
 ///
 /// [`AcsError::Io`] when the socket write fails.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), AcsError> {
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> Result<(), AcsError> {
     write_response_with(stream, status, body, false)
 }
 
 /// Write one JSON response, announcing whether the server will keep the
 /// connection open (`Connection: keep-alive`) or close it afterwards
 /// (`Connection: close`). The caller owns actually closing or reusing
-/// the socket to match.
+/// the socket to match. Generic over the stream so the connection loop
+/// can answer through a deadline- or fault-wrapped socket.
 ///
 /// # Errors
 ///
 /// [`AcsError::Io`] when the socket write fails.
 pub fn write_response_with(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     body: &str,
     keep_alive: bool,
@@ -306,34 +309,144 @@ fn read_framed_response(reader: &mut impl BufRead) -> Result<(u16, String, bool)
     }
 }
 
+/// Transport tuning for [`HttpClient`]: explicit connect/read/write
+/// timeouts and a bounded retry schedule with jittered exponential
+/// backoff. The service's endpoints are pure queries, so replaying a
+/// request after a transport failure is always safe; retrying distinguishes
+/// a transient fault (stale keep-alive socket, torn write, brief stall)
+/// from a dead server without letting a dead server consume unbounded
+/// attempts.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Budget for `TcpStream::connect_timeout` on each dial.
+    pub connect_timeout: Duration,
+    /// Per-operation socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-operation socket write timeout.
+    pub write_timeout: Duration,
+    /// Additional fresh-dial attempts after the first fails (0 disables
+    /// retries; stale keep-alive redials are free and not counted).
+    pub retries: u32,
+    /// Backoff before retry `k` is `backoff_base * 2^k` plus a uniform
+    /// jitter in `[0, backoff_base)`, capped at [`ClientConfig::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter schedule (deterministic per client).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            jitter_seed: 0xacc5_0ff5_9e37_79b9,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with every timeout set to `timeout` and default retry
+    /// behaviour — the shape [`HttpClient::new`] builds.
+    #[must_use]
+    pub fn uniform(timeout: Duration) -> Self {
+        ClientConfig {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+            write_timeout: timeout,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// The client's wire: a plain socket, or one wrapped in the chaos shim.
+#[derive(Debug)]
+enum ClientStream {
+    Plain(TcpStream),
+    Fault(FaultStream<TcpStream>),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Plain(s) => s.read(buf),
+            ClientStream::Fault(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Plain(s) => s.write(buf),
+            ClientStream::Fault(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Plain(s) => s.flush(),
+            ClientStream::Fault(s) => s.flush(),
+        }
+    }
+}
+
 /// A persistent HTTP/1.1 client: sends `Connection: keep-alive` and
 /// reuses one socket across sequential requests, falling back to a
-/// fresh dial when the server closed the idle connection (stale
-/// keep-alive sockets are retried once). The load generator holds one
-/// per worker thread and the examples one per process, so steady-state
-/// traffic pays zero TCP handshakes.
+/// fresh dial when the server closed the idle connection (a stale
+/// keep-alive redial is free). Fresh-dial failures are retried a bounded
+/// number of times with jittered exponential backoff
+/// ([`ClientConfig::retries`]), which the load generator and the
+/// examples inherit. The load generator holds one client per worker
+/// thread and the examples one per process, so steady-state traffic pays
+/// zero TCP handshakes.
 #[derive(Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
-    timeout: Duration,
-    conn: Option<BufReader<TcpStream>>,
+    config: ClientConfig,
+    jitter: SplitMix64,
+    fault: Option<FaultPlan>,
+    conn: Option<BufReader<ClientStream>>,
 }
 
 impl HttpClient {
-    /// A client for `addr`. No I/O happens until the first request.
+    /// A client for `addr` with `timeout` applied to connect, read, and
+    /// write, and the default bounded-retry schedule. No I/O happens
+    /// until the first request.
     #[must_use]
     pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
-        HttpClient { addr, timeout, conn: None }
+        Self::with_config(addr, ClientConfig::uniform(timeout))
+    }
+
+    /// A client with explicit transport tuning.
+    #[must_use]
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        let jitter = SplitMix64::new(config.jitter_seed ^ u64::from(addr.port()));
+        HttpClient { addr, config, jitter, fault: None, conn: None }
+    }
+
+    /// Inject deterministic socket faults into every connection this
+    /// client dials (chaos testing: the retry/backoff path is the system
+    /// under test).
+    #[must_use]
+    pub fn with_fault_injection(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Send `method path` with `body`, returning `(status, body)`. The
     /// service's endpoints are pure queries, so replaying a request on a
-    /// stale reused connection is safe.
+    /// stale reused connection — or after a transport failure — is safe.
     ///
     /// # Errors
     ///
-    /// [`AcsError::Io`] on connect/read/write failures and
-    /// [`AcsError::Protocol`] on response-framing violations.
+    /// [`AcsError::Io`] on connect/read/write failures that survive the
+    /// retry budget and [`AcsError::Protocol`] on response-framing
+    /// violations.
     pub fn request(
         &mut self,
         method: &str,
@@ -343,13 +456,35 @@ impl HttpClient {
         if self.conn.is_some() {
             // A reused socket may have been closed by the server since
             // the last exchange; one redial distinguishes a stale
-            // connection from a dead server.
+            // connection from a dead server and does not consume the
+            // retry budget.
             if let Ok(response) = self.round_trip(method, path, body) {
                 return Ok(response);
             }
             self.conn = None;
         }
-        self.round_trip(method, path, body)
+        let mut attempt = 0u32;
+        loop {
+            match self.round_trip(method, path, body) {
+                Ok(response) => return Ok(response),
+                Err(e) if attempt < self.config.retries => {
+                    let _ = e; // every transport error is retryable: queries are pure
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Backoff before retry `attempt`: `base * 2^attempt` plus uniform
+    /// jitter in `[0, base)`, capped. Jitter decorrelates concurrent
+    /// clients hammering a shedding server.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base;
+        let exp = base.saturating_mul(1u32 << attempt.min(16));
+        let jitter = base.mul_f64(self.jitter.next_f64());
+        (exp + jitter).min(self.config.backoff_cap)
     }
 
     fn round_trip(
@@ -361,13 +496,21 @@ impl HttpClient {
         let io_err =
             |e: std::io::Error| AcsError::Io { path: self.addr.to_string(), reason: e.to_string() };
         if self.conn.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.timeout).map_err(io_err)?;
-            stream.set_read_timeout(Some(self.timeout)).map_err(io_err)?;
-            stream.set_write_timeout(Some(self.timeout)).map_err(io_err)?;
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+                .map_err(io_err)?;
+            stream.set_read_timeout(Some(self.config.read_timeout)).map_err(io_err)?;
+            stream.set_write_timeout(Some(self.config.write_timeout)).map_err(io_err)?;
             // Without this, Nagle holds each request back until the
             // previous response's delayed ACK (~40 ms) — fatal to a
             // persistent connection trading small messages.
             let _ = stream.set_nodelay(true);
+            let stream = match &self.fault {
+                None => ClientStream::Plain(stream),
+                Some(plan) => ClientStream::Fault(FaultStream::new(
+                    stream,
+                    plan.reseeded(plan.seed ^ self.jitter.next_u64()),
+                )),
+            };
             self.conn = Some(BufReader::new(stream));
         }
         let Some(reader) = self.conn.as_mut() else {

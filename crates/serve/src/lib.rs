@@ -35,20 +35,23 @@
 //! # Ok::<(), acs_errors::AcsError>(())
 //! ```
 
+pub mod chaos;
 pub mod handlers;
 pub mod http;
 pub mod loadgen;
 
+pub use chaos::{FaultPlan, FaultStream, SocketControl};
 pub use handlers::{error_body, handle, status_for, AppState};
+pub use http::{ClientConfig, HttpClient};
 pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
 
 use acs_errors::AcsError;
 use std::collections::VecDeque;
-use std::io::BufRead;
+use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -61,6 +64,22 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Per-connection read and write timeout.
     pub io_timeout: Duration,
+    /// Total wall-clock budget for reading one request once its first
+    /// byte has arrived. A per-operation timeout alone cannot stop a
+    /// slow-loris client that drips one byte per interval — each read
+    /// succeeds inside `io_timeout` while the worker stays pinned
+    /// forever. The deadline bounds the whole request instead; on
+    /// expiry the connection is closed and counted in
+    /// `connections.deadline_closed`.
+    pub request_deadline: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the worker reclaims it.
+    pub keepalive_idle: Duration,
+    /// When set, every accepted socket is wrapped in a [`FaultStream`]
+    /// whose per-connection schedule derives from this seed: torn
+    /// reads, partial writes, stalls, and mid-message disconnects are
+    /// injected server-side. Chaos-testing only; `None` in production.
+    pub chaos_seed: Option<u64>,
     /// Capacity of each response cache (screen, simulate, sim-steps).
     pub cache_capacity: usize,
 }
@@ -72,9 +91,22 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             io_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            keepalive_idle: Duration::from_secs(5),
+            chaos_seed: None,
             cache_capacity: 4096,
         }
     }
+}
+
+/// The per-connection timing policy workers apply, split out of
+/// [`ServeConfig`] so the connection loop does not care about
+/// server-level knobs (bind address, pool sizes).
+#[derive(Debug, Clone)]
+struct ConnPolicy {
+    io_timeout: Duration,
+    request_deadline: Duration,
+    keepalive_idle: Duration,
 }
 
 struct Shared {
@@ -161,12 +193,23 @@ impl Server {
     /// Blocks the calling thread; worker threads are joined before
     /// returning, so all in-flight requests finish.
     pub fn run(self) {
+        let policy = ConnPolicy {
+            io_timeout: self.config.io_timeout,
+            request_deadline: self.config.request_deadline,
+            keepalive_idle: self.config.keepalive_idle,
+        };
+        let chaos = self.config.chaos_seed.map(FaultPlan::gentle);
+        let conn_seq = Arc::new(AtomicU64::new(0));
         let workers: Vec<_> = (0..self.config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&self.shared);
                 let state = Arc::clone(&self.state);
-                let timeout = self.config.io_timeout;
-                std::thread::spawn(move || worker_loop(&shared, &state, timeout))
+                let policy = policy.clone();
+                let chaos = chaos.clone();
+                let conn_seq = Arc::clone(&conn_seq);
+                std::thread::spawn(move || {
+                    worker_loop(&shared, &state, &policy, chaos.as_ref(), &conn_seq);
+                })
             })
             .collect();
 
@@ -234,7 +277,13 @@ fn shed(mut stream: TcpStream) {
     let _ = http::write_response(&mut stream, 503, &handlers::error_body(&error));
 }
 
-fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
+fn worker_loop(
+    shared: &Shared,
+    state: &AppState,
+    policy: &ConnPolicy,
+    chaos: Option<&FaultPlan>,
+    conn_seq: &AtomicU64,
+) {
     loop {
         let stream = {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
@@ -253,28 +302,134 @@ fn worker_loop(shared: &Shared, state: &AppState, timeout: Duration) {
             }
         };
         let Some(stream) = stream else { return };
-        let _ = stream.set_read_timeout(Some(timeout));
-        let _ = stream.set_write_timeout(Some(timeout));
-        serve_connection(state, stream);
+        match chaos {
+            None => serve_connection(state, stream, policy),
+            Some(plan) => {
+                // Each connection replays its own schedule: seed mixed
+                // with a connection ordinal via the SplitMix64 increment.
+                let n = conn_seq.fetch_add(1, Ordering::Relaxed);
+                let per_conn = plan.reseeded(plan.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let tally = Arc::new(AtomicU64::new(0));
+                let faulted = FaultStream::new(stream, per_conn).with_tally(Arc::clone(&tally));
+                serve_connection(state, faulted, policy);
+                // The stream is consumed by the connection loop; the
+                // shared tally carries the fault count back out.
+                state.record_chaos(tally.load(Ordering::Relaxed));
+            }
+        }
     }
 }
 
-/// Serve one connection until the client (or a framing error) closes it.
-/// HTTP/1.1 requests default to keep-alive, so a well-behaved client can
-/// run many sequential requests over one socket; `Connection: close`
-/// ends the session after the response it rides on.
-fn serve_connection(state: &AppState, stream: TcpStream) {
+/// A read-side wrapper enforcing a whole-request wall-clock deadline on
+/// top of the per-operation socket timeout. Unarmed (between requests)
+/// it lets the keep-alive idle budget govern; once armed, each read gets
+/// `min(per-op timeout, time left until the deadline)`, so a client
+/// dripping bytes slowly enough to satisfy every per-op timeout still
+/// runs out of wall clock.
+struct DeadlineStream<S> {
+    inner: S,
+    per_op: Duration,
+    budget: Duration,
+    deadline: Option<Instant>,
+    expired: bool,
+}
+
+impl<S: SocketControl> DeadlineStream<S> {
+    fn new(inner: S, per_op: Duration, budget: Duration) -> Self {
+        DeadlineStream { inner, per_op, budget, deadline: None, expired: false }
+    }
+
+    /// Between requests: no deadline, idle-reap timeout on the socket.
+    fn disarm(&mut self, idle: Duration) {
+        self.deadline = None;
+        let _ = self.inner.control_read_timeout(Some(idle));
+    }
+
+    /// A request's first byte has arrived: start its wall-clock budget.
+    fn arm(&mut self) {
+        self.deadline = Some(Instant::now() + self.budget);
+    }
+
+    /// Whether a read failed because the request deadline ran out (as
+    /// opposed to an idle client or a genuine socket error).
+    fn expired(&self) -> bool {
+        self.expired
+    }
+}
+
+impl<S: Read + SocketControl> Read for DeadlineStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.expired = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request read deadline exhausted",
+                ));
+            }
+            // Zero-duration socket timeouts are rejected by the OS;
+            // clamp the final sliver up to a millisecond.
+            let per_read = remaining.min(self.per_op).max(Duration::from_millis(1));
+            let _ = self.inner.control_read_timeout(Some(per_read));
+        }
+        match self.inner.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.expired = true;
+                }
+                Err(e)
+            }
+            outcome => outcome,
+        }
+    }
+}
+
+impl<S: Write> Write for DeadlineStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Serve one connection until the client (or a framing error, or the
+/// request read deadline) closes it. HTTP/1.1 requests default to
+/// keep-alive, so a well-behaved client can run many sequential requests
+/// over one socket; `Connection: close` ends the session after the
+/// response it rides on. Generic over the stream so the chaos shim's
+/// [`FaultStream`] serves through the same loop as a bare socket.
+fn serve_connection<S: Read + Write + SocketControl>(
+    state: &AppState,
+    stream: S,
+    policy: &ConnPolicy,
+) {
+    let _ = stream.control_write_timeout(Some(policy.io_timeout));
     // One buffered reader for the connection's whole lifetime: read-ahead
     // bytes of a pipelined next request live in this buffer, so it must
     // outlive individual requests.
-    let mut reader = std::io::BufReader::new(stream);
+    let mut reader = std::io::BufReader::new(DeadlineStream::new(
+        stream,
+        policy.io_timeout,
+        policy.request_deadline,
+    ));
     loop {
-        // A clean close between requests is the normal end of a
-        // keep-alive session, not a protocol error.
+        // Between requests: no deadline, just the idle-reap timeout. A
+        // clean close here is the normal end of a keep-alive session,
+        // not a protocol error — and an idle timeout is not a shed.
+        reader.get_mut().disarm(policy.keepalive_idle);
         match reader.fill_buf() {
             Ok([]) | Err(_) => return,
             Ok(_) => {}
         }
+        // The request's first byte is buffered: its wall clock starts.
+        reader.get_mut().arm();
         // A panic anywhere in parsing or handling must not kill the
         // worker: the pool is fixed-size and never respawned, so an
         // unwinding bug would silently shrink it until the service dies.
@@ -299,6 +454,13 @@ fn serve_connection(state: &AppState, stream: TcpStream) {
             let e = AcsError::EvaluationPanic { design: "request-handler".to_owned(), message };
             (handlers::status_for(&e), handlers::error_body(&e), false)
         });
+        // A request that ran out its read deadline is a slow-loris (or a
+        // wedged peer): count the shed and hang up without answering — the
+        // client earned no response and the worker is needed elsewhere.
+        if reader.get_mut().expired() {
+            state.record_deadline_close();
+            return;
+        }
         // The client may already be gone; a failed write is not a server
         // fault, but it does end the session.
         if http::write_response_with(reader.get_mut(), status, &body, keep_alive).is_err()
@@ -503,6 +665,166 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         assert!(response.contains("Connection: close"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn slow_loris_is_shed_by_the_request_deadline() {
+        // One worker, so a pinned connection would starve the whole
+        // service. The per-op io_timeout alone cannot catch this client:
+        // it drips a byte every 50 ms, well inside the 2 s op timeout.
+        let server = Server::bind(ServeConfig {
+            workers: 1,
+            io_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_millis(300),
+            keepalive_idle: Duration::from_secs(2),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let (handle, thread) = server.spawn();
+
+        let mut loris = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        let mut shed = false;
+        for byte in b"GET /v1/devices HTTP/1.1\r\nHost: x\r\nX-Drip: aaaaaaaaaaaaaaaa" {
+            if loris.write_all(&[*byte]).is_err() {
+                shed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            if started.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+        }
+        if !shed {
+            // Writes can succeed into the kernel buffer after the server
+            // hangs up; the read side is definitive.
+            let _ = loris.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut buf = [0u8; 64];
+            use std::io::Read;
+            shed = matches!(loris.read(&mut buf), Ok(0) | Err(_));
+        }
+        assert!(shed, "server kept reading a dripping request past its deadline");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline shed should happen in ~300ms, took {:?}",
+            started.elapsed()
+        );
+
+        // The lone worker must be free again — and the shed counted.
+        let (status, body) = request(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "{body}");
+        let m = parse(&body).unwrap();
+        let closed = m
+            .get("connections")
+            .and_then(|c| c.get("deadline_closed"))
+            .and_then(acs_errors::json::Value::as_u64);
+        assert_eq!(closed, Some(1), "{body}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn idle_keepalive_reaping_is_not_counted_as_a_deadline_shed() {
+        let server = Server::bind(ServeConfig {
+            workers: 1,
+            keepalive_idle: Duration::from_millis(150),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let (handle, thread) = server.spawn();
+
+        // Connect, complete one request, then go silent: the worker
+        // should reap the idle connection without counting a shed.
+        let mut client = http::HttpClient::new(addr, Duration::from_secs(5));
+        let (status, _) = client.request("GET", "/v1/devices", "").unwrap();
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(400));
+
+        let (status, body) = request(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "{body}");
+        let m = parse(&body).unwrap();
+        let closed = m
+            .get("connections")
+            .and_then(|c| c.get("deadline_closed"))
+            .and_then(acs_errors::json::Value::as_u64);
+        assert_eq!(closed, Some(0), "{body}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_server_survives_faulted_connections_and_counts_them() {
+        let server = Server::bind(ServeConfig {
+            workers: 2,
+            chaos_seed: Some(0xC4A05),
+            io_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(2),
+            keepalive_idle: Duration::from_millis(500),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let state = server.state();
+        let (handle, thread) = server.spawn();
+
+        // Many short-lived clients against a fault-injecting server: some
+        // requests fail (torn frames, disconnects) — none may wedge a
+        // worker or panic the process.
+        let mut completed = 0u32;
+        for i in 0..40 {
+            let mut client = http::HttpClient::with_config(
+                addr,
+                http::ClientConfig {
+                    retries: 1,
+                    jitter_seed: 1000 + i,
+                    ..http::ClientConfig::uniform(Duration::from_secs(2))
+                },
+            );
+            if let Ok((status, _)) = client.request("GET", "/v1/devices", "") {
+                if status == 200 {
+                    completed += 1;
+                }
+            }
+        }
+        assert!(completed > 0, "no request survived gentle chaos");
+
+        // Both workers must still answer cleanly; the chaos tally proves
+        // faults actually fired.
+        let (status, body) = request(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "{body}");
+        let m = parse(&body).unwrap();
+        let faults = m
+            .get("connections")
+            .and_then(|c| c.get("chaos_faults"))
+            .and_then(acs_errors::json::Value::as_u64)
+            .unwrap_or(0);
+        assert!(faults > 0, "chaos seed set but no faults injected: {body}");
+        drop(state);
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn client_retries_recover_from_a_flaky_wire() {
+        let (addr, handle, thread, _) = start();
+        // Client-side fault injection: a gentle plan tears most frames
+        // but the bounded retry path re-dials and gets through.
+        let mut client = http::HttpClient::with_config(
+            addr,
+            http::ClientConfig { retries: 4, ..http::ClientConfig::uniform(Duration::from_secs(2)) },
+        )
+        .with_fault_injection(FaultPlan::gentle(0xF1A7));
+        let mut ok = 0u32;
+        for _ in 0..20 {
+            if let Ok((200, _)) = client.request("GET", "/v1/devices", "") {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 10, "retries should carry most requests through gentle faults, got {ok}/20");
         handle.shutdown();
         thread.join().unwrap();
     }

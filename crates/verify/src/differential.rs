@@ -1,0 +1,647 @@
+//! The generic differential runner: evaluate two (path, transform) arms
+//! over one sweep and diff everything — per-point canonical digests,
+//! numeric values under a tolerance class, and the failure ledger.
+//!
+//! The repo carries three coexisting evaluation paths (legacy per-point,
+//! planned, factored) whose equivalence used to be asserted by bespoke
+//! golden tests, each re-rolling the same sweep/digest scaffolding. A
+//! differential case replaces that with data: *which* two arms, *what*
+//! metamorphic transform, *which* tolerance — the comparison machinery
+//! is shared and exhaustive.
+//!
+//! A **metamorphic transform** is a change to the inputs or the engine
+//! configuration that must not change results: reordering the candidate
+//! list, attaching a memoization cache, pinning the scheduler to a
+//! different thread count (all bit-exact), or round-tripping continuous
+//! axes through a unit conversion (equal only up to float rounding,
+//! which is exactly what the approximate tolerance classes are for).
+
+use crate::tolerance::Tolerance;
+use acs_cache::{CacheKey, ShardedCache};
+use acs_dse::{CandidateParams, DseRunner, EvaluatedDesign, SweepReport};
+use acs_errors::json::Value;
+use acs_errors::AcsError;
+use acs_llm::rng::SplitMix64;
+use acs_llm::{ModelConfig, WorkloadConfig};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which evaluation pipeline an arm drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Per-point pipeline (`try_evaluate_legacy`): no shared planning.
+    Legacy,
+    /// Plan-then-execute pipeline (`run_report`).
+    Planned,
+    /// Dependency-keyed leg-table pipeline (`run_report_factored`).
+    Factored,
+}
+
+impl EvalPath {
+    fn run(self, runner: &DseRunner, candidates: &[CandidateParams]) -> SweepReport {
+        match self {
+            EvalPath::Legacy => runner.run_report_legacy(candidates),
+            EvalPath::Planned => runner.run_report(candidates),
+            EvalPath::Factored => runner.run_report_factored(candidates),
+        }
+    }
+}
+
+impl fmt::Display for EvalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EvalPath::Legacy => "legacy",
+            EvalPath::Planned => "planned",
+            EvalPath::Factored => "factored",
+        })
+    }
+}
+
+/// A result-preserving change to an arm's inputs or engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// No change: the arm differs only by its [`EvalPath`].
+    Identity,
+    /// Seeded Fisher–Yates shuffle of the candidate list. Leg tables and
+    /// plans key on parameter *values*, not sweep positions, so the same
+    /// candidates in any order must produce the same result *set*;
+    /// comparison switches to set discipline automatically.
+    PermuteOrder {
+        /// Shuffle seed (deterministic replay).
+        seed: u64,
+    },
+    /// Round-trip the continuous axes through a unit conversion
+    /// (TB/s → GB/s → TB/s, GB/s → MB/s → GB/s). Exact over the reals,
+    /// off by an ulp or two over `f64` — requires an approximate
+    /// tolerance, which is the point: it exercises the tolerance
+    /// machinery against realistically perturbed inputs.
+    RescaleUnits,
+    /// Evaluate through a fresh shared memoization cache. Cache hits
+    /// must return bit-identical values to cold evaluation.
+    WarmCache,
+    /// Pin the sweep scheduler to exactly this many worker threads.
+    /// Scheduling must never leak into results.
+    Threads(usize),
+}
+
+impl Transform {
+    /// Rewrite the candidate list for this arm.
+    #[must_use]
+    pub fn apply(&self, candidates: &[CandidateParams]) -> Vec<CandidateParams> {
+        match self {
+            Transform::Identity | Transform::WarmCache | Transform::Threads(_) => {
+                candidates.to_vec()
+            }
+            Transform::PermuteOrder { seed } => {
+                let mut rng = SplitMix64::new(*seed);
+                let mut shuffled = candidates.to_vec();
+                for i in (1..shuffled.len()).rev() {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    shuffled.swap(i, j);
+                }
+                shuffled
+            }
+            Transform::RescaleUnits => candidates
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    c.hbm_tb_s = c.hbm_tb_s * 1000.0 / 1000.0;
+                    c.device_bw_gb_s = c.device_bw_gb_s * 1000.0 / 1000.0;
+                    c
+                })
+                .collect(),
+        }
+    }
+
+    /// Configure the runner for this arm.
+    #[must_use]
+    pub fn configure(&self, runner: DseRunner) -> DseRunner {
+        match self {
+            Transform::Threads(n) => runner.with_threads(*n),
+            Transform::WarmCache => runner.with_cache(Arc::new(ShardedCache::new(8192))),
+            _ => runner,
+        }
+    }
+
+    /// Whether this transform reorders points (switching the comparison
+    /// from index-paired to set discipline).
+    #[must_use]
+    pub fn reorders(&self) -> bool {
+        matches!(self, Transform::PermuteOrder { .. })
+    }
+
+    /// The tightest tolerance this transform can honestly promise:
+    /// everything is bit-exact except the unit round-trip.
+    #[must_use]
+    pub fn natural_tolerance(&self) -> Tolerance {
+        match self {
+            Transform::RescaleUnits => Tolerance::Relative(1e-9),
+            _ => Tolerance::Exact,
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Identity => f.write_str("identity"),
+            Transform::PermuteOrder { seed } => write!(f, "permute(seed={seed})"),
+            Transform::RescaleUnits => f.write_str("rescale-units"),
+            Transform::WarmCache => f.write_str("warm-cache"),
+            Transform::Threads(n) => write!(f, "threads({n})"),
+        }
+    }
+}
+
+/// One side of a differential comparison.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// The pipeline to drive.
+    pub path: EvalPath,
+    /// The metamorphic change applied to this arm.
+    pub transform: Transform,
+}
+
+impl Arm {
+    /// An untransformed arm on `path`.
+    #[must_use]
+    pub fn plain(path: EvalPath) -> Self {
+        Arm { path, transform: Transform::Identity }
+    }
+}
+
+impl fmt::Display for Arm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.path, self.transform)
+    }
+}
+
+/// A declarative differential case: two arms and the tolerance their
+/// results must meet.
+#[derive(Debug, Clone)]
+pub struct DiffCase {
+    /// Name used in reports and mismatch messages.
+    pub label: String,
+    /// Reference arm.
+    pub left: Arm,
+    /// Arm under test.
+    pub right: Arm,
+    /// Equality discipline for numeric leaves.
+    pub tolerance: Tolerance,
+}
+
+impl DiffCase {
+    /// Two plain paths compared bit-exactly — the path-equivalence shape.
+    #[must_use]
+    pub fn paths(label: &str, left: EvalPath, right: EvalPath) -> Self {
+        DiffCase {
+            label: label.to_owned(),
+            left: Arm::plain(left),
+            right: Arm::plain(right),
+            tolerance: Tolerance::Exact,
+        }
+    }
+
+    /// One path against its transformed self, at the transform's natural
+    /// tolerance — the metamorphic shape.
+    #[must_use]
+    pub fn metamorphic(label: &str, path: EvalPath, transform: Transform) -> Self {
+        let tolerance = transform.natural_tolerance();
+        DiffCase { label: label.to_owned(), left: Arm::plain(path), right: Arm { path, transform }, tolerance }
+    }
+}
+
+/// The built-in pairings: every coexisting path against the planned
+/// reference, plus one case per metamorphic transform. This is the suite
+/// `tests/plan_equivalence.rs` and `tests/factored_equivalence.rs` are
+/// expressed in, and what `acs-verify diff` runs.
+#[must_use]
+pub fn standard_suite() -> Vec<DiffCase> {
+    vec![
+        DiffCase::paths("planned-vs-legacy", EvalPath::Planned, EvalPath::Legacy),
+        DiffCase::paths("factored-vs-planned", EvalPath::Factored, EvalPath::Planned),
+        DiffCase::metamorphic(
+            "factored-permuted",
+            EvalPath::Factored,
+            Transform::PermuteOrder { seed: 0x5EED },
+        ),
+        DiffCase::metamorphic("planned-warm-cache", EvalPath::Planned, Transform::WarmCache),
+        DiffCase::metamorphic("planned-threads-1", EvalPath::Planned, Transform::Threads(1)),
+        DiffCase::metamorphic("planned-threads-3", EvalPath::Planned, Transform::Threads(3)),
+        DiffCase::metamorphic("planned-rescaled", EvalPath::Planned, Transform::RescaleUnits),
+    ]
+}
+
+/// One disagreement between the two arms.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Where in the sweep (candidate name, or a ledger/shape note).
+    pub at: String,
+    /// What differed.
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.at, self.detail)
+    }
+}
+
+/// The outcome of one differential case.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// The case's label.
+    pub label: String,
+    /// Points evaluated per arm.
+    pub points: usize,
+    /// Successful designs on the reference arm.
+    pub ok: usize,
+    /// Ledgered failures on the reference arm.
+    pub failed: usize,
+    /// Every disagreement found (empty on a clean diff).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl DiffReport {
+    /// Whether the two arms agreed everywhere.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Panic with every mismatch listed — for use inside tests.
+    ///
+    /// # Panics
+    ///
+    /// When the diff is not clean.
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "differential case '{}' found {} mismatch(es) over {} points:\n{}",
+            self.label,
+            self.mismatches.len(),
+            self.points,
+            self.mismatches.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+        );
+    }
+}
+
+/// Canonical content digest of one evaluated design: any drift in any
+/// field — including float bit patterns, which the canonical JSON codec
+/// round-trips exactly — changes this value.
+///
+/// # Errors
+///
+/// Propagates serialization failure (non-finite floats).
+pub fn design_digest(design: &EvaluatedDesign) -> Result<u64, AcsError> {
+    Ok(CacheKey::from_value(&design.to_json_value()?).digest())
+}
+
+/// The differential harness: holds the model/workload context and
+/// evaluates cases over caller-supplied candidate lists.
+#[derive(Debug)]
+pub struct Differential {
+    model: ModelConfig,
+    workload: WorkloadConfig,
+}
+
+impl Differential {
+    /// A harness over an explicit model and workload.
+    #[must_use]
+    pub fn new(model: ModelConfig, workload: WorkloadConfig) -> Self {
+        Differential { model, workload }
+    }
+
+    /// The paper's default verification context (Llama-3-8B, paper
+    /// workload) — what the golden equivalence tests use.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Differential::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+    }
+
+    /// Evaluate both arms of `case` over `candidates` and diff them.
+    #[must_use]
+    pub fn run(&self, candidates: &[CandidateParams], case: &DiffCase) -> DiffReport {
+        let left = self.eval_arm(candidates, &case.left);
+        let right = self.eval_arm(candidates, &case.right);
+        let as_set = case.left.transform.reorders() || case.right.transform.reorders();
+        let mut mismatches = Vec::new();
+        compare_reports(&left, &right, case.tolerance, as_set, &mut mismatches);
+        DiffReport {
+            label: case.label.clone(),
+            points: left.total(),
+            ok: left.designs.len(),
+            failed: left.failures.len(),
+            mismatches,
+        }
+    }
+
+    fn eval_arm(&self, candidates: &[CandidateParams], arm: &Arm) -> SweepReport {
+        let runner = arm
+            .transform
+            .configure(DseRunner::new(self.model.clone(), self.workload));
+        let transformed = arm.transform.apply(candidates);
+        arm.path.run(&runner, &transformed)
+    }
+}
+
+fn push(mismatches: &mut Vec<Mismatch>, at: impl Into<String>, detail: String) {
+    // A broken sweep disagrees everywhere; a bounded list keeps the
+    // report readable while still proving the diff is dirty.
+    if mismatches.len() < 32 {
+        mismatches.push(Mismatch { at: at.into(), detail });
+    }
+}
+
+fn compare_reports(
+    left: &SweepReport,
+    right: &SweepReport,
+    tolerance: Tolerance,
+    as_set: bool,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    if left.total() != right.total() {
+        push(
+            mismatches,
+            "shape",
+            format!("left evaluated {} points, right {}", left.total(), right.total()),
+        );
+        return;
+    }
+    compare_failures(left, right, as_set, mismatches);
+    if as_set {
+        compare_designs_as_set(left, right, mismatches);
+    } else {
+        compare_designs_paired(left, right, tolerance, mismatches);
+    }
+}
+
+fn compare_failures(
+    left: &SweepReport,
+    right: &SweepReport,
+    as_set: bool,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    if left.failures.len() != right.failures.len() {
+        push(
+            mismatches,
+            "ledger",
+            format!("{} failures vs {}", left.failures.len(), right.failures.len()),
+        );
+        return;
+    }
+    if as_set {
+        // Reordered sweeps fail at different indices; the (params, kind)
+        // multiset is the order-free invariant.
+        let keyed = |report: &SweepReport| {
+            let mut v: Vec<(String, &'static str)> =
+                report.failures.iter().map(|f| (f.params.clone(), f.kind())).collect();
+            v.sort();
+            v
+        };
+        let (l, r) = (keyed(left), keyed(right));
+        for (lf, rf) in l.iter().zip(&r) {
+            if lf != rf {
+                push(mismatches, lf.0.clone(), format!("failure {lf:?} vs {rf:?}"));
+            }
+        }
+        return;
+    }
+    for (lf, rf) in left.failures.iter().zip(&right.failures) {
+        if lf.index != rf.index || lf.params != rf.params || lf.kind() != rf.kind() {
+            push(
+                mismatches,
+                format!("failure #{}", lf.index),
+                format!(
+                    "({}, {}, {}) vs ({}, {}, {})",
+                    lf.index,
+                    lf.params,
+                    lf.kind(),
+                    rf.index,
+                    rf.params,
+                    rf.kind()
+                ),
+            );
+        }
+    }
+}
+
+fn compare_designs_as_set(left: &SweepReport, right: &SweepReport, mismatches: &mut Vec<Mismatch>) {
+    let keyed = |report: &SweepReport| -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = report
+            .successes()
+            .map(|d| (d.name.clone(), design_digest(d).unwrap_or(0)))
+            .collect();
+        v.sort();
+        v
+    };
+    let (l, r) = (keyed(left), keyed(right));
+    if l.len() != r.len() {
+        push(mismatches, "designs", format!("{} successes vs {}", l.len(), r.len()));
+        return;
+    }
+    for ((ln, ld), (rn, rd)) in l.iter().zip(&r) {
+        if ln != rn {
+            push(mismatches, ln.clone(), format!("design sets differ: {ln} vs {rn}"));
+        } else if ld != rd {
+            push(mismatches, ln.clone(), format!("digest {ld:#018x} vs {rd:#018x}"));
+        }
+    }
+}
+
+fn compare_designs_paired(
+    left: &SweepReport,
+    right: &SweepReport,
+    tolerance: Tolerance,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    if left.designs.len() != right.designs.len() {
+        push(
+            mismatches,
+            "designs",
+            format!("{} successes vs {}", left.designs.len(), right.designs.len()),
+        );
+        return;
+    }
+    for ((li, ld), (ri, rd)) in left.designs.iter().zip(&right.designs) {
+        if li != ri {
+            push(mismatches, ld.name.clone(), format!("success index {li} vs {ri}"));
+            continue;
+        }
+        if tolerance == Tolerance::Exact {
+            match (design_digest(ld), design_digest(rd)) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Ok(a), Ok(b)) => {
+                    push(mismatches, ld.name.clone(), format!("digest {a:#018x} vs {b:#018x}"));
+                }
+                _ => push(mismatches, ld.name.clone(), "design failed to serialize".to_owned()),
+            }
+            continue;
+        }
+        compare_design_leaves(ld, rd, tolerance, mismatches);
+    }
+}
+
+/// Field-by-field comparison of two designs' canonical JSON under an
+/// approximate tolerance: numeric leaves must sit within tolerance,
+/// everything else must match exactly, and the leaf *paths* must agree.
+fn compare_design_leaves(
+    left: &EvaluatedDesign,
+    right: &EvaluatedDesign,
+    tolerance: Tolerance,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    let (Ok(lv), Ok(rv)) = (left.to_json_value(), right.to_json_value()) else {
+        push(mismatches, left.name.clone(), "design failed to serialize".to_owned());
+        return;
+    };
+    let (mut l, mut r) = (Vec::new(), Vec::new());
+    flatten("", &lv, &mut l);
+    flatten("", &rv, &mut r);
+    if l.len() != r.len() {
+        push(mismatches, left.name.clone(), format!("{} leaves vs {}", l.len(), r.len()));
+        return;
+    }
+    for ((lp, ll), (rp, rl)) in l.iter().zip(&r) {
+        if lp != rp {
+            push(mismatches, left.name.clone(), format!("leaf path {lp} vs {rp}"));
+            return;
+        }
+        let agree = match (ll, rl) {
+            (Leaf::Num(a), Leaf::Num(b)) => tolerance.accepts(*a, *b),
+            (a, b) => a == b,
+        };
+        if !agree {
+            push(
+                mismatches,
+                left.name.clone(),
+                format!("{lp}: {ll:?} vs {rl:?} exceeds tolerance {tolerance}"),
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Text(String),
+    Bool(bool),
+    Null,
+}
+
+fn flatten(path: &str, value: &Value, out: &mut Vec<(String, Leaf)>) {
+    match value {
+        Value::Null => out.push((path.to_owned(), Leaf::Null)),
+        Value::Bool(b) => out.push((path.to_owned(), Leaf::Bool(*b))),
+        Value::Number(n) => out.push((path.to_owned(), Leaf::Num(*n))),
+        Value::String(s) => out.push((path.to_owned(), Leaf::Text(s.clone()))),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{path}[{i}]"), item, out);
+            }
+        }
+        Value::Object(members) => {
+            for (key, member) in members {
+                flatten(&format!("{path}.{key}"), member, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_dse::SweepSpec;
+
+    fn small_candidates() -> Vec<CandidateParams> {
+        SweepSpec {
+            systolic_dims: vec![16, 32],
+            lanes_per_core: vec![2, 4],
+            l1_kib: vec![192],
+            l2_mib: vec![48],
+            hbm_tb_s: vec![2.4, 2.8],
+            device_bw_gb_s: vec![600.0],
+        }
+        .candidates(4800.0)
+    }
+
+    #[test]
+    fn every_standard_case_is_clean_on_a_small_sweep() {
+        let candidates = small_candidates();
+        let harness = Differential::paper_default();
+        for case in standard_suite() {
+            harness.run(&candidates, &case).assert_clean();
+        }
+    }
+
+    #[test]
+    fn a_genuine_divergence_is_reported_not_swallowed() {
+        // Rescaled inputs compared under Exact tolerance must be dirty.
+        // Neat two-decimal axis values survive `x * 1000.0 / 1000.0`
+        // bit-exactly (and the hbm axis is quantized through GB/s by the
+        // config builder, which collapses ulp drift), so this sweep pins
+        // a device-bandwidth value whose round-trip drift provably
+        // survives the builder's per-PHY division as well.
+        let device_bw = 729.995_002_337_923_f64;
+        let rt = device_bw * 1000.0 / 1000.0;
+        assert_ne!(rt.to_bits(), device_bw.to_bits(), "axis value must drift under rescale");
+        assert_ne!(
+            ((rt / 12.0) * 12.0).to_bits(),
+            ((device_bw / 12.0) * 12.0).to_bits(),
+            "the drift must survive the 12-PHY split"
+        );
+        let candidates = SweepSpec {
+            systolic_dims: vec![16, 32],
+            lanes_per_core: vec![2, 4],
+            l1_kib: vec![192],
+            l2_mib: vec![48],
+            hbm_tb_s: vec![2.4],
+            device_bw_gb_s: vec![device_bw],
+        }
+        .candidates(4800.0);
+        let harness = Differential::paper_default();
+        let case = DiffCase {
+            label: "rescale-under-exact".to_owned(),
+            left: Arm::plain(EvalPath::Planned),
+            right: Arm { path: EvalPath::Planned, transform: Transform::RescaleUnits },
+            tolerance: Tolerance::Exact,
+        };
+        let report = harness.run(&candidates, &case);
+        assert!(!report.is_clean(), "ulp-level input drift must fail an exact diff");
+    }
+
+    #[test]
+    fn permutation_uses_set_discipline() {
+        let candidates = small_candidates();
+        let harness = Differential::paper_default();
+        let case = DiffCase::metamorphic(
+            "permute",
+            EvalPath::Planned,
+            Transform::PermuteOrder { seed: 99 },
+        );
+        harness.run(&candidates, &case).assert_clean();
+    }
+
+    #[test]
+    fn faulted_candidates_diff_cleanly_including_the_ledger() {
+        let mut candidates = small_candidates();
+        let injected = acs_dse::inject_faults(&mut candidates, 3);
+        assert!(!injected.is_empty());
+        let harness = Differential::paper_default();
+        harness
+            .run(&candidates, &DiffCase::paths("faulted", EvalPath::Factored, EvalPath::Legacy))
+            .assert_clean();
+        harness
+            .run(
+                &candidates,
+                &DiffCase::metamorphic(
+                    "faulted-permute",
+                    EvalPath::Factored,
+                    Transform::PermuteOrder { seed: 7 },
+                ),
+            )
+            .assert_clean();
+    }
+}

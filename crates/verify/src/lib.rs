@@ -1,0 +1,45 @@
+//! `acs-verify`: the trust-but-verify harness.
+//!
+//! The reproduction carries three coexisting evaluation paths (legacy,
+//! planned, factored) and a network-facing query tier; every refactor
+//! so far bought its safety with a bespoke golden test. This crate
+//! replaces that with four reusable instruments:
+//!
+//! - [`differential`] — a generic runner that evaluates any two
+//!   (path, transform) arms over a sweep and diffs digests, per-point
+//!   values, and failure ledgers under a [`tolerance`] class. The
+//!   built-in metamorphic transforms (candidate permutation, unit
+//!   rescaling, cache on/off, thread-count pinning) turn "this refactor
+//!   moved nothing" into one declarative [`differential::DiffCase`].
+//! - [`corpus`] — a blessed snapshot of sweep digests and anchor values
+//!   (`crates/verify/corpus/golden.json`) every PR is diffed against,
+//!   regenerated with `acs-verify corpus --bless`.
+//! - [`fuzz`] — a SplitMix64-seeded structured fuzzer for the HTTP
+//!   surface and the JSON/CSV codecs: no-panic, round-trip, and
+//!   no-worker-death invariants, with findings hex-encoded for the
+//!   [`regressions`] corpus.
+//! - [`chaos`] — socket-fault rounds against a live server (torn reads,
+//!   partial writes, stalls, disconnects on both ends of the wire),
+//!   asserting the service stays healthy after the storm.
+//!
+//! The `acs-verify` binary drives all four; `scripts/ci.sh` runs the
+//! corpus diff, a fixed-seed fuzz smoke, and one chaos round on every
+//! build.
+
+pub mod chaos;
+pub mod corpus;
+pub mod differential;
+pub mod fuzz;
+pub mod regressions;
+pub mod tolerance;
+
+pub use chaos::{run_chaos, ChaosConfig, ChaosRound};
+pub use corpus::{
+    bless_corpus, check_corpus, compute_snapshot, default_corpus_path, regressions_dir, Snapshot,
+};
+pub use differential::{
+    design_digest, standard_suite, Arm, DiffCase, DiffReport, Differential, EvalPath, Transform,
+};
+pub use fuzz::{run_fuzz, FuzzReport, FuzzTarget};
+pub use regressions::replay_dir;
+pub use tolerance::{ulps_apart, Tolerance};

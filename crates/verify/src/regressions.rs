@@ -1,0 +1,151 @@
+//! Replay of fuzzer-found regression inputs.
+//!
+//! Every input that ever violated (or nearly violated) a parse-boundary
+//! invariant is checked into `crates/verify/corpus/regressions/` as a
+//! small JSON file — target tag, hex-encoded bytes (inputs are
+//! arbitrary, often non-UTF-8), expected disposition, and a note on
+//! what it once broke. [`replay_dir`] runs each one back through
+//! [`crate::fuzz::run_target`]; the crate's test suite and `acs-verify
+//! fuzz` both call it, so a past crash can never quietly return.
+
+use crate::fuzz::{from_hex, run_target, FuzzTarget, TargetOutcome};
+use acs_errors::json::parse;
+use acs_errors::AcsError;
+use acs_serve::AppState;
+use std::path::Path;
+
+/// What a regression input is expected to do today (after its fix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Must parse and honour every invariant.
+    Accept,
+    /// Must be rejected with a typed error.
+    Reject,
+    /// Either is fine — only "no invariant violation" is asserted.
+    Any,
+}
+
+impl Expectation {
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "accept" => Some(Expectation::Accept),
+            "reject" => Some(Expectation::Reject),
+            "any" => Some(Expectation::Any),
+            _ => None,
+        }
+    }
+}
+
+/// One checked-in regression input.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Source file name (for failure messages).
+    pub file: String,
+    /// Which parse boundary it targets.
+    pub target: FuzzTarget,
+    /// The raw input bytes.
+    pub input: Vec<u8>,
+    /// Expected disposition.
+    pub expect: Expectation,
+    /// What this input once broke.
+    pub note: String,
+}
+
+fn malformed(file: &Path, reason: impl Into<String>) -> AcsError {
+    AcsError::MalformedRecord { record: file.display().to_string(), reason: reason.into() }
+}
+
+/// Load every `*.json` regression file in `dir` (sorted by name, so
+/// replay order — and any failure output — is deterministic).
+///
+/// # Errors
+///
+/// [`AcsError::Io`] when the directory is unreadable and
+/// [`AcsError::MalformedRecord`] for a file that does not follow the
+/// regression schema.
+pub fn load_dir(dir: &Path) -> Result<Vec<Regression>, AcsError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| AcsError::Io {
+        path: dir.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut regressions = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).map_err(|e| AcsError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let doc = parse(&text).map_err(|e| malformed(&path, format!("not JSON: {e}")))?;
+        let target = FuzzTarget::from_tag(doc.require_str("target")?)
+            .ok_or_else(|| malformed(&path, "unknown target tag"))?;
+        let input = from_hex(doc.require_str("hex")?)
+            .ok_or_else(|| malformed(&path, "hex field is not valid hex"))?;
+        let expect = Expectation::from_tag(doc.require_str("expect")?)
+            .ok_or_else(|| malformed(&path, "expect must be accept|reject|any"))?;
+        regressions.push(Regression {
+            file: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            target,
+            input,
+            expect,
+            note: doc.require_str("note")?.to_owned(),
+        });
+    }
+    Ok(regressions)
+}
+
+/// Replay every regression in `dir`. Returns one line per failure;
+/// empty means every past crash stays fixed.
+///
+/// # Errors
+///
+/// Propagates [`load_dir`] errors — an unreadable or malformed corpus
+/// is itself a failure, not a skip.
+pub fn replay_dir(dir: &Path) -> Result<Vec<String>, AcsError> {
+    let regressions = load_dir(dir)?;
+    if regressions.is_empty() {
+        return Err(malformed(dir, "regression corpus is empty — nothing was replayed"));
+    }
+    let state = AppState::new(64);
+    let mut failures = Vec::new();
+    for r in &regressions {
+        let outcome = run_target(r.target, &r.input, &state, None);
+        let verdict = match (&outcome, r.expect) {
+            (TargetOutcome::Violated(message), _) => {
+                Some(format!("violated an invariant again: {message}"))
+            }
+            (TargetOutcome::Accepted, Expectation::Reject) => {
+                Some("was accepted but must be rejected".to_owned())
+            }
+            (TargetOutcome::Rejected, Expectation::Accept) => {
+                Some("was rejected but must be accepted".to_owned())
+            }
+            _ => None,
+        };
+        if let Some(verdict) = verdict {
+            failures.push(format!("{} [{}] ({}): {verdict}", r.file, r.target, r.note));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::regressions_dir;
+
+    /// The satellite's acceptance test: every checked-in fuzzer-found
+    /// input replays clean against today's code.
+    #[test]
+    fn checked_in_regressions_stay_fixed() {
+        let failures = replay_dir(&regressions_dir()).expect("regression corpus loads");
+        assert!(failures.is_empty(), "regressions resurfaced:\n{}", failures.join("\n"));
+    }
+}

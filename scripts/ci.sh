@@ -16,6 +16,18 @@ cargo test -q --locked --offline --test fault_injection
 echo "==> factored-evaluator golden equivalence (bit-identity vs planned path)"
 cargo test -q --release --locked --offline --test factored_equivalence
 
+echo "==> verification harness (golden corpus, seeded fuzz, socket chaos)"
+# Golden-corpus diff: the blessed sweep digests and paper anchors in
+# crates/verify/corpus/golden.json must be bit-identical to a fresh
+# evaluation. Then a fixed-seed structured fuzz pass (10k mutations over
+# the HTTP surface and the JSON/CSV codecs, plus the checked-in
+# regression corpus) and one socket-fault chaos round against a live
+# server, all of which must end with zero findings and a healthy server.
+cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- corpus
+cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- diff
+cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- fuzz --iters 10000 --seed 1
+cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- chaos --rounds 1 --seed 1
+
 echo "==> quickstart example"
 cargo run -q --release --locked --offline --example quickstart >/dev/null
 echo "ok"

@@ -1,30 +1,15 @@
 //! Golden equivalence between the factored sweep evaluator and the
-//! planned pipeline it memoises.
+//! planned pipeline it memoises, expressed as differential cases.
 //!
 //! The factored evaluator replaces per-point pricing with lookups into
 //! dependency-keyed leg tables plus a `max()` combine. That is a pure
-//! caching change: it must not move a single bit of any result. These
-//! tests drive both pipelines over large sweeps — including injected
-//! faults, mixed datatypes, and permuted axis orders — and compare the
-//! canonical JSON digests of every evaluated design plus the full
-//! failure ledger.
+//! caching change: it must not move a single bit of any result. The
+//! comparison machinery lives in `acs_verify::differential`; these tests
+//! only declare *which* arms over *which* sweep.
 
-use acs_cache::CacheKey;
-use acs_dse::{inject_faults, DseRunner, EvaluatedDesign, SweepSpec};
+use acs_dse::{inject_faults, SweepSpec};
 use acs_hw::{DataType, DeviceConfig};
-use acs_llm::{ModelConfig, WorkloadConfig};
-
-/// Canonical content digest of one evaluated design. Any drift in any
-/// field — including the float bit patterns, which the canonical codec
-/// round-trips exactly — changes this value.
-fn design_digest(design: &EvaluatedDesign) -> u64 {
-    let value = design.to_json_value().expect("evaluated designs serialise");
-    CacheKey::from_value(&value).digest()
-}
-
-fn runner() -> DseRunner {
-    DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
-}
+use acs_verify::{design_digest, DiffCase, Differential, EvalPath, Transform};
 
 #[test]
 fn factored_sweep_is_bit_identical_to_planned_with_faults() {
@@ -36,34 +21,12 @@ fn factored_sweep_is_bit_identical_to_planned_with_faults() {
     let injected = inject_faults(&mut candidates, 7);
     assert!(!injected.is_empty());
 
-    let factored = runner().run_report_factored(&candidates);
-    let planned = runner().run_report(&candidates);
-
-    assert_eq!(factored.total(), candidates.len());
-    assert_eq!(factored.total(), planned.total());
-
-    // Failure ledger: same indices, same candidate names, same kinds.
-    assert_eq!(factored.failures.len(), planned.failures.len());
-    for (f, p) in factored.failures.iter().zip(&planned.failures) {
-        assert_eq!(f.index, p.index);
-        assert_eq!(f.params, p.params);
-        assert_eq!(f.kind(), p.kind());
-    }
-
-    // Successes: same indices, and canonically identical content.
-    assert_eq!(factored.designs.len(), planned.designs.len());
-    assert!(!factored.designs.is_empty());
-    for ((fi, fd), (pi, pd)) in factored.designs.iter().zip(&planned.designs) {
-        assert_eq!(fi, pi);
-        assert_eq!(
-            design_digest(fd),
-            design_digest(pd),
-            "design {} diverged between factored and planned pipelines",
-            fd.name
-        );
-        assert_eq!(fd.ttft_s.to_bits(), pd.ttft_s.to_bits());
-        assert_eq!(fd.tbt_s.to_bits(), pd.tbt_s.to_bits());
-    }
+    let case = DiffCase::paths("factored-vs-planned-faulted", EvalPath::Factored, EvalPath::Planned);
+    let report = Differential::paper_default().run(&candidates, &case);
+    assert_eq!(report.points, candidates.len());
+    assert!(report.ok > 0, "the sweep must produce successes");
+    assert!(report.failed > 0, "the injected faults must reach the ledger");
+    report.assert_clean();
 }
 
 #[test]
@@ -71,7 +34,9 @@ fn factored_sweep_is_bit_identical_across_mixed_dtypes() {
     // A sweep whose devices alternate int8 / fp16 / fp32 exercises one
     // leg-table key set per datatype in a single run: the compute and
     // memory keys carry the dtype, and — because allreduce payloads scale
-    // with operand width — so does the comm key.
+    // with operand width — so does the comm key. Datatype lives on the
+    // DeviceConfig rather than the swept candidate axes, so this
+    // comparison runs config-by-config.
     let base = SweepSpec::table3_fig6().configs(4800.0);
     let configs: Vec<DeviceConfig> = base
         .iter()
@@ -88,15 +53,18 @@ fn factored_sweep_is_bit_identical_across_mixed_dtypes() {
         .collect();
     assert_eq!(configs.len(), 48);
 
-    let r = runner();
+    let r = acs_dse::DseRunner::new(
+        acs_llm::ModelConfig::llama3_8b(),
+        acs_llm::WorkloadConfig::paper_default(),
+    );
     let factored = r.run_configs_factored(&configs);
     let planned = r.run_configs(&configs);
     for ((cfg, f), p) in configs.iter().zip(&factored).zip(&planned) {
         let f = f.as_ref().expect("healthy configs evaluate on the factored path");
         let p = p.as_ref().expect("healthy configs evaluate on the planned path");
         assert_eq!(
-            design_digest(f),
-            design_digest(p),
+            design_digest(f).expect("designs serialise"),
+            design_digest(p).expect("designs serialise"),
             "dtype {:?} diverged between factored and planned pipelines",
             cfg.datatype()
         );
@@ -104,10 +72,12 @@ fn factored_sweep_is_bit_identical_across_mixed_dtypes() {
 }
 
 #[test]
-fn axis_value_permutation_does_not_move_factored_results() {
-    // The same axis value *sets* in a different order must produce the
-    // same per-design results: leg keys derive from parameter values, not
-    // lattice positions, so a permuted sweep hits the same table entries.
+fn candidate_permutation_does_not_move_factored_results() {
+    // The same candidates in any order must produce the same per-design
+    // results: leg keys derive from parameter values, not lattice
+    // positions, so a shuffled sweep hits the same table entries. The
+    // differential runner switches to set discipline automatically for
+    // reordering transforms — (name, digest) multisets, bit for bit.
     let spec = SweepSpec {
         systolic_dims: vec![16, 32],
         lanes_per_core: vec![2, 4, 8],
@@ -116,29 +86,15 @@ fn axis_value_permutation_does_not_move_factored_results() {
         hbm_tb_s: vec![2.0, 2.8, 3.2],
         device_bw_gb_s: vec![500.0, 900.0],
     };
-    let permuted = SweepSpec {
-        systolic_dims: vec![32, 16],
-        lanes_per_core: vec![8, 2, 4],
-        l1_kib: vec![1024, 192, 512],
-        l2_mib: vec![64, 32],
-        hbm_tb_s: vec![3.2, 2.0, 2.8],
-        device_bw_gb_s: vec![900.0, 500.0],
-    };
+    let candidates = spec.candidates(4800.0);
+    assert_eq!(candidates.len(), spec.cardinality());
 
-    let r = runner();
-    let original = r.run_factored(&spec, 4800.0);
-    let shuffled = r.run_factored(&permuted, 4800.0);
-    assert_eq!(original.total(), spec.cardinality());
-    assert_eq!(original.total(), shuffled.total());
-    assert_eq!(original.failures.len(), shuffled.failures.len());
-
-    // Designs land at different sweep indices but must be the same set
-    // of (name, digest) pairs, bit for bit.
-    let digests = |report: &acs_dse::SweepReport| {
-        let mut v: Vec<(String, u64)> =
-            report.successes().map(|d| (d.name.clone(), design_digest(d))).collect();
-        v.sort();
-        v
-    };
-    assert_eq!(digests(&original), digests(&shuffled));
+    let case = DiffCase::metamorphic(
+        "factored-shuffled",
+        EvalPath::Factored,
+        Transform::PermuteOrder { seed: 0xACE5 },
+    );
+    let report = Differential::paper_default().run(&candidates, &case);
+    assert_eq!(report.points, candidates.len());
+    report.assert_clean();
 }

@@ -1,29 +1,15 @@
 //! Golden equivalence between the planned sweep pipeline and the legacy
-//! per-point pipeline.
+//! per-point pipeline, expressed as differential cases.
 //!
 //! The plan-then-execute split (`LayerPlan` built once per sweep, priced
 //! per point) is a pure scheduling change: it must not move a single bit
-//! of any result. These tests drive both pipelines over a large sweep —
-//! including injected faults and mixed datatypes — and compare the
-//! canonical JSON digests of every evaluated design plus the full
-//! failure ledger.
+//! of any result. The comparison machinery — canonical digests, failure
+//! ledgers, paired/set disciplines — lives in `acs_verify::differential`;
+//! these tests only declare *which* arms over *which* sweep.
 
-use acs_cache::CacheKey;
-use acs_dse::{inject_faults, DseRunner, EvaluatedDesign, SweepSpec};
+use acs_dse::{inject_faults, SweepSpec};
 use acs_hw::{DataType, DeviceConfig};
-use acs_llm::{ModelConfig, WorkloadConfig};
-
-/// Canonical content digest of one evaluated design. Any drift in any
-/// field — including the float bit patterns, which the canonical codec
-/// round-trips exactly — changes this value.
-fn design_digest(design: &EvaluatedDesign) -> u64 {
-    let value = design.to_json_value().expect("evaluated designs serialise");
-    CacheKey::from_value(&value).digest()
-}
-
-fn runner() -> DseRunner {
-    DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
-}
+use acs_verify::{design_digest, DiffCase, Differential, EvalPath, Transform};
 
 #[test]
 fn planned_sweep_is_bit_identical_to_legacy_with_faults() {
@@ -35,40 +21,40 @@ fn planned_sweep_is_bit_identical_to_legacy_with_faults() {
     let injected = inject_faults(&mut candidates, 7);
     assert!(!injected.is_empty());
 
-    let planned = runner().run_report(&candidates);
-    let legacy = runner().run_report_legacy(&candidates);
+    let case = DiffCase::paths("planned-vs-legacy-faulted", EvalPath::Planned, EvalPath::Legacy);
+    let report = Differential::paper_default().run(&candidates, &case);
+    assert_eq!(report.points, candidates.len());
+    assert!(report.ok > 0, "the sweep must produce successes");
+    assert!(report.failed > 0, "the injected faults must reach the ledger");
+    report.assert_clean();
+}
 
-    assert_eq!(planned.total(), candidates.len());
-    assert_eq!(planned.total(), legacy.total());
-
-    // Failure ledger: same indices, same candidate names, same kinds.
-    assert_eq!(planned.failures.len(), legacy.failures.len());
-    for (p, l) in planned.failures.iter().zip(&legacy.failures) {
-        assert_eq!(p.index, l.index);
-        assert_eq!(p.params, l.params);
-        assert_eq!(p.kind(), l.kind());
-    }
-
-    // Successes: same indices, and canonically identical content.
-    assert_eq!(planned.designs.len(), legacy.designs.len());
-    assert!(!planned.designs.is_empty());
-    for ((pi, pd), (li, ld)) in planned.designs.iter().zip(&legacy.designs) {
-        assert_eq!(pi, li);
-        assert_eq!(
-            design_digest(pd),
-            design_digest(ld),
-            "design {} diverged between planned and legacy pipelines",
-            pd.name
-        );
-        assert_eq!(pd.ttft_s.to_bits(), ld.ttft_s.to_bits());
-        assert_eq!(pd.tbt_s.to_bits(), ld.tbt_s.to_bits());
+#[test]
+fn planned_sweep_is_unmoved_by_cache_threads_and_order() {
+    // The same faulted sweep under every metamorphic transform the
+    // planned pipeline promises to be invariant to: a memoization cache,
+    // a pinned scheduler, and a shuffled candidate order.
+    let mut candidates = SweepSpec::table3_fig6().candidates(4800.0);
+    inject_faults(&mut candidates, 7);
+    let harness = Differential::paper_default();
+    for transform in [
+        Transform::WarmCache,
+        Transform::Threads(1),
+        Transform::Threads(3),
+        Transform::PermuteOrder { seed: 0x51AB },
+    ] {
+        let label = format!("planned-{transform}");
+        let case = DiffCase::metamorphic(&label, EvalPath::Planned, transform);
+        harness.run(&candidates, &case).assert_clean();
     }
 }
 
 #[test]
 fn planned_sweep_is_bit_identical_across_mixed_dtypes() {
     // A sweep whose devices alternate int8 / fp16 / fp32 exercises one
-    // plan pair per datatype width in a single run.
+    // plan pair per datatype width in a single run. Datatype lives on
+    // the DeviceConfig rather than the swept candidate axes, so this
+    // comparison runs config-by-config.
     let base = SweepSpec::table3_fig6().configs(4800.0);
     let configs: Vec<DeviceConfig> = base
         .iter()
@@ -85,14 +71,17 @@ fn planned_sweep_is_bit_identical_across_mixed_dtypes() {
         .collect();
     assert_eq!(configs.len(), 48);
 
-    let r = runner();
+    let r = acs_dse::DseRunner::new(
+        acs_llm::ModelConfig::llama3_8b(),
+        acs_llm::WorkloadConfig::paper_default(),
+    );
     let parallel_planned = r.run_configs(&configs);
     for (cfg, outcome) in configs.iter().zip(&parallel_planned) {
         let planned = outcome.as_ref().expect("healthy configs evaluate");
         let legacy = r.try_evaluate_legacy(cfg).expect("legacy path agrees on health");
         assert_eq!(
-            design_digest(planned),
-            design_digest(&legacy),
+            design_digest(planned).expect("designs serialise"),
+            design_digest(&legacy).expect("designs serialise"),
             "dtype {:?} diverged between planned and legacy pipelines",
             cfg.datatype()
         );
