@@ -127,6 +127,24 @@ impl SweepSpec {
         }
     }
 
+    /// A 4096-point synthetic design fleet for fleet-scale policy
+    /// what-ifs (`acs-whatif`): four values on every axis, spanning the
+    /// Table 3 and Table 5 ranges so the fleet mixes designs on both
+    /// sides of the published thresholds. Every (dim, lanes) pair is
+    /// feasible at the 4800-TPP operating point, so the fleet
+    /// materialises in full.
+    #[must_use]
+    pub fn synthetic_fleet() -> Self {
+        SweepSpec {
+            systolic_dims: vec![8, 16, 24, 32],
+            lanes_per_core: vec![1, 2, 4, 8],
+            l1_kib: vec![64, 192, 512, 1024],
+            l2_mib: vec![16, 32, 48, 80],
+            hbm_tb_s: vec![0.8, 1.6, 2.4, 3.2],
+            device_bw_gb_s: vec![400.0, 600.0, 800.0, 1000.0],
+        }
+    }
+
     /// Number of sweep points (before TPP feasibility filtering).
     #[must_use]
     pub fn cardinality(&self) -> usize {
@@ -202,6 +220,13 @@ mod tests {
         assert_eq!(SweepSpec::table3_fig6().cardinality(), 512);
         assert_eq!(SweepSpec::table3_fig7().cardinality(), 1536);
         assert_eq!(SweepSpec::table5().cardinality(), 2304);
+    }
+
+    #[test]
+    fn synthetic_fleet_materialises_in_full() {
+        let spec = SweepSpec::synthetic_fleet();
+        assert_eq!(spec.cardinality(), 4096);
+        assert_eq!(spec.candidates(4800.0).len(), 4096);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Hypothetical rule variants the paper's §5 floats but no regulation
+//! has enacted — parameterized so the what-if engine (`acs-whatif`) can
+//! sweep them next to the published generations.
+
+use crate::classification::Classification;
+use crate::metrics::DeviceMetrics;
+
+/// A hypothetical device-level memory-bandwidth control: license
+/// required for any device whose *memory* bandwidth (HBM/GDDR, not the
+/// interconnect bandwidth the 2022 rule reads) exceeds a threshold.
+///
+/// The paper discusses an 800 GB/s variant that would catch consumer
+/// GDDR6X parts the TPP rules miss. The threshold is exclusive — a
+/// device is controlled only when it sits strictly *above* the line —
+/// matching the "above a hypothetical threshold" framing of §5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemBwRule {
+    /// License threshold on device memory bandwidth in GB/s (exclusive).
+    pub license_threshold_gb_s: f64,
+}
+
+impl MemBwRule {
+    /// The §5 discussion value: 800 GB/s.
+    #[must_use]
+    pub fn published() -> Self {
+        MemBwRule { license_threshold_gb_s: 800.0 }
+    }
+
+    /// Classify a device on its memory bandwidth alone.
+    #[must_use]
+    pub fn classify(&self, metrics: &DeviceMetrics) -> Classification {
+        if metrics.mem_bw_gb_s() > self.license_threshold_gb_s {
+            Classification::LicenseRequired
+        } else {
+            Classification::NotApplicable
+        }
+    }
+}
+
+impl Default for MemBwRule {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::MarketSegment;
+
+    fn dev(mem_bw: f64) -> DeviceMetrics {
+        DeviceMetrics::new("d", 1000.0, 400.0, 300.0, true, MarketSegment::NonDataCenter)
+            .with_memory(16.0, mem_bw)
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let rule = MemBwRule::published();
+        assert_eq!(rule.classify(&dev(800.0)), Classification::NotApplicable);
+        assert_eq!(rule.classify(&dev(800.1)), Classification::LicenseRequired);
+        assert_eq!(rule.classify(&dev(2039.0)), Classification::LicenseRequired);
+    }
+
+    #[test]
+    fn zero_threshold_catches_any_device_with_memory() {
+        let rule = MemBwRule { license_threshold_gb_s: 0.0 };
+        assert_eq!(rule.classify(&dev(1.0)), Classification::LicenseRequired);
+        // A device with no recorded memory bandwidth stays out even at 0.
+        assert_eq!(rule.classify(&dev(0.0)), Classification::NotApplicable);
+    }
+}

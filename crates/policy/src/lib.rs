@@ -42,6 +42,7 @@
 pub mod classification;
 pub mod diffusion2025;
 pub mod hbm2024;
+pub mod hypothetical;
 pub mod legacy;
 pub mod metrics;
 pub mod oct2022;
@@ -52,6 +53,7 @@ pub mod timeline;
 pub use classification::{Classification, MarketSegment};
 pub use diffusion2025::{DiffusionQuota, ExportLedger};
 pub use hbm2024::{HbmClassification, HbmPackage, HbmRule2024};
+pub use hypothetical::MemBwRule;
 pub use metrics::DeviceMetrics;
 pub use oct2022::Acr2022;
 pub use oct2023::Acr2023;

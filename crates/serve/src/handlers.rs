@@ -24,12 +24,18 @@ use acs_policy::{
 };
 use acs_sim::{simulate_serving_cached, PlanStore, ServingConfig, Simulator, StepCostCache};
 use acs_telemetry::{Counter, Gauge, Histogram, Registry};
+use acs_whatif::{WhatIfEngine, WhatIfRequest, RuleGrid};
+use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Request-latency endpoint labels, indexing [`AppState::latency`] and
 /// naming the `serve.latency_us.*` histograms.
-const ENDPOINTS: [&str; 5] = ["screen", "simulate", "devices", "metrics", "other"];
+const ENDPOINTS: [&str; 6] = ["screen", "simulate", "devices", "metrics", "whatif", "other"];
+
+/// [`ENDPOINTS`] index of `/v1/whatif` (used by the streaming entry
+/// point, which bypasses [`handle`]'s routing).
+const WHATIF_ENDPOINT: usize = 4;
 
 /// Shared service state: the device database, the response caches, and
 /// the service's own always-enabled telemetry [`Registry`] — the single
@@ -41,22 +47,28 @@ pub struct AppState {
     screen_cache: ShardedCache<String>,
     simulate_cache: ShardedCache<String>,
     step_cache: StepCostCache,
+    whatif_cache: ShardedCache<String>,
     plan_store: PlanStore,
     // The grid evaluator. Its factored leg tables live inside the runner
     // and persist for the service's lifetime, so every /v1/screen grid
-    // request prices only the legs no earlier request has priced.
+    // request — and every /v1/whatif fleet — prices only the legs no
+    // earlier request has priced.
     dse: DseRunner,
+    // The what-if screener: the curated portfolio, the reference HBM
+    // stacks, and the externality economics, shared across requests.
+    whatif: WhatIfEngine,
     telemetry: Arc<Registry>,
     screen_requests: Arc<Counter>,
     simulate_requests: Arc<Counter>,
     device_requests: Arc<Counter>,
     metrics_requests: Arc<Counter>,
+    whatif_requests: Arc<Counter>,
     error_responses: Arc<Counter>,
     shed_responses: Arc<Counter>,
     deadline_closed: Arc<Counter>,
     chaos_faults: Arc<Counter>,
     queue_depth: Arc<Gauge>,
-    latency: [Arc<Histogram>; 5],
+    latency: [Arc<Histogram>; 6],
     started: Instant,
 }
 
@@ -77,14 +89,17 @@ impl AppState {
             screen_cache: ShardedCache::new(cache_capacity),
             simulate_cache: ShardedCache::new(cache_capacity),
             step_cache: StepCostCache::new(cache_capacity.max(1024)),
+            whatif_cache: ShardedCache::new(cache_capacity),
             // Plans are tiny (one operator graph pair per distinct
             // model/workload/node shape), so a small store suffices.
             plan_store: PlanStore::new(64),
             dse: DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default()),
+            whatif: WhatIfEngine::paper_default(),
             screen_requests: telemetry.counter("serve.requests.screen"),
             simulate_requests: telemetry.counter("serve.requests.simulate"),
             device_requests: telemetry.counter("serve.requests.devices"),
             metrics_requests: telemetry.counter("serve.requests.metrics"),
+            whatif_requests: telemetry.counter("serve.requests.whatif"),
             error_responses: telemetry.counter("serve.requests.errors"),
             shed_responses: telemetry.counter("serve.queue.shed"),
             deadline_closed: telemetry.counter("serve.conn.deadline_closed"),
@@ -97,10 +112,15 @@ impl AppState {
     }
 
     /// Counters of the response caches, in `/v1/metrics` order
-    /// (screen, simulate, sim-steps).
+    /// (screen, simulate, sim-steps, whatif).
     #[must_use]
-    pub fn cache_stats(&self) -> [CacheStats; 3] {
-        [self.screen_cache.stats(), self.simulate_cache.stats(), self.step_cache.stats()]
+    pub fn cache_stats(&self) -> [CacheStats; 4] {
+        [
+            self.screen_cache.stats(),
+            self.simulate_cache.stats(),
+            self.step_cache.stats(),
+            self.whatif_cache.stats(),
+        ]
     }
 
     /// The service's telemetry registry (always enabled).
@@ -140,6 +160,7 @@ impl AppState {
             ("screen", self.screen_cache.stats(), self.screen_cache.len()),
             ("simulate", self.simulate_cache.stats(), self.simulate_cache.len()),
             ("sim_steps", self.step_cache.stats(), self.step_cache.len()),
+            ("whatif", self.whatif_cache.stats(), self.whatif_cache.len()),
         ];
         for (name, stats, len) in caches {
             self.telemetry.set_gauge(&format!("serve.cache.{name}.hits"), stats.hits);
@@ -189,7 +210,8 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
         "/v1/simulate" => 1,
         p if p == "/v1/devices" || p.starts_with("/v1/devices/") => 2,
         "/v1/metrics" => 3,
-        _ => 4,
+        "/v1/whatif" => WHATIF_ENDPOINT,
+        _ => 5,
     };
     let outcome: Result<String, (u16, String)> = match (request.method.as_str(), path) {
         ("POST", "/v1/screen") => {
@@ -199,6 +221,10 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
         ("POST", "/v1/simulate") => {
             state.simulate_requests.add(1);
             simulate(state, &request.body).map_err(|e| err(&e))
+        }
+        ("POST", "/v1/whatif") => {
+            state.whatif_requests.add(1);
+            whatif(state, &request.body).map_err(|e| err(&e))
         }
         ("GET", "/v1/devices") => {
             state.device_requests.add(1);
@@ -213,7 +239,7 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
             state.metrics_requests.add(1);
             Ok(metrics(state))
         }
-        (m, "/v1/screen" | "/v1/simulate" | "/v1/devices" | "/v1/metrics") => {
+        (m, "/v1/screen" | "/v1/simulate" | "/v1/devices" | "/v1/metrics" | "/v1/whatif") => {
             let e = AcsError::Protocol { reason: format!("method {m} not allowed on {path}") };
             let (_, body) = err(&e);
             Err((405, body))
@@ -631,6 +657,157 @@ fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
     Ok(response)
 }
 
+/// Normalised canonical form of a rule grid for cache keys: every axis
+/// filled in (the parser defaults missing axes to their published
+/// values), so `{"rule":{...}}` and the equivalent one-point
+/// `{"grid":{...}}` share one cache entry.
+fn whatif_fingerprint(grid: &RuleGrid) -> Value {
+    let axis = |xs: &[f64]| Value::Array(xs.iter().copied().map(Value::Number).collect());
+    object(vec![
+        ("tpp_threshold_2022", axis(&grid.tpp_threshold_2022)),
+        ("device_bw_threshold_2022", axis(&grid.device_bw_threshold_2022)),
+        ("tpp_license", axis(&grid.tpp_license)),
+        ("tpp_floor", axis(&grid.tpp_floor)),
+        ("tpp_nac", axis(&grid.tpp_nac)),
+        ("pd_license", axis(&grid.pd_license)),
+        ("pd_nac_high", axis(&grid.pd_nac_high)),
+        ("pd_nac_low", axis(&grid.pd_nac_low)),
+        ("mem_bw_license", axis(&grid.mem_bw_license)),
+        ("hbm_control_density", axis(&grid.hbm_control_density)),
+        ("hbm_exception_density", axis(&grid.hbm_exception_density)),
+    ])
+}
+
+/// Compute — or replay from the response cache — the `/v1/whatif` line
+/// stream: one canonical-JSON record per rule variant in grid order,
+/// then one summary trailer line. On a cache miss each line reaches
+/// `sink` the moment the engine completes it (the streaming transport's
+/// hook); on a hit the cached lines replay through the same sink. A
+/// sink error aborts the run without caching anything.
+fn whatif_lines<F>(state: &AppState, body: &str, mut sink: F) -> Result<(), AcsError>
+where
+    F: FnMut(&str) -> Result<(), AcsError>,
+{
+    let request = WhatIfRequest::from_json(&parse(body)?)?;
+    let key = CacheKey::from_value(&object(vec![
+        ("v", Value::String("whatif-v1".to_owned())),
+        ("grid", whatif_fingerprint(&request.grid)),
+        ("tpp", Value::Number(request.tpp_target)),
+    ]));
+    let (text, hit) = state.whatif_cache.get_or_try_insert(&key, || {
+        // The fleet prices through the state's factored runner, so its
+        // cost legs persist across requests: the first what-if pays for
+        // the fleet, every later one (any grid, same target) re-screens
+        // it at classification cost.
+        let report = state.dse.run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target);
+        let fleet_failures = report.failures.len();
+        let fleet: Vec<_> = report.designs.into_iter().map(|(_, design)| design).collect();
+        let mut lines = Vec::with_capacity(request.grid.cardinality() + 1);
+        let summary = state.whatif.run_streaming(&request.grid, &fleet, |_, record| {
+            let line = record.to_json();
+            sink(&line)?;
+            lines.push(line);
+            Ok(())
+        })?;
+        let trailer = object(vec![
+            ("variants", Value::Number(summary.variants as f64)),
+            ("devices", Value::Number(summary.devices as f64)),
+            ("fleet_designs", Value::Number(summary.fleet_designs as f64)),
+            ("fleet_failures", Value::Number(fleet_failures as f64)),
+            ("tpp_target", Value::Number(request.tpp_target)),
+        ])
+        .to_json();
+        sink(&trailer)?;
+        lines.push(trailer);
+        Ok::<_, AcsError>(lines.join("\n"))
+    })?;
+    if hit {
+        for line in text.lines() {
+            sink(line)?;
+        }
+    }
+    Ok(())
+}
+
+/// `POST /v1/whatif` — screen a rule regime (or a whole grid of them)
+/// against the curated device DB and the priced synthetic design fleet.
+/// This is the buffered form [`handle`] routes to: the whole stream
+/// collected into one JSON document (`{"summary":..,"records":[..]}`).
+/// The connection layer streams the same lines incrementally instead
+/// ([`handle_whatif_streaming`]).
+fn whatif(state: &AppState, body: &str) -> Result<String, AcsError> {
+    let mut lines: Vec<String> = Vec::new();
+    whatif_lines(state, body, |line| {
+        lines.push(line.to_owned());
+        Ok(())
+    })?;
+    let summary = lines.pop().ok_or_else(|| AcsError::Protocol {
+        reason: "what-if stream produced no trailer".to_owned(),
+    })?;
+    // Every line is already canonical JSON; splice them textually rather
+    // than re-parsing a potentially large record set.
+    let body_len: usize = lines.iter().map(|l| l.len() + 1).sum();
+    let mut doc = String::with_capacity(body_len + summary.len() + 32);
+    doc.push_str("{\"summary\":");
+    doc.push_str(&summary);
+    doc.push_str(",\"records\":[");
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(line);
+    }
+    doc.push_str("]}");
+    Ok(doc)
+}
+
+/// The streaming form of `POST /v1/whatif`, called by the connection
+/// loop instead of [`handle`]: each record line goes out as one chunk
+/// of a `Transfer-Encoding: chunked` response as the engine completes
+/// it, with the summary trailer line as the final chunk.
+///
+/// Returns `Ok(wire_ok)` once a stream has started — `wire_ok` false
+/// means the socket died or the stream had to be truncated, and the
+/// connection must close. A failure *before* the first chunk returns
+/// `Err((status, body))` so the caller can answer with an ordinary
+/// framed error.
+pub fn handle_whatif_streaming<W: Write>(
+    state: &AppState,
+    request: &HttpRequest,
+    stream: &mut W,
+    keep_alive: bool,
+) -> Result<bool, (u16, String)> {
+    let t0 = Instant::now();
+    state.whatif_requests.add(1);
+    let mut writer = crate::http::ChunkedWriter::new(stream, keep_alive);
+    let outcome = whatif_lines(state, &request.body, |line| {
+        let mut chunk = String::with_capacity(line.len() + 1);
+        chunk.push_str(line);
+        chunk.push('\n');
+        writer.write_chunk(&chunk)
+    });
+    let result = match outcome {
+        Ok(()) => match writer.finish() {
+            Ok(()) => Ok(true),
+            Err(_) => Ok(false), // client gone mid-terminator
+        },
+        Err(e) => {
+            state.error_responses.add(1);
+            if writer.head_sent() {
+                // The head is on the wire: the response cannot be
+                // re-framed as an error, so truncate the chunked stream
+                // (no terminator) — the client sees a torn frame and
+                // the connection closes.
+                Ok(false)
+            } else {
+                Err(err(&e))
+            }
+        }
+    };
+    state.latency[WHATIF_ENDPOINT].record(t0.elapsed().as_secs_f64() * 1e6);
+    result
+}
+
 /// Resolve a model name; matching is case-insensitive and ignores
 /// punctuation, so `llama3-8b`, `Llama 3 8B`, and `llama3_8b` all work.
 fn resolve_model(name: &str) -> Result<ModelConfig, AcsError> {
@@ -950,6 +1127,7 @@ fn metrics(state: &AppState) -> String {
                 ("simulate", u(&state.simulate_requests)),
                 ("devices", u(&state.device_requests)),
                 ("metrics", u(&state.metrics_requests)),
+                ("whatif", u(&state.whatif_requests)),
                 ("errors", u(&state.error_responses)),
             ]),
         ),
@@ -977,6 +1155,7 @@ fn metrics(state: &AppState) -> String {
                     stats_value(state.simulate_cache.stats(), state.simulate_cache.len()),
                 ),
                 ("sim_steps", stats_value(state.step_cache.stats(), state.step_cache.len())),
+                ("whatif", stats_value(state.whatif_cache.stats(), state.whatif_cache.len())),
             ]),
         ),
     ])
@@ -1317,6 +1496,130 @@ mod tests {
         assert_eq!(body.get("error").unwrap().get("kind").unwrap().as_str(), Some("protocol"));
         let (status, _) = get(&state, "/v1/screen");
         assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn whatif_baseline_screens_db_and_fleet() {
+        let state = AppState::new(64);
+        let (status, body) = post(&state, "/v1/whatif", "{}");
+        assert_eq!(status, 200, "{}", body.to_json());
+        let summary = body.get("summary").unwrap();
+        assert_eq!(summary.get("variants").unwrap().as_u64(), Some(1));
+        assert_eq!(summary.get("devices").unwrap().as_u64(), Some(65));
+        assert_eq!(summary.get("fleet_designs").unwrap().as_u64(), Some(4096));
+        assert_eq!(summary.get("fleet_failures").unwrap().as_u64(), Some(0));
+        let records = body.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 1);
+        // The baseline flips nothing against itself, and the fleet block
+        // carries real distributions.
+        let devices = records[0].get("devices").unwrap();
+        assert!(devices.get("newly_restricted").unwrap().as_array().unwrap().is_empty());
+        let fleet = records[0].get("fleet").unwrap();
+        assert_eq!(fleet.get("total").unwrap().as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn whatif_grids_stream_in_order_and_cache_repeats() {
+        let state = AppState::new(64);
+        let body = "{\"grid\":{\"tpp_license\":[2400,4800],\"mem_bw_license\":[0,800]}}";
+        let (status, r1) = post(&state, "/v1/whatif", body);
+        assert_eq!(status, 200, "{}", r1.to_json());
+        let records = r1.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 4);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.get("variant").unwrap().as_u64(), Some(i as u64));
+        }
+        // The mem-bw axis actually varies the regime: the 800 GB/s
+        // variants restrict devices the baseline leaves alone.
+        let flips = |i: usize| {
+            records[i]
+                .get("devices")
+                .unwrap()
+                .get("newly_restricted")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len()
+        };
+        // Last axis fastest: variant 2 is (tpp_license 4800, mem-bw off)
+        // — the published baseline — and variant 3 adds the 800 GB/s
+        // memory-BW rule to it.
+        assert_eq!(flips(2), 0, "published regime at its own thresholds flips nothing");
+        assert!(flips(3) > 0, "an 800 GB/s memory-BW rule must catch new devices");
+        assert!(flips(0) > 0, "a 2400-TPP licence line must catch new devices");
+        // Repeats are response-cache hits; equivalent rule/grid shapes
+        // share the entry.
+        let (_, r2) = post(&state, "/v1/whatif", body);
+        assert_eq!(r1.to_json(), r2.to_json());
+        let stats = state.cache_stats()[3];
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn whatif_rule_and_equivalent_grid_share_a_cache_entry() {
+        let state = AppState::new(64);
+        let (s1, r1) = post(&state, "/v1/whatif", "{\"rule\":{\"tpp_license\":2400}}");
+        let (s2, r2) = post(&state, "/v1/whatif", "{\"grid\":{\"tpp_license\":[2400]}}");
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(r1.to_json(), r2.to_json());
+        let stats = state.cache_stats()[3];
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn malformed_whatif_requests_are_typed_400s() {
+        let state = AppState::new(64);
+        for body in [
+            "not json",
+            "[1]",
+            "{\"grid\":{\"bogus_axis\":[1]}}",
+            "{\"grid\":{\"tpp_license\":[]}}",
+            "{\"rule\":{\"tpp_license\":-5}}",
+            "{\"rule\":{},\"grid\":{}}",
+            "{\"tpp_target\":1e9}",
+        ] {
+            let (status, response) = post(&state, "/v1/whatif", body);
+            assert_eq!(status, 400, "body {body:?} -> {}", response.to_json());
+        }
+        // Rejected before the fleet was priced or anything was cached.
+        assert_eq!(state.cache_stats()[3].misses, 0);
+        let (status, _) = handle(
+            &state,
+            &HttpRequest { method: "GET".into(), path: "/v1/whatif".into(), body: String::new() },
+        );
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn whatif_streaming_writes_one_chunk_per_record() {
+        let state = AppState::new(64);
+        let request = HttpRequest {
+            method: "POST".into(),
+            path: "/v1/whatif".into(),
+            body: "{\"grid\":{\"tpp_license\":[2400,4800]}}".into(),
+        };
+        let mut wire = Vec::new();
+        let wire_ok = handle_whatif_streaming(&state, &request, &mut wire, true).unwrap();
+        assert!(wire_ok);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        // 2 record chunks + 1 trailer chunk + the terminator.
+        let chunk_count = text.split("\r\n").filter(|l| l.starts_with('{')).count();
+        assert_eq!(chunk_count, 3, "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        // Pre-stream failures surface as plain framed errors.
+        let bad = HttpRequest {
+            method: "POST".into(),
+            path: "/v1/whatif".into(),
+            body: "not json".into(),
+        };
+        let mut wire = Vec::new();
+        let (status, body) =
+            handle_whatif_streaming(&state, &bad, &mut wire, true).unwrap_err();
+        assert_eq!(status, 400);
+        assert!(wire.is_empty(), "no bytes may precede a plain error");
+        assert!(body.contains("error"));
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //! the load generator, and the examples.
 //!
 //! Scope is deliberately narrow — exactly what the service needs and
-//! nothing more: `Content-Length`-framed bodies, no chunked encoding,
-//! no TLS. Connections follow HTTP/1.1 persistence semantics: requests
-//! default to keep-alive unless the client sends `Connection: close`
-//! (HTTP/1.0 defaults to close unless it asks for `keep-alive`), so the
-//! load generator and the examples reuse one socket per thread instead
-//! of paying a TCP handshake per request ([`HttpClient`]). Framing
-//! violations surface as [`AcsError::Protocol`] so the handler layer
-//! can map them to a 400 with the standard error envelope.
+//! nothing more: `Content-Length`-framed bodies, chunked
+//! transfer-encoding for the one streaming endpoint (`/v1/whatif`
+//! responses, written incrementally by [`ChunkedWriter`] and decoded
+//! transparently by [`HttpClient`]), no TLS. Connections follow HTTP/1.1
+//! persistence semantics: requests default to keep-alive unless the
+//! client sends `Connection: close` (HTTP/1.0 defaults to close unless
+//! it asks for `keep-alive`), so the load generator and the examples
+//! reuse one socket per thread instead of paying a TCP handshake per
+//! request ([`HttpClient`]). Framing violations surface as
+//! [`AcsError::Protocol`] so the handler layer can map them to a 400
+//! with the standard error envelope.
 
 use crate::chaos::{FaultPlan, FaultStream};
 use acs_errors::AcsError;
@@ -207,6 +210,80 @@ pub fn write_response_with(
     stream.flush().map_err(io_err)
 }
 
+/// An incremental `Transfer-Encoding: chunked` response writer: the
+/// head goes out with the first chunk (so a pre-stream failure can
+/// still be answered with a plain framed error), each chunk is one
+/// `size-hex CRLF data CRLF` frame, and [`ChunkedWriter::finish`] sends
+/// the zero-length terminator. The server streams one `/v1/whatif`
+/// record per chunk through this.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a, W: Write> {
+    stream: &'a mut W,
+    keep_alive: bool,
+    head_sent: bool,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// A writer over `stream`; nothing is written until the first chunk.
+    pub fn new(stream: &'a mut W, keep_alive: bool) -> Self {
+        ChunkedWriter { stream, keep_alive, head_sent: false }
+    }
+
+    /// Whether the response head has already gone out — past this point
+    /// the response cannot be re-framed as a plain error.
+    #[must_use]
+    pub fn head_sent(&self) -> bool {
+        self.head_sent
+    }
+
+    fn io_err(e: &std::io::Error) -> AcsError {
+        AcsError::Io { path: "tcp-response".to_owned(), reason: e.to_string() }
+    }
+
+    fn send_head(&mut self) -> Result<(), AcsError> {
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n",
+        );
+        self.stream.write_all(head.as_bytes()).map_err(|e| Self::io_err(&e))?;
+        self.head_sent = true;
+        Ok(())
+    }
+
+    /// Write one chunk (sending the head first if this is the first),
+    /// then flush so the record reaches the client now, not when the
+    /// stream ends.
+    ///
+    /// # Errors
+    ///
+    /// [`AcsError::Io`] when the socket write fails.
+    pub fn write_chunk(&mut self, data: &str) -> Result<(), AcsError> {
+        if !self.head_sent {
+            self.send_head()?;
+        }
+        if data.is_empty() {
+            return Ok(()); // a zero-length chunk would terminate the stream
+        }
+        let frame = format!("{:x}\r\n{data}\r\n", data.len());
+        self.stream.write_all(frame.as_bytes()).map_err(|e| Self::io_err(&e))?;
+        self.stream.flush().map_err(|e| Self::io_err(&e))
+    }
+
+    /// Terminate the stream with the zero-length chunk (sending the head
+    /// first for a zero-chunk response).
+    ///
+    /// # Errors
+    ///
+    /// [`AcsError::Io`] when the socket write fails.
+    pub fn finish(mut self) -> Result<(), AcsError> {
+        if !self.head_sent {
+            self.send_head()?;
+        }
+        self.stream.write_all(b"0\r\n\r\n").map_err(|e| Self::io_err(&e))?;
+        self.stream.flush().map_err(|e| Self::io_err(&e))
+    }
+}
+
 /// One-shot HTTP client: connect, send `method path` with `body`, return
 /// `(status, response body)`. Used by the load generator, the CI smoke
 /// test, and the examples; kept symmetric with the server so both ends
@@ -248,10 +325,55 @@ pub fn http_request(
 /// Largest accepted response body on the client side, in bytes.
 const MAX_RESPONSE_BYTES: usize = 16 << 20;
 
-/// Read one `Content-Length`-framed response from a persistent
-/// connection: `(status, body, server keeps the connection open)`. A
-/// response without a `Content-Length` is read to EOF and marks the
-/// connection closed.
+/// Decode a `Transfer-Encoding: chunked` body: `size-hex CRLF data
+/// CRLF` frames until the zero-length terminator, then any trailer
+/// lines up to the blank line. The concatenated chunk data is the body.
+fn read_chunked_body(reader: &mut impl BufRead) -> Result<String, AcsError> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader)?;
+        // Chunk extensions (`size;ext=val`) are legal; we ignore them.
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| protocol(format!("unparseable chunk size {size_line:?}")))?;
+        if size == 0 {
+            break;
+        }
+        if body.len() + size > MAX_RESPONSE_BYTES {
+            return Err(protocol(format!(
+                "chunked response exceeds {MAX_RESPONSE_BYTES} bytes"
+            )));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(|e| protocol(format!("connection ended mid-chunk: {e}")))?;
+        let mut crlf = [0u8; 2];
+        reader
+            .read_exact(&mut crlf)
+            .map_err(|e| protocol(format!("connection ended after chunk: {e}")))?;
+        if &crlf != b"\r\n" {
+            return Err(protocol("chunk data not terminated by CRLF"));
+        }
+    }
+    // Trailer section: header lines until the blank line.
+    for i in 0.. {
+        if i >= MAX_HEADERS {
+            return Err(protocol("too many chunked-trailer lines"));
+        }
+        if read_line(reader)?.is_empty() {
+            break;
+        }
+    }
+    String::from_utf8(body).map_err(|_| protocol("chunked response body is not UTF-8"))
+}
+
+/// Read one framed response from a persistent connection: `(status,
+/// body, server keeps the connection open)`. Framing is
+/// `Content-Length` or `Transfer-Encoding: chunked` (the streaming
+/// `/v1/whatif` endpoint); a response with neither is read to EOF and
+/// marks the connection closed.
 fn read_framed_response(reader: &mut impl BufRead) -> Result<(u16, String, bool), AcsError> {
     let status_line = read_line(reader)?;
     let status = status_line
@@ -262,6 +384,7 @@ fn read_framed_response(reader: &mut impl BufRead) -> Result<(u16, String, bool)
         .ok_or_else(|| protocol(format!("unparsable status line {status_line:?}")))?;
     let keep_alive_default = !status_line.starts_with("HTTP/1.0 ");
     let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     let mut connection: Option<String> = None;
     for i in 0.. {
         if i >= MAX_HEADERS {
@@ -283,9 +406,20 @@ fn read_framed_response(reader: &mut impl BufRead) -> Result<(u16, String, bool)
                 return Err(protocol(format!("response of {length} bytes is too large")));
             }
             content_length = Some(length);
+        } else if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            if !value.trim().eq_ignore_ascii_case("chunked") {
+                return Err(protocol(format!("unsupported transfer encoding {value:?}")));
+            }
+            chunked = true;
         } else if name.trim().eq_ignore_ascii_case("connection") {
             connection = Some(value.trim().to_owned());
         }
+    }
+    if chunked {
+        // Chunked framing wins over any Content-Length (RFC 9112 §6.3).
+        let body = read_chunked_body(reader)?;
+        let keep = wants_keep_alive(connection.as_deref(), keep_alive_default);
+        return Ok((status, body, keep));
     }
     match content_length {
         Some(length) => {
@@ -605,5 +739,69 @@ mod tests {
         for s in [200, 400, 404, 405, 422, 500, 503] {
             assert!(!reason_phrase(s).is_empty());
         }
+    }
+
+    #[test]
+    fn chunked_responses_round_trip_through_the_client_decoder() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = ChunkedWriter::new(&mut wire, true);
+            assert!(!writer.head_sent());
+            writer.write_chunk("{\"variant\":0}\n").unwrap();
+            assert!(writer.head_sent());
+            writer.write_chunk("{\"variant\":1}\n").unwrap();
+            writer.write_chunk("").unwrap(); // must not terminate the stream
+            writer.write_chunk("{\"summary\":true}\n").unwrap();
+            writer.finish().unwrap();
+        }
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let (status, body, keep) = read_framed_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert!(keep, "chunked responses are framed, so keep-alive survives");
+        assert_eq!(body, "{\"variant\":0}\n{\"variant\":1}\n{\"summary\":true}\n");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "decoder must consume the terminator exactly");
+    }
+
+    #[test]
+    fn chunk_extensions_and_trailers_are_tolerated() {
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     5;ext=1\r\nhello\r\n0\r\nX-Trailer: 1\r\n\r\n";
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let (status, body, _) = read_framed_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn torn_chunked_streams_are_protocol_errors() {
+        for wire in [
+            // Truncated mid-chunk-data.
+            &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n10\r\nhal"[..],
+            // Missing terminator after the last chunk.
+            &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n"[..],
+            // Garbage chunk size.
+            &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"[..],
+            // Chunk data not CRLF-terminated.
+            &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX0\r\n\r\n"[..],
+        ] {
+            let mut reader = std::io::BufReader::new(wire);
+            let err = read_framed_response(&mut reader).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "wire {:?}", String::from_utf8_lossy(wire));
+        }
+    }
+
+    #[test]
+    fn oversized_chunked_responses_are_bounded() {
+        // A chunk claiming more than MAX_RESPONSE_BYTES must be rejected
+        // before the decoder tries to materialise it.
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_RESPONSE_BYTES + 1
+        );
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let err = read_framed_response(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
     }
 }

@@ -80,7 +80,8 @@ pub struct ServeConfig {
     /// reads, partial writes, stalls, and mid-message disconnects are
     /// injected server-side. Chaos-testing only; `None` in production.
     pub chaos_seed: Option<u64>,
-    /// Capacity of each response cache (screen, simulate, sim-steps).
+    /// Capacity of each response cache (screen, simulate, sim-steps,
+    /// whatif).
     pub cache_capacity: usize,
 }
 
@@ -399,12 +400,23 @@ impl<S: Write> Write for DeadlineStream<S> {
     }
 }
 
+/// How one request was answered: a complete buffered response still to
+/// be written, or a `/v1/whatif` stream already written chunk-by-chunk
+/// by the handler itself.
+enum Handled {
+    Plain(u16, String, bool),
+    Streamed { keep_alive: bool, wire_ok: bool },
+}
+
 /// Serve one connection until the client (or a framing error, or the
 /// request read deadline) closes it. HTTP/1.1 requests default to
 /// keep-alive, so a well-behaved client can run many sequential requests
 /// over one socket; `Connection: close` ends the session after the
-/// response it rides on. Generic over the stream so the chaos shim's
-/// [`FaultStream`] serves through the same loop as a bare socket.
+/// response it rides on. `POST /v1/whatif` answers are streamed with
+/// chunked transfer-encoding as each rule variant completes; everything
+/// else is buffered and `Content-Length`-framed. Generic over the stream
+/// so the chaos shim's [`FaultStream`] serves through the same loop as a
+/// bare socket.
 fn serve_connection<S: Read + Write + SocketControl>(
     state: &AppState,
     stream: S,
@@ -437,22 +449,43 @@ fn serve_connection<S: Read + Write + SocketControl>(
         let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match http::read_request(&mut reader) {
                 Ok((request, keep_alive)) => {
-                    let (status, body) = handlers::handle(state, &request);
-                    (status, body, keep_alive)
+                    let path = request.path.split('?').next().unwrap_or("");
+                    if request.method == "POST" && path == "/v1/whatif" {
+                        // Streamed: the handler writes the chunked
+                        // response itself, one record per chunk, unless
+                        // it fails before the first chunk.
+                        match handlers::handle_whatif_streaming(
+                            state,
+                            &request,
+                            reader.get_mut(),
+                            keep_alive,
+                        ) {
+                            Ok(wire_ok) => Handled::Streamed { keep_alive, wire_ok },
+                            Err((status, body)) => Handled::Plain(status, body, keep_alive),
+                        }
+                    } else {
+                        let (status, body) = handlers::handle(state, &request);
+                        Handled::Plain(status, body, keep_alive)
+                    }
                 }
                 // The connection's framing state is unknown after a
                 // malformed request; answer and hang up.
-                Err(e) => (handlers::status_for(&e), handlers::error_body(&e), false),
+                Err(e) => {
+                    Handled::Plain(handlers::status_for(&e), handlers::error_body(&e), false)
+                }
             }
         }));
-        let (status, body, keep_alive) = handled.unwrap_or_else(|payload| {
+        let handled = handled.unwrap_or_else(|payload| {
             let message = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_owned())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_owned());
             let e = AcsError::EvaluationPanic { design: "request-handler".to_owned(), message };
-            (handlers::status_for(&e), handlers::error_body(&e), false)
+            // If the panic unwound out of a started stream, this framed
+            // error lands after raw chunk bytes — the client sees a torn
+            // frame either way, and the connection closes.
+            Handled::Plain(handlers::status_for(&e), handlers::error_body(&e), false)
         });
         // A request that ran out its read deadline is a slow-loris (or a
         // wedged peer): count the shed and hang up without answering — the
@@ -461,12 +494,22 @@ fn serve_connection<S: Read + Write + SocketControl>(
             state.record_deadline_close();
             return;
         }
-        // The client may already be gone; a failed write is not a server
-        // fault, but it does end the session.
-        if http::write_response_with(reader.get_mut(), status, &body, keep_alive).is_err()
-            || !keep_alive
-        {
-            return;
+        match handled {
+            // The client may already be gone; a failed write is not a
+            // server fault, but it does end the session.
+            Handled::Plain(status, body, keep_alive) => {
+                if http::write_response_with(reader.get_mut(), status, &body, keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Handled::Streamed { keep_alive, wire_ok } => {
+                if !wire_ok || !keep_alive {
+                    return;
+                }
+            }
         }
     }
 }
@@ -825,6 +868,96 @@ mod tests {
             }
         }
         assert!(ok >= 10, "retries should carry most requests through gentle faults, got {ok}/20");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn whatif_streams_chunked_ndjson_the_client_decodes() {
+        let (addr, handle, thread, state) = start();
+        // Raw socket first: the response must actually be chunked on the
+        // wire (HttpClient would hide the framing).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = "{\"grid\":{\"tpp_license\":[2400,4800]}}";
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/whatif HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut raw = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.contains("Transfer-Encoding: chunked"), "{raw}");
+        assert!(raw.trim_end().ends_with("0"), "stream must end with the zero chunk: {raw}");
+
+        // The persistent client decodes the same stream into NDJSON and
+        // keeps the connection alive for the next request.
+        let mut client = http::HttpClient::new(addr, Duration::from_secs(30));
+        let (status, ndjson) = client.request("POST", "/v1/whatif", body).unwrap();
+        assert_eq!(status, 200, "{ndjson}");
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len(), 3, "2 records + summary trailer: {ndjson}");
+        for (i, line) in lines[..2].iter().enumerate() {
+            let record = parse(line).expect("each streamed line is one JSON record");
+            assert_eq!(record.get("variant").unwrap().as_u64(), Some(i as u64));
+        }
+        let summary = parse(lines[2]).unwrap();
+        assert_eq!(summary.get("variants").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("fleet_designs").unwrap().as_u64(), Some(4096));
+        let (status, _) = client.request("GET", "/v1/devices", "").unwrap();
+        assert_eq!(status, 200, "keep-alive must survive a chunked response");
+
+        // Bad bodies still get plain framed errors, not streams.
+        let (status, error) = client.request("POST", "/v1/whatif", "{\"rule\":[]}").unwrap();
+        assert_eq!(status, 400, "{error}");
+        assert!(error.contains("invalid_config"), "{error}");
+
+        // The whatif counters and cache surfaced in /v1/metrics.
+        let (_, metrics) = client.request("GET", "/v1/metrics", "").unwrap();
+        let m = parse(&metrics).unwrap();
+        assert_eq!(m.get("requests").unwrap().get("whatif").unwrap().as_u64(), Some(3));
+        let cache = m.get("caches").unwrap().get("whatif").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1), "{metrics}");
+        drop(state);
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn client_retries_reassemble_whatif_streams_across_torn_chunks() {
+        let (addr, handle, thread, _) = start();
+        // Client-side fault injection tears reads and writes at arbitrary
+        // byte boundaries — including mid-chunk-header and mid-chunk-data.
+        // The decoder must never mis-frame a torn chunk (no partial line
+        // accepted as a record); the retry path re-dials and replays.
+        let mut client = http::HttpClient::with_config(
+            addr,
+            http::ClientConfig {
+                retries: 4,
+                ..http::ClientConfig::uniform(Duration::from_secs(5))
+            },
+        )
+        .with_fault_injection(FaultPlan::gentle(0xF1A7));
+        let body = "{\"rule\":{\"tpp_license\":2400}}";
+        let mut ok = 0u32;
+        for _ in 0..20 {
+            if let Ok((200, ndjson)) = client.request("POST", "/v1/whatif", body) {
+                // A response that survived must be complete and
+                // well-formed — torn frames may only surface as errors.
+                let lines: Vec<&str> = ndjson.lines().collect();
+                assert_eq!(lines.len(), 2, "1 record + trailer: {ndjson}");
+                for line in &lines {
+                    parse(line).expect("every surviving line parses");
+                }
+                ok += 1;
+            }
+        }
+        assert!(ok >= 10, "retries should carry most streams through gentle faults, got {ok}/20");
         handle.shutdown();
         thread.join().unwrap();
     }

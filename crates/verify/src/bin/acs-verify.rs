@@ -14,7 +14,7 @@
 
 use acs_verify::{
     check_corpus, default_corpus_path, regressions_dir, replay_dir, run_chaos, run_fuzz,
-    standard_suite, ChaosConfig, Differential,
+    standard_suite, whatif_grid_64, whatif_grid_diff, ChaosConfig, Differential,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -146,8 +146,14 @@ fn cmd_diff(_args: &[String]) -> Result<(), String> {
     let candidates = acs_dse_candidates();
     let harness = Differential::paper_default();
     let mut dirty = Vec::new();
-    for case in standard_suite() {
-        let report = harness.run(&candidates, &case);
+    let mut reports: Vec<acs_verify::DiffReport> =
+        standard_suite().iter().map(|case| harness.run(&candidates, case)).collect();
+    // The what-if case rides the same suite: batch rule-grid screening
+    // against the naive one-rule-at-a-time loop, over the curated DB.
+    let devices: Vec<acs_policy::DeviceMetrics> =
+        acs_devices::GpuDatabase::curated_65().iter().map(|r| r.to_metrics()).collect();
+    reports.push(whatif_grid_diff(&whatif_grid_64(), &devices));
+    for report in &reports {
         println!(
             "diff {}: {} points ({} ok, {} failed) -> {}",
             report.label,

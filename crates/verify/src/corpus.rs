@@ -12,14 +12,15 @@
 //! numerically-forgivable refactor can loosen one anchor without
 //! abandoning bit-exactness everywhere else.
 
-use crate::differential::design_digest;
+use crate::differential::{design_digest, whatif_grid_64};
 use crate::tolerance::Tolerance;
 use acs_cache::CacheKey;
-use acs_dse::{inject_faults, DseRunner, SweepSpec};
+use acs_dse::{inject_faults, DseRunner, EvaluatedDesign, SweepSpec};
 use acs_errors::json::{object, parse, Value};
 use acs_errors::AcsError;
 use acs_hw::{DataType, DeviceConfig};
 use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_whatif::WhatIfEngine;
 use std::path::{Path, PathBuf};
 
 /// The checked-in golden corpus file.
@@ -105,8 +106,10 @@ fn scenario_from_report(name: &str, report: &acs_dse::SweepReport) -> Result<Sce
 /// Recompute the full snapshot: the two golden equivalence sweeps (the
 /// 512-point faulted Table-3 sweep on both the planned and factored
 /// paths — recording both means a regression cannot be blessed into one
-/// path unnoticed) plus the 48-point mixed-datatype sweep, and latency
-/// anchors from the first successful designs.
+/// path unnoticed), the 48-point mixed-datatype sweep, the 64-variant
+/// what-if rule-grid screening (every per-variant record digest over the
+/// curated device DB and a 32-design fleet reused from the factored
+/// sweep), and latency anchors from the first successful designs.
 ///
 /// # Errors
 ///
@@ -144,6 +147,24 @@ pub fn compute_snapshot() -> Result<Snapshot, AcsError> {
     }
     let mixed_ok = mixed_rows.len();
 
+    // The what-if scenario: the shared 64-variant grid screened over the
+    // curated 65-device DB plus a fleet borrowed from the factored sweep
+    // above (its pricing is already paid), each variant record folded in
+    // by canonical digest so any drift in classification deltas,
+    // indicator distributions, or externality accounting re-blesses.
+    let fleet: Vec<EvaluatedDesign> =
+        factored.designs.iter().take(32).map(|(_, d)| d.clone()).collect();
+    let grid = whatif_grid_64();
+    let mut whatif_rows = Vec::with_capacity(grid.cardinality());
+    WhatIfEngine::paper_default().run_streaming(&grid, &fleet, |index, record| {
+        whatif_rows.push(Value::Array(vec![
+            Value::Number(index as f64),
+            Value::String(CacheKey::digest_hex(CacheKey::from_value(record).digest())),
+        ]));
+        Ok(())
+    })?;
+    let whatif_total = whatif_rows.len();
+
     let mut anchors = Vec::new();
     for (_, design) in planned.designs.iter().take(3) {
         anchors.push(Anchor {
@@ -168,6 +189,13 @@ pub fn compute_snapshot() -> Result<Snapshot, AcsError> {
                 ok: mixed_ok,
                 failed: 0,
                 digest: fold_digest(mixed_rows),
+            },
+            Scenario {
+                name: "whatif_rule_grid_64".to_owned(),
+                total: whatif_total,
+                ok: whatif_total,
+                failed: 0,
+                digest: fold_digest(whatif_rows),
             },
         ],
         anchors,

@@ -15,6 +15,10 @@
 //! different thread count (all bit-exact), or round-tripping continuous
 //! axes through a unit conversion (equal only up to float rounding,
 //! which is exactly what the approximate tolerance classes are for).
+//!
+//! The what-if subsystem gets the same treatment: [`whatif_grid_diff`]
+//! compares the batch rule-grid screening path against a naive
+//! one-rule-at-a-time loop over the [`whatif_grid_64`] grid.
 
 use crate::tolerance::Tolerance;
 use acs_cache::{CacheKey, ShardedCache};
@@ -23,6 +27,8 @@ use acs_errors::json::Value;
 use acs_errors::AcsError;
 use acs_llm::rng::SplitMix64;
 use acs_llm::{ModelConfig, WorkloadConfig};
+use acs_policy::{Acr2022, Acr2023, DeviceMetrics, HbmRule2024, MemBwRule};
+use acs_whatif::{ClassificationLedger, RuleGrid, RuleSpec};
 use std::fmt;
 use std::sync::Arc;
 
@@ -523,6 +529,112 @@ fn compare_design_leaves(
     }
 }
 
+/// The 64-variant rule grid the what-if differential and the golden
+/// corpus both screen: 2 October-2022 TPP lines × 4 October-2023 licence
+/// TPPs × 2 PD thresholds × 4 memory-bandwidth variants (0 = the rule is
+/// not enacted).
+#[must_use]
+pub fn whatif_grid_64() -> RuleGrid {
+    let mut grid = RuleGrid::baseline();
+    grid.tpp_threshold_2022 = vec![2400.0, 4800.0];
+    grid.tpp_license = vec![1600.0, 2400.0, 3600.0, 4800.0];
+    grid.pd_license = vec![3.0, 5.92];
+    grid.mem_bw_license = vec![0.0, 600.0, 800.0, 1000.0];
+    grid
+}
+
+/// Expand `grid` the naive way — an explicit odometer over the axis
+/// lists (last axis fastest, mirroring [`acs_whatif::AXES`] order) with
+/// each variant's [`RuleSpec`] assembled from struct literals — and
+/// screen `devices` one rule at a time. Deliberately shares no expansion
+/// or ledger-assembly code with `RuleGrid::variants` /
+/// `ClassificationLedger::screen`.
+fn naive_whatif_ledgers(grid: &RuleGrid, devices: &[DeviceMetrics]) -> Vec<ClassificationLedger> {
+    let axes: [&[f64]; 11] = [
+        &grid.tpp_threshold_2022,
+        &grid.device_bw_threshold_2022,
+        &grid.tpp_license,
+        &grid.tpp_floor,
+        &grid.tpp_nac,
+        &grid.pd_license,
+        &grid.pd_nac_high,
+        &grid.pd_nac_low,
+        &grid.mem_bw_license,
+        &grid.hbm_control_density,
+        &grid.hbm_exception_density,
+    ];
+    let mut ledgers = Vec::with_capacity(grid.cardinality());
+    let mut idx = [0usize; 11];
+    'variants: loop {
+        let pick = |axis: usize| axes[axis][idx[axis]];
+        let spec = RuleSpec {
+            acr_2022: Acr2022 { tpp_threshold: pick(0), device_bw_threshold_gb_s: pick(1) },
+            acr_2023: Acr2023 {
+                tpp_license: pick(2),
+                tpp_floor: pick(3),
+                tpp_nac: pick(4),
+                pd_license: pick(5),
+                pd_nac_high: pick(6),
+                pd_nac_low: pick(7),
+            },
+            mem_bw: (pick(8) > 0.0).then(|| MemBwRule { license_threshold_gb_s: pick(8) }),
+            hbm: HbmRule2024 { control_density: pick(9), exception_density: pick(10) },
+        };
+        let mut entries = Vec::with_capacity(devices.len());
+        for metrics in devices {
+            entries.push((metrics.name().to_owned(), spec.classify(metrics)));
+        }
+        ledgers.push(ClassificationLedger { entries });
+        for axis in (0..axes.len()).rev() {
+            idx[axis] += 1;
+            if idx[axis] < axes[axis].len() {
+                continue 'variants;
+            }
+            idx[axis] = 0;
+        }
+        return ledgers;
+    }
+}
+
+/// The what-if differential: the batch rule-grid path
+/// (`RuleGrid::variants` + `ClassificationLedger::screen`) against a
+/// naive one-rule-at-a-time loop, compared ledger digest for ledger
+/// digest across every variant. This is what proves a `/v1/whatif` grid
+/// response means the same thing as issuing its variants as individual
+/// requests.
+#[must_use]
+pub fn whatif_grid_diff(grid: &RuleGrid, devices: &[DeviceMetrics]) -> DiffReport {
+    let batch: Vec<ClassificationLedger> =
+        grid.variants().iter().map(|spec| ClassificationLedger::screen(spec, devices)).collect();
+    let naive = naive_whatif_ledgers(grid, devices);
+    let mut mismatches = Vec::new();
+    if batch.len() != naive.len() {
+        push(
+            &mut mismatches,
+            "shape",
+            format!("batch expanded {} variants, naive {}", batch.len(), naive.len()),
+        );
+    } else {
+        for (index, (b, n)) in batch.iter().zip(&naive).enumerate() {
+            let (bd, nd) = (b.digest(), n.digest());
+            if bd != nd {
+                push(
+                    &mut mismatches,
+                    format!("variant {index}"),
+                    format!("ledger digest {bd:#018x} vs naive {nd:#018x}"),
+                );
+            }
+        }
+    }
+    DiffReport {
+        label: "whatif-batch-vs-naive".to_owned(),
+        points: batch.len(),
+        ok: batch.len(),
+        failed: 0,
+        mismatches,
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Leaf {
     Num(f64),
@@ -610,6 +722,33 @@ mod tests {
         };
         let report = harness.run(&candidates, &case);
         assert!(!report.is_clean(), "ulp-level input drift must fail an exact diff");
+    }
+
+    #[test]
+    fn whatif_batch_and_naive_agree_on_the_64_variant_grid() {
+        let devices: Vec<DeviceMetrics> =
+            acs_devices::GpuDatabase::curated_65().iter().map(|r| r.to_metrics()).collect();
+        assert_eq!(devices.len(), 65);
+        let grid = whatif_grid_64();
+        assert_eq!(grid.cardinality(), 64);
+        let report = whatif_grid_diff(&grid, &devices);
+        assert_eq!(report.points, 64);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn whatif_diff_catches_a_genuinely_different_expansion() {
+        // The naive arm walks the grid's own axis lists, so a divergence
+        // can only come from the comparison machinery being wired wrong;
+        // prove the digests it compares are discriminating by checking
+        // two different regimes really hash apart.
+        let devices: Vec<DeviceMetrics> =
+            acs_devices::GpuDatabase::curated_65().iter().map(|r| r.to_metrics()).collect();
+        let base = ClassificationLedger::screen(&RuleSpec::baseline(), &devices);
+        let mut strict = RuleSpec::baseline();
+        strict.acr_2023.tpp_license = 1600.0;
+        let tightened = ClassificationLedger::screen(&strict, &devices);
+        assert_ne!(base.digest(), tightened.digest());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //!
 //! Each iteration takes a valid base input, applies a seeded stack of
 //! structural mutations (byte flips, truncation, slice duplication,
-//! percent-encoding abuse, header and Content-Length tampering), and
-//! drives the target under `catch_unwind`. The invariants are:
+//! percent-encoding abuse, header and Content-Length tampering, what-if
+//! rule-grid axis bombs), and drives the target under `catch_unwind`.
+//! The invariants are:
 //!
 //! - **no panic, ever** — a parse boundary answers hostile bytes with a
 //!   typed error, never an unwind (and never a stack overflow, which
@@ -260,6 +261,15 @@ fn http_bases() -> Vec<Vec<u8>> {
         post("/v1/screen", "{\"device\":\"H100 SXM\"}"),
         post("/v1/screen", "{\"tpp\":4500,\"device_bw_gb_s\":600,\"die_area_mm2\":814}"),
         post("/v1/simulate", "{\"model\":\"llama3-8b\",\"trace\":{\"duration_s\":1}}"),
+        // The what-if surface: baseline, single-rule, and rule-grid
+        // request shapes (all at the default TPP target, so the synthetic
+        // fleet is priced once per fuzz state and reused from leg tables).
+        post("/v1/whatif", "{}"),
+        post("/v1/whatif", "{\"rule\":{\"tpp_license\":2400,\"mem_bw_license\":800}}"),
+        post(
+            "/v1/whatif",
+            "{\"grid\":{\"tpp_license\":[2400,4800],\"mem_bw_license\":[0,800]}}",
+        ),
     ]
 }
 
@@ -287,7 +297,7 @@ fn mutate(input: &mut Vec<u8>, rng: &mut SplitMix64) {
     }
     #[allow(clippy::cast_possible_truncation)]
     let at = (rng.next_u64() % input.len() as u64) as usize;
-    match rng.next_u64() % 8 {
+    match rng.next_u64() % 9 {
         // Flip one byte.
         0 => input[at] ^= (1 << (rng.next_u64() % 8)) as u8,
         // Truncate.
@@ -327,6 +337,22 @@ fn mutate(input: &mut Vec<u8>, rng: &mut SplitMix64) {
         6 => {
             let run = vec![b'['; 300];
             input.splice(at..at, run);
+        }
+        // Rule-grid axis bombs: splice in what-if grid members —
+        // duplicated axes, negative thresholds, and a wide axis whose
+        // cartesian product must trip the variant ceiling, never an
+        // allocation storm.
+        7 => {
+            let wide = format!("\"tpp_nac\":[{}],", vec!["1"; 96].join(","));
+            let bombs: [&[u8]; 4] = [
+                wide.as_bytes(),
+                b"\"grid\":{\"tpp_license\":[0]},",
+                b"\"mem_bw_license\":[-1,1e99],",
+                b"\"tpp_target\":1e308,",
+            ];
+            #[allow(clippy::cast_possible_truncation)]
+            let bomb = bombs[(rng.next_u64() % bombs.len() as u64) as usize];
+            input.splice(at..at, bomb.iter().copied());
         }
         // Byte noise: overwrite a few bytes with raw randomness.
         _ => {

@@ -10,7 +10,10 @@
 //!   values, and failure ledgers under a [`tolerance`] class. The
 //!   built-in metamorphic transforms (candidate permutation, unit
 //!   rescaling, cache on/off, thread-count pinning) turn "this refactor
-//!   moved nothing" into one declarative [`differential::DiffCase`].
+//!   moved nothing" into one declarative [`differential::DiffCase`];
+//!   [`differential::whatif_grid_diff`] extends the same discipline to
+//!   the what-if subsystem, diffing batch rule-grid screening against a
+//!   naive one-rule-at-a-time loop.
 //! - [`corpus`] — a blessed snapshot of sweep digests and anchor values
 //!   (`crates/verify/corpus/golden.json`) every PR is diffed against,
 //!   regenerated with `acs-verify corpus --bless`.
@@ -38,7 +41,8 @@ pub use corpus::{
     bless_corpus, check_corpus, compute_snapshot, default_corpus_path, regressions_dir, Snapshot,
 };
 pub use differential::{
-    design_digest, standard_suite, Arm, DiffCase, DiffReport, Differential, EvalPath, Transform,
+    design_digest, standard_suite, whatif_grid_64, whatif_grid_diff, Arm, DiffCase, DiffReport,
+    Differential, EvalPath, Transform,
 };
 pub use fuzz::{run_fuzz, FuzzReport, FuzzTarget};
 pub use regressions::replay_dir;

@@ -1,0 +1,432 @@
+//! The what-if engine: screen a device portfolio and a priced design
+//! fleet against every variant of a rule grid, emitting one
+//! canonical-JSON record per variant as it completes.
+
+use crate::grid::RuleGrid;
+use crate::ledger::{ClassificationLedger, LedgerCounts};
+use crate::rules::RuleSpec;
+use acs_core::{deadweight_loss, indicator_report, ComplianceOverhead, FixedParam, LatencyMetric};
+use acs_devices::GpuDatabase;
+use acs_dse::{Distribution, EvaluatedDesign};
+use acs_errors::json::{object, Value};
+use acs_errors::AcsError;
+use acs_policy::{DeviceMetrics, HbmPackage, MarketSegment};
+use acs_telemetry::{GlobalCounter, GlobalHistogram};
+
+static VARIANTS_SCREENED: GlobalCounter = GlobalCounter::new("whatif.variants");
+static VARIANT_US: GlobalHistogram = GlobalHistogram::new("whatif.variant_us");
+
+/// Reference economics and reporting knobs for the externality block of
+/// each record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfConfig {
+    /// Annual accelerator market quantity (units) for deadweight loss.
+    pub market_quantity: f64,
+    /// Market-clearing unit price in USD.
+    pub market_price_usd: f64,
+    /// Demand elasticity (negative).
+    pub demand_elasticity: f64,
+    /// Supply elasticity (positive).
+    pub supply_elasticity: f64,
+    /// Fixed-parameter columns for the indicator-distribution block.
+    pub indicator_columns: Vec<FixedParam>,
+}
+
+impl WhatIfConfig {
+    /// The paper's §5 reference economy (the `what_if_rules` values) and
+    /// the restricting-value indicator columns of the synthetic fleet.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        WhatIfConfig {
+            market_quantity: 1.0e6,
+            market_price_usd: 20_000.0,
+            demand_elasticity: -0.8,
+            supply_elasticity: 1.2,
+            indicator_columns: vec![
+                FixedParam::Lanes(8),
+                FixedParam::L1Kib(64),
+                FixedParam::HbmTbS(0.8),
+                FixedParam::DeviceBwGbS(400.0),
+            ],
+        }
+    }
+}
+
+impl Default for WhatIfConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Totals of one engine run (the stream's trailer metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhatIfSummary {
+    /// Rule variants screened (records emitted).
+    pub variants: usize,
+    /// Devices in the screened portfolio.
+    pub devices: usize,
+    /// Designs in the screened fleet.
+    pub fleet_designs: usize,
+}
+
+/// The engine: a device portfolio, the reference HBM packages, and the
+/// externality economics, reusable across requests. The priced fleet is
+/// an argument to [`WhatIfEngine::run_streaming`] so callers keep
+/// pricing (and its leg-table reuse) outside the screening loop.
+#[derive(Debug, Clone)]
+pub struct WhatIfEngine {
+    devices: Vec<DeviceMetrics>,
+    hbm_packages: Vec<HbmPackage>,
+    config: WhatIfConfig,
+}
+
+impl WhatIfEngine {
+    /// Engine over an explicit portfolio.
+    #[must_use]
+    pub fn new(devices: Vec<DeviceMetrics>, hbm_packages: Vec<HbmPackage>, config: WhatIfConfig) -> Self {
+        WhatIfEngine { devices, hbm_packages, config }
+    }
+
+    /// Engine over the curated 65-device DB, the reference HBM stacks,
+    /// and the paper's reference economics.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let db = GpuDatabase::curated_65();
+        let devices = db.iter().map(|r| r.to_metrics()).collect();
+        Self::new(devices, Self::reference_hbm_packages(), WhatIfConfig::paper_default())
+    }
+
+    /// The four commodity HBM stacks of the December 2024 analysis
+    /// (`policy_screening`'s Figure-13 table).
+    #[must_use]
+    pub fn reference_hbm_packages() -> Vec<HbmPackage> {
+        vec![
+            HbmPackage::new("HBM2e stack (460 GB/s, 100 mm2)", 460.0, 100.0),
+            HbmPackage::new("HBM3 stack (820 GB/s, 110 mm2)", 820.0, 110.0),
+            HbmPackage::new("derated export stack (210 GB/s, 110 mm2)", 210.0, 110.0),
+            HbmPackage::new("exception-band stack (320 GB/s, 110 mm2)", 320.0, 110.0),
+        ]
+    }
+
+    /// The screened device portfolio.
+    #[must_use]
+    pub fn devices(&self) -> &[DeviceMetrics] {
+        &self.devices
+    }
+
+    /// Datasheet metrics of a priced design, as the rules read them: its
+    /// swept device bandwidth, its HBM bandwidth as memory bandwidth
+    /// (nominal 80 GiB capacity), marketed as a data-center part.
+    #[must_use]
+    pub fn fleet_metrics(design: &EvaluatedDesign) -> DeviceMetrics {
+        DeviceMetrics::new(
+            design.name.clone(),
+            design.tpp,
+            design.params.device_bw_gb_s,
+            design.die_area_mm2,
+            true,
+            MarketSegment::DataCenter,
+        )
+        .with_memory(80.0, design.params.hbm_tb_s * 1000.0)
+    }
+
+    /// Screen every variant of `grid` against the portfolio and `fleet`,
+    /// calling `sink(variant_index, record)` with one canonical-JSON
+    /// record per variant, in grid order, as each completes. A sink
+    /// error aborts the run and is returned as-is (this is how a
+    /// streaming transport propagates a dead connection).
+    ///
+    /// # Errors
+    ///
+    /// Sink errors, or [`AcsError::Json`] if a record fails to emit.
+    pub fn run_streaming<F>(
+        &self,
+        grid: &RuleGrid,
+        fleet: &[EvaluatedDesign],
+        mut sink: F,
+    ) -> Result<WhatIfSummary, AcsError>
+    where
+        F: FnMut(usize, &Value) -> Result<(), AcsError>,
+    {
+        let baseline = ClassificationLedger::screen(&RuleSpec::baseline(), &self.devices);
+        let fleet_metrics: Vec<DeviceMetrics> = fleet.iter().map(Self::fleet_metrics).collect();
+        let specs = grid.variants();
+        for (index, spec) in specs.iter().enumerate() {
+            let started = std::time::Instant::now();
+            let record = self.variant_record(index, spec, &baseline, fleet, &fleet_metrics)?;
+            VARIANT_US.record(started.elapsed().as_secs_f64() * 1e6);
+            sink(index, &record)?;
+            VARIANTS_SCREENED.add(1);
+        }
+        Ok(WhatIfSummary {
+            variants: specs.len(),
+            devices: self.devices.len(),
+            fleet_designs: fleet.len(),
+        })
+    }
+
+    /// Convenience wrapper collecting every record in memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`WhatIfEngine::run_streaming`].
+    pub fn run(
+        &self,
+        grid: &RuleGrid,
+        fleet: &[EvaluatedDesign],
+    ) -> Result<(WhatIfSummary, Vec<Value>), AcsError> {
+        let mut records = Vec::with_capacity(grid.cardinality());
+        let summary = self.run_streaming(grid, fleet, |_, record| {
+            records.push(record.clone());
+            Ok(())
+        })?;
+        Ok((summary, records))
+    }
+
+    fn variant_record(
+        &self,
+        index: usize,
+        spec: &RuleSpec,
+        baseline: &ClassificationLedger,
+        fleet: &[EvaluatedDesign],
+        fleet_metrics: &[DeviceMetrics],
+    ) -> Result<Value, AcsError> {
+        let ledger = ClassificationLedger::screen(spec, &self.devices);
+        let delta = ledger.delta_from(baseline);
+        let fleet_ledger = ClassificationLedger::screen(spec, fleet_metrics);
+        let fleet_counts = fleet_ledger.counts();
+
+        let mut restricted: Vec<&EvaluatedDesign> = Vec::new();
+        let mut unrestricted: Vec<&EvaluatedDesign> = Vec::new();
+        for (design, (_, class)) in fleet.iter().zip(&fleet_ledger.entries) {
+            if class.is_restricted() {
+                restricted.push(design);
+            } else {
+                unrestricted.push(design);
+            }
+        }
+        let restricted_share = if fleet.is_empty() {
+            0.0
+        } else {
+            restricted.len() as f64 / fleet.len() as f64
+        };
+
+        let unrestricted_owned: Vec<EvaluatedDesign> =
+            unrestricted.iter().map(|d| (*d).clone()).collect();
+        let indicators = indicator_report(
+            &unrestricted_owned,
+            LatencyMetric::Tbt,
+            &self.config.indicator_columns,
+        );
+        let tbt_dist = Distribution::from_samples(
+            &unrestricted.iter().map(|d| d.tbt_s).collect::<Vec<_>>(),
+        );
+        let cost_dist = Distribution::from_samples(
+            &unrestricted.iter().map(|d| d.good_die_cost_usd).collect::<Vec<_>>(),
+        );
+
+        let dwl = deadweight_loss(
+            self.config.market_quantity,
+            self.config.market_price_usd,
+            restricted_share,
+            self.config.demand_elasticity,
+            self.config.supply_elasticity,
+        );
+        let best = |designs: &[&EvaluatedDesign]| -> Option<EvaluatedDesign> {
+            designs
+                .iter()
+                .min_by(|a, b| a.tbt_s.total_cmp(&b.tbt_s))
+                .map(|d| (*d).clone())
+        };
+        let overhead = match (best(&unrestricted), best(&restricted)) {
+            (Some(compliant), Some(frontier)) => {
+                overhead_value(&ComplianceOverhead::between(&compliant, &frontier))
+            }
+            _ => Value::Null,
+        };
+
+        let hbm_rows = self
+            .hbm_packages
+            .iter()
+            .map(|p| {
+                object(vec![
+                    ("name", Value::String(p.name.clone())),
+                    ("density_gb_s_mm2", num(p.bandwidth_density())),
+                    ("classification", Value::String(spec.classify_hbm(p).to_string())),
+                ])
+            })
+            .collect();
+
+        let indicator_rows = indicators
+            .iter()
+            .map(|col| {
+                object(vec![
+                    ("label", Value::String(col.label.clone())),
+                    ("median_s", num(col.distribution.median)),
+                    ("range_s", num(col.distribution.range())),
+                    ("narrowing", num(col.narrowing)),
+                ])
+            })
+            .collect();
+
+        Ok(object(vec![
+            ("variant", num(to_f64(index))),
+            ("rule", spec.to_json_value()?),
+            (
+                "devices",
+                object(vec![
+                    ("counts", counts_value(&ledger.counts())),
+                    ("newly_restricted", names_value(&delta.newly_restricted)),
+                    ("newly_freed", names_value(&delta.newly_freed)),
+                ]),
+            ),
+            (
+                "fleet",
+                object(vec![
+                    ("total", num(to_f64(fleet.len()))),
+                    ("counts", counts_value(&fleet_counts)),
+                    ("restricted_share", num(restricted_share)),
+                    ("tbt_unrestricted_s", dist_value(tbt_dist.as_ref())),
+                    ("good_die_cost_unrestricted_usd", dist_value(cost_dist.as_ref())),
+                    ("indicators", Value::Array(indicator_rows)),
+                ]),
+            ),
+            ("hbm", Value::Array(hbm_rows)),
+            (
+                "externality",
+                object(vec![
+                    ("deadweight_loss_usd", num(dwl)),
+                    ("compliance_overhead", overhead),
+                ]),
+            ),
+        ]))
+    }
+}
+
+impl Default for WhatIfEngine {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Emit a number, degrading non-finite values (an infinite narrowing
+/// factor, a ratio against a zero denominator) to `null` so every record
+/// stays canonical-JSON-encodable.
+fn num(x: f64) -> Value {
+    Value::from_f64(x).unwrap_or(Value::Null)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(n: usize) -> f64 {
+    n as f64
+}
+
+fn names_value(names: &[String]) -> Value {
+    Value::Array(names.iter().map(|n| Value::String(n.clone())).collect())
+}
+
+fn counts_value(c: &LedgerCounts) -> Value {
+    object(vec![
+        ("not_applicable", num(to_f64(c.not_applicable))),
+        ("nac_eligible", num(to_f64(c.nac_eligible))),
+        ("license_required", num(to_f64(c.license_required))),
+    ])
+}
+
+fn dist_value(d: Option<&Distribution>) -> Value {
+    match d {
+        None => Value::Null,
+        Some(d) => object(vec![
+            ("count", num(to_f64(d.count))),
+            ("min", num(d.min)),
+            ("q1", num(d.q1)),
+            ("median", num(d.median)),
+            ("q3", num(d.q3)),
+            ("max", num(d.max)),
+            ("mean", num(d.mean)),
+        ]),
+    }
+}
+
+fn overhead_value(o: &ComplianceOverhead) -> Value {
+    object(vec![
+        ("area_ratio", num(o.area_ratio)),
+        ("die_cost_ratio", num(o.die_cost_ratio)),
+        ("good_die_cost_ratio", num(o.good_die_cost_ratio)),
+        ("ttft_ratio", num(o.ttft_ratio)),
+        ("tbt_ratio", num(o.tbt_ratio)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::WhatIfRequest;
+    use acs_errors::json::parse;
+
+    #[test]
+    fn baseline_run_over_the_device_db() {
+        let engine = WhatIfEngine::paper_default();
+        let (summary, records) = engine.run(&RuleGrid::baseline(), &[]).unwrap();
+        assert_eq!(summary.variants, 1);
+        assert_eq!(summary.devices, 65);
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        // Baseline vs baseline: no flips.
+        let devices = rec.require("devices").unwrap();
+        assert!(devices.require("newly_restricted").unwrap().as_array().unwrap().is_empty());
+        assert!(devices.require("newly_freed").unwrap().as_array().unwrap().is_empty());
+        // Empty fleet: distributions degrade to null, DWL is zero.
+        let fleet = rec.require("fleet").unwrap();
+        assert_eq!(fleet.require("total").unwrap().as_f64(), Some(0.0));
+        assert!(matches!(fleet.require("tbt_unrestricted_s").unwrap(), Value::Null));
+        assert_eq!(
+            rec.require("externality").unwrap().require_f64("deadweight_loss_usd").unwrap(),
+            0.0
+        );
+        // Records are canonical JSON: byte-stable round trip.
+        let text = rec.to_json();
+        assert_eq!(parse(&text).unwrap().to_json(), text);
+    }
+
+    #[test]
+    fn blunt_rule_restricts_consumer_devices() {
+        let engine = WhatIfEngine::paper_default();
+        let req = parse(r#"{"rule":{"tpp_threshold_2022":1600,"device_bw_threshold_2022":0}}"#)
+            .unwrap();
+        let grid = WhatIfRequest::from_json(&req).unwrap().grid;
+        let (_, records) = engine.run(&grid, &[]).unwrap();
+        let devices = records[0].require("devices").unwrap();
+        let newly = devices.require("newly_restricted").unwrap().as_array().unwrap();
+        // The blunt 1600-TPP rule catches consumer parts the published
+        // rules leave alone (the paper's RTX-class examples).
+        assert!(!newly.is_empty());
+    }
+
+    #[test]
+    fn records_stream_in_grid_order_and_count_variants() {
+        let engine = WhatIfEngine::paper_default();
+        let req = parse(r#"{"grid":{"tpp_license":[2400,4800],"pd_license":[3.0,5.92]}}"#).unwrap();
+        let grid = WhatIfRequest::from_json(&req).unwrap().grid;
+        let mut seen = Vec::new();
+        let summary = engine
+            .run_streaming(&grid, &[], |i, rec| {
+                seen.push((i, rec.require_u64("variant").unwrap()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(summary.variants, 4);
+        assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_run() {
+        let engine = WhatIfEngine::paper_default();
+        let err = engine
+            .run_streaming(&RuleGrid::baseline(), &[], |_, _| {
+                Err(AcsError::Io { path: "wire".into(), reason: "gone".into() })
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "io");
+    }
+}

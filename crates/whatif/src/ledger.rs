@@ -1,0 +1,195 @@
+//! Classification ledgers: the per-device outcome of screening a
+//! portfolio under one rule regime, plus deltas between regimes.
+
+use crate::rules::RuleSpec;
+use acs_errors::hash::canonical_digest;
+use acs_errors::json::Value;
+use acs_policy::{Classification, DeviceMetrics};
+
+/// Per-class tallies of a ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerCounts {
+    /// Devices the regime does not reach.
+    pub not_applicable: usize,
+    /// Devices eligible for the NAC licence exception.
+    pub nac_eligible: usize,
+    /// Devices requiring a regular licence.
+    pub license_required: usize,
+}
+
+impl LedgerCounts {
+    /// Devices facing any restriction (NAC or licence).
+    #[must_use]
+    pub fn restricted(&self) -> usize {
+        self.nac_eligible + self.license_required
+    }
+
+    /// Total devices tallied.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.not_applicable + self.restricted()
+    }
+}
+
+/// Devices whose restriction status flipped between two regimes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LedgerDelta {
+    /// Unrestricted under the baseline, restricted under the variant.
+    pub newly_restricted: Vec<String>,
+    /// Restricted under the baseline, unrestricted under the variant.
+    pub newly_freed: Vec<String>,
+}
+
+/// The classification of every device in a portfolio under one regime,
+/// in portfolio order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassificationLedger {
+    /// `(device name, classification)` in screening order.
+    pub entries: Vec<(String, Classification)>,
+}
+
+impl ClassificationLedger {
+    /// Screen a portfolio with an arbitrary classifier (used by the
+    /// per-generation breakdowns in `examples/policy_screening.rs`).
+    pub fn screen_with<F>(devices: &[DeviceMetrics], classify: F) -> Self
+    where
+        F: Fn(&DeviceMetrics) -> Classification,
+    {
+        ClassificationLedger {
+            entries: devices.iter().map(|m| (m.name().to_owned(), classify(m))).collect(),
+        }
+    }
+
+    /// Screen a portfolio under a full rule regime.
+    #[must_use]
+    pub fn screen(spec: &RuleSpec, devices: &[DeviceMetrics]) -> Self {
+        Self::screen_with(devices, |m| spec.classify(m))
+    }
+
+    /// Per-class tallies.
+    #[must_use]
+    pub fn counts(&self) -> LedgerCounts {
+        let mut c = LedgerCounts::default();
+        for (_, class) in &self.entries {
+            match class {
+                Classification::NotApplicable => c.not_applicable += 1,
+                Classification::NacEligible => c.nac_eligible += 1,
+                Classification::LicenseRequired => c.license_required += 1,
+            }
+        }
+        c
+    }
+
+    /// Look up a device's classification by name.
+    #[must_use]
+    pub fn classification_of(&self, name: &str) -> Option<Classification> {
+        self.entries.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+    }
+
+    /// Names of every restricted device, in ledger order.
+    #[must_use]
+    pub fn restricted_names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, c)| c.is_restricted())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Restriction-status flips relative to a baseline ledger over the
+    /// same portfolio. Devices absent from the baseline are treated as
+    /// previously unrestricted.
+    #[must_use]
+    pub fn delta_from(&self, baseline: &Self) -> LedgerDelta {
+        let mut delta = LedgerDelta::default();
+        for (i, (name, class)) in self.entries.iter().enumerate() {
+            // The two ledgers normally share portfolio order; fall back
+            // to a name search so the delta stays correct either way.
+            let base = match baseline.entries.get(i) {
+                Some((n, c)) if n == name => Some(*c),
+                _ => baseline.classification_of(name),
+            };
+            let was = base.is_some_and(Classification::is_restricted);
+            match (was, class.is_restricted()) {
+                (false, true) => delta.newly_restricted.push(name.clone()),
+                (true, false) => delta.newly_freed.push(name.clone()),
+                _ => {}
+            }
+        }
+        delta
+    }
+
+    /// Order-sensitive canonical digest of the ledger (the
+    /// batch-vs-naive differential compares these).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let rows = self
+            .entries
+            .iter()
+            .map(|(name, class)| {
+                Value::Array(vec![
+                    Value::String(name.clone()),
+                    Value::String(class.to_string()),
+                ])
+            })
+            .collect();
+        canonical_digest(&Value::Array(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_policy::MarketSegment;
+
+    fn portfolio() -> Vec<DeviceMetrics> {
+        vec![
+            // Over every TPP line.
+            DeviceMetrics::new("big", 6000.0, 900.0, 800.0, true, MarketSegment::DataCenter),
+            // Under all published thresholds.
+            DeviceMetrics::new("small", 300.0, 100.0, 200.0, true, MarketSegment::NonDataCenter),
+        ]
+    }
+
+    #[test]
+    fn counts_and_restricted_names() {
+        let ledger = ClassificationLedger::screen(&RuleSpec::baseline(), &portfolio());
+        let counts = ledger.counts();
+        assert_eq!(counts.license_required, 1);
+        assert_eq!(counts.not_applicable, 1);
+        assert_eq!(counts.total(), 2);
+        assert_eq!(ledger.restricted_names(), vec!["big"]);
+    }
+
+    #[test]
+    fn delta_tracks_flips_both_ways() {
+        let devices = portfolio();
+        let base = ClassificationLedger::screen(&RuleSpec::baseline(), &devices);
+        // A 100-TPP blunt rule catches everything.
+        let mut strict = RuleSpec::baseline();
+        strict.acr_2022.tpp_threshold = 100.0;
+        strict.acr_2022.device_bw_threshold_gb_s = 0.0;
+        let delta = ClassificationLedger::screen(&strict, &devices).delta_from(&base);
+        assert_eq!(delta.newly_restricted, vec!["small"]);
+        assert!(delta.newly_freed.is_empty());
+        // And an unreachable rule frees everything.
+        let mut lax = RuleSpec::baseline();
+        lax.acr_2022.tpp_threshold = f64::MAX;
+        lax.acr_2023.tpp_license = f64::MAX;
+        lax.acr_2023.tpp_floor = f64::MAX;
+        lax.acr_2023.tpp_nac = f64::MAX;
+        let delta = ClassificationLedger::screen(&lax, &devices).delta_from(&base);
+        assert_eq!(delta.newly_freed, vec!["big"]);
+        assert!(delta.newly_restricted.is_empty());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let devices = portfolio();
+        let ledger = ClassificationLedger::screen(&RuleSpec::baseline(), &devices);
+        let mut reversed = ledger.clone();
+        reversed.entries.reverse();
+        assert_ne!(ledger.digest(), reversed.digest());
+        assert_eq!(ledger.digest(), ledger.clone().digest());
+    }
+}

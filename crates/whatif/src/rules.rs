@@ -1,0 +1,165 @@
+//! Parameterized rule regimes: every threshold of the published
+//! control generations plus the hypothetical variants, adjustable
+//! independently so a grid of regimes can be screened in one pass.
+
+use acs_errors::json::{object, Value};
+use acs_errors::AcsError;
+use acs_policy::{
+    Acr2022, Acr2023, Classification, DeviceMetrics, HbmClassification, HbmPackage, HbmRule2024,
+    MemBwRule,
+};
+
+/// One complete, parameterized export-control regime.
+///
+/// A device's classification under the regime is the *strictest* outcome
+/// of the device-level rules it holds: the October 2022 TPP+bandwidth
+/// rule, the October 2023 performance-density rule, and (when enabled)
+/// the hypothetical memory-bandwidth rule. The December 2024 HBM rule
+/// rides along for package-level screening ([`RuleSpec::classify_hbm`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleSpec {
+    /// October 2022 TPP + device-bandwidth thresholds.
+    pub acr_2022: Acr2022,
+    /// October 2023 performance-density tiers.
+    pub acr_2023: Acr2023,
+    /// Hypothetical device memory-bandwidth control (`None` = not enacted).
+    pub mem_bw: Option<MemBwRule>,
+    /// December 2024 HBM bandwidth-density rule.
+    pub hbm: HbmRule2024,
+}
+
+impl RuleSpec {
+    /// The published baseline: the three enacted generations at their
+    /// regulation values, hypothetical rules off. Classification deltas
+    /// are reported against this regime.
+    #[must_use]
+    pub fn baseline() -> Self {
+        RuleSpec {
+            acr_2022: Acr2022::published(),
+            acr_2023: Acr2023::published(),
+            mem_bw: None,
+            hbm: HbmRule2024::published(),
+        }
+    }
+
+    /// Strictest classification of a device under the regime's
+    /// device-level rules.
+    #[must_use]
+    pub fn classify(&self, metrics: &DeviceMetrics) -> Classification {
+        let mut c = self.acr_2022.classify(metrics).max(self.acr_2023.classify(metrics));
+        if let Some(mem_bw) = self.mem_bw {
+            c = c.max(mem_bw.classify(metrics));
+        }
+        c
+    }
+
+    /// Package-level HBM classification under the regime's HBM rule.
+    #[must_use]
+    pub fn classify_hbm(&self, package: &HbmPackage) -> HbmClassification {
+        self.hbm.classify(package)
+    }
+
+    /// Canonical-JSON emission of every threshold (the member names are
+    /// the grid axis names of [`crate::RuleGrid`]; a `mem_bw_license` of
+    /// `0` means the memory-bandwidth rule is not enacted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::NonFinite`]-rooted [`AcsError::Json`] if any
+    /// threshold is non-finite (impossible for grid-parsed specs).
+    pub fn to_json_value(&self) -> Result<Value, AcsError> {
+        Ok(object(vec![
+            ("tpp_threshold_2022", Value::from_f64(self.acr_2022.tpp_threshold)?),
+            (
+                "device_bw_threshold_2022",
+                Value::from_f64(self.acr_2022.device_bw_threshold_gb_s)?,
+            ),
+            ("tpp_license", Value::from_f64(self.acr_2023.tpp_license)?),
+            ("tpp_floor", Value::from_f64(self.acr_2023.tpp_floor)?),
+            ("tpp_nac", Value::from_f64(self.acr_2023.tpp_nac)?),
+            ("pd_license", Value::from_f64(self.acr_2023.pd_license)?),
+            ("pd_nac_high", Value::from_f64(self.acr_2023.pd_nac_high)?),
+            ("pd_nac_low", Value::from_f64(self.acr_2023.pd_nac_low)?),
+            (
+                "mem_bw_license",
+                Value::from_f64(self.mem_bw.map_or(0.0, |m| m.license_threshold_gb_s))?,
+            ),
+            ("hbm_control_density", Value::from_f64(self.hbm.control_density)?),
+            ("hbm_exception_density", Value::from_f64(self.hbm.exception_density)?),
+        ]))
+    }
+
+    /// Rebuild a spec from the 11 axis values in [`crate::grid::AXES`]
+    /// order (`mem_bw_license == 0` disables the memory-bandwidth rule).
+    #[must_use]
+    pub(crate) fn from_axis_values(v: &[f64; 11]) -> Self {
+        RuleSpec {
+            acr_2022: Acr2022 { tpp_threshold: v[0], device_bw_threshold_gb_s: v[1] },
+            acr_2023: Acr2023 {
+                tpp_license: v[2],
+                tpp_floor: v[3],
+                tpp_nac: v[4],
+                pd_license: v[5],
+                pd_nac_high: v[6],
+                pd_nac_low: v[7],
+            },
+            mem_bw: if v[8] > 0.0 { Some(MemBwRule { license_threshold_gb_s: v[8] }) } else { None },
+            hbm: HbmRule2024 { control_density: v[9], exception_density: v[10] },
+        }
+    }
+}
+
+impl Default for RuleSpec {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_policy::MarketSegment;
+
+    fn a800() -> DeviceMetrics {
+        DeviceMetrics::new("A800", 4992.0, 400.0, 826.0, true, MarketSegment::DataCenter)
+            .with_memory(80.0, 2039.0)
+    }
+
+    #[test]
+    fn baseline_takes_the_strictest_published_outcome() {
+        // The A800 escapes 2022 (bw 400 < 600) but 2023 catches it.
+        let spec = RuleSpec::baseline();
+        assert_eq!(spec.classify(&a800()), Classification::LicenseRequired);
+        assert_eq!(
+            Acr2022::published().classify(&a800()),
+            Classification::NotApplicable
+        );
+    }
+
+    #[test]
+    fn mem_bw_rule_extends_the_regime() {
+        // Relax the published rules to nothing; only the hypothetical
+        // memory-bandwidth rule is left, and the A800's 2 TB/s HBM trips it.
+        let mut spec = RuleSpec::baseline();
+        spec.acr_2022.tpp_threshold = f64::MAX;
+        spec.acr_2023.tpp_license = f64::MAX;
+        spec.acr_2023.tpp_floor = f64::MAX;
+        spec.acr_2023.tpp_nac = f64::MAX;
+        assert_eq!(spec.classify(&a800()), Classification::NotApplicable);
+        spec.mem_bw = Some(MemBwRule { license_threshold_gb_s: 800.0 });
+        assert_eq!(spec.classify(&a800()), Classification::LicenseRequired);
+    }
+
+    #[test]
+    fn json_round_trips_through_axis_values() {
+        let spec = RuleSpec::baseline();
+        let v = spec.to_json_value().unwrap();
+        assert_eq!(v.require_f64("tpp_threshold_2022").unwrap(), 4800.0);
+        assert_eq!(v.require_f64("mem_bw_license").unwrap(), 0.0);
+        let rebuilt = RuleSpec::from_axis_values(&[
+            4800.0, 600.0, 4800.0, 1600.0, 2400.0, 5.92, 3.2, 1.6, 0.0, 2.0, 3.3,
+        ]);
+        assert_eq!(rebuilt, spec);
+        assert!(rebuilt.mem_bw.is_none());
+    }
+}

@@ -6,42 +6,50 @@
 //! packages against the December 2024 rule, and quantify how well the
 //! marketing-based classification holds together.
 //!
+//! A thin client of `acs::whatif`: the per-generation tallies, the
+//! cross-generation flips, and the HBM screening all come from the
+//! what-if engine's ledgers and reference data rather than hand-rolled
+//! classification loops.
+//!
 //! ```text
 //! cargo run --release --example policy_screening
 //! ```
 
 use acs::core::prelude::*;
 use acs::devices::GpuDatabase;
-use acs::policy::{Acr2022, Acr2023, Classification, HbmPackage, HbmRule2024};
+use acs::policy::{Acr2022, Acr2023, DeviceMetrics};
+use acs::whatif::{ClassificationLedger, RuleSpec, WhatIfEngine};
 
 fn main() {
     let db = GpuDatabase::curated_65();
+    let devices: Vec<DeviceMetrics> = db.iter().map(|r| r.to_metrics()).collect();
     let r22 = Acr2022::published();
     let r23 = Acr2023::published();
 
     // Portfolio screening: who needs a licence under each generation?
-    let mut counts = [[0u32; 3]; 2];
-    for record in &db {
-        let m = record.to_metrics();
-        for (i, class) in [r22.classify(&m), r23.classify(&m)].into_iter().enumerate() {
-            counts[i][match class {
-                Classification::NotApplicable => 0,
-                Classification::NacEligible => 1,
-                Classification::LicenseRequired => 2,
-            }] += 1;
-        }
-    }
+    let by_2022 = ClassificationLedger::screen_with(&devices, |m| r22.classify(m));
+    let by_2023 = ClassificationLedger::screen_with(&devices, |m| r23.classify(m));
     println!("65-device portfolio under both rule generations:");
-    println!("{:<14} {:>14} {:>14} {:>18}", "rule", "not applicable", "NAC eligible", "license required");
-    println!("{:<14} {:>14} {:>14} {:>18}", "October 2022", counts[0][0], counts[0][1], counts[0][2]);
-    println!("{:<14} {:>14} {:>14} {:>18}", "October 2023", counts[1][0], counts[1][1], counts[1][2]);
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "rule", "not applicable", "NAC eligible", "license required"
+    );
+    for (label, ledger) in [("October 2022", &by_2022), ("October 2023", &by_2023)] {
+        let c = ledger.counts();
+        println!(
+            "{label:<14} {:>14} {:>14} {:>18}",
+            c.not_applicable, c.nac_eligible, c.license_required
+        );
+    }
 
     // Devices whose status changed between generations — the §2.2 story.
     println!("\nnewly restricted by the October 2023 update:");
-    for record in &db {
-        let m = record.to_metrics();
-        if !r22.classify(&m).is_restricted() && r23.classify(&m).is_restricted() {
-            println!("  {} ({}, {})", record.name, m.tpp(), r23.classify(&m));
+    let delta = by_2023.delta_from(&by_2022);
+    for name in &delta.newly_restricted {
+        let metrics = devices.iter().find(|m| m.name() == name);
+        let class = by_2023.classification_of(name);
+        if let (Some(metrics), Some(class)) = (metrics, class) {
+            println!("  {name} ({}, {class})", metrics.tpp());
         }
     }
 
@@ -61,20 +69,16 @@ fn main() {
         arch.false_ndc.len()
     );
 
-    // December 2024: commodity HBM screening.
+    // December 2024: the what-if engine's commodity HBM packages under
+    // the baseline regime's package-level rule.
     println!("\ncommodity HBM packages under the December 2024 rule:");
-    let hbm_rule = HbmRule2024::published();
-    for pkg in [
-        HbmPackage::new("HBM2e stack (460 GB/s, 100 mm2)", 460.0, 100.0),
-        HbmPackage::new("HBM3 stack (820 GB/s, 110 mm2)", 820.0, 110.0),
-        HbmPackage::new("derated export stack (210 GB/s, 110 mm2)", 210.0, 110.0),
-        HbmPackage::new("exception-band stack (320 GB/s, 110 mm2)", 320.0, 110.0),
-    ] {
+    let baseline = RuleSpec::baseline();
+    for pkg in WhatIfEngine::reference_hbm_packages() {
         println!(
             "  {:<44} density {:>5.2} GB/s/mm2 -> {}",
             pkg.name,
             pkg.bandwidth_density(),
-            hbm_rule.classify(&pkg)
+            baseline.classify_hbm(&pkg)
         );
     }
 }

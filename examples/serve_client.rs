@@ -1,6 +1,7 @@
 //! End-to-end client for the `acs-serve` query service: screen a
 //! compliant design, simulate it, repeat the simulation to demonstrate
-//! the content-addressed cache, and verify the hit through
+//! the content-addressed cache, stream a policy what-if rule grid over
+//! chunked transfer-encoding, and verify the cache hits through
 //! `GET /v1/metrics`.
 //!
 //! ```text
@@ -107,6 +108,47 @@ fn run(addr: SocketAddr) -> Result<(), AcsError> {
         });
     }
     println!("cache verified: simulate hits {before} -> {after}");
+
+    // 5. Policy what-if: a 4-variant rule grid streamed back as chunked
+    //    NDJSON (the client reassembles the frames transparently), then
+    //    repeated to verify the what-if response cache through metrics.
+    let whatif_body = "{\"grid\":{\"tpp_license\":[2400,4800],\"mem_bw_license\":[0,800]}}";
+    let whatif_before = parse(&call(client, "GET", "/v1/metrics", "")?)?
+        .require("caches")?
+        .require("whatif")?
+        .require_f64("hits")?;
+    let stream = call(client, "POST", "/v1/whatif", whatif_body)?;
+    let lines: Vec<&str> = stream.lines().collect();
+    let Some((trailer_line, records)) = lines.split_last() else {
+        return Err(AcsError::Protocol { reason: "empty what-if stream".to_owned() });
+    };
+    if records.len() != 4 {
+        return Err(AcsError::Protocol {
+            reason: format!("what-if stream should carry 4 records, got {}", records.len()),
+        });
+    }
+    let trailer = parse(trailer_line)?;
+    let variants = trailer.require_f64("variants")?;
+    let fleet_designs = trailer.require_f64("fleet_designs")?;
+    println!("what-if grid: {variants} rule variants over a {fleet_designs}-design fleet");
+    let repeat = call(client, "POST", "/v1/whatif", whatif_body)?;
+    if repeat != stream {
+        return Err(AcsError::Protocol {
+            reason: "repeated what-if returned a different stream".to_owned(),
+        });
+    }
+    let whatif_after = parse(&call(client, "GET", "/v1/metrics", "")?)?
+        .require("caches")?
+        .require("whatif")?
+        .require_f64("hits")?;
+    if whatif_after < whatif_before + 1.0 {
+        return Err(AcsError::Protocol {
+            reason: format!(
+                "repeated POST /v1/whatif did not hit the cache (hits {whatif_before} -> {whatif_after})"
+            ),
+        });
+    }
+    println!("cache verified: what-if hits {whatif_before} -> {whatif_after}");
     Ok(())
 }
 

@@ -8,6 +8,12 @@
 //! performance distribution is narrow (predictable) while gaming-class
 //! devices stay sellable.
 //!
+//! A thin client of `acs::whatif`: candidate regimes are expressed as
+//! rule specs, device impact comes from classification ledgers, and the
+//! externality economics are the engine's reference economy. (For the
+//! full batch treatment — whole rule grids with per-variant records —
+//! POST the same parameters to acs-serve's `/v1/whatif`.)
+//!
 //! ```text
 //! cargo run --release --example what_if_rules
 //! ```
@@ -16,7 +22,8 @@ use acs::core::prelude::*;
 use acs::devices::GpuDatabase;
 use acs::dse::prelude::*;
 use acs::llm::{ModelConfig, WorkloadConfig};
-use acs::policy::Acr2022;
+use acs::policy::{Acr2022, DeviceMetrics, MarketSegment, MemBwRule};
+use acs::whatif::{ClassificationLedger, WhatIfConfig};
 
 fn main() {
     let model = ModelConfig::gpt3_175b();
@@ -46,15 +53,18 @@ fn main() {
     }
 
     // How many of today's real gaming devices would such a rule touch?
-    // None: consumer memory systems already sit well under the cap.
+    // Screen the consumer slice of the curated DB under the hypothetical
+    // memory-bandwidth rule alone. None: consumer memory systems already
+    // sit well under the cap.
     let db = GpuDatabase::curated_65();
-    let touched: Vec<_> = db
+    let consumer: Vec<DeviceMetrics> = db
         .iter()
-        .filter(|r| {
-            r.market == acs::policy::MarketSegment::NonDataCenter && r.mem_bw_gb_s > 800.0
-        })
-        .map(|r| r.name.as_ref())
+        .filter(|r| r.market == MarketSegment::NonDataCenter)
+        .map(|r| r.to_metrics())
         .collect();
+    let mem_bw = MemBwRule { license_threshold_gb_s: 800.0 };
+    let mem_bw_ledger = ClassificationLedger::screen_with(&consumer, |m| mem_bw.classify(m));
+    let touched = mem_bw_ledger.restricted_names();
     println!(
         "\nconsumer devices above a hypothetical 800 GB/s memory-BW threshold: {touched:?}"
     );
@@ -62,22 +72,26 @@ fn main() {
     // Contrast with a blunt alternative: tightening the October 2022 TPP
     // threshold to 1600 would have swept up mid-range gaming cards.
     let blunt = Acr2022 { tpp_threshold: 1600.0, device_bw_threshold_gb_s: 0.0 };
-    let swept: Vec<_> = db
-        .iter()
-        .filter(|r| blunt.classify(&r.to_metrics()).is_restricted())
-        .filter(|r| r.market == acs::policy::MarketSegment::NonDataCenter)
-        .map(|r| r.name.as_ref())
-        .collect();
+    let blunt_ledger = ClassificationLedger::screen_with(&consumer, |m| blunt.classify(m));
+    let swept = blunt_ledger.restricted_names();
     println!(
         "consumer devices a blunt TPP>=1600 rule would restrict ({}): {:?}",
         swept.len(),
         swept
     );
 
-    // And the economics: restricting supply destroys surplus. Toy
-    // numbers: a 1M-unit, $20k-average accelerator market.
+    // And the economics: restricting supply destroys surplus, priced with
+    // the what-if engine's reference economy (a 1M-unit, $20k-average
+    // accelerator market).
+    let economy = WhatIfConfig::paper_default();
     for restriction in [0.1, 0.25, 0.5] {
-        let dwl = deadweight_loss(1.0e6, 20_000.0, restriction, -0.8, 1.2);
+        let dwl = deadweight_loss(
+            economy.market_quantity,
+            economy.market_price_usd,
+            restriction,
+            economy.demand_elasticity,
+            economy.supply_elasticity,
+        );
         println!(
             "supply restriction {:>4.0}% -> deadweight loss ${:.2}B",
             restriction * 100.0,

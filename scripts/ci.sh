@@ -17,12 +17,15 @@ echo "==> factored-evaluator golden equivalence (bit-identity vs planned path)"
 cargo test -q --release --locked --offline --test factored_equivalence
 
 echo "==> verification harness (golden corpus, seeded fuzz, socket chaos)"
-# Golden-corpus diff: the blessed sweep digests and paper anchors in
+# Golden-corpus diff: the blessed sweep digests, the 64-variant what-if
+# rule-grid digest, and the paper anchors in
 # crates/verify/corpus/golden.json must be bit-identical to a fresh
-# evaluation. Then a fixed-seed structured fuzz pass (10k mutations over
-# the HTTP surface and the JSON/CSV codecs, plus the checked-in
-# regression corpus) and one socket-fault chaos round against a live
-# server, all of which must end with zero findings and a healthy server.
+# evaluation. The differential suite includes the whatif batch-vs-naive
+# ledger case. Then a fixed-seed structured fuzz pass (10k mutations over
+# the HTTP surface — /v1/whatif rule grids included — and the JSON/CSV
+# codecs, plus the checked-in regression corpus) and one socket-fault
+# chaos round against a live server, all of which must end with zero
+# findings and a healthy server.
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- corpus
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- diff
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- fuzz --iters 10000 --seed 1
@@ -35,7 +38,8 @@ echo "ok"
 echo "==> serve loopback smoke test"
 # Boot the real binary with a fifo as its stdin (the signal pipe), find
 # the ephemeral port from its startup log, run the end-to-end client
-# against it — which asserts a /v1/simulate cache hit via /v1/metrics —
+# against it — which asserts a /v1/simulate cache hit and a chunked
+# /v1/whatif rule-grid stream (with its cache hit) via /v1/metrics —
 # then stop it with a graceful 'shutdown' line and require a clean exit.
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
@@ -69,7 +73,7 @@ echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored
 cargo run -q --release --locked --offline --example bench_validate -- \
     --min-dse-plan-speedup 1.5 \
     --min-dse-factored-speedup 2.0 \
-    "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json"
+    "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json" "$smokedir/BENCH_whatif.json"
 
 echo "==> profiled DSE trace determinism (identical structure across runs)"
 # Two identical profiled runs must serialise to traces that differ only
@@ -91,7 +95,7 @@ echo "==> error-handling policy grep (non-test library code must be clean)"
 # mechanical pass fails if any file's pre-test-module region contains a
 # panic site in live code.
 fail=0
-files=$(grep -rl "unwrap()\|expect(\|panic!" crates/hw/src crates/sim/src crates/dse/src crates/devices/src crates/llm/src crates/cache/src crates/serve/src crates/telemetry/src 2>/dev/null || true)
+files=$(grep -rl "unwrap()\|expect(\|panic!" crates/hw/src crates/sim/src crates/dse/src crates/devices/src crates/llm/src crates/cache/src crates/serve/src crates/telemetry/src crates/whatif/src 2>/dev/null || true)
 for f in $files; do
     cut=$(awk '/#\[cfg\(test\)\]/{print NR; exit}' "$f")
     [ -z "$cut" ] && cut=$(($(wc -l < "$f") + 1))

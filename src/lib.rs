@@ -17,6 +17,9 @@
 //!   DSE evaluator, the serving simulator, and the query service.
 //! * [`serve`] — a zero-dependency HTTP/1.1 service exposing screening
 //!   and simulation as JSON endpoints.
+//! * [`whatif`] — the policy what-if engine: parameterized rule regimes,
+//!   rule-grid batch screening, classification deltas and externality
+//!   accounting (streamed by serve's `/v1/whatif`).
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@ pub use acs_hw as hw;
 pub use acs_llm as llm;
 pub use acs_policy as policy;
 pub use acs_sim as sim;
+pub use acs_whatif as whatif;
 
 /// Commonly used items, importable with `use acs::prelude::*`.
 pub mod prelude {

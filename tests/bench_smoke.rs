@@ -8,9 +8,10 @@
 //! to catch order-of-magnitude regressions and to prove the paths run,
 //! not to produce publishable numbers.
 //!
-//! Two artefacts are written for the perf trajectory (schema documented
-//! in README "Observability"): `BENCH_dse.json` from [`bench_smoke`] and
-//! `BENCH_serve.json` from [`bench_serve`], each
+//! Three artefacts are written for the perf trajectory (schema
+//! documented in README "Observability"): `BENCH_dse.json` from
+//! [`bench_smoke`], `BENCH_serve.json` from [`bench_serve`], and
+//! `BENCH_whatif.json` from [`bench_whatif`], each
 //! `{"schema": "acs-bench-v1", "suite": ..., "metrics": {...}}` with
 //! every metric a finite number. `ACS_BENCH_DIR` overrides the output
 //! directory (default: the repo root).
@@ -280,6 +281,92 @@ fn bench_smoke() {
             ("plan_speedup", plan_speedup),
             ("points_per_sec_factored", points_per_sec_factored),
             ("factored_speedup", factored_speedup),
+        ],
+    );
+}
+
+#[test]
+#[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
+fn bench_whatif() {
+    use acs_dse::EvaluatedDesign;
+    use acs_whatif::{RuleGrid, WhatIfEngine};
+
+    // The tentpole scale of POST /v1/whatif: a 64-variant rule grid over
+    // the curated 65-device DB plus the 4096-design synthetic fleet.
+    // Fleet pricing goes through the factored path — cold prices every
+    // leg once; warm re-runs the same sweep against populated leg tables,
+    // which is the AppState steady state where repeated what-ifs re-price
+    // nothing.
+    let runner = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+    let spec = SweepSpec::synthetic_fleet();
+    let started = Instant::now();
+    let report = runner.run_factored(&spec, 4800.0);
+    let fleet_cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.total(), 4096, "synthetic fleet size");
+    assert!(report.failures.is_empty(), "synthetic fleet has no bad points");
+    let mut fleet_warm_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let again = runner.run_factored(&spec, 4800.0);
+        fleet_warm_ms = fleet_warm_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(again.total(), 4096);
+    }
+    println!(
+        "{:<44} {:>10.3} ms/call  (warm {:.3} ms, {:.2}x)",
+        "run_factored (4096-design fleet pricing)",
+        fleet_cold_ms,
+        fleet_warm_ms,
+        fleet_cold_ms / fleet_warm_ms
+    );
+
+    let fleet: Vec<EvaluatedDesign> = report.designs.into_iter().map(|(_, d)| d).collect();
+    let mut grid = RuleGrid::baseline();
+    grid.tpp_threshold_2022 = vec![2400.0, 4800.0];
+    grid.tpp_license = vec![1600.0, 2400.0, 3600.0, 4800.0];
+    grid.pd_license = vec![3.0, 5.92];
+    grid.mem_bw_license = vec![0.0, 600.0, 800.0, 1000.0];
+    assert_eq!(grid.cardinality(), 64, "whatif reference grid size");
+    let engine = WhatIfEngine::paper_default();
+    let mut screen = || engine.run(&grid, &fleet).expect("what-if run");
+    let (summary, _) = screen(); // warm-up, and shape check
+    assert_eq!((summary.variants, summary.devices, summary.fleet_designs), (64, 65, 4096));
+    let mut grid_ms = f64::INFINITY;
+    for _ in 0..3 {
+        grid_ms = grid_ms.min(round_ms(1, &mut screen));
+    }
+    // Rule-variants per second as a /v1/whatif request sees them: grid
+    // screening plus the fleet pricing it rides on, cold and warm.
+    let variants = 64.0;
+    let variants_per_sec_cold = variants / ((fleet_cold_ms + grid_ms) / 1e3);
+    let variants_per_sec_warm = variants / ((fleet_warm_ms + grid_ms) / 1e3);
+    println!(
+        "{:<44} {:>10.1} variants/s  (cold legs {:.1} variants/s)",
+        "whatif 64-variant grid (warm legs)", variants_per_sec_warm, variants_per_sec_cold
+    );
+
+    // Generous ceilings: only order-of-magnitude regressions fail. The
+    // fleet prices in milliseconds, so warm-vs-cold sits inside timer
+    // noise here; the hard proof that warm sweeps re-price nothing is
+    // the leg-counter test (tests/whatif_leg_reuse.rs), and this bound
+    // only catches the warm path regressing into real re-pricing work.
+    assert!(
+        fleet_warm_ms <= fleet_cold_ms * 1.5,
+        "warm leg tables regressed vs cold pricing ({fleet_warm_ms:.1} ms vs {fleet_cold_ms:.1} ms)"
+    );
+    assert!(
+        variants_per_sec_warm >= 1.0,
+        "what-if screening fell below 1 variant/s ({variants_per_sec_warm:.2})"
+    );
+
+    write_bench(
+        "whatif",
+        vec![
+            ("fleet_cold_ms", fleet_cold_ms),
+            ("fleet_warm_ms", fleet_warm_ms),
+            ("leg_reuse_speedup", fleet_cold_ms / fleet_warm_ms),
+            ("grid_ms", grid_ms),
+            ("variants_per_sec_cold", variants_per_sec_cold),
+            ("variants_per_sec_warm", variants_per_sec_warm),
         ],
     );
 }
