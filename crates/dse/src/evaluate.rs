@@ -8,7 +8,7 @@ use acs_errors::{guard, AcsError};
 use acs_hw::{AreaModel, CostModel, DeviceConfig, SystemConfig, RETICLE_LIMIT_MM2};
 use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
 use acs_policy::Acr2023;
-use acs_sim::{plan_digest, EvalPlans, SimParams, Simulator};
+use acs_sim::{plan_digest_parallel, EvalPlans, SimParams, Simulator};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -126,6 +126,8 @@ pub struct DseRunner {
     model: ModelConfig,
     workload: WorkloadConfig,
     pub(crate) device_count: u32,
+    pub(crate) expert_parallel: u32,
+    pub(crate) datatype: Option<acs_hw::DataType>,
     pub(crate) area_model: AreaModel,
     pub(crate) cost_model: CostModel,
     pub(crate) sim_params: SimParams,
@@ -154,6 +156,8 @@ impl DseRunner {
             model,
             workload,
             device_count: 4,
+            expert_parallel: 1,
+            datatype: None,
             area_model: AreaModel::n7(),
             cost_model: CostModel::n7(),
             sim_params: SimParams::calibrated(),
@@ -188,6 +192,59 @@ impl DseRunner {
         self
     }
 
+    /// Override the expert-parallel group size: plans lower the MoE FFN
+    /// over an `n`-wide expert group, bracketed by dispatch/combine
+    /// all-to-alls (see `acs_llm::LayerGraph::try_build_parallel`).
+    /// Validation happens at plan-build time, so a group that is
+    /// incompatible with the runner's model (dense, or experts not
+    /// divisible by `n`) surfaces as a typed per-point failure, not a
+    /// construction panic.
+    #[must_use]
+    pub fn with_expert_parallel(mut self, n: u32) -> Self {
+        self.expert_parallel = n;
+        // Plans and priced legs bake in the lowering; drop both slots.
+        self.plans = Arc::new(PlanSlot::default());
+        self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self
+    }
+
+    /// Retype every evaluated configuration to operand format `dt`
+    /// before pricing. Eq. 1 multiplies TOPS by the operand bit width,
+    /// so the override moves a design's TPP (and with it the regulatory
+    /// screening) without touching its silicon; narrower formats also
+    /// shrink the expert-parallel collective payloads, which size in
+    /// bytes. Configurations already in format `dt` pass through
+    /// untouched — an fp16 override is the identity on the fp16 sweep
+    /// templates, cache keys included.
+    #[must_use]
+    pub fn with_datatype(mut self, dt: acs_hw::DataType) -> Self {
+        self.datatype = Some(dt);
+        // Plans key on the dtype width and priced legs bake it into the
+        // collective payloads; drop both slots.
+        self.plans = Arc::new(PlanSlot::default());
+        self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self
+    }
+
+    /// Apply the runner's datatype override to one shared configuration:
+    /// `None` when no override is set (or it already matches) so the
+    /// caller keeps its borrow — the sweep hot path pays one enum
+    /// compare, no refcount traffic — and a rebuilt device otherwise.
+    #[inline]
+    pub(crate) fn retyped(
+        &self,
+        config: &Arc<DeviceConfig>,
+    ) -> Result<Option<Arc<DeviceConfig>>, AcsError> {
+        match self.datatype {
+            Some(dt) if dt != config.datatype() => {
+                let mut builder = config.to_builder();
+                builder.datatype(dt);
+                Ok(Some(Arc::new(builder.build()?)))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Override the simulator calibration.
     #[must_use]
     pub fn with_sim_params(mut self, params: SimParams) -> Self {
@@ -218,6 +275,18 @@ impl DseRunner {
         &self.model
     }
 
+    /// The workload being evaluated.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadConfig {
+        &self.workload
+    }
+
+    /// The expert-parallel group size plans are lowered for.
+    #[must_use]
+    pub fn expert_parallel(&self) -> u32 {
+        self.expert_parallel
+    }
+
     /// The content-addressed key for one configuration under this
     /// runner's model, workload, and calibration. The model, workload,
     /// device count, and datatype are folded into the two layer-plan
@@ -230,13 +299,20 @@ impl DseRunner {
         let u = |x: u64| Value::Number(x as f64);
         let p = &self.sim_params;
         let dt = config.datatype().bytes();
-        let prefill =
-            plan_digest(&self.model, &self.workload, InferencePhase::Prefill, self.device_count, dt);
-        let decode = plan_digest(
+        let prefill = plan_digest_parallel(
+            &self.model,
+            &self.workload,
+            InferencePhase::Prefill,
+            self.device_count,
+            self.expert_parallel,
+            dt,
+        );
+        let decode = plan_digest_parallel(
             &self.model,
             &self.workload,
             self.workload.decode_phase(),
             self.device_count,
+            self.expert_parallel,
             dt,
         );
         CacheKey::from_value(&object(vec![
@@ -303,6 +379,8 @@ impl DseRunner {
     ///
     /// Same contract as [`DseRunner::try_evaluate`].
     pub fn try_evaluate_shared(&self, config: &Arc<DeviceConfig>) -> Result<EvaluatedDesign, AcsError> {
+        let retyped = self.retyped(config)?;
+        let config = retyped.as_ref().unwrap_or(config);
         match &self.cache {
             Some(cache) => {
                 let key = self.cache_key(config);
@@ -376,8 +454,13 @@ impl DseRunner {
             return Ok(Arc::clone(plans));
         }
         // Built outside the write lock; a racing builder just loses.
-        let built =
-            Arc::new(EvalPlans::build(&self.model, &self.workload, self.device_count, dtype_bytes)?);
+        let built = Arc::new(EvalPlans::build_parallel(
+            &self.model,
+            &self.workload,
+            self.device_count,
+            self.expert_parallel,
+            dtype_bytes,
+        )?);
         let mut map = self.plans.by_dtype.write().unwrap_or_else(PoisonError::into_inner);
         Ok(Arc::clone(map.entry(dtype_bytes).or_insert(built)))
     }
@@ -393,6 +476,25 @@ impl DseRunner {
     ///
     /// Same contract as [`DseRunner::try_evaluate`].
     pub fn try_evaluate_legacy(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+        if self.expert_parallel > 1 {
+            // The legacy pipeline lowers per call through the dense
+            // builder; silently pricing a different graph would defeat
+            // its purpose as a differential baseline.
+            return Err(AcsError::invalid_config(
+                "expert_parallel",
+                "the legacy reference pipeline prices the dense lowering only",
+            ));
+        }
+        let retyped;
+        let config = match self.datatype {
+            Some(dt) if dt != config.datatype() => {
+                let mut builder = config.to_builder();
+                builder.datatype(dt);
+                retyped = builder.build()?;
+                &retyped
+            }
+            _ => config,
+        };
         let ctx = format!("evaluate.{}", config.name());
         let area =
             guard::ensure_positive(&ctx, "die_area_mm2", self.area_model.die_area(config).total_mm2())?;
@@ -788,6 +890,26 @@ mod tests {
             assert_eq!(planned.ttft_s.to_bits(), legacy.ttft_s.to_bits());
             assert_eq!(planned.tbt_s.to_bits(), legacy.tbt_s.to_bits());
         }
+    }
+
+    #[test]
+    fn datatype_override_retypes_evaluations() {
+        let cfg = DeviceConfig::a100_like();
+        let base = runner().try_evaluate(&cfg).unwrap();
+        // An fp16 override is the identity on the fp16 template.
+        let same = runner().with_datatype(acs_hw::DataType::Fp16).try_evaluate(&cfg).unwrap();
+        assert_eq!(base, same);
+        assert_eq!(base.ttft_s.to_bits(), same.ttft_s.to_bits());
+        // Int4 sheds 3/4 of the TPP at constant silicon (Eq. 1).
+        let narrow = runner().with_datatype(acs_hw::DataType::Int4);
+        let int4 = narrow.try_evaluate(&cfg).unwrap();
+        assert!((int4.tpp / base.tpp - 0.25).abs() < 0.01, "ratio {}", int4.tpp / base.tpp);
+        assert_eq!(int4.params.core_count, base.params.core_count);
+        // All three pricing paths agree under the override.
+        let factored = narrow.try_evaluate_factored(&cfg).unwrap();
+        let legacy = narrow.try_evaluate_legacy(&cfg).unwrap();
+        assert_eq!(int4, factored);
+        assert_eq!(int4.ttft_s.to_bits(), legacy.ttft_s.to_bits());
     }
 
     #[test]

@@ -224,6 +224,8 @@ impl DseRunner {
         &self,
         config: &Arc<DeviceConfig>,
     ) -> Result<EvaluatedDesign, AcsError> {
+        let retyped = self.retyped(config)?;
+        let config = retyped.as_ref().unwrap_or(config);
         match &self.cache {
             Some(cache) => {
                 let key = self.cache_key(config);
@@ -271,7 +273,13 @@ impl DseRunner {
             "good_die_cost_usd",
             self.cost_model.good_die_cost_usd(area),
         )?;
-        let keys = LegKeys::of(sim.system());
+        let mut keys = LegKeys::of(sim.system());
+        // The comm leg of an expert-parallel plan includes the
+        // dispatch/combine all-to-alls, whose payloads depend on the
+        // group width — fold it into the key so differently grouped
+        // runners sharing a node shape never alias (dense plans keep the
+        // key's historical value of 1).
+        keys.comm.expert_parallel = plans.prefill.expert_parallel();
         // Legs are fetched lazily per phase, prefill before decode, so a
         // cost-model failure surfaces at the same phase as on the
         // planned path.

@@ -20,8 +20,12 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DataType {
+    /// 4-bit integer (weight-only quantized serving).
+    Int4,
     /// 8-bit integer / float formats.
     Int8,
+    /// 8-bit floating point (E4M3/E5M2 family; same TPP width as int8).
+    Fp8,
     /// IEEE half precision (the paper's evaluation format).
     Fp16,
     /// Single precision.
@@ -33,27 +37,32 @@ impl DataType {
     #[must_use]
     pub fn bit_width(self) -> u32 {
         match self {
-            DataType::Int8 => 8,
+            DataType::Int4 => 4,
+            DataType::Int8 | DataType::Fp8 => 8,
             DataType::Fp16 => 16,
             DataType::Fp32 => 32,
         }
     }
 
-    /// Operand size in bytes.
+    /// Operand size in bytes. Sub-byte formats round up to one byte:
+    /// memory traffic stays byte-addressed, and int4's packing gains are
+    /// accounted through `bit_width` (TPP), not through the byte model.
     #[must_use]
     pub fn bytes(self) -> u32 {
-        self.bit_width() / 8
+        self.bit_width().div_ceil(8)
     }
 
-    /// Parse the lowercase name produced by `Display` (`"int8"`, `"fp16"`,
-    /// `"fp32"`).
+    /// Parse the lowercase name produced by `Display` (`"int4"`, `"int8"`,
+    /// `"fp8"`, `"fp16"`, `"fp32"`).
     ///
     /// # Errors
     ///
     /// Returns [`HwError::InvalidConfig`] for any other string.
     pub fn parse(s: &str) -> Result<Self, HwError> {
         match s {
+            "int4" => Ok(DataType::Int4),
             "int8" => Ok(DataType::Int8),
+            "fp8" => Ok(DataType::Fp8),
             "fp16" => Ok(DataType::Fp16),
             "fp32" => Ok(DataType::Fp32),
             other => Err(HwError::InvalidConfig {
@@ -67,7 +76,9 @@ impl DataType {
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DataType::Int4 => write!(f, "int4"),
             DataType::Int8 => write!(f, "int8"),
+            DataType::Fp8 => write!(f, "fp8"),
             DataType::Fp16 => write!(f, "fp16"),
             DataType::Fp32 => write!(f, "fp32"),
         }

@@ -154,8 +154,14 @@ mod tests {
         let base = DeviceConfig::a100_like().to_json_string();
         let e = DeviceConfig::from_json_str(&base.replace("\"7nm\"", "\"3nm\"")).unwrap_err();
         assert_eq!(e.kind(), "invalid_config");
-        let e = DeviceConfig::from_json_str(&base.replace("\"fp16\"", "\"fp8\"")).unwrap_err();
+        let e = DeviceConfig::from_json_str(&base.replace("\"fp16\"", "\"fp4\"")).unwrap_err();
         assert_eq!(e.kind(), "invalid_config");
+        // The scenario dtypes round-trip.
+        for dt in ["fp8", "int4"] {
+            let d = DeviceConfig::from_json_str(&base.replace("\"fp16\"", &format!("{dt:?}")))
+                .unwrap();
+            assert_eq!(d.datatype().to_string(), dt);
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! devices, and each of the two blocks ends in an all-reduce. Norms and
 //! residuals are computed redundantly on every device.
 
-use crate::model::{Activation, ModelConfig};
-use crate::ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
+use crate::model::{Activation, ModelConfig, MoeConfig};
+use crate::ops::{AllReduceOp, AllToAllOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
 use crate::workload::{InferencePhase, WorkloadConfig};
 use acs_errors::AcsError;
 use std::fmt::Write as _;
@@ -32,6 +32,7 @@ pub struct LayerGraph {
     ops: Vec<Operator>,
     phase: InferencePhase,
     tensor_parallel: u32,
+    expert_parallel: u32,
 }
 
 impl LayerGraph {
@@ -81,6 +82,36 @@ impl LayerGraph {
         tensor_parallel: u32,
         dtype_bytes: u64,
     ) -> Result<Self, AcsError> {
+        Self::try_build_parallel(model, workload, phase, tensor_parallel, 1, dtype_bytes)
+    }
+
+    /// [`LayerGraph::try_build_with_dtype`] with an expert-parallel degree.
+    ///
+    /// At `expert_parallel == 1` the lowering is byte-identical to the
+    /// tensor-parallel-only form. Beyond 1, the MoE experts are sharded
+    /// across an `expert_parallel`-wide group *orthogonal to* the
+    /// tensor-parallel node (total devices = `tensor_parallel ×
+    /// expert_parallel`): each device holds `num_experts /
+    /// expert_parallel` experts, and the layer gains a dispatch
+    /// all-to-all before the expert FFNs and a combine all-to-all after
+    /// them, in exchange for each device processing only its `1 /
+    /// expert_parallel` share of the routed token assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the tensor-parallel
+    /// degree is invalid (see [`LayerGraph::try_build`]), when
+    /// `expert_parallel` is zero, or when `expert_parallel > 1` on a
+    /// dense model or with a degree that does not divide the expert
+    /// count.
+    pub fn try_build_parallel(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        expert_parallel: u32,
+        dtype_bytes: u64,
+    ) -> Result<Self, AcsError> {
         if tensor_parallel == 0 {
             return Err(AcsError::invalid_config("tensor_parallel", "must be nonzero"));
         }
@@ -93,7 +124,27 @@ impl LayerGraph {
                 ),
             ));
         }
-        Ok(Self::build_with_dtype(model, workload, phase, tensor_parallel, dtype_bytes))
+        if expert_parallel == 0 {
+            return Err(AcsError::invalid_config("expert_parallel", "must be nonzero"));
+        }
+        if expert_parallel > 1 {
+            let Some(moe) = model.moe() else {
+                return Err(AcsError::invalid_config(
+                    "expert_parallel",
+                    format!("{} is a dense model; expert parallelism needs experts", model.name()),
+                ));
+            };
+            if moe.num_experts % expert_parallel != 0 {
+                return Err(AcsError::invalid_config(
+                    "expert_parallel",
+                    format!(
+                        "{expert_parallel} does not divide the model's {} experts",
+                        moe.num_experts
+                    ),
+                ));
+            }
+        }
+        Ok(Self::lower(model, workload, phase, tensor_parallel, expert_parallel, dtype_bytes))
     }
 
     /// Canonical text form of everything a layer plan depends on: the
@@ -109,6 +160,23 @@ impl LayerGraph {
         workload: &WorkloadConfig,
         phase: InferencePhase,
         tensor_parallel: u32,
+        dtype_bytes: u64,
+    ) -> String {
+        Self::plan_key_parallel(model, workload, phase, tensor_parallel, 1, dtype_bytes)
+    }
+
+    /// [`LayerGraph::plan_key`] with an expert-parallel degree. The `|ep=`
+    /// member is appended only when `expert_parallel > 1`, so every key
+    /// the pre-scenario stack ever produced stays byte-identical — the
+    /// digests in blessed golden corpora and long-lived caches are
+    /// unaffected by the parallelism extension.
+    #[must_use]
+    pub fn plan_key_parallel(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        expert_parallel: u32,
         dtype_bytes: u64,
     ) -> String {
         let mut key = String::with_capacity(192);
@@ -144,6 +212,9 @@ impl LayerGraph {
             }
         }
         let _ = write!(key, "|tp={tensor_parallel}|dt={dtype_bytes}");
+        if expert_parallel > 1 {
+            let _ = write!(key, "|ep={expert_parallel}");
+        }
         key
     }
 
@@ -166,6 +237,19 @@ impl LayerGraph {
             0,
             "tensor_parallel must divide num_heads"
         );
+        Self::lower(model, workload, phase, tensor_parallel, 1, dtype_bytes)
+    }
+
+    /// The one lowering routine every public constructor funnels into.
+    /// Inputs are pre-validated by the caller.
+    fn lower(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        tensor_parallel: u32,
+        expert_parallel: u32,
+        dtype_bytes: u64,
+    ) -> Self {
         let tp = u64::from(tensor_parallel);
         let b = workload.batch();
         let d = model.d_model();
@@ -257,12 +341,20 @@ impl LayerGraph {
         // FLOPs scale with top_k; weight traffic scales with the experts
         // actually touched (count = touched experts, each a distinct
         // weight set — `b_bytes` then counts every touched expert once).
+        // Under expert parallelism each device owns `num_experts / ep`
+        // experts and processes its `1/ep` share of the routed
+        // assignments, bracketed by a dispatch and a combine all-to-all.
+        // A degenerate 1-expert top-1 "MoE" routes every token to the one
+        // expert every device already holds: no router, no exchange — the
+        // lowering is byte-identical to the dense FFN, the invariant the
+        // differential-verification corpus pins.
+        let ep = u64::from(expert_parallel);
+        let mut moe_combine: Option<AllToAllOp> = None;
         let (ffn_count, ffn_m) = match model.moe() {
             None => (1, tokens),
+            Some(moe) if moe.num_experts == 1 => (1, tokens),
             Some(moe) => {
                 let assignments = tokens * u64::from(moe.top_k);
-                let touched = (moe.expected_experts_touched(assignments).round() as u64)
-                    .clamp(1, u64::from(moe.num_experts).min(assignments));
                 ops.push(Operator::Matmul(MatmulOp {
                     name: "moe_router",
                     m: tokens,
@@ -277,7 +369,28 @@ impl LayerGraph {
                     kind: VectorKind::Softmax,
                     elements: tokens * u64::from(moe.num_experts),
                 }));
-                (touched, assignments.div_ceil(touched))
+                let local_pool = MoeConfig {
+                    num_experts: moe.num_experts / expert_parallel,
+                    top_k: moe.top_k,
+                };
+                let local_assignments = assignments.div_ceil(ep);
+                let touched = (local_pool.expected_experts_touched(local_assignments).round()
+                    as u64)
+                    .clamp(1, u64::from(local_pool.num_experts).min(local_assignments));
+                if expert_parallel > 1 {
+                    let exchange_bytes = local_assignments * d * dtype_bytes;
+                    ops.push(Operator::AllToAll(AllToAllOp {
+                        name: "moe_dispatch",
+                        bytes: exchange_bytes,
+                        group: expert_parallel,
+                    }));
+                    moe_combine = Some(AllToAllOp {
+                        name: "moe_combine",
+                        bytes: exchange_bytes,
+                        group: expert_parallel,
+                    });
+                }
+                (touched, local_assignments.div_ceil(touched))
             }
         };
         match model.activation() {
@@ -332,6 +445,9 @@ impl LayerGraph {
             b_shared_by: 1,
             kind: MatmulKind::Weight,
         }));
+        if let Some(combine) = moe_combine {
+            ops.push(Operator::AllToAll(combine));
+        }
         ops.push(Operator::AllReduce(AllReduceOp {
             name: "allreduce_ffn",
             bytes: tokens * d * dtype_bytes,
@@ -342,7 +458,7 @@ impl LayerGraph {
             elements: tokens * d,
         }));
 
-        LayerGraph { ops, phase, tensor_parallel }
+        LayerGraph { ops, phase, tensor_parallel, expert_parallel }
     }
 
     /// The operator sequence in execution order.
@@ -361,6 +477,20 @@ impl LayerGraph {
     #[must_use]
     pub fn tensor_parallel(&self) -> u32 {
         self.tensor_parallel
+    }
+
+    /// Expert-parallel degree (1 unless built through
+    /// [`LayerGraph::try_build_parallel`]).
+    #[must_use]
+    pub fn expert_parallel(&self) -> u32 {
+        self.expert_parallel
+    }
+
+    /// Number of all-to-all collectives (2 for an expert-parallel MoE
+    /// layer, 0 otherwise).
+    #[must_use]
+    pub fn alltoall_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, Operator::AllToAll(_))).count()
     }
 
     /// Total per-device FLOPs in the layer.
@@ -636,6 +766,88 @@ mod tests {
         let routed = ffn_up.count * ffn_up.m;
         let expected = 32 * 2048 * 2;
         assert!((routed as f64 / expected as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_moe_lowers_bit_identically_to_dense() {
+        // 1 expert, top-1: every token visits the single expert every
+        // device holds — no router, no exchange, the dense FFN.
+        let dense = ModelConfig::llama3_8b();
+        let degen = ModelConfig::llama3_8b().with_moe(1, 1);
+        let w = WorkloadConfig::paper_default();
+        for phase in [InferencePhase::Prefill, InferencePhase::Decode { context_len: 2048 }] {
+            let g_dense = LayerGraph::build(&dense, &w, phase, 4);
+            let g_degen = LayerGraph::build(&degen, &w, phase, 4);
+            assert_eq!(g_dense.ops(), g_degen.ops());
+        }
+    }
+
+    #[test]
+    fn expert_parallel_brackets_the_ffn_with_alltoalls() {
+        let mixtral = ModelConfig::mixtral_8x7b();
+        let w = WorkloadConfig::paper_default();
+        let g = LayerGraph::try_build_parallel(&mixtral, &w, InferencePhase::Prefill, 4, 4, 2)
+            .unwrap();
+        assert_eq!(g.expert_parallel(), 4);
+        assert_eq!(g.alltoall_count(), 2);
+        let names: Vec<&str> = g.ops().iter().map(acs_llm_op_name).collect();
+        let dispatch = names.iter().position(|n| *n == "moe_dispatch").unwrap();
+        let combine = names.iter().position(|n| *n == "moe_combine").unwrap();
+        let down = names.iter().position(|n| *n == "ffn_down").unwrap();
+        let allreduce = names.iter().position(|n| *n == "allreduce_ffn").unwrap();
+        assert!(dispatch < down && down < combine && combine < allreduce);
+        // Each device's FFN work shrinks with the expert-parallel degree.
+        let ep1 = LayerGraph::try_build_parallel(&mixtral, &w, InferencePhase::Prefill, 4, 1, 2)
+            .unwrap();
+        assert_eq!(ep1.ops(), LayerGraph::build(&mixtral, &w, InferencePhase::Prefill, 4).ops());
+        let ffn_flops = |g: &LayerGraph| -> f64 {
+            g.ops()
+                .iter()
+                .filter(|op| op.name().starts_with("ffn"))
+                .map(Operator::flops)
+                .sum()
+        };
+        let ratio = ffn_flops(&ep1) / ffn_flops(&g);
+        assert!(ratio > 3.0 && ratio < 5.0, "4-way EP should quarter FFN work, ratio {ratio}");
+    }
+
+    fn acs_llm_op_name(op: &Operator) -> &'static str {
+        op.name()
+    }
+
+    #[test]
+    fn expert_parallel_validation_is_typed() {
+        let w = WorkloadConfig::paper_default();
+        let dense = ModelConfig::llama3_8b();
+        let mixtral = ModelConfig::mixtral_8x7b();
+        // Zero EP degree.
+        let err = LayerGraph::try_build_parallel(&mixtral, &w, InferencePhase::Prefill, 4, 0, 2)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+        // EP on a dense model.
+        let err = LayerGraph::try_build_parallel(&dense, &w, InferencePhase::Prefill, 4, 2, 2)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+        // EP degree not dividing the expert count.
+        let err = LayerGraph::try_build_parallel(&mixtral, &w, InferencePhase::Prefill, 4, 3, 2)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+    }
+
+    #[test]
+    fn parallel_plan_keys_extend_without_disturbing_dense_keys() {
+        let m = ModelConfig::mixtral_8x7b();
+        let w = WorkloadConfig::paper_default();
+        // ep=1 emits exactly the historical key.
+        assert_eq!(
+            LayerGraph::plan_key_parallel(&m, &w, InferencePhase::Prefill, 4, 1, 2),
+            LayerGraph::plan_key(&m, &w, InferencePhase::Prefill, 4, 2),
+        );
+        let k1 = LayerGraph::plan_key_parallel(&m, &w, InferencePhase::Prefill, 4, 1, 2);
+        let k4 = LayerGraph::plan_key_parallel(&m, &w, InferencePhase::Prefill, 4, 4, 2);
+        assert_ne!(k1, k4);
+        assert!(k4.ends_with("|ep=4"), "{k4}");
+        assert!(!k1.contains("|ep="), "{k1}");
     }
 
     #[test]

@@ -28,12 +28,14 @@
 pub mod graph;
 pub mod model;
 pub mod ops;
+pub mod partition;
 pub mod rng;
 pub mod traces;
 pub mod workload;
 
 pub use graph::LayerGraph;
 pub use model::{Activation, ModelConfig, MoeConfig};
-pub use ops::{AllReduceOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
+pub use ops::{AllReduceOp, AllToAllOp, MatmulKind, MatmulOp, Operator, VectorKind, VectorOp};
+pub use partition::pipeline_stage_layers;
 pub use traces::{LengthDistribution, Request, RequestTrace};
 pub use workload::{InferencePhase, WorkloadConfig};

@@ -250,11 +250,37 @@ impl ModelConfig {
         }
     }
 
+    /// Weight parameters *activated* per token in one layer: attention
+    /// plus the router and only the `top_k` experts a token actually
+    /// visits. Equal to [`ModelConfig::params_per_layer`] for dense
+    /// models. The activated/total split is the load-bearing number for
+    /// MoE sanction analysis — compute ceilings track activated
+    /// parameters while memory capacity tracks total.
+    #[must_use]
+    pub fn activated_params_per_layer(&self) -> u64 {
+        let qkv = self.d_model * (self.d_model + self.kv_dim());
+        let out = self.d_model * self.d_model;
+        let ffn = u64::from(self.activation.ffn_matmul_count()) * self.d_model * self.d_ffn;
+        match self.moe {
+            None => qkv + out + ffn,
+            Some(moe) => {
+                let router = self.d_model * u64::from(moe.num_experts);
+                qkv + out + ffn * u64::from(moe.top_k) + router
+            }
+        }
+    }
+
     /// Total weight parameters across all layers (embeddings excluded —
     /// the paper simulates a single representative layer).
     #[must_use]
     pub fn total_params(&self) -> u64 {
         u64::from(self.num_layers) * self.params_per_layer()
+    }
+
+    /// Activated parameters per token across all layers.
+    #[must_use]
+    pub fn activated_params(&self) -> u64 {
+        u64::from(self.num_layers) * self.activated_params_per_layer()
     }
 
     /// KV-cache bytes appended per token per layer, for a given operand

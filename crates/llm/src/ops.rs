@@ -161,6 +161,22 @@ pub struct AllReduceOp {
     pub bytes: u64,
 }
 
+/// An all-to-all exchange over an expert-parallel group: every device
+/// scatters its routed token activations to the devices holding the
+/// selected experts and gathers the results back. MoE layers emit one
+/// before (dispatch) and one after (combine) the expert FFN.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AllToAllOp {
+    /// Human-readable operator name.
+    pub name: &'static str,
+    /// Payload bytes per device (the local token activations exchanged).
+    pub bytes: u64,
+    /// Expert-parallel group size the exchange spans. The group is a
+    /// property of the operator, not of [`acs_hw::SystemConfig`]: the
+    /// system's `device_count` remains the tensor-parallel degree.
+    pub group: u32,
+}
+
 /// A single operator in a layer's execution.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -171,6 +187,8 @@ pub enum Operator {
     Vector(VectorOp),
     /// Tensor-parallel all-reduce over the device PHYs.
     AllReduce(AllReduceOp),
+    /// Expert-parallel all-to-all over the device PHYs.
+    AllToAll(AllToAllOp),
 }
 
 impl Operator {
@@ -181,6 +199,7 @@ impl Operator {
             Operator::Matmul(op) => op.name,
             Operator::Vector(op) => op.name,
             Operator::AllReduce(op) => op.name,
+            Operator::AllToAll(op) => op.name,
         }
     }
 
@@ -190,7 +209,7 @@ impl Operator {
         match self {
             Operator::Matmul(op) => op.flops() as f64,
             Operator::Vector(op) => op.flops(),
-            Operator::AllReduce(_) => 0.0,
+            Operator::AllReduce(_) | Operator::AllToAll(_) => 0.0,
         }
     }
 }
@@ -207,6 +226,9 @@ impl fmt::Display for Operator {
                 write!(f, "vector {}: {} elements ({:?})", op.name, op.elements, op.kind)
             }
             Operator::AllReduce(op) => write!(f, "allreduce {}: {} bytes", op.name, op.bytes),
+            Operator::AllToAll(op) => {
+                write!(f, "alltoall {}: {} bytes over {} devices", op.name, op.bytes, op.group)
+            }
         }
     }
 }

@@ -1,0 +1,73 @@
+//! Pipeline-stage graph partitioning.
+//!
+//! Pipeline parallelism places contiguous runs of identical Transformer
+//! layers on successive devices. Because every layer of a decoder-only
+//! model is the same graph, a partition is fully described by how many
+//! layers each stage holds; the stage boundary traffic (one activation
+//! tensor per micro-batch) is priced by the simulator's parallelism
+//! module, not here.
+
+use acs_errors::AcsError;
+
+/// Contiguous layer counts of a `stages`-deep pipeline over `num_layers`
+/// identical layers: every stage holds `num_layers / stages` layers and
+/// the remainder is absorbed into the last stage, matching the
+/// simulator's long-standing stage model.
+///
+/// # Errors
+///
+/// Returns [`AcsError::InvalidConfig`] when `stages` is zero or exceeds
+/// `num_layers` (a stage must hold at least one layer).
+///
+/// # Example
+///
+/// ```
+/// use acs_llm::partition::pipeline_stage_layers;
+///
+/// assert_eq!(pipeline_stage_layers(32, 4)?, vec![8, 8, 8, 8]);
+/// assert_eq!(pipeline_stage_layers(10, 4)?, vec![2, 2, 2, 4]);
+/// # Ok::<(), acs_errors::AcsError>(())
+/// ```
+pub fn pipeline_stage_layers(num_layers: u32, stages: u32) -> Result<Vec<u32>, AcsError> {
+    if stages == 0 {
+        return Err(AcsError::invalid_config("pipeline_stages", "must be nonzero"));
+    }
+    if stages > num_layers {
+        return Err(AcsError::invalid_config(
+            "pipeline_stages",
+            format!("{stages} stages cannot each hold a layer of a {num_layers}-layer model"),
+        ));
+    }
+    let base = num_layers / stages;
+    let mut out = vec![base; stages as usize];
+    if let Some(last) = out.last_mut() {
+        *last += num_layers % stages;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partitions_are_uniform() {
+        assert_eq!(pipeline_stage_layers(96, 8).unwrap(), vec![12; 8]);
+        assert_eq!(pipeline_stage_layers(32, 1).unwrap(), vec![32]);
+    }
+
+    #[test]
+    fn remainders_land_in_the_last_stage() {
+        let stages = pipeline_stage_layers(80, 6).unwrap();
+        assert_eq!(stages.len(), 6);
+        assert_eq!(stages.iter().sum::<u32>(), 80);
+        assert_eq!(stages[5], 13 + 2);
+        assert!(stages[..5].iter().all(|&s| s == 13));
+    }
+
+    #[test]
+    fn degenerate_depths_are_typed_errors() {
+        assert_eq!(pipeline_stage_layers(32, 0).unwrap_err().kind(), "invalid_config");
+        assert_eq!(pipeline_stage_layers(4, 5).unwrap_err().kind(), "invalid_config");
+    }
+}

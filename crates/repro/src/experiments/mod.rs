@@ -14,6 +14,7 @@ pub mod ext_parallelism;
 pub mod ext_policy;
 pub mod ext_process;
 pub mod ext_moe;
+pub mod ext_scenarios;
 pub mod ext_power;
 pub mod ext_serving;
 pub mod fig1;

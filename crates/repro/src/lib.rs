@@ -45,6 +45,7 @@ pub const EXTENSIONS: &[&str] = &[
     "ext-hbm",
     "ext-fleet",
     "ext-ablation",
+    "ext-scenarios",
 ];
 
 /// Run one experiment by name (or `"all"`).
@@ -88,6 +89,7 @@ pub fn run(name: &str) -> Result<(), Box<dyn Error>> {
         "ext-hbm" => experiments::ext_hbm::run()?,
         "ext-fleet" => experiments::ext_fleet::run()?,
         "ext-ablation" => experiments::ext_ablation::run()?,
+        "ext-scenarios" => experiments::ext_scenarios::run()?,
         "all" => {
             for exp in EXPERIMENTS {
                 run(exp)?;

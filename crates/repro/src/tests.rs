@@ -28,12 +28,15 @@ fn registry_names_are_unique_and_kebab_case() {
 fn cheap_experiments_run_to_completion() {
     let dir = std::env::temp_dir().join("acs-repro-test-results");
     std::env::set_var("ACS_RESULTS_DIR", &dir);
-    for exp in ["table1", "table2", "fig1a", "fig1b", "fig2", "fig9", "fig10", "ext-legacy"] {
+    for exp in
+        ["table1", "table2", "fig1a", "fig1b", "fig2", "fig9", "fig10", "ext-legacy", "ext-scenarios"]
+    {
         run(exp).unwrap_or_else(|e| panic!("{exp} failed: {e}"));
     }
     // CSVs landed where directed.
     assert!(dir.join("fig1a.csv").exists());
     assert!(dir.join("fig9.csv").exists());
+    assert!(dir.join("ext_scenarios.csv").exists());
     std::env::remove_var("ACS_RESULTS_DIR");
     let _ = std::fs::remove_dir_all(dir);
 }

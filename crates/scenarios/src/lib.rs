@@ -1,0 +1,34 @@
+//! Named evaluation scenarios: a model family (dense or mixture-of-
+//! experts), an operand datatype, and a parallelism scheme composed into
+//! one canonically digestable unit the rest of the stack can sweep over.
+//!
+//! The paper's evaluation holds the workload frontend fixed (dense
+//! GPT-3/Llama under 4-way tensor parallelism at fp16) and sweeps the
+//! *hardware*. Sanctions analysis increasingly needs the transpose:
+//! hold a candidate design and ask how the regulatory picture shifts as
+//! the workload moves — to MoE models whose activated-parameter compute
+//! escapes TPP-style ceilings, to fp8/int4 operands that shed TPP at
+//! constant silicon, to expert/pipeline parallelism that sidesteps the
+//! interconnect thresholds tensor parallelism is exposed to. A
+//! [`Scenario`] names one such point; a [`ScenarioRegistry`] resolves
+//! names (or inline JSON specs) into validated scenarios with typed
+//! errors for every degenerate input.
+//!
+//! # Example
+//!
+//! ```
+//! use acs_scenarios::ScenarioRegistry;
+//!
+//! let registry = ScenarioRegistry::builtin();
+//! let moe = registry.get("moe-mixtral-fp16-tp4-ep4")?;
+//! assert_eq!(moe.parallelism().devices(), 16);
+//! let runner = moe.runner();
+//! assert_eq!(runner.expert_parallel(), 4);
+//! # Ok::<(), acs_errors::AcsError>(())
+//! ```
+
+pub mod registry;
+pub mod scenario;
+
+pub use registry::ScenarioRegistry;
+pub use scenario::{ParallelismScheme, Scenario, MAX_EXPERTS, MAX_SCENARIO_DEVICES};

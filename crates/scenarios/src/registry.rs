@@ -1,0 +1,209 @@
+//! The named-scenario registry.
+
+use crate::scenario::{ParallelismScheme, Scenario};
+use acs_errors::json::Value;
+use acs_errors::AcsError;
+use acs_hw::DataType;
+use acs_llm::{ModelConfig, WorkloadConfig};
+use std::collections::BTreeMap;
+
+/// A name-keyed set of validated scenarios. Deterministically ordered
+/// (BTreeMap), so listings and error messages are stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    inner: BTreeMap<String, Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// The built-in scenarios every service exposes:
+    ///
+    /// | name | composition |
+    /// |---|---|
+    /// | `dense-llama3-fp16-tp4` | the stack's historical default — Llama 3 8B, fp16, one 4-device TP node |
+    /// | `dense-gpt3-fp16-tp4` | the paper's GPT-3 175B evaluation point |
+    /// | `dense-llama3-70b-int4-tp8-pp4` | 4-bit serving of a 70B dense model over 32 devices |
+    /// | `moe-mixtral-fp16-tp4-ep4` | Mixtral 8x7B, 4-way expert parallelism (16 devices) |
+    /// | `moe-mixtral-fp8-tp4-ep8` | fp8 Mixtral with one expert per group (32 devices) |
+    /// | `hier-mixtral-fp16-tp8-ep2-pp2` | hierarchical multi-node: 8 TP × 2 EP × 2 PP = 32 devices |
+    ///
+    /// `dense-llama3-fp16-tp4` composes exactly the model, workload,
+    /// dtype, and node the pre-scenario serving stack hard-coded, so
+    /// screening under it reproduces historical results bit for bit.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let paper = WorkloadConfig::paper_default();
+        let mut registry = ScenarioRegistry::new();
+        let entries = [
+            Scenario::new(
+                "dense-llama3-fp16-tp4",
+                ModelConfig::llama3_8b(),
+                paper,
+                DataType::Fp16,
+                ParallelismScheme::tensor4(),
+            ),
+            Scenario::new(
+                "dense-gpt3-fp16-tp4",
+                ModelConfig::gpt3_175b(),
+                paper,
+                DataType::Fp16,
+                ParallelismScheme::tensor4(),
+            ),
+            Scenario::new(
+                "dense-llama3-70b-int4-tp8-pp4",
+                ModelConfig::llama3_70b(),
+                paper,
+                DataType::Int4,
+                ParallelismScheme { tensor: 8, expert: 1, pipeline_stages: 4 },
+            ),
+            Scenario::new(
+                "moe-mixtral-fp16-tp4-ep4",
+                ModelConfig::mixtral_8x7b(),
+                paper,
+                DataType::Fp16,
+                ParallelismScheme { tensor: 4, expert: 4, pipeline_stages: 1 },
+            ),
+            Scenario::new(
+                "moe-mixtral-fp8-tp4-ep8",
+                ModelConfig::mixtral_8x7b(),
+                paper,
+                DataType::Fp8,
+                ParallelismScheme { tensor: 4, expert: 8, pipeline_stages: 1 },
+            ),
+            Scenario::new(
+                "hier-mixtral-fp16-tp8-ep2-pp2",
+                ModelConfig::mixtral_8x7b(),
+                paper,
+                DataType::Fp16,
+                ParallelismScheme { tensor: 8, expert: 2, pipeline_stages: 2 },
+            ),
+        ];
+        // Built-in scenarios are valid by construction; a constructor
+        // error here would be a bug, and `builtin_registry_resolves_all_
+        // documented_names` pins the full complement of six.
+        for scenario in entries.into_iter().flatten() {
+            registry.insert(scenario);
+        }
+        registry
+    }
+
+    /// Register (or replace) a scenario under its own name.
+    pub fn insert(&mut self, scenario: Scenario) {
+        self.inner.insert(scenario.name().to_owned(), scenario);
+    }
+
+    /// Look a scenario up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] naming the known scenarios
+    /// when `name` is not registered.
+    pub fn get(&self, name: &str) -> Result<&Scenario, AcsError> {
+        self.inner.get(name).ok_or_else(|| {
+            AcsError::invalid_config(
+                "scenario",
+                format!("unknown scenario '{name}'; known: {}", self.names().join(", ")),
+            )
+        })
+    }
+
+    /// Resolve a JSON grid member: a string resolves against the
+    /// registry, an object parses as an inline [`Scenario`] spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioRegistry::get`] and [`Scenario::from_json_value`].
+    pub fn resolve(&self, v: &Value) -> Result<Scenario, AcsError> {
+        match v {
+            Value::String(name) => self.get(name).cloned(),
+            Value::Object(_) => Scenario::from_json_value(v),
+            _ => Err(AcsError::Json {
+                reason: "a scenario must be a registered name or an inline spec object".into(),
+            }),
+        }
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.inner.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate the registered scenarios in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.inner.values()
+    }
+
+    /// Number of registered scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_errors::json::parse;
+
+    #[test]
+    fn builtin_registry_resolves_all_documented_names() {
+        let r = ScenarioRegistry::builtin();
+        assert_eq!(r.len(), 6);
+        for name in [
+            "dense-llama3-fp16-tp4",
+            "dense-gpt3-fp16-tp4",
+            "dense-llama3-70b-int4-tp8-pp4",
+            "moe-mixtral-fp16-tp4-ep4",
+            "moe-mixtral-fp8-tp4-ep8",
+            "hier-mixtral-fp16-tp8-ep2-pp2",
+        ] {
+            assert_eq!(r.get(name).unwrap().name(), name);
+        }
+        // The default scenario reproduces the historical serving stack.
+        let default = r.get("dense-llama3-fp16-tp4").unwrap();
+        assert_eq!(default.model().name(), "Llama 3 8B");
+        assert_eq!(default.parallelism().devices(), 4);
+        assert_eq!(default.runner().expert_parallel(), 1);
+        // The hierarchical scenario escapes the 4-device node.
+        assert_eq!(r.get("hier-mixtral-fp16-tp8-ep2-pp2").unwrap().parallelism().devices(), 32);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors_listing_alternatives() {
+        let err = ScenarioRegistry::builtin().get("dense-gpt5").unwrap_err();
+        assert_eq!(err.kind(), "invalid_config");
+        assert!(err.to_string().contains("moe-mixtral-fp16-tp4-ep4"), "{err}");
+    }
+
+    #[test]
+    fn resolve_accepts_names_and_inline_specs_only() {
+        let r = ScenarioRegistry::builtin();
+        let by_name = r.resolve(&parse(r#""dense-llama3-fp16-tp4""#).unwrap()).unwrap();
+        assert_eq!(by_name.name(), "dense-llama3-fp16-tp4");
+        let inline = r.resolve(&parse(r#"{"model":"llama3_8b","dtype":"int4"}"#).unwrap()).unwrap();
+        assert_eq!(inline.dtype(), acs_hw::DataType::Int4);
+        assert_eq!(r.resolve(&parse("7").unwrap()).unwrap_err().kind(), "json");
+    }
+
+    #[test]
+    fn registered_digests_are_pairwise_distinct() {
+        let r = ScenarioRegistry::builtin();
+        let digests: Vec<u64> = r.iter().map(Scenario::digest).collect();
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), digests.len());
+    }
+}

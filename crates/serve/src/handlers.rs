@@ -22,11 +22,13 @@ use acs_policy::{
     Acr2022, Acr2023, Classification, DeviceMetrics, HbmClassification, HbmPackage, HbmRule2024,
     MarketSegment,
 };
+use acs_scenarios::{Scenario, ScenarioRegistry};
 use acs_sim::{simulate_serving_cached, PlanStore, ServingConfig, Simulator, StepCostCache};
 use acs_telemetry::{Counter, Gauge, Histogram, Registry};
 use acs_whatif::{WhatIfEngine, WhatIfRequest, RuleGrid};
+use std::collections::HashMap;
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Request-latency endpoint labels, indexing [`AppState::latency`] and
@@ -54,6 +56,13 @@ pub struct AppState {
     // request — and every /v1/whatif fleet — prices only the legs no
     // earlier request has priced.
     dse: DseRunner,
+    // The named-scenario registry and one persistent runner per scenario
+    // the service has priced under (keyed by scenario digest). Each
+    // runner owns its own leg tables, so a moe-mixtral grid warms the
+    // MoE legs without ever touching the dense default's tables — and
+    // every later request under the same scenario hits them.
+    scenarios: ScenarioRegistry,
+    scenario_runners: RwLock<HashMap<u64, Arc<DseRunner>>>,
     // The what-if screener: the curated portfolio, the reference HBM
     // stacks, and the externality economics, shared across requests.
     whatif: WhatIfEngine,
@@ -94,6 +103,8 @@ impl AppState {
             // model/workload/node shape), so a small store suffices.
             plan_store: PlanStore::new(64),
             dse: DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default()),
+            scenarios: ScenarioRegistry::builtin(),
+            scenario_runners: RwLock::new(HashMap::new()),
             whatif: WhatIfEngine::paper_default(),
             screen_requests: telemetry.counter("serve.requests.screen"),
             simulate_requests: telemetry.counter("serve.requests.simulate"),
@@ -127,6 +138,32 @@ impl AppState {
     #[must_use]
     pub fn telemetry(&self) -> &Registry {
         &self.telemetry
+    }
+
+    /// The named-scenario registry requests resolve against.
+    #[must_use]
+    pub fn scenarios(&self) -> &ScenarioRegistry {
+        &self.scenarios
+    }
+
+    /// The persistent runner for one scenario, created on first use and
+    /// kept for the service's lifetime: its factored leg tables are what
+    /// turn repeated grids under the same scenario into table hits.
+    /// Inline (unnamed) scenario specs share runners too — the key is
+    /// the scenario's content digest, not its name.
+    fn runner_for(&self, scenario: &Scenario) -> Arc<DseRunner> {
+        let digest = scenario.digest();
+        if let Some(runner) = self
+            .scenario_runners
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&digest)
+        {
+            return Arc::clone(runner);
+        }
+        let built = Arc::new(scenario.runner());
+        let mut map = self.scenario_runners.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(digest).or_insert(built))
     }
 
     /// Record the accept-queue depth after a push or pop.
@@ -435,9 +472,13 @@ fn metrics_value(m: &DeviceMetrics) -> Value {
 /// single request cannot pin a worker for minutes.
 const MAX_GRID_POINTS: usize = 4_096;
 
-/// Parse a `grid` request member into a sweep spec plus its TPP target.
-fn parse_grid(spec: &Value) -> Result<(SweepSpec, f64), AcsError> {
-    const KNOWN: [&str; 7] = [
+/// Parse a `grid` request member into a sweep spec, its TPP target, and
+/// the scenario axis (empty when absent: the historical dense default).
+fn parse_grid(
+    registry: &ScenarioRegistry,
+    spec: &Value,
+) -> Result<(SweepSpec, f64, Vec<Scenario>), AcsError> {
+    const KNOWN: [&str; 8] = [
         "systolic_dims",
         "lanes_per_core",
         "l1_kib",
@@ -445,6 +486,7 @@ fn parse_grid(spec: &Value) -> Result<(SweepSpec, f64), AcsError> {
         "hbm_tb_s",
         "device_bw_gb_s",
         "tpp_target",
+        "scenario",
     ];
     if let Value::Object(members) = spec {
         for (k, _) in members {
@@ -497,16 +539,30 @@ fn parse_grid(spec: &Value) -> Result<(SweepSpec, f64), AcsError> {
         .ok_or_else(|| AcsError::Json {
             reason: "grid member \"tpp_target\" must be a positive number".to_owned(),
         })?;
-    if sweep.cardinality() > MAX_GRID_POINTS {
+    // The scenario axis: one registered name, one inline spec object, or
+    // an array mixing both. Every entry validates at parse time, so a
+    // hostile spec (unknown name, expert bomb, zero-stage pipeline) is a
+    // typed 400 before any hardware point is priced.
+    let scenarios = match spec.get("scenario") {
+        None => Vec::new(),
+        Some(Value::Array(entries)) => {
+            if entries.is_empty() {
+                return Err(AcsError::Json {
+                    reason: "grid member \"scenario\" must not be an empty array".to_owned(),
+                });
+            }
+            entries.iter().map(|v| registry.resolve(v)).collect::<Result<Vec<_>, _>>()?
+        }
+        Some(v) => vec![registry.resolve(v)?],
+    };
+    let points = sweep.cardinality() * scenarios.len().max(1);
+    if points > MAX_GRID_POINTS {
         return Err(AcsError::invalid_config(
             "grid",
-            format!(
-                "{} points exceed the {MAX_GRID_POINTS}-point request ceiling",
-                sweep.cardinality()
-            ),
+            format!("{points} points exceed the {MAX_GRID_POINTS}-point request ceiling"),
         ));
     }
-    Ok((sweep, tpp_target))
+    Ok((sweep, tpp_target, scenarios))
 }
 
 /// Normalised canonical form of a grid for cache keys: axis values in
@@ -527,55 +583,115 @@ fn grid_fingerprint(s: &SweepSpec) -> Value {
     ])
 }
 
+/// Serialise one sweep report as `(designs, failures)` member arrays.
+fn report_values(report: &acs_dse::SweepReport) -> Result<(Vec<Value>, Vec<Value>), AcsError> {
+    let mut designs = Vec::with_capacity(report.designs.len());
+    for (index, d) in &report.designs {
+        designs.push(object(vec![
+            ("index", Value::Number(*index as f64)),
+            ("design", d.to_json_value()?),
+        ]));
+    }
+    let failures = report
+        .failures
+        .iter()
+        .map(|f| {
+            object(vec![
+                ("index", Value::Number(f.index as f64)),
+                ("params", Value::String(f.params.clone())),
+                ("kind", Value::String(f.kind().to_owned())),
+                ("error", f.reason.to_json_value()),
+            ])
+        })
+        .collect();
+    Ok((designs, failures))
+}
+
 /// `POST /v1/screen` with a `grid` member: evaluate a DSE lattice with
 /// the factored evaluator and return every design plus the failure
-/// ledger. Responses are cached like scalar screens; on a cache miss the
-/// evaluation still reuses every cost leg any earlier grid priced,
-/// because the leg tables belong to the [`AppState`]'s runner.
+/// ledger. A `scenario` member evaluates the same hardware lattice once
+/// per scenario (model x dtype x parallelism), grouping the results per
+/// scenario; without one the state's historical dense default runner
+/// answers, byte-identically to pre-scenario responses. Responses are
+/// cached like scalar screens; on a cache miss the evaluation still
+/// reuses every cost leg any earlier grid priced under the same
+/// scenario, because each runner's leg tables persist in the
+/// [`AppState`].
 fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
-    let (sweep, tpp_target) = parse_grid(spec)?;
-    let key = CacheKey::from_value(&object(vec![
+    let (sweep, tpp_target, scenarios) = parse_grid(&state.scenarios, spec)?;
+    let mut key_members = vec![
         ("v", Value::String("screen-grid-v1".to_owned())),
         ("grid", grid_fingerprint(&sweep)),
         ("tpp", Value::Number(tpp_target)),
-    ]));
+    ];
+    if !scenarios.is_empty() {
+        // Keyed on canonical scenario content, not names: an inline spec
+        // and the equivalent registered scenario share a cache entry.
+        key_members.push((
+            "scenarios",
+            Value::Array(
+                scenarios.iter().map(|s| Value::String(s.canonical())).collect(),
+            ),
+        ));
+    }
+    let key = CacheKey::from_value(&object(key_members));
     let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
-        let report = state.dse.run_factored(&sweep, tpp_target);
-        let mut designs = Vec::with_capacity(report.designs.len());
-        for (index, d) in &report.designs {
-            designs.push(object(vec![
-                ("index", Value::Number(*index as f64)),
-                ("design", d.to_json_value()?),
-            ]));
-        }
-        let failures = report
-            .failures
-            .iter()
-            .map(|f| {
+        if scenarios.is_empty() {
+            let report = state.dse.run_factored(&sweep, tpp_target);
+            let (designs, failures) = report_values(&report)?;
+            return Ok::<_, AcsError>(
                 object(vec![
-                    ("index", Value::Number(f.index as f64)),
-                    ("params", Value::String(f.params.clone())),
-                    ("kind", Value::String(f.kind().to_owned())),
-                    ("error", f.reason.to_json_value()),
+                    (
+                        "grid",
+                        object(vec![
+                            ("points", Value::Number(sweep.cardinality() as f64)),
+                            ("tpp_target", Value::Number(tpp_target)),
+                            ("evaluated", Value::Number(report.designs.len() as f64)),
+                            ("failed", Value::Number(report.failures.len() as f64)),
+                        ]),
+                    ),
+                    ("designs", Value::Array(designs)),
+                    ("failures", Value::Array(failures)),
                 ])
-            })
-            .collect();
-        Ok::<_, AcsError>(
-            object(vec![
-                (
-                    "grid",
-                    object(vec![
-                        ("points", Value::Number(sweep.cardinality() as f64)),
-                        ("tpp_target", Value::Number(tpp_target)),
-                        ("evaluated", Value::Number(report.designs.len() as f64)),
-                        ("failed", Value::Number(report.failures.len() as f64)),
-                    ]),
-                ),
+                .to_json(),
+            );
+        }
+        let mut groups = Vec::with_capacity(scenarios.len());
+        let (mut evaluated, mut failed) = (0usize, 0usize);
+        for scenario in &scenarios {
+            let report = state.runner_for(scenario).run_factored(&sweep, tpp_target);
+            evaluated += report.designs.len();
+            failed += report.failures.len();
+            let (designs, failures) = report_values(&report)?;
+            groups.push(object(vec![
+                ("scenario", Value::String(scenario.name().to_owned())),
+                ("model", Value::String(scenario.model().name().to_owned())),
+                ("dtype", Value::String(scenario.dtype().to_string())),
+                ("parallelism", Value::String(scenario.parallelism().to_string())),
+                ("devices", Value::Number(scenario.parallelism().devices() as f64)),
+                ("evaluated", Value::Number(designs.len() as f64)),
+                ("failed", Value::Number(failures.len() as f64)),
                 ("designs", Value::Array(designs)),
                 ("failures", Value::Array(failures)),
-            ])
-            .to_json(),
-        )
+            ]));
+        }
+        Ok(object(vec![
+            (
+                "grid",
+                object(vec![
+                    (
+                        "points",
+                        Value::Number((sweep.cardinality() * scenarios.len()) as f64),
+                    ),
+                    ("tpp_target", Value::Number(tpp_target)),
+                    ("evaluated", Value::Number(evaluated as f64)),
+                    ("failed", Value::Number(failed as f64)),
+                    ("scenario_count", Value::Number(scenarios.len() as f64)),
+                ]),
+            ),
+            ("scenarios", Value::Array(groups)),
+        ])
+        .to_json())
     })?;
     Ok(response)
 }
@@ -688,18 +804,46 @@ fn whatif_lines<F>(state: &AppState, body: &str, mut sink: F) -> Result<(), AcsE
 where
     F: FnMut(&str) -> Result<(), AcsError>,
 {
-    let request = WhatIfRequest::from_json(&parse(body)?)?;
-    let key = CacheKey::from_value(&object(vec![
+    // An optional `scenario` member (name or inline spec) swaps the
+    // workload the synthetic fleet is priced under — e.g. an MoE model
+    // over an expert-parallel node — before the rule grid screens it.
+    // The member is peeled off here: the what-if engine's own parser
+    // stays scenario-agnostic.
+    let mut parsed = parse(body)?;
+    let scenario_member = match &mut parsed {
+        Value::Object(members) => members
+            .iter()
+            .position(|(k, _)| k == "scenario")
+            .map(|i| members.remove(i).1),
+        _ => None,
+    };
+    let scenario = match &scenario_member {
+        Some(v) => Some(state.scenarios.resolve(v)?),
+        None => None,
+    };
+    let request = WhatIfRequest::from_json(&parsed)?;
+    let mut key_members = vec![
         ("v", Value::String("whatif-v1".to_owned())),
         ("grid", whatif_fingerprint(&request.grid)),
         ("tpp", Value::Number(request.tpp_target)),
-    ]));
+    ];
+    if let Some(s) = &scenario {
+        key_members.push(("scenario", Value::String(s.canonical())));
+    }
+    let key = CacheKey::from_value(&object(key_members));
     let (text, hit) = state.whatif_cache.get_or_try_insert(&key, || {
-        // The fleet prices through the state's factored runner, so its
-        // cost legs persist across requests: the first what-if pays for
-        // the fleet, every later one (any grid, same target) re-screens
-        // it at classification cost.
-        let report = state.dse.run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target);
+        // The fleet prices through a persistent factored runner — the
+        // scenario's when one was named, the state's dense default
+        // otherwise — so its cost legs persist across requests: the
+        // first what-if pays for the fleet, every later one (any grid,
+        // same target and scenario) re-screens it at classification
+        // cost.
+        let report = match &scenario {
+            Some(s) => state
+                .runner_for(s)
+                .run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target),
+            None => state.dse.run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target),
+        };
         let fleet_failures = report.failures.len();
         let fleet: Vec<_> = report.designs.into_iter().map(|(_, design)| design).collect();
         let mut lines = Vec::with_capacity(request.grid.cardinality() + 1);
@@ -709,14 +853,17 @@ where
             lines.push(line);
             Ok(())
         })?;
-        let trailer = object(vec![
+        let mut trailer_members = vec![
             ("variants", Value::Number(summary.variants as f64)),
             ("devices", Value::Number(summary.devices as f64)),
             ("fleet_designs", Value::Number(summary.fleet_designs as f64)),
             ("fleet_failures", Value::Number(fleet_failures as f64)),
             ("tpp_target", Value::Number(request.tpp_target)),
-        ])
-        .to_json();
+        ];
+        if let Some(s) = &scenario {
+            trailer_members.push(("scenario", Value::String(s.name().to_owned())));
+        }
+        let trailer = object(trailer_members).to_json();
         sink(&trailer)?;
         lines.push(trailer);
         Ok::<_, AcsError>(lines.join("\n"))
@@ -1257,6 +1404,98 @@ mod tests {
     }
 
     #[test]
+    fn scenario_grids_group_designs_per_scenario() {
+        let state = AppState::new(64);
+        let body = "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+                    \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[2.0,3.2],\
+                    \"device_bw_gb_s\":[600.0],\"tpp_target\":4800,\
+                    \"scenario\":[\"dense-llama3-fp16-tp4\",\"moe-mixtral-fp16-tp4-ep4\"]}}";
+        let (status, r1) = post(&state, "/v1/screen", body);
+        assert_eq!(status, 200, "{}", r1.to_json());
+        let grid = r1.get("grid").unwrap();
+        assert_eq!(grid.get("points").unwrap().as_u64(), Some(4));
+        assert_eq!(grid.get("scenario_count").unwrap().as_u64(), Some(2));
+        assert_eq!(grid.get("failed").unwrap().as_u64(), Some(0));
+        let groups = r1.get("scenarios").unwrap().as_array().unwrap();
+        assert_eq!(groups.len(), 2);
+        let dense = &groups[0];
+        assert_eq!(dense.get("scenario").unwrap().as_str(), Some("dense-llama3-fp16-tp4"));
+        assert_eq!(dense.get("devices").unwrap().as_u64(), Some(4));
+        let moe = &groups[1];
+        assert_eq!(moe.get("scenario").unwrap().as_str(), Some("moe-mixtral-fp16-tp4-ep4"));
+        assert_eq!(moe.get("model").unwrap().as_str(), Some("Mixtral 8x7B"));
+        assert_eq!(moe.get("parallelism").unwrap().as_str(), Some("tp4/ep4/pp1"));
+        assert_eq!(moe.get("evaluated").unwrap().as_u64(), Some(2));
+        // The dense scenario reproduces the scenario-less default runner
+        // bit for bit (same model, workload, dtype, node).
+        let plain = "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+                     \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[2.0,3.2],\
+                     \"device_bw_gb_s\":[600.0],\"tpp_target\":4800}}";
+        let (_, r_plain) = post(&state, "/v1/screen", plain);
+        let dense_designs = dense.get("designs").unwrap();
+        assert_eq!(dense_designs.to_json(), r_plain.get("designs").unwrap().to_json());
+        // The MoE lowering prices more communication than the dense one
+        // at the same silicon: its designs must differ.
+        let ttft = |entry: &Value| {
+            entry.get("design").unwrap().get("ttft_s").unwrap().as_f64().unwrap()
+        };
+        let moe_designs = moe.get("designs").unwrap().as_array().unwrap();
+        let dense_designs = dense_designs.as_array().unwrap();
+        assert!(ttft(&moe_designs[0]) != ttft(&dense_designs[0]));
+        // Repeats hit the response cache.
+        let (_, r2) = post(&state, "/v1/screen", body);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert!(state.screen_cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn scenario_grid_rejections_are_typed_400s() {
+        let state = AppState::new(64);
+        let grid_with = |scenario: &str| {
+            format!(
+                "{{\"grid\":{{\"systolic_dims\":[16],\"lanes_per_core\":[4],\
+                 \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[2.0],\
+                 \"device_bw_gb_s\":[600.0],\"tpp_target\":4800,\
+                 \"scenario\":{scenario}}}}}"
+            )
+        };
+        let cases = [
+            ("\"dense-gpt5\"", "invalid_config"),          // unknown name
+            ("[]", "json"),                                  // empty axis
+            ("7", "json"),                                   // wrong type
+            ("{\"model\":\"llama3_8b\",\"experts\":400}", "invalid_config"), // expert bomb
+            ("{\"model\":\"mixtral_8x7b\",\"pipeline_stages\":0}", "invalid_config"),
+            ("{\"model\":\"mixtral_8x7b\",\"expert\":3}", "invalid_config"), // 8 % 3 != 0
+        ];
+        for (scenario, kind) in cases {
+            let (status, response) = post(&state, "/v1/screen", &grid_with(scenario));
+            assert_eq!(status, 400, "scenario {scenario:?} -> {}", response.to_json());
+            assert_eq!(
+                response.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some(kind),
+                "scenario {scenario:?}"
+            );
+        }
+        // The scenario axis multiplies into the point ceiling: 2048
+        // hardware points x 3 scenarios > 4096.
+        let body = format!(
+            "{{\"grid\":{{\"systolic_dims\":[16],\"lanes_per_core\":[1,2,4,8],\
+             \"l1_kib\":[64,128,192,256,512,1024,2048,4096],\
+             \"l2_mib\":[8,16,32,40,48,64,80,96],\"hbm_tb_s\":[1.0,2.0,3.0,4.0],\
+             \"device_bw_gb_s\":[500.0,600.0],\"tpp_target\":4800,\
+             \"scenario\":[\"dense-llama3-fp16-tp4\",\"dense-gpt3-fp16-tp4\",\
+             \"moe-mixtral-fp16-tp4-ep4\"]}}}}"
+        );
+        let (status, response) = post(&state, "/v1/screen", &body);
+        assert_eq!(status, 400, "{}", response.to_json());
+        assert_eq!(
+            response.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_config")
+        );
+        assert_eq!(state.screen_cache.stats().misses, 0, "rejected before touching the cache");
+    }
+
+    #[test]
     fn grid_faults_surface_in_the_failure_ledger() {
         let state = AppState::new(64);
         // Zero HBM bandwidth is invalid per point, not fatal to the grid.
@@ -1553,6 +1792,37 @@ mod tests {
         assert_eq!(r1.to_json(), r2.to_json());
         let stats = state.cache_stats()[3];
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn whatif_scenarios_swap_the_fleet_workload() {
+        let state = AppState::new(64);
+        // The same rule under an MoE scenario prices the fleet under the
+        // Mixtral expert-parallel lowering; the trailer names it.
+        let body = "{\"rule\":{\"tpp_license\":2400},\
+                    \"scenario\":\"moe-mixtral-fp16-tp4-ep4\"}";
+        let (status, r1) = post(&state, "/v1/whatif", body);
+        assert_eq!(status, 200, "{}", r1.to_json());
+        let summary = r1.get("summary").unwrap();
+        assert_eq!(summary.get("scenario").unwrap().as_str(), Some("moe-mixtral-fp16-tp4-ep4"));
+        assert_eq!(summary.get("fleet_designs").unwrap().as_u64(), Some(4096));
+        // Scenario-less requests keep the historical trailer shape and a
+        // separate cache entry.
+        let (_, r_plain) = post(&state, "/v1/whatif", "{\"rule\":{\"tpp_license\":2400}}");
+        assert!(r_plain.get("summary").unwrap().get("scenario").is_none());
+        assert_eq!(state.cache_stats()[3].misses, 2);
+        // Unknown scenarios are typed 400s before the fleet is priced.
+        let (status, response) =
+            post(&state, "/v1/whatif", "{\"scenario\":\"dense-gpt5\"}");
+        assert_eq!(status, 400, "{}", response.to_json());
+        assert_eq!(
+            response.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_config")
+        );
+        // Repeats of the scenario request are cache hits.
+        let (_, r2) = post(&state, "/v1/whatif", body);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert_eq!(state.cache_stats()[3].hits, 1);
     }
 
     #[test]

@@ -43,6 +43,41 @@ pub fn allreduce_cost(bytes: u64, system: &SystemConfig, params: &SimParams) -> 
     CollectiveCost { wire_s, latency_s: steps * params.allreduce_step_latency_s }
 }
 
+/// Price an all-to-all of `bytes` per device across a `group`-wide
+/// expert-parallel group over `system`'s interconnect.
+///
+/// Each device keeps the `1/group` slice of its payload destined for its
+/// own experts and exchanges the remaining `(group−1)/group` pairwise —
+/// half the volume of a same-size all-reduce, since data crosses the
+/// wire once instead of being reduced and re-broadcast. A fully
+/// connected topology exchanges with every peer in one step; a ring
+/// forwards through `group − 1` steps. Degenerate at one device exactly
+/// like [`allreduce_cost`]: a group of 1 moves nothing and costs zero.
+///
+/// The group is an argument rather than read off the system because
+/// expert parallelism spans a device group orthogonal to the
+/// tensor-parallel node the [`SystemConfig`] describes.
+#[must_use]
+pub fn alltoall_cost(
+    bytes: u64,
+    group: u32,
+    system: &SystemConfig,
+    params: &SimParams,
+) -> CollectiveCost {
+    if group <= 1 {
+        return CollectiveCost { wire_s: 0.0, latency_s: 0.0 };
+    }
+    let g = f64::from(group);
+    let uni_bw = system.device().phy().unidirectional_gb_s() * 1e9;
+    let volume = (g - 1.0) / g * bytes as f64;
+    let wire_s = volume / uni_bw;
+    let steps = match system.topology() {
+        Topology::FullyConnected => 1.0,
+        _ => g - 1.0,
+    };
+    CollectiveCost { wire_s, latency_s: steps * params.allreduce_step_latency_s }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +123,44 @@ mod tests {
         let cf = allreduce_cost(1 << 20, &fc, &p);
         assert!((cr.wire_s - cf.wire_s).abs() < 1e-15);
         assert!(cf.latency_s < cr.latency_s);
+    }
+
+    #[test]
+    fn alltoall_degenerates_to_zero_at_one_device() {
+        let p = SimParams::calibrated();
+        let c = alltoall_cost(1 << 30, 1, &quad(), &p);
+        assert_eq!(c.time_s(), 0.0);
+        // Same degenerate behaviour as the all-reduce on a 1-device node.
+        let solo = SystemConfig::new(DeviceConfig::a100_like(), 1).unwrap();
+        assert_eq!(c.time_s(), allreduce_cost(1 << 30, &solo, &p).time_s());
+    }
+
+    #[test]
+    fn alltoall_moves_half_an_allreduce() {
+        // Same payload, same group: the exchange crosses the wire once,
+        // the reduce-broadcast twice.
+        let p = SimParams::ideal();
+        let a2a = alltoall_cost(1 << 30, 4, &quad(), &p);
+        let ar = allreduce_cost(1 << 30, &quad(), &p);
+        assert!((a2a.wire_s * 2.0 - ar.wire_s).abs() / ar.wire_s < 1e-12);
+    }
+
+    #[test]
+    fn alltoall_is_monotone_in_bytes_and_group() {
+        let p = SimParams::calibrated();
+        let s = quad();
+        let mut last = 0.0;
+        for bytes in [1u64 << 10, 1 << 20, 1 << 30] {
+            let t = alltoall_cost(bytes, 8, &s, &p).time_s();
+            assert!(t > last, "time must grow with payload");
+            last = t;
+        }
+        let mut last = 0.0;
+        for group in [1u32, 2, 4, 8, 16] {
+            let t = alltoall_cost(1 << 20, group, &s, &p).time_s();
+            assert!(t >= last, "time must not shrink as the group widens");
+            last = t;
+        }
     }
 
     #[test]

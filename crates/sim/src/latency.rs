@@ -1,6 +1,6 @@
 //! Layer-level scheduling and the top-level [`Simulator`].
 
-use crate::collective::allreduce_cost;
+use crate::collective::{allreduce_cost, alltoall_cost};
 use crate::matmul::matmul_cost;
 use crate::params::SimParams;
 use crate::plan::{LayerPlan, OpBytes};
@@ -299,6 +299,20 @@ impl Simulator {
                     bound: Bound::Interconnect,
                 }
             }
+            Operator::AllToAll(a) => {
+                let c = alltoall_cost(a.bytes, a.group, &self.system, &self.params);
+                OpCost {
+                    name: a.name,
+                    time_s: c.time_s() + self.params.op_overhead_s,
+                    compute_s: 0.0,
+                    dram_s: 0.0,
+                    l2_s: 0.0,
+                    comm_s: c.time_s(),
+                    overhead_s: self.params.op_overhead_s,
+                    dram_bytes: 0.0,
+                    bound: Bound::Interconnect,
+                }
+            }
             // `Operator` is non-exhaustive; unknown future operators
             // contribute only their launch overhead.
             _ => OpCost {
@@ -573,7 +587,7 @@ pub(crate) fn op_class(op: &Operator) -> Option<usize> {
         Operator::Matmul(m) if m.name.starts_with("attn") => Some(1),
         Operator::Matmul(_) => Some(0),
         Operator::Vector(_) => Some(2),
-        Operator::AllReduce(_) => Some(3),
+        Operator::AllReduce(_) | Operator::AllToAll(_) => Some(3),
         _ => None,
     }
 }

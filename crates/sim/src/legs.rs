@@ -29,7 +29,7 @@
 //! (including non-finite values), and every point that reads it fails
 //! with the same typed error the planned path would have produced.
 
-use crate::collective::allreduce_cost;
+use crate::collective::{allreduce_cost, alltoall_cost};
 use crate::latency::{flush_layer_telemetry, op_class, Simulator};
 use crate::matmul::{matmul_compute_leg, matmul_memory_leg};
 use crate::plan::LayerPlan;
@@ -124,10 +124,18 @@ pub struct CommKey {
     pub topology: Topology,
     /// Operand datatype (sizes the plan's collective payloads).
     pub datatype: DataType,
+    /// Expert-parallel group size. The all-to-all operators of an
+    /// expert-parallel plan carry their own group width (orthogonal to
+    /// the tensor-parallel `device_count`), and their payload bytes are
+    /// a function of that width — so two plans that differ only in
+    /// expert parallelism price different comm legs and must not alias.
+    /// Dense plans use 1, which [`CommKey::of`] sets, keeping every
+    /// historical key value unchanged.
+    pub expert_parallel: u32,
 }
 
 impl CommKey {
-    /// The collective-leg key of one node.
+    /// The collective-leg key of one node (dense: `expert_parallel` 1).
     #[must_use]
     pub fn of(system: &SystemConfig) -> Self {
         CommKey {
@@ -135,6 +143,7 @@ impl CommKey {
             device_count: system.device_count(),
             topology: system.topology(),
             datatype: system.device().datatype(),
+            expert_parallel: 1,
         }
     }
 }
@@ -242,6 +251,12 @@ impl Simulator {
                     memory.push(MemoryLeg::default());
                     comm.push(c.time_s());
                 }
+                Operator::AllToAll(a) => {
+                    let c = alltoall_cost(a.bytes, a.group, self.system(), params);
+                    compute.push(ComputeLeg::default());
+                    memory.push(MemoryLeg::default());
+                    comm.push(c.time_s());
+                }
                 // Unknown future operators contribute only launch
                 // overhead; their legs are zero.
                 _ => {
@@ -298,7 +313,9 @@ impl Simulator {
                     let time_s = c.compute_s.max(c.l2_s).max(d.dram_s) + overhead_s;
                     (time_s, c.compute_s, d.dram_s, c.l2_s, 0.0, d.dram_bytes)
                 }
-                Operator::AllReduce(_) => (*wire + overhead_s, 0.0, 0.0, 0.0, *wire, 0.0),
+                Operator::AllReduce(_) | Operator::AllToAll(_) => {
+                    (*wire + overhead_s, 0.0, 0.0, 0.0, *wire, 0.0)
+                }
                 _ => (overhead_s, 0.0, 0.0, 0.0, 0.0, 0.0),
             };
             let ctx = || format!("simulator.{}", op.name());

@@ -55,9 +55,12 @@ pub mod vector;
 pub use energy::{energy_per_token_j, layer_energy, EnergyReport};
 pub use latency::{Bound, LayerLatency, OpCost, Simulator};
 pub use legs::{CommKey, ComputeKey, ComputeLeg, LegKeys, MemoryKey, MemoryLeg, PlanLegs};
-pub use plan::{plan_digest, EvalPlans, LayerPlan, PlanStore};
+pub use collective::{allreduce_cost, alltoall_cost, CollectiveCost};
+pub use plan::{plan_digest, plan_digest_parallel, EvalPlans, LayerPlan, PlanStore};
 pub use metrics::{decode_throughput_tokens_per_s, mfu, request_latency_s};
-pub use parallelism::{mapping_latency, MappingLatency, Parallelism};
+pub use parallelism::{
+    mapping_latency, pipeline_latency, MappingLatency, Parallelism, PipelineLatency,
+};
 pub use params::SimParams;
 pub use serving::{
     simulate_disaggregated, simulate_serving, simulate_serving_cached, ServingConfig,

@@ -12,8 +12,9 @@
 
 use crate::latency::Simulator;
 use crate::params::SimParams;
+use acs_errors::AcsError;
 use acs_hw::SystemConfig;
-use acs_llm::{InferencePhase, ModelConfig, WorkloadConfig};
+use acs_llm::{pipeline_stage_layers, InferencePhase, ModelConfig, WorkloadConfig};
 
 /// How a model is split across the node's devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,6 +120,117 @@ pub fn mapping_latency(
     }
 }
 
+/// Full-model latencies of an explicit pipeline schedule, with the fill/
+/// drain bubble broken out. Generalises the fixed `stages == devices`,
+/// `microbatches == stages` schedule [`mapping_latency`] prices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineLatency {
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Prefill microbatch count.
+    pub microbatches: u32,
+    /// Contiguous layer count per stage (remainder in the last stage).
+    pub stage_layers: Vec<u32>,
+    /// Full-model time-to-first-token, seconds, bubble included.
+    pub ttft_s: f64,
+    /// Full-model per-token decode latency, seconds (autoregression
+    /// serialises the stages).
+    pub tbt_s: f64,
+    /// Steady-state decode throughput in tokens/s, set by the widest
+    /// stage.
+    pub throughput_tokens_per_s: f64,
+    /// Fraction of prefill pipeline slots idle during fill and drain:
+    /// `(S − 1) / (M + S − 1)` for `S` stages and `M` microbatches.
+    pub bubble_fraction: f64,
+}
+
+/// Price `model` on `system` under an explicit `stages`-deep pipeline
+/// schedule with `microbatches` prefill microbatches.
+///
+/// The schedule model extends [`mapping_latency`]'s pipeline arm:
+///
+/// * stages hold the contiguous layer blocks of
+///   [`pipeline_stage_layers`]; the *widest* stage sets the pipeline
+///   clock (an uneven remainder slows every slot, which is exactly the
+///   straggler effect the partition helper's remainder policy exposes);
+/// * prefill splits the batch into `M` microbatches, so a stage slot
+///   costs `widest × layer_prefill / M` plus one boundary transfer, and
+///   the schedule occupies `M + S − 1` slots — a fill/drain bubble of
+///   `(S − 1)/(M + S − 1)` (the GPipe identity; `M == S` reproduces the
+///   `(2S − 1)/S` factor of [`mapping_latency`]);
+/// * stage boundaries ship microbatch activations (2-byte operands, as
+///   everywhere in the pipeline model) across `S − 1` links;
+/// * decode cannot pipeline within one token: TBT walks every layer
+///   plus every boundary once, while throughput is set by the widest
+///   stage keeping independent streams busy.
+///
+/// # Errors
+///
+/// Returns [`AcsError::InvalidConfig`] when `stages` is zero or exceeds
+/// the layer count (see [`pipeline_stage_layers`]) or when
+/// `microbatches` is zero.
+pub fn pipeline_latency(
+    system: &SystemConfig,
+    params: SimParams,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    stages: u32,
+    microbatches: u32,
+) -> Result<PipelineLatency, AcsError> {
+    if microbatches == 0 {
+        return Err(AcsError::invalid_config("microbatches", "must be nonzero"));
+    }
+    let stage_layers = pipeline_stage_layers(model.num_layers(), stages)?;
+    let widest = f64::from(stage_layers.iter().copied().max().unwrap_or(0));
+    let layers = f64::from(model.num_layers());
+    let m = f64::from(microbatches);
+    let s = f64::from(stages);
+    let boundaries = f64::from(stages - 1);
+
+    // Per-layer costs on ONE device holding full-width layers, as in the
+    // fixed-schedule pipeline arm.
+    let single = SystemConfig::single(system.device().clone());
+    let sim = Simulator::with_params(single, params);
+    let layer_prefill = sim.simulate_layer(model, workload, InferencePhase::Prefill).total_s();
+    let layer_decode = sim.simulate_layer(model, workload, workload.decode_phase()).total_s();
+
+    let link = system.device().phy().unidirectional_gb_s() * 1e9;
+    let micro_tokens = (workload.batch() * workload.input_len()) as f64 / m;
+    let boundary_s = if stages > 1 {
+        micro_tokens * model.d_model() as f64 * 2.0 / link
+    } else {
+        0.0
+    };
+
+    // Prefill: M microbatches over S stages occupy M + S − 1 slots of
+    // the widest stage's per-microbatch time.
+    let slot_s = widest * layer_prefill / m + boundary_s;
+    let slots = m + s - 1.0;
+    let ttft = slot_s * slots;
+
+    // Decode: one token traverses every layer and every boundary.
+    let decode_boundary_s = if stages > 1 {
+        workload.batch() as f64 * model.d_model() as f64 * 2.0 / link
+    } else {
+        0.0
+    };
+    let tbt = layer_decode * layers + decode_boundary_s * boundaries;
+    let stage_decode = layer_decode * widest + decode_boundary_s;
+    Ok(PipelineLatency {
+        stages,
+        microbatches,
+        stage_layers,
+        ttft_s: ttft,
+        tbt_s: tbt,
+        throughput_tokens_per_s: if stage_decode > 0.0 {
+            workload.batch() as f64 / stage_decode
+        } else {
+            0.0
+        },
+        bubble_fraction: (s - 1.0) / slots,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +291,73 @@ mod tests {
         let w = WorkloadConfig::paper_default();
         assert!((tp.ttft_s - sim.full_model_ttft_s(&m, &w)).abs() < 1e-9);
         assert!((tp.tbt_s - sim.full_model_tbt_s(&m, &w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_microbatches_shrink_the_bubble() {
+        let sys = quad(600.0);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let p = SimParams::calibrated();
+        let mut last_ttft = f64::INFINITY;
+        let mut last_bubble = 1.0;
+        for micro in [1u32, 4, 16, 64] {
+            let lat = pipeline_latency(&sys, p, &m, &w, 4, micro).unwrap();
+            assert!(lat.ttft_s < last_ttft, "TTFT must drop as microbatches split the fill");
+            assert!(lat.bubble_fraction < last_bubble);
+            last_ttft = lat.ttft_s;
+            last_bubble = lat.bubble_fraction;
+        }
+        // GPipe identity at M == S: (S−1)/(M+S−1) == (S−1)/(2S−1).
+        let lat = pipeline_latency(&sys, p, &m, &w, 4, 4).unwrap();
+        assert!((lat.bubble_fraction - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_stage_pipeline_has_no_bubble_and_no_boundaries() {
+        let sys = quad(600.0);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let lat = pipeline_latency(&sys, SimParams::calibrated(), &m, &w, 1, 8).unwrap();
+        assert_eq!(lat.bubble_fraction, 0.0);
+        assert_eq!(lat.stage_layers, vec![m.num_layers()]);
+        // TBT is exactly the full layer walk: no boundary term.
+        let single = SystemConfig::single(sys.device().clone());
+        let sim = Simulator::with_params(single, SimParams::calibrated());
+        let expect = sim.simulate_layer(&m, &w, w.decode_phase()).total_s()
+            * f64::from(m.num_layers());
+        assert!((lat.tbt_s - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn uneven_partitions_pay_the_straggler_stage() {
+        // 96 layers over 5 stages: [19,19,19,19,20] — the widest stage
+        // sets throughput, so 5 uneven stages beat 4 even ones by less
+        // than the naive 5/4.
+        let sys = quad(600.0);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let p = SimParams::calibrated();
+        let even = pipeline_latency(&sys, p, &m, &w, 4, 4).unwrap();
+        let uneven = pipeline_latency(&sys, p, &m, &w, 5, 5).unwrap();
+        assert_eq!(uneven.stage_layers.iter().max(), Some(&20));
+        let gain = uneven.throughput_tokens_per_s / even.throughput_tokens_per_s;
+        assert!(gain > 1.0, "five stages must still beat four");
+        assert!(gain < 1.25, "straggler stage caps the gain, got {gain}");
+    }
+
+    #[test]
+    fn degenerate_pipeline_schedules_are_typed_errors() {
+        let sys = quad(600.0);
+        let m = ModelConfig::gpt3_175b();
+        let w = WorkloadConfig::paper_default();
+        let p = SimParams::calibrated();
+        assert_eq!(pipeline_latency(&sys, p, &m, &w, 0, 4).unwrap_err().kind(), "invalid_config");
+        assert_eq!(pipeline_latency(&sys, p, &m, &w, 4, 0).unwrap_err().kind(), "invalid_config");
+        assert_eq!(
+            pipeline_latency(&sys, p, &m, &w, m.num_layers() + 1, 4).unwrap_err().kind(),
+            "invalid_config"
+        );
     }
 
     #[test]

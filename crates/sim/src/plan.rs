@@ -49,6 +49,10 @@ pub struct LayerPlan {
     op_bytes: Vec<OpBytes>,
     device_count: u32,
     dtype_bytes: u32,
+    // Copied out of `graph` at build time: the sweep hot path folds it
+    // into every point's comm-leg key, and a flat field spares the
+    // pointer chase into the graph header.
+    expert_parallel: u32,
 }
 
 impl LayerPlan {
@@ -66,6 +70,43 @@ impl LayerPlan {
         dtype_bytes: u32,
     ) -> Result<Self, AcsError> {
         let graph = LayerGraph::try_build(model, workload, phase, device_count)?;
+        Ok(Self::from_graph(graph, device_count, dtype_bytes))
+    }
+
+    /// [`LayerPlan::build`] under an explicit expert-parallel group:
+    /// the lowered graph brackets the expert FFN with dispatch/combine
+    /// all-to-alls when `expert_parallel > 1`. An `expert_parallel` of 1
+    /// delegates to [`LayerPlan::build`] outright, so single-group plans
+    /// stay byte-identical to every plan the pre-scenario stack built —
+    /// including its pinning of collective payload sizing to 2-byte
+    /// operands. Wider groups size their collectives from the plan's
+    /// actual dtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] on the same tensor-parallel
+    /// degeneracies as [`LayerPlan::build`], and additionally when
+    /// `expert_parallel` is zero, targets a dense model, or does not
+    /// divide the expert count.
+    pub fn build_parallel(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        phase: InferencePhase,
+        device_count: u32,
+        expert_parallel: u32,
+        dtype_bytes: u32,
+    ) -> Result<Self, AcsError> {
+        if expert_parallel == 1 {
+            return Self::build(model, workload, phase, device_count, dtype_bytes);
+        }
+        let graph = LayerGraph::try_build_parallel(
+            model,
+            workload,
+            phase,
+            device_count,
+            expert_parallel,
+            u64::from(dtype_bytes),
+        )?;
         Ok(Self::from_graph(graph, device_count, dtype_bytes))
     }
 
@@ -116,7 +157,8 @@ impl LayerPlan {
                 _ => OpBytes { a: 0.0, out: 0.0 },
             })
             .collect();
-        LayerPlan { graph, op_bytes, device_count, dtype_bytes }
+        let expert_parallel = graph.expert_parallel();
+        LayerPlan { graph, op_bytes, device_count, dtype_bytes, expert_parallel }
     }
 
     /// The lowered operator graph.
@@ -141,6 +183,13 @@ impl LayerPlan {
     #[must_use]
     pub fn dtype_bytes(&self) -> u32 {
         self.dtype_bytes
+    }
+
+    /// The expert-parallel group size the plan was lowered for (1 for
+    /// dense and single-group MoE plans).
+    #[must_use]
+    pub fn expert_parallel(&self) -> u32 {
+        self.expert_parallel
     }
 
     pub(crate) fn op_bytes(&self) -> &[OpBytes] {
@@ -171,6 +220,30 @@ pub fn plan_digest(
     .digest()
 }
 
+/// [`plan_digest`] under an explicit expert-parallel group. Digests at
+/// `expert_parallel == 1` equal [`plan_digest`] bit-for-bit (the plan
+/// key only grows an `|ep=` member beyond 1), so dense cache entries
+/// survive the scenario axis unchanged.
+#[must_use]
+pub fn plan_digest_parallel(
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    phase: InferencePhase,
+    device_count: u32,
+    expert_parallel: u32,
+    dtype_bytes: u32,
+) -> u64 {
+    CacheKey::from_canonical(LayerGraph::plan_key_parallel(
+        model,
+        workload,
+        phase,
+        device_count,
+        expert_parallel,
+        u64::from(dtype_bytes),
+    ))
+    .digest()
+}
+
 /// The plan pair one design evaluation consumes: prefill (TTFT) and
 /// decode (TBT) for the same model/workload/node, with their content
 /// digests precomputed for key derivation.
@@ -196,24 +269,56 @@ impl EvalPlans {
         device_count: u32,
         dtype_bytes: u32,
     ) -> Result<Self, AcsError> {
+        Self::build_parallel(model, workload, device_count, 1, dtype_bytes)
+    }
+
+    /// [`EvalPlans::build`] under an explicit expert-parallel group (see
+    /// [`LayerPlan::build_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`LayerPlan::build_parallel`].
+    pub fn build_parallel(
+        model: &ModelConfig,
+        workload: &WorkloadConfig,
+        device_count: u32,
+        expert_parallel: u32,
+        dtype_bytes: u32,
+    ) -> Result<Self, AcsError> {
         let decode_phase = workload.decode_phase();
         Ok(EvalPlans {
-            prefill: LayerPlan::build(
+            prefill: LayerPlan::build_parallel(
                 model,
                 workload,
                 InferencePhase::Prefill,
                 device_count,
+                expert_parallel,
                 dtype_bytes,
             )?,
-            decode: LayerPlan::build(model, workload, decode_phase, device_count, dtype_bytes)?,
-            prefill_digest: plan_digest(
+            decode: LayerPlan::build_parallel(
+                model,
+                workload,
+                decode_phase,
+                device_count,
+                expert_parallel,
+                dtype_bytes,
+            )?,
+            prefill_digest: plan_digest_parallel(
                 model,
                 workload,
                 InferencePhase::Prefill,
                 device_count,
+                expert_parallel,
                 dtype_bytes,
             ),
-            decode_digest: plan_digest(model, workload, decode_phase, device_count, dtype_bytes),
+            decode_digest: plan_digest_parallel(
+                model,
+                workload,
+                decode_phase,
+                device_count,
+                expert_parallel,
+                dtype_bytes,
+            ),
         })
     }
 

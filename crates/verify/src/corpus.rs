@@ -109,7 +109,9 @@ fn scenario_from_report(name: &str, report: &acs_dse::SweepReport) -> Result<Sce
 /// path unnoticed), the 48-point mixed-datatype sweep, the 64-variant
 /// what-if rule-grid screening (every per-variant record digest over the
 /// curated device DB and a 32-design fleet reused from the factored
-/// sweep), and latency anchors from the first successful designs.
+/// sweep), the same grid over a 32-design fleet priced by the
+/// expert-parallel MoE scenario runner, and latency anchors from the
+/// first successful designs.
 ///
 /// # Errors
 ///
@@ -165,6 +167,30 @@ pub fn compute_snapshot() -> Result<Snapshot, AcsError> {
     })?;
     let whatif_total = whatif_rows.len();
 
+    // The MoE twin of the what-if scenario: the same 64-variant grid
+    // screened over a fleet priced by the expert-parallel scenario
+    // runner (Mixtral-shaped experts, tp4/ep4, expert all-to-all in
+    // every collective leg). Recording this digest means the scenario
+    // frontend's MoE pricing — dispatch/combine exchange, activated
+    // expert accounting — cannot drift without a re-bless.
+    let moe_scenario = acs_scenarios::ScenarioRegistry::builtin()
+        .get("moe-mixtral-fp16-tp4-ep4")?
+        .clone();
+    let moe_fleet_report = moe_scenario
+        .runner()
+        .run_report_factored(&SweepSpec::table3_fig6().candidates(4800.0)[..32]);
+    let moe_fleet: Vec<EvaluatedDesign> =
+        moe_fleet_report.designs.iter().map(|(_, d)| d.clone()).collect();
+    let mut moe_rows = Vec::with_capacity(grid.cardinality());
+    WhatIfEngine::paper_default().run_streaming(&grid, &moe_fleet, |index, record| {
+        moe_rows.push(Value::Array(vec![
+            Value::Number(index as f64),
+            Value::String(CacheKey::digest_hex(CacheKey::from_value(record).digest())),
+        ]));
+        Ok(())
+    })?;
+    let moe_total = moe_rows.len();
+
     let mut anchors = Vec::new();
     for (_, design) in planned.designs.iter().take(3) {
         anchors.push(Anchor {
@@ -196,6 +222,13 @@ pub fn compute_snapshot() -> Result<Snapshot, AcsError> {
                 ok: whatif_total,
                 failed: 0,
                 digest: fold_digest(whatif_rows),
+            },
+            Scenario {
+                name: "whatif_moe_grid_64".to_owned(),
+                total: moe_total,
+                ok: moe_total,
+                failed: 0,
+                digest: fold_digest(moe_rows),
             },
         ],
         anchors,

@@ -529,6 +529,35 @@ fn compare_design_leaves(
     }
 }
 
+/// The model-differential: a dense model against its one-expert top-1
+/// MoE twin over the same candidates and path. A degenerate "mixture"
+/// routes every token to the one expert every device already holds — no
+/// router, no dispatch/combine exchange — so the lowering must be
+/// byte-identical to the dense FFN and every evaluated design must
+/// digest bit-equally. This pins the seam where the MoE lowering joins
+/// the dense one: any accidental router FLOPs or phantom all-to-all in
+/// the degenerate case shows up as a digest mismatch here.
+#[must_use]
+pub fn dense_vs_degenerate_moe_diff(
+    candidates: &[CandidateParams],
+    path: EvalPath,
+) -> DiffReport {
+    let workload = WorkloadConfig::paper_default();
+    let dense = DseRunner::new(ModelConfig::llama3_8b(), workload);
+    let moe = DseRunner::new(ModelConfig::llama3_8b().with_moe(1, 1), workload);
+    let left = path.run(&dense, candidates);
+    let right = path.run(&moe, candidates);
+    let mut mismatches = Vec::new();
+    compare_reports(&left, &right, Tolerance::Exact, false, &mut mismatches);
+    DiffReport {
+        label: format!("dense-vs-degenerate-moe ({path})"),
+        points: left.total(),
+        ok: left.designs.len(),
+        failed: left.failures.len(),
+        mismatches,
+    }
+}
+
 /// The 64-variant rule grid the what-if differential and the golden
 /// corpus both screen: 2 October-2022 TPP lines × 4 October-2023 licence
 /// TPPs × 2 PD thresholds × 4 memory-bandwidth variants (0 = the rule is
@@ -749,6 +778,20 @@ mod tests {
         strict.acr_2023.tpp_license = 1600.0;
         let tightened = ClassificationLedger::screen(&strict, &devices);
         assert_ne!(base.digest(), tightened.digest());
+    }
+
+    #[test]
+    fn degenerate_moe_is_bit_identical_to_dense_on_every_path() {
+        let mut candidates = small_candidates();
+        // Include ledgered failures: the degenerate twin must fail the
+        // same points with the same kinds, not just match on successes.
+        let injected = acs_dse::inject_faults(&mut candidates, 2);
+        assert!(!injected.is_empty());
+        for path in [EvalPath::Legacy, EvalPath::Planned, EvalPath::Factored] {
+            let report = dense_vs_degenerate_moe_diff(&candidates, path);
+            assert!(report.ok > 0, "sweep produced no designs on {path}");
+            report.assert_clean();
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! Each iteration takes a valid base input, applies a seeded stack of
 //! structural mutations (byte flips, truncation, slice duplication,
 //! percent-encoding abuse, header and Content-Length tampering, what-if
-//! rule-grid axis bombs), and drives the target under `catch_unwind`.
+//! rule-grid axis bombs, scenario-axis bombs against `/v1/screen`), and
+//! drives the target under `catch_unwind`.
 //! The invariants are:
 //!
 //! - **no panic, ever** — a parse boundary answers hostile bytes with a
@@ -260,6 +261,25 @@ fn http_bases() -> Vec<Vec<u8>> {
         get("/v1/metrics"),
         post("/v1/screen", "{\"device\":\"H100 SXM\"}"),
         post("/v1/screen", "{\"tpp\":4500,\"device_bw_gb_s\":600,\"die_area_mm2\":814}"),
+        // Scenario-axis grids: a registered name and an inline MoE spec.
+        // Tiny hardware grids keep each accepted iteration to a few
+        // factored points while the mutation stack attacks the scenario
+        // member (unknown names, expert bombs, zero-stage pipelines —
+        // all of which must come back as typed 400s, never panics).
+        post(
+            "/v1/screen",
+            "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[2],\
+             \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[2.0],\
+             \"device_bw_gb_s\":[600.0],\
+             \"scenario\":[\"moe-mixtral-fp16-tp4-ep4\"]}}",
+        ),
+        post(
+            "/v1/screen",
+            "{\"grid\":{\"systolic_dims\":[16],\"lanes_per_core\":[2],\
+             \"l1_kib\":[192],\"l2_mib\":[40],\"hbm_tb_s\":[2.0],\
+             \"device_bw_gb_s\":[600.0],\
+             \"scenario\":[{\"model\":\"mixtral_8x7b\",\"expert\":4}]}}",
+        ),
         post("/v1/simulate", "{\"model\":\"llama3-8b\",\"trace\":{\"duration_s\":1}}"),
         // The what-if surface: baseline, single-rule, and rule-grid
         // request shapes (all at the default TPP target, so the synthetic
@@ -344,11 +364,16 @@ fn mutate(input: &mut Vec<u8>, rng: &mut SplitMix64) {
         // allocation storm.
         7 => {
             let wide = format!("\"tpp_nac\":[{}],", vec!["1"; 96].join(","));
-            let bombs: [&[u8]; 4] = [
+            let bombs: [&[u8]; 7] = [
                 wide.as_bytes(),
                 b"\"grid\":{\"tpp_license\":[0]},",
                 b"\"mem_bw_license\":[-1,1e99],",
                 b"\"tpp_target\":1e308,",
+                // Scenario-axis bombs: unknown names, expert-count bombs,
+                // and zero-stage pipelines must all die as typed 400s.
+                b"\"scenario\":[\"no-such-scenario\"],",
+                b"\"scenario\":[{\"model\":\"llama3_8b\",\"experts\":99999999,\"top_k\":1}],",
+                b"\"scenario\":[{\"model\":\"mixtral_8x7b\",\"pipeline_stages\":0}],",
             ];
             #[allow(clippy::cast_possible_truncation)]
             let bomb = bombs[(rng.next_u64() % bombs.len() as u64) as usize];

@@ -41,8 +41,8 @@ pub use corpus::{
     bless_corpus, check_corpus, compute_snapshot, default_corpus_path, regressions_dir, Snapshot,
 };
 pub use differential::{
-    design_digest, standard_suite, whatif_grid_64, whatif_grid_diff, Arm, DiffCase, DiffReport,
-    Differential, EvalPath, Transform,
+    dense_vs_degenerate_moe_diff, design_digest, standard_suite, whatif_grid_64, whatif_grid_diff,
+    Arm, DiffCase, DiffReport, Differential, EvalPath, Transform,
 };
 pub use fuzz::{run_fuzz, FuzzReport, FuzzTarget};
 pub use regressions::replay_dir;

@@ -73,7 +73,8 @@ echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored
 cargo run -q --release --locked --offline --example bench_validate -- \
     --min-dse-plan-speedup 1.5 \
     --min-dse-factored-speedup 2.0 \
-    "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json" "$smokedir/BENCH_whatif.json"
+    "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json" "$smokedir/BENCH_whatif.json" \
+    "$smokedir/BENCH_scenarios.json"
 
 echo "==> profiled DSE trace determinism (identical structure across runs)"
 # Two identical profiled runs must serialise to traces that differ only
@@ -95,7 +96,7 @@ echo "==> error-handling policy grep (non-test library code must be clean)"
 # mechanical pass fails if any file's pre-test-module region contains a
 # panic site in live code.
 fail=0
-files=$(grep -rl "unwrap()\|expect(\|panic!" crates/hw/src crates/sim/src crates/dse/src crates/devices/src crates/llm/src crates/cache/src crates/serve/src crates/telemetry/src crates/whatif/src 2>/dev/null || true)
+files=$(grep -rl "unwrap()\|expect(\|panic!" crates/hw/src crates/sim/src crates/dse/src crates/devices/src crates/llm/src crates/cache/src crates/serve/src crates/telemetry/src crates/whatif/src crates/scenarios/src 2>/dev/null || true)
 for f in $files; do
     cut=$(awk '/#\[cfg\(test\)\]/{print NR; exit}' "$f")
     [ -z "$cut" ] && cut=$(($(wc -l < "$f") + 1))

@@ -8,10 +8,11 @@
 //! to catch order-of-magnitude regressions and to prove the paths run,
 //! not to produce publishable numbers.
 //!
-//! Three artefacts are written for the perf trajectory (schema
+//! Four artefacts are written for the perf trajectory (schema
 //! documented in README "Observability"): `BENCH_dse.json` from
-//! [`bench_smoke`], `BENCH_serve.json` from [`bench_serve`], and
-//! `BENCH_whatif.json` from [`bench_whatif`], each
+//! [`bench_smoke`], `BENCH_serve.json` from [`bench_serve`],
+//! `BENCH_whatif.json` from [`bench_whatif`], and
+//! `BENCH_scenarios.json` from [`bench_scenarios`], each
 //! `{"schema": "acs-bench-v1", "suite": ..., "metrics": {...}}` with
 //! every metric a finite number. `ACS_BENCH_DIR` overrides the output
 //! directory (default: the repo root).
@@ -367,6 +368,89 @@ fn bench_whatif() {
             ("grid_ms", grid_ms),
             ("variants_per_sec_cold", variants_per_sec_cold),
             ("variants_per_sec_warm", variants_per_sec_warm),
+        ],
+    );
+}
+
+#[test]
+#[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
+fn bench_scenarios() {
+    use acs_scenarios::ScenarioRegistry;
+
+    // Dense vs MoE sweep throughput through the scenario frontend: the
+    // same 1536-point hardware lattice priced by the dense default
+    // scenario and by the expert-parallel Mixtral scenario. Each round
+    // builds a fresh runner, so the timing includes cold leg tables —
+    // the measured ratio is the honest per-point cost of carrying the
+    // router, the touched-expert weight traffic, and the dispatch /
+    // combine all-to-all legs, not an artefact of cross-round reuse.
+    let registry = ScenarioRegistry::builtin();
+    let reference = SweepSpec::table3_fig7().candidates(2400.0);
+    assert_eq!(reference.len(), 1536, "reference sweep size");
+    let throughput = |name: &str| {
+        let scenario = registry.get(name).expect("builtin scenario");
+        let mut round = || scenario.runner().run_report_factored(&reference);
+        let warm = round(); // warm thread pool + allocator paths
+        assert_eq!(warm.total(), reference.len());
+        assert!(warm.failures.is_empty(), "reference sweep has no bad points");
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..3 {
+            best_ms = best_ms.min(round_ms(1, &mut round));
+        }
+        reference.len() as f64 / (best_ms / 1e3)
+    };
+    let dense_pps = throughput("dense-llama3-fp16-tp4");
+    let moe_pps = throughput("moe-mixtral-fp16-tp4-ep4");
+    let moe_relative = moe_pps / dense_pps;
+    println!(
+        "{:<44} {:>10.0} points/s  (dense {:.0} points/s, {:.2}x)",
+        "scenario sweep (MoE, 1536-point lattice)", moe_pps, dense_pps, moe_relative
+    );
+
+    // Leg hit-rate on the expert-axis sweep: a cold MoE pass does six
+    // lookups per point, and the lattice structure means almost all of
+    // them — including the ep=4 expert all-to-all communication legs —
+    // hit entries a sibling point already priced.
+    let registry_t = acs_telemetry::global();
+    registry_t.enable();
+    registry_t.reset();
+    let cold = registry
+        .get("moe-mixtral-fp16-tp4-ep4")
+        .expect("builtin scenario")
+        .runner()
+        .run_report_factored(&reference);
+    assert_eq!(cold.total(), reference.len());
+    let counters = registry_t.counter_values();
+    let counter = |name: &str| {
+        counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or_default()
+    };
+    let (hits, misses) = (counter("dse.factored.leg_hit"), counter("dse.factored.leg_miss"));
+    registry_t.disable();
+    registry_t.reset();
+    assert_eq!(hits + misses, reference.len() as u64 * 6, "six lookups per point");
+    let leg_hit_rate_pct = hits as f64 / (hits + misses) as f64 * 100.0;
+    println!(
+        "{:<44} {:>10.2} %         ({} hits, {} misses)",
+        "leg hit-rate (cold MoE expert-axis sweep)", leg_hit_rate_pct, hits, misses
+    );
+
+    // Generous ceilings: only order-of-magnitude regressions fail.
+    assert!(
+        moe_relative >= 0.1,
+        "MoE scenario sweep fell an order of magnitude behind dense ({moe_relative:.3}x)"
+    );
+    assert!(
+        leg_hit_rate_pct >= 90.0,
+        "cold MoE sweep should reuse >= 90% of leg lookups, got {leg_hit_rate_pct:.2}%"
+    );
+
+    write_bench(
+        "scenarios",
+        vec![
+            ("points_per_sec_dense", dense_pps),
+            ("points_per_sec_moe", moe_pps),
+            ("moe_relative_throughput", moe_relative),
+            ("leg_hit_rate_pct", leg_hit_rate_pct),
         ],
     );
 }

@@ -206,3 +206,51 @@ fn elasticities_are_finite() {
         }
     }
 }
+
+/// The expert-parallel all-to-all is monotone in payload bytes and in
+/// the group width, degenerates to a free exchange at one device exactly
+/// like the all-reduce, and never moves more wire volume than an
+/// all-reduce of the same payload over the same group.
+#[test]
+fn alltoall_cost_is_monotone_and_degenerate_like_allreduce() {
+    use acs_sim::{allreduce_cost, alltoall_cost, SimParams};
+    let mut rng = SplitMix64::new(209);
+    for case in 0..48 {
+        let device = gen_device(&mut rng);
+        let params =
+            if case % 2 == 0 { SimParams::calibrated() } else { SimParams::ideal() };
+        let system = SystemConfig::quad(device).unwrap();
+        let bytes = 1u64 << (10 + rng.next_u64() % 21);
+        let group = pick(&mut rng, &[2u32, 4, 8, 16, 64]);
+
+        // Monotone in bytes at fixed group.
+        let t_small = alltoall_cost(bytes, group, &system, &params).time_s();
+        let t_large = alltoall_cost(bytes * 2, group, &system, &params).time_s();
+        assert!(t_small > 0.0, "case {case}: a real exchange costs time");
+        assert!(t_large > t_small, "case {case}: time must grow with payload");
+
+        // Monotone in group width at fixed bytes: (g-1)/g volume and the
+        // ring step count both grow with g.
+        let t_wider = alltoall_cost(bytes, group * 2, &system, &params).time_s();
+        assert!(t_wider > t_small, "case {case}: time must grow with the group");
+
+        // One device: free, bit-equal to the degenerate all-reduce.
+        let solo = SystemConfig::new(system.device().clone(), 1).unwrap();
+        let a2a_solo = alltoall_cost(bytes, 1, &system, &params);
+        assert_eq!(a2a_solo.time_s(), 0.0, "case {case}");
+        assert_eq!(
+            a2a_solo.time_s(),
+            allreduce_cost(bytes, &solo, &params).time_s(),
+            "case {case}: degenerate all-to-all must match degenerate all-reduce"
+        );
+
+        // Exchange crosses the wire once; reduce-broadcast twice. With
+        // group == device_count the comparison is apples to apples.
+        let a2a4 = alltoall_cost(bytes, 4, &system, &params);
+        let ar4 = allreduce_cost(bytes, &system, &params);
+        assert!(
+            a2a4.wire_s < ar4.wire_s,
+            "case {case}: all-to-all must move less volume than all-reduce"
+        );
+    }
+}
