@@ -135,6 +135,7 @@ pub struct DseRunner {
     pub(crate) cache: Option<Arc<ShardedCache<EvaluatedDesign>>>,
     plans: Arc<PlanSlot>,
     pub(crate) factored: Arc<crate::factored::FactoredSlot>,
+    pub(crate) lattice: Arc<crate::lattice::LatticeSlot>,
     threads: Option<usize>,
 }
 
@@ -165,6 +166,7 @@ impl DseRunner {
             cache: None,
             plans: Arc::new(PlanSlot::default()),
             factored: Arc::new(crate::factored::FactoredSlot::default()),
+            lattice: Arc::new(crate::lattice::LatticeSlot::default()),
             threads: None,
         }
     }
@@ -189,6 +191,7 @@ impl DseRunner {
         // old count.
         self.plans = Arc::new(PlanSlot::default());
         self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self.lattice = Arc::new(crate::lattice::LatticeSlot::default());
         self
     }
 
@@ -202,9 +205,10 @@ impl DseRunner {
     #[must_use]
     pub fn with_expert_parallel(mut self, n: u32) -> Self {
         self.expert_parallel = n;
-        // Plans and priced legs bake in the lowering; drop both slots.
+        // Plans and priced legs bake in the lowering; drop the slots.
         self.plans = Arc::new(PlanSlot::default());
         self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self.lattice = Arc::new(crate::lattice::LatticeSlot::default());
         self
     }
 
@@ -220,9 +224,10 @@ impl DseRunner {
     pub fn with_datatype(mut self, dt: acs_hw::DataType) -> Self {
         self.datatype = Some(dt);
         // Plans key on the dtype width and priced legs bake it into the
-        // collective payloads; drop both slots.
+        // collective payloads; drop the slots.
         self.plans = Arc::new(PlanSlot::default());
         self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self.lattice = Arc::new(crate::lattice::LatticeSlot::default());
         self
     }
 
@@ -252,6 +257,7 @@ impl DseRunner {
         // Leg tables bake in the calibration (plans do not: they are
         // pure graph shape); a recalibrated runner must re-price.
         self.factored = Arc::new(crate::factored::FactoredSlot::default());
+        self.lattice = Arc::new(crate::lattice::LatticeSlot::default());
         self
     }
 
@@ -585,6 +591,9 @@ impl DseRunner {
         outcomes: Vec<Result<EvaluatedDesign, AcsError>>,
     ) -> SweepReport {
         let mut report = SweepReport::default();
+        // One up-front allocation instead of log2(n) grow-and-copy
+        // cycles over ~150-byte elements — measurable on large sweeps.
+        report.designs.reserve(candidates.len());
         for (index, (cand, outcome)) in candidates.iter().zip(outcomes).enumerate() {
             match outcome {
                 Ok(d) => report.designs.push((index, d)),
@@ -593,6 +602,14 @@ impl DseRunner {
                 }
             }
         }
+        self.report_telemetry(&report);
+        report
+    }
+
+    /// Flush a finished sweep report's outcome counters. Shared by
+    /// [`DseRunner::collect_report`] and the lattice path's direct
+    /// assembly so both emit identical telemetry.
+    pub(crate) fn report_telemetry(&self, report: &SweepReport) {
         if acs_telemetry::enabled() {
             acs_telemetry::count("dse.eval.ok", report.designs.len() as u64);
             acs_telemetry::count("dse.eval.failed", report.failures.len() as u64);
@@ -607,7 +624,6 @@ impl DseRunner {
                 acs_telemetry::count(&format!("dse.eval.fail.{kind}"), count);
             }
         }
-        report
     }
 
     /// Order-preserving parallel map with per-item panic containment and
@@ -622,7 +638,13 @@ impl DseRunner {
         label: impl Fn(&T) -> &str + Sync,
         f: impl Fn(&T) -> Result<U, AcsError> + Sync,
     ) -> Vec<Result<U, AcsError>> {
-        self.parallel_map_on(self.threads.unwrap_or_else(worker_threads), items, label, f)
+        self.parallel_map_on(self.worker_count(), items, label, f)
+    }
+
+    /// The worker-thread count `parallel_map` will use: the runner's
+    /// explicit override, else the machine default.
+    pub(crate) fn worker_count(&self) -> usize {
+        self.threads.unwrap_or_else(worker_threads)
     }
 
     fn parallel_map_on<T: Sync, U: Send + Sync>(
@@ -637,6 +659,39 @@ impl DseRunner {
         }
         let threads = threads.clamp(1, items.len());
         acs_telemetry::set_gauge("dse.threads", threads as u64);
+        if threads == 1 {
+            // One worker needs no scope, no spawn/join, and no slot
+            // claims — run the same per-item contained loop inline. On a
+            // single-core host the spawn+join alone costs tens of
+            // microseconds per sweep.
+            let mut last = acs_telemetry::enabled().then(std::time::Instant::now);
+            return items
+                .iter()
+                .map(|item| {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(
+                        |payload| {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_owned());
+                            Err(AcsError::EvaluationPanic {
+                                design: label(item).to_owned(),
+                                message,
+                            })
+                        },
+                    );
+                    if let Some(t0) = last {
+                        static POINT_US: acs_telemetry::GlobalHistogram =
+                            acs_telemetry::GlobalHistogram::new("dse.eval.point_us");
+                        let t1 = std::time::Instant::now();
+                        POINT_US.record((t1 - t0).as_secs_f64() * 1e6);
+                        last = Some(t1);
+                    }
+                    outcome
+                })
+                .collect();
+        }
         // Stripes of a few items amortise the claim fetch while staying
         // small enough that no worker can hoard a long expensive run.
         let stripe = (items.len() / (threads * 8)).clamp(1, 64);
@@ -715,7 +770,7 @@ impl DseRunner {
 /// integer, otherwise the machine's available parallelism (4 when
 /// unknown); capped at 32 either way. Surfaced per run as the
 /// `dse.threads` gauge.
-fn worker_threads() -> usize {
+pub(crate) fn worker_threads() -> usize {
     std::env::var("ACS_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())

@@ -36,7 +36,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 /// whole `max()` combine; these keys are small fixed tuples of trusted
 /// internal values, so HashDoS resistance buys nothing here.
 #[derive(Debug, Default)]
-struct FxHasher {
+pub(crate) struct FxHasher {
     hash: u64,
 }
 
@@ -78,7 +78,7 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// The three per-key leg maps of one phase, behind a single lock (one
 /// acquisition covers all three lookups of a point).
@@ -93,7 +93,7 @@ struct LegMaps {
 /// leg kind, each keyed by exactly the parameters that leg reads, so
 /// distinct axes never alias and identical sub-tuples never re-price.
 #[derive(Debug, Default)]
-struct LegTables(RwLock<LegMaps>);
+pub(crate) struct LegTables(RwLock<LegMaps>);
 
 /// The leg tables of one runner: prefill and decode phases are priced
 /// against different plans, so they memoize independently. Reset
@@ -102,8 +102,8 @@ struct LegTables(RwLock<LegMaps>);
 /// they are runner-level constants, not sweep axes).
 #[derive(Debug, Default)]
 pub(crate) struct FactoredSlot {
-    prefill: LegTables,
-    decode: LegTables,
+    pub(crate) prefill: LegTables,
+    pub(crate) decode: LegTables,
 }
 
 impl LegTables {
@@ -113,7 +113,7 @@ impl LegTables {
     /// straight out of the maps: no Arc refcount traffic at all. Misses
     /// fall back to [`LegTables::legs_for`], which prices and installs
     /// the missing entries.
-    fn with_legs<R>(
+    pub(crate) fn with_legs<R>(
         &self,
         sim: &Simulator,
         plan: &LayerPlan,
@@ -143,7 +143,7 @@ impl LegTables {
     /// single graph walk covers all three legs — and only the missing
     /// tables are filled. A racing builder loses: `entry` keeps the
     /// first insertion so every reader shares one allocation.
-    fn legs_for(
+    pub(crate) fn legs_for(
         &self,
         sim: &Simulator,
         plan: &LayerPlan,
@@ -180,6 +180,23 @@ impl LegTables {
         (c, m, w)
     }
 
+    /// Pure lookup: the already-priced leg vectors for `keys`, or `None`
+    /// when any of the three is absent. Never prices — the lattice
+    /// engine's fused-table builder uses this after its representative
+    /// pricing pass, so a pricing failure there degrades to a per-point
+    /// fallback instead of silently pricing against the wrong simulator.
+    pub(crate) fn get(
+        &self,
+        keys: &LegKeys,
+    ) -> Option<(Arc<Vec<ComputeLeg>>, Arc<Vec<MemoryLeg>>, Arc<Vec<f64>>)> {
+        let maps = self.0.read().unwrap_or_else(PoisonError::into_inner);
+        Some((
+            Arc::clone(maps.compute.get(&keys.compute)?),
+            Arc::clone(maps.memory.get(&keys.memory)?),
+            Arc::clone(maps.comm.get(&keys.comm)?),
+        ))
+    }
+
     fn reserve(&self, compute: usize, memory: usize, comm: usize) {
         let mut maps = self.0.write().unwrap_or_else(PoisonError::into_inner);
         maps.compute.reserve(compute);
@@ -191,7 +208,7 @@ impl LegTables {
 impl FactoredSlot {
     /// Pre-size both phases' tables for a known lattice shape, so the
     /// miss-path insertions of a sweep never rehash mid-run.
-    fn reserve(&self, compute: usize, memory: usize, comm: usize) {
+    pub(crate) fn reserve(&self, compute: usize, memory: usize, comm: usize) {
         self.prefill.reserve(compute, memory, comm);
         self.decode.reserve(compute, memory, comm);
     }
@@ -254,7 +271,10 @@ impl DseRunner {
     /// plans, die costs, TTFT, TBT), with only the latency pricing
     /// swapped for table lookups — so errors, failure kinds, and every
     /// result bit match the planned path.
-    fn evaluate_factored(&self, config: &Arc<DeviceConfig>) -> Result<EvaluatedDesign, AcsError> {
+    pub(crate) fn evaluate_factored(
+        &self,
+        config: &Arc<DeviceConfig>,
+    ) -> Result<EvaluatedDesign, AcsError> {
         let ctx = || format!("evaluate.{}", config.name());
         let area = guard::ensure_positive_with(
             ctx,

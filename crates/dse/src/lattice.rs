@@ -1,0 +1,1876 @@
+//! Lattice-algebra sweep evaluation: price the grid, not the points.
+//!
+//! The factored path (`crate::factored`) memoizes priced legs per
+//! dependency key but still re-combines every point scalar-by-scalar:
+//! per point it builds a device, hashes three keys, takes a lock, and
+//! walks the per-op guard chain twice. This module finishes the
+//! dependency-key argument. Each leg is evaluated once as a
+//! structure-of-arrays vector indexed by only the axes in its
+//! `ComputeKey`/`MemoryKey`/`CommKey`, the per-op guards are hoisted
+//! into a one-time cleanliness proof per vector
+//! ([`acs_sim::CombineProgram`]), and a grid point collapses to a few
+//! dozen additions over pre-fused vectors plus the scalar area/cost
+//! pipeline assembled from per-axis components — the outer-product
+//! broadcast LLMCompass applies to analytical design spaces.
+//!
+//! Exactness discipline: the fast path replicates the factored path's
+//! guard *order* (area, TPP, perf density, system, plans, die costs,
+//! TTFT, TBT) with cheap per-point checks; any check that would fail —
+//! or any precondition the broadcast cannot prove (unclean fused
+//! vectors, probe failure, invalid candidate) — demotes that point to
+//! the factored per-point evaluator, which reproduces the exact typed
+//! error, bit for bit. Healthy points take the broadcast; the result is
+//! bit-identical either way, a guarantee pinned by
+//! `tests/lattice_equivalence.rs` with the same golden-digest
+//! discipline as `tests/factored_equivalence.rs`.
+//!
+//! On top of the exact engine, [`DseRunner::screen_lattice`] adds
+//! monotonic branch-and-bound: every leg (and the area/cost pipeline)
+//! is componentwise monotone in its axes, so the componentwise minimum
+//! over a sub-grid's corners lower-bounds both objectives over the
+//! whole sub-grid; boxes whose bound is strictly dominated by the
+//! current Pareto front — or whose TPP cannot reach `min_tpp` — are
+//! skipped unpriced. Ties are never pruned (a bound equal to a front
+//! point on both objectives does not dominate), so designs exactly at a
+//! threshold always materialize. Adaptive refinement then inserts axis
+//! midpoints wherever the October 2023 compliance flag flips between
+//! grid neighbours, sharpening the sweep around the TPP/PD threshold
+//! crossovers the paper's analysis turns on.
+
+use crate::evaluate::{DseRunner, EvaluatedDesign, SweptParams};
+use crate::factored::FxMap;
+use crate::pareto::pareto_front;
+use crate::report::{DesignFailure, SweepReport};
+use crate::sweeps::{CandidateParams, SweepSpec};
+use acs_errors::AcsError;
+use acs_hw::tpp::cores_for_tpp;
+use acs_hw::{DataType, DeviceConfig, SystemConfig, SystolicDims, RETICLE_LIMIT_MM2};
+use acs_sim::{CombineProgram, CommKey, ComputeKey, EvalPlans, FusedLegs, LegKeys, MemoryKey, Simulator};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Both phases' fused vectors of one signature (an on-chip pair or a
+/// comm key), with the conjunction of their cleanliness proofs hoisted
+/// out so the per-point check is one local bool instead of four pointer
+/// chases. Storing the phases together costs one table lookup per
+/// signature instead of two — every sweep needs both phases anyway.
+#[derive(Debug)]
+struct PairFused {
+    prefill: FusedLegs,
+    decode: FusedLegs,
+    clean: bool,
+}
+
+impl PairFused {
+    fn of(prefill: FusedLegs, decode: FusedLegs) -> Self {
+        let clean = prefill.clean && decode.clean;
+        PairFused { prefill, decode, clean }
+    }
+}
+
+/// Fused-vector tables: one both-phase on-chip entry per (compute,
+/// memory) key pair, one both-phase comm entry per comm key. Persistent
+/// across sweeps through the runner (and through `AppState` in the
+/// server), so repeated `/v1/screen` grids and what-if fleets re-fuse
+/// nothing.
+#[derive(Debug, Default)]
+struct FusedTables {
+    onchip: RwLock<FxMap<(ComputeKey, MemoryKey), Arc<PairFused>>>,
+    comm: RwLock<FxMap<CommKey, Arc<PairFused>>>,
+}
+
+impl FusedTables {
+    fn get_onchip(&self, key: &(ComputeKey, MemoryKey)) -> Option<Arc<PairFused>> {
+        self.onchip.read().unwrap_or_else(PoisonError::into_inner).get(key).cloned()
+    }
+
+    fn put_onchip(&self, key: (ComputeKey, MemoryKey), fused: PairFused) -> Arc<PairFused> {
+        let mut map = self.onchip.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(fused)))
+    }
+
+    fn get_comm(&self, key: &CommKey) -> Option<Arc<PairFused>> {
+        self.comm.read().unwrap_or_else(PoisonError::into_inner).get(key).cloned()
+    }
+
+    fn put_comm(&self, key: CommKey, fused: PairFused) -> Arc<PairFused> {
+        let mut map = self.comm.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(fused)))
+    }
+}
+
+/// The lattice tables of one runner: per-phase fused vectors plus the
+/// per-dtype combine programs. Reset wherever the factored leg tables
+/// reset (device count, expert parallelism, datatype, calibration) —
+/// the fused values bake in the launch overhead and the priced legs.
+#[derive(Debug, Default)]
+pub(crate) struct LatticeSlot {
+    fused: FusedTables,
+    programs: RwLock<FxMap<u32, Arc<ProgramPair>>>,
+    /// Probe-derived per-signature constants, cached across sweeps.
+    /// Sound because every cached field depends only on the axes in its
+    /// own signature (the same invariant the broadcast itself rests on),
+    /// and each successful probe has already priced its leg into the
+    /// runner's persistent factored tables, which never evict. Failed
+    /// probes are not cached: failure can depend on the sweep's base
+    /// point, so they re-probe.
+    csig_cache: RwLock<FxMap<(u32, u32, u32, u32), ComputeSigData>>,
+    msig_cache: RwLock<FxMap<(u32, u64), MemorySigData>>,
+    wsig_cache: RwLock<FxMap<u64, CommSigData>>,
+    /// Evaluated grid cells, cached across sweeps: every numeric output
+    /// of the fast point path is a pure function of the (compute,
+    /// memory, comm) key triple for a fixed runner (plans, programs,
+    /// calibration, cost and area models are all frozen at construction,
+    /// and this slot resets whenever any of them changes). A hit replays
+    /// the stored bits; only the candidate's name is per-point. Cells
+    /// are recorded only for points that passed every guard — a point
+    /// that demotes to the factored fallback is never cached, so the
+    /// unclean corner re-prices (and re-reports) exactly every time.
+    cells: RwLock<FxMap<CellKey, CellNumbers>>,
+}
+
+/// The full dependency signature of one grid cell.
+type CellKey = (ComputeKey, MemoryKey, CommKey);
+
+/// Every field of an [`EvaluatedDesign`] that is a function of the cell
+/// key alone — everything except the candidate's name and the swept
+/// integer parameters (which equal the key's own axes).
+#[derive(Debug, Clone, Copy)]
+struct CellNumbers {
+    hbm_tb_s: f64,
+    device_bw_gb_s: f64,
+    tpp: f64,
+    die_area_mm2: f64,
+    perf_density: f64,
+    die_cost_usd: f64,
+    good_die_cost_usd: f64,
+    ttft_s: f64,
+    tbt_s: f64,
+    within_reticle: bool,
+    pd_unregulated_2023: bool,
+}
+
+/// The compiled combine loops of one dtype's plan pair.
+#[derive(Debug)]
+struct ProgramPair {
+    prefill: CombineProgram,
+    decode: CombineProgram,
+}
+
+impl LatticeSlot {
+    /// The combine programs for one dtype width, compiled at most once
+    /// per runner (read-mostly after the first point of a sweep).
+    fn programs_for(&self, plans: &EvalPlans, dtype_bytes: u32) -> Arc<ProgramPair> {
+        if let Some(pair) =
+            self.programs.read().unwrap_or_else(PoisonError::into_inner).get(&dtype_bytes)
+        {
+            return Arc::clone(pair);
+        }
+        let built = Arc::new(ProgramPair {
+            prefill: CombineProgram::of(&plans.prefill),
+            decode: CombineProgram::of(&plans.decode),
+        });
+        let mut map = self.programs.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(dtype_bytes).or_insert(built))
+    }
+}
+
+/// Resolve each signature key through one of [`LatticeSlot`]'s
+/// persistent probe caches: a single read-lock pass serves the hits,
+/// the misses probe, and a single write-lock pass publishes the
+/// successful new entries. Failed probes are returned but never cached.
+fn cached_sig_data<K, D>(
+    cache: &RwLock<FxMap<K, D>>,
+    keys: &[K],
+    probe: impl Fn(&K) -> Option<D>,
+) -> Vec<Option<D>>
+where
+    K: std::hash::Hash + Eq + Copy,
+    D: Copy,
+{
+    let mut out: Vec<Option<D>> = vec![None; keys.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    {
+        let map = cache.read().unwrap_or_else(PoisonError::into_inner);
+        for (at, (slot, key)) in out.iter_mut().zip(keys).enumerate() {
+            match map.get(key) {
+                Some(&d) => *slot = Some(d),
+                None => misses.push(at),
+            }
+        }
+    }
+    if misses.is_empty() {
+        return out;
+    }
+    for &at in &misses {
+        out[at] = probe(&keys[at]);
+    }
+    let mut map = cache.write().unwrap_or_else(PoisonError::into_inner);
+    for &at in &misses {
+        if let Some(d) = out[at] {
+            map.insert(keys[at], d);
+        }
+    }
+    out
+}
+
+static FUSED_HIT: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.fused_hit");
+static FUSED_BUILT: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.fused_built");
+static FAST_POINTS: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.fast_points");
+static FALLBACK_POINTS: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.fallback_points");
+static CELL_HIT: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.cell_hit");
+static CELL_BUILT: acs_telemetry::GlobalCounter =
+    acs_telemetry::GlobalCounter::new("dse.lattice.cell_built");
+
+/// Whether any point of `front` strictly dominates `bound` (no worse on
+/// both objectives, strictly better on at least one, minimizing).
+///
+/// This is the branch-and-bound prune test, and its strictness is the
+/// tie-safety argument: a sub-grid whose best-corner bound *equals* a
+/// front point on both objectives is never pruned, so an interior
+/// design tying the front always materializes. Soundness: the bound is
+/// componentwise ≤ every point in the sub-grid, so a strict dominator
+/// of the bound strictly dominates every interior point — none of which
+/// can therefore sit on the exact Pareto front.
+#[must_use]
+pub fn bound_is_dominated(front: &[(f64, f64)], bound: (f64, f64)) -> bool {
+    front.iter().any(|f| {
+        f.0 <= bound.0 && f.1 <= bound.1 && (f.0 < bound.0 || f.1 < bound.1)
+    })
+}
+
+/// Insert one evaluated objective pair into an incremental front,
+/// dropping it if dominated and evicting anything it dominates.
+/// Equal-valued points are kept (duplicates survive, matching
+/// [`pareto_front`]'s tie handling).
+fn push_front(front: &mut Vec<(f64, f64)>, p: (f64, f64)) {
+    if !p.0.is_finite() || !p.1.is_finite() {
+        return;
+    }
+    if bound_is_dominated(front, p) {
+        return;
+    }
+    front.retain(|f| !(p.0 <= f.0 && p.1 <= f.1 && (p.0 < f.0 || p.1 < f.1)));
+    front.push(p);
+}
+
+/// Options for [`DseRunner::screen_lattice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeScreenOptions {
+    /// Skip compute sub-grids whose achieved TPP is strictly below this
+    /// floor. Designs exactly at the floor are never pruned.
+    pub min_tpp: Option<f64>,
+    /// Branch-and-bound pruning against the incremental Pareto front.
+    /// With pruning off the screen materializes every feasible point
+    /// (the exact reference the differential harness compares against).
+    pub prune: bool,
+    /// Rounds of adaptive refinement around October 2023 compliance
+    /// crossovers (0 = base grid only).
+    pub refine_rounds: u32,
+}
+
+impl Default for LatticeScreenOptions {
+    fn default() -> Self {
+        LatticeScreenOptions { min_tpp: None, prune: true, refine_rounds: 0 }
+    }
+}
+
+/// Materialization accounting of one screen run, mirrored into the
+/// `dse.lattice.*` telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatticeStats {
+    /// Grid cardinality before feasibility, pruning, or refinement.
+    pub nominal_points: u64,
+    /// Points actually priced (base grid + refined).
+    pub materialized_points: u64,
+    /// Points of (dim, lanes) pairs with no feasible core count.
+    pub infeasible_points: u64,
+    /// Sub-grids skipped by the bound test or the TPP floor.
+    pub pruned_boxes: u64,
+    /// Points never priced because their sub-grid was pruned.
+    pub pruned_points: u64,
+    /// Materialized points whose evaluation failed.
+    pub failed_points: u64,
+    /// Refinement rounds that inserted at least one new point.
+    pub refinement_rounds: u64,
+    /// Off-grid points added by refinement.
+    pub refined_points: u64,
+}
+
+/// Result of a pruned/refined lattice screen.
+#[derive(Debug, Clone)]
+pub struct LatticeScreen {
+    /// Every successfully materialized design (base grid + refined).
+    pub designs: Vec<EvaluatedDesign>,
+    /// Indices into `designs` of the (TBT, good-die-cost) Pareto front.
+    pub front: Vec<usize>,
+    /// Materialization accounting.
+    pub stats: LatticeStats,
+}
+
+/// One compute signature's probe-derived constants: the dependency key,
+/// the area components that depend only on compute axes (assembled in
+/// the exact left-to-right order of `AreaBreakdown::total_mm2`), and
+/// the achieved TPP.
+#[derive(Debug, Clone, Copy)]
+struct ComputeSigData {
+    key: ComputeKey,
+    /// `(systolic + vector) + l1` — the first three addends.
+    partial_area: f64,
+    control: f64,
+    fixed: f64,
+    tpp: f64,
+}
+
+/// One memory signature's constants: key, L2 and HBM-PHY area addends,
+/// and the probe's round-tripped bandwidth for `SweptParams`.
+#[derive(Debug, Clone, Copy)]
+struct MemorySigData {
+    key: MemoryKey,
+    l2_area: f64,
+    hbm_phy_area: f64,
+    hbm_tb_s: f64,
+}
+
+/// One comm signature's constants: key (expert-parallel width already
+/// folded in), device-PHY area addend, round-tripped total bandwidth.
+#[derive(Debug, Clone, Copy)]
+struct CommSigData {
+    key: CommKey,
+    device_phy_area: f64,
+    device_bw_gb_s: f64,
+}
+
+/// The per-sweep broadcast context: plans, programs, signature tables,
+/// and fused vectors, shared read-only by the point workers. The fused
+/// tables are dense — a pair lives at `ci * n_msigs + mi`, a comm at
+/// `wi` — so the per-point path is two indexed loads, no hashing.
+struct SweepCtx<'a> {
+    plans: Arc<EvalPlans>,
+    programs: Arc<ProgramPair>,
+    csig_data: Vec<Option<ComputeSigData>>,
+    msig_data: Vec<Option<MemorySigData>>,
+    wsig_data: Vec<Option<CommSigData>>,
+    /// Per candidate index: (compute, memory, comm) signature indices,
+    /// `None` when the candidate fails validation.
+    point_sigs: Vec<Option<(u32, u32, u32)>>,
+    n_msigs: usize,
+    /// Fused on-chip vectors, dense over (csig, msig); `None` demotes.
+    pairs: Vec<Option<Arc<PairFused>>>,
+    /// Fused comm vectors, dense over comm signatures.
+    comms: Vec<Option<Arc<PairFused>>>,
+    /// The runner's persistent cell table, read-locked for the whole
+    /// point stage (fresh cells are published after the stage, so the
+    /// guard never blocks a writer it waits on).
+    cells: &'a FxMap<CellKey, CellNumbers>,
+}
+
+impl DseRunner {
+    /// [`DseRunner::try_evaluate`] through the lattice pricing path:
+    /// fused per-plan vectors instead of per-op combine loops,
+    /// bit-identical results. Single points share the runner's
+    /// persistent fused tables, so a service screening one design reuses
+    /// every earlier request's fusions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DseRunner::try_evaluate`].
+    pub fn try_evaluate_lattice(&self, config: &DeviceConfig) -> Result<EvaluatedDesign, AcsError> {
+        self.try_evaluate_lattice_shared(&Arc::new(config.clone()))
+    }
+
+    /// [`DseRunner::try_evaluate_lattice`] for a configuration that is
+    /// already shared. Consults the runner's evaluation cache, when
+    /// configured, under the same key as the planned path — safe because
+    /// the paths produce bit-identical designs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DseRunner::try_evaluate`].
+    pub fn try_evaluate_lattice_shared(
+        &self,
+        config: &Arc<DeviceConfig>,
+    ) -> Result<EvaluatedDesign, AcsError> {
+        let retyped = self.retyped(config)?;
+        let config = retyped.as_ref().unwrap_or(config);
+        match &self.cache {
+            Some(cache) => {
+                let key = self.cache_key(config);
+                let (design, hit) =
+                    cache.get_or_try_insert(&key, || self.evaluate_lattice(config))?;
+                // Same counters as the planned path: callers care about
+                // evaluation-cache traffic, not which pricing path
+                // filled a miss.
+                static HITS: acs_telemetry::GlobalCounter =
+                    acs_telemetry::GlobalCounter::new("dse.cache.hits");
+                static MISSES: acs_telemetry::GlobalCounter =
+                    acs_telemetry::GlobalCounter::new("dse.cache.misses");
+                if hit {
+                    HITS.add(1);
+                } else {
+                    MISSES.add(1);
+                }
+                Ok(design)
+            }
+            None => self.evaluate_lattice(config),
+        }
+    }
+
+    /// The lattice mirror of `evaluate_factored`: identical guard
+    /// contexts in identical order, with the per-op combine loops
+    /// replaced by pre-fused vector sums when the fused vectors are
+    /// clean, and the factored combine otherwise (whose per-op guards
+    /// reproduce the exact error).
+    fn evaluate_lattice(&self, config: &Arc<DeviceConfig>) -> Result<EvaluatedDesign, AcsError> {
+        use acs_errors::guard;
+        let ctx = || format!("evaluate.{}", config.name());
+        let area = guard::ensure_positive_with(
+            ctx,
+            "die_area_mm2",
+            self.area_model.die_area(config).total_mm2(),
+        )?;
+        let tpp = guard::ensure_positive_with(ctx, "tpp", config.tpp().0)?;
+        let pd = guard::ensure_positive_with(ctx, "perf_density", tpp / area)?;
+        let system = SystemConfig::shared(Arc::clone(config), self.device_count)?;
+        let sim = Simulator::with_params(system, self.sim_params);
+        let plans = self.plans_for(config.datatype().bytes())?;
+        let die_cost_usd =
+            guard::ensure_positive_with(ctx, "die_cost_usd", self.cost_model.die_cost_usd(area))?;
+        let good_die_cost_usd = guard::ensure_positive_with(
+            ctx,
+            "good_die_cost_usd",
+            self.cost_model.good_die_cost_usd(area),
+        )?;
+        let mut keys = LegKeys::of(sim.system());
+        keys.comm.expert_parallel = plans.prefill.expert_parallel();
+        let programs = self.lattice.programs_for(&plans, config.datatype().bytes());
+        let onchip = self.fused_onchip_pair(&sim, &plans, &keys, &programs);
+        let comm = self.fused_comm_pair(&sim, &plans, &keys, &programs);
+        let (ttft_s, tbt_s) = if onchip.clean && comm.clean {
+            (
+                programs.prefill.try_ttft(&onchip.prefill.values, &comm.prefill.values)?,
+                programs.decode.try_tbt(&onchip.decode.values, &comm.decode.values)?,
+            )
+        } else {
+            // Unclean legs: the factored combine's per-op guards name
+            // the exact failing operator.
+            (
+                self.factored.prefill.with_legs(&sim, &plans.prefill, &keys, |c, m, w| {
+                    sim.try_ttft_factored(&plans.prefill, c, m, w)
+                })?,
+                self.factored.decode.with_legs(&sim, &plans.decode, &keys, |c, m, w| {
+                    sim.try_tbt_factored(&plans.decode, c, m, w)
+                })?,
+            )
+        };
+        Ok(EvaluatedDesign {
+            name: config.name().to_owned(),
+            params: SweptParams::of(config),
+            tpp,
+            die_area_mm2: area,
+            perf_density: pd,
+            die_cost_usd,
+            good_die_cost_usd,
+            ttft_s,
+            tbt_s,
+            within_reticle: area <= RETICLE_LIMIT_MM2,
+            pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
+        })
+    }
+
+    /// Look up (or build, pricing both phases' legs) the both-phase
+    /// fused on-chip entry of one (compute, memory) key pair.
+    fn fused_onchip_pair(
+        &self,
+        sim: &Simulator,
+        plans: &EvalPlans,
+        keys: &LegKeys,
+        programs: &ProgramPair,
+    ) -> Arc<PairFused> {
+        let pair_key = (keys.compute, keys.memory);
+        if let Some(f) = self.lattice.fused.get_onchip(&pair_key) {
+            FUSED_HIT.add(1);
+            return f;
+        }
+        let overhead = self.sim_params.op_overhead_s;
+        let (cp, mp, _) = self.factored.prefill.legs_for(sim, &plans.prefill, keys);
+        let (cd, md, _) = self.factored.decode.legs_for(sim, &plans.decode, keys);
+        FUSED_BUILT.add(1);
+        self.lattice.fused.put_onchip(
+            pair_key,
+            PairFused::of(
+                programs.prefill.fuse_onchip(&cp, &mp, overhead),
+                programs.decode.fuse_onchip(&cd, &md, overhead),
+            ),
+        )
+    }
+
+    /// Look up (or build) the both-phase fused comm entry of one comm
+    /// key.
+    fn fused_comm_pair(
+        &self,
+        sim: &Simulator,
+        plans: &EvalPlans,
+        keys: &LegKeys,
+        programs: &ProgramPair,
+    ) -> Arc<PairFused> {
+        if let Some(f) = self.lattice.fused.get_comm(&keys.comm) {
+            FUSED_HIT.add(1);
+            return f;
+        }
+        let overhead = self.sim_params.op_overhead_s;
+        let (_, _, wp) = self.factored.prefill.legs_for(sim, &plans.prefill, keys);
+        let (_, _, wd) = self.factored.decode.legs_for(sim, &plans.decode, keys);
+        FUSED_BUILT.add(1);
+        self.lattice.fused.put_comm(
+            keys.comm,
+            PairFused::of(
+                programs.prefill.fuse_comm(&wp, overhead),
+                programs.decode.fuse_comm(&wd, overhead),
+            ),
+        )
+    }
+
+    /// [`DseRunner::run_report`] through the lattice broadcast engine:
+    /// same fault isolation, same designs and failure ledger bit for
+    /// bit, with healthy points priced as vector sums grouped by compute
+    /// signature instead of per-point graph work.
+    #[must_use]
+    pub fn run_report_lattice(&self, candidates: &[CandidateParams]) -> SweepReport {
+        if self.cache.is_some() {
+            // Evaluation-cache traffic is per point; route through the
+            // per-point lattice path so hits, misses, and insertions
+            // match the factored path's accounting exactly.
+            let outcomes = self.parallel_map(
+                candidates,
+                |cand| cand.name.as_str(),
+                |cand| {
+                    cand.build().map(Arc::new).and_then(|cfg| self.try_evaluate_lattice_shared(&cfg))
+                },
+            );
+            return self.collect_report(candidates, outcomes);
+        }
+        match self.lattice_sweep_outcomes(candidates) {
+            Some(report) => report,
+            // A sweep-wide precondition failed (no valid candidate,
+            // plans, zero device count, or a pathological calibration):
+            // every point prices identically through the factored path.
+            None => self.run_report_factored(candidates),
+        }
+    }
+
+    /// [`DseRunner::run_configs`] through the lattice pricing path:
+    /// order- and length-preserving, one `Result` per configuration.
+    #[must_use]
+    pub fn run_configs_lattice(
+        &self,
+        configs: &[DeviceConfig],
+    ) -> Vec<Result<EvaluatedDesign, AcsError>> {
+        self.parallel_map(configs, |cfg| cfg.name(), |cfg| self.try_evaluate_lattice(cfg))
+    }
+
+    /// Evaluate a whole sweep at a TPP ceiling through the lattice
+    /// engine, pre-sizing the leg tables to the spec's distinct key
+    /// counts like [`DseRunner::run_factored`].
+    #[must_use]
+    pub fn run_lattice(&self, spec: &SweepSpec, tpp_target: f64) -> SweepReport {
+        self.factored.reserve(
+            spec.systolic_dims.len() * spec.lanes_per_core.len() * spec.l1_kib.len(),
+            spec.l2_mib.len() * spec.hbm_tb_s.len(),
+            spec.device_bw_gb_s.len(),
+        );
+        self.run_report_lattice(&spec.candidates(tpp_target))
+    }
+
+    /// The factored per-point evaluation wrapped in the same panic
+    /// containment `parallel_map` applies, so a demoted point reports
+    /// the identical `EvaluationPanic` label and message.
+    fn lattice_fallback(&self, cand: &CandidateParams) -> Result<EvaluatedDesign, AcsError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            cand.build().map(Arc::new).and_then(|cfg| self.try_evaluate_factored_shared(&cfg))
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(AcsError::EvaluationPanic { design: cand.name.clone(), message })
+        })
+    }
+
+    /// Build a probe device for one full parameter tuple, applying the
+    /// runner's datatype override exactly as `retyped` would.
+    fn build_probe(
+        &self,
+        dim: u32,
+        lanes: u32,
+        cores: u32,
+        l1: u32,
+        l2: u32,
+        hbm: f64,
+        bw: f64,
+    ) -> Result<DeviceConfig, AcsError> {
+        let cand = CandidateParams {
+            name: "lattice-probe".to_owned(),
+            systolic_dim: dim,
+            lanes_per_core: lanes,
+            core_count: cores,
+            l1_kib: l1,
+            l2_mib: l2,
+            hbm_tb_s: hbm,
+            device_bw_gb_s: bw,
+        };
+        let cfg = cand.build()?;
+        match self.datatype {
+            Some(dt) if dt != cfg.datatype() => {
+                let mut builder = cfg.to_builder();
+                builder.datatype(dt);
+                Ok(builder.build()?)
+            }
+            _ => Ok(cfg),
+        }
+    }
+
+    /// The broadcast sweep: classify candidates into signatures, probe
+    /// and price each signature once, fuse per-pair vectors, then reduce
+    /// every healthy point to scalar assembly plus two vector sums. The
+    /// report is assembled directly — designs and failures land in their
+    /// final vectors, in candidate order, without an intermediate
+    /// per-point `Result` buffer. Returns `None` when a sweep-wide
+    /// precondition fails.
+    #[allow(clippy::too_many_lines)]
+    fn lattice_sweep_outcomes(&self, candidates: &[CandidateParams]) -> Option<SweepReport> {
+        if candidates.is_empty() {
+            return Some(SweepReport::default());
+        }
+        if self.device_count == 0 {
+            return None;
+        }
+        let overhead = self.sim_params.op_overhead_s;
+        if !(overhead.is_finite() && overhead >= 0.0) {
+            return None;
+        }
+        let eff_dt = self.datatype.unwrap_or(DataType::Fp16);
+        let plans = self.plans_for(eff_dt.bytes()).ok()?;
+        let ep = plans.prefill.expert_parallel();
+        let programs = self.lattice.programs_for(&plans, eff_dt.bytes());
+
+        // Classify every candidate into (compute, memory, comm)
+        // signatures. Row-major sweeps change the compute key once per
+        // memory-by-comm block and the memory key once per comm block,
+        // so one-entry run caches turn the common case into an integer
+        // compare; comm signatures are few enough that a linear scan
+        // beats any hash. `DeviceConfig` builder validity — the exact
+        // predicate of `CandidateParams::build` — is a conjunction of
+        // per-key terms over the same axes, so it is decided once per
+        // signature, not once per point.
+        let mut csig_ix: FxMap<(u32, u32, u32, u32), u32> = FxMap::default();
+        let mut csigs: Vec<(u32, u32, u32, u32)> = Vec::new();
+        let mut csig_ok: Vec<bool> = Vec::new();
+        let mut msig_ix: FxMap<(u32, u64), u32> = FxMap::default();
+        let mut msigs: Vec<(u32, f64)> = Vec::new();
+        let mut msig_ok: Vec<bool> = Vec::new();
+        let mut wsigs: Vec<f64> = Vec::new();
+        let mut wsig_ok: Vec<bool> = Vec::new();
+        let mut point_sigs: Vec<Option<(u32, u32, u32)>> = Vec::with_capacity(candidates.len());
+        let mut base: Option<usize> = None;
+        let mut last_c: Option<((u32, u32, u32, u32), u32)> = None;
+        let mut last_m: Option<((u32, u64), u32)> = None;
+        for cand in candidates {
+            let ckey = (cand.systolic_dim, cand.lanes_per_core, cand.core_count, cand.l1_kib);
+            let ci = match last_c {
+                Some((key, ix)) if key == ckey => ix,
+                _ => {
+                    let ix = *csig_ix.entry(ckey).or_insert_with(|| {
+                        csigs.push(ckey);
+                        csig_ok.push(
+                            cand.systolic_dim > 0
+                                && cand.lanes_per_core > 0
+                                && cand.core_count > 0
+                                && cand.l1_kib > 0,
+                        );
+                        (csigs.len() - 1) as u32
+                    });
+                    last_c = Some((ckey, ix));
+                    ix
+                }
+            };
+            let mkey = (cand.l2_mib, cand.hbm_tb_s.to_bits());
+            let mi = match last_m {
+                Some((key, ix)) if key == mkey => ix,
+                _ => {
+                    let ix = *msig_ix.entry(mkey).or_insert_with(|| {
+                        msigs.push((cand.l2_mib, cand.hbm_tb_s));
+                        let hbm_gb_s = cand.hbm_tb_s * 1000.0;
+                        msig_ok.push(cand.l2_mib > 0 && hbm_gb_s.is_finite() && hbm_gb_s > 0.0);
+                        (msigs.len() - 1) as u32
+                    });
+                    last_m = Some((mkey, ix));
+                    ix
+                }
+            };
+            let wbits = cand.device_bw_gb_s.to_bits();
+            let wi = match wsigs.iter().position(|w| w.to_bits() == wbits) {
+                Some(at) => at as u32,
+                None => {
+                    wsigs.push(cand.device_bw_gb_s);
+                    let per_phy = cand.device_bw_gb_s / 12.0;
+                    wsig_ok.push(per_phy.is_finite() && per_phy > 0.0);
+                    (wsigs.len() - 1) as u32
+                }
+            };
+            if csig_ok[ci as usize] && msig_ok[mi as usize] && wsig_ok[wi as usize] {
+                base.get_or_insert(point_sigs.len());
+                point_sigs.push(Some((ci, mi, wi)));
+            } else {
+                point_sigs.push(None);
+            }
+        }
+        // No valid candidate: the factored path reproduces every
+        // failure without any probe machinery.
+        let base = &candidates[base?];
+
+        // Probe and price each signature once. Pricing goes through the
+        // factored leg tables with a representative simulator, so a
+        // signature costs one plan walk per phase and later sweeps hit.
+        let probe_sig = |dim: u32, lanes: u32, cores: u32, l1: u32, l2: u32, hbm: f64, bw: f64| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let cfg = Arc::new(self.build_probe(dim, lanes, cores, l1, l2, hbm, bw).ok()?);
+                let system = SystemConfig::shared(Arc::clone(&cfg), self.device_count).ok()?;
+                let sim = Simulator::with_params(system, self.sim_params);
+                let mut keys = LegKeys::of(sim.system());
+                keys.comm.expert_parallel = ep;
+                self.factored.prefill.legs_for(&sim, &plans.prefill, &keys);
+                self.factored.decode.legs_for(&sim, &plans.decode, &keys);
+                Some((cfg, keys))
+            }))
+            .ok()
+            .flatten()
+        };
+        // Each kind's probe data is a pure function of its own signature
+        // (the very invariant that lets one probe price a whole row), so
+        // hits in the persistent caches skip the probe build entirely.
+        let csig_data: Vec<Option<ComputeSigData>> = cached_sig_data(
+            &self.lattice.csig_cache,
+            &csigs,
+            |&(dim, lanes, cores, l1)| {
+                let (cfg, keys) = probe_sig(
+                    dim,
+                    lanes,
+                    cores,
+                    l1,
+                    base.l2_mib,
+                    base.hbm_tb_s,
+                    base.device_bw_gb_s,
+                )?;
+                let b = self.area_model.die_area(&cfg);
+                Some(ComputeSigData {
+                    key: keys.compute,
+                    partial_area: (b.systolic + b.vector) + b.l1,
+                    control: b.control,
+                    fixed: b.fixed,
+                    tpp: cfg.tpp().0,
+                })
+            },
+        );
+        let msigs_keyed: Vec<(u32, u64)> =
+            msigs.iter().map(|&(l2, hbm)| (l2, hbm.to_bits())).collect();
+        let msig_data: Vec<Option<MemorySigData>> = cached_sig_data(
+            &self.lattice.msig_cache,
+            &msigs_keyed,
+            |&(l2, hbm_bits)| {
+                let (cfg, keys) = probe_sig(
+                    base.systolic_dim,
+                    base.lanes_per_core,
+                    base.core_count,
+                    base.l1_kib,
+                    l2,
+                    f64::from_bits(hbm_bits),
+                    base.device_bw_gb_s,
+                )?;
+                let b = self.area_model.die_area(&cfg);
+                Some(MemorySigData {
+                    key: keys.memory,
+                    l2_area: b.l2,
+                    hbm_phy_area: b.hbm_phy,
+                    hbm_tb_s: cfg.hbm().bandwidth_tb_s(),
+                })
+            },
+        );
+        let wsigs_keyed: Vec<u64> = wsigs.iter().map(|w| w.to_bits()).collect();
+        let wsig_data: Vec<Option<CommSigData>> = cached_sig_data(
+            &self.lattice.wsig_cache,
+            &wsigs_keyed,
+            |&bw_bits| {
+                let (cfg, keys) = probe_sig(
+                    base.systolic_dim,
+                    base.lanes_per_core,
+                    base.core_count,
+                    base.l1_kib,
+                    base.l2_mib,
+                    base.hbm_tb_s,
+                    f64::from_bits(bw_bits),
+                )?;
+                let b = self.area_model.die_area(&cfg);
+                Some(CommSigData {
+                    key: keys.comm,
+                    device_phy_area: b.device_phy,
+                    device_bw_gb_s: cfg.phy().total_gb_s(),
+                })
+            },
+        );
+        // Fuse the on-chip vector of every (compute, memory) pair that
+        // actually occurs, and the comm vector of every comm signature —
+        // consulting the persistent tables first. Distinct pairs are
+        // walked once (not once per point), and warm lookups share one
+        // read-lock acquisition per phase table.
+        let base_keys = point_sigs
+            .iter()
+            .flatten()
+            .next()
+            .and_then(|&(ci, mi, wi)| {
+                Some(LegKeys {
+                    compute: csig_data[ci as usize]?.key,
+                    memory: msig_data[mi as usize]?.key,
+                    comm: wsig_data[wi as usize]?.key,
+                })
+            })?;
+        let n_msigs = msigs.len();
+        let mut pair_list: Vec<(u32, u32)> = Vec::new();
+        let mut comm_list: Vec<u32> = Vec::new();
+        {
+            let mut pair_seen = vec![false; csigs.len() * n_msigs];
+            let mut comm_seen = vec![false; wsigs.len()];
+            for &(ci, mi, wi) in point_sigs.iter().flatten() {
+                let at = ci as usize * n_msigs + mi as usize;
+                if !pair_seen[at] {
+                    pair_seen[at] = true;
+                    pair_list.push((ci, mi));
+                }
+                if !comm_seen[wi as usize] {
+                    comm_seen[wi as usize] = true;
+                    comm_list.push(wi);
+                }
+            }
+        }
+        let mut pairs: Vec<Option<Arc<PairFused>>> = vec![None; csigs.len() * n_msigs];
+        let mut misses: Vec<(u32, u32)> = Vec::new();
+        let mut hits = 0u64;
+        {
+            let map = self.lattice.fused.onchip.read().unwrap_or_else(PoisonError::into_inner);
+            for &(ci, mi) in &pair_list {
+                let (Some(cs), Some(ms)) = (csig_data[ci as usize], msig_data[mi as usize])
+                else {
+                    continue;
+                };
+                match map.get(&(cs.key, ms.key)) {
+                    Some(f) => {
+                        hits += 1;
+                        pairs[ci as usize * n_msigs + mi as usize] = Some(Arc::clone(f));
+                    }
+                    None => misses.push((ci, mi)),
+                }
+            }
+        }
+        FUSED_HIT.add(hits);
+        for &(ci, mi) in &misses {
+            let (Some(cs), Some(ms)) = (csig_data[ci as usize], msig_data[mi as usize]) else {
+                continue;
+            };
+            let keys = LegKeys { compute: cs.key, memory: ms.key, comm: base_keys.comm };
+            let (Some((cp, mp, _)), Some((cd, md, _))) =
+                (self.factored.prefill.get(&keys), self.factored.decode.get(&keys))
+            else {
+                continue;
+            };
+            FUSED_BUILT.add(1);
+            pairs[ci as usize * n_msigs + mi as usize] = Some(self.lattice.fused.put_onchip(
+                (cs.key, ms.key),
+                PairFused::of(
+                    programs.prefill.fuse_onchip(&cp, &mp, overhead),
+                    programs.decode.fuse_onchip(&cd, &md, overhead),
+                ),
+            ));
+        }
+        let mut comms: Vec<Option<Arc<PairFused>>> = vec![None; wsigs.len()];
+        for &wi in &comm_list {
+            let Some(ws) = wsig_data[wi as usize] else { continue };
+            if let Some(f) = self.lattice.fused.get_comm(&ws.key) {
+                FUSED_HIT.add(1);
+                comms[wi as usize] = Some(f);
+                continue;
+            }
+            let keys =
+                LegKeys { compute: base_keys.compute, memory: base_keys.memory, comm: ws.key };
+            let (Some((_, _, wp)), Some((_, _, wd))) =
+                (self.factored.prefill.get(&keys), self.factored.decode.get(&keys))
+            else {
+                continue;
+            };
+            FUSED_BUILT.add(1);
+            comms[wi as usize] = Some(self.lattice.fused.put_comm(
+                ws.key,
+                PairFused::of(
+                    programs.prefill.fuse_comm(&wp, overhead),
+                    programs.decode.fuse_comm(&wd, overhead),
+                ),
+            ));
+        }
+
+        let cells_guard = self.lattice.cells.read().unwrap_or_else(PoisonError::into_inner);
+        let ctx = SweepCtx {
+            plans,
+            programs,
+            csig_data,
+            msig_data,
+            wsig_data,
+            point_sigs,
+            n_msigs,
+            pairs,
+            comms,
+            cells: &cells_guard,
+        };
+        let _ = &ctx.plans; // plans kept alive for the programs' lifetime
+        // Evaluate in contiguous point chunks: the harness cost (panic
+        // containment, counter flush) amortises over a chunk, and a
+        // chunk whose harness panicked demotes its points to the
+        // per-point factored fallback — which re-contains and reports
+        // each point exactly.
+        const LATTICE_CHUNK: usize = 64;
+        let mut report = SweepReport::default();
+        report.designs.reserve(candidates.len());
+        let mut fresh_cells: Vec<(CellKey, CellNumbers)> = Vec::new();
+        if self.worker_count() == 1 {
+            // A single worker assembles the report in place — no
+            // per-chunk buffers, no merge pass. A panicking chunk is
+            // rewound by truncating to the pre-chunk marks, then demoted.
+            for (k, chunk) in candidates.chunks(LATTICE_CHUNK).enumerate() {
+                let start = k * LATTICE_CHUNK;
+                let marks = (report.designs.len(), report.failures.len(), fresh_cells.len());
+                let contained = catch_unwind(AssertUnwindSafe(|| {
+                    self.lattice_chunk(start, chunk, &ctx, &mut report, &mut fresh_cells);
+                }));
+                if contained.is_err() {
+                    report.designs.truncate(marks.0);
+                    report.failures.truncate(marks.1);
+                    fresh_cells.truncate(marks.2);
+                    self.demote_chunk(start, chunk, &mut report);
+                }
+            }
+        } else {
+            let chunks: Vec<(usize, &[CandidateParams])> = candidates
+                .chunks(LATTICE_CHUNK)
+                .enumerate()
+                .map(|(k, chunk)| (k * LATTICE_CHUNK, chunk))
+                .collect();
+            let chunk_outcomes = self.parallel_map(
+                &chunks,
+                |c| c.1[0].name.as_str(),
+                |&(start, chunk)| {
+                    let mut part = SweepReport::default();
+                    let mut fresh = Vec::new();
+                    self.lattice_chunk(start, chunk, &ctx, &mut part, &mut fresh);
+                    Ok((part, fresh))
+                },
+            );
+            for (res, &(start, chunk)) in chunk_outcomes.into_iter().zip(&chunks) {
+                match res {
+                    Ok((part, fresh)) => {
+                        report.designs.extend(part.designs);
+                        report.failures.extend(part.failures);
+                        fresh_cells.extend(fresh);
+                    }
+                    Err(_) => self.demote_chunk(start, chunk, &mut report),
+                }
+            }
+        }
+        drop(ctx);
+        drop(cells_guard);
+        if !fresh_cells.is_empty() {
+            let mut map = self.lattice.cells.write().unwrap_or_else(PoisonError::into_inner);
+            for (key, cell) in fresh_cells {
+                map.entry(key).or_insert(cell);
+            }
+        }
+        self.report_telemetry(&report);
+        Some(report)
+    }
+
+    /// Evaluate one contiguous chunk of the sweep into `report`,
+    /// recording freshly built cells for post-stage publication.
+    fn lattice_chunk(
+        &self,
+        start: usize,
+        chunk: &[CandidateParams],
+        ctx: &SweepCtx,
+        report: &mut SweepReport,
+        fresh: &mut Vec<(CellKey, CellNumbers)>,
+    ) {
+        let mut fast = 0u64;
+        let mut fallback = 0u64;
+        let fresh_mark = fresh.len();
+        for (off, cand) in chunk.iter().enumerate() {
+            let index = start + off;
+            let sigs = ctx.point_sigs[index];
+            match sigs.and_then(|sigs| self.lattice_point(cand, sigs, ctx, fresh)) {
+                Some(design) => {
+                    fast += 1;
+                    report.designs.push((index, design));
+                }
+                None => {
+                    fallback += 1;
+                    match self.lattice_fallback(cand) {
+                        Ok(design) => report.designs.push((index, design)),
+                        Err(reason) => report.failures.push(DesignFailure {
+                            index,
+                            params: cand.name.clone(),
+                            reason,
+                        }),
+                    }
+                }
+            }
+        }
+        let built = (fresh.len() - fresh_mark) as u64;
+        FAST_POINTS.add(fast);
+        FALLBACK_POINTS.add(fallback);
+        CELL_BUILT.add(built);
+        CELL_HIT.add(fast - built);
+    }
+
+    /// Price every point of a chunk whose harness panicked through the
+    /// contained per-point fallback, reporting each point exactly.
+    fn demote_chunk(&self, start: usize, chunk: &[CandidateParams], report: &mut SweepReport) {
+        for (off, cand) in chunk.iter().enumerate() {
+            let index = start + off;
+            match self.lattice_fallback(cand) {
+                Ok(design) => report.designs.push((index, design)),
+                Err(reason) => report.failures.push(DesignFailure {
+                    index,
+                    params: cand.name.clone(),
+                    reason,
+                }),
+            }
+        }
+    }
+
+    /// The broadcast fast path for one point. `None` demotes the point
+    /// to the factored evaluator — taken on any validity, cleanliness,
+    /// or guard-check failure, so errors always carry the factored
+    /// path's exact shape. A cell-table hit replays the stored bits; a
+    /// miss computes them and records the cell for publication (only on
+    /// full success, so cached cells always passed every guard).
+    fn lattice_point(
+        &self,
+        cand: &CandidateParams,
+        sigs: (u32, u32, u32),
+        ctx: &SweepCtx,
+        fresh: &mut Vec<(CellKey, CellNumbers)>,
+    ) -> Option<EvaluatedDesign> {
+        let (ci, mi, wi) = sigs;
+        let (ci, mi, wi) = (ci as usize, mi as usize, wi as usize);
+        let cs = ctx.csig_data[ci].as_ref()?;
+        let ms = ctx.msig_data[mi].as_ref()?;
+        let ws = ctx.wsig_data[wi].as_ref()?;
+        let key = (cs.key, ms.key, ws.key);
+        if let Some(cell) = ctx.cells.get(&key) {
+            return Some(cell_design(cand, cell));
+        }
+        let pair = ctx.pairs[ci * ctx.n_msigs + mi].as_ref()?;
+        let comm = ctx.comms[wi].as_ref()?;
+        if !(pair.clean && comm.clean) {
+            return None;
+        }
+        // Area assembled addend-by-addend in `total_mm2`'s exact
+        // left-to-right order; the guard checks replicate the factored
+        // pipeline's order so the first failing stage matches.
+        let a = cs.partial_area + ms.l2_area;
+        let a = a + ms.hbm_phy_area;
+        let a = a + ws.device_phy_area;
+        let a = a + cs.control;
+        let area = a + cs.fixed;
+        if !(area.is_finite() && area > 0.0) {
+            return None;
+        }
+        let tpp = cs.tpp;
+        if !(tpp.is_finite() && tpp > 0.0) {
+            return None;
+        }
+        let pd = tpp / area;
+        if !(pd.is_finite() && pd > 0.0) {
+            return None;
+        }
+        let die_cost_usd = self.cost_model.die_cost_usd(area);
+        if !(die_cost_usd.is_finite() && die_cost_usd > 0.0) {
+            return None;
+        }
+        // `good_die_cost_usd(area)` is defined as
+        // `die_cost_usd(area) / die_yield(area)`; reusing the value just
+        // computed is the same division on the same bits.
+        let good_die_cost_usd = die_cost_usd / self.cost_model.die_yield(area);
+        if !(good_die_cost_usd.is_finite() && good_die_cost_usd > 0.0) {
+            return None;
+        }
+        let ttft_s = ctx.programs.prefill.try_ttft(&pair.prefill.values, &comm.prefill.values).ok()?;
+        let tbt_s = ctx.programs.decode.try_tbt(&pair.decode.values, &comm.decode.values).ok()?;
+        let cell = CellNumbers {
+            hbm_tb_s: ms.hbm_tb_s,
+            device_bw_gb_s: ws.device_bw_gb_s,
+            tpp,
+            die_area_mm2: area,
+            perf_density: pd,
+            die_cost_usd,
+            good_die_cost_usd,
+            ttft_s,
+            tbt_s,
+            within_reticle: area <= RETICLE_LIMIT_MM2,
+            pd_unregulated_2023: self.rule_2023.is_unregulated_dc(tpp, pd),
+        };
+        fresh.push((key, cell));
+        Some(cell_design(cand, &cell))
+    }
+}
+
+/// Materialize one candidate's [`EvaluatedDesign`] from its grid cell:
+/// the name and the swept integers come from the candidate (the
+/// integers equal the cell key's own axes), every number from the cell.
+fn cell_design(cand: &CandidateParams, cell: &CellNumbers) -> EvaluatedDesign {
+    EvaluatedDesign {
+        name: cand.name.clone(),
+        params: SweptParams {
+            systolic_dim: cand.systolic_dim,
+            lanes_per_core: cand.lanes_per_core,
+            core_count: cand.core_count,
+            l1_kib: cand.l1_kib,
+            l2_mib: cand.l2_mib,
+            hbm_tb_s: cell.hbm_tb_s,
+            device_bw_gb_s: cell.device_bw_gb_s,
+        },
+        tpp: cell.tpp,
+        die_area_mm2: cell.die_area_mm2,
+        perf_density: cell.perf_density,
+        die_cost_usd: cell.die_cost_usd,
+        good_die_cost_usd: cell.good_die_cost_usd,
+        ttft_s: cell.ttft_s,
+        tbt_s: cell.tbt_s,
+        within_reticle: cell.within_reticle,
+        pd_unregulated_2023: cell.pd_unregulated_2023,
+    }
+}
+
+/// Mutable accumulators of one screen run.
+struct ScreenState {
+    designs: Vec<EvaluatedDesign>,
+    front: Vec<(f64, f64)>,
+    stats: LatticeStats,
+}
+
+/// Memoized evaluations of one compute triple's sub-grid, keyed by the
+/// four box-axis values (`None` = evaluated and failed).
+type ScreenMemo = HashMap<(u32, u32, u64, u64), Option<usize>>;
+
+/// One feasible compute triple and the box axes it spans.
+struct TripleGrid<'a> {
+    dim: u32,
+    lanes: u32,
+    cores: u32,
+    tpp_target: f64,
+    l1s: &'a [u32],
+    l2s: &'a [u32],
+    hbms: &'a [f64],
+    bws: &'a [f64],
+    prune: bool,
+}
+
+/// Sub-grids at or below this volume are priced exhaustively instead of
+/// bounded: sixteen corners cannot pay for themselves on a box they
+/// nearly cover.
+const SCREEN_LEAF_POINTS: usize = 8;
+
+impl DseRunner {
+    /// Branch-and-bound lattice screen: walk the sweep grid as nested
+    /// sub-boxes per compute triple, lower-bound each box's (TBT,
+    /// good-die-cost) objectives by the componentwise minimum over its
+    /// evaluated corners, and skip — unpriced — every box strictly
+    /// dominated by the incremental Pareto front, plus every compute
+    /// triple strictly below `min_tpp`. Then optionally refine: insert
+    /// axis midpoints wherever the October 2023 compliance flag flips
+    /// between neighbours, for `refine_rounds` rounds.
+    ///
+    /// Soundness (see `bound_is_dominated`): every leg and the area/cost
+    /// pipeline are componentwise monotone in the box axes, so corner
+    /// minima bound the interior regardless of each axis's direction;
+    /// strict dominance means pruned interiors are strictly dominated by
+    /// a materialized design, so the front over materialized points
+    /// equals the exact front — ties included, because a bound merely
+    /// *equal* to a front point never prunes. Boundary designs with TPP
+    /// exactly at `min_tpp` are likewise never pruned (strict `<`).
+    #[must_use]
+    pub fn screen_lattice(
+        &self,
+        spec: &SweepSpec,
+        tpp_target: f64,
+        opts: &LatticeScreenOptions,
+    ) -> LatticeScreen {
+        let mut st = ScreenState {
+            designs: Vec::new(),
+            front: Vec::new(),
+            stats: LatticeStats {
+                nominal_points: spec.cardinality() as u64,
+                ..LatticeStats::default()
+            },
+        };
+        let box_points =
+            spec.l1_kib.len() * spec.l2_mib.len() * spec.hbm_tb_s.len() * spec.device_bw_gb_s.len();
+        let mut triples: Vec<((u32, u32, u32), ScreenMemo)> = Vec::new();
+        for &dim in &spec.systolic_dims {
+            for &lanes in &spec.lanes_per_core {
+                let dims = SystolicDims::square(dim);
+                let Ok(cores) = cores_for_tpp(tpp_target, 1.41, DataType::Fp16, dims, lanes)
+                else {
+                    st.stats.infeasible_points += box_points as u64;
+                    continue;
+                };
+                if let (Some(min_tpp), Some((&l1, &l2)), Some((&hbm, &bw))) = (
+                    opts.min_tpp,
+                    spec.l1_kib.first().zip(spec.l2_mib.first()),
+                    spec.hbm_tb_s.first().zip(spec.device_bw_gb_s.first()),
+                ) {
+                    // TPP depends only on the compute triple; a probe
+                    // that fails to build skips the floor test rather
+                    // than mispruning.
+                    let below = self
+                        .build_probe(dim, lanes, cores, l1, l2, hbm, bw)
+                        .map(|cfg| cfg.tpp().0 < min_tpp)
+                        .unwrap_or(false);
+                    if below {
+                        st.stats.pruned_boxes += 1;
+                        continue;
+                    }
+                }
+                let grid = TripleGrid {
+                    dim,
+                    lanes,
+                    cores,
+                    tpp_target,
+                    l1s: &spec.l1_kib,
+                    l2s: &spec.l2_mib,
+                    hbms: &spec.hbm_tb_s,
+                    bws: &spec.device_bw_gb_s,
+                    prune: opts.prune,
+                };
+                let mut memo = ScreenMemo::new();
+                self.screen_box(
+                    &grid,
+                    &mut st,
+                    &mut memo,
+                    [
+                        0..grid.l1s.len(),
+                        0..grid.l2s.len(),
+                        0..grid.hbms.len(),
+                        0..grid.bws.len(),
+                    ],
+                );
+                triples.push(((dim, lanes, cores), memo));
+            }
+        }
+        for _ in 0..opts.refine_rounds {
+            let mut added = 0u64;
+            for ((dim, lanes, cores), memo) in &mut triples {
+                let candidates = refinement_candidates(memo, &st.designs);
+                for (l1, l2, hbm, bw) in candidates {
+                    if memo.contains_key(&(l1, l2, hbm.to_bits(), bw.to_bits())) {
+                        continue;
+                    }
+                    self.screen_eval(*dim, *lanes, *cores, tpp_target, l1, l2, hbm, bw, &mut st, memo);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                break;
+            }
+            st.stats.refinement_rounds += 1;
+            st.stats.refined_points += added;
+        }
+        st.stats.pruned_points = st
+            .stats
+            .nominal_points
+            .saturating_sub(st.stats.infeasible_points)
+            .saturating_sub(st.stats.materialized_points - st.stats.refined_points);
+        if acs_telemetry::enabled() {
+            let s = &st.stats;
+            acs_telemetry::count("dse.lattice.nominal_points", s.nominal_points);
+            acs_telemetry::count("dse.lattice.materialized_points", s.materialized_points);
+            acs_telemetry::count("dse.lattice.pruned_boxes", s.pruned_boxes);
+            acs_telemetry::count("dse.lattice.pruned_points", s.pruned_points);
+            acs_telemetry::count("dse.lattice.refine_rounds", s.refinement_rounds);
+            acs_telemetry::count("dse.lattice.refined_points", s.refined_points);
+        }
+        let front = pareto_front(&st.designs, |d| d.tbt_s, |d| d.good_die_cost_usd);
+        LatticeScreen { designs: st.designs, front, stats: st.stats }
+    }
+
+    /// Recursive box walk: bound, prune, or subdivide; leaves price
+    /// exhaustively. Corners are memoized, so subdivision re-uses them.
+    fn screen_box(
+        &self,
+        g: &TripleGrid<'_>,
+        st: &mut ScreenState,
+        memo: &mut ScreenMemo,
+        ranges: [Range<usize>; 4],
+    ) {
+        let volume: usize = ranges.iter().map(ExactSizeIterator::len).product();
+        if volume == 0 {
+            return;
+        }
+        if g.prune && volume > SCREEN_LEAF_POINTS {
+            let corner_ix = |r: &Range<usize>| {
+                if r.len() == 1 { vec![r.start] } else { vec![r.start, r.end - 1] }
+            };
+            let (c0, c1, c2, c3) = (
+                corner_ix(&ranges[0]),
+                corner_ix(&ranges[1]),
+                corner_ix(&ranges[2]),
+                corner_ix(&ranges[3]),
+            );
+            let mut bound = (f64::INFINITY, f64::INFINITY);
+            let mut all_ok = true;
+            for &i0 in &c0 {
+                for &i1 in &c1 {
+                    for &i2 in &c2 {
+                        for &i3 in &c3 {
+                            match self.screen_eval(
+                                g.dim,
+                                g.lanes,
+                                g.cores,
+                                g.tpp_target,
+                                g.l1s[i0],
+                                g.l2s[i1],
+                                g.hbms[i2],
+                                g.bws[i3],
+                                st,
+                                memo,
+                            ) {
+                                Some(ix) => {
+                                    let d = &st.designs[ix];
+                                    bound.0 = bound.0.min(d.tbt_s);
+                                    bound.1 = bound.1.min(d.good_die_cost_usd);
+                                }
+                                // A failed corner forfeits the bound: a
+                                // box we cannot bound is never pruned.
+                                None => all_ok = false,
+                            }
+                        }
+                    }
+                }
+            }
+            if all_ok && bound_is_dominated(&st.front, bound) {
+                st.stats.pruned_boxes += 1;
+                return;
+            }
+        }
+        if volume <= SCREEN_LEAF_POINTS {
+            for i0 in ranges[0].clone() {
+                for i1 in ranges[1].clone() {
+                    for i2 in ranges[2].clone() {
+                        for i3 in ranges[3].clone() {
+                            self.screen_eval(
+                                g.dim,
+                                g.lanes,
+                                g.cores,
+                                g.tpp_target,
+                                g.l1s[i0],
+                                g.l2s[i1],
+                                g.hbms[i2],
+                                g.bws[i3],
+                                st,
+                                memo,
+                            );
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let axis = ranges
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.len())
+            .map_or(0, |(i, _)| i);
+        let r = ranges[axis].clone();
+        let mid = r.start + r.len() / 2;
+        let mut lo = ranges.clone();
+        lo[axis] = r.start..mid;
+        let mut hi = ranges;
+        hi[axis] = mid..r.end;
+        self.screen_box(g, st, memo, lo);
+        self.screen_box(g, st, memo, hi);
+    }
+
+    /// Price one screen point through the lattice per-point path
+    /// (memoized, panic-contained). Successful designs join the
+    /// incremental front; failures count but never bound.
+    #[allow(clippy::too_many_arguments)]
+    fn screen_eval(
+        &self,
+        dim: u32,
+        lanes: u32,
+        cores: u32,
+        tpp_target: f64,
+        l1: u32,
+        l2: u32,
+        hbm: f64,
+        bw: f64,
+        st: &mut ScreenState,
+        memo: &mut ScreenMemo,
+    ) -> Option<usize> {
+        let key = (l1, l2, hbm.to_bits(), bw.to_bits());
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let cand = CandidateParams {
+            name: format!(
+                "dse-{tpp_target:.0}-{dim}x{dim}-{lanes}l-{l1}k-{l2}m-{hbm}t-{bw:.0}g"
+            ),
+            systolic_dim: dim,
+            lanes_per_core: lanes,
+            core_count: cores,
+            l1_kib: l1,
+            l2_mib: l2,
+            hbm_tb_s: hbm,
+            device_bw_gb_s: bw,
+        };
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            cand.build().map(Arc::new).and_then(|cfg| self.try_evaluate_lattice_shared(&cfg))
+        }))
+        .unwrap_or_else(|_| {
+            Err(AcsError::EvaluationPanic {
+                design: cand.name.clone(),
+                message: "panic during screen evaluation".to_owned(),
+            })
+        });
+        st.stats.materialized_points += 1;
+        let out = match res {
+            Ok(d) => {
+                push_front(&mut st.front, (d.tbt_s, d.good_die_cost_usd));
+                st.designs.push(d);
+                Some(st.designs.len() - 1)
+            }
+            Err(_) => {
+                st.stats.failed_points += 1;
+                None
+            }
+        };
+        memo.insert(key, out);
+        out
+    }
+}
+
+/// Axis midpoints around October 2023 compliance crossovers: for every
+/// pair of evaluated points adjacent along one axis (all other
+/// coordinates equal) whose `pd_unregulated_2023` flags differ, the
+/// midpoint of that axis span. Integer axes refine only while the span
+/// is wider than one step.
+fn refinement_candidates(
+    memo: &ScreenMemo,
+    designs: &[EvaluatedDesign],
+) -> Vec<(u32, u32, f64, f64)> {
+    let pts: Vec<([f64; 4], bool)> = memo
+        .iter()
+        .filter_map(|(&(l1, l2, hb, bb), ix)| {
+            let d = &designs[(*ix)?];
+            Some((
+                [f64::from(l1), f64::from(l2), f64::from_bits(hb), f64::from_bits(bb)],
+                d.pd_unregulated_2023,
+            ))
+        })
+        .collect();
+    let mut out = Vec::new();
+    for axis in 0..4 {
+        let mut lanes: HashMap<[u64; 3], Vec<(f64, bool)>> = HashMap::new();
+        for (coords, flag) in &pts {
+            let mut rest = [0u64; 3];
+            let mut j = 0;
+            for (k, v) in coords.iter().enumerate() {
+                if k != axis {
+                    rest[j] = v.to_bits();
+                    j += 1;
+                }
+            }
+            lanes.entry(rest).or_default().push((coords[axis], *flag));
+        }
+        for (rest, mut vals) in lanes {
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in vals.windows(2) {
+                let ((a, fa), (b, fb)) = (w[0], w[1]);
+                if fa == fb {
+                    continue;
+                }
+                let mid = if axis < 2 {
+                    // Integer axes (L1, L2): refine on the integer grid.
+                    let (ai, bi) = (a as u32, b as u32);
+                    let m = ai + (bi - ai) / 2;
+                    if m == ai || m == bi {
+                        continue;
+                    }
+                    f64::from(m)
+                } else {
+                    let m = 0.5 * (a + b);
+                    if !m.is_finite() || m == a || m == b {
+                        continue;
+                    }
+                    m
+                };
+                let mut coords = [0.0f64; 4];
+                let mut j = 0;
+                for (k, slot) in coords.iter_mut().enumerate() {
+                    if k == axis {
+                        *slot = mid;
+                    } else {
+                        *slot = f64::from_bits(rest[j]);
+                        j += 1;
+                    }
+                }
+                out.push((coords[0] as u32, coords[1] as u32, coords[2], coords[3]));
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        (x.0, x.1, x.2.to_bits(), x.3.to_bits()).cmp(&(y.0, y.1, y.2.to_bits(), y.3.to_bits()))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_cache::ShardedCache;
+    use acs_llm::{ModelConfig, WorkloadConfig};
+
+    fn runner() -> DseRunner {
+        DseRunner::new(ModelConfig::gpt3_175b(), WorkloadConfig::paper_default())
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![2, 4],
+            l1_kib: vec![192, 1024],
+            l2_mib: vec![40],
+            hbm_tb_s: vec![2.0, 3.2],
+            device_bw_gb_s: vec![600.0],
+        }
+    }
+
+    #[test]
+    fn lattice_sweep_is_bit_identical_to_factored() {
+        let r = runner();
+        let candidates = small_spec().candidates(4800.0);
+        let factored = r.run_report_factored(&candidates);
+        let lattice = r.run_report_lattice(&candidates);
+        assert_eq!(factored.designs.len(), lattice.designs.len());
+        assert!(factored.failures.is_empty() && lattice.failures.is_empty());
+        for ((i, f), (j, l)) in factored.designs.iter().zip(&lattice.designs) {
+            assert_eq!(i, j);
+            assert_eq!(f, l);
+            assert_eq!(f.ttft_s.to_bits(), l.ttft_s.to_bits());
+            assert_eq!(f.tbt_s.to_bits(), l.tbt_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn faulted_candidates_fail_identically_on_both_paths() {
+        let r = runner();
+        let mut candidates = small_spec().candidates(4800.0);
+        candidates[1].hbm_tb_s = 0.0;
+        candidates[3].lanes_per_core = 0;
+        candidates[5].device_bw_gb_s = f64::NAN;
+        let factored = r.run_report_factored(&candidates);
+        let lattice = r.run_report_lattice(&candidates);
+        assert_eq!(factored.failures.len(), 3);
+        assert_eq!(factored.failures.len(), lattice.failures.len());
+        for (f, l) in factored.failures.iter().zip(&lattice.failures) {
+            assert_eq!((f.index, f.kind()), (l.index, l.kind()));
+            assert_eq!(f.params, l.params);
+            assert_eq!(f.reason.to_string(), l.reason.to_string());
+        }
+        assert_eq!(factored.designs, lattice.designs);
+    }
+
+    #[test]
+    fn run_configs_lattice_matches_run_configs_across_dtypes() {
+        for dt in [DataType::Fp16, DataType::Int8] {
+            let r = runner().with_datatype(dt);
+            let configs = small_spec().configs(4800.0);
+            let factored = r.run_configs(&configs);
+            let lattice = r.run_configs_lattice(&configs);
+            assert_eq!(factored.len(), lattice.len());
+            for (f, l) in factored.iter().zip(&lattice) {
+                let (f, l) = (f.as_ref().unwrap(), l.as_ref().unwrap());
+                assert_eq!(f, l);
+                assert_eq!(f.tbt_s.to_bits(), l.tbt_s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_lattice_matches_factored_and_hits_on_repeat() {
+        let cache = Arc::new(ShardedCache::new(256));
+        let cached = runner().with_cache(Arc::clone(&cache));
+        let plain = runner();
+        let candidates = small_spec().candidates(4800.0);
+        let first = cached.run_report_lattice(&candidates);
+        assert_eq!(first.designs, plain.run_report_factored(&candidates).designs);
+        let cold = cache.stats();
+        assert_eq!(cold.misses as usize, candidates.len());
+        let _ = cached.run_report_lattice(&candidates);
+        let warm = cache.stats();
+        assert_eq!((warm.hits - cold.hits) as usize, candidates.len());
+        assert_eq!(warm.insertions, cold.insertions);
+    }
+
+    #[test]
+    fn fused_tables_persist_across_sweeps() {
+        let r = runner();
+        let spec = small_spec();
+        let _ = r.run_lattice(&spec, 4800.0);
+        // 4 compute keys x 2 memory keys = 8 on-chip pairs; 1 comm key.
+        // Both phases live in one PairFused entry, so the merged table
+        // holds exactly one entry per distinct pair.
+        let sizes = |t: &FusedTables| {
+            (
+                t.onchip.read().unwrap().len(),
+                t.comm.read().unwrap().len(),
+            )
+        };
+        let after_first = sizes(&r.lattice.fused);
+        assert_eq!(after_first, (8, 1));
+        let _ = r.run_lattice(&spec, 4800.0);
+        let after_second = sizes(&r.lattice.fused);
+        assert_eq!(after_second, after_first, "re-running the sweep must re-fuse nothing");
+    }
+
+    /// A grid wide enough to subdivide (box volume > leaf) whose upper
+    /// L2/HBM reaches are strictly worse on cost without a latency win,
+    /// so branch-and-bound has something real to prune.
+    fn prunable_spec() -> SweepSpec {
+        SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![4],
+            l1_kib: vec![192],
+            l2_mib: vec![40, 80, 160, 320, 640, 1280],
+            hbm_tb_s: vec![2.0, 2.4, 2.8, 3.2, 3.6, 4.0],
+            device_bw_gb_s: vec![600.0],
+        }
+    }
+
+    fn front_names(designs: &[EvaluatedDesign], front: &[usize]) -> Vec<String> {
+        let mut names: Vec<String> =
+            front.iter().map(|&i| designs[i].name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn screen_exact_mode_matches_run_lattice() {
+        let r = runner();
+        let spec = prunable_spec();
+        let exact = r.screen_lattice(
+            &spec,
+            4800.0,
+            &LatticeScreenOptions { prune: false, ..LatticeScreenOptions::default() },
+        );
+        let report = r.run_lattice(&spec, 4800.0);
+        assert_eq!(exact.stats.materialized_points as usize, spec.cardinality());
+        assert_eq!(exact.stats.pruned_boxes, 0);
+        assert_eq!(exact.stats.pruned_points, 0);
+        let sweep_front = pareto_front(
+            &report.designs.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(),
+            |d| d.tbt_s,
+            |d| d.good_die_cost_usd,
+        );
+        let mut sweep_names: Vec<String> = {
+            let designs: Vec<EvaluatedDesign> =
+                report.designs.iter().map(|(_, d)| d.clone()).collect();
+            sweep_front.iter().map(|&i| designs[i].name.clone()).collect()
+        };
+        sweep_names.sort();
+        assert_eq!(front_names(&exact.designs, &exact.front), sweep_names);
+    }
+
+    #[test]
+    fn screen_pruned_front_equals_exact_front() {
+        let r = runner();
+        let spec = prunable_spec();
+        let exact = r.screen_lattice(
+            &spec,
+            4800.0,
+            &LatticeScreenOptions { prune: false, ..LatticeScreenOptions::default() },
+        );
+        let pruned = r.screen_lattice(&spec, 4800.0, &LatticeScreenOptions::default());
+        assert_eq!(
+            front_names(&pruned.designs, &pruned.front),
+            front_names(&exact.designs, &exact.front),
+            "pruning must preserve the exact Pareto front"
+        );
+        assert!(
+            pruned.stats.pruned_boxes > 0,
+            "the oversized grid should have prunable boxes, stats: {:?}",
+            pruned.stats
+        );
+        assert!(pruned.stats.materialized_points < exact.stats.materialized_points);
+        assert_eq!(
+            pruned.stats.materialized_points + pruned.stats.pruned_points,
+            pruned.stats.nominal_points - pruned.stats.infeasible_points
+        );
+    }
+
+    #[test]
+    fn min_tpp_exactly_at_threshold_is_never_pruned() {
+        let r = runner();
+        let spec = small_spec();
+        // Every candidate in a (dim, lanes) triple shares one TPP; set
+        // the floor exactly to the achieved TPP of each triple in turn
+        // and require all of that triple's points to materialize.
+        let all = r.run_lattice(&spec, 4800.0);
+        let mut tpps: Vec<f64> = all.designs.iter().map(|(_, d)| d.tpp).collect();
+        tpps.sort_by(f64::total_cmp);
+        tpps.dedup();
+        for &floor in &tpps {
+            let screen = r.screen_lattice(
+                &spec,
+                4800.0,
+                &LatticeScreenOptions { min_tpp: Some(floor), ..LatticeScreenOptions::default() },
+            );
+            let at_floor = all.designs.iter().filter(|(_, d)| d.tpp == floor).count();
+            let kept = screen.designs.iter().filter(|d| d.tpp == floor).count();
+            assert_eq!(kept, at_floor, "designs at TPP == min_tpp must survive the floor");
+            assert!(screen.designs.iter().all(|d| d.tpp >= floor));
+        }
+    }
+
+    #[test]
+    fn refinement_inserts_midpoints_at_compliance_flips() {
+        let r = runner();
+        // L1 span chosen so the 2023 PD rule flips somewhere inside it
+        // (the small end is regulated, the big end is not).
+        let spec = SweepSpec {
+            systolic_dims: vec![16],
+            lanes_per_core: vec![4],
+            l1_kib: vec![192, 4096],
+            l2_mib: vec![40],
+            hbm_tb_s: vec![2.0],
+            device_bw_gb_s: vec![600.0],
+        };
+        let coarse = r.screen_lattice(&spec, 2400.0, &LatticeScreenOptions::default());
+        let flips = coarse
+            .designs
+            .iter()
+            .map(|d| d.pd_unregulated_2023)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        if flips < 2 {
+            // The span straddles no threshold under this calibration;
+            // refinement then has nothing to sharpen and must say so.
+            let refined = r.screen_lattice(
+                &spec,
+                2400.0,
+                &LatticeScreenOptions { refine_rounds: 3, ..LatticeScreenOptions::default() },
+            );
+            assert_eq!(refined.stats.refined_points, 0);
+            return;
+        }
+        let refined = r.screen_lattice(
+            &spec,
+            2400.0,
+            &LatticeScreenOptions { refine_rounds: 3, ..LatticeScreenOptions::default() },
+        );
+        assert!(refined.stats.refined_points > 0);
+        assert!(refined.stats.refinement_rounds >= 1);
+        assert!(refined.stats.materialized_points > coarse.stats.materialized_points);
+    }
+
+    #[test]
+    fn bound_domination_is_strict_on_ties() {
+        let front = vec![(1.0, 10.0), (2.0, 5.0)];
+        // Exact tie with a front point: never dominated, never pruned.
+        assert!(!bound_is_dominated(&front, (1.0, 10.0)));
+        assert!(!bound_is_dominated(&front, (2.0, 5.0)));
+        // Worse on one objective, tied on the other: dominated.
+        assert!(bound_is_dominated(&front, (1.0, 11.0)));
+        assert!(bound_is_dominated(&front, (2.5, 5.0)));
+        // Strictly worse on both: dominated.
+        assert!(bound_is_dominated(&front, (3.0, 6.0)));
+        // Better on either objective than every front point: kept.
+        assert!(!bound_is_dominated(&front, (0.5, 100.0)));
+        assert!(!bound_is_dominated(&front, (100.0, 4.0)));
+        assert!(!bound_is_dominated(&[], (1.0, 1.0)));
+    }
+
+    /// Adversarial equal-cost property test: coordinates drawn from a
+    /// three-value pool so exact ties and duplicates dominate the
+    /// distribution — the regime where an off-by-strictness bound test
+    /// silently drops tied front members. The incremental front the
+    /// screen maintains must equal [`pareto_front`] over the same
+    /// points, as a multiset, on every round.
+    #[test]
+    fn incremental_front_matches_pareto_front_under_heavy_ties() {
+        let mut state = 0xAC5_5EED_u64 ^ 0x9E37_79B9;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..200 {
+            let n = (next() % 40) as usize;
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| {
+                    let coord = |v: u64| match v % 8 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        v => f64::from(u32::try_from(v % 3).unwrap()),
+                    };
+                    (coord(next()), coord(next()))
+                })
+                .collect();
+            let mut front = Vec::new();
+            for &p in &pts {
+                push_front(&mut front, p);
+            }
+            let mut got: Vec<(u64, u64)> =
+                front.iter().map(|p| (p.0.to_bits(), p.1.to_bits())).collect();
+            got.sort_unstable();
+            let mut expect: Vec<(u64, u64)> = pareto_front(&pts, |p| p.0, |p| p.1)
+                .iter()
+                .map(|&i| (pts[i].0.to_bits(), pts[i].1.to_bits()))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "round {round}: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn push_front_keeps_duplicates_and_evicts_dominated() {
+        let mut front = Vec::new();
+        push_front(&mut front, (1.0, 10.0));
+        push_front(&mut front, (1.0, 10.0));
+        assert_eq!(front.len(), 2, "equal points both survive, like pareto_front");
+        push_front(&mut front, (2.0, 11.0));
+        assert_eq!(front.len(), 2, "dominated points never enter");
+        push_front(&mut front, (0.5, 9.0));
+        assert_eq!(front, vec![(0.5, 9.0)], "a dominating point evicts both duplicates");
+        push_front(&mut front, (f64::NAN, 1.0));
+        push_front(&mut front, (1.0, f64::INFINITY));
+        assert_eq!(front.len(), 1, "non-finite objectives never join the front");
+    }
+}

@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod evaluate;
 pub mod factored;
 pub mod faultinject;
+pub mod lattice;
 pub mod packaged;
 pub mod pareto;
 pub mod report;
@@ -40,6 +41,7 @@ pub mod sweeps;
 
 pub use evaluate::{DseRunner, EvaluatedDesign, SweptParams};
 pub use faultinject::{inject_faults, FaultClass};
+pub use lattice::{bound_is_dominated, LatticeScreen, LatticeScreenOptions, LatticeStats};
 pub use packaged::{run_packaged, PackagedDesign};
 pub use pareto::pareto_front;
 pub use report::{DesignFailure, SweepReport};
@@ -50,6 +52,7 @@ pub use sweeps::{CandidateParams, SweepSpec};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::evaluate::{DseRunner, EvaluatedDesign, SweptParams};
+    pub use crate::lattice::{LatticeScreen, LatticeScreenOptions, LatticeStats};
     pub use crate::pareto::pareto_front;
     pub use crate::report::{DesignFailure, SweepReport};
     pub use crate::stats::{narrowing_factor, Distribution};

@@ -132,6 +132,26 @@ mod tests {
         assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![1, 2]);
     }
 
+    #[test]
+    fn ties_on_both_objectives_keep_every_tied_member() {
+        // Two distinct front values, each duplicated: all four are
+        // mutually non-dominating and all four survive.
+        let pts = [(1.0, 2.0), (2.0, 1.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)];
+        assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_second_objective_across_groups_is_dominated() {
+        // (2, 2) ties the best b but is strictly worse on a: dominated.
+        // The equal-cost boundary case the screen's bound test mirrors —
+        // domination requires one strict inequality, which (1, 2) has.
+        let pts = [(1.0, 2.0), (2.0, 2.0)];
+        assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![0]);
+        // Flip the axes: same rule on the first objective.
+        let pts = [(2.0, 1.0), (2.0, 2.0)];
+        assert_eq!(pareto_front(&pts, |p| p.0, |p| p.1), vec![0]);
+    }
+
     /// SplitMix64: tiny, dependency-free, deterministic.
     struct SplitMix64(u64);
 

@@ -51,10 +51,11 @@ pub struct AppState {
     step_cache: StepCostCache,
     whatif_cache: ShardedCache<String>,
     plan_store: PlanStore,
-    // The grid evaluator. Its factored leg tables live inside the runner
-    // and persist for the service's lifetime, so every /v1/screen grid
-    // request — and every /v1/whatif fleet — prices only the legs no
-    // earlier request has priced.
+    // The grid evaluator. Its factored leg tables and the fused lattice
+    // vectors built over them live inside the runner and persist for
+    // the service's lifetime, so every /v1/screen grid request — and
+    // every /v1/whatif fleet — prices only the legs no earlier request
+    // has priced and re-fuses nothing it has already fused.
     dse: DseRunner,
     // The named-scenario registry and one persistent runner per scenario
     // the service has priced under (keyed by scenario digest). Each
@@ -637,7 +638,7 @@ fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
     let key = CacheKey::from_value(&object(key_members));
     let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
         if scenarios.is_empty() {
-            let report = state.dse.run_factored(&sweep, tpp_target);
+            let report = state.dse.run_lattice(&sweep, tpp_target);
             let (designs, failures) = report_values(&report)?;
             return Ok::<_, AcsError>(
                 object(vec![
@@ -659,7 +660,7 @@ fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
         let mut groups = Vec::with_capacity(scenarios.len());
         let (mut evaluated, mut failed) = (0usize, 0usize);
         for scenario in &scenarios {
-            let report = state.runner_for(scenario).run_factored(&sweep, tpp_target);
+            let report = state.runner_for(scenario).run_lattice(&sweep, tpp_target);
             evaluated += report.designs.len();
             failed += report.failures.len();
             let (designs, failures) = report_values(&report)?;
@@ -832,17 +833,17 @@ where
     }
     let key = CacheKey::from_value(&object(key_members));
     let (text, hit) = state.whatif_cache.get_or_try_insert(&key, || {
-        // The fleet prices through a persistent factored runner — the
+        // The fleet prices through a persistent lattice runner — the
         // scenario's when one was named, the state's dense default
-        // otherwise — so its cost legs persist across requests: the
-        // first what-if pays for the fleet, every later one (any grid,
-        // same target and scenario) re-screens it at classification
-        // cost.
+        // otherwise — so its cost legs and fused vectors persist across
+        // requests: the first what-if pays for the fleet, every later
+        // one (any grid, same target and scenario) re-screens it at
+        // classification cost.
         let report = match &scenario {
             Some(s) => state
                 .runner_for(s)
-                .run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target),
-            None => state.dse.run_factored(&SweepSpec::synthetic_fleet(), request.tpp_target),
+                .run_lattice(&SweepSpec::synthetic_fleet(), request.tpp_target),
+            None => state.dse.run_lattice(&SweepSpec::synthetic_fleet(), request.tpp_target),
         };
         let fleet_failures = report.failures.len();
         let fleet: Vec<_> = report.designs.into_iter().map(|(_, design)| design).collect();
@@ -1378,8 +1379,9 @@ mod tests {
         assert_eq!(grid.get("failed").unwrap().as_u64(), Some(0));
         let designs = r1.get("designs").unwrap().as_array().unwrap();
         assert_eq!(designs.len(), 4);
-        // The response carries exactly what the library's own factored
-        // runner produces for the same lattice.
+        // The response prices through the lattice engine; comparing
+        // against the library's factored runner doubles as a service-
+        // level bit-equivalence check between the two paths.
         let spec = SweepSpec {
             systolic_dims: vec![16],
             lanes_per_core: vec![4],

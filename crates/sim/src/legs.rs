@@ -409,6 +409,255 @@ impl Simulator {
     }
 }
 
+/// How the factored combine treats one planned operator: the overlap
+/// `max()` of its compute/memory legs, the collective wire time, or bare
+/// launch overhead. Precompiled once per plan by [`CombineProgram::of`]
+/// so a lattice evaluator never re-matches operator variants per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// Matmul or vector op: `max(compute, l2, dram) + overhead`.
+    OnChip,
+    /// All-reduce or all-to-all: `wire + overhead`.
+    Comm,
+    /// Anything else: launch overhead only.
+    Other,
+}
+
+/// One operator vector of pre-fused per-op times, plus the proof
+/// obligation its construction discharged.
+///
+/// `clean` records that every per-op guard of
+/// [`Simulator::try_ttft_factored`]'s combine loop provably passes for
+/// these values: each contributing leg component is finite and
+/// non-negative, the launch overhead is finite and non-negative, and no
+/// fused per-op time overflowed to infinity. When `clean` is true, a
+/// combine over these values is bit-identical to the factored combine —
+/// including the only remaining failure modes (a total that overflows to
+/// infinity, or a non-positive total), which the final guards report
+/// with the factored path's exact error shape. When `clean` is false, a
+/// caller that needs bit-identical errors must fall back to the per-op
+/// factored combine, which re-walks the guards and fails at the exact
+/// operator the planned path would have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedLegs {
+    /// Per-op pre-fused times, index-aligned with the plan's operators.
+    /// On-chip and overhead-only positions are populated in an on-chip
+    /// vector; collective positions are populated in a comm vector (the
+    /// respectively foreign positions hold 0.0 and are never read).
+    pub values: Vec<f64>,
+    /// Whether every hoisted per-op guard provably passes (see above).
+    pub clean: bool,
+}
+
+/// A plan's combine loop, precompiled: per-op kinds, telemetry classes,
+/// and the phase. Combining a grid point through
+/// [`CombineProgram::try_ttft`] replays the factored path's left-to-right
+/// accumulation over two pre-fused vectors — one that depends only on
+/// the (compute, memory) dependency keys and one that depends only on
+/// the comm key — so a sweep lattice can price each vector once per
+/// distinct key tuple and reduce a point to `ops` additions.
+#[derive(Debug, Clone)]
+pub struct CombineProgram {
+    phase: InferencePhase,
+    kinds: Vec<OpKind>,
+    /// Telemetry class per op (see `op_class`), applied only when
+    /// telemetry is enabled so class sums match the factored path.
+    class: Vec<Option<usize>>,
+}
+
+impl CombineProgram {
+    /// Precompile the combine loop of one plan.
+    #[must_use]
+    pub fn of(plan: &LayerPlan) -> Self {
+        let ops = plan.graph().ops();
+        CombineProgram {
+            phase: plan.phase(),
+            kinds: ops
+                .iter()
+                .map(|op| match op {
+                    Operator::Matmul(_) | Operator::Vector(_) => OpKind::OnChip,
+                    Operator::AllReduce(_) | Operator::AllToAll(_) => OpKind::Comm,
+                    _ => OpKind::Other,
+                })
+                .collect(),
+            class: ops.iter().map(op_class).collect(),
+        }
+    }
+
+    /// Number of operators in the compiled plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the compiled plan has no operators.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The compiled plan's inference phase.
+    #[must_use]
+    pub fn phase(&self) -> InferencePhase {
+        self.phase
+    }
+
+    /// Fuse the (compute, memory)-keyed legs into one per-op time vector:
+    /// `max(compute, l2, dram) + overhead` at on-chip positions, bare
+    /// `overhead` at overhead-only positions, 0.0 at collective positions
+    /// (never read — the comm vector covers those). Establishes the
+    /// `clean` obligation documented on [`FusedLegs`].
+    #[must_use]
+    pub fn fuse_onchip(
+        &self,
+        compute: &[ComputeLeg],
+        memory: &[MemoryLeg],
+        overhead_s: f64,
+    ) -> FusedLegs {
+        let n = self.kinds.len();
+        if compute.len() != n || memory.len() != n {
+            // A mismatched table cannot prove anything; the caller's slow
+            // path reports the factored combine's typed length error.
+            return FusedLegs { values: vec![0.0; n], clean: false };
+        }
+        let nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        let mut clean = nonneg(overhead_s);
+        let mut values = Vec::with_capacity(n);
+        for ((kind, c), d) in self.kinds.iter().zip(compute).zip(memory) {
+            match kind {
+                OpKind::OnChip => {
+                    let fused = c.compute_s.max(c.l2_s).max(d.dram_s) + overhead_s;
+                    clean = clean
+                        && nonneg(c.compute_s)
+                        && nonneg(c.l2_s)
+                        && nonneg(d.dram_s)
+                        && nonneg(d.dram_bytes)
+                        && fused.is_finite();
+                    values.push(fused);
+                }
+                OpKind::Comm => values.push(0.0),
+                OpKind::Other => values.push(overhead_s),
+            }
+        }
+        FusedLegs { values, clean }
+    }
+
+    /// Fuse the comm-keyed leg into one per-op time vector: `wire +
+    /// overhead` at collective positions, 0.0 everywhere else (never
+    /// read — the on-chip vector covers those). Establishes the `clean`
+    /// obligation documented on [`FusedLegs`].
+    #[must_use]
+    pub fn fuse_comm(&self, comm: &[f64], overhead_s: f64) -> FusedLegs {
+        let n = self.kinds.len();
+        if comm.len() != n {
+            return FusedLegs { values: vec![0.0; n], clean: false };
+        }
+        let nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        let mut clean = nonneg(overhead_s);
+        let mut values = Vec::with_capacity(n);
+        for (kind, wire) in self.kinds.iter().zip(comm) {
+            match kind {
+                OpKind::Comm => {
+                    let t = *wire + overhead_s;
+                    clean = clean && nonneg(*wire) && t.is_finite();
+                    values.push(t);
+                }
+                _ => values.push(0.0),
+            }
+        }
+        FusedLegs { values, clean }
+    }
+
+    /// The combine loop over two pre-fused vectors: the factored path's
+    /// left-to-right accumulation and inline telemetry class sums, with
+    /// the per-op guards hoisted into the vectors' `clean` obligation.
+    /// Bit-identical to `checked_total_factored` when both vectors are
+    /// clean, by construction: same additions, same order, same final
+    /// guard.
+    fn checked_total(&self, onchip: &[f64], comm: &[f64]) -> Result<f64, AcsError> {
+        let n = self.kinds.len();
+        if onchip.len() != n || comm.len() != n {
+            return Err(AcsError::invalid_config(
+                "legs.len",
+                format!(
+                    "fused vectors of {}/{} entries cannot price a {n}-op plan",
+                    onchip.len(),
+                    comm.len(),
+                ),
+            ));
+        }
+        let mut total = 0.0f64;
+        if acs_telemetry::enabled() {
+            let mut class_sums = [0.0f64; 4];
+            for (i, kind) in self.kinds.iter().enumerate() {
+                let time_s = if matches!(kind, OpKind::Comm) { comm[i] } else { onchip[i] };
+                if let Some(class) = self.class[i] {
+                    class_sums[class] += time_s;
+                }
+                total += time_s;
+            }
+            flush_layer_telemetry(&class_sums, self.phase);
+        } else {
+            // Branchless form of the select-and-add loop. Exactly one of
+            // `onchip[i]` / `comm[i]` is populated per op — the foreign
+            // position holds a literal +0.0 by construction of the
+            // `fuse_*` vectors — and every populated clean value is
+            // non-negative and finite, so `a + w` is the selected value
+            // bit for bit (`x + 0.0 == x` for every such `x`, and a
+            // populated `-0.0` adds into the non-negative accumulator
+            // identically either way). The accumulation order is
+            // unchanged: still one add per op, left to right.
+            for (&a, &w) in onchip.iter().zip(comm) {
+                total += a + w;
+            }
+        }
+        guard::ensure_finite("simulator.layer", "total_s", total)
+    }
+
+    /// Guarded TTFT from pre-fused per-op vectors (see
+    /// [`CombineProgram::fuse_onchip`] / [`CombineProgram::fuse_comm`]).
+    /// Bit-identical to [`Simulator::try_ttft_factored`] when both
+    /// vectors are `clean`; callers holding unclean vectors must use the
+    /// factored combine instead to reproduce its per-op errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the program is not a
+    /// prefill program or the vectors do not match it, and
+    /// [`AcsError::NonFinite`] when the total is non-finite or
+    /// non-positive.
+    pub fn try_ttft(&self, onchip: &[f64], comm: &[f64]) -> Result<f64, AcsError> {
+        if !matches!(self.phase, InferencePhase::Prefill) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TTFT requires a prefill plan, got a decode plan",
+            ));
+        }
+        let total = self.checked_total(onchip, comm)?;
+        guard::ensure_positive("simulator", "ttft_s", total)
+    }
+
+    /// Guarded TBT from pre-fused per-op vectors (see
+    /// [`CombineProgram::try_ttft`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcsError::InvalidConfig`] when the program is not a
+    /// decode program or the vectors do not match it, and
+    /// [`AcsError::NonFinite`] when the total is non-finite or
+    /// non-positive.
+    pub fn try_tbt(&self, onchip: &[f64], comm: &[f64]) -> Result<f64, AcsError> {
+        if !matches!(self.phase, InferencePhase::Decode { .. }) {
+            return Err(AcsError::invalid_config(
+                "plan.phase",
+                "TBT requires a decode plan, got a prefill plan",
+            ));
+        }
+        let total = self.checked_total(onchip, comm)?;
+        guard::ensure_positive("simulator", "tbt_s", total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +750,75 @@ mod tests {
         assert_eq!(k0.compute, k_bw.compute);
         assert_eq!(k0.memory, k_bw.memory);
         assert_ne!(k0.comm, k_bw.comm);
+    }
+
+    #[test]
+    fn fused_combine_is_bit_identical_to_factored() {
+        let s = sim();
+        let (prefill, decode) = plans(&s);
+        let overhead = s.params().op_overhead_s;
+        for (plan, want) in [
+            (&prefill, s.try_ttft_planned(&prefill).unwrap()),
+            (&decode, s.try_tbt_planned(&decode).unwrap()),
+        ] {
+            let legs = s.price_plan_legs(plan);
+            let program = CombineProgram::of(plan);
+            assert_eq!(program.len(), plan.graph().ops().len());
+            let onchip = program.fuse_onchip(&legs.compute, &legs.memory, overhead);
+            let comm = program.fuse_comm(&legs.comm, overhead);
+            assert!(onchip.clean && comm.clean, "healthy legs must fuse clean");
+            let got = match plan.phase() {
+                InferencePhase::Prefill => program.try_ttft(&onchip.values, &comm.values),
+                _ => program.try_tbt(&onchip.values, &comm.values),
+            }
+            .unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_combine_rejects_wrong_phase_and_mismatched_vectors() {
+        let s = sim();
+        let (prefill, decode) = plans(&s);
+        let overhead = s.params().op_overhead_s;
+        let legs = s.price_plan_legs(&prefill);
+        let program = CombineProgram::of(&prefill);
+        let onchip = program.fuse_onchip(&legs.compute, &legs.memory, overhead);
+        let comm = program.fuse_comm(&legs.comm, overhead);
+        // Phase mismatch mirrors the factored path's error.
+        let err = program.try_tbt(&onchip.values, &comm.values).unwrap_err();
+        assert!(err.to_string().contains("TBT requires a decode plan"), "{err}");
+        let err = CombineProgram::of(&decode)
+            .try_ttft(&onchip.values, &comm.values)
+            .unwrap_err();
+        assert!(err.to_string().contains("TTFT requires a prefill plan"), "{err}");
+        // Truncated vectors are a typed length error, never an OOB panic.
+        let err = program.try_ttft(&onchip.values[1..], &comm.values).unwrap_err();
+        assert!(err.to_string().contains("cannot price"), "{err}");
+        // Mismatched leg tables fuse unclean instead of panicking.
+        assert!(!program.fuse_onchip(&legs.compute[1..], &legs.memory, overhead).clean);
+        assert!(!program.fuse_comm(&legs.comm[1..], overhead).clean);
+    }
+
+    #[test]
+    fn unclean_legs_are_flagged_not_hidden() {
+        let s = sim();
+        let (prefill, _) = plans(&s);
+        let program = CombineProgram::of(&prefill);
+        let mut legs = s.price_plan_legs(&prefill);
+        // A NaN compute leg on an on-chip op must poison cleanliness.
+        let onchip_pos = prefill
+            .graph()
+            .ops()
+            .iter()
+            .position(|op| matches!(op, Operator::Matmul(_) | Operator::Vector(_)))
+            .unwrap();
+        legs.compute[onchip_pos].compute_s = f64::NAN;
+        assert!(!program.fuse_onchip(&legs.compute, &legs.memory, 1e-6).clean);
+        // Negative launch overhead poisons both vectors.
+        let healthy = s.price_plan_legs(&prefill);
+        assert!(!program.fuse_onchip(&healthy.compute, &healthy.memory, -1.0).clean);
+        assert!(!program.fuse_comm(&healthy.comm, f64::INFINITY).clean);
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub mod vector;
 
 pub use energy::{energy_per_token_j, layer_energy, EnergyReport};
 pub use latency::{Bound, LayerLatency, OpCost, Simulator};
-pub use legs::{CommKey, ComputeKey, ComputeLeg, LegKeys, MemoryKey, MemoryLeg, PlanLegs};
+pub use legs::{
+    CombineProgram, CommKey, ComputeKey, ComputeLeg, FusedLegs, LegKeys, MemoryKey, MemoryLeg,
+    PlanLegs,
+};
 pub use collective::{allreduce_cost, alltoall_cost, CollectiveCost};
 pub use plan::{plan_digest, plan_digest_parallel, EvalPlans, LayerPlan, PlanStore};
 pub use metrics::{decode_throughput_tokens_per_s, mfu, request_latency_s};

@@ -22,7 +22,10 @@
 
 use crate::tolerance::Tolerance;
 use acs_cache::{CacheKey, ShardedCache};
-use acs_dse::{CandidateParams, DseRunner, EvaluatedDesign, SweepReport};
+use acs_dse::{
+    CandidateParams, DseRunner, EvaluatedDesign, LatticeScreen, LatticeScreenOptions, SweepReport,
+    SweepSpec,
+};
 use acs_errors::json::Value;
 use acs_errors::AcsError;
 use acs_llm::rng::SplitMix64;
@@ -41,6 +44,9 @@ pub enum EvalPath {
     Planned,
     /// Dependency-keyed leg-table pipeline (`run_report_factored`).
     Factored,
+    /// Broadcast lattice pipeline over fused leg vectors
+    /// (`run_report_lattice`).
+    Lattice,
 }
 
 impl EvalPath {
@@ -49,6 +55,7 @@ impl EvalPath {
             EvalPath::Legacy => runner.run_report_legacy(candidates),
             EvalPath::Planned => runner.run_report(candidates),
             EvalPath::Factored => runner.run_report_factored(candidates),
+            EvalPath::Lattice => runner.run_report_lattice(candidates),
         }
     }
 }
@@ -59,6 +66,7 @@ impl fmt::Display for EvalPath {
             EvalPath::Legacy => "legacy",
             EvalPath::Planned => "planned",
             EvalPath::Factored => "factored",
+            EvalPath::Lattice => "lattice",
         })
     }
 }
@@ -236,7 +244,70 @@ pub fn standard_suite() -> Vec<DiffCase> {
         DiffCase::metamorphic("planned-threads-1", EvalPath::Planned, Transform::Threads(1)),
         DiffCase::metamorphic("planned-threads-3", EvalPath::Planned, Transform::Threads(3)),
         DiffCase::metamorphic("planned-rescaled", EvalPath::Planned, Transform::RescaleUnits),
+        DiffCase::paths("lattice-vs-factored", EvalPath::Lattice, EvalPath::Factored),
+        DiffCase::metamorphic(
+            "lattice-permuted",
+            EvalPath::Lattice,
+            Transform::PermuteOrder { seed: 0xA77 },
+        ),
+        DiffCase::metamorphic("lattice-warm-cache", EvalPath::Lattice, Transform::WarmCache),
     ]
+}
+
+/// Pools each random sweep axis draws from: plausible hardware values
+/// spanning the paper's Table-3/Table-5 ranges plus edges the builder
+/// quantizes (sub-unit HBM, odd systolic dims).
+const DIM_POOL: [u32; 5] = [8, 16, 24, 32, 48];
+const LANES_POOL: [u32; 5] = [1, 2, 4, 6, 8];
+const L1_POOL: [u32; 6] = [64, 128, 192, 256, 512, 1024];
+const L2_POOL: [u32; 6] = [24, 40, 48, 64, 80, 96];
+const HBM_POOL: [f64; 6] = [0.8, 1.6, 2.0, 2.4, 3.2, 4.0];
+const BW_POOL: [f64; 5] = [300.0, 400.0, 600.0, 750.0, 900.0];
+
+fn sample_u32(rng: &mut SplitMix64, pool: &[u32], max_take: usize) -> Vec<u32> {
+    let mut pool = pool.to_vec();
+    for i in (1..pool.len()).rev() {
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        pool.swap(i, j);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let take = 1 + (rng.next_u64() % max_take as u64) as usize;
+    pool.truncate(take.min(pool.len()));
+    pool.sort_unstable();
+    pool
+}
+
+fn sample_f64(rng: &mut SplitMix64, pool: &[f64], max_take: usize) -> Vec<f64> {
+    let mut pool = pool.to_vec();
+    for i in (1..pool.len()).rev() {
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        pool.swap(i, j);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let take = 1 + (rng.next_u64() % max_take as u64) as usize;
+    pool.truncate(take.min(pool.len()));
+    pool.sort_by(f64::total_cmp);
+    pool
+}
+
+/// Draw a well-formed random [`SweepSpec`] from realistic axis pools,
+/// deterministically in `seed` — the property-based input source behind
+/// the seeded `acs-verify diff` cases. Every generated spec must diff
+/// clean between any two evaluation paths; any seed that does not is a
+/// one-line reproducer.
+#[must_use]
+pub fn random_sweep_spec(seed: u64) -> SweepSpec {
+    let mut rng = SplitMix64::new(seed);
+    SweepSpec {
+        systolic_dims: sample_u32(&mut rng, &DIM_POOL, 2),
+        lanes_per_core: sample_u32(&mut rng, &LANES_POOL, 2),
+        l1_kib: sample_u32(&mut rng, &L1_POOL, 3),
+        l2_mib: sample_u32(&mut rng, &L2_POOL, 2),
+        hbm_tb_s: sample_f64(&mut rng, &HBM_POOL, 3),
+        device_bw_gb_s: sample_f64(&mut rng, &BW_POOL, 2),
+    }
 }
 
 /// One disagreement between the two arms.
@@ -325,6 +396,12 @@ impl Differential {
     #[must_use]
     pub fn paper_default() -> Self {
         Differential::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default())
+    }
+
+    /// A fresh untransformed runner over the harness's context.
+    #[must_use]
+    pub fn runner(&self) -> DseRunner {
+        DseRunner::new(self.model.clone(), self.workload)
     }
 
     /// Evaluate both arms of `case` over `candidates` and diff them.
@@ -554,6 +631,61 @@ pub fn dense_vs_degenerate_moe_diff(
         points: left.total(),
         ok: left.designs.len(),
         failed: left.failures.len(),
+        mismatches,
+    }
+}
+
+/// The pruned-screen differential: `screen_lattice` with branch-and-
+/// bound pruning on against the same screen run exact, compared by
+/// Pareto-front *name multiset* and per-front-design digest. Pruning may
+/// leave dominated interior points unpriced, but the front — ties
+/// included — must be exactly the exact mode's, and every front design
+/// must be bit-identical (both modes price through the same lattice
+/// point path).
+#[must_use]
+pub fn lattice_screen_front_diff(spec: &SweepSpec, tpp_target: f64) -> DiffReport {
+    let runner = Differential::paper_default().runner();
+    let exact = runner.screen_lattice(
+        spec,
+        tpp_target,
+        &LatticeScreenOptions { prune: false, ..LatticeScreenOptions::default() },
+    );
+    let pruned = runner.screen_lattice(spec, tpp_target, &LatticeScreenOptions::default());
+    let front = |screen: &LatticeScreen| -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = screen
+            .front
+            .iter()
+            .map(|&i| {
+                let d = &screen.designs[i];
+                (d.name.clone(), design_digest(d).unwrap_or(0))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let (le, rp) = (front(&exact), front(&pruned));
+    let mut mismatches = Vec::new();
+    if le.len() != rp.len() {
+        push(
+            &mut mismatches,
+            "front",
+            format!("exact front has {} designs, pruned {}", le.len(), rp.len()),
+        );
+    } else {
+        for ((ln, ld), (rn, rd)) in le.iter().zip(&rp) {
+            if ln != rn {
+                push(&mut mismatches, ln.clone(), format!("front sets differ: {ln} vs {rn}"));
+            } else if ld != rd {
+                push(&mut mismatches, ln.clone(), format!("digest {ld:#018x} vs {rd:#018x}"));
+            }
+        }
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    DiffReport {
+        label: "lattice-screen-pruned-front".to_owned(),
+        points: exact.stats.nominal_points as usize,
+        ok: exact.designs.len(),
+        failed: exact.stats.failed_points as usize,
         mismatches,
     }
 }
@@ -790,6 +922,48 @@ mod tests {
         for path in [EvalPath::Legacy, EvalPath::Planned, EvalPath::Factored] {
             let report = dense_vs_degenerate_moe_diff(&candidates, path);
             assert!(report.ok > 0, "sweep produced no designs on {path}");
+            report.assert_clean();
+        }
+    }
+
+    #[test]
+    fn random_specs_diff_clean_between_lattice_and_factored() {
+        let harness = Differential::paper_default();
+        for seed in 0..6_u64 {
+            let spec = random_sweep_spec(seed);
+            let mut candidates = spec.candidates(4800.0);
+            // Odd seeds carry injected faults: the lattice path must
+            // demote those points to the identical typed errors.
+            if seed % 2 == 1 {
+                acs_dse::inject_faults(&mut candidates, seed as usize);
+            }
+            let case = DiffCase::paths(
+                &format!("lattice-vs-factored-seed{seed}"),
+                EvalPath::Lattice,
+                EvalPath::Factored,
+            );
+            harness.run(&candidates, &case).assert_clean();
+        }
+    }
+
+    #[test]
+    fn random_spec_generation_is_deterministic_and_well_formed() {
+        for seed in [0_u64, 1, 7, 0xDEAD_BEEF] {
+            let a = random_sweep_spec(seed);
+            assert_eq!(a, random_sweep_spec(seed), "same seed, same spec");
+            assert!(a.cardinality() >= 1 && a.cardinality() <= 144);
+            assert!(a.systolic_dims.windows(2).all(|w| w[0] < w[1]));
+            assert!(a.hbm_tb_s.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_ne!(random_sweep_spec(1), random_sweep_spec(2), "seeds decorrelate");
+    }
+
+    #[test]
+    fn pruned_screen_front_diff_is_clean_on_random_specs() {
+        for seed in [3_u64, 11] {
+            let spec = random_sweep_spec(seed);
+            let report = lattice_screen_front_diff(&spec, 4800.0);
+            assert_eq!(report.points, spec.cardinality());
             report.assert_clean();
         }
     }

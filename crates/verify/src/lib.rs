@@ -41,8 +41,9 @@ pub use corpus::{
     bless_corpus, check_corpus, compute_snapshot, default_corpus_path, regressions_dir, Snapshot,
 };
 pub use differential::{
-    dense_vs_degenerate_moe_diff, design_digest, standard_suite, whatif_grid_64, whatif_grid_diff,
-    Arm, DiffCase, DiffReport, Differential, EvalPath, Transform,
+    dense_vs_degenerate_moe_diff, design_digest, lattice_screen_front_diff, random_sweep_spec,
+    standard_suite, whatif_grid_64, whatif_grid_diff, Arm, DiffCase, DiffReport, Differential,
+    EvalPath, Transform,
 };
 pub use fuzz::{run_fuzz, FuzzReport, FuzzTarget};
 pub use regressions::replay_dir;

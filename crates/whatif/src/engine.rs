@@ -12,9 +12,30 @@ use acs_errors::json::{object, Value};
 use acs_errors::AcsError;
 use acs_policy::{DeviceMetrics, HbmPackage, MarketSegment};
 use acs_telemetry::{GlobalCounter, GlobalHistogram};
+use std::collections::HashMap;
 
 static VARIANTS_SCREENED: GlobalCounter = GlobalCounter::new("whatif.variants");
 static VARIANT_US: GlobalHistogram = GlobalHistogram::new("whatif.variant_us");
+static PINNED_ENTRIES: GlobalCounter = GlobalCounter::new("whatif.prune.pinned_entries");
+static CLASSIFY_SKIPPED: GlobalCounter = GlobalCounter::new("whatif.prune.classify_skipped");
+static DEVICE_MEMO_HITS: GlobalCounter = GlobalCounter::new("whatif.prune.device_memo_hits");
+static FLEET_MEMO_HITS: GlobalCounter = GlobalCounter::new("whatif.prune.fleet_memo_hits");
+
+/// Per-run memo of the two expensive record blocks, each a pure
+/// function of its ledger. Ledger *names* are fixed for the run
+/// (portfolio order never changes), so the classification ordinals
+/// alone identify a ledger — no digesting, no collision risk.
+#[derive(Debug, Default)]
+struct VariantMemo {
+    /// `devices` block (counts + baseline delta) by device-ledger key.
+    devices: HashMap<Vec<u8>, Value>,
+    /// `(fleet, externality)` blocks by fleet-ledger key.
+    fleet: HashMap<Vec<u8>, (Value, Value)>,
+}
+
+fn class_key(ledger: &ClassificationLedger) -> Vec<u8> {
+    ledger.entries.iter().map(|&(_, c)| c as u8).collect()
+}
 
 /// Reference economics and reporting knobs for the externality block of
 /// each record.
@@ -136,6 +157,16 @@ impl WhatIfEngine {
     /// error aborts the run and is returned as-is (this is how a
     /// streaming transport propagates a dead connection).
     ///
+    /// Grid screening prunes on ledger monotonicity: a corner pre-screen
+    /// under the grid's strict and loose regimes pins every device the
+    /// corners agree on (its classification cannot vary inside the
+    /// grid), so per-variant classification touches only the contested
+    /// devices, and the expensive record blocks — the fleet statistics
+    /// and the device deltas — are memoized by the resulting ledgers.
+    /// Records are byte-identical to an unpruned screen; the
+    /// `whatif.prune.*` counters report how much work the pruning
+    /// avoided.
+    ///
     /// # Errors
     ///
     /// Sink errors, or [`AcsError::Json`] if a record fails to emit.
@@ -150,10 +181,26 @@ impl WhatIfEngine {
     {
         let baseline = ClassificationLedger::screen(&RuleSpec::baseline(), &self.devices);
         let fleet_metrics: Vec<DeviceMetrics> = fleet.iter().map(Self::fleet_metrics).collect();
+        let (strict, loose) = grid.corner_specs();
+        let device_pins = ClassificationLedger::corner_pins(&strict, &loose, &self.devices);
+        let fleet_pins = ClassificationLedger::corner_pins(&strict, &loose, &fleet_metrics);
+        let pinned =
+            device_pins.iter().chain(&fleet_pins).filter(|p| p.is_some()).count();
+        PINNED_ENTRIES.add(pinned as u64);
+        let mut memo = VariantMemo::default();
         let specs = grid.variants();
         for (index, spec) in specs.iter().enumerate() {
             let started = std::time::Instant::now();
-            let record = self.variant_record(index, spec, &baseline, fleet, &fleet_metrics)?;
+            let record = self.variant_record(
+                index,
+                spec,
+                &baseline,
+                fleet,
+                &fleet_metrics,
+                &device_pins,
+                &fleet_pins,
+                &mut memo,
+            )?;
             VARIANT_US.record(started.elapsed().as_secs_f64() * 1e6);
             sink(index, &record)?;
             VARIANTS_SCREENED.add(1);
@@ -183,6 +230,7 @@ impl WhatIfEngine {
         Ok((summary, records))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn variant_record(
         &self,
         index: usize,
@@ -190,10 +238,76 @@ impl WhatIfEngine {
         baseline: &ClassificationLedger,
         fleet: &[EvaluatedDesign],
         fleet_metrics: &[DeviceMetrics],
+        device_pins: &[Option<acs_policy::Classification>],
+        fleet_pins: &[Option<acs_policy::Classification>],
+        memo: &mut VariantMemo,
     ) -> Result<Value, AcsError> {
-        let ledger = ClassificationLedger::screen(spec, &self.devices);
-        let delta = ledger.delta_from(baseline);
-        let fleet_ledger = ClassificationLedger::screen(spec, fleet_metrics);
+        let (ledger, skipped_devices) =
+            ClassificationLedger::screen_pinned(spec, &self.devices, device_pins);
+        let (fleet_ledger, skipped_fleet) =
+            ClassificationLedger::screen_pinned(spec, fleet_metrics, fleet_pins);
+        CLASSIFY_SKIPPED.add((skipped_devices + skipped_fleet) as u64);
+
+        let devices_block = match memo.devices.get(&class_key(&ledger)) {
+            Some(block) => {
+                DEVICE_MEMO_HITS.add(1);
+                block.clone()
+            }
+            None => {
+                let delta = ledger.delta_from(baseline);
+                let block = object(vec![
+                    ("counts", counts_value(&ledger.counts())),
+                    ("newly_restricted", names_value(&delta.newly_restricted)),
+                    ("newly_freed", names_value(&delta.newly_freed)),
+                ]);
+                memo.devices.insert(class_key(&ledger), block.clone());
+                block
+            }
+        };
+
+        let (fleet_block, externality_block) = match memo.fleet.get(&class_key(&fleet_ledger)) {
+            Some((f, e)) => {
+                FLEET_MEMO_HITS.add(1);
+                (f.clone(), e.clone())
+            }
+            None => {
+                let blocks = self.fleet_blocks(fleet, &fleet_ledger);
+                memo.fleet.insert(class_key(&fleet_ledger), blocks.clone());
+                blocks
+            }
+        };
+
+        let hbm_rows = self
+            .hbm_packages
+            .iter()
+            .map(|p| {
+                object(vec![
+                    ("name", Value::String(p.name.clone())),
+                    ("density_gb_s_mm2", num(p.bandwidth_density())),
+                    ("classification", Value::String(spec.classify_hbm(p).to_string())),
+                ])
+            })
+            .collect();
+
+        Ok(object(vec![
+            ("variant", num(to_f64(index))),
+            ("rule", spec.to_json_value()?),
+            ("devices", devices_block),
+            ("fleet", fleet_block),
+            ("hbm", Value::Array(hbm_rows)),
+            ("externality", externality_block),
+        ]))
+    }
+
+    /// The variant-independent-given-its-ledger pair of record blocks:
+    /// the fleet statistics and the externality economics. Everything
+    /// here is a pure function of which fleet designs the ledger
+    /// restricts, which is what makes the blocks memoizable.
+    fn fleet_blocks(
+        &self,
+        fleet: &[EvaluatedDesign],
+        fleet_ledger: &ClassificationLedger,
+    ) -> (Value, Value) {
         let fleet_counts = fleet_ledger.counts();
 
         let mut restricted: Vec<&EvaluatedDesign> = Vec::new();
@@ -245,18 +359,6 @@ impl WhatIfEngine {
             _ => Value::Null,
         };
 
-        let hbm_rows = self
-            .hbm_packages
-            .iter()
-            .map(|p| {
-                object(vec![
-                    ("name", Value::String(p.name.clone())),
-                    ("density_gb_s_mm2", num(p.bandwidth_density())),
-                    ("classification", Value::String(spec.classify_hbm(p).to_string())),
-                ])
-            })
-            .collect();
-
         let indicator_rows = indicators
             .iter()
             .map(|col| {
@@ -269,37 +371,19 @@ impl WhatIfEngine {
             })
             .collect();
 
-        Ok(object(vec![
-            ("variant", num(to_f64(index))),
-            ("rule", spec.to_json_value()?),
-            (
-                "devices",
-                object(vec![
-                    ("counts", counts_value(&ledger.counts())),
-                    ("newly_restricted", names_value(&delta.newly_restricted)),
-                    ("newly_freed", names_value(&delta.newly_freed)),
-                ]),
-            ),
-            (
-                "fleet",
-                object(vec![
-                    ("total", num(to_f64(fleet.len()))),
-                    ("counts", counts_value(&fleet_counts)),
-                    ("restricted_share", num(restricted_share)),
-                    ("tbt_unrestricted_s", dist_value(tbt_dist.as_ref())),
-                    ("good_die_cost_unrestricted_usd", dist_value(cost_dist.as_ref())),
-                    ("indicators", Value::Array(indicator_rows)),
-                ]),
-            ),
-            ("hbm", Value::Array(hbm_rows)),
-            (
-                "externality",
-                object(vec![
-                    ("deadweight_loss_usd", num(dwl)),
-                    ("compliance_overhead", overhead),
-                ]),
-            ),
-        ]))
+        let fleet_block = object(vec![
+            ("total", num(to_f64(fleet.len()))),
+            ("counts", counts_value(&fleet_counts)),
+            ("restricted_share", num(restricted_share)),
+            ("tbt_unrestricted_s", dist_value(tbt_dist.as_ref())),
+            ("good_die_cost_unrestricted_usd", dist_value(cost_dist.as_ref())),
+            ("indicators", Value::Array(indicator_rows)),
+        ]);
+        let externality_block = object(vec![
+            ("deadweight_loss_usd", num(dwl)),
+            ("compliance_overhead", overhead),
+        ]);
+        (fleet_block, externality_block)
     }
 }
 

@@ -192,6 +192,44 @@ impl RuleGrid {
         Ok(grid)
     }
 
+    /// The grid's strict and loose corner regimes.
+    ///
+    /// Every device-level rule in `acs_policy` classifies with `>=`
+    /// comparisons against its thresholds and a regime takes the
+    /// strictest outcome across rules, so classification is monotone in
+    /// each threshold: lowering any threshold never lowers a device's
+    /// classification. "Lower = stricter" therefore holds on every axis
+    /// except `mem_bw_license`, whose `0` sentinel disables the rule
+    /// entirely (the loosest setting) — there the strictest corner is
+    /// the smallest *positive* value on the axis. Consequently every
+    /// variant's classification of a device is sandwiched between the
+    /// two corners': `classify(loose) <= classify(v) <= classify(strict)`
+    /// for all `v` in the grid. A device the corners agree on is pinned
+    /// for the whole grid. The HBM axes ride along unused — they never
+    /// reach device-level classification.
+    #[must_use]
+    pub fn corner_specs(&self) -> (RuleSpec, RuleSpec) {
+        let axes = self.axes();
+        let mut strict = [0.0_f64; 11];
+        let mut loose = [0.0_f64; 11];
+        for (i, axis) in axes.iter().enumerate() {
+            if i == 8 {
+                let min_enacted =
+                    axis.iter().copied().filter(|&v| v > 0.0).fold(f64::INFINITY, f64::min);
+                strict[i] = if min_enacted.is_finite() { min_enacted } else { 0.0 };
+                loose[i] = if axis.contains(&0.0) {
+                    0.0
+                } else {
+                    axis.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                };
+            } else {
+                strict[i] = axis.iter().copied().fold(f64::INFINITY, f64::min);
+                loose[i] = axis.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            }
+        }
+        (RuleSpec::from_axis_values(&strict), RuleSpec::from_axis_values(&loose))
+    }
+
     fn check_cardinality(&self) -> Result<(), AcsError> {
         let n = self.cardinality();
         if n > MAX_RULE_VARIANTS {

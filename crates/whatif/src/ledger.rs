@@ -66,6 +66,57 @@ impl ClassificationLedger {
         Self::screen_with(devices, |m| spec.classify(m))
     }
 
+    /// Corner pre-screen: classify each device under a grid's strict
+    /// and loose corner regimes ([`crate::RuleGrid::corner_specs`]);
+    /// where the two agree, the device's classification is pinned for
+    /// every regime sandwiched between them, and `Some(class)` records
+    /// it. Devices the corners disagree on stay `None` and classify
+    /// per-variant.
+    #[must_use]
+    pub fn corner_pins(
+        strict: &RuleSpec,
+        loose: &RuleSpec,
+        devices: &[DeviceMetrics],
+    ) -> Vec<Option<Classification>> {
+        devices
+            .iter()
+            .map(|m| {
+                let s = strict.classify(m);
+                (s == loose.classify(m)).then_some(s)
+            })
+            .collect()
+    }
+
+    /// Screen a portfolio under one regime, consulting `pins` first:
+    /// pinned devices skip the classifier outright. Returns the ledger
+    /// — identical, entry for entry, to [`ClassificationLedger::screen`]
+    /// when the pins came from a corner sandwich containing `spec` —
+    /// plus the number of classify calls skipped. A `pins` slice shorter
+    /// than the portfolio just stops pinning early.
+    #[must_use]
+    pub fn screen_pinned(
+        spec: &RuleSpec,
+        devices: &[DeviceMetrics],
+        pins: &[Option<Classification>],
+    ) -> (Self, usize) {
+        let mut skipped = 0_usize;
+        let entries = devices
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let class = match pins.get(i).copied().flatten() {
+                    Some(pinned) => {
+                        skipped += 1;
+                        pinned
+                    }
+                    None => spec.classify(m),
+                };
+                (m.name().to_owned(), class)
+            })
+            .collect();
+        (ClassificationLedger { entries }, skipped)
+    }
+
     /// Per-class tallies.
     #[must_use]
     pub fn counts(&self) -> LedgerCounts {

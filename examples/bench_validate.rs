@@ -19,6 +19,9 @@
 //! its legacy reference. `--min-dse-factored-speedup <ratio>` is the
 //! same floor for the `factored_speedup` metric: the dependency-keyed
 //! factored evaluator against the planned pipeline it memoises.
+//! `--min-dse-lattice-speedup <ratio>` floors the `lattice_speedup`
+//! metric of the `lattice` suite: the fused-vector lattice engine
+//! against the factored evaluator it supersedes.
 
 use acs_errors::json::{parse, Value};
 use std::process::ExitCode;
@@ -63,6 +66,11 @@ fn validate(path: &str, floors: &Floors) -> Result<usize, String> {
             check_floor(metrics, "factored_speedup", floor)?;
         }
     }
+    if suite == "lattice" {
+        if let Some(floor) = floors.lattice_speedup {
+            check_floor(metrics, "lattice_speedup", floor)?;
+        }
+    }
     Ok(metrics.len())
 }
 
@@ -70,6 +78,7 @@ fn validate(path: &str, floors: &Floors) -> Result<usize, String> {
 struct Floors {
     plan_speedup: Option<f64>,
     factored_speedup: Option<f64>,
+    lattice_speedup: Option<f64>,
 }
 
 fn main() -> ExitCode {
@@ -78,11 +87,14 @@ fn main() -> ExitCode {
     let mut floors = Floors::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--min-dse-plan-speedup" || arg == "--min-dse-factored-speedup" {
-            let slot = if arg == "--min-dse-plan-speedup" {
-                &mut floors.plan_speedup
-            } else {
-                &mut floors.factored_speedup
+        if arg == "--min-dse-plan-speedup"
+            || arg == "--min-dse-factored-speedup"
+            || arg == "--min-dse-lattice-speedup"
+        {
+            let slot = match arg.as_str() {
+                "--min-dse-plan-speedup" => &mut floors.plan_speedup,
+                "--min-dse-factored-speedup" => &mut floors.factored_speedup,
+                _ => &mut floors.lattice_speedup,
             };
             match iter.next().as_deref().map(str::parse::<f64>) {
                 Some(Ok(v)) if v.is_finite() && v > 0.0 => *slot = Some(v),
@@ -98,7 +110,8 @@ fn main() -> ExitCode {
     if paths.is_empty() {
         eprintln!(
             "usage: bench_validate [--min-dse-plan-speedup <ratio>] \
-             [--min-dse-factored-speedup <ratio>] <BENCH_*.json>..."
+             [--min-dse-factored-speedup <ratio>] \
+             [--min-dse-lattice-speedup <ratio>] <BENCH_*.json>..."
         );
         return ExitCode::FAILURE;
     }

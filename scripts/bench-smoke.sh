@@ -7,9 +7,9 @@
 # the assertions only catch order-of-magnitude regressions (plus the
 # telemetry-overhead budget, which is a real contract).
 #
-# Writes BENCH_dse.json, BENCH_scenarios.json, BENCH_serve.json, and
-# BENCH_whatif.json (schema acs-bench-v1) to the repo root, or to
-# $ACS_BENCH_DIR when set.
+# Writes BENCH_dse.json, BENCH_lattice.json, BENCH_scenarios.json,
+# BENCH_serve.json, and BENCH_whatif.json (schema acs-bench-v1) to the
+# repo root, or to $ACS_BENCH_DIR when set.
 # Single-threaded so the benches never time each other's noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."

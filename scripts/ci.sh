@@ -16,6 +16,12 @@ cargo test -q --locked --offline --test fault_injection
 echo "==> factored-evaluator golden equivalence (bit-identity vs planned path)"
 cargo test -q --release --locked --offline --test factored_equivalence
 
+echo "==> lattice-engine golden equivalence (bit-identity vs factored path)"
+cargo test -q --release --locked --offline --test lattice_equivalence
+
+echo "==> what-if corner-pinning prune (counter-proven skip, byte-identical records)"
+cargo test -q --release --locked --offline --test whatif_prune
+
 echo "==> verification harness (golden corpus, seeded fuzz, socket chaos)"
 # Golden-corpus diff: the blessed sweep digests, the 64-variant what-if
 # rule-grid digest, and the paper anchors in
@@ -69,12 +75,13 @@ cargo run -q --release --locked --offline -p acs-serve --bin acs-serve -- \
 echo "==> profiled smoke bench (includes the <5% telemetry-overhead assertion)"
 ACS_BENCH_DIR="$smokedir" scripts/bench-smoke.sh
 
-echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored >= 2x)"
+echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored >= 2x, lattice >= 5x)"
 cargo run -q --release --locked --offline --example bench_validate -- \
     --min-dse-plan-speedup 1.5 \
     --min-dse-factored-speedup 2.0 \
+    --min-dse-lattice-speedup 5.0 \
     "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json" "$smokedir/BENCH_whatif.json" \
-    "$smokedir/BENCH_scenarios.json"
+    "$smokedir/BENCH_scenarios.json" "$smokedir/BENCH_lattice.json"
 
 echo "==> profiled DSE trace determinism (identical structure across runs)"
 # Two identical profiled runs must serialise to traces that differ only

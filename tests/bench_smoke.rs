@@ -288,6 +288,120 @@ fn bench_smoke() {
 
 #[test]
 #[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
+fn bench_lattice() {
+    use acs_dse::LatticeScreenOptions;
+
+    // --- lattice vs factored sweep throughput ---
+    // The same reference sweep the plan/factored races use: Table 3's
+    // Figure-7 grid, 1536 points, all feasible at the 2400 TPP ceiling.
+    // Both paths use ONE persistent runner apiece, matching how the
+    // server holds runners in `AppState` across `/v1/screen` and
+    // what-if requests: the factored runner keeps its priced leg
+    // tables, the lattice runner keeps its probe caches, fused vectors,
+    // and evaluated cells. One asserted cold round fills the tables;
+    // the timed rounds then measure the steady state — "price the grid,
+    // not the points" — as the min over adaptively many rounds, which
+    // also damps scheduler noise on shared hosts.
+    let reference = SweepSpec::table3_fig7().candidates(2400.0);
+    assert_eq!(reference.len(), 1536, "reference sweep size");
+    let factored_runner = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+    let lattice_runner = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+    let mut factored_round = || factored_runner.run_report_factored(&reference);
+    let mut lattice_round = || lattice_runner.run_report_lattice(&reference);
+    let lattice_cold_ms = round_ms(1, &mut || {
+        let report = lattice_runner.run_report_lattice(&reference);
+        assert_eq!(report.total(), reference.len());
+        assert!(report.failures.is_empty(), "reference sweep has no bad points");
+    });
+    let _ = factored_round();
+    // A warm lattice round is ~200µs, so one scheduler hiccup inside a
+    // round inflates it badly. Interleave min-rounds until neither
+    // path's floor has improved for ten straight rounds (bounded at
+    // sixty, ~80ms): on a shared host this outlasts transient load
+    // where a fixed round count gets unlucky.
+    let mut factored_ms = f64::INFINITY;
+    let mut lattice_ms = f64::INFINITY;
+    let mut stale = 0;
+    for _ in 0..60 {
+        let l = round_ms(1, &mut lattice_round);
+        let f = round_ms(1, &mut factored_round);
+        stale = if l < lattice_ms || f < factored_ms { 0 } else { stale + 1 };
+        lattice_ms = lattice_ms.min(l);
+        factored_ms = factored_ms.min(f);
+        if stale >= 10 {
+            break;
+        }
+    }
+    let points_per_sec_lattice = reference.len() as f64 / (lattice_ms / 1e3);
+    let points_per_sec_factored = reference.len() as f64 / (factored_ms / 1e3);
+    let lattice_speedup = factored_ms / lattice_ms;
+    println!(
+        "{:<44} {:>10.0} points/s  (factored {:.0} points/s, {:.2}x)",
+        "run_report_lattice (1536-point sweep)",
+        points_per_sec_lattice,
+        points_per_sec_factored,
+        lattice_speedup
+    );
+
+    // --- branch-and-bound screening throughput ---
+    // A screen prices the grid, not the points: sub-grids whose best
+    // possible (TBT, cost) corner is strictly dominated by the running
+    // Pareto front are skipped unpriced. The oversized cache/HBM axes
+    // make most of this grid dominated, so the effective rate — nominal
+    // lattice points per second of wall time — counts points the screen
+    // proved it never had to materialize.
+    let screen_spec = SweepSpec {
+        systolic_dims: vec![16, 32],
+        lanes_per_core: vec![2, 4, 8],
+        l1_kib: vec![192, 512, 1024],
+        l2_mib: vec![40, 80, 160, 320, 640, 1280],
+        hbm_tb_s: vec![2.0, 2.4, 2.8, 3.2, 3.6, 4.0],
+        device_bw_gb_s: vec![600.0, 900.0],
+    };
+    let runner = DseRunner::new(ModelConfig::llama3_8b(), WorkloadConfig::paper_default());
+    let opts = LatticeScreenOptions::default();
+    let mut screen_round = || runner.screen_lattice(&screen_spec, 2400.0, &opts);
+    let warm_screen = screen_round();
+    let nominal = warm_screen.stats.nominal_points;
+    assert_eq!(nominal, screen_spec.cardinality() as u64, "screen covers the whole lattice");
+    assert!(warm_screen.stats.pruned_points > 0, "the oversized axes must prune");
+    assert!(!warm_screen.front.is_empty(), "the screen must produce a front");
+    let mut screen_ms = f64::INFINITY;
+    for _ in 0..5 {
+        screen_ms = screen_ms.min(round_ms(1, &mut screen_round));
+    }
+    let screen_effective_pps = nominal as f64 / (screen_ms / 1e3);
+    let screen_prune_ratio = warm_screen.stats.pruned_points as f64 / nominal as f64;
+    println!(
+        "{:<44} {:>10.0} points/s  ({} nominal, {:.0}% pruned unpriced)",
+        "screen_lattice (pruned, effective rate)",
+        screen_effective_pps,
+        nominal,
+        screen_prune_ratio * 100.0
+    );
+
+    assert!(
+        lattice_speedup >= 5.0,
+        "lattice sweep must beat the factored pipeline by >= 5x, got {lattice_speedup:.2}x \
+         (lattice {lattice_ms:.1} ms vs factored {factored_ms:.1} ms)"
+    );
+
+    write_bench(
+        "lattice",
+        vec![
+            ("points_per_sec_lattice", points_per_sec_lattice),
+            ("points_per_sec_factored", points_per_sec_factored),
+            ("lattice_speedup", lattice_speedup),
+            ("lattice_cold_ms", lattice_cold_ms),
+            ("screen_nominal_points", nominal as f64),
+            ("screen_effective_points_per_sec", screen_effective_pps),
+            ("screen_prune_ratio", screen_prune_ratio),
+        ],
+    );
+}
+
+#[test]
+#[ignore = "smoke benchmark; run via scripts/bench-smoke.sh"]
 fn bench_whatif() {
     use acs_dse::EvaluatedDesign;
     use acs_whatif::{RuleGrid, WhatIfEngine};

@@ -1,0 +1,103 @@
+//! Golden equivalence between the lattice sweep evaluator and the
+//! factored pipeline it vectorises, expressed as differential cases.
+//!
+//! The lattice engine prices each cost leg as a structure-of-arrays
+//! vector over only the axes in its dependency key and combines per
+//! point with a precompiled program. In exact mode that is a pure
+//! evaluation-order change: it must not move a single bit of any
+//! result, successes and failure ledger alike. The comparison machinery
+//! lives in `acs_verify::differential`; these tests only declare
+//! *which* arms over *which* sweep.
+
+use acs_dse::{inject_faults, SweepSpec};
+use acs_hw::{DataType, DeviceConfig};
+use acs_verify::{design_digest, DiffCase, Differential, EvalPath, Transform};
+
+#[test]
+fn lattice_sweep_is_bit_identical_to_factored_with_faults() {
+    // 512 points, with a fault injected every 7th: the lattice pipeline
+    // must reproduce the factored pipeline's successes bit-for-bit AND
+    // fail at exactly the same indices with the same error kinds — a
+    // faulted candidate demotes itself off the fused fast path and is
+    // evaluated point-wise, so the ledger entry is the factored one.
+    let mut candidates = SweepSpec::table3_fig6().candidates(4800.0);
+    assert!(candidates.len() >= 200, "need a representative sweep, got {}", candidates.len());
+    let injected = inject_faults(&mut candidates, 7);
+    assert!(!injected.is_empty());
+
+    let case = DiffCase::paths("lattice-vs-factored-faulted", EvalPath::Lattice, EvalPath::Factored);
+    let report = Differential::paper_default().run(&candidates, &case);
+    assert_eq!(report.points, candidates.len());
+    assert!(report.ok > 0, "the sweep must produce successes");
+    assert!(report.failed > 0, "the injected faults must reach the ledger");
+    report.assert_clean();
+}
+
+#[test]
+fn lattice_sweep_is_bit_identical_across_mixed_dtypes() {
+    // A sweep whose devices alternate int8 / fp16 / fp32 exercises one
+    // fused-table key set and one combine program per datatype in a
+    // single run: dtype sits in every leg key and selects the program.
+    // Datatype lives on the DeviceConfig rather than the swept candidate
+    // axes, so this comparison runs config-by-config.
+    let base = SweepSpec::table3_fig6().configs(4800.0);
+    let configs: Vec<DeviceConfig> = base
+        .iter()
+        .take(48)
+        .enumerate()
+        .map(|(i, cfg)| {
+            let dtype = match i % 3 {
+                0 => DataType::Int8,
+                1 => DataType::Fp16,
+                _ => DataType::Fp32,
+            };
+            cfg.to_builder().datatype(dtype).build().expect("datatype swap keeps configs valid")
+        })
+        .collect();
+    assert_eq!(configs.len(), 48);
+
+    let r = acs_dse::DseRunner::new(
+        acs_llm::ModelConfig::llama3_8b(),
+        acs_llm::WorkloadConfig::paper_default(),
+    );
+    let lattice = r.run_configs_lattice(&configs);
+    let factored = r.run_configs_factored(&configs);
+    for ((cfg, l), f) in configs.iter().zip(&lattice).zip(&factored) {
+        let l = l.as_ref().expect("healthy configs evaluate on the lattice path");
+        let f = f.as_ref().expect("healthy configs evaluate on the factored path");
+        assert_eq!(
+            design_digest(l).expect("designs serialise"),
+            design_digest(f).expect("designs serialise"),
+            "dtype {:?} diverged between lattice and factored pipelines",
+            cfg.datatype()
+        );
+    }
+}
+
+#[test]
+fn candidate_permutation_does_not_move_lattice_results() {
+    // The same candidates in any order must produce the same per-design
+    // results: fused-table keys derive from parameter values, not
+    // lattice positions, so a shuffled sweep hits the same entries. The
+    // differential runner switches to set discipline automatically for
+    // reordering transforms — (name, digest) multisets, bit for bit.
+    let spec = SweepSpec {
+        systolic_dims: vec![16, 32],
+        lanes_per_core: vec![2, 4, 8],
+        l1_kib: vec![192, 512, 1024],
+        l2_mib: vec![32, 64],
+        hbm_tb_s: vec![2.0, 2.8, 3.2],
+        device_bw_gb_s: vec![500.0, 900.0],
+    };
+    let candidates = spec.candidates(4800.0);
+    assert_eq!(candidates.len(), spec.cardinality());
+
+    let case = DiffCase::metamorphic(
+        "lattice-shuffled",
+        EvalPath::Lattice,
+        Transform::PermuteOrder { seed: 0xACE5 },
+    );
+    let report = Differential::paper_default().run(&candidates, &case);
+    assert_eq!(report.points, candidates.len());
+    report.assert_clean();
+}

@@ -1,8 +1,11 @@
 //! Acceptance proof for the what-if engine's fleet economics: one
-//! `POST /v1/whatif` pays to price the 4096-design synthetic fleet, and
-//! every later request against the same server state re-prices it
-//! entirely from the runner's persistent factored leg tables — zero new
-//! `dse.factored.leg_miss`, a full complement of `dse.factored.leg_hit`.
+//! `POST /v1/whatif` pays to price the 4096-design synthetic fleet
+//! through the lattice sweep engine — leg-table traffic that scales
+//! with the fleet's *signature* counts, not its point count — and every
+//! later request against the same server state re-prices it entirely
+//! from the runner's persistent lattice tables (probe caches, fused
+//! vectors, evaluated cells): the factored leg counters do not move at
+//! all.
 //!
 //! Shares the process-global telemetry registry, so this file keeps to
 //! a single `#[test]` (sibling tests in one binary would interleave
@@ -13,8 +16,10 @@ use acs_serve::{handle, AppState};
 
 /// Points in [`acs_dse::SweepSpec::synthetic_fleet`].
 const FLEET: u64 = 4096;
-/// Leg-table lookups per evaluated point: three legs (compute, memory,
-/// collective) for each of the two phases (prefill, decode).
+/// Leg-table lookups per evaluated point in the per-point factored
+/// path: three legs (compute, memory, collective) for each of the two
+/// phases (prefill, decode). The lattice engine's whole claim is that
+/// its traffic stays far below this.
 const LOOKUPS_PER_POINT: u64 = 6;
 
 fn whatif(state: &AppState, body: &str) -> (u16, String) {
@@ -32,44 +37,42 @@ fn leg_counters(reg: &acs_telemetry::Registry) -> (u64, u64) {
 }
 
 #[test]
-fn second_whatif_request_reprices_the_fleet_from_leg_tables() {
+fn second_whatif_request_reprices_the_fleet_from_lattice_tables() {
     let reg = acs_telemetry::global();
     reg.enable();
     reg.reset();
     let state = AppState::new(64);
 
-    // First request prices the fleet: every point does its six lookups,
-    // and the lattice structure means most of them already hit legs a
-    // sibling point installed — but some must miss to fill the tables.
+    // First request prices the fleet. The lattice engine probes and
+    // prices one representative point per signature instead of walking
+    // every point through the leg tables, so total leg traffic must
+    // come in far under the factored path's six lookups per point —
+    // while still paying at least one miss to fill the tables.
     let (status, body) = whatif(&state, "{}");
     assert_eq!(status, 200, "baseline what-if failed: {body}");
     assert!(body.contains("\"fleet_designs\":4096"), "fleet missing from summary: {body}");
     let (hits_1, misses_1) = leg_counters(reg);
-    assert_eq!(
-        hits_1 + misses_1,
-        FLEET * LOOKUPS_PER_POINT,
-        "six leg lookups per fleet point on the cold run"
-    );
     assert!(misses_1 > 0, "a cold run must price at least one leg");
     assert!(
-        misses_1 < FLEET * LOOKUPS_PER_POINT,
-        "the sweep lattice should share legs even within one run"
+        hits_1 + misses_1 < FLEET * LOOKUPS_PER_POINT / 8,
+        "lattice leg traffic must scale with signatures, not points \
+         (saw {} lookups for {} points)",
+        hits_1 + misses_1,
+        FLEET,
     );
 
     // A different grid misses the response cache, so the handler runs
-    // the fleet sweep again — and finds every leg already priced. This
-    // is the interactive what-if contract: rule iteration costs
-    // classification, not simulation.
+    // the fleet sweep again — and finds every probe, fused vector, and
+    // evaluated cell already in the runner's persistent lattice tables.
+    // This is the interactive what-if contract: rule iteration costs
+    // classification, not simulation — the leg tables are not even
+    // consulted.
     let (status, body) =
         whatif(&state, "{\"grid\":{\"tpp_license\":[1600,2400],\"mem_bw_license\":[0,800]}}");
     assert_eq!(status, 200, "grid what-if failed: {body}");
     let (hits_2, misses_2) = leg_counters(reg);
     assert_eq!(misses_2, misses_1, "a warm fleet sweep must not price any new legs");
-    assert_eq!(
-        hits_2 - hits_1,
-        FLEET * LOOKUPS_PER_POINT,
-        "the warm sweep should have re-read every leg from the tables"
-    );
+    assert_eq!(hits_2, hits_1, "a warm fleet sweep must re-read cells, not legs");
 
     // And an identical repeat never reaches the runner at all: the
     // response cache replays the stream, leg counters stay frozen.
