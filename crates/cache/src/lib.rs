@@ -96,6 +96,51 @@ impl CacheKey {
     }
 }
 
+/// A worker's view of the shard space: worker `worker` of `of` owns the
+/// shards `{i : i % of == worker}`.
+///
+/// The event-loop serve tier hashes connections to workers by digest, so
+/// each worker's traffic lands on a private slice of every cache and the
+/// shard mutexes are never contended across workers. `None` (no lane)
+/// keeps the historical digest-low-bits placement used by the worker
+/// pool and the sweep engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLane {
+    worker: usize,
+    of: usize,
+}
+
+impl CacheLane {
+    /// Lane for worker `worker` of an `of`-worker tier. `of` is clamped
+    /// to `1..=SHARD_COUNT` and `worker` is reduced modulo the clamped
+    /// count, so any (worker, of) pair yields a valid non-empty slice.
+    #[must_use]
+    pub fn new(worker: usize, of: usize) -> Self {
+        let of = of.clamp(1, SHARD_COUNT);
+        CacheLane { worker: worker % of, of }
+    }
+
+    /// The worker index this lane belongs to (already reduced mod `of`).
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// How many shards this lane owns.
+    #[must_use]
+    pub fn owned_shards(&self) -> usize {
+        (SHARD_COUNT - 1 - self.worker) / self.of + 1
+    }
+
+    /// Map a digest onto one of this lane's owned shards. The low digest
+    /// bits already routed the connection to the worker, so shard choice
+    /// within the slice uses the high bits for independent spread.
+    #[must_use]
+    pub fn shard_index(&self, digest: u64) -> usize {
+        self.worker + self.of * ((digest >> 32) as usize % self.owned_shards())
+    }
+}
+
 /// Monotonic cache counters (since construction).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -187,8 +232,15 @@ impl<V: Clone> ShardedCache<V> {
     /// Look up a key, refreshing its LRU stamp on a hit.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<V> {
+        self.get_in(key, None)
+    }
+
+    /// [`ShardedCache::get`] restricted to a lane's shard slice (or the
+    /// full digest-low-bits placement when `lane` is `None`).
+    #[must_use]
+    pub fn get_in(&self, key: &CacheKey, lane: Option<CacheLane>) -> Option<V> {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.lock(self.shard_for(key));
+        let mut shard = self.lock(self.shard_in(key, lane));
         match shard.get_mut(key.canonical()) {
             Some(entry) => {
                 entry.stamp = stamp;
@@ -202,11 +254,26 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
+    /// Stats-neutral lookup: no hit/miss accounting and no LRU refresh.
+    /// The admission controller uses this to classify a queued request as
+    /// cheap (cache-resident) or expensive without skewing the counters
+    /// that `/v1/metrics` and the cache-behavior tests observe.
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey, lane: Option<CacheLane>) -> Option<V> {
+        let shard = self.lock(self.shard_in(key, lane));
+        shard.get(key.canonical()).map(|entry| entry.value.clone())
+    }
+
     /// Store a value, evicting the shard's least-recently-used entry when
     /// the shard is full. Replacing an existing key never evicts.
     pub fn insert(&self, key: &CacheKey, value: V) {
+        self.insert_in(key, value, None);
+    }
+
+    /// [`ShardedCache::insert`] restricted to a lane's shard slice.
+    pub fn insert_in(&self, key: &CacheKey, value: V, lane: Option<CacheLane>) {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.lock(self.shard_for(key));
+        let mut shard = self.lock(self.shard_in(key, lane));
         if !shard.contains_key(key.canonical()) && shard.len() >= self.per_shard_capacity {
             // O(shard len) scan: shards are small (capacity / 16), and
             // eviction only runs once the shard is full.
@@ -239,11 +306,26 @@ impl<V: Clone> ShardedCache<V> {
         key: &CacheKey,
         f: impl FnOnce() -> Result<V, E>,
     ) -> Result<(V, bool), E> {
-        if let Some(v) = self.get(key) {
+        self.get_or_try_insert_in(key, None, f)
+    }
+
+    /// [`ShardedCache::get_or_try_insert`] restricted to a lane's shard
+    /// slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error without caching anything.
+    pub fn get_or_try_insert_in<E>(
+        &self,
+        key: &CacheKey,
+        lane: Option<CacheLane>,
+        f: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        if let Some(v) = self.get_in(key, lane) {
             return Ok((v, true));
         }
         let value = f()?;
-        self.insert(key, value.clone());
+        self.insert_in(key, value.clone(), lane);
         Ok((value, false))
     }
 
@@ -265,8 +347,16 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<HashMap<String, Entry<V>>> {
-        &self.shards[(key.digest() as usize) & (SHARD_COUNT - 1)]
+    fn shard_in(
+        &self,
+        key: &CacheKey,
+        lane: Option<CacheLane>,
+    ) -> &Mutex<HashMap<String, Entry<V>>> {
+        let index = match lane {
+            Some(lane) => lane.shard_index(key.digest()),
+            None => (key.digest() as usize) & (SHARD_COUNT - 1),
+        };
+        &self.shards[index]
     }
 
     /// Poison-tolerant lock: a panicked writer cannot corrupt a map of
@@ -429,6 +519,78 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn lanes_partition_the_shard_space() {
+        // Every shard is owned by exactly one worker, for every tier size.
+        for of in 1..=SHARD_COUNT {
+            let mut owned = vec![0usize; SHARD_COUNT];
+            for worker in 0..of {
+                let lane = CacheLane::new(worker, of);
+                for high in 0..64u64 {
+                    let digest = high << 32 | worker as u64;
+                    let shard = lane.shard_index(digest);
+                    assert_eq!(shard % of, worker, "of={of} worker={worker}");
+                    owned[shard] += 1;
+                }
+            }
+            assert!(owned.iter().all(|&n| n > 0), "of={of}: unowned shard");
+        }
+    }
+
+    #[test]
+    fn lane_parameters_are_clamped_to_valid_slices() {
+        // Oversized tiers and out-of-range workers still yield usable
+        // lanes: worker reduces mod the clamped tier size.
+        let lane = CacheLane::new(37, 5 * SHARD_COUNT);
+        assert_eq!(lane.worker(), 37 % SHARD_COUNT);
+        assert!(lane.owned_shards() >= 1);
+        for digest in [0, u64::MAX, 1 << 53] {
+            assert!(lane.shard_index(digest) < SHARD_COUNT);
+        }
+        let degenerate = CacheLane::new(3, 0);
+        assert_eq!((degenerate.worker(), degenerate.owned_shards()), (0, SHARD_COUNT));
+    }
+
+    #[test]
+    fn lane_scoped_operations_round_trip_and_count() {
+        let cache: ShardedCache<u64> = ShardedCache::new(256);
+        let lane = Some(CacheLane::new(2, 4));
+        let k = key(11);
+        assert_eq!(cache.get_in(&k, lane), None);
+        cache.insert_in(&k, 42, lane);
+        assert_eq!(cache.get_in(&k, lane), Some(42));
+        let (v, hit) = cache
+            .get_or_try_insert_in(&k, lane, || Ok::<_, std::convert::Infallible>(0))
+            .unwrap();
+        assert_eq!((v, hit), (42, true));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 1));
+    }
+
+    #[test]
+    fn peek_is_stats_neutral_and_does_not_refresh_lru() {
+        let cache: ShardedCache<u64> = ShardedCache::new(64);
+        let k = key(3);
+        assert_eq!(cache.peek(&k, None), None);
+        cache.insert(&k, 9);
+        assert_eq!(cache.peek(&k, None), Some(9));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn distinct_lanes_are_disjoint_keyspaces() {
+        // An entry inserted through worker 0's lane is invisible through
+        // worker 1's: shard affinity replaces cross-worker sharing.
+        let cache: ShardedCache<u64> = ShardedCache::new(256);
+        let a = Some(CacheLane::new(0, 2));
+        let b = Some(CacheLane::new(1, 2));
+        let k = key(5);
+        cache.insert_in(&k, 7, a);
+        assert_eq!(cache.peek(&k, a), Some(7));
+        assert_eq!(cache.peek(&k, b), None);
     }
 
     #[test]

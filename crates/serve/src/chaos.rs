@@ -156,6 +156,19 @@ impl<S> FaultStream<S> {
         self.injected
     }
 
+    /// Borrow the wrapped stream (the event loop needs the raw fd for
+    /// epoll registration; the fault schedule stays in force for I/O).
+    #[must_use]
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutably borrow the wrapped stream.
+    #[must_use]
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     fn note_fault(&mut self) {
         self.injected += 1;
         if let Some(tally) = &self.tally {

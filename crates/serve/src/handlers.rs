@@ -11,7 +11,7 @@
 //! mean the same thing share one cache entry.
 
 use crate::http::{percent_decode, HttpRequest};
-use acs_cache::{CacheKey, CacheStats, ShardedCache};
+use acs_cache::{CacheKey, CacheLane, CacheStats, ShardedCache};
 use acs_devices::{DeviceRecord, GpuDatabase};
 use acs_dse::{DseRunner, SweepSpec};
 use acs_errors::json::{object, parse, Value};
@@ -75,8 +75,11 @@ pub struct AppState {
     whatif_requests: Arc<Counter>,
     error_responses: Arc<Counter>,
     shed_responses: Arc<Counter>,
+    shed_expensive: Arc<Counter>,
+    raw_hits: Arc<Counter>,
     deadline_closed: Arc<Counter>,
     chaos_faults: Arc<Counter>,
+    reactor_events: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     latency: [Arc<Histogram>; 6],
     started: Instant,
@@ -114,8 +117,11 @@ impl AppState {
             whatif_requests: telemetry.counter("serve.requests.whatif"),
             error_responses: telemetry.counter("serve.requests.errors"),
             shed_responses: telemetry.counter("serve.queue.shed"),
+            shed_expensive: telemetry.counter("serve.queue.shed_expensive"),
+            raw_hits: telemetry.counter("serve.cache.raw.hits"),
             deadline_closed: telemetry.counter("serve.conn.deadline_closed"),
             chaos_faults: telemetry.counter("serve.conn.chaos_faults"),
+            reactor_events: telemetry.counter("serve.reactor.events"),
             queue_depth: telemetry.gauge("serve.queue.depth"),
             latency,
             telemetry,
@@ -177,6 +183,46 @@ impl AppState {
         self.shed_responses.add(1);
     }
 
+    /// Count one priority shed: an expensive request (unique screen /
+    /// simulate / what-if work) turned away with `Retry-After` while
+    /// cheap cached traffic kept flowing. Also counted in the plain
+    /// shed total so `queue.shed` stays the overall figure.
+    pub fn record_shed_expensive(&self) {
+        self.shed_responses.add(1);
+        self.shed_expensive.add(1);
+    }
+
+    /// Count one raw front-cache hit: a byte-identical repeated request
+    /// answered from a worker-private response buffer without touching
+    /// the semantic caches. The endpoint's request counter and latency
+    /// histogram record it like any other request.
+    pub fn record_raw_hit(&self, endpoint: usize, micros: f64) {
+        match endpoint {
+            0 => self.screen_requests.add(1),
+            1 => self.simulate_requests.add(1),
+            2 => self.device_requests.add(1),
+            3 => self.metrics_requests.add(1),
+            4 => self.whatif_requests.add(1),
+            _ => {}
+        }
+        if let Some(h) = self.latency.get(endpoint) {
+            h.record(micros);
+        }
+        self.raw_hits.add(1);
+    }
+
+    /// Total raw front-cache hits across all event-loop workers.
+    #[must_use]
+    pub fn raw_hit_count(&self) -> u64 {
+        self.raw_hits.get()
+    }
+
+    /// Total priority (expensive-class) sheds.
+    #[must_use]
+    pub fn shed_expensive_count(&self) -> u64 {
+        self.shed_expensive.get()
+    }
+
     /// Count one connection closed because it exhausted its per-request
     /// read deadline (the slow-loris defence shedding a worker hog).
     pub fn record_deadline_close(&self) {
@@ -187,6 +233,12 @@ impl AppState {
     /// the server was started with a chaos seed).
     pub fn record_chaos(&self, n: u64) {
         self.chaos_faults.add(n);
+    }
+
+    /// Count `n` readiness events delivered by one reactor poll (zero
+    /// on the worker-pool tier).
+    pub fn record_reactor_events(&self, n: u64) {
+        self.reactor_events.add(n);
     }
 
     /// Mirror the sharded caches' hit/miss/eviction counters into the
@@ -238,31 +290,49 @@ fn err(error: &AcsError) -> (u16, String) {
     (status_for(error), error_body(error))
 }
 
-/// Route one request. Always returns a complete `(status, JSON body)`
-/// pair; this function never panics on untrusted input.
-pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
-    let t0 = Instant::now();
-    let path = request.path.split('?').next().unwrap_or("");
-    let endpoint = match path {
+/// [`ENDPOINTS`] index for a (already query-stripped) request path.
+pub(crate) fn endpoint_index(path: &str) -> usize {
+    match path {
         "/v1/screen" => 0,
         "/v1/simulate" => 1,
         p if p == "/v1/devices" || p.starts_with("/v1/devices/") => 2,
         "/v1/metrics" => 3,
         "/v1/whatif" => WHATIF_ENDPOINT,
         _ => 5,
-    };
+    }
+}
+
+/// Route one request. Always returns a complete `(status, JSON body)`
+/// pair; this function never panics on untrusted input.
+pub fn handle(state: &AppState, request: &HttpRequest) -> (u16, String) {
+    handle_lane(state, request, None)
+}
+
+/// [`handle`] pinned to one worker's cache lane: every response-cache
+/// access stays inside the shards that worker owns, so event-loop
+/// workers never contend on shard mutexes. `lane: None` (the pool path,
+/// and every pre-lane caller) keeps the historical whole-cache
+/// placement.
+pub fn handle_lane(
+    state: &AppState,
+    request: &HttpRequest,
+    lane: Option<CacheLane>,
+) -> (u16, String) {
+    let t0 = Instant::now();
+    let path = request.path.split('?').next().unwrap_or("");
+    let endpoint = endpoint_index(path);
     let outcome: Result<String, (u16, String)> = match (request.method.as_str(), path) {
         ("POST", "/v1/screen") => {
             state.screen_requests.add(1);
-            screen(state, &request.body).map_err(|e| err(&e))
+            screen(state, &request.body, lane).map_err(|e| err(&e))
         }
         ("POST", "/v1/simulate") => {
             state.simulate_requests.add(1);
-            simulate(state, &request.body).map_err(|e| err(&e))
+            simulate(state, &request.body, lane).map_err(|e| err(&e))
         }
         ("POST", "/v1/whatif") => {
             state.whatif_requests.add(1);
-            whatif(state, &request.body).map_err(|e| err(&e))
+            whatif(state, &request.body, lane).map_err(|e| err(&e))
         }
         ("GET", "/v1/devices") => {
             state.device_requests.add(1);
@@ -618,7 +688,11 @@ fn report_values(report: &acs_dse::SweepReport) -> Result<(Vec<Value>, Vec<Value
 /// reuses every cost leg any earlier grid priced under the same
 /// scenario, because each runner's leg tables persist in the
 /// [`AppState`].
-fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
+fn screen_grid(
+    state: &AppState,
+    spec: &Value,
+    lane: Option<CacheLane>,
+) -> Result<String, AcsError> {
     let (sweep, tpp_target, scenarios) = parse_grid(&state.scenarios, spec)?;
     let mut key_members = vec![
         ("v", Value::String("screen-grid-v1".to_owned())),
@@ -636,7 +710,7 @@ fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
         ));
     }
     let key = CacheKey::from_value(&object(key_members));
-    let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
+    let (response, _) = state.screen_cache.get_or_try_insert_in(&key, lane, || {
         if scenarios.is_empty() {
             let report = state.dse.run_lattice(&sweep, tpp_target);
             let (designs, failures) = report_values(&report)?;
@@ -700,7 +774,7 @@ fn screen_grid(state: &AppState, spec: &Value) -> Result<String, AcsError> {
 /// `POST /v1/screen` — classify a device (by database name) or a custom
 /// accelerator config under each ACR vintage, or evaluate a `grid` of
 /// swept configurations with the factored DSE evaluator.
-fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
+fn screen(state: &AppState, body: &str, lane: Option<CacheLane>) -> Result<String, AcsError> {
     let request = parse(body)?;
     if let Some(grid) = request.get("grid") {
         if request.get("device").is_some() || request.get("config").is_some() {
@@ -708,7 +782,7 @@ fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
                 reason: "supply \"grid\" alone, without \"device\" or \"config\"".to_owned(),
             });
         }
-        return screen_grid(state, grid);
+        return screen_grid(state, grid, lane);
     }
     let hbm_area = match request.get("hbm_package_area_mm2") {
         None => None,
@@ -760,7 +834,7 @@ fn screen(state: &AppState, body: &str) -> Result<String, AcsError> {
         ("subject", identity),
         ("hbm_area", hbm_area.map_or(Value::Null, Value::Number)),
     ]));
-    let (response, _) = state.screen_cache.get_or_try_insert(&key, || {
+    let (response, _) = state.screen_cache.get_or_try_insert_in(&key, lane, || {
         let hbm = hbm_area.map(|area| (name.as_str(), mem_bw, area));
         Ok::<_, AcsError>(
             object(vec![
@@ -801,7 +875,12 @@ fn whatif_fingerprint(grid: &RuleGrid) -> Value {
 /// `sink` the moment the engine completes it (the streaming transport's
 /// hook); on a hit the cached lines replay through the same sink. A
 /// sink error aborts the run without caching anything.
-fn whatif_lines<F>(state: &AppState, body: &str, mut sink: F) -> Result<(), AcsError>
+fn whatif_lines<F>(
+    state: &AppState,
+    body: &str,
+    lane: Option<CacheLane>,
+    mut sink: F,
+) -> Result<(), AcsError>
 where
     F: FnMut(&str) -> Result<(), AcsError>,
 {
@@ -832,7 +911,7 @@ where
         key_members.push(("scenario", Value::String(s.canonical())));
     }
     let key = CacheKey::from_value(&object(key_members));
-    let (text, hit) = state.whatif_cache.get_or_try_insert(&key, || {
+    let (text, hit) = state.whatif_cache.get_or_try_insert_in(&key, lane, || {
         // The fleet prices through a persistent lattice runner — the
         // scenario's when one was named, the state's dense default
         // otherwise — so its cost legs and fused vectors persist across
@@ -883,9 +962,9 @@ where
 /// collected into one JSON document (`{"summary":..,"records":[..]}`).
 /// The connection layer streams the same lines incrementally instead
 /// ([`handle_whatif_streaming`]).
-fn whatif(state: &AppState, body: &str) -> Result<String, AcsError> {
+fn whatif(state: &AppState, body: &str, lane: Option<CacheLane>) -> Result<String, AcsError> {
     let mut lines: Vec<String> = Vec::new();
-    whatif_lines(state, body, |line| {
+    whatif_lines(state, body, lane, |line| {
         lines.push(line.to_owned());
         Ok(())
     })?;
@@ -925,10 +1004,22 @@ pub fn handle_whatif_streaming<W: Write>(
     stream: &mut W,
     keep_alive: bool,
 ) -> Result<bool, (u16, String)> {
+    handle_whatif_streaming_lane(state, request, stream, keep_alive, None)
+}
+
+/// [`handle_whatif_streaming`] pinned to one worker's cache lane (the
+/// event-loop entry point; the pool calls the unlaned wrapper).
+pub fn handle_whatif_streaming_lane<W: Write>(
+    state: &AppState,
+    request: &HttpRequest,
+    stream: &mut W,
+    keep_alive: bool,
+    lane: Option<CacheLane>,
+) -> Result<bool, (u16, String)> {
     let t0 = Instant::now();
     state.whatif_requests.add(1);
     let mut writer = crate::http::ChunkedWriter::new(stream, keep_alive);
-    let outcome = whatif_lines(state, &request.body, |line| {
+    let outcome = whatif_lines(state, &request.body, lane, |line| {
         let mut chunk = String::with_capacity(line.len() + 1);
         chunk.push_str(line);
         chunk.push('\n');
@@ -1104,7 +1195,7 @@ fn parse_simulate(body: &str) -> Result<SimulateRequest, AcsError> {
 
 /// `POST /v1/simulate` — per-phase latency plus serving-level percentiles
 /// for one accelerator configuration.
-fn simulate(state: &AppState, body: &str) -> Result<String, AcsError> {
+fn simulate(state: &AppState, body: &str, lane: Option<CacheLane>) -> Result<String, AcsError> {
     let req = parse_simulate(body)?;
     // One plan pair serves both the cache key (via its digests: the
     // model, workload, and node shape are content-addressed) and, on a
@@ -1136,7 +1227,7 @@ fn simulate(state: &AppState, body: &str) -> Result<String, AcsError> {
         ),
         ("max_batch", u(req.max_batch as u64)),
     ]));
-    let (response, _) = state.simulate_cache.get_or_try_insert(&key, || {
+    let (response, _) = state.simulate_cache.get_or_try_insert_in(&key, lane, || {
         let system = acs_hw::SystemConfig::new(req.config.clone(), req.device_count)?;
         let sim = Simulator::new(system);
         let ttft_s = sim.try_ttft_planned(&plans.prefill)?;
@@ -1285,6 +1376,7 @@ fn metrics(state: &AppState) -> String {
             object(vec![
                 ("depth", Value::Number(state.queue_depth.get() as f64)),
                 ("shed", u(&state.shed_responses)),
+                ("shed_expensive", u(&state.shed_expensive)),
             ]),
         ),
         (
@@ -1294,6 +1386,7 @@ fn metrics(state: &AppState) -> String {
                 ("chaos_faults", u(&state.chaos_faults)),
             ]),
         ),
+        ("reactor", object(vec![("events", u(&state.reactor_events))])),
         (
             "caches",
             object(vec![
@@ -1304,6 +1397,10 @@ fn metrics(state: &AppState) -> String {
                 ),
                 ("sim_steps", stats_value(state.step_cache.stats(), state.step_cache.len())),
                 ("whatif", stats_value(state.whatif_cache.stats(), state.whatif_cache.len())),
+                // The event-loop workers' private raw response buffers:
+                // byte-identical repeats short-circuit here before the
+                // semantic caches are consulted.
+                ("raw", object(vec![("hits", u(&state.raw_hits))])),
             ]),
         ),
     ])

@@ -155,6 +155,134 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<(HttpRequest, bool), Ac
     Ok((HttpRequest { method, path, body }, keep_alive))
 }
 
+/// Result of incrementally parsing one request from a byte buffer
+/// ([`parse_request_bytes`]).
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request; read more bytes
+    /// and try again.
+    NeedMore,
+    /// One complete request occupying the first `consumed` bytes of the
+    /// buffer.
+    Complete {
+        /// The framed request.
+        request: HttpRequest,
+        /// Bytes of the buffer this request consumed (drain before the
+        /// next parse).
+        consumed: usize,
+        /// Whether the client wants the connection kept open afterwards.
+        keep_alive: bool,
+    },
+    /// The buffer prefix can never become a valid request.
+    Invalid(AcsError),
+}
+
+/// Pull one complete line (up to `\n`, `\r` stripped) out of `buf`
+/// starting at `at`. `Ok(None)` means the line is still incomplete.
+/// Limits and error strings mirror [`read_line`] exactly so the two
+/// parsers reject identical wire bytes with identical messages.
+fn take_line(buf: &[u8], at: usize) -> Result<Option<(String, usize)>, AcsError> {
+    let rest = &buf[at..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            if nl > MAX_LINE_BYTES {
+                return Err(protocol("header line exceeds 8 KiB"));
+            }
+            let mut line = &rest[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            let text =
+                std::str::from_utf8(line).map_err(|_| protocol("header line is not UTF-8"))?;
+            Ok(Some((text.to_owned(), at + nl + 1)))
+        }
+        None if rest.len() > MAX_LINE_BYTES => Err(protocol("header line exceeds 8 KiB")),
+        None => Ok(None),
+    }
+}
+
+/// Incrementally frame one request from an in-memory buffer — the
+/// non-blocking twin of [`read_request`], driven by readiness events
+/// instead of blocking reads. The event-loop connection state machine
+/// appends whatever bytes the socket had, calls this, and either waits
+/// for more ([`Parsed::NeedMore`]), dispatches and drains
+/// ([`Parsed::Complete`]), or answers 400 and closes
+/// ([`Parsed::Invalid`]).
+///
+/// Framing rules, limits, and error strings are byte-identical to
+/// [`read_request`] so both serve tiers reject the same wire bytes with
+/// the same error envelopes (the `event_loop_vs_pool` differential arm
+/// and the fuzz harness both assert this).
+#[must_use]
+pub fn parse_request_bytes(buf: &[u8]) -> Parsed {
+    fn parse(buf: &[u8]) -> Result<Option<(HttpRequest, usize, bool)>, AcsError> {
+        let Some((request_line, mut at)) = take_line(buf, 0)? else {
+            return Ok(None);
+        };
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().ok_or_else(|| protocol("empty request line"))?.to_owned();
+        let path =
+            parts.next().ok_or_else(|| protocol("request line missing target"))?.to_owned();
+        let version = parts.next().ok_or_else(|| protocol("request line missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(protocol(format!("unsupported protocol version {version}")));
+        }
+        let keep_alive_default = version != "HTTP/1.0";
+
+        let mut content_length: Option<usize> = None;
+        let mut connection: Option<String> = None;
+        for i in 0.. {
+            if i >= MAX_HEADERS {
+                return Err(protocol("too many headers"));
+            }
+            let Some((line, next)) = take_line(buf, at)? else {
+                return Ok(None);
+            };
+            at = next;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(protocol(format!("malformed header line {line:?}")));
+            };
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                if content_length.is_some() {
+                    return Err(protocol("duplicate Content-Length header"));
+                }
+                let length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| protocol(format!("unparseable Content-Length {value:?}")))?;
+                if length > MAX_BODY_BYTES {
+                    return Err(protocol(format!(
+                        "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    )));
+                }
+                content_length = Some(length);
+            } else if name.trim().eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_owned());
+            }
+        }
+        let keep_alive = wants_keep_alive(connection.as_deref(), keep_alive_default);
+
+        let length = content_length.unwrap_or(0);
+        let Some(raw) = buf.get(at..at + length) else {
+            return Ok(None);
+        };
+        let body = std::str::from_utf8(raw)
+            .map_err(|_| protocol("request body is not UTF-8"))?
+            .to_owned();
+        Ok(Some((HttpRequest { method, path, body }, at + length, keep_alive)))
+    }
+    match parse(buf) {
+        Ok(None) => Parsed::NeedMore,
+        Ok(Some((request, consumed, keep_alive))) => {
+            Parsed::Complete { request, consumed, keep_alive }
+        }
+        Err(e) => Parsed::Invalid(e),
+    }
+}
+
 /// Canonical reason phrase for the statuses the service emits.
 #[must_use]
 pub fn reason_phrase(status: u16) -> &'static str {
@@ -208,6 +336,37 @@ pub fn write_response_with(
     stream.write_all(head.as_bytes()).map_err(io_err)?;
     stream.write_all(body.as_bytes()).map_err(io_err)?;
     stream.flush().map_err(io_err)
+}
+
+/// Serialise one JSON response into a byte vector — the event-loop tier
+/// appends this to a connection's output buffer instead of writing to
+/// the socket inline. The head layout matches [`write_response_with`]
+/// byte for byte (the differential arm compares tiers on the wire);
+/// `extra` headers (e.g. `Retry-After` on a priority shed) are spliced
+/// in before the blank line.
+#[must_use]
+pub fn response_bytes(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// An incremental `Transfer-Encoding: chunked` response writer: the
@@ -732,6 +891,130 @@ mod tests {
         assert_eq!(percent_decode("caf%C3%A9"), "café");
         // An escape decoding to invalid UTF-8 is replaced, not panicked on.
         assert_eq!(percent_decode("%ff"), "\u{fffd}");
+    }
+
+    /// Drive both parsers over the same wire bytes and demand identical
+    /// outcomes: same framing, same keep-alive verdict, same error text.
+    fn assert_parsers_agree(wire: &[u8]) {
+        let incremental = parse_request_bytes(wire);
+        let mut reader = std::io::BufReader::new(wire);
+        let blocking = read_request(&mut reader);
+        match (&incremental, &blocking) {
+            (Parsed::Complete { request, keep_alive, consumed }, Ok((r, k))) => {
+                assert_eq!(request, r);
+                assert_eq!(keep_alive, k);
+                assert!(*consumed <= wire.len());
+            }
+            (Parsed::Invalid(e), Err(b)) => {
+                assert_eq!(e.to_string(), b.to_string(), "wire {:?}", String::from_utf8_lossy(wire));
+            }
+            // A truncated buffer is NeedMore incrementally but EOF
+            // ("connection ended mid-...") for the blocking reader.
+            (Parsed::NeedMore, Err(b)) => {
+                assert!(
+                    b.to_string().contains("connection ended"),
+                    "blocking parser saw {b} where incremental wants more"
+                );
+            }
+            (incr, block) => {
+                panic!("parsers disagree on {:?}: {incr:?} vs {block:?}", String::from_utf8_lossy(wire));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_matches_the_blocking_reader() {
+        let wires: Vec<Vec<u8>> = vec![
+            b"GET /v1/devices HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            b"POST /v1/screen HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+            b"GET /v1/devices HTTP/1.0\r\n\r\n".to_vec(),
+            b"GET /v1/devices HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+            b"GET /v1/devices HTTP/1.0\r\nConnection: keep-alive\r\n\r\n".to_vec(),
+            b"\r\n".to_vec(),
+            b"GET\r\n\r\n".to_vec(),
+            b"GET /x\r\n\r\n".to_vec(),
+            b"GET /x SPDY/9\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nbogus header\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx".to_vec(),
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+            format!("GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1)
+                .into_bytes(),
+            [b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n".as_slice(), &[0xff, 0xfe]].concat(),
+            [b"GET /x HTTP/1.1\r\nX: ".as_slice(), &vec![b'a'; MAX_LINE_BYTES + 2], b"\r\n\r\n"]
+                .concat(),
+            // Truncations of a valid request: NeedMore at every prefix.
+            b"POST /v1/screen HTTP/1.1\r\nContent-Length: 2\r\n\r\n{".to_vec(),
+            b"POST /v1/screen HTTP/1.1\r\nContent-Le".to_vec(),
+            b"POST /v1/scr".to_vec(),
+        ];
+        for wire in &wires {
+            assert_parsers_agree(wire);
+        }
+        // Too-many-headers in both parsers.
+        let mut wire = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            wire.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert_parsers_agree(&wire);
+    }
+
+    #[test]
+    fn incremental_parser_frames_pipelined_requests_in_order() {
+        let wire = b"POST /v1/screen HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /v1/devices HTTP/1.1\r\n\r\nGET /v1/metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut at = 0usize;
+        let mut seen = Vec::new();
+        loop {
+            match parse_request_bytes(&wire[at..]) {
+                Parsed::Complete { request, consumed, keep_alive } => {
+                    at += consumed;
+                    seen.push((request.method, request.path, request.body, keep_alive));
+                }
+                Parsed::NeedMore => break,
+                Parsed::Invalid(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(at, wire.len(), "pipelined parse must consume the buffer exactly");
+        assert_eq!(
+            seen,
+            vec![
+                ("POST".into(), "/v1/screen".into(), "abc".into(), true),
+                ("GET".into(), "/v1/devices".into(), String::new(), true),
+                ("GET".into(), "/v1/metrics".into(), String::new(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_parser_survives_byte_at_a_time_arrival() {
+        // FaultStream tears reads into 1-3 byte fragments; the state
+        // machine re-parses the accumulated buffer after each. Every
+        // proper prefix must be NeedMore, the full buffer Complete.
+        let wire = b"POST /v1/simulate HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        for cut in 0..wire.len() {
+            match parse_request_bytes(&wire[..cut]) {
+                Parsed::NeedMore => {}
+                other => panic!("prefix {cut}: {other:?}"),
+            }
+        }
+        match parse_request_bytes(wire) {
+            Parsed::Complete { request, consumed, keep_alive } => {
+                assert_eq!(consumed, wire.len());
+                assert!(keep_alive);
+                assert_eq!(request.body, "{\"a\"");
+            }
+            other => panic!("full wire: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_bytes_match_the_streaming_writer() {
+        let mut wire = Vec::new();
+        write_response_with(&mut wire, 200, "{\"ok\":true}", true).unwrap();
+        assert_eq!(wire, response_bytes(200, "{\"ok\":true}", true, &[]));
+        let shed = response_bytes(503, "{}", true, &[("Retry-After", "1")]);
+        let text = String::from_utf8(shed).unwrap();
+        assert!(text.contains("\r\nRetry-After: 1\r\n\r\n{}"), "{text}");
     }
 
     #[test]

@@ -36,9 +36,11 @@
 //! ```
 
 pub mod chaos;
+mod event_loop;
 pub mod handlers;
 pub mod http;
 pub mod loadgen;
+pub mod reactor;
 
 pub use chaos::{FaultPlan, FaultStream, SocketControl};
 pub use handlers::{error_body, handle, status_for, AppState};
@@ -49,7 +51,7 @@ use acs_errors::AcsError;
 use std::collections::VecDeque;
 use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -83,6 +85,12 @@ pub struct ServeConfig {
     /// Capacity of each response cache (screen, simulate, sim-steps,
     /// whatif).
     pub cache_capacity: usize,
+    /// Serve through the non-blocking epoll event loop (shard workers
+    /// with private cache lanes, pipelined HTTP/1.1, priority
+    /// shedding). When false — or when the build target has no reactor
+    /// — the blocking worker pool serves instead, as the differential
+    /// baseline.
+    pub event_loop: bool,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +104,7 @@ impl Default for ServeConfig {
             keepalive_idle: Duration::from_secs(5),
             chaos_seed: None,
             cache_capacity: 4096,
+            event_loop: true,
         }
     }
 }
@@ -114,6 +123,12 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     stop: AtomicBool,
+    /// Workers currently parked in `available.wait` (incremented under
+    /// the queue lock before waiting). The accept loop only signals the
+    /// condvar when someone is actually parked, so a burst of accepts
+    /// against busy workers doesn't pay a futex wake per connection —
+    /// the mutex convoy that serialised the old hand-off.
+    waiting: AtomicUsize,
 }
 
 /// Requests a running server stop accepting and drain. Cloneable and
@@ -166,6 +181,7 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
                 stop: AtomicBool::new(false),
+                waiting: AtomicUsize::new(0),
             }),
             config,
             addr,
@@ -193,7 +209,22 @@ impl Server {
     /// Accept and serve until [`ServerHandle::shutdown`] is called.
     /// Blocks the calling thread; worker threads are joined before
     /// returning, so all in-flight requests finish.
+    ///
+    /// With `event_loop: true` (the default) requests go through the
+    /// non-blocking epoll tier; targets without a reactor — and any
+    /// event-loop setup failure — fall back to the blocking worker
+    /// pool, which also serves when the flag is off.
     pub fn run(self) {
+        if self.config.event_loop
+            && reactor::supported()
+            && event_loop::run(&self.listener, &self.state, &self.shared, &self.config).is_ok()
+        {
+            return;
+        }
+        self.run_pool();
+    }
+
+    fn run_pool(self) {
         let policy = ConnPolicy {
             io_timeout: self.config.io_timeout,
             request_deadline: self.config.request_deadline,
@@ -240,9 +271,16 @@ impl Server {
                 shed(stream);
             } else {
                 queue.push_back(stream);
-                self.state.record_queue_depth(queue.len());
+                let depth = queue.len();
                 drop(queue);
-                self.shared.available.notify_one();
+                // The gauge write happens outside the lock, and the
+                // condvar is only signalled when a worker is actually
+                // parked: busy workers re-check the queue themselves,
+                // so a burst of accepts doesn't stampede the futex.
+                self.state.record_queue_depth(depth);
+                if self.shared.waiting.load(Ordering::SeqCst) > 0 {
+                    self.shared.available.notify_one();
+                }
             }
         }
 
@@ -288,19 +326,30 @@ fn worker_loop(
     loop {
         let stream = {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
-            loop {
+            let popped = loop {
                 if let Some(stream) = queue.pop_front() {
-                    state.record_queue_depth(queue.len());
-                    break Some(stream);
+                    break Some((stream, queue.len()));
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     break None;
                 }
+                // Count this worker as parked *before* releasing the
+                // lock inside `wait`: the accept loop reads the counter
+                // after its push, so either it sees us parked and
+                // signals, or we see its connection on the re-check.
+                shared.waiting.fetch_add(1, Ordering::SeqCst);
                 queue = shared
                     .available
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
-            }
+                shared.waiting.fetch_sub(1, Ordering::SeqCst);
+            };
+            popped.map(|(stream, depth)| {
+                // Gauge write after the lock is gone.
+                drop(queue);
+                state.record_queue_depth(depth);
+                stream
+            })
         };
         let Some(stream) = stream else { return };
         match chaos {
@@ -564,13 +613,44 @@ mod tests {
 
     #[test]
     fn repeated_simulate_requests_hit_the_cache_over_the_wire() {
-        let (addr, handle, thread, state) = start();
+        // One worker pins both connections to one cache lane and one
+        // raw front cache, making the hit accounting exact.
+        let server =
+            Server::bind(ServeConfig { workers: 1, ..ServeConfig::default() }).unwrap();
+        let (addr, state) = (server.local_addr(), server.state());
+        let (handle, thread) = server.spawn();
+        let body = "{\"trace\":{\"duration_s\":5},\"workload\":{\"batch\":8,\"input_len\":512,\"output_len\":64}}";
+        let (_, first) = request(addr, "POST", "/v1/simulate", body);
+        let (_, second) = request(addr, "POST", "/v1/simulate", body);
+        assert_eq!(first, second, "cached response must be byte-identical");
+        // The byte-identical repeat short-circuits in the worker's raw
+        // front cache; the semantic cache saw only the first request.
+        let stats = state.cache_stats()[1];
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(state.raw_hit_count(), 1);
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_simulate_requests_hit_the_cache_on_the_pool_tier() {
+        // The legacy pool has no raw front cache: the repeat is a
+        // semantic-cache hit, as it always was.
+        let server = Server::bind(ServeConfig {
+            workers: 2,
+            event_loop: false,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (addr, state) = (server.local_addr(), server.state());
+        let (handle, thread) = server.spawn();
         let body = "{\"trace\":{\"duration_s\":5},\"workload\":{\"batch\":8,\"input_len\":512,\"output_len\":64}}";
         let (_, first) = request(addr, "POST", "/v1/simulate", body);
         let (_, second) = request(addr, "POST", "/v1/simulate", body);
         assert_eq!(first, second, "cached response must be byte-identical");
         let stats = state.cache_stats()[1];
         assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(state.raw_hit_count(), 0);
         handle.shutdown();
         thread.join().unwrap();
     }
@@ -874,7 +954,12 @@ mod tests {
 
     #[test]
     fn whatif_streams_chunked_ndjson_the_client_decodes() {
-        let (addr, handle, thread, state) = start();
+        // One worker: both connections share a cache lane, so the
+        // second what-if is a semantic-cache hit with exact counts.
+        let server =
+            Server::bind(ServeConfig { workers: 1, ..ServeConfig::default() }).unwrap();
+        let (addr, state) = (server.local_addr(), server.state());
+        let (handle, thread) = server.spawn();
         // Raw socket first: the response must actually be chunked on the
         // wire (HttpClient would hide the framing).
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -958,6 +1043,203 @@ mod tests {
             }
         }
         assert!(ok >= 10, "retries should carry most streams through gentle faults, got {ok}/20");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    /// Read one full response off `reader`: status, headers, and the
+    /// body (chunked bodies are reassembled). A plain parser with no
+    /// retry machinery, so pipelining tests see the wire as-is.
+    fn read_one_response<R: std::io::BufRead>(
+        reader: &mut R,
+    ) -> (u16, Vec<(String, String)>, String) {
+        use std::io::Read;
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let status: u16 =
+            line.split_whitespace().nth(1).unwrap_or("0").parse().expect("status code");
+        let mut headers = Vec::new();
+        let (mut content_length, mut chunked) = (0usize, false);
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let (name, value) = trimmed.split_once(':').expect("header line");
+            let (name, value) = (name.to_owned(), value.trim().to_owned());
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap();
+            } else if name.eq_ignore_ascii_case("transfer-encoding") && value == "chunked" {
+                chunked = true;
+            }
+            headers.push((name, value));
+        }
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let size = usize::from_str_radix(line.trim_end(), 16).expect("chunk size");
+                let mut chunk = vec![0u8; size + 2];
+                reader.read_exact(&mut chunk).unwrap();
+                if size == 0 {
+                    break;
+                }
+                body.extend_from_slice(&chunk[..size]);
+            }
+        } else {
+            body.resize(content_length, 0);
+            reader.read_exact(&mut body).unwrap();
+        }
+        (status, headers, String::from_utf8(body).expect("utf-8 body"))
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_request_order() {
+        let (addr, handle, thread, _) = start();
+        // Six requests down the pipe in ONE write, each with a
+        // distinguishable answer: the unknown-device 404 echoes the
+        // queried name, the known device echoes its own.
+        let mut wire = Vec::new();
+        for i in 0..3 {
+            wire.extend_from_slice(
+                format!("GET /v1/devices/pipe-{i} HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                    .as_bytes(),
+            );
+            wire.extend_from_slice(
+                b"GET /v1/devices/H100%20SXM HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+            );
+        }
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        reader.get_mut().write_all(&wire).unwrap();
+        for i in 0..3 {
+            let (status, _, body) = read_one_response(&mut reader);
+            assert_eq!(status, 404, "{body}");
+            assert!(body.contains(&format!("pipe-{i}")), "response out of order: {body}");
+            let (status, _, body) = read_one_response(&mut reader);
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains("H100"), "response out of order: {body}");
+        }
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn torn_byte_dribble_requests_still_parse_and_answer() {
+        let (addr, handle, thread, _) = start();
+        // Feed two back-to-back requests 1–3 bytes at a time — the
+        // incremental parser must buffer partial heads and partial
+        // bodies across reads without corrupting the frame boundary.
+        let wire = b"POST /v1/screen HTTP/1.1\r\nContent-Length: 21\r\n\r\n{\"device\":\"H100 SXM\"}GET /v1/metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut at = 0;
+        let mut step = 1;
+        while at < wire.len() {
+            let end = (at + step).min(wire.len());
+            reader.get_mut().write_all(&wire[at..end]).unwrap();
+            reader.get_mut().flush().unwrap();
+            at = end;
+            step = step % 3 + 1;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (status, _, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("license_required"), "{body}");
+        let (status, _, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("requests"), "{body}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_chunked_whatif_is_followed_by_the_next_response() {
+        let (addr, handle, thread, _) = start();
+        // A chunked streaming response and a plain GET pipelined behind
+        // it: the chunked frame must terminate cleanly (0-chunk) before
+        // the next response starts, all on one connection.
+        let whatif_body = "{\"grid\":{\"tpp_license\":[2400,4800]}}";
+        let mut wire = Vec::new();
+        wire.extend_from_slice(
+            format!(
+                "POST /v1/whatif HTTP/1.1\r\nContent-Length: {}\r\n\r\n{whatif_body}",
+                whatif_body.len()
+            )
+            .as_bytes(),
+        );
+        wire.extend_from_slice(b"GET /v1/devices HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        reader.get_mut().write_all(&wire).unwrap();
+        let (status, headers, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            headers.iter().any(|(n, v)| n == "Transfer-Encoding" && v == "chunked"),
+            "whatif must stream chunked: {headers:?}"
+        );
+        for line in body.lines() {
+            parse(line).expect("every NDJSON line parses");
+        }
+        let (status, _, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("H100"), "{body}");
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn overload_sheds_expensive_posts_but_answers_cheap_gets() {
+        // queue_depth 1 makes the per-poll-round expensive budget 1: a
+        // single burst of unique POSTs overcommits it immediately.
+        let server = Server::bind(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (addr, state) = (server.local_addr(), server.state());
+        let (handle, thread) = server.spawn();
+        let mut wire = Vec::new();
+        for i in 0..24 {
+            let body = format!("{{\"config\":{{\"name\":\"shed-{i}\"}}}}");
+            wire.extend_from_slice(
+                format!(
+                    "POST /v1/screen HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        wire.extend_from_slice(b"GET /v1/metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        reader.get_mut().write_all(&wire).unwrap();
+        let (mut served, mut shed) = (0u32, 0u32);
+        for _ in 0..24 {
+            let (status, headers, body) = read_one_response(&mut reader);
+            match status {
+                200 => served += 1,
+                503 => {
+                    shed += 1;
+                    assert!(
+                        headers.iter().any(|(n, v)| n == "Retry-After" && v == "1"),
+                        "shed responses carry backoff guidance: {headers:?}"
+                    );
+                    assert!(body.contains("overloaded"), "{body}");
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        // The cheap GET at the back of the burst is served, not shed.
+        let (status, _, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "cheap GET must survive overload: {body}");
+        assert!(served >= 1, "at least the in-budget POST is served");
+        assert!(shed >= 1, "the overcommitted burst must shed");
+        assert_eq!(state.shed_expensive_count(), u64::from(shed));
         handle.shutdown();
         thread.join().unwrap();
     }

@@ -1,24 +1,36 @@
-//! A closed-loop load generator for the service, used to demonstrate the
-//! cache's effect: a 100%-repeated request stream should sustain an
-//! order of magnitude more QPS than a 100%-unique stream, because every
-//! repeat is a cache lookup instead of a simulation.
+//! A multi-connection, pipelined load generator for the service.
+//!
+//! The original closed-loop single-in-flight client could not saturate
+//! the event-loop tier: with one request on the wire per connection,
+//! measured QPS is bounded by round-trip latency, not by the server.
+//! This driver opens a configurable number of connections and keeps a
+//! configurable number of requests in flight on each (HTTP/1.1
+//! pipelining), so the server-side limit is what gets measured. Latency
+//! percentiles are reported overall and per request class (repeated vs
+//! unique), since under priority shedding the two classes see very
+//! different service.
 
-use crate::http::HttpClient;
 use acs_errors::AcsError;
 use acs_telemetry::Histogram;
-use std::net::SocketAddr;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which request stream to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadMode {
-    /// Every request body is distinct (unique trace seeds): all misses.
+    /// Every `/v1/simulate` body is distinct (unique trace seeds): all
+    /// misses, every request pays a full simulation.
     Unique,
-    /// Every request body is identical: all hits after the first.
+    /// Every body is identical: all hits after the first.
     Repeated,
     /// Alternate unique and repeated bodies.
     Mixed,
+    /// Every `/v1/screen` body is a distinct config: all misses, but
+    /// each miss is a cheap policy screening rather than a simulation —
+    /// the unique-throughput shape for the event-loop tier.
+    UniqueScreen,
 }
 
 impl LoadMode {
@@ -32,9 +44,12 @@ impl LoadMode {
             "unique" => Ok(LoadMode::Unique),
             "repeated" => Ok(LoadMode::Repeated),
             "mixed" => Ok(LoadMode::Mixed),
+            "unique-screen" | "unique_screen" => Ok(LoadMode::UniqueScreen),
             other => Err(AcsError::InvalidConfig {
                 field: "mode".to_owned(),
-                reason: format!("unknown mode {other:?} (expected unique, repeated, or mixed)"),
+                reason: format!(
+                    "unknown mode {other:?} (expected unique, repeated, mixed, or unique-screen)"
+                ),
             }),
         }
     }
@@ -45,11 +60,18 @@ impl LoadMode {
 pub struct LoadgenConfig {
     /// Total requests to issue.
     pub requests: usize,
-    /// Concurrent client threads.
+    /// Concurrent client threads (one connection each when
+    /// `connections` is zero).
     pub concurrency: usize,
+    /// Client connections to open; zero means one per `concurrency`
+    /// thread. Each connection runs on its own thread.
+    pub connections: usize,
+    /// Requests in flight per connection (HTTP/1.1 pipelining depth);
+    /// values below one mean a single request in flight.
+    pub pipeline: usize,
     /// Request stream shape.
     pub mode: LoadMode,
-    /// Per-request timeout.
+    /// Per-request timeout (applied to the socket reads).
     pub timeout: Duration,
 }
 
@@ -58,10 +80,27 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             requests: 200,
             concurrency: 4,
+            connections: 0,
+            pipeline: 1,
             mode: LoadMode::Repeated,
             timeout: Duration::from_secs(30),
         }
     }
+}
+
+/// Latency summary for one request class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLatency {
+    /// Class label (`repeated` or `unique`).
+    pub class: String,
+    /// Successful requests in the class.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
 }
 
 /// Aggregate results of one load-generation run.
@@ -83,17 +122,42 @@ pub struct LoadgenReport {
     pub p99_ms: f64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_s: f64,
+    /// Per-class latency percentiles (repeated vs unique bodies).
+    pub per_class: Vec<ClassLatency>,
 }
 
-/// The `/v1/simulate` body for request number `i` under `mode`. Unique
-/// bodies vary the trace seed, which changes the arrival pattern and so
-/// defeats the response cache; the per-step cost cache still helps, which
-/// is exactly the layering the serving path is designed to have.
+/// Whether request `i` of `mode` repeats an earlier body.
+fn is_repeat(mode: LoadMode, i: usize) -> bool {
+    match mode {
+        LoadMode::Repeated => true,
+        LoadMode::Unique | LoadMode::UniqueScreen => false,
+        LoadMode::Mixed => i.is_multiple_of(2),
+    }
+}
+
+/// The request path for `mode` (`/v1/screen` for the cheap unique-work
+/// stream, `/v1/simulate` otherwise).
+#[must_use]
+pub fn request_path(mode: LoadMode) -> &'static str {
+    match mode {
+        LoadMode::UniqueScreen => "/v1/screen",
+        _ => "/v1/simulate",
+    }
+}
+
+/// The request body for request number `i` under `mode`. Unique
+/// simulate bodies vary the trace seed, which changes the arrival
+/// pattern and so defeats the response cache; unique screen bodies vary
+/// the config name, making every request a distinct (but cheap) policy
+/// screening.
 #[must_use]
 pub fn request_body(mode: LoadMode, i: usize) -> String {
+    if mode == LoadMode::UniqueScreen {
+        return format!("{{\"config\":{{\"name\":\"loadgen-{i}\"}}}}");
+    }
     let seed = match mode {
         LoadMode::Repeated => 7,
-        LoadMode::Unique => 1000 + i as u64,
+        LoadMode::Unique | LoadMode::UniqueScreen => 1000 + i as u64,
         LoadMode::Mixed => {
             if i.is_multiple_of(2) {
                 7
@@ -108,8 +172,172 @@ pub fn request_body(mode: LoadMode, i: usize) -> String {
     )
 }
 
-/// Issue `config.requests` POSTs to `/v1/simulate` on `addr` from
-/// `config.concurrency` threads and aggregate latencies.
+/// Read one `Content-Length`-framed (or chunked) response off `reader`,
+/// discarding the body. Returns the status code.
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<u16> {
+    let eof = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed");
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_owned());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(eof());
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(eof());
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| bad("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let mut sink = [0u8; 8192];
+    if chunked {
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(eof());
+            }
+            let size = usize::from_str_radix(line.trim_end(), 16)
+                .map_err(|_| bad("bad chunk size"))?;
+            let mut left = size + 2; // chunk data + CRLF
+            while left > 0 {
+                let take = left.min(sink.len());
+                let n = reader.read(&mut sink[..take])?;
+                if n == 0 {
+                    return Err(eof());
+                }
+                left -= n;
+            }
+            if size == 0 {
+                break;
+            }
+        }
+    } else {
+        let mut left = content_length;
+        while left > 0 {
+            let take = left.min(sink.len());
+            let n = reader.read(&mut sink[..take])?;
+            if n == 0 {
+                return Err(eof());
+            }
+            left -= n;
+        }
+    }
+    Ok(status)
+}
+
+/// One connection's worth of the drive: claim burst indices from the
+/// shared counter, pipeline each burst in one write, read the responses
+/// back in order. Returns the number of failed requests.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    next: &AtomicUsize,
+    overall: &Histogram,
+    repeated: &Histogram,
+    unique: &Histogram,
+) -> usize {
+    let depth = config.pipeline.max(1);
+    let path = request_path(config.mode);
+    let mut failures = 0usize;
+    let mut redials = 0usize;
+    'reconnect: loop {
+        let stream = match TcpStream::connect_timeout(&addr, config.timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                // Whatever quota this connection would have claimed is
+                // picked up by the other connections; report nothing.
+                return failures;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(config.timeout));
+        let _ = stream.set_write_timeout(Some(config.timeout));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return failures,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut burst = Vec::with_capacity(depth);
+        let mut wire = Vec::with_capacity(depth * 256);
+        loop {
+            burst.clear();
+            wire.clear();
+            for _ in 0..depth {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.requests {
+                    break;
+                }
+                let body = request_body(config.mode, i);
+                wire.extend_from_slice(
+                    format!(
+                        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                burst.push(i);
+            }
+            if burst.is_empty() {
+                return failures;
+            }
+            let sent = Instant::now();
+            if writer.write_all(&wire).is_err() {
+                failures += burst.len();
+                redials += 1;
+                if redials > 3 {
+                    return failures;
+                }
+                continue 'reconnect;
+            }
+            for &i in &burst {
+                match read_response(&mut reader) {
+                    Ok(200) => {
+                        let ms = sent.elapsed().as_secs_f64() * 1e3;
+                        overall.record(ms);
+                        if is_repeat(config.mode, i) {
+                            repeated.record(ms);
+                        } else {
+                            unique.record(ms);
+                        }
+                    }
+                    Ok(_) => failures += 1,
+                    Err(_) => {
+                        failures += 1;
+                        redials += 1;
+                        if redials > 3 {
+                            return failures;
+                        }
+                        continue 'reconnect;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Issue `config.requests` POSTs against `addr` from
+/// `max(connections, 1)` pipelined connections (one thread each) and
+/// aggregate latencies, overall and per request class.
 ///
 /// # Errors
 ///
@@ -120,49 +348,45 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
             reason: "loadgen needs at least one request".to_owned(),
         });
     }
+    let conns = if config.connections > 0 { config.connections } else { config.concurrency }
+        .max(1)
+        .min(config.requests);
     let next = AtomicUsize::new(0);
     let started = Instant::now();
-    let threads = config.concurrency.max(1).min(config.requests);
-    // One histogram shared by every client thread: the same merge-safe
-    // instrument the rest of the stack uses, so the report's p50/p99 come
-    // from the telemetry quantile logic instead of a private percentile
-    // implementation.
-    let latency_ms = Histogram::standalone();
+    // Merge-safe telemetry histograms shared by every connection
+    // thread, so the report's p50/p99 come from the same quantile logic
+    // as the rest of the stack.
+    let overall = Histogram::standalone();
+    let repeated = Histogram::standalone();
+    let unique = Histogram::standalone();
     let failures: Vec<usize> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..conns)
             .map(|_| {
-                let next = &next;
-                let latency_ms = &latency_ms;
+                let (next, overall, repeated, unique) = (&next, &overall, &repeated, &unique);
                 scope.spawn(move || {
-                    // One persistent client per thread: requests reuse the
-                    // same keep-alive connection, so measured latency is
-                    // request service time rather than TCP handshakes.
-                    let mut client = HttpClient::new(addr, config.timeout);
-                    let mut failures = 0usize;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= config.requests {
-                            break;
-                        }
-                        let body = request_body(config.mode, i);
-                        let sent = Instant::now();
-                        match client.request("POST", "/v1/simulate", &body) {
-                            Ok((200, _)) => {
-                                latency_ms.record(sent.elapsed().as_secs_f64() * 1e3);
-                            }
-                            Ok(_) | Err(_) => failures += 1,
-                        }
-                    }
-                    failures
+                    drive_connection(addr, config, next, overall, repeated, unique)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
-    let sample = latency_ms.snapshot();
+    let sample = overall.snapshot();
     let succeeded = usize::try_from(sample.count).unwrap_or(usize::MAX);
     let failed: usize = failures.iter().sum();
+    let per_class = [("repeated", &repeated), ("unique", &unique)]
+        .into_iter()
+        .filter_map(|(class, histogram)| {
+            let s = histogram.snapshot();
+            (s.count > 0).then(|| ClassLatency {
+                class: class.to_owned(),
+                count: s.count,
+                mean_ms: s.mean(),
+                p50_ms: s.p50(),
+                p99_ms: s.p99(),
+            })
+        })
+        .collect();
     Ok(LoadgenReport {
         requests: config.requests,
         succeeded,
@@ -172,6 +396,7 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenRe
         p50_ms: sample.p50(),
         p99_ms: sample.p99(),
         elapsed_s,
+        per_class,
     })
 }
 
@@ -185,6 +410,12 @@ mod tests {
         assert_ne!(request_body(LoadMode::Unique, 0), request_body(LoadMode::Unique, 1));
         assert_eq!(request_body(LoadMode::Mixed, 0), request_body(LoadMode::Mixed, 2));
         assert_ne!(request_body(LoadMode::Mixed, 1), request_body(LoadMode::Mixed, 3));
+        assert_ne!(
+            request_body(LoadMode::UniqueScreen, 0),
+            request_body(LoadMode::UniqueScreen, 1)
+        );
+        assert_eq!(request_path(LoadMode::UniqueScreen), "/v1/screen");
+        assert_eq!(request_path(LoadMode::Repeated), "/v1/simulate");
     }
 
     #[test]
@@ -192,6 +423,7 @@ mod tests {
         assert_eq!(LoadMode::parse("unique").unwrap(), LoadMode::Unique);
         assert_eq!(LoadMode::parse("repeated").unwrap(), LoadMode::Repeated);
         assert_eq!(LoadMode::parse("mixed").unwrap(), LoadMode::Mixed);
+        assert_eq!(LoadMode::parse("unique-screen").unwrap(), LoadMode::UniqueScreen);
         assert_eq!(LoadMode::parse("chaos").unwrap_err().kind(), "invalid_config");
     }
 
@@ -210,15 +442,55 @@ mod tests {
         let (handle, thread) = server.spawn();
         let report = run_loadgen(
             addr,
-            &LoadgenConfig { requests: 20, concurrency: 2, ..LoadgenConfig::default() },
+            &LoadgenConfig {
+                requests: 20,
+                connections: 2,
+                pipeline: 4,
+                ..LoadgenConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(report.succeeded, 20);
         assert_eq!(report.failed, 0);
         assert!(report.qps > 0.0);
         assert!(report.p50_ms > 0.0 && report.p50_ms <= report.p99_ms);
+        assert_eq!(report.per_class.len(), 1, "all-repeated stream has one class");
+        assert_eq!(report.per_class[0].class, "repeated");
+        // Repeats land in the semantic cache or, on the event-loop
+        // tier, the workers' raw front caches; between them all but the
+        // first identical request is a hit.
         let stats = state.cache_stats()[1];
-        assert!(stats.hits >= 19 - 1, "all but the first identical request should hit");
+        assert!(
+            stats.hits + state.raw_hit_count() >= 18,
+            "all but the first identical request should hit: semantic {} raw {}",
+            stats.hits,
+            state.raw_hit_count(),
+        );
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_unique_screen_drive_is_all_misses_but_succeeds() {
+        let server = crate::Server::bind(crate::ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let state = server.state();
+        let (handle, thread) = server.spawn();
+        let report = run_loadgen(
+            addr,
+            &LoadgenConfig {
+                requests: 24,
+                connections: 3,
+                pipeline: 8,
+                mode: LoadMode::UniqueScreen,
+                ..LoadgenConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.succeeded, 24, "{report:?}");
+        assert_eq!(report.per_class[0].class, "unique");
+        assert_eq!(state.cache_stats()[0].misses, 24, "every unique screen is a miss");
+        assert_eq!(state.raw_hit_count(), 0);
         handle.shutdown();
         thread.join().unwrap();
     }

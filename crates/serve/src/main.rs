@@ -4,7 +4,7 @@
 //! Serve mode (default):
 //!
 //! ```text
-//! acs-serve [--addr 127.0.0.1:8737] [--workers 4]
+//! acs-serve [--addr 127.0.0.1:8737] [--workers 4] [--event-loop|--pool]
 //! ```
 //!
 //! The bound address is printed as `listening on http://...` once the
@@ -21,7 +21,8 @@
 //!
 //! ```text
 //! acs-serve --loadgen [--addr HOST:PORT] [--requests 200] \
-//!           [--concurrency 4] [--mode unique|repeated|mixed|compare] \
+//!           [--connections 4] [--pipeline 1] \
+//!           [--mode unique|repeated|mixed|unique-screen|compare] \
 //!           [--assert-ratio 10]
 //! ```
 //!
@@ -39,8 +40,11 @@ struct Args {
     loadgen: bool,
     addr: Option<String>,
     workers: usize,
+    event_loop: bool,
     requests: usize,
     concurrency: usize,
+    connections: usize,
+    pipeline: usize,
     mode: String,
     assert_ratio: Option<f64>,
 }
@@ -50,8 +54,11 @@ fn parse_args() -> Result<Args, String> {
         loadgen: false,
         addr: None,
         workers: 4,
+        event_loop: true,
         requests: 200,
         concurrency: 4,
+        connections: 0,
+        pipeline: 1,
         mode: "repeated".to_owned(),
         assert_ratio: None,
     };
@@ -78,6 +85,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--concurrency: {e}"))?;
             }
+            "--event-loop" => args.event_loop = true,
+            "--pool" => args.event_loop = false,
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--pipeline" => {
+                args.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline: {e}"))?;
+            }
             "--mode" => args.mode = value("--mode")?,
             "--assert-ratio" => {
                 args.assert_ratio = Some(
@@ -87,9 +106,11 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: acs-serve [--addr HOST:PORT] [--workers N] | \
+                return Err("usage: acs-serve [--addr HOST:PORT] [--workers N] \
+                     [--event-loop|--pool] | \
                      acs-serve --loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] \
-                     [--mode unique|repeated|mixed|compare] [--assert-ratio X]"
+                     [--connections N] [--pipeline N] \
+                     [--mode unique|repeated|mixed|unique-screen|compare] [--assert-ratio X]"
                     .to_owned())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -102,6 +123,7 @@ fn serve(args: &Args) -> Result<(), String> {
     let config = ServeConfig {
         addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned()),
         workers: args.workers,
+        event_loop: args.event_loop,
         ..ServeConfig::default()
     };
     let server = Server::bind(config).map_err(|e| e.to_string())?;
@@ -136,6 +158,12 @@ fn print_report(label: &str, r: &LoadgenReport) {
          qps={:.1}  p50={:.2}ms  p99={:.2}ms  mean={:.2}ms",
         r.requests, r.succeeded, r.failed, r.elapsed_s, r.qps, r.p50_ms, r.p99_ms, r.mean_ms,
     );
+    for class in &r.per_class {
+        println!(
+            "{label}:   class {:<8} {} ok  p50={:.2}ms  p99={:.2}ms  mean={:.2}ms",
+            class.class, class.count, class.p50_ms, class.p99_ms, class.mean_ms,
+        );
+    }
 }
 
 fn loadgen(args: &Args) -> Result<(), String> {
@@ -147,7 +175,11 @@ fn loadgen(args: &Args) -> Result<(), String> {
             (addr, None)
         }
         None => {
-            let server = Server::bind(ServeConfig::default()).map_err(|e| e.to_string())?;
+            let server = Server::bind(ServeConfig {
+                event_loop: args.event_loop,
+                ..ServeConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
             let addr = server.local_addr();
             println!("loadgen: started in-process server on http://{addr}");
             (addr, Some(server.spawn()))
@@ -157,6 +189,8 @@ fn loadgen(args: &Args) -> Result<(), String> {
     let base = LoadgenConfig {
         requests: args.requests,
         concurrency: args.concurrency,
+        connections: args.connections,
+        pipeline: args.pipeline,
         ..LoadgenConfig::default()
     };
     let result = if args.mode == "compare" {

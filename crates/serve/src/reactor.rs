@@ -1,0 +1,373 @@
+//! A zero-dependency `epoll` reactor: readiness notification via direct
+//! Linux syscalls, no `libc`, no `mio`.
+//!
+//! The whole workspace is std-only, and std exposes no readiness API —
+//! so this module makes the four syscalls the event loop needs
+//! (`epoll_create1`, `epoll_ctl`, `epoll_pwait`, `close`) through
+//! inline assembly, the same way std's own `syscall!` shims do. Only
+//! the Linux kernel ABI is depended on, which is stable by contract.
+//!
+//! Supported targets are gated with `cfg(reactor)`-style conditions on
+//! `target_os = "linux"` plus `target_arch` x86_64/aarch64; elsewhere
+//! [`Poller::new`] returns `Unsupported` and the serve tier falls back
+//! to the blocking worker pool (`ServeConfig::event_loop = false`).
+//!
+//! Registration uses the classic readiness model (level-triggered for
+//! writes is avoided by only subscribing to `EPOLLOUT` while a
+//! connection has buffered output): each connection is registered with
+//! a `u64` token the caller chooses, and [`Poller::wait`] returns
+//! `(token, readiness)` pairs.
+
+use std::io;
+
+/// Readiness: the socket has bytes to read (or a peer hangup to observe).
+pub const EPOLLIN: u32 = 0x1;
+/// Readiness: the socket can accept more written bytes.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition on the fd (always reported, no need to subscribe).
+pub const EPOLLERR: u32 = 0x8;
+/// Peer hung up (always reported, no need to subscribe).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x8_0000;
+
+/// The kernel's `struct epoll_event`. On x86_64 the kernel declares it
+/// packed (no padding between the 32-bit mask and the 64-bit data);
+/// elsewhere it uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! x86_64 syscall ABI: number in `rax`, args in `rdi`/`rsi`/`rdx`/
+    //! `r10`, return in `rax`; the `syscall` instruction clobbers `rcx`
+    //! and `r11`.
+    pub const SYS_CLOSE: usize = 3;
+    pub const SYS_EPOLL_CTL: usize = 233;
+    pub const SYS_EPOLL_PWAIT: usize = 281;
+    pub const SYS_EPOLL_CREATE1: usize = 291;
+
+    pub unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod sys {
+    //! aarch64 syscall ABI: number in `x8`, args in `x0`-`x5`, return in
+    //! `x0`, entered via `svc 0`.
+    pub const SYS_EPOLL_CREATE1: usize = 20;
+    pub const SYS_EPOLL_CTL: usize = 21;
+    pub const SYS_EPOLL_PWAIT: usize = 22;
+    pub const SYS_CLOSE: usize = 57;
+
+    pub unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        unsafe { syscall6(nr, a, b, c, d, 0, 0) }
+    }
+
+    pub unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+}
+
+/// Whether this build target has a working reactor. The serve tier
+/// consults this to decide whether `event_loop: true` is honourable or
+/// must silently fall back to the worker pool.
+#[must_use]
+pub fn supported() -> bool {
+    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
+}
+
+/// Turn a raw syscall return into `Ok(value)` or an `io::Error` built
+/// from the `-errno` encoding.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn check(ret: isize) -> io::Result<isize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An `epoll` instance: register fds with tokens, wait for readiness.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: i32,
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+impl Poller {
+    /// A fresh `epoll` instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_create1` errno as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        let ret = unsafe {
+            sys::syscall4(sys::SYS_EPOLL_CREATE1, EPOLL_CLOEXEC as usize, 0, 0, 0)
+        };
+        check(ret).map(|fd| Poller { epfd: fd as i32 })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        let event = EpollEvent { events: interest, data: token };
+        let ptr = if op == EPOLL_CTL_DEL { 0 } else { std::ptr::from_ref(&event) as usize };
+        let ret = unsafe {
+            sys::syscall4(sys::SYS_EPOLL_CTL, self.epfd as usize, op as usize, fd as usize, ptr)
+        };
+        check(ret).map(|_| ())
+    }
+
+    /// Register `fd` for `interest`, delivering `token` on readiness.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` errno as an [`io::Error`].
+    pub fn add(&self, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change the interest set for an already registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` errno as an [`io::Error`].
+    pub fn modify(&self, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister `fd`. Harmless to call for an fd the kernel already
+    /// dropped from the set (closing an fd deregisters it implicitly).
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` errno as an [`io::Error`], except
+    /// `ENOENT`/`EBADF`, which are swallowed: the common teardown races.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        match self.ctl(EPOLL_CTL_DEL, fd, 0, 0) {
+            Err(e) if matches!(e.raw_os_error(), Some(2 /* ENOENT */) | Some(9 /* EBADF */)) => {
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Block until readiness or `timeout_ms` (-1 = forever), filling
+    /// `events` and returning how many entries are valid. `EINTR` is
+    /// reported as zero events, not an error — the loop just re-polls.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_pwait` errno as an [`io::Error`].
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let ret = unsafe {
+            sys::syscall6(
+                sys::SYS_EPOLL_PWAIT,
+                self.epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0, // sigmask: NULL — signal handling stays with std
+                8, // sigsetsize expected by the kernel even for NULL
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n as usize),
+            Err(e) if e.raw_os_error() == Some(4 /* EINTR */) => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::syscall4(sys::SYS_CLOSE, self.epfd as usize, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+impl Poller {
+    /// Stub on unsupported targets: always `Unsupported`, so the serve
+    /// tier falls back to the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Always `io::ErrorKind::Unsupported`.
+    pub fn new() -> io::Result<Self> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "no epoll reactor on this target"))
+    }
+
+    #[allow(clippy::missing_errors_doc, clippy::unused_self)]
+    pub fn add(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    #[allow(clippy::missing_errors_doc, clippy::unused_self)]
+    pub fn modify(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    #[allow(clippy::missing_errors_doc, clippy::unused_self)]
+    pub fn delete(&self, _fd: i32) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    #[allow(clippy::missing_errors_doc, clippy::unused_self)]
+    pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+}
+
+#[cfg(test)]
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_pipe_end_is_reported_with_its_token() {
+        let poller = Poller::new().unwrap();
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.add(rx.as_raw_fd(), EPOLLIN, 0xfeed).unwrap();
+
+        // Nothing buffered yet: a short wait times out empty.
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        tx.write_all(b"x").unwrap();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (token, mask) = (events[0].data, events[0].events);
+        assert_eq!(token, 0xfeed);
+        assert_ne!(mask & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn modify_switches_interest_and_delete_unregisters() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        poller.add(tx.as_raw_fd(), EPOLLIN, 1).unwrap();
+        // An idle socket with write interest is immediately writable.
+        poller.modify(tx.as_raw_fd(), EPOLLIN | EPOLLOUT, 2).unwrap();
+        let mut events = [EpollEvent::default(); 8];
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (token, mask) = (events[0].data, events[0].events);
+        assert_eq!(token, 2);
+        assert_ne!(mask & EPOLLOUT, 0);
+        poller.delete(tx.as_raw_fd()).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        // Deleting twice (or after close) is tolerated.
+        poller.delete(tx.as_raw_fd()).unwrap();
+        drop(rx);
+    }
+
+    #[test]
+    fn hangup_is_always_delivered() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        poller.add(rx.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        drop(tx);
+        let mut events = [EpollEvent::default(); 8];
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].events & (EPOLLHUP | EPOLLRDHUP | EPOLLIN), 0);
+    }
+
+    #[test]
+    fn zero_capacity_event_buffers_are_a_no_op() {
+        let poller = Poller::new().unwrap();
+        assert_eq!(poller.wait(&mut [], 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn the_reactor_reports_support_on_this_target() {
+        assert!(supported());
+    }
+}

@@ -180,6 +180,34 @@ pub fn run_target(
                 }
                 None => read_request(&mut BufReader::new(input)),
             };
+            // Parser equivalence: the event loop's incremental
+            // `parse_request_bytes` and the pool's blocking
+            // `read_request` must agree on every input — same framing
+            // accepted, same request produced. (A blocking-parse error
+            // may map to `NeedMore`: truncation is EOF on a stream but
+            // "wait for more bytes" on a buffer.)
+            let incremental = acs_serve::http::parse_request_bytes(input);
+            match (&parsed, &incremental) {
+                (Ok((req, ka)), acs_serve::http::Parsed::Complete { request, keep_alive, .. }) => {
+                    if req != request || ka != keep_alive {
+                        return TargetOutcome::Violated(
+                            "incremental and blocking parsers framed the request differently"
+                                .to_owned(),
+                        );
+                    }
+                }
+                (Ok(_), _) => {
+                    return TargetOutcome::Violated(
+                        "blocking parser accepted what the incremental parser did not".to_owned(),
+                    );
+                }
+                (Err(_), acs_serve::http::Parsed::Complete { .. }) => {
+                    return TargetOutcome::Violated(
+                        "incremental parser accepted what the blocking parser rejected".to_owned(),
+                    );
+                }
+                (Err(_), _) => {}
+            }
             match parsed {
                 Err(_) => TargetOutcome::Rejected,
                 Ok((request, _keep_alive)) => {

@@ -24,6 +24,10 @@
 //! - [`chaos`] — socket-fault rounds against a live server (torn reads,
 //!   partial writes, stalls, disconnects on both ends of the wire),
 //!   asserting the service stays healthy after the storm.
+//! - [`serve_diff`] — the serve-tier differential: the epoll event loop
+//!   and the legacy worker pool replay one request corpus and must
+//!   produce byte-equal responses (chunked streams compared after
+//!   reassembly, `/v1/metrics` on status only).
 //!
 //! The `acs-verify` binary drives all four; `scripts/ci.sh` runs the
 //! corpus diff, a fixed-seed fuzz smoke, and one chaos round on every
@@ -34,6 +38,7 @@ pub mod corpus;
 pub mod differential;
 pub mod fuzz;
 pub mod regressions;
+pub mod serve_diff;
 pub mod tolerance;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosRound};
@@ -47,4 +52,5 @@ pub use differential::{
 };
 pub use fuzz::{run_fuzz, FuzzReport, FuzzTarget};
 pub use regressions::replay_dir;
+pub use serve_diff::{event_loop_vs_pool, ServeDiffReport};
 pub use tolerance::{ulps_apart, Tolerance};

@@ -1,0 +1,145 @@
+//! The serve-tier differential: event loop vs worker pool.
+//!
+//! The epoll event loop and the legacy thread-per-connection pool are
+//! two transports for one service; no request may tell them apart. One
+//! diff run boots both tiers (identical config except the transport
+//! flag), replays an identical request corpus against each in the same
+//! order, and demands byte-equal status + body on every response.
+//!
+//! Two deliberate exclusions:
+//!
+//! - `/v1/metrics` is compared on status only: the event-loop tier's
+//!   raw front cache shifts hits between the `raw` and semantic
+//!   counters, so the bodies legitimately diverge.
+//! - `/v1/whatif` responses are compared after chunked reassembly (the
+//!   [`HttpClient`] decodes the framing): chunk boundaries depend on
+//!   write-readiness timing and are not part of the contract — the
+//!   reassembled NDJSON is.
+
+use acs_errors::AcsError;
+use acs_serve::http::HttpClient;
+use acs_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+/// What one serve-tier differential run observed.
+#[derive(Debug, Clone)]
+pub struct ServeDiffReport {
+    /// Case label (`event_loop_vs_pool`).
+    pub label: String,
+    /// Requests replayed against each tier.
+    pub requests: usize,
+    /// Requests whose responses matched.
+    pub ok: usize,
+    /// Human-readable divergences (empty on a clean run).
+    pub mismatches: Vec<String>,
+}
+
+impl ServeDiffReport {
+    /// True when every response matched.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// The replay corpus: every endpoint, hits and misses, streamed and
+/// plain, valid and malformed. `(method, path, body)` triples issued in
+/// order on one keep-alive connection per tier.
+fn corpus() -> Vec<(&'static str, String, String)> {
+    let sim = |seed: u64| {
+        format!(
+            "{{\"model\":\"llama3-8b\",\"workload\":{{\"batch\":8,\"input_len\":512,\
+             \"output_len\":64}},\"trace\":{{\"rate_rps\":4,\"duration_s\":5,\"seed\":{seed}}}}}"
+        )
+    };
+    let mut cases: Vec<(&str, String, String)> = vec![
+        ("GET", "/v1/devices".into(), String::new()),
+        ("GET", "/v1/devices/H100%20SXM".into(), String::new()),
+        ("GET", "/v1/devices/no-such-device".into(), String::new()),
+        ("GET", "/v1/nowhere".into(), String::new()),
+        ("POST", "/v1/screen".into(), "{\"device\":\"H100 SXM\"}".into()),
+        ("POST", "/v1/screen".into(), "not json at all".into()),
+        ("POST", "/v1/simulate".into(), sim(7)),
+        // The byte-identical repeat: raw front-cache hit on the event
+        // loop, semantic hit on the pool — same bytes back either way.
+        ("POST", "/v1/simulate".into(), sim(7)),
+        ("POST", "/v1/simulate".into(), sim(11)),
+        ("POST", "/v1/whatif".into(), "{\"grid\":{\"tpp_license\":[2400,4800]}}".into()),
+        ("POST", "/v1/whatif".into(), "{}".into()),
+        ("GET", "/v1/metrics".into(), String::new()),
+    ];
+    for i in 0..8 {
+        cases.push(("POST", "/v1/screen".into(), format!("{{\"config\":{{\"name\":\"sd-{i}\"}}}}")));
+    }
+    cases
+}
+
+/// Run the event-loop-vs-pool differential.
+///
+/// # Errors
+///
+/// [`AcsError::Io`] when either tier cannot be bound.
+pub fn event_loop_vs_pool() -> Result<ServeDiffReport, AcsError> {
+    let tier = |event_loop: bool| {
+        Server::bind(ServeConfig { workers: 2, event_loop, ..ServeConfig::default() })
+    };
+    let loop_server = tier(true)?;
+    let pool_server = tier(false)?;
+    let (loop_addr, pool_addr) = (loop_server.local_addr(), pool_server.local_addr());
+    let loop_run = loop_server.spawn();
+    let pool_run = pool_server.spawn();
+
+    let timeout = Duration::from_secs(10);
+    let mut loop_client = HttpClient::new(loop_addr, timeout);
+    let mut pool_client = HttpClient::new(pool_addr, timeout);
+    let cases = corpus();
+    let requests = cases.len();
+    let mut ok = 0usize;
+    let mut mismatches = Vec::new();
+    for (method, path, body) in cases {
+        let a = loop_client.request(method, &path, &body);
+        let b = pool_client.request(method, &path, &body);
+        let tag = format!("{method} {path} body={body:.40?}");
+        match (a, b) {
+            (Ok((sa, ba)), Ok((sb, bb))) => {
+                if sa != sb {
+                    mismatches
+                        .push(format!("{tag}: status {sa} (event loop) vs {sb} (pool)"));
+                } else if ba != bb && path != "/v1/metrics" {
+                    let at = ba.bytes().zip(bb.bytes()).take_while(|(x, y)| x == y).count();
+                    mismatches.push(format!(
+                        "{tag}: bodies diverge at byte {at} \
+                         (event loop {}B, pool {}B)",
+                        ba.len(),
+                        bb.len()
+                    ));
+                } else {
+                    ok += 1;
+                }
+            }
+            (a, b) => mismatches.push(format!("{tag}: transport outcome {a:?} vs {b:?}")),
+        }
+    }
+
+    loop_run.0.shutdown();
+    pool_run.0.shutdown();
+    let _ = loop_run.1.join();
+    let _ = pool_run.1.join();
+    Ok(ServeDiffReport { label: "event_loop_vs_pool".to_owned(), requests, ok, mismatches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_two_serve_tiers_are_indistinguishable_over_the_corpus() {
+        let report = event_loop_vs_pool().expect("both tiers bind");
+        assert!(
+            report.is_clean(),
+            "serve tiers diverged:\n{}",
+            report.mismatches.join("\n")
+        );
+        assert_eq!(report.ok, report.requests);
+    }
+}

@@ -22,16 +22,21 @@
 //! `--min-dse-lattice-speedup <ratio>` floors the `lattice_speedup`
 //! metric of the `lattice` suite: the fused-vector lattice engine
 //! against the factored evaluator it supersedes.
+//!
+//! `--min-serve-cached-qps <qps>` and `--min-serve-unique-qps <qps>`
+//! floor the `serve` suite's `repeated_qps` and `unique_qps` metrics:
+//! the event-loop tier's cached and unique-work throughput under the
+//! pipelined load generator.
 
 use acs_errors::json::{parse, Value};
 use std::process::ExitCode;
 
-/// Require `metrics[name] >= floor` for a dse-suite artefact.
+/// Require `metrics[name] >= floor` for a suite artefact.
 fn check_floor(metrics: &[(String, Value)], name: &str, floor: f64) -> Result<(), String> {
     match metrics.iter().find(|(metric, _)| metric == name) {
         Some((_, Value::Number(v))) if *v >= floor => Ok(()),
         Some((_, Value::Number(v))) => Err(format!("{name} {v:.2} below the required {floor:.2}")),
-        _ => Err(format!("dse suite is missing the {name} metric")),
+        _ => Err(format!("suite is missing the {name} metric")),
     }
 }
 
@@ -71,6 +76,14 @@ fn validate(path: &str, floors: &Floors) -> Result<usize, String> {
             check_floor(metrics, "lattice_speedup", floor)?;
         }
     }
+    if suite == "serve" {
+        if let Some(floor) = floors.serve_cached_qps {
+            check_floor(metrics, "repeated_qps", floor)?;
+        }
+        if let Some(floor) = floors.serve_unique_qps {
+            check_floor(metrics, "unique_qps", floor)?;
+        }
+    }
     Ok(metrics.len())
 }
 
@@ -79,6 +92,8 @@ struct Floors {
     plan_speedup: Option<f64>,
     factored_speedup: Option<f64>,
     lattice_speedup: Option<f64>,
+    serve_cached_qps: Option<f64>,
+    serve_unique_qps: Option<f64>,
 }
 
 fn main() -> ExitCode {
@@ -90,10 +105,14 @@ fn main() -> ExitCode {
         if arg == "--min-dse-plan-speedup"
             || arg == "--min-dse-factored-speedup"
             || arg == "--min-dse-lattice-speedup"
+            || arg == "--min-serve-cached-qps"
+            || arg == "--min-serve-unique-qps"
         {
             let slot = match arg.as_str() {
                 "--min-dse-plan-speedup" => &mut floors.plan_speedup,
                 "--min-dse-factored-speedup" => &mut floors.factored_speedup,
+                "--min-serve-cached-qps" => &mut floors.serve_cached_qps,
+                "--min-serve-unique-qps" => &mut floors.serve_unique_qps,
                 _ => &mut floors.lattice_speedup,
             };
             match iter.next().as_deref().map(str::parse::<f64>) {
@@ -111,7 +130,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: bench_validate [--min-dse-plan-speedup <ratio>] \
              [--min-dse-factored-speedup <ratio>] \
-             [--min-dse-lattice-speedup <ratio>] <BENCH_*.json>..."
+             [--min-dse-lattice-speedup <ratio>] \
+             [--min-serve-cached-qps <qps>] [--min-serve-unique-qps <qps>] <BENCH_*.json>..."
         );
         return ExitCode::FAILURE;
     }

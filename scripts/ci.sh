@@ -29,9 +29,13 @@ echo "==> verification harness (golden corpus, seeded fuzz, socket chaos)"
 # evaluation. The differential suite includes the whatif batch-vs-naive
 # ledger case. Then a fixed-seed structured fuzz pass (10k mutations over
 # the HTTP surface — /v1/whatif rule grids included — and the JSON/CSV
-# codecs, plus the checked-in regression corpus) and one socket-fault
-# chaos round against a live server, all of which must end with zero
-# findings and a healthy server.
+# codecs, plus the checked-in regression corpus, with the incremental
+# parse_request_bytes checked for frame-equivalence against the blocking
+# parser on every input) and one socket-fault chaos round against a live
+# event-loop server, all of which must end with zero findings and a
+# healthy server. The diff suite includes the serve-tier differential:
+# the epoll event loop and the legacy worker pool must answer one
+# replayed corpus with byte-equal responses.
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- corpus
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- diff
 cargo run -q --release --locked --offline -p acs-verify --bin acs-verify -- fuzz --iters 10000 --seed 1
@@ -72,14 +76,20 @@ echo "==> loadgen cache-speedup check (repeated vs unique QPS)"
 cargo run -q --release --locked --offline -p acs-serve --bin acs-serve -- \
     --loadgen --mode compare --requests 60 --concurrency 4 --assert-ratio 10
 
+echo "==> pool-tier loadgen smoke (legacy transport stays alive behind --pool)"
+cargo run -q --release --locked --offline -p acs-serve --bin acs-serve -- \
+    --loadgen --pool --mode repeated --requests 60 --connections 2 --pipeline 4
+
 echo "==> profiled smoke bench (includes the <5% telemetry-overhead assertion)"
 ACS_BENCH_DIR="$smokedir" scripts/bench-smoke.sh
 
-echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored >= 2x, lattice >= 5x)"
+echo "==> bench artefact schema validation (acs-bench-v1, plan >= 1.5x, factored >= 2x, lattice >= 5x, serve >= 50k/2k qps)"
 cargo run -q --release --locked --offline --example bench_validate -- \
     --min-dse-plan-speedup 1.5 \
     --min-dse-factored-speedup 2.0 \
     --min-dse-lattice-speedup 5.0 \
+    --min-serve-cached-qps 50000 \
+    --min-serve-unique-qps 2000 \
     "$smokedir/BENCH_dse.json" "$smokedir/BENCH_serve.json" "$smokedir/BENCH_whatif.json" \
     "$smokedir/BENCH_scenarios.json" "$smokedir/BENCH_lattice.json"
 
